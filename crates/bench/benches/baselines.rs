@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the related-work baselines (experiment E12): query by output,
+//! view synthesis, CFD discovery and the BP-expressibility test, on instances of growing size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_core::relational::bp::{bp_expressible, single_relation_instance};
+use qbe_core::relational::cfd::discover_constant_cfds;
+use qbe_core::relational::query_by_output::query_by_output;
+use qbe_core::relational::view_synthesis::synthesize_view;
+use qbe_core::relational::{
+    customers_orders_database, Condition, Instance, Relation, SpjQuery, Value,
+};
+
+/// The orders relation of the generated customers/orders database, as a standalone instance.
+fn orders_instance(customers: usize, orders_per_customer: usize, seed: u64) -> (Instance, Relation) {
+    let db = customers_orders_database(customers, orders_per_customer, seed);
+    let orders = db.relation("orders").expect("orders relation").clone();
+    let mut single = Instance::new();
+    single.add(orders.clone());
+    (single, orders)
+}
+
+fn goal_output(db: &Instance) -> Relation {
+    SpjQuery::scan("orders")
+        .select(vec![Condition::AttrConst("cid".into(), Value::Int(1))])
+        .project(&["oid"])
+        .evaluate(db)
+        .expect("goal query evaluates")
+}
+
+fn bench_query_by_output(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/query_by_output");
+    group.sample_size(20);
+    for customers in [5usize, 10, 20] {
+        let (db, _) = orders_instance(customers, 4, 7);
+        let output = goal_output(&db);
+        group.bench_with_input(BenchmarkId::from_parameter(customers * 4), &db, |b, db| {
+            b.iter(|| query_by_output(black_box(db), black_box(&output)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/view_synthesis");
+    group.sample_size(20);
+    for customers in [5usize, 10, 20] {
+        let (db, _) = orders_instance(customers, 4, 7);
+        let view = goal_output(&db);
+        group.bench_with_input(BenchmarkId::from_parameter(customers * 4), &db, |b, db| {
+            b.iter(|| synthesize_view(black_box(db), black_box(&view)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cfd_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/cfd_discovery");
+    group.sample_size(20);
+    for customers in [5usize, 10, 20] {
+        let (_, orders) = orders_instance(customers, 4, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(orders.len()), &orders, |b, orders| {
+            b.iter(|| discover_constant_cfds(black_box(orders), 2, 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bp_expressibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/bp_expressibility");
+    group.sample_size(10);
+    for customers in [4usize, 6, 8] {
+        let (db, orders) = orders_instance(customers, 2, 7);
+        let output = goal_output(&db);
+        let single = single_relation_instance(orders);
+        group.bench_with_input(BenchmarkId::from_parameter(customers * 2), &single, |b, single| {
+            b.iter(|| bp_expressible(black_box(single), black_box(&output)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_by_output,
+    bench_view_synthesis,
+    bench_cfd_discovery,
+    bench_bp_expressibility
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench for E1: the end-to-end cross-model exchange pipelines (learning included),
+//! one benchmark per Figure-1 scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbe_exchange::{
+    learned_publish_relational_to_xml, learned_shred_xml_to_relational, publish_graph_to_xml,
+    shred_xml_to_graph,
+};
+use qbe_graph::{
+    generate_geo_graph, interactive_path_learn, GeoConfig, PathConstraint, PathStrategy,
+};
+use qbe_relational::{customers_orders_database, JoinPredicate};
+use qbe_twig::{learn_from_positives, parse_xpath, select};
+use qbe_xml::xmark::{generate, XmarkConfig};
+use std::hint::black_box;
+
+fn bench_scenario_1(c: &mut Criterion) {
+    let db = customers_orders_database(30, 2, 3);
+    let customers = db.relation("customers").unwrap().clone();
+    let orders = db.relation("orders").unwrap().clone();
+    let goal =
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+    c.bench_function("exchange/relational_to_xml", |b| {
+        b.iter(|| {
+            learned_publish_relational_to_xml(
+                black_box(&customers),
+                black_box(&orders),
+                black_box(&goal),
+                "sales",
+                1,
+            )
+        })
+    });
+}
+
+fn bench_scenario_2(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.05, 7));
+    let goal = parse_xpath("//person/name").unwrap();
+    let annotated: Vec<_> = select(&goal, &doc).into_iter().take(2).collect();
+    c.bench_function("exchange/xml_to_relational", |b| {
+        b.iter(|| {
+            learned_shred_xml_to_relational(black_box(&doc), black_box(&annotated), "names")
+                .unwrap()
+        })
+    });
+}
+
+fn bench_scenario_3(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.05, 7));
+    let items = doc.nodes_with_label("item");
+    let examples: Vec<_> = items.iter().take(2).map(|&n| (&doc, n)).collect();
+    let query = learn_from_positives(&examples).unwrap();
+    c.bench_function("exchange/xml_to_graph", |b| {
+        b.iter(|| shred_xml_to_graph(black_box(&doc), black_box(&query)))
+    });
+}
+
+fn bench_scenario_4(c: &mut Criterion) {
+    let graph = generate_geo_graph(&GeoConfig { cities: 25, ..Default::default() });
+    let from = graph.find_node_by_property("name", "city0").unwrap();
+    let to = graph.find_node_by_property("name", "city6").unwrap();
+    let goal =
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let outcome =
+        interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, Vec::new(), 2);
+    c.bench_function("exchange/graph_to_xml", |b| {
+        b.iter(|| {
+            publish_graph_to_xml(
+                black_box(&graph),
+                black_box(&outcome.accepted_paths),
+                black_box(&outcome.learned),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_scenario_1, bench_scenario_2, bench_scenario_3, bench_scenario_4);
+criterion_main!(benches);

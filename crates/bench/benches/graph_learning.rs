@@ -1,0 +1,92 @@
+//! Criterion bench for E10: the graph substrate — RPQ evaluation, simple-path enumeration,
+//! block-path-query learning, and full interactive path sessions on geographical graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_graph::{
+    evaluate, generate_geo_graph, interactive_path_learn, learn_path_query_with_negatives,
+    simple_paths, GeoConfig, PathConstraint, PathRegex, PathStrategy,
+};
+use std::hint::black_box;
+
+fn bench_rpq_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_learning/rpq");
+    group.sample_size(30);
+    let regex = PathRegex::Concat(vec![
+        PathRegex::label("road"),
+        PathRegex::Star(Box::new(PathRegex::label("road"))),
+    ]);
+    for cities in [20usize, 40, 80] {
+        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(cities), &graph, |b, graph| {
+            b.iter(|| evaluate(black_box(graph), black_box(&regex)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simple_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_learning/simple_paths");
+    group.sample_size(20);
+    for cities in [20usize, 35, 50] {
+        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+        let from = graph.find_node_by_property("name", "city0").unwrap();
+        let to = graph.find_node_by_property("name", "city5").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(cities), &graph, |b, graph| {
+            b.iter(|| simple_paths(black_box(graph), from, to, 6))
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_query_learning(c: &mut Criterion) {
+    let positives: Vec<Vec<String>> = (1..6)
+        .map(|n| std::iter::repeat("highway".to_string()).take(n).collect())
+        .collect();
+    let negatives = vec![
+        vec!["highway".to_string(), "local".to_string()],
+        vec!["national".to_string()],
+    ];
+    c.bench_function("graph_learning/learn_block_query", |b| {
+        b.iter(|| {
+            learn_path_query_with_negatives(black_box(&positives), black_box(&negatives)).unwrap()
+        })
+    });
+}
+
+fn bench_interactive_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_learning/interactive");
+    group.sample_size(10);
+    let goal =
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    for cities in [20usize, 30, 40] {
+        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+        let from = graph.find_node_by_property("name", "city0").unwrap();
+        let to = graph.find_node_by_property("name", "city5").unwrap();
+        if simple_paths(&graph, from, to, 7).is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(cities), &graph, |b, graph| {
+            b.iter(|| {
+                interactive_path_learn(
+                    black_box(graph),
+                    from,
+                    to,
+                    &goal,
+                    PathStrategy::Halving,
+                    Vec::new(),
+                    3,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rpq_evaluation,
+    bench_simple_paths,
+    bench_path_query_learning,
+    bench_interactive_session
+);
+criterion_main!(benches);

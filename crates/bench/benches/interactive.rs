@@ -1,0 +1,66 @@
+//! Criterion bench for E9: full interactive join-learning sessions — wall time per strategy and
+//! per instance size (the user-facing cost, the number of interactions, is reported by the
+//! `exp_interactions` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_relational::{generate_join_instance, interactive_learn, JoinInstanceConfig, Strategy};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interactive/strategy");
+    group.sample_size(20);
+    let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: 40,
+        right_rows: 40,
+        extra_attributes: 2,
+        domain_size: 6,
+        seed: 5,
+    });
+    for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    interactive_learn(
+                        black_box(&left),
+                        black_box(&right),
+                        black_box(&goal),
+                        strategy,
+                        7,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_instance_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interactive/rows");
+    group.sample_size(10);
+    for rows in [20usize, 40, 80, 160] {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: rows,
+            right_rows: rows,
+            extra_attributes: 2,
+            domain_size: 6,
+            seed: 9,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                interactive_learn(
+                    black_box(&left),
+                    black_box(&right),
+                    black_box(&goal),
+                    Strategy::HalveLattice,
+                    3,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_instance_size);
+criterion_main!(benches);

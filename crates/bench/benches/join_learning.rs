@@ -1,0 +1,76 @@
+//! Criterion bench for E8: batch join learning and the join/semijoin consistency checks on
+//! instances of growing size and arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_relational::{
+    generate_join_instance, join_consistent, semijoin_consistent_exact, semijoin_learn_greedy,
+    JoinInstanceConfig, LabelledPair, LabelledTuple,
+};
+use std::hint::black_box;
+
+fn labels_for(
+    left: &qbe_relational::Relation,
+    right: &qbe_relational::Relation,
+    goal: &qbe_relational::JoinPredicate,
+    n: usize,
+) -> Vec<LabelledPair> {
+    (0..n)
+        .map(|i| {
+            let l = i % left.len();
+            let r = (i * 7 + 3) % right.len();
+            LabelledPair::new(l, r, goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]))
+        })
+        .collect()
+}
+
+fn bench_join_consistency_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_learning/consistency_rows");
+    for rows in [50usize, 100, 200, 400] {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: rows,
+            right_rows: rows,
+            extra_attributes: 2,
+            domain_size: 8,
+            seed: 1,
+        });
+        let labels = labels_for(&left, &right, &goal, rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &labels, |b, labels| {
+            b.iter(|| join_consistent(black_box(&left), black_box(&right), black_box(labels)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semijoin_exact_vs_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_learning/semijoin");
+    group.sample_size(10);
+    for extra in [1usize, 2, 3] {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: 25,
+            right_rows: 25,
+            extra_attributes: extra,
+            domain_size: 6,
+            seed: 2,
+        });
+        let labels: Vec<LabelledTuple> = (0..left.len())
+            .map(|i| {
+                let has = right.tuples().iter().any(|r| goal.satisfied_by(&left.tuples()[i], r));
+                LabelledTuple::new(i, has)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("exact", extra), &labels, |b, labels| {
+            b.iter(|| {
+                semijoin_consistent_exact(black_box(&left), black_box(&right), black_box(labels))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", extra), &labels, |b, labels| {
+            b.iter(|| {
+                semijoin_learn_greedy(black_box(&left), black_box(&right), black_box(labels))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_consistency_rows, bench_semijoin_exact_vs_greedy);
+criterion_main!(benches);

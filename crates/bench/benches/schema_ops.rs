@@ -1,0 +1,81 @@
+//! Criterion bench for E5: the static-analysis primitives of the multiplicity schemas — schema
+//! containment, dependency-graph construction, query satisfiability, document validation and
+//! schema learning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_schema::{dms_from_dtd, learn_dms, schema_contained_in, DependencyGraph, Dms};
+use qbe_twig::{parse_xpath, query_satisfiable};
+use qbe_xml::xmark::{generate, xmark_dtd, XmarkConfig};
+use qbe_xml::XmlTree;
+use std::hint::black_box;
+
+fn xmark_schema() -> Dms {
+    dms_from_dtd(&xmark_dtd()).expect("XMark DTD converts")
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let schema = xmark_schema();
+    let docs: Vec<XmlTree> = (0..4).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let learned = learn_dms(&docs).unwrap();
+    c.bench_function("schema_ops/containment", |b| {
+        b.iter(|| schema_contained_in(black_box(&learned), black_box(&schema)))
+    });
+}
+
+fn bench_dependency_graph(c: &mut Criterion) {
+    let schema = xmark_schema();
+    c.bench_function("schema_ops/dependency_graph", |b| {
+        b.iter(|| DependencyGraph::from_schema(black_box(&schema)))
+    });
+}
+
+fn bench_query_satisfiability(c: &mut Criterion) {
+    let schema = xmark_schema();
+    let queries = ["//person/name", "//item/description", "//bidder/increase"];
+    let mut group = c.benchmark_group("schema_ops/satisfiability");
+    for xpath in queries {
+        let q = parse_xpath(xpath).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(xpath), &q, |b, q| {
+            b.iter(|| query_satisfiable(black_box(&schema), black_box(q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let schema = xmark_schema();
+    let mut group = c.benchmark_group("schema_ops/validate");
+    group.sample_size(30);
+    for scale in [0.02f64, 0.05, 0.1] {
+        let doc = generate(&XmarkConfig::new(scale, 9));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale}({} nodes)", doc.size())),
+            &doc,
+            |b, doc| b.iter(|| schema.validate(black_box(doc))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_schema_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_ops/learn_dms");
+    group.sample_size(20);
+    for n in [2usize, 4, 8] {
+        let docs: Vec<XmlTree> =
+            (0..n as u64).map(|s| generate(&XmarkConfig::new(0.02, s))).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            b.iter(|| learn_dms(black_box(docs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_containment,
+    bench_dependency_graph,
+    bench_query_satisfiability,
+    bench_validation,
+    bench_schema_learning
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for E4: consistency checking with positive and negative examples — the
+//! polynomial most-specific check versus the exhaustive (exponential) search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_twig::consistency::exhaustive_consistent;
+use qbe_twig::{most_specific_consistent, parse_xpath, ExampleSet};
+use qbe_xml::random::{RandomTreeConfig, RandomTreeGenerator};
+use qbe_xml::XmlTree;
+use std::hint::black_box;
+
+fn example_set(negatives: usize, seed: u64) -> ExampleSet {
+    let cfg = RandomTreeConfig {
+        alphabet: ('a'..='e').map(|c| c.to_string()).collect(),
+        max_depth: 4,
+        max_children: 3,
+        ..Default::default()
+    };
+    let mut gen = RandomTreeGenerator::new(cfg, seed);
+    let mut docs = gen.generate_many(3);
+    for d in &mut docs {
+        d.set_label(XmlTree::ROOT, "root");
+    }
+    let goal = parse_xpath("//a[b]").unwrap();
+    ExampleSet::from_goal(&goal, docs, 2, negatives, seed)
+}
+
+fn bench_polynomial_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twig_consistency/most_specific");
+    for negatives in [2usize, 8, 32, 128] {
+        let set = example_set(negatives, negatives as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(negatives), &set, |b, set| {
+            b.iter(|| most_specific_consistent(black_box(set)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twig_consistency/exhaustive");
+    group.sample_size(10);
+    for max_nodes in [2usize, 3, 4] {
+        let set = example_set(4, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(max_nodes), &set, |b, set| {
+            b.iter(|| exhaustive_consistent(black_box(set), max_nodes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polynomial_check, bench_exhaustive_search);
+criterion_main!(benches);

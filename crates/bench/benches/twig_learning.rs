@@ -1,0 +1,71 @@
+//! Criterion bench for E2: learning twig queries from positive examples, as a function of the
+//! number of examples and of the document size (XMark scale factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_twig::{learn_from_positives, parse_xpath, select};
+use qbe_xml::xmark::{generate, XmarkConfig};
+use qbe_xml::{NodeId, XmlTree};
+use std::hint::black_box;
+
+fn examples_for(doc: &XmlTree, xpath: &str, k: usize) -> Vec<NodeId> {
+    let goal = parse_xpath(xpath).unwrap();
+    select(&goal, doc).into_iter().take(k).collect()
+}
+
+fn bench_examples_count(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.05, 1));
+    let mut group = c.benchmark_group("twig_learning/examples");
+    for k in [1usize, 2, 4, 8] {
+        let nodes = examples_for(&doc, "//person/name", k);
+        if nodes.len() < k {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &nodes, |b, nodes| {
+            b.iter(|| {
+                let examples: Vec<_> = nodes.iter().map(|&n| (&doc, n)).collect();
+                learn_from_positives(black_box(&examples)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_document_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twig_learning/scale");
+    group.sample_size(20);
+    for scale in [0.02f64, 0.05, 0.1, 0.2] {
+        let doc = generate(&XmarkConfig::new(scale, 3));
+        let nodes = examples_for(&doc, "//open_auction/bidder", 2);
+        if nodes.len() < 2 {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale}({} nodes)", doc.size())),
+            &doc,
+            |b, doc| {
+                b.iter(|| {
+                    let examples: Vec<_> = nodes.iter().map(|&n| (doc, n)).collect();
+                    learn_from_positives(black_box(&examples)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.1, 5));
+    let queries =
+        ["//person", "//person/name", "/site/regions//item", "//open_auction/bidder/increase"];
+    let mut group = c.benchmark_group("twig_learning/evaluate");
+    for xpath in queries {
+        let q = parse_xpath(xpath).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(xpath), &q, |b, q| {
+            b.iter(|| select(black_box(q), black_box(&doc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_examples_count, bench_document_scale, bench_evaluation);
+criterion_main!(benches);

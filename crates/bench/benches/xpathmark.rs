@@ -1,0 +1,41 @@
+//! Criterion bench for E7: evaluating and learning the twig-expressible queries of the
+//! XPathMark-like suite over XMark-like documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_twig::xpathmark::{suite, twig_goals};
+use qbe_twig::{learn_from_positives, select};
+use qbe_xml::xmark::{generate, XmarkConfig};
+use std::hint::black_box;
+
+fn bench_suite_evaluation(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.1, 3));
+    let mut group = c.benchmark_group("xpathmark/evaluate");
+    for q in suite() {
+        let Some(twig) = q.as_twig() else { continue };
+        group.bench_with_input(BenchmarkId::from_parameter(q.id), &twig, |b, twig| {
+            b.iter(|| select(black_box(twig), black_box(&doc)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite_learning(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.05, 3));
+    let mut group = c.benchmark_group("xpathmark/learn");
+    for (id, goal) in twig_goals() {
+        let nodes: Vec<_> = select(&goal, &doc).into_iter().take(2).collect();
+        if nodes.len() < 2 {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(id), &nodes, |b, nodes| {
+            b.iter(|| {
+                let examples: Vec<_> = nodes.iter().map(|&n| (&doc, n)).collect();
+                learn_from_positives(black_box(&examples)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_evaluation, bench_suite_learning);
+criterion_main!(benches);

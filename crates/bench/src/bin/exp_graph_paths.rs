@@ -1,0 +1,67 @@
+//! Experiment E10 — the geographical-database use case: interactive path learning between two
+//! cities, with and without the query-workload prior.
+//!
+//! For growing graphs the table reports, per proposal strategy, the average number of paths the
+//! user labels before the constraint is identified, and the number of itineraries finally
+//! extracted. The workload-prior row models the paper's scenario where previous users all asked
+//! for highway-only paths.
+//!
+//! Regenerate with `cargo run -p qbe-bench --bin exp_graph_paths`.
+
+use qbe_graph::{
+    generate_geo_graph, interactive_path_learn, simple_paths, GeoConfig, PathConstraint,
+    PathStrategy,
+};
+
+fn main() {
+    println!("E10 — interactive path learning on geographical graphs");
+    println!(
+        "{:<8} {:>11} {:<16} {:>13} {:>10} {:>12}",
+        "cities", "candidates", "strategy", "interactions", "inferred", "paths kept"
+    );
+    let goal =
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let workload = vec![goal.clone(), goal.clone(), goal.clone()];
+
+    for cities in [15usize, 25, 35, 50] {
+        let graph = generate_geo_graph(&GeoConfig {
+            cities,
+            connectivity: 3,
+            highway_fraction: 0.35,
+            seed: cities as u64,
+        });
+        let from = graph.find_node_by_property("name", "city0").unwrap();
+        let to = graph.find_node_by_property("name", "city5").unwrap();
+        let candidates = simple_paths(&graph, from, to, 7).len();
+        if candidates == 0 {
+            continue;
+        }
+        for (strategy, wl) in [
+            (PathStrategy::Random, Vec::new()),
+            (PathStrategy::ShortestFirst, Vec::new()),
+            (PathStrategy::Halving, Vec::new()),
+            (PathStrategy::WorkloadPrior, workload.clone()),
+        ] {
+            let mut interactions = 0usize;
+            let mut inferred = 0usize;
+            let mut kept = 0usize;
+            let runs = 5u64;
+            for seed in 0..runs {
+                let outcome =
+                    interactive_path_learn(&graph, from, to, &goal, strategy, wl.clone(), seed);
+                interactions += outcome.interactions;
+                inferred += outcome.inferred;
+                kept += outcome.accepted_paths.len();
+            }
+            println!(
+                "{:<8} {:>11} {:<16} {:>13.1} {:>10.1} {:>12.1}",
+                cities,
+                candidates,
+                format!("{strategy:?}"),
+                interactions as f64 / runs as f64,
+                inferred as f64 / runs as f64,
+                kept as f64 / runs as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Experiment E4 — consistency of twig queries with positive *and* negative examples.
+//!
+//! The general problem is NP-complete; the polynomial most-specific check is exact only within
+//! the anchored hypothesis space, and the exhaustive search blows up with the example set. The
+//! table contrasts the running time of the polynomial check against the exhaustive search as the
+//! number of negative examples grows, and shows the tractable bounded-size case.
+//!
+//! Regenerate with `cargo run -p qbe-bench --bin exp_twig_consistency`.
+
+use std::time::Instant;
+
+use qbe_twig::consistency::exhaustive_consistent;
+use qbe_twig::{most_specific_consistent, parse_xpath, ExampleSet};
+use qbe_xml::random::{RandomTreeConfig, RandomTreeGenerator};
+use qbe_xml::XmlTree;
+
+fn random_docs(n: usize, seed: u64) -> Vec<XmlTree> {
+    let cfg = RandomTreeConfig {
+        alphabet: ('a'..='e').map(|c| c.to_string()).collect(),
+        max_depth: 4,
+        max_children: 3,
+        ..Default::default()
+    };
+    let mut gen = RandomTreeGenerator::new(cfg, seed);
+    let mut docs = gen.generate_many(n);
+    for d in &mut docs {
+        d.set_label(XmlTree::ROOT, "root");
+    }
+    docs
+}
+
+fn main() {
+    println!("E4 — consistency with positives and negatives: polynomial vs exhaustive");
+    println!(
+        "{:<12} {:<12} {:>16} {:>12} {:>16} {:>12}",
+        "#positives", "#negatives", "poly time (µs)", "poly result", "exhaustive (µs)", "exact result"
+    );
+    let goal = parse_xpath("//a[b]").unwrap();
+    for negatives in [1usize, 2, 4, 8, 16, 32] {
+        let docs = random_docs(4, negatives as u64);
+        let set = ExampleSet::from_goal(&goal, docs, 2, negatives, 7);
+
+        let t0 = Instant::now();
+        let poly = most_specific_consistent(&set);
+        let poly_time = t0.elapsed().as_micros();
+
+        let t1 = Instant::now();
+        let exact = exhaustive_consistent(&set, 3);
+        let exact_time = t1.elapsed().as_micros();
+
+        println!(
+            "{:<12} {:<12} {:>16} {:>12} {:>16} {:>12}",
+            set.positives().len(),
+            set.negatives().len(),
+            poly_time,
+            poly.is_consistent(),
+            exact_time,
+            exact.is_consistent()
+        );
+    }
+
+    println!("\nbounded-size case (≤ k examples in total) stays polynomial:");
+    println!("{:<8} {:>16}", "k", "exhaustive (µs)");
+    for k in [2usize, 3, 4, 5, 6] {
+        let docs = random_docs(2, 99);
+        let set = ExampleSet::from_goal(&goal, docs, k / 2 + 1, k / 2, 3);
+        let t = Instant::now();
+        let _ = exhaustive_consistent(&set, 3);
+        println!("{:<8} {:>16}", k, t.elapsed().as_micros());
+    }
+}

@@ -1,0 +1,53 @@
+//! Experiment E7 — coverage of the XPathMark-like query suite.
+//!
+//! The paper: 10 of the 20 XMark queries are XPath-expressible, and the positive-only twig
+//! learner handles 15% of XPathMark. The table classifies every query of our 20-query suite
+//! (twig-expressible / path-only / beyond twigs), and for the twig-expressible ones reports
+//! whether the learner recovers the goal from annotated examples and how many it needs.
+//!
+//! Regenerate with `cargo run -p qbe-bench --bin exp_xpathmark`.
+
+use qbe_twig::xpathmark::suite;
+use qbe_twig::{learn_from_positives, select};
+use qbe_xml::xmark::{generate, XmarkConfig};
+
+fn main() {
+    println!("E7 — XPathMark-like suite: expressibility and learnability");
+    println!("{:<6} {:<18} {:<40} {:>10} {:>10}", "query", "class", "xpath", "selected", "learned");
+    let doc = generate(&XmarkConfig::new(0.1, 9));
+    let queries = suite();
+    let mut twig_expressible = 0usize;
+    let mut learned_ok = 0usize;
+    for q in &queries {
+        let class = format!("{:?}", q.expressibility);
+        let (selected, learned) = match q.as_twig() {
+            Some(goal) => {
+                twig_expressible += 1;
+                let nodes: Vec<_> = select(&goal, &doc).into_iter().collect();
+                if nodes.len() < 2 {
+                    (nodes.len(), "too few nodes".to_string())
+                } else {
+                    let examples: Vec<_> = nodes.iter().take(2).map(|&n| (&doc, n)).collect();
+                    match learn_from_positives(&examples) {
+                        Ok(candidate) if select(&candidate, &doc) == select(&goal, &doc) => {
+                            learned_ok += 1;
+                            (nodes.len(), "yes (2 ex.)".to_string())
+                        }
+                        Ok(_) => (nodes.len(), "approx".to_string()),
+                        Err(_) => (nodes.len(), "no".to_string()),
+                    }
+                }
+            }
+            None => (0, "-".to_string()),
+        };
+        println!("{:<6} {:<18} {:<40} {:>10} {:>10}", q.id, class, q.xpath, selected, learned);
+    }
+    println!(
+        "\nsuite size: {}; twig-expressible: {}; learned exactly from 2 examples: {} ({:.0}% of the suite)",
+        queries.len(),
+        twig_expressible,
+        learned_ok,
+        100.0 * learned_ok as f64 / queries.len() as f64
+    );
+    println!("paper's reference point: 15% of XPathMark learned by the positive-only algorithms");
+}

@@ -1,0 +1,321 @@
+//! The cross-model learning framework: the traits every model-specific learner instantiates,
+//! plus adapters for the three data models.
+//!
+//! The thesis's unifying idea is that the same protocol works for relational, semi-structured
+//! and graph databases: a query is a binary classifier over *items* of the instance (tuple
+//! pairs, document nodes, paths); a learner produces such a classifier from labelled items; and
+//! an interactive learner additionally chooses which item to ask about next, so that the number
+//! of interactions is minimised. The adapters below wrap the concrete learners of `qbe-twig`,
+//! `qbe-relational` and `qbe-graph` in this common vocabulary — they are what the exchange
+//! scenarios and the quickstart example program against.
+
+use crate::metrics::ConfusionMatrix;
+use qbe_xml::{NodeId, XmlTree};
+
+/// A learned query viewed as a classifier over the items of an instance.
+pub trait Hypothesis {
+    /// The kind of item the query classifies.
+    type Item;
+
+    /// Whether the query selects the item.
+    fn selects(&self, item: &Self::Item) -> bool;
+
+    /// A human-readable rendering of the query (XPath, SQL-ish predicate, regex, …).
+    fn describe(&self) -> String;
+}
+
+/// A batch learner: from labelled items to a hypothesis.
+pub trait Learner {
+    /// Item kind.
+    type Item;
+    /// Hypothesis kind.
+    type Query: Hypothesis<Item = Self::Item>;
+
+    /// Learn a query consistent with the labels, or `None` when the labels are inconsistent for
+    /// this hypothesis class.
+    fn learn(&self, positives: &[Self::Item], negatives: &[Self::Item]) -> Option<Self::Query>;
+}
+
+/// Compare a hypothesis against a goal hypothesis over a set of items.
+pub fn compare_hypotheses<H: Hypothesis>(
+    goal: &H,
+    learned: &H,
+    items: impl IntoIterator<Item = H::Item>,
+) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::default();
+    for item in items {
+        m.record(goal.selects(&item), learned.selects(&item));
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------------------------
+// Semi-structured adapter
+// ---------------------------------------------------------------------------------------------
+
+/// An XML item: a document index and a node of that document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmlItem {
+    /// Index of the document in the instance.
+    pub doc: usize,
+    /// The node.
+    pub node: NodeId,
+}
+
+/// A twig query bound to an XML instance (a list of documents), so that it classifies
+/// [`XmlItem`]s.
+#[derive(Debug, Clone)]
+pub struct BoundTwigQuery<'a> {
+    /// The documents of the instance.
+    pub documents: &'a [XmlTree],
+    /// The underlying twig query.
+    pub query: qbe_twig::TwigQuery,
+}
+
+impl Hypothesis for BoundTwigQuery<'_> {
+    type Item = XmlItem;
+
+    fn selects(&self, item: &XmlItem) -> bool {
+        qbe_twig::selects(&self.query, &self.documents[item.doc], item.node)
+    }
+
+    fn describe(&self) -> String {
+        self.query.to_xpath()
+    }
+}
+
+/// The twig learner of `qbe-twig` in the framework vocabulary.
+#[derive(Debug, Clone)]
+pub struct TwigLearner<'a> {
+    /// The documents of the instance.
+    pub documents: &'a [XmlTree],
+}
+
+impl<'a> Learner for TwigLearner<'a> {
+    type Item = XmlItem;
+    type Query = BoundTwigQuery<'a>;
+
+    fn learn(&self, positives: &[XmlItem], negatives: &[XmlItem]) -> Option<Self::Query> {
+        let mut set = qbe_twig::ExampleSet::new();
+        let ixs: Vec<usize> =
+            self.documents.iter().map(|d| set.add_document(d.clone())).collect();
+        for p in positives {
+            set.annotate(ixs[p.doc], p.node, true);
+        }
+        for n in negatives {
+            set.annotate(ixs[n.doc], n.node, false);
+        }
+        let result = qbe_twig::most_specific_consistent(&set);
+        result.query().cloned().map(|query| BoundTwigQuery { documents: self.documents, query })
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Relational adapter
+// ---------------------------------------------------------------------------------------------
+
+/// A relational item: a pair of tuple indices from the two relations being joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairItem {
+    /// Index into the left relation.
+    pub left: usize,
+    /// Index into the right relation.
+    pub right: usize,
+}
+
+/// A join predicate bound to its two relations.
+#[derive(Debug, Clone)]
+pub struct BoundJoinQuery<'a> {
+    /// Left relation.
+    pub left: &'a qbe_relational::Relation,
+    /// Right relation.
+    pub right: &'a qbe_relational::Relation,
+    /// The underlying predicate.
+    pub predicate: qbe_relational::JoinPredicate,
+}
+
+impl Hypothesis for BoundJoinQuery<'_> {
+    type Item = PairItem;
+
+    fn selects(&self, item: &PairItem) -> bool {
+        self.predicate
+            .satisfied_by(&self.left.tuples()[item.left], &self.right.tuples()[item.right])
+    }
+
+    fn describe(&self) -> String {
+        self.predicate.describe(self.left.schema(), self.right.schema())
+    }
+}
+
+/// The join learner of `qbe-relational` in the framework vocabulary.
+#[derive(Debug, Clone)]
+pub struct JoinLearner<'a> {
+    /// Left relation.
+    pub left: &'a qbe_relational::Relation,
+    /// Right relation.
+    pub right: &'a qbe_relational::Relation,
+}
+
+impl<'a> Learner for JoinLearner<'a> {
+    type Item = PairItem;
+    type Query = BoundJoinQuery<'a>;
+
+    fn learn(&self, positives: &[PairItem], negatives: &[PairItem]) -> Option<Self::Query> {
+        let labels: Vec<qbe_relational::LabelledPair> = positives
+            .iter()
+            .map(|p| qbe_relational::LabelledPair::new(p.left, p.right, true))
+            .chain(
+                negatives
+                    .iter()
+                    .map(|n| qbe_relational::LabelledPair::new(n.left, n.right, false)),
+            )
+            .collect();
+        qbe_relational::learn_join(self.left, self.right, &labels)
+            .ok()
+            .flatten()
+            .map(|predicate| BoundJoinQuery { left: self.left, right: self.right, predicate })
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Graph adapter
+// ---------------------------------------------------------------------------------------------
+
+/// A graph item: an edge-label word (the word of a path shown to the user).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathItem {
+    /// The word of edge labels.
+    pub word: Vec<String>,
+}
+
+/// A block path query as a classifier over words.
+#[derive(Debug, Clone)]
+pub struct BoundPathQuery {
+    /// The underlying block path query.
+    pub query: qbe_graph::BlockPathQuery,
+}
+
+impl Hypothesis for BoundPathQuery {
+    type Item = PathItem;
+
+    fn selects(&self, item: &PathItem) -> bool {
+        let refs: Vec<&str> = item.word.iter().map(String::as_str).collect();
+        self.query.accepts(&refs)
+    }
+
+    fn describe(&self) -> String {
+        self.query.to_string()
+    }
+}
+
+/// The path-query learner of `qbe-graph` in the framework vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct PathLearner;
+
+impl Learner for PathLearner {
+    type Item = PathItem;
+    type Query = BoundPathQuery;
+
+    fn learn(&self, positives: &[PathItem], negatives: &[PathItem]) -> Option<Self::Query> {
+        let pos: Vec<Vec<String>> = positives.iter().map(|p| p.word.clone()).collect();
+        let neg: Vec<Vec<String>> = negatives.iter().map(|n| n.word.clone()).collect();
+        qbe_graph::learn_path_query_with_negatives(&pos, &neg)
+            .ok()
+            .flatten()
+            .map(|query| BoundPathQuery { query })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_xml::TreeBuilder;
+
+    fn xml_instance() -> Vec<XmlTree> {
+        vec![TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .close()
+            .open("person")
+            .leaf("name")
+            .close()
+            .close()
+            .build()]
+    }
+
+    #[test]
+    fn twig_adapter_learns_and_classifies() {
+        let docs = xml_instance();
+        let learner = TwigLearner { documents: &docs };
+        let persons = docs[0].nodes_with_label("person");
+        let positives = vec![XmlItem { doc: 0, node: persons[0] }];
+        let negatives = vec![XmlItem { doc: 0, node: persons[1] }];
+        let hypothesis = learner.learn(&positives, &negatives).expect("consistent");
+        assert!(hypothesis.selects(&positives[0]));
+        assert!(!hypothesis.selects(&negatives[0]));
+        assert!(hypothesis.describe().contains("person"));
+    }
+
+    #[test]
+    fn twig_adapter_reports_inconsistency() {
+        let docs = xml_instance();
+        let learner = TwigLearner { documents: &docs };
+        let person = docs[0].nodes_with_label("person")[0];
+        let item = XmlItem { doc: 0, node: person };
+        assert!(learner.learn(&[item], &[item]).is_none());
+    }
+
+    #[test]
+    fn join_adapter_learns_and_classifies() {
+        use qbe_relational::{Relation, RelationSchema, Tuple};
+        let left = Relation::with_tuples(
+            RelationSchema::new("l", &["id"]),
+            vec![Tuple::new(vec![1.into()]), Tuple::new(vec![2.into()])],
+        );
+        let right = Relation::with_tuples(
+            RelationSchema::new("r", &["ref"]),
+            vec![Tuple::new(vec![1.into()]), Tuple::new(vec![3.into()])],
+        );
+        let learner = JoinLearner { left: &left, right: &right };
+        let hypothesis = learner
+            .learn(&[PairItem { left: 0, right: 0 }], &[PairItem { left: 1, right: 0 }])
+            .expect("consistent");
+        assert!(hypothesis.selects(&PairItem { left: 0, right: 0 }));
+        assert!(!hypothesis.selects(&PairItem { left: 1, right: 1 }));
+        assert!(hypothesis.describe().contains("l.id = r.ref"));
+    }
+
+    #[test]
+    fn path_adapter_learns_and_classifies() {
+        let learner = PathLearner;
+        let positives = vec![
+            PathItem { word: vec!["highway".into(), "highway".into()] },
+            PathItem { word: vec!["highway".into()] },
+        ];
+        let negatives = vec![PathItem { word: vec!["local".into()] }];
+        let hypothesis = learner.learn(&positives, &negatives).expect("consistent");
+        assert!(hypothesis.selects(&positives[0]));
+        assert!(!hypothesis.selects(&negatives[0]));
+    }
+
+    #[test]
+    fn compare_hypotheses_builds_a_confusion_matrix() {
+        let learner = PathLearner;
+        let goal = learner
+            .learn(&[PathItem { word: vec!["highway".into()] }], &[])
+            .unwrap();
+        let learned = learner
+            .learn(&[PathItem { word: vec!["highway".into()] }, PathItem { word: vec!["local".into()] }], &[])
+            .unwrap();
+        let items = vec![
+            PathItem { word: vec!["highway".into()] },
+            PathItem { word: vec!["local".into()] },
+            PathItem { word: vec!["ferry".into()] },
+        ];
+        let m = compare_hypotheses(&goal, &learned, items);
+        assert_eq!(m.true_positives, 1);
+        assert!(m.false_positives >= 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # qbe-core — the cross-model query-learning framework
+//!
+//! This crate is the umbrella of the `qbe` workspace, a reproduction of *"Learning Queries for
+//! Relational, Semi-structured, and Graph Databases"* (Ciucanu, SIGMOD/PODS 2013 PhD Symposium).
+//! It ties the three model-specific learners together under one vocabulary and re-exports the
+//! substrates so that applications (the runnable examples, the cross-model exchange scenarios,
+//! the benchmarks) can depend on a single crate.
+//!
+//! * [`framework`] — the [`Hypothesis`]/[`Learner`] traits and the adapters binding them to twig
+//!   queries, join predicates and path queries;
+//! * [`oracle`] — oracles (simulated users) and a generic interactive driver that minimises the
+//!   number of questions by skipping determined items;
+//! * [`metrics`] — confusion-matrix quality metrics shared by all experiments;
+//! * re-exports: [`xml`], [`schema`], [`twig`], [`relational`], [`graph`], [`exchange`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qbe_core::twig::{learn_from_positives, select};
+//! use qbe_core::xml::parse_xml;
+//!
+//! // A document and two nodes the user wants ("give me the names of people").
+//! let doc = parse_xml("<site><people><person><name>Ada</name></person>\
+//!                      <person><name>Grace</name></person></people></site>").unwrap();
+//! let wanted = doc.nodes_with_label("name");
+//! let examples: Vec<_> = wanted.iter().map(|&n| (&doc, n)).collect();
+//!
+//! // Learn an XPath-like twig query from the examples and run it.
+//! let query = learn_from_positives(&examples).unwrap();
+//! assert_eq!(select(&query, &doc).len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod metrics;
+pub mod oracle;
+
+pub use framework::{
+    compare_hypotheses, BoundJoinQuery, BoundPathQuery, BoundTwigQuery, Hypothesis, JoinLearner,
+    Learner, PairItem, PathItem, PathLearner, TwigLearner, XmlItem,
+};
+pub use metrics::ConfusionMatrix;
+pub use oracle::{run_interactive, GoalOracle, InteractiveOutcome, Oracle};
+
+/// Re-export of the XML substrate (`qbe-xml`).
+pub use qbe_xml as xml;
+
+/// Re-export of the schema formalisms (`qbe-schema`).
+pub use qbe_schema as schema;
+
+/// Re-export of twig queries and their learners (`qbe-twig`).
+pub use qbe_twig as twig;
+
+/// Re-export of the relational substrate and join learners (`qbe-relational`).
+pub use qbe_relational as relational;
+
+/// Re-export of the graph substrate and path learners (`qbe-graph`).
+pub use qbe_graph as graph;
+
+/// Re-export of the cross-model exchange scenarios (`qbe-exchange`).
+pub use qbe_exchange as exchange;

@@ -1,0 +1,151 @@
+//! Model-agnostic quality metrics for learned queries.
+//!
+//! Every learner in the workspace (twig, join, semijoin, path) classifies *items* (XML nodes,
+//! tuple pairs, tuples, paths) as selected or not; comparing the learned query against the goal
+//! query on a set of items therefore always reduces to a confusion matrix.
+
+use std::fmt;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Items selected by both the learned and the goal query.
+    pub true_positives: usize,
+    /// Items selected by the learned query but not by the goal.
+    pub false_positives: usize,
+    /// Items selected by the goal but missed by the learned query.
+    pub false_negatives: usize,
+    /// Items selected by neither.
+    pub true_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Record one item.
+    pub fn record(&mut self, goal_selects: bool, learned_selects: bool) {
+        match (goal_selects, learned_selects) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Build a matrix by comparing two predicates over a set of items.
+    pub fn compare<I>(
+        items: impl IntoIterator<Item = I>,
+        goal: impl Fn(&I) -> bool,
+        learned: impl Fn(&I) -> bool,
+    ) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for item in items {
+            m.record(goal(&item), learned(&item));
+        }
+        m
+    }
+
+    /// Total number of recorded items.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+
+    /// Precision (1.0 when nothing was selected).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall (1.0 when the goal selects nothing).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Error rate.
+    pub fn error(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.false_positives + self.false_negatives) as f64 / self.total() as f64
+        }
+    }
+
+    /// Whether the learned query is semantically identical to the goal on the compared items.
+    pub fn is_exact(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precision {:.3}, recall {:.3}, F1 {:.3} ({} items)",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_exact() {
+        let m = ConfusionMatrix::compare(0..100, |i| i % 3 == 0, |i| i % 3 == 0);
+        assert!(m.is_exact());
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.error(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_selections_have_zero_f1() {
+        let m = ConfusionMatrix::compare(0..10, |i| *i < 5, |i| *i >= 5);
+        assert_eq!(m.true_positives, 0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.error(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_metrics() {
+        // goal: 0..6 (6 items), learned: 3..9 (6 items), overlap 3..6 (3 items) of 0..10.
+        let m = ConfusionMatrix::compare(0..10, |i| *i < 6, |i| *i >= 3 && *i < 9);
+        assert_eq!(m.true_positives, 3);
+        assert_eq!(m.false_positives, 3);
+        assert_eq!(m.false_negatives, 3);
+        assert_eq!(m.true_negatives, 1);
+        assert!((m.precision() - 0.5).abs() < 1e-9);
+        assert!((m.recall() - 0.5).abs() < 1e-9);
+        assert!(!m.is_exact());
+    }
+
+    #[test]
+    fn empty_comparison_is_vacuously_perfect() {
+        let m = ConfusionMatrix::compare(std::iter::empty::<u32>(), |_| true, |_| false);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.error(), 0.0);
+    }
+}

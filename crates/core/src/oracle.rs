@@ -1,0 +1,179 @@
+//! Oracles and interactive sessions in the model-agnostic vocabulary.
+//!
+//! The paper's protocol is the same for every data model: the learner proposes an item, the user
+//! (oracle) labels it, the learner prunes the items whose label has become determined, and the
+//! loop stops when nothing informative remains. The model-specific crates implement specialised,
+//! more efficient versions of this loop (`qbe_relational::interactive`,
+//! `qbe_graph::interactive`); this module provides the generic counterpart used by the examples
+//! and by the cross-model experiments, built directly on the [`Learner`](crate::framework::Learner)
+//! trait with an explicit (finite) pool of candidate items.
+
+use crate::framework::{Hypothesis, Learner};
+
+/// Labels items on request; counts the questions it has been asked.
+pub trait Oracle<Item> {
+    /// Label an item (`true` = positive).
+    fn label(&mut self, item: &Item) -> bool;
+
+    /// Number of questions answered so far.
+    fn questions(&self) -> usize;
+}
+
+/// An oracle backed by a goal [`Hypothesis`] — the simulated user of every experiment.
+#[derive(Debug, Clone)]
+pub struct GoalOracle<H> {
+    goal: H,
+    questions: usize,
+}
+
+impl<H> GoalOracle<H> {
+    /// Create the oracle.
+    pub fn new(goal: H) -> GoalOracle<H> {
+        GoalOracle { goal, questions: 0 }
+    }
+
+    /// The hidden goal.
+    pub fn goal(&self) -> &H {
+        &self.goal
+    }
+}
+
+impl<H: Hypothesis> Oracle<H::Item> for GoalOracle<H> {
+    fn label(&mut self, item: &H::Item) -> bool {
+        self.questions += 1;
+        self.goal.selects(item)
+    }
+
+    fn questions(&self) -> usize {
+        self.questions
+    }
+}
+
+/// Outcome of a generic interactive session.
+#[derive(Debug, Clone)]
+pub struct InteractiveOutcome<Q> {
+    /// The final hypothesis (None when the labels became inconsistent for the class).
+    pub hypothesis: Option<Q>,
+    /// How many labels were requested from the oracle.
+    pub interactions: usize,
+    /// How many pool items were never asked about.
+    pub skipped: usize,
+}
+
+/// Generic interactive driver over a finite pool of candidate items.
+///
+/// The driver asks about pool items in order, but skips any item whose label is already
+/// *determined*: the current hypothesis and the hypothesis learned from the opposite label
+/// agree on it, or the opposite label would make the examples inconsistent. This realises the
+/// paper's "uninformative tuple" pruning in a model-independent (if less optimised) way.
+pub fn run_interactive<L, O>(
+    learner: &L,
+    pool: &[L::Item],
+    oracle: &mut O,
+) -> InteractiveOutcome<L::Query>
+where
+    L: Learner,
+    L::Item: Clone,
+    O: Oracle<L::Item>,
+{
+    let mut positives: Vec<L::Item> = Vec::new();
+    let mut negatives: Vec<L::Item> = Vec::new();
+    let mut interactions = 0usize;
+    let mut skipped = 0usize;
+    for item in pool {
+        // Would either answer change anything? Learn under both tentative labels.
+        let mut with_pos = positives.clone();
+        with_pos.push(item.clone());
+        let hyp_if_positive = learner.learn(&with_pos, &negatives);
+        let mut with_neg = negatives.clone();
+        with_neg.push(item.clone());
+        let hyp_if_negative = learner.learn(&positives, &with_neg);
+        let informative = match (&hyp_if_positive, &hyp_if_negative) {
+            // Both labels keep the examples consistent: the item is informative iff the two
+            // resulting hypotheses disagree on it.
+            (Some(p), Some(n)) => p.selects(item) != n.selects(item),
+            // Only one label is possible: the answer is forced, no need to ask.
+            _ => false,
+        };
+        if !informative {
+            skipped += 1;
+            // Record the forced label silently so later inferences can use it.
+            match (&hyp_if_positive, &hyp_if_negative) {
+                (Some(_), None) => positives.push(item.clone()),
+                (None, Some(_)) => negatives.push(item.clone()),
+                _ => {}
+            }
+            continue;
+        }
+        interactions += 1;
+        if oracle.label(item) {
+            positives.push(item.clone());
+        } else {
+            negatives.push(item.clone());
+        }
+    }
+    InteractiveOutcome {
+        hypothesis: learner.learn(&positives, &negatives),
+        interactions,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{BoundPathQuery, PathItem, PathLearner};
+
+    fn item(word: &[&str]) -> PathItem {
+        PathItem { word: word.iter().map(|s| s.to_string()).collect() }
+    }
+
+    fn goal() -> BoundPathQuery {
+        let q = qbe_graph::learn_path_query(&[
+            vec!["highway".to_string()],
+            vec!["highway".to_string(), "highway".to_string()],
+        ])
+        .unwrap();
+        BoundPathQuery { query: q }
+    }
+
+    #[test]
+    fn goal_oracle_counts_questions() {
+        let mut oracle = GoalOracle::new(goal());
+        assert!(oracle.label(&item(&["highway"])));
+        assert!(!oracle.label(&item(&["local"])));
+        assert_eq!(oracle.questions(), 2);
+    }
+
+    #[test]
+    fn interactive_driver_learns_the_goal_and_skips_determined_items() {
+        let pool = vec![
+            item(&["highway"]),
+            item(&["highway", "highway"]),
+            item(&["highway", "highway", "highway"]),
+            item(&["local"]),
+            item(&["highway", "local"]),
+        ];
+        let learner = PathLearner;
+        let mut oracle = GoalOracle::new(goal());
+        let outcome = run_interactive(&learner, &pool, &mut oracle);
+        let hypothesis = outcome.hypothesis.expect("labels are consistent");
+        // The learned query agrees with the goal on the whole pool.
+        for p in &pool {
+            assert_eq!(hypothesis.selects(p), goal().selects(p));
+        }
+        assert_eq!(outcome.interactions + outcome.skipped, pool.len());
+        assert_eq!(oracle.questions(), outcome.interactions);
+    }
+
+    #[test]
+    fn driver_reports_inconsistency_as_none_only_when_forced() {
+        // A pool of identical items cannot be inconsistent with a noise-free oracle.
+        let pool = vec![item(&["highway"]); 3];
+        let learner = PathLearner;
+        let mut oracle = GoalOracle::new(goal());
+        let outcome = run_interactive(&learner, &pool, &mut oracle);
+        assert!(outcome.hypothesis.is_some());
+        assert!(outcome.interactions <= 1, "identical items should be asked about at most once");
+    }
+}

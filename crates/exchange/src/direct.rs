@@ -1,0 +1,250 @@
+//! Direct relational↔graph exchange — the pair of heterogeneous models the paper points at
+//! beyond Figure 1 ("Other pairs of heterogeneous data models are worth investigating (i.e.,
+//! relational-to-graph), also due to the appearance of interoperability scenarios in the
+//! Semantic Web").
+//!
+//! As in [`crate::scenarios`], each direction has an expert entry point taking an explicit
+//! source query and a `learned_*` variant where the source query is inferred from a simulated
+//! non-expert user.
+
+use std::collections::BTreeMap;
+
+use crate::mapping::{ExchangeReport, Scenario};
+use qbe_graph::{PathConstraint, PropertyGraph};
+use qbe_relational::{equi_join, JoinPredicate, Relation, RelationSchema, Tuple, Value};
+
+/// Publish the result of a relational join directly into a property graph.
+///
+/// Every left tuple and every right tuple participating in the join becomes a node labelled with
+/// its relation's name and carrying one property per attribute; every joined pair becomes an
+/// edge labelled `joins` from the left node to the right node.
+pub fn publish_relational_to_graph(
+    left: &Relation,
+    right: &Relation,
+    predicate: &JoinPredicate,
+) -> (PropertyGraph, ExchangeReport) {
+    let joined = equi_join(left, right, predicate);
+    let mut graph = PropertyGraph::new();
+    let mut left_nodes: BTreeMap<usize, qbe_graph::GNodeId> = BTreeMap::new();
+    let mut right_nodes: BTreeMap<usize, qbe_graph::GNodeId> = BTreeMap::new();
+    let mut edges = 0usize;
+    for (l_ix, l) in left.tuples().iter().enumerate() {
+        for (r_ix, r) in right.tuples().iter().enumerate() {
+            if !predicate.satisfied_by(l, r) {
+                continue;
+            }
+            let l_node = *left_nodes.entry(l_ix).or_insert_with(|| {
+                let node = graph.add_node(left.schema().name());
+                for (attribute, value) in left.schema().attributes().iter().zip(l.values()) {
+                    graph.set_node_property(node, attribute.as_str(), value.to_string().as_str());
+                }
+                node
+            });
+            let r_node = *right_nodes.entry(r_ix).or_insert_with(|| {
+                let node = graph.add_node(right.schema().name());
+                for (attribute, value) in right.schema().attributes().iter().zip(r.values()) {
+                    graph.set_node_property(node, attribute.as_str(), value.to_string().as_str());
+                }
+                node
+            });
+            graph.add_edge(l_node, r_node, "joins");
+            edges += 1;
+        }
+    }
+    let report = ExchangeReport {
+        scenario: Scenario::RelationalToGraph,
+        source_query: predicate.describe(left.schema(), right.schema()),
+        extracted_items: joined.len(),
+        produced_items: graph.node_count() + edges,
+    };
+    (graph, report)
+}
+
+/// Learned variant of [`publish_relational_to_graph`]: the join predicate is learned
+/// interactively from a simulated user who has the `goal` join in mind.
+pub fn learned_publish_relational_to_graph(
+    left: &Relation,
+    right: &Relation,
+    goal: &JoinPredicate,
+    seed: u64,
+) -> (PropertyGraph, ExchangeReport) {
+    let outcome = qbe_relational::interactive_learn(
+        left,
+        right,
+        goal,
+        qbe_relational::Strategy::MostSpecificFirst,
+        seed,
+    );
+    publish_relational_to_graph(left, right, &outcome.predicate)
+}
+
+/// Shred the paths accepted by a (learned) path constraint into a relational table of steps.
+///
+/// The produced relation has one row per edge of every accepted path:
+/// `(path, step, from, to, road, distance)`.
+pub fn shred_graph_to_relational(
+    graph: &PropertyGraph,
+    paths: &[qbe_graph::Path],
+    constraint: &PathConstraint,
+    relation_name: &str,
+) -> (Relation, ExchangeReport) {
+    let schema =
+        RelationSchema::new(relation_name, &["path", "step", "from", "to", "road", "distance"]);
+    let mut relation = Relation::new(schema);
+    for (path_ix, path) in paths.iter().enumerate() {
+        for (step_ix, &edge) in path.edges.iter().enumerate() {
+            let road = graph
+                .edge_property(edge, "type")
+                .and_then(|p| p.as_text().map(str::to_string))
+                .map(Value::Text)
+                .unwrap_or(Value::Null);
+            let distance = graph
+                .edge_property(edge, "distance")
+                .and_then(|p| p.as_number())
+                .map(|d| Value::Int(d.round() as i64))
+                .unwrap_or(Value::Null);
+            relation.insert(Tuple::new(vec![
+                Value::Int(path_ix as i64),
+                Value::Int(step_ix as i64),
+                Value::text(graph.display_name(graph.source(edge))),
+                Value::text(graph.display_name(graph.target(edge))),
+                road,
+                distance,
+            ]));
+        }
+    }
+    let report = ExchangeReport {
+        scenario: Scenario::GraphToRelational,
+        source_query: constraint.describe(graph),
+        extracted_items: paths.len(),
+        produced_items: relation.len(),
+    };
+    (relation, report)
+}
+
+/// Learned variant of [`shred_graph_to_relational`]: the path constraint is learned
+/// interactively between the two endpoints, then its accepted paths are shredded.
+pub fn learned_shred_graph_to_relational(
+    graph: &PropertyGraph,
+    from: qbe_graph::GNodeId,
+    to: qbe_graph::GNodeId,
+    goal: &PathConstraint,
+    relation_name: &str,
+    seed: u64,
+) -> (Relation, ExchangeReport) {
+    let outcome = qbe_graph::interactive_path_learn(
+        graph,
+        from,
+        to,
+        goal,
+        qbe_graph::PathStrategy::Halving,
+        Vec::new(),
+        seed,
+    );
+    shred_graph_to_relational(graph, &outcome.accepted_paths, &outcome.learned, relation_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_graph::{generate_geo_graph, GeoConfig, PathStrategy};
+    use qbe_relational::customers_orders_database;
+
+    fn customers_and_orders() -> (Relation, Relation, JoinPredicate) {
+        let db = customers_orders_database(4, 2, 3);
+        let customers = db.relation("customers").unwrap().clone();
+        let orders = db.relation("orders").unwrap().clone();
+        let predicate =
+            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+                .unwrap();
+        (customers, orders, predicate)
+    }
+
+    #[test]
+    fn relational_to_graph_builds_one_edge_per_join_pair() {
+        let (customers, orders, predicate) = customers_and_orders();
+        let (graph, report) = publish_relational_to_graph(&customers, &orders, &predicate);
+        assert_eq!(report.scenario, Scenario::RelationalToGraph);
+        assert_eq!(report.extracted_items, 8, "4 customers × 2 orders each");
+        assert_eq!(graph.edge_count(), 8);
+        // Each participating tuple becomes exactly one node.
+        assert_eq!(graph.node_count(), 4 + 8);
+        // Node properties carry the attribute values.
+        let customer_nodes = graph.nodes_with_label("customers");
+        assert_eq!(customer_nodes.len(), 4);
+        assert!(graph.node_property(customer_nodes[0], "name").is_some());
+    }
+
+    #[test]
+    fn learned_relational_to_graph_matches_expert_result() {
+        let (customers, orders, goal) = customers_and_orders();
+        let (expert, _) = publish_relational_to_graph(&customers, &orders, &goal);
+        let (learned, report) =
+            learned_publish_relational_to_graph(&customers, &orders, &goal, 17);
+        assert_eq!(expert.edge_count(), learned.edge_count());
+        assert_eq!(expert.node_count(), learned.node_count());
+        assert!(report.source_query.contains("cid"));
+    }
+
+    #[test]
+    fn graph_to_relational_produces_one_row_per_step() {
+        let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        let from = graph.find_node_by_property("name", "city0").unwrap();
+        let to = graph.find_node_by_property("name", "city5").unwrap();
+        let goal = PathConstraint::any();
+        let outcome = qbe_graph::interactive_path_learn(
+            &graph,
+            from,
+            to,
+            &goal,
+            PathStrategy::ShortestFirst,
+            vec![],
+            5,
+        );
+        let (relation, report) = shred_graph_to_relational(
+            &graph,
+            &outcome.accepted_paths,
+            &outcome.learned,
+            "itinerary_steps",
+        );
+        let steps: usize = outcome.accepted_paths.iter().map(|p| p.edges.len()).sum();
+        assert_eq!(relation.len(), steps);
+        assert_eq!(report.produced_items, steps);
+        assert_eq!(relation.schema().arity(), 6);
+    }
+
+    #[test]
+    fn learned_graph_to_relational_only_keeps_goal_paths() {
+        let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        let from = graph.find_node_by_property("name", "city0").unwrap();
+        let to = graph.find_node_by_property("name", "city5").unwrap();
+        let goal = PathConstraint {
+            road_type: Some("highway".to_string()),
+            max_distance: None,
+            via: None,
+        };
+        let (relation, report) =
+            learned_shred_graph_to_relational(&graph, from, to, &goal, "highway_steps", 5);
+        assert_eq!(report.scenario, Scenario::GraphToRelational);
+        // Every produced step is a highway step (the learned constraint filters the paths).
+        for t in relation.tuples() {
+            assert_eq!(relation.value(t, "road"), Some(&Value::text("highway")));
+        }
+    }
+
+    #[test]
+    fn empty_join_produces_empty_graph() {
+        let (customers, _, _) = customers_and_orders();
+        let empty_orders = Relation::new(RelationSchema::new("orders", &["oid", "cid"]));
+        let predicate = JoinPredicate::from_names(
+            customers.schema(),
+            empty_orders.schema(),
+            &[("cid", "cid")],
+        )
+        .unwrap();
+        let (graph, report) =
+            publish_relational_to_graph(&customers, &empty_orders, &predicate);
+        assert_eq!(graph.node_count(), 0);
+        assert_eq!(report.extracted_items, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # qbe-exchange — cross-model data exchange driven by learned queries
+//!
+//! The application that motivates the whole thesis (Figure 1 of the paper): exchanging data
+//! between relational, XML and graph databases, where the *source query* of each mapping is not
+//! written by an expert but learned from examples given by a non-expert user.
+//!
+//! * [`mapping`] — scenarios, data models, and exchange reports;
+//! * [`scenarios`] — the four concrete pipelines of Figure 1: relational→XML publishing,
+//!   XML→relational shredding, XML→graph (RDF) shredding, and graph→XML publishing, each with an
+//!   expert-query and a learned-query variant;
+//! * [`direct`] — the relational↔graph pair the paper mentions beyond the figure
+//!   ("relational-to-graph" interoperability), in both directions.
+
+#![warn(missing_docs)]
+
+pub mod direct;
+pub mod mapping;
+pub mod scenarios;
+
+pub use direct::{
+    learned_publish_relational_to_graph, learned_shred_graph_to_relational,
+    publish_relational_to_graph, shred_graph_to_relational,
+};
+pub use mapping::{DataModel, ExchangeReport, Scenario};
+pub use scenarios::{
+    learned_publish_relational_to_xml, learned_shred_xml_to_relational, publish_graph_to_xml,
+    publish_relational_to_xml, shred_xml_to_graph, shred_xml_to_relational,
+};

@@ -1,0 +1,166 @@
+//! Cross-model mappings: a learned *source query* paired with a *target constructor*.
+//!
+//! The paper frames cross-model data exchange in two phases: (1) a query over the source
+//! database extracts the data to exchange — this is the query the learning algorithms infer from
+//! the non-expert user's examples — and (2) a constructor incorporates the extracted data into
+//! the target database. This module defines the mapping envelope shared by the four scenarios of
+//! Figure 1 and a small report type describing an executed exchange.
+
+use std::fmt;
+
+/// The data models involved in an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataModel {
+    /// Relational tables.
+    Relational,
+    /// Semi-structured (XML) documents.
+    Xml,
+    /// Graph (RDF-style) data.
+    Graph,
+}
+
+impl fmt::Display for DataModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataModel::Relational => write!(f, "relational"),
+            DataModel::Xml => write!(f, "XML"),
+            DataModel::Graph => write!(f, "graph"),
+        }
+    }
+}
+
+/// The four scenarios of Figure 1, plus the direct relational↔graph exchanges the paper singles
+/// out as "worth investigating (i.e., relational-to-graph)" without drawing them in the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// 1 — publishing relational data as XML.
+    RelationalToXml,
+    /// 2 — shredding XML into a relational database.
+    XmlToRelational,
+    /// 3 — shredding XML into a graph (RDF) database.
+    XmlToGraph,
+    /// 4 — publishing graph data as XML.
+    GraphToXml,
+    /// Beyond Figure 1: publishing relational data directly into a graph database.
+    RelationalToGraph,
+    /// Beyond Figure 1: shredding graph data directly into a relational database.
+    GraphToRelational,
+}
+
+impl Scenario {
+    /// Source data model.
+    pub fn source(self) -> DataModel {
+        match self {
+            Scenario::RelationalToXml | Scenario::RelationalToGraph => DataModel::Relational,
+            Scenario::XmlToRelational | Scenario::XmlToGraph => DataModel::Xml,
+            Scenario::GraphToXml | Scenario::GraphToRelational => DataModel::Graph,
+        }
+    }
+
+    /// Target data model.
+    pub fn target(self) -> DataModel {
+        match self {
+            Scenario::RelationalToXml | Scenario::GraphToXml => DataModel::Xml,
+            Scenario::XmlToRelational | Scenario::GraphToRelational => DataModel::Relational,
+            Scenario::XmlToGraph | Scenario::RelationalToGraph => DataModel::Graph,
+        }
+    }
+
+    /// The paper's name for the exchange direction.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Scenario::RelationalToXml | Scenario::GraphToXml | Scenario::RelationalToGraph => {
+                "publishing"
+            }
+            Scenario::XmlToRelational | Scenario::XmlToGraph | Scenario::GraphToRelational => {
+                "shredding"
+            }
+        }
+    }
+
+    /// The four scenarios of Figure 1, in the figure's order.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::RelationalToXml,
+            Scenario::XmlToRelational,
+            Scenario::XmlToGraph,
+            Scenario::GraphToXml,
+        ]
+    }
+
+    /// Every implemented scenario: Figure 1 plus the direct relational↔graph pair.
+    pub fn extended() -> [Scenario; 6] {
+        [
+            Scenario::RelationalToXml,
+            Scenario::XmlToRelational,
+            Scenario::XmlToGraph,
+            Scenario::GraphToXml,
+            Scenario::RelationalToGraph,
+            Scenario::GraphToRelational,
+        ]
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} → {}", self.kind(), self.source(), self.target())
+    }
+}
+
+/// Report of one executed exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangeReport {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// Textual form of the learned source query.
+    pub source_query: String,
+    /// How many source items the query extracted.
+    pub extracted_items: usize,
+    /// How many target objects (elements, tuples, triples) were produced.
+    pub produced_items: usize,
+}
+
+impl fmt::Display for ExchangeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] query `{}` extracted {} items, produced {} target objects",
+            self.scenario, self.source_query, self.extracted_items, self.produced_items
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_figure_one() {
+        assert_eq!(Scenario::RelationalToXml.kind(), "publishing");
+        assert_eq!(Scenario::XmlToRelational.kind(), "shredding");
+        assert_eq!(Scenario::XmlToGraph.kind(), "shredding");
+        assert_eq!(Scenario::GraphToXml.kind(), "publishing");
+        assert_eq!(Scenario::all().len(), 4);
+    }
+
+    #[test]
+    fn sources_and_targets_are_correct() {
+        assert_eq!(Scenario::RelationalToXml.source(), DataModel::Relational);
+        assert_eq!(Scenario::RelationalToXml.target(), DataModel::Xml);
+        assert_eq!(Scenario::XmlToGraph.target(), DataModel::Graph);
+        assert_eq!(Scenario::GraphToXml.source(), DataModel::Graph);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let report = ExchangeReport {
+            scenario: Scenario::XmlToRelational,
+            source_query: "//person/name".to_string(),
+            extracted_items: 10,
+            produced_items: 10,
+        };
+        let text = report.to_string();
+        assert!(text.contains("shredding XML → relational"));
+        assert!(text.contains("//person/name"));
+    }
+}

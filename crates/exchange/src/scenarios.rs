@@ -1,0 +1,305 @@
+//! The four cross-model data-exchange scenarios of Figure 1, driven by learned source queries.
+//!
+//! Each scenario has two entry points: a `*_with_query` function taking an explicit source query
+//! (what an expert user would write) and a `learned_*` variant where the source query is first
+//! inferred from user examples by the corresponding learner — the paper's point being that the
+//! expert can be replaced by a learning algorithm trained by a non-expert.
+
+use crate::mapping::{ExchangeReport, Scenario};
+use qbe_graph::{PathConstraint, PropertyGraph};
+use qbe_relational::{equi_join, JoinPredicate, Relation, RelationSchema, Tuple, Value};
+use qbe_twig::{select, TwigQuery};
+use qbe_xml::{NodeId, XmlTree};
+
+/// Scenario 1 — publish the result of a relational join as an XML document.
+///
+/// The join result is nested under a root element; each result tuple becomes a `row` element
+/// whose children are named after the joined schema's attributes (dots become dashes so the
+/// names stay XML-friendly).
+pub fn publish_relational_to_xml(
+    left: &Relation,
+    right: &Relation,
+    predicate: &JoinPredicate,
+    root_label: &str,
+) -> (XmlTree, ExchangeReport) {
+    let joined = equi_join(left, right, predicate);
+    let mut doc = XmlTree::new(root_label);
+    for tuple in joined.tuples() {
+        let row = doc.add_child(XmlTree::ROOT, "row");
+        for (attribute, value) in joined.schema().attributes().iter().zip(tuple.values()) {
+            let field = doc.add_child(row, attribute.replace('.', "-"));
+            doc.set_text(field, value.to_string());
+        }
+    }
+    let report = ExchangeReport {
+        scenario: Scenario::RelationalToXml,
+        source_query: predicate.describe(left.schema(), right.schema()),
+        extracted_items: joined.len(),
+        produced_items: doc.nodes_with_label("row").len(),
+    };
+    (doc, report)
+}
+
+/// Scenario 1, learned variant: the join predicate is learned interactively from a simulated
+/// user who has the `goal` join in mind.
+pub fn learned_publish_relational_to_xml(
+    left: &Relation,
+    right: &Relation,
+    goal: &JoinPredicate,
+    root_label: &str,
+    seed: u64,
+) -> (XmlTree, ExchangeReport) {
+    let outcome = qbe_relational::interactive_learn(
+        left,
+        right,
+        goal,
+        qbe_relational::Strategy::MostSpecificFirst,
+        seed,
+    );
+    publish_relational_to_xml(left, right, &outcome.predicate, root_label)
+}
+
+/// Scenario 2 — shred the nodes selected by a twig query into a single-column relation
+/// (node text content, or the concatenated text of the subtree when the node itself has none).
+pub fn shred_xml_to_relational(
+    doc: &XmlTree,
+    query: &TwigQuery,
+    relation_name: &str,
+) -> (Relation, ExchangeReport) {
+    let selected = select(query, doc);
+    let schema = RelationSchema::new(relation_name, &["node", "path", "value"]);
+    let mut relation = Relation::new(schema);
+    for node in &selected {
+        relation.insert(Tuple::new(vec![
+            Value::Int(node.index() as i64),
+            Value::text(doc.label_path(*node).join("/")),
+            Value::text(node_value(doc, *node)),
+        ]));
+    }
+    let report = ExchangeReport {
+        scenario: Scenario::XmlToRelational,
+        source_query: query.to_xpath(),
+        extracted_items: selected.len(),
+        produced_items: relation.len(),
+    };
+    (relation, report)
+}
+
+/// Scenario 2, learned variant: the twig query is learned from annotated example nodes.
+pub fn learned_shred_xml_to_relational(
+    doc: &XmlTree,
+    annotated: &[NodeId],
+    relation_name: &str,
+) -> Result<(Relation, ExchangeReport), qbe_twig::TwigLearnError> {
+    let examples: Vec<(&XmlTree, NodeId)> = annotated.iter().map(|&n| (doc, n)).collect();
+    let query = qbe_twig::learn_from_positives(&examples)?;
+    Ok(shred_xml_to_relational(doc, &query, relation_name))
+}
+
+/// Scenario 3 — shred the nodes selected by a twig query into an RDF-style graph: each selected
+/// node becomes a resource linked to its parent resource by a `child_of` edge and annotated with
+/// its label and text value.
+pub fn shred_xml_to_graph(doc: &XmlTree, query: &TwigQuery) -> (PropertyGraph, ExchangeReport) {
+    let selected = select(query, doc);
+    let mut graph = PropertyGraph::new();
+    let mut node_of = std::collections::BTreeMap::new();
+    for &xml_node in &selected {
+        let g = graph.add_node(doc.label(xml_node));
+        graph.set_node_property(g, "name", format!("{}#{}", doc.label(xml_node), xml_node.index()).as_str());
+        graph.set_node_property(g, "value", node_value(doc, xml_node).as_str());
+        node_of.insert(xml_node, g);
+    }
+    // Link each selected node to its closest selected ancestor, mirroring the document shape.
+    for &xml_node in &selected {
+        let mut ancestor = doc.parent(xml_node);
+        while let Some(a) = ancestor {
+            if let Some(&target) = node_of.get(&a) {
+                graph.add_edge(node_of[&xml_node], target, "child_of");
+                break;
+            }
+            ancestor = doc.parent(a);
+        }
+    }
+    let report = ExchangeReport {
+        scenario: Scenario::XmlToGraph,
+        source_query: query.to_xpath(),
+        extracted_items: selected.len(),
+        produced_items: graph.node_count() + graph.edge_count(),
+    };
+    (graph, report)
+}
+
+/// Scenario 4 — publish the paths accepted by a learned path constraint as an XML itinerary
+/// document: one `path` element per accepted path, with `step` children carrying the road type
+/// and distance, ready to be inserted into an XML store.
+pub fn publish_graph_to_xml(
+    graph: &PropertyGraph,
+    paths: &[qbe_graph::Path],
+    constraint: &PathConstraint,
+) -> (XmlTree, ExchangeReport) {
+    let mut doc = XmlTree::new("itineraries");
+    for path in paths {
+        let path_el = doc.add_child(XmlTree::ROOT, "path");
+        if let Some((from, to)) = path.endpoints(graph) {
+            doc.set_attribute(path_el, "from", graph.display_name(from));
+            doc.set_attribute(path_el, "to", graph.display_name(to));
+        }
+        doc.set_attribute(path_el, "distance", format!("{:.1}", path.total_distance(graph)));
+        for &edge in &path.edges {
+            let step = doc.add_child(path_el, "step");
+            doc.set_attribute(step, "to", graph.display_name(graph.target(edge)));
+            if let Some(kind) = graph.edge_property(edge, "type") {
+                doc.set_attribute(step, "road", kind.to_string());
+            }
+            if let Some(d) = graph.edge_property(edge, "distance") {
+                doc.set_attribute(step, "distance", d.to_string());
+            }
+        }
+    }
+    let report = ExchangeReport {
+        scenario: Scenario::GraphToXml,
+        source_query: constraint.describe(graph),
+        extracted_items: paths.len(),
+        produced_items: doc.nodes_with_label("path").len(),
+    };
+    (doc, report)
+}
+
+/// Text value of a node: its own text, or the concatenated text of its subtree.
+fn node_value(doc: &XmlTree, node: NodeId) -> String {
+    if let Some(t) = doc.text(node) {
+        if !t.is_empty() {
+            return t.to_string();
+        }
+    }
+    let mut parts = Vec::new();
+    for d in doc.descendants(node) {
+        if let Some(t) = doc.text(d) {
+            if !t.is_empty() {
+                parts.push(t.to_string());
+            }
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_graph::{generate_geo_graph, interactive_path_learn, GeoConfig, PathStrategy};
+    use qbe_relational::{customers_orders_database, Instance};
+    use qbe_twig::parse_xpath;
+    use qbe_xml::xmark::{generate, XmarkConfig};
+
+    fn db() -> Instance {
+        customers_orders_database(4, 2, 7)
+    }
+
+    #[test]
+    fn scenario1_publishes_join_result_as_xml() {
+        let db = db();
+        let customers = db.relation("customers").unwrap();
+        let orders = db.relation("orders").unwrap();
+        let predicate =
+            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+        let (doc, report) = publish_relational_to_xml(customers, orders, &predicate, "sales");
+        assert_eq!(doc.label(XmlTree::ROOT), "sales");
+        assert_eq!(report.extracted_items, 8);
+        assert_eq!(doc.nodes_with_label("row").len(), 8);
+        assert!(!doc.nodes_with_label("customers-name").is_empty());
+    }
+
+    #[test]
+    fn scenario1_learned_variant_matches_expert_variant() {
+        let db = db();
+        let customers = db.relation("customers").unwrap();
+        let orders = db.relation("orders").unwrap();
+        let goal =
+            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+        let (expert_doc, _) = publish_relational_to_xml(customers, orders, &goal, "sales");
+        let (learned_doc, report) =
+            learned_publish_relational_to_xml(customers, orders, &goal, "sales", 11);
+        assert_eq!(expert_doc.nodes_with_label("row").len(), learned_doc.nodes_with_label("row").len());
+        assert_eq!(report.scenario, Scenario::RelationalToXml);
+    }
+
+    #[test]
+    fn scenario2_shreds_selected_nodes_into_tuples() {
+        let doc = generate(&XmarkConfig::new(0.02, 3));
+        let query = parse_xpath("/site/people/person/name").unwrap();
+        let (relation, report) = shred_xml_to_relational(&doc, &query, "person_names");
+        assert_eq!(relation.len(), report.extracted_items);
+        assert!(relation.len() > 0);
+        // Every produced tuple carries the full label path of its source node.
+        for t in relation.tuples() {
+            assert_eq!(t.get(1), &Value::text("site/people/person/name"));
+        }
+    }
+
+    #[test]
+    fn scenario2_learned_variant_from_annotations() {
+        let doc = generate(&XmarkConfig::new(0.02, 5));
+        let names = doc.nodes_with_label("name");
+        // Annotate two person names (the goal the simulated user has in mind).
+        let persons = doc.nodes_with_label("person");
+        let person_names: Vec<NodeId> = names
+            .iter()
+            .copied()
+            .filter(|n| persons.contains(&doc.parent(*n).unwrap()))
+            .take(2)
+            .collect();
+        let (relation, report) =
+            learned_shred_xml_to_relational(&doc, &person_names, "person_names").unwrap();
+        assert!(report.source_query.contains("person"));
+        assert!(relation.len() >= person_names.len());
+    }
+
+    #[test]
+    fn scenario3_builds_graph_with_parent_links() {
+        let doc = generate(&XmarkConfig::new(0.02, 9));
+        let query = parse_xpath("//person").unwrap();
+        let (graph, report) = shred_xml_to_graph(&doc, &query);
+        assert_eq!(graph.node_count(), report.extracted_items);
+        assert!(graph.node_count() > 0);
+        // Persons are siblings, so no child_of edges among them.
+        assert_eq!(graph.edge_count(), 0);
+        // A nested query produces edges.
+        let nested = parse_xpath("//person/name").unwrap();
+        let both = {
+            // Select persons and their names by learning a union-ish approach: just run both.
+            let mut sel = select(&query, &doc);
+            sel.extend(select(&nested, &doc));
+            sel
+        };
+        let _ = both;
+        let (graph2, _) = shred_xml_to_graph(&doc, &parse_xpath("//people//name").unwrap());
+        assert!(graph2.node_count() > 0);
+    }
+
+    #[test]
+    fn scenario4_publishes_learned_paths_as_itineraries() {
+        let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        let from = graph.find_node_by_property("name", "city0").unwrap();
+        let to = graph.find_node_by_property("name", "city5").unwrap();
+        let goal = PathConstraint { road_type: Some("highway".into()), max_distance: None, via: None };
+        let outcome =
+            interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, vec![], 3);
+        let (doc, report) =
+            publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
+        assert_eq!(doc.label(XmlTree::ROOT), "itineraries");
+        assert_eq!(doc.nodes_with_label("path").len(), report.produced_items);
+        // Every step on every path is a highway (the learned constraint).
+        for step in doc.nodes_with_label("step") {
+            assert_eq!(doc.attribute(step, "road"), Some("highway"));
+        }
+    }
+
+    #[test]
+    fn node_value_concatenates_subtree_text() {
+        let doc = qbe_xml::TreeBuilder::new("person")
+            .leaf_text("first", "Ada")
+            .leaf_text("last", "Lovelace")
+            .build();
+        assert_eq!(node_value(&doc, XmlTree::ROOT), "Ada Lovelace");
+    }
+}

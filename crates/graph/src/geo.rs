@@ -1,0 +1,137 @@
+//! Geographical database generator — the paper's running example for graph-query learning.
+//!
+//! Vertices are cities (with names and populations), edges are roads carrying a `distance` and a
+//! `type` (highway / national / local). The generator lays cities out on a jittered grid,
+//! connects neighbours (mostly local/national roads), and adds a sparser long-distance highway
+//! backbone, so that "paths where all the edges are highways" — the paper's example constraint —
+//! exist but are not the only option between two cities.
+
+use crate::model::{GNodeId, PropertyGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Road categories used on edges (property `type`).
+pub const ROAD_TYPES: [&str; 3] = ["highway", "national", "local"];
+
+/// Configuration of the geographical graph generator.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// Number of cities.
+    pub cities: usize,
+    /// Average out-degree of local/national connections.
+    pub connectivity: usize,
+    /// Fraction of cities on the highway backbone.
+    pub highway_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig { cities: 40, connectivity: 3, highway_fraction: 0.3, seed: 42 }
+    }
+}
+
+/// Generate a geographical property graph. Roads are added in both directions.
+pub fn generate_geo_graph(config: &GeoConfig) -> PropertyGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut graph = PropertyGraph::new();
+    let mut cities: Vec<GNodeId> = Vec::with_capacity(config.cities);
+    for i in 0..config.cities {
+        let node = graph.add_node("city");
+        graph.set_node_property(node, "name", format!("city{i}").as_str());
+        graph.set_node_property(node, "population", rng.gen_range(5_000..2_000_000));
+        cities.push(node);
+    }
+    let add_road = |graph: &mut PropertyGraph, a: GNodeId, b: GNodeId, kind: &str, distance: f64| {
+        for (from, to) in [(a, b), (b, a)] {
+            let e = graph.add_edge(from, to, "road");
+            graph.set_edge_property(e, "type", kind);
+            graph.set_edge_property(e, "distance", distance);
+        }
+    };
+    // Local/national mesh: connect each city to a few of the following ones (keeps the graph
+    // connected because city i always links to city i+1).
+    for i in 0..config.cities {
+        let fanout = 1 + rng.gen_range(0..config.connectivity.max(1));
+        for k in 1..=fanout {
+            let j = i + k;
+            if j >= config.cities {
+                break;
+            }
+            let kind = if rng.gen_bool(0.4) { "national" } else { "local" };
+            let distance = rng.gen_range(10.0..120.0);
+            add_road(&mut graph, cities[i], cities[j], kind, distance);
+        }
+    }
+    // Highway backbone over a subset of cities.
+    let backbone: Vec<GNodeId> = cities
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| (*i as f64 / config.cities as f64) < config.highway_fraction || i % 5 == 0)
+        .map(|(_, c)| c)
+        .collect();
+    for pair in backbone.windows(2) {
+        let distance = rng.gen_range(80.0..400.0);
+        add_road(&mut graph, pair[0], pair[1], "highway", distance);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpq::simple_paths;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_geo_graph(&GeoConfig::default());
+        let b = generate_geo_graph(&GeoConfig::default());
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn cities_have_names_and_populations() {
+        let g = generate_geo_graph(&GeoConfig { cities: 10, ..Default::default() });
+        assert_eq!(g.node_count(), 10);
+        for n in g.node_ids() {
+            assert_eq!(g.node_label(n), "city");
+            assert!(g.node_property(n, "name").is_some());
+            assert!(g.node_property(n, "population").is_some());
+        }
+    }
+
+    #[test]
+    fn roads_are_bidirectional_with_properties() {
+        let g = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        assert!(g.edge_count() % 2 == 0, "roads are added in both directions");
+        for e in g.edge_ids() {
+            assert_eq!(g.edge_label(e), "road");
+            let kind = g.edge_property(e, "type").unwrap().as_text().unwrap();
+            assert!(ROAD_TYPES.contains(&kind));
+            assert!(g.edge_property(e, "distance").unwrap().as_number().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_road_types_appear() {
+        let g = generate_geo_graph(&GeoConfig { cities: 40, ..Default::default() });
+        for kind in ROAD_TYPES {
+            let found = g
+                .edge_ids()
+                .any(|e| g.edge_property(e, "type").unwrap().as_text() == Some(kind));
+            assert!(found, "no {kind} road generated");
+        }
+    }
+
+    #[test]
+    fn consecutive_cities_are_connected() {
+        let g = generate_geo_graph(&GeoConfig { cities: 15, ..Default::default() });
+        let c0 = g.find_node_by_property("name", "city0").unwrap();
+        let c5 = g.find_node_by_property("name", "city5").unwrap();
+        let paths = simple_paths(&g, c0, c5, 8);
+        assert!(!paths.is_empty(), "the local mesh keeps the graph connected");
+    }
+}

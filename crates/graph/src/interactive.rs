@@ -1,0 +1,651 @@
+//! Interactive path learning — the paper's geographical use case.
+//!
+//! "First, the user has to select two vertices from the graph [...] The user may also want to
+//! impose certain restrictions on the paths, such as the total distance, the type of road, or an
+//! intermediate city on the path. Our algorithms compute what paths the user should be asked to
+//! label (as positive or negative example) in order to gather as many information as possible
+//! with few interactions. Additionally, the learning framework must be able to use query
+//! workload techniques to take advantage of the previously inferred paths."
+//!
+//! The hypothesis space is a product of three constraint families over the candidate paths
+//! between the chosen endpoints:
+//!
+//! * **road type** — either unconstrained or "all edges have type T" for some road type;
+//! * **maximum total distance** — either unbounded or one of the candidate paths' distances;
+//! * **via city** — either unconstrained or "the path visits city C".
+//!
+//! The version space is maintained explicitly. To keep sessions cheap even when the endpoints
+//! admit thousands of candidate itineraries, the session precomputes one [`PathFeatures`] record
+//! per candidate (total distance, visited cities, the road types shared by every edge) and one
+//! acceptance bitset per hypothesis; pruning the version space then only touches the removed
+//! rows, and the "is this path still informative?" test is a counter comparison rather than a
+//! rescan of the whole hypothesis space. Proposal strategies include a workload prior that asks
+//! first about paths similar to queries learned for previous users.
+
+use crate::model::{GNodeId, PropertyGraph};
+use crate::rpq::{simple_paths, Path};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// A path-selection hypothesis: a conjunction of optional constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathConstraint {
+    /// All edges must carry this `type` property value.
+    pub road_type: Option<String>,
+    /// Total `distance` must not exceed this bound.
+    pub max_distance: Option<f64>,
+    /// The path must pass through this city.
+    pub via: Option<GNodeId>,
+}
+
+impl PathConstraint {
+    /// The unconstrained hypothesis (accepts every path).
+    pub fn any() -> PathConstraint {
+        PathConstraint { road_type: None, max_distance: None, via: None }
+    }
+
+    /// Whether a path satisfies the constraint.
+    pub fn accepts(&self, graph: &PropertyGraph, path: &Path) -> bool {
+        self.accepts_features(&PathFeatures::of(graph, path))
+    }
+
+    /// Whether a path with the given precomputed features satisfies the constraint.
+    pub fn accepts_features(&self, features: &PathFeatures) -> bool {
+        if let Some(t) = &self.road_type {
+            if !features.uniform_types.contains(t) {
+                return false;
+            }
+        }
+        if let Some(d) = self.max_distance {
+            if features.distance > d + 1e-9 {
+                return false;
+            }
+        }
+        if let Some(via) = self.via {
+            if !features.visited.contains(&via) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Human-readable description.
+    pub fn describe(&self, graph: &PropertyGraph) -> String {
+        let mut parts = Vec::new();
+        if let Some(t) = &self.road_type {
+            parts.push(format!("all edges are {t} roads"));
+        }
+        if let Some(d) = self.max_distance {
+            parts.push(format!("total distance ≤ {d:.0}"));
+        }
+        if let Some(v) = self.via {
+            parts.push(format!("passes through {}", graph.display_name(v)));
+        }
+        if parts.is_empty() {
+            "any path".to_string()
+        } else {
+            parts.join(" and ")
+        }
+    }
+}
+
+/// Precomputed facts about one candidate path, sufficient to evaluate any [`PathConstraint`]
+/// in constant time (up to a set lookup).
+#[derive(Debug, Clone)]
+pub struct PathFeatures {
+    /// Total `distance` over the path's edges.
+    pub distance: f64,
+    /// Every node the path visits (including both endpoints).
+    pub visited: BTreeSet<GNodeId>,
+    /// The road types `t` such that *every* edge of the path has `type = t`.
+    pub uniform_types: BTreeSet<String>,
+}
+
+impl PathFeatures {
+    /// Compute the features of a path.
+    pub fn of(graph: &PropertyGraph, path: &Path) -> PathFeatures {
+        let distance = path.total_distance(graph);
+        let mut visited = BTreeSet::new();
+        for &e in &path.edges {
+            visited.insert(graph.source(e));
+            visited.insert(graph.target(e));
+        }
+        let mut uniform_types = BTreeSet::new();
+        if let Some(&first) = path.edges.first() {
+            if let Some(t) = graph.edge_property(first, "type").and_then(|p| p.as_text()) {
+                if path.edges.iter().all(|&e| {
+                    graph.edge_property(e, "type").and_then(|p| p.as_text()) == Some(t)
+                }) {
+                    uniform_types.insert(t.to_string());
+                }
+            }
+        }
+        PathFeatures { distance, visited, uniform_types }
+    }
+}
+
+/// Strategy for choosing the next path to show the user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStrategy {
+    /// Random informative path.
+    Random,
+    /// Shortest informative path first (cheap for the user to inspect).
+    ShortestFirst,
+    /// Version-space halving: the path accepted by about half of the surviving hypotheses.
+    Halving,
+    /// Workload prior: prefer paths satisfying constraints learned for previous users.
+    WorkloadPrior,
+}
+
+/// Oracle interface: labels whole paths.
+pub trait PathOracle {
+    /// Whether the user accepts the proposed path.
+    fn label(&mut self, graph: &PropertyGraph, path: &Path) -> bool;
+}
+
+/// Oracle driven by a hidden goal constraint.
+#[derive(Debug, Clone)]
+pub struct GoalPathOracle {
+    goal: PathConstraint,
+    questions: usize,
+}
+
+impl GoalPathOracle {
+    /// Create the oracle.
+    pub fn new(goal: PathConstraint) -> GoalPathOracle {
+        GoalPathOracle { goal, questions: 0 }
+    }
+
+    /// Number of questions answered.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+}
+
+impl PathOracle for GoalPathOracle {
+    fn label(&mut self, graph: &PropertyGraph, path: &Path) -> bool {
+        self.questions += 1;
+        self.goal.accepts(graph, path)
+    }
+}
+
+/// Result of an interactive path-learning session.
+#[derive(Debug, Clone)]
+pub struct PathSessionOutcome {
+    /// Constraints still consistent with every label when the session stopped.
+    pub version_space: Vec<PathConstraint>,
+    /// One representative learned constraint (the most specific surviving one).
+    pub learned: PathConstraint,
+    /// Paths the user was asked to label.
+    pub interactions: usize,
+    /// Candidate paths whose label became inferable without asking.
+    pub inferred: usize,
+    /// The candidate paths the session reasoned about (at most [`MAX_CANDIDATE_PATHS`], the
+    /// shortest ones when the endpoints admit more).
+    pub candidates: Vec<Path>,
+    /// The paths the learned constraint accepts, ready to be exchanged to another data model.
+    pub accepted_paths: Vec<Path>,
+}
+
+/// Upper bound on the number of candidate paths a session keeps.
+///
+/// The paper's premise is that "the number of paths might be considerable" and that the user
+/// will only ever be shown a few of them; when the endpoints admit more simple paths than this,
+/// the session keeps the shortest ones (by total distance), which are the itineraries a real
+/// user would be shown first. This also bounds the hypothesis space, whose distance and
+/// via dimensions grow with the candidate set.
+pub const MAX_CANDIDATE_PATHS: usize = 400;
+
+/// One hypothesis together with its acceptance bitset over the candidate paths.
+#[derive(Debug, Clone)]
+struct HypothesisRow {
+    constraint: PathConstraint,
+    /// Bit `i` is set iff the constraint accepts candidate path `i`.
+    accepts: Vec<u64>,
+    /// Number of candidate paths the constraint accepts.
+    accepted_count: usize,
+}
+
+impl HypothesisRow {
+    fn accepts_path(&self, ix: usize) -> bool {
+        self.accepts[ix / 64] & (1 << (ix % 64)) != 0
+    }
+}
+
+/// Interactive session between two endpoints of a graph.
+pub struct PathSession<'a> {
+    graph: &'a PropertyGraph,
+    candidates: Vec<Path>,
+    features: Vec<PathFeatures>,
+    rows: Vec<HypothesisRow>,
+    /// For each candidate path, how many surviving hypotheses accept it.
+    accept_counts: Vec<usize>,
+    labelled: Vec<(usize, bool)>,
+    strategy: PathStrategy,
+    workload: Vec<PathConstraint>,
+    rng: StdRng,
+}
+
+impl<'a> PathSession<'a> {
+    /// Start a session for paths between `from` and `to` (at most `max_edges` edges per path).
+    pub fn new(
+        graph: &'a PropertyGraph,
+        from: GNodeId,
+        to: GNodeId,
+        max_edges: usize,
+        strategy: PathStrategy,
+        seed: u64,
+    ) -> PathSession<'a> {
+        // Candidates are kept sorted by total distance: the distance dimension of the hypothesis
+        // space then accepts a *prefix* of the candidate list, which makes building the
+        // acceptance bitsets linear in the number of hypotheses rather than quadratic.
+        let mut candidates = simple_paths(graph, from, to, max_edges);
+        candidates.sort_by(|a, b| {
+            a.total_distance(graph)
+                .partial_cmp(&b.total_distance(graph))
+                .expect("distances are finite")
+        });
+        candidates.truncate(MAX_CANDIDATE_PATHS);
+        let features: Vec<PathFeatures> =
+            candidates.iter().map(|p| PathFeatures::of(graph, p)).collect();
+        let n = candidates.len();
+        let words = n.div_ceil(64).max(1);
+
+        // Hypothesis dimensions.
+        let mut road_types: Vec<Option<String>> = vec![None];
+        road_types.extend(crate::geo::ROAD_TYPES.iter().map(|t| Some(t.to_string())));
+        let mut distance_values: Vec<f64> = features.iter().map(|f| f.distance).collect();
+        distance_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut vias: BTreeSet<Option<GNodeId>> = BTreeSet::from([None]);
+        for f in &features {
+            for &node in &f.visited {
+                vias.insert(Some(node));
+            }
+        }
+
+        // Prefix masks: mask(k) has the first k bits set (candidates are distance-sorted).
+        let prefix_mask = |len: usize| -> Vec<u64> {
+            let mut mask = vec![0u64; words];
+            for (w, slot) in mask.iter_mut().enumerate() {
+                let lo = w * 64;
+                if len >= lo + 64 {
+                    *slot = u64::MAX;
+                } else if len > lo {
+                    *slot = (1u64 << (len - lo)) - 1;
+                }
+            }
+            mask
+        };
+        let full_mask = prefix_mask(n);
+
+        let mut rows = Vec::new();
+        let mut accept_counts = vec![0usize; n];
+        for rt in &road_types {
+            for via in vias.iter() {
+                // Base acceptance of (rt, via) ignoring the distance bound.
+                let mut base = vec![0u64; words];
+                for (ix, f) in features.iter().enumerate() {
+                    let rt_ok = rt.as_ref().map(|t| f.uniform_types.contains(t)).unwrap_or(true);
+                    let via_ok = via.map(|v| f.visited.contains(&v)).unwrap_or(true);
+                    if rt_ok && via_ok {
+                        base[ix / 64] |= 1 << (ix % 64);
+                    }
+                }
+                let mut push_row =
+                    |constraint: PathConstraint, mask: &[u64], rows: &mut Vec<HypothesisRow>| {
+                        let accepts: Vec<u64> =
+                            base.iter().zip(mask).map(|(b, m)| b & m).collect();
+                        let accepted_count =
+                            accepts.iter().map(|w| w.count_ones() as usize).sum();
+                        for (w, word) in accepts.iter().enumerate() {
+                            let mut bits = *word;
+                            while bits != 0 {
+                                let bit = bits.trailing_zeros() as usize;
+                                accept_counts[w * 64 + bit] += 1;
+                                bits &= bits - 1;
+                            }
+                        }
+                        rows.push(HypothesisRow { constraint, accepts, accepted_count });
+                    };
+                push_row(
+                    PathConstraint { road_type: rt.clone(), max_distance: None, via: *via },
+                    &full_mask,
+                    &mut rows,
+                );
+                for &d in &distance_values {
+                    // Number of candidates whose distance is ≤ d (they form a prefix).
+                    let len = features.partition_point(|f| f.distance <= d + 1e-9);
+                    push_row(
+                        PathConstraint { road_type: rt.clone(), max_distance: Some(d), via: *via },
+                        &prefix_mask(len),
+                        &mut rows,
+                    );
+                }
+            }
+        }
+        PathSession {
+            graph,
+            candidates,
+            features,
+            rows,
+            accept_counts,
+            labelled: Vec::new(),
+            strategy,
+            workload: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Provide constraints learned for previous users (the "query workload").
+    pub fn with_workload(mut self, workload: Vec<PathConstraint>) -> PathSession<'a> {
+        self.workload = workload;
+        self
+    }
+
+    /// Number of candidate paths.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of hypotheses still consistent with every label.
+    pub fn version_space_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Paths whose label is not yet determined by the version space.
+    pub fn informative_paths(&self) -> Vec<usize> {
+        let total = self.rows.len();
+        (0..self.candidates.len())
+            .filter(|&ix| {
+                if self.labelled.iter().any(|(l, _)| *l == ix) {
+                    return false;
+                }
+                let accepted = self.accept_counts[ix];
+                accepted != 0 && accepted != total
+            })
+            .collect()
+    }
+
+    /// Record a user label and prune the version space.
+    pub fn record(&mut self, path_ix: usize, positive: bool) {
+        self.labelled.push((path_ix, positive));
+        let mut kept = Vec::with_capacity(self.rows.len());
+        for row in self.rows.drain(..) {
+            if row.accepts_path(path_ix) == positive {
+                kept.push(row);
+            } else {
+                // The hypothesis leaves the version space: forget its votes.
+                for ix in 0..self.candidates.len() {
+                    if row.accepts_path(ix) {
+                        self.accept_counts[ix] -= 1;
+                    }
+                }
+            }
+        }
+        self.rows = kept;
+    }
+
+    fn choose(&mut self, informative: &[usize]) -> usize {
+        match self.strategy {
+            PathStrategy::Random => *informative.choose(&mut self.rng).expect("non-empty"),
+            PathStrategy::ShortestFirst => *informative
+                .iter()
+                .min_by(|&&a, &&b| {
+                    self.features[a]
+                        .distance
+                        .partial_cmp(&self.features[b].distance)
+                        .expect("distances are finite")
+                })
+                .expect("non-empty"),
+            PathStrategy::Halving => {
+                let half = self.rows.len() / 2;
+                *informative
+                    .iter()
+                    .min_by_key(|&&ix| self.accept_counts[ix].abs_diff(half))
+                    .expect("non-empty")
+            }
+            PathStrategy::WorkloadPrior => {
+                // Prefer paths accepted by the workload constraints of previous users ("ask with
+                // priority the next user to label a path having the same property"); among those,
+                // break ties towards the version-space-halving choice so the prior never costs
+                // more questions than plain halving when the workload does not discriminate.
+                let prior_score = |ix: usize| {
+                    self.workload
+                        .iter()
+                        .filter(|h| h.accepts_features(&self.features[ix]))
+                        .count()
+                };
+                let best_prior = informative.iter().map(|&ix| prior_score(ix)).max().unwrap_or(0);
+                let half = self.rows.len() / 2;
+                *informative
+                    .iter()
+                    .filter(|&&ix| prior_score(ix) == best_prior)
+                    .min_by_key(|&&ix| self.accept_counts[ix].abs_diff(half))
+                    .expect("non-empty")
+            }
+        }
+    }
+
+    /// Run the loop until no informative path remains.
+    pub fn run(mut self, oracle: &mut dyn PathOracle) -> PathSessionOutcome {
+        loop {
+            let informative = self.informative_paths();
+            if informative.is_empty() {
+                break;
+            }
+            let ix = self.choose(&informative);
+            let label = oracle.label(self.graph, &self.candidates[ix]);
+            self.record(ix, label);
+        }
+        // The most specific surviving hypothesis: the one accepting the fewest candidate paths.
+        let learned = self
+            .rows
+            .iter()
+            .min_by_key(|row| row.accepted_count)
+            .map(|row| row.constraint.clone())
+            .unwrap_or_else(PathConstraint::any);
+        let accepted_paths: Vec<Path> = self
+            .candidates
+            .iter()
+            .zip(&self.features)
+            .filter(|(_, f)| learned.accepts_features(f))
+            .map(|(p, _)| p.clone())
+            .collect();
+        let interactions = self.labelled.len();
+        PathSessionOutcome {
+            version_space: self.rows.into_iter().map(|r| r.constraint).collect(),
+            learned,
+            interactions,
+            inferred: self.candidates.len().saturating_sub(interactions),
+            candidates: self.candidates,
+            accepted_paths,
+        }
+    }
+}
+
+/// Convenience wrapper: run one user's session against a goal constraint.
+pub fn interactive_path_learn(
+    graph: &PropertyGraph,
+    from: GNodeId,
+    to: GNodeId,
+    goal: &PathConstraint,
+    strategy: PathStrategy,
+    workload: Vec<PathConstraint>,
+    seed: u64,
+) -> PathSessionOutcome {
+    let mut oracle = GoalPathOracle::new(goal.clone());
+    PathSession::new(graph, from, to, 8, strategy, seed)
+        .with_workload(workload)
+        .run(&mut oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{generate_geo_graph, GeoConfig};
+
+    fn setup() -> (PropertyGraph, GNodeId, GNodeId) {
+        let g = generate_geo_graph(&GeoConfig { cities: 14, connectivity: 3, ..Default::default() });
+        let from = g.find_node_by_property("name", "city0").unwrap();
+        let to = g.find_node_by_property("name", "city6").unwrap();
+        (g, from, to)
+    }
+
+    fn highway_goal() -> PathConstraint {
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None }
+    }
+
+    #[test]
+    fn constraints_filter_paths() {
+        let (g, from, to) = setup();
+        let paths = simple_paths(&g, from, to, 6);
+        assert!(!paths.is_empty());
+        let any = PathConstraint::any();
+        assert_eq!(paths.iter().filter(|p| any.accepts(&g, p)).count(), paths.len());
+        let highway = highway_goal();
+        let highway_count = paths.iter().filter(|p| highway.accepts(&g, p)).count();
+        assert!(highway_count < paths.len());
+    }
+
+    #[test]
+    fn features_agree_with_direct_evaluation() {
+        let (g, from, to) = setup();
+        let goal = highway_goal();
+        for p in simple_paths(&g, from, to, 6) {
+            let f = PathFeatures::of(&g, &p);
+            assert_eq!(goal.accepts(&g, &p), goal.accepts_features(&f));
+            assert!((f.distance - p.total_distance(&g)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn session_terminates_and_labels_are_consistent_with_goal() {
+        let (g, from, to) = setup();
+        for strategy in [
+            PathStrategy::Random,
+            PathStrategy::ShortestFirst,
+            PathStrategy::Halving,
+            PathStrategy::WorkloadPrior,
+        ] {
+            let outcome = interactive_path_learn(&g, from, to, &highway_goal(), strategy, vec![], 5);
+            assert!(outcome.interactions <= outcome.interactions + outcome.inferred);
+            // The learned constraint classifies every candidate path exactly as the goal does.
+            for p in &outcome.candidates {
+                assert_eq!(
+                    outcome.learned.accepts(&g, p),
+                    highway_goal().accepts(&g, p),
+                    "strategy {strategy:?} misclassifies a path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_interactions_below_candidate_count() {
+        let (g, from, to) = setup();
+        let outcome = interactive_path_learn(
+            &g,
+            from,
+            to,
+            &highway_goal(),
+            PathStrategy::Halving,
+            vec![],
+            1,
+        );
+        assert!(
+            outcome.interactions < outcome.interactions + outcome.inferred,
+            "expected at least one inferred label"
+        );
+    }
+
+    #[test]
+    fn workload_prior_prioritises_previous_constraints() {
+        let (g, from, to) = setup();
+        let workload = vec![highway_goal()];
+        let with_prior = interactive_path_learn(
+            &g,
+            from,
+            to,
+            &highway_goal(),
+            PathStrategy::WorkloadPrior,
+            workload,
+            3,
+        );
+        // The prior-guided session still learns the correct constraint.
+        for p in &with_prior.candidates {
+            assert_eq!(with_prior.learned.accepts(&g, p), highway_goal().accepts(&g, p));
+        }
+    }
+
+    #[test]
+    fn distance_bounded_goal_is_learned() {
+        let (g, from, to) = setup();
+        let probe = interactive_path_learn(
+            &g,
+            from,
+            to,
+            &PathConstraint::any(),
+            PathStrategy::ShortestFirst,
+            vec![],
+            9,
+        );
+        let median = {
+            let mut d: Vec<f64> =
+                probe.candidates.iter().map(|p| p.total_distance(&g)).collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d[d.len() / 2]
+        };
+        let goal = PathConstraint { road_type: None, max_distance: Some(median), via: None };
+        let outcome =
+            interactive_path_learn(&g, from, to, &goal, PathStrategy::Halving, vec![], 9);
+        for p in &outcome.candidates {
+            assert_eq!(outcome.learned.accepts(&g, p), goal.accepts(&g, p));
+        }
+    }
+
+    #[test]
+    fn accepted_paths_are_ready_for_exchange() {
+        let (g, from, to) = setup();
+        let outcome = interactive_path_learn(
+            &g,
+            from,
+            to,
+            &PathConstraint::any(),
+            PathStrategy::ShortestFirst,
+            vec![],
+            2,
+        );
+        assert_eq!(outcome.accepted_paths.len(), outcome.candidates.len());
+        assert!(!outcome.accepted_paths.is_empty());
+        for p in &outcome.accepted_paths {
+            assert_eq!(p.endpoints(&g).map(|(s, _)| s), Some(from));
+        }
+    }
+
+    #[test]
+    fn version_space_shrinks_with_each_label() {
+        let (g, from, to) = setup();
+        let mut session = PathSession::new(&g, from, to, 6, PathStrategy::Halving, 0);
+        let before = session.version_space_size();
+        let informative = session.informative_paths();
+        if let Some(&ix) = informative.first() {
+            session.record(ix, true);
+            assert!(session.version_space_size() < before);
+        }
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        let (g, _, _) = setup();
+        let c = PathConstraint {
+            road_type: Some("highway".into()),
+            max_distance: Some(300.0),
+            via: Some(g.find_node_by_property("name", "city3").unwrap()),
+        };
+        let text = c.describe(&g);
+        assert!(text.contains("highway") && text.contains("300") && text.contains("city3"));
+        assert_eq!(PathConstraint::any().describe(&g), "any path");
+    }
+}

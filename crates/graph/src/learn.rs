@@ -1,0 +1,376 @@
+//! Learning regular path queries from positive and negative example paths.
+//!
+//! "We aim to identify a query language for graphs which is expressive enough and also learnable
+//! from positive and possibly negative examples." The hypothesis class used here mirrors the
+//! anchored-twig idea on words: a **block sequence** — a concatenation of blocks, each block
+//! being a set of alternative edge labels with a multiplicity (exactly one, one-or-more, or
+//! zero-or-more). Examples are edge-label words (the words of user-approved / rejected paths).
+//!
+//! The learner generalises the positive words pairwise (sequence alignment, run-length
+//! collapsing) and then checks the negatives; like the twig case, the learned query is the most
+//! specific hypothesis of the class, so if it accepts a negative word no hypothesis of the class
+//! separates the examples.
+
+use crate::rpq::PathRegex;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Multiplicity of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockMultiplicity {
+    /// Exactly one edge.
+    One,
+    /// One or more edges.
+    OneOrMore,
+    /// Zero or more edges.
+    ZeroOrMore,
+}
+
+/// One block: alternative labels plus a multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The admissible edge labels.
+    pub labels: BTreeSet<String>,
+    /// How many consecutive edges the block matches.
+    pub multiplicity: BlockMultiplicity,
+}
+
+impl Block {
+    fn one(label: &str) -> Block {
+        Block { labels: BTreeSet::from([label.to_string()]), multiplicity: BlockMultiplicity::One }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.labels.contains(label)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels: Vec<&str> = self.labels.iter().map(String::as_str).collect();
+        let body = if labels.len() == 1 { labels[0].to_string() } else { format!("({})", labels.join("|")) };
+        match self.multiplicity {
+            BlockMultiplicity::One => write!(f, "{body}"),
+            BlockMultiplicity::OneOrMore => write!(f, "{body}+"),
+            BlockMultiplicity::ZeroOrMore => write!(f, "{body}*"),
+        }
+    }
+}
+
+/// A learned path query: a concatenation of blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPathQuery {
+    blocks: Vec<Block>,
+}
+
+impl BlockPathQuery {
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Whether the query accepts an edge-label word (dynamic programming over blocks).
+    pub fn accepts(&self, word: &[&str]) -> bool {
+        // reachable[i] = set of block indices fully consumed after reading word[..i]
+        let n_blocks = self.blocks.len();
+        let mut reachable: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); word.len() + 1];
+        // `blocks_consumed` counts how many leading blocks are satisfied; start state: 0 blocks,
+        // plus any prefix of zero-or-more blocks.
+        reachable[0].insert(self.skip_optional(0));
+        for state in self.all_skips(0) {
+            reachable[0].insert(state);
+        }
+        for (i, &symbol) in word.iter().enumerate() {
+            let states: Vec<usize> = reachable[i].iter().copied().collect();
+            for state in states {
+                if state >= n_blocks {
+                    continue; // all blocks consumed; extra symbols cannot match
+                }
+                let block = &self.blocks[state];
+                if !block.matches(symbol) {
+                    continue;
+                }
+                match block.multiplicity {
+                    BlockMultiplicity::One => {
+                        for s in self.all_skips(state + 1) {
+                            reachable[i + 1].insert(s);
+                        }
+                    }
+                    BlockMultiplicity::OneOrMore | BlockMultiplicity::ZeroOrMore => {
+                        // Stay in the block or move past it.
+                        reachable[i + 1].insert(state);
+                        for s in self.all_skips(state + 1) {
+                            reachable[i + 1].insert(s);
+                        }
+                    }
+                }
+            }
+        }
+        reachable[word.len()].contains(&n_blocks)
+    }
+
+    /// All block indices reachable from `from` by skipping zero-or-more blocks.
+    fn all_skips(&self, from: usize) -> Vec<usize> {
+        let mut out = vec![from];
+        let mut cur = from;
+        while cur < self.blocks.len()
+            && self.blocks[cur].multiplicity == BlockMultiplicity::ZeroOrMore
+        {
+            cur += 1;
+            out.push(cur);
+        }
+        out
+    }
+
+    fn skip_optional(&self, from: usize) -> usize {
+        from
+    }
+
+    /// Convert to the general [`PathRegex`] form (for evaluation on a graph).
+    pub fn to_regex(&self) -> PathRegex {
+        let parts: Vec<PathRegex> = self
+            .blocks
+            .iter()
+            .map(|b| {
+                let alt = if b.labels.len() == 1 {
+                    PathRegex::label(b.labels.iter().next().unwrap())
+                } else {
+                    PathRegex::Alt(b.labels.iter().map(PathRegex::label).collect())
+                };
+                match b.multiplicity {
+                    BlockMultiplicity::One => alt,
+                    BlockMultiplicity::OneOrMore => PathRegex::Plus(Box::new(alt)),
+                    BlockMultiplicity::ZeroOrMore => PathRegex::Star(Box::new(alt)),
+                }
+            })
+            .collect();
+        PathRegex::Concat(parts)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the query has no blocks (accepts only the empty path).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl fmt::Display for BlockPathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.blocks.iter().map(|b| b.to_string()).collect();
+        write!(f, "{}", parts.join("/"))
+    }
+}
+
+/// Error raised by the path-query learner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathLearnError {
+    /// No positive example words were provided.
+    NoExamples,
+}
+
+impl fmt::Display for PathLearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot learn a path query from zero positive examples")
+    }
+}
+
+impl std::error::Error for PathLearnError {}
+
+/// Learn the most specific block path query accepting every positive word.
+pub fn learn_path_query(positives: &[Vec<String>]) -> Result<BlockPathQuery, PathLearnError> {
+    let first = positives.first().ok_or(PathLearnError::NoExamples)?;
+    // Start from the run-length collapse of the first word.
+    let mut query = collapse_runs(first);
+    for word in &positives[1..] {
+        query = generalise(&query, &collapse_runs(word));
+    }
+    Ok(query)
+}
+
+/// Learn from positive and negative words; `None` when the most specific consistent hypothesis
+/// of the class still accepts a negative word (no hypothesis of the class separates them).
+pub fn learn_path_query_with_negatives(
+    positives: &[Vec<String>],
+    negatives: &[Vec<String>],
+) -> Result<Option<BlockPathQuery>, PathLearnError> {
+    let query = learn_path_query(positives)?;
+    let consistent = negatives.iter().all(|w| {
+        let refs: Vec<&str> = w.iter().map(String::as_str).collect();
+        !query.accepts(&refs)
+    });
+    Ok(consistent.then_some(query))
+}
+
+/// Collapse runs of the same label into `OneOrMore` blocks.
+fn collapse_runs(word: &[String]) -> BlockPathQuery {
+    let mut blocks: Vec<Block> = Vec::new();
+    for label in word {
+        match blocks.last_mut() {
+            Some(last) if last.labels.len() == 1 && last.matches(label) => {
+                last.multiplicity = BlockMultiplicity::OneOrMore;
+            }
+            _ => blocks.push(Block::one(label)),
+        }
+    }
+    BlockPathQuery { blocks }
+}
+
+/// Generalise two block queries by aligning their blocks (longest common subsequence on label
+/// sets); aligned blocks merge labels and weaken multiplicities, unaligned blocks become
+/// zero-or-more.
+fn generalise(a: &BlockPathQuery, b: &BlockPathQuery) -> BlockPathQuery {
+    let n = a.blocks.len();
+    let m = b.blocks.len();
+    let mut table = vec![vec![0usize; m + 1]; n + 1];
+    let compatible = |x: &Block, y: &Block| !x.labels.is_disjoint(&y.labels);
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            table[i][j] = if compatible(&a.blocks[i], &b.blocks[j]) {
+                table[i + 1][j + 1] + 1
+            } else {
+                table[i + 1][j].max(table[i][j + 1])
+            };
+        }
+    }
+    let mut out: Vec<Block> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if compatible(&a.blocks[i], &b.blocks[j]) && table[i][j] == table[i + 1][j + 1] + 1 {
+            let mut labels = a.blocks[i].labels.clone();
+            labels.extend(b.blocks[j].labels.iter().cloned());
+            let multiplicity = merge_multiplicity(a.blocks[i].multiplicity, b.blocks[j].multiplicity);
+            out.push(Block { labels, multiplicity });
+            i += 1;
+            j += 1;
+        } else if table[i + 1][j] >= table[i][j + 1] {
+            out.push(weaken_to_optional(&a.blocks[i]));
+            i += 1;
+        } else {
+            out.push(weaken_to_optional(&b.blocks[j]));
+            j += 1;
+        }
+    }
+    for block in &a.blocks[i..] {
+        out.push(weaken_to_optional(block));
+    }
+    for block in &b.blocks[j..] {
+        out.push(weaken_to_optional(block));
+    }
+    BlockPathQuery { blocks: out }
+}
+
+fn merge_multiplicity(a: BlockMultiplicity, b: BlockMultiplicity) -> BlockMultiplicity {
+    use BlockMultiplicity::*;
+    match (a, b) {
+        (One, One) => One,
+        (ZeroOrMore, _) | (_, ZeroOrMore) => ZeroOrMore,
+        _ => OneOrMore,
+    }
+}
+
+fn weaken_to_optional(block: &Block) -> Block {
+    Block { labels: block.labels.clone(), multiplicity: BlockMultiplicity::ZeroOrMore }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(labels: &[&str]) -> Vec<String> {
+        labels.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_examples_is_an_error() {
+        assert_eq!(learn_path_query(&[]).unwrap_err(), PathLearnError::NoExamples);
+    }
+
+    #[test]
+    fn single_example_collapses_runs() {
+        let q = learn_path_query(&[word(&["road", "road", "road", "train"])]).unwrap();
+        assert_eq!(q.to_string(), "road+/train");
+        assert!(q.accepts(&["road", "train"]));
+        assert!(q.accepts(&["road", "road", "road", "road", "train"]));
+        assert!(!q.accepts(&["train"]));
+    }
+
+    #[test]
+    fn learned_query_accepts_all_positives() {
+        let positives = vec![
+            word(&["road", "road", "train"]),
+            word(&["road", "train"]),
+            word(&["road", "road", "road", "train"]),
+        ];
+        let q = learn_path_query(&positives).unwrap();
+        for p in &positives {
+            let refs: Vec<&str> = p.iter().map(String::as_str).collect();
+            assert!(q.accepts(&refs), "query {q} rejects positive {p:?}");
+        }
+    }
+
+    #[test]
+    fn different_labels_at_same_position_become_alternatives() {
+        let positives = vec![word(&["road", "train"]), word(&["road", "ferry"])];
+        let q = learn_path_query(&positives).unwrap();
+        assert!(q.accepts(&["road", "train"]));
+        assert!(q.accepts(&["road", "ferry"]));
+        assert!(!q.accepts(&["road", "road"]));
+    }
+
+    #[test]
+    fn extra_steps_become_optional_blocks() {
+        let positives = vec![word(&["road", "train"]), word(&["road", "local", "train"])];
+        let q = learn_path_query(&positives).unwrap();
+        assert!(q.accepts(&["road", "train"]));
+        assert!(q.accepts(&["road", "local", "train"]));
+    }
+
+    #[test]
+    fn negatives_reject_the_hypothesis_class_when_not_separable() {
+        let positives = vec![word(&["road", "road"])];
+        // The positive collapses to road+, which also accepts the negative "road".
+        let negatives = vec![word(&["road"])];
+        assert_eq!(learn_path_query_with_negatives(&positives, &negatives).unwrap(), None);
+    }
+
+    #[test]
+    fn negatives_are_rejected_when_separable() {
+        let positives = vec![word(&["highway", "highway"]), word(&["highway"])];
+        let negatives = vec![word(&["local"]), word(&["highway", "local"])];
+        let q = learn_path_query_with_negatives(&positives, &negatives).unwrap().expect("separable");
+        assert!(q.accepts(&["highway", "highway", "highway"]));
+        assert!(!q.accepts(&["highway", "local"]));
+    }
+
+    #[test]
+    fn to_regex_agrees_with_block_acceptance() {
+        let positives = vec![word(&["road", "road", "train"]), word(&["road", "ferry"])];
+        let q = learn_path_query(&positives).unwrap();
+        let regex = q.to_regex();
+        for sample in [
+            vec!["road", "train"],
+            vec!["road", "road", "ferry"],
+            vec!["train"],
+            vec!["ferry", "road"],
+            vec!["road"],
+        ] {
+            assert_eq!(
+                q.accepts(&sample),
+                regex.accepts(&sample),
+                "block query {q} and regex {regex} disagree on {sample:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_word_handling() {
+        let q = learn_path_query(&[word(&[])]).unwrap();
+        assert!(q.is_empty());
+        assert!(q.accepts(&[]));
+        assert!(!q.accepts(&["road"]));
+    }
+}

@@ -1,0 +1,420 @@
+//! Nested regular expressions (NREs) and conjunctions of NREs.
+//!
+//! The paper points at Barceló et al. (ICDT'13), who build graph-database mapping languages from
+//! "the most typical graph database queries, such as regular path queries and conjunctions of
+//! nested regular expressions". This module provides that richer query language as the target
+//! hypothesis space future graph learners can grow into:
+//!
+//! * [`Nre`] — regular path expressions extended with a *nesting* operator `[e]` that tests the
+//!   existence of an outgoing path matching `e` without moving (the graph analogue of an XPath
+//!   filter);
+//! * [`eval_nre`] — polynomial evaluation over a [`PropertyGraph`] by structural recursion, with
+//!   a BFS closure for `*`/`+`;
+//! * [`ConjunctiveNre`] — conjunctions of NRE atoms over node variables (the mapping-language
+//!   building block), evaluated by backtracking join over the atoms' binary relations.
+
+use crate::model::{GNodeId, PropertyGraph};
+use crate::rpq::PathRegex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A nested regular expression over edge labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Nre {
+    /// A single edge with this label.
+    Label(String),
+    /// Any single edge, regardless of label.
+    AnyEdge,
+    /// Concatenation.
+    Concat(Vec<Nre>),
+    /// Alternation.
+    Alt(Vec<Nre>),
+    /// Zero or more repetitions.
+    Star(Box<Nre>),
+    /// One or more repetitions.
+    Plus(Box<Nre>),
+    /// Zero or one occurrence.
+    Optional(Box<Nre>),
+    /// Nesting `[e]`: stay on the current node, require an outgoing path matching `e`.
+    Nest(Box<Nre>),
+    /// Node test: stay on the current node, require its label to be this.
+    NodeLabel(String),
+}
+
+impl Nre {
+    /// Convenience constructor for a label atom.
+    pub fn label(l: impl Into<String>) -> Nre {
+        Nre::Label(l.into())
+    }
+
+    /// Concatenation of a sequence of labels.
+    pub fn word(labels: &[&str]) -> Nre {
+        Nre::Concat(labels.iter().map(|l| Nre::label(*l)).collect())
+    }
+
+    /// Number of syntax nodes (used as "query size" in reports).
+    pub fn size(&self) -> usize {
+        match self {
+            Nre::Label(_) | Nre::AnyEdge | Nre::NodeLabel(_) => 1,
+            Nre::Concat(parts) | Nre::Alt(parts) => 1 + parts.iter().map(Nre::size).sum::<usize>(),
+            Nre::Star(e) | Nre::Plus(e) | Nre::Optional(e) | Nre::Nest(e) => 1 + e.size(),
+        }
+    }
+
+    /// Lift a plain regular path query into an NRE (RPQs are the nesting-free fragment).
+    pub fn from_regex(regex: &PathRegex) -> Nre {
+        match regex {
+            PathRegex::Label(l) => Nre::Label(l.clone()),
+            PathRegex::Concat(parts) => Nre::Concat(parts.iter().map(Nre::from_regex).collect()),
+            PathRegex::Alt(parts) => Nre::Alt(parts.iter().map(Nre::from_regex).collect()),
+            PathRegex::Star(e) => Nre::Star(Box::new(Nre::from_regex(e))),
+            PathRegex::Plus(e) => Nre::Plus(Box::new(Nre::from_regex(e))),
+            PathRegex::Optional(e) => Nre::Optional(Box::new(Nre::from_regex(e))),
+        }
+    }
+
+    /// Whether the expression uses the nesting operator anywhere (i.e. leaves the RPQ fragment).
+    pub fn is_nested(&self) -> bool {
+        match self {
+            Nre::Label(_) | Nre::AnyEdge | Nre::NodeLabel(_) => false,
+            Nre::Concat(parts) | Nre::Alt(parts) => parts.iter().any(Nre::is_nested),
+            Nre::Star(e) | Nre::Plus(e) | Nre::Optional(e) => e.is_nested(),
+            Nre::Nest(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for Nre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nre::Label(l) => write!(f, "{l}"),
+            Nre::AnyEdge => write!(f, "_"),
+            Nre::NodeLabel(l) => write!(f, "?{l}"),
+            Nre::Concat(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                write!(f, "{}", rendered.join("/"))
+            }
+            Nre::Alt(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", rendered.join("|"))
+            }
+            Nre::Star(e) => write!(f, "({e})*"),
+            Nre::Plus(e) => write!(f, "({e})+"),
+            Nre::Optional(e) => write!(f, "({e})?"),
+            Nre::Nest(e) => write!(f, "[{e}]"),
+        }
+    }
+}
+
+/// All `(source, target)` node pairs related by the expression.
+pub fn eval_nre(graph: &PropertyGraph, nre: &Nre) -> BTreeSet<(GNodeId, GNodeId)> {
+    match nre {
+        Nre::Label(l) => graph
+            .edge_ids()
+            .filter(|&e| graph.edge_label(e) == l)
+            .map(|e| (graph.source(e), graph.target(e)))
+            .collect(),
+        Nre::AnyEdge => {
+            graph.edge_ids().map(|e| (graph.source(e), graph.target(e))).collect()
+        }
+        Nre::NodeLabel(l) => graph
+            .node_ids()
+            .filter(|&n| graph.node_label(n) == l)
+            .map(|n| (n, n))
+            .collect(),
+        Nre::Concat(parts) => {
+            let mut acc: BTreeSet<(GNodeId, GNodeId)> =
+                graph.node_ids().map(|n| (n, n)).collect();
+            for part in parts {
+                let rel = eval_nre(graph, part);
+                acc = compose(&acc, &rel);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        Nre::Alt(parts) => {
+            let mut out = BTreeSet::new();
+            for part in parts {
+                out.extend(eval_nre(graph, part));
+            }
+            out
+        }
+        Nre::Star(e) => reflexive_transitive_closure(graph, &eval_nre(graph, e)),
+        Nre::Plus(e) => {
+            let rel = eval_nre(graph, e);
+            compose(&rel, &reflexive_transitive_closure(graph, &rel))
+        }
+        Nre::Optional(e) => {
+            let mut out = eval_nre(graph, e);
+            out.extend(graph.node_ids().map(|n| (n, n)));
+            out
+        }
+        Nre::Nest(e) => {
+            let rel = eval_nre(graph, e);
+            let sources: BTreeSet<GNodeId> = rel.iter().map(|&(s, _)| s).collect();
+            sources.into_iter().map(|n| (n, n)).collect()
+        }
+    }
+}
+
+/// Nodes reachable from `source` by the expression.
+pub fn eval_nre_from(graph: &PropertyGraph, nre: &Nre, source: GNodeId) -> BTreeSet<GNodeId> {
+    eval_nre(graph, nre).into_iter().filter(|&(s, _)| s == source).map(|(_, t)| t).collect()
+}
+
+/// Relational composition of two binary relations over nodes.
+fn compose(
+    left: &BTreeSet<(GNodeId, GNodeId)>,
+    right: &BTreeSet<(GNodeId, GNodeId)>,
+) -> BTreeSet<(GNodeId, GNodeId)> {
+    let mut by_source: BTreeMap<GNodeId, Vec<GNodeId>> = BTreeMap::new();
+    for &(s, t) in right {
+        by_source.entry(s).or_default().push(t);
+    }
+    let mut out = BTreeSet::new();
+    for &(s, mid) in left {
+        if let Some(targets) = by_source.get(&mid) {
+            for &t in targets {
+                out.insert((s, t));
+            }
+        }
+    }
+    out
+}
+
+/// Reflexive-transitive closure of a relation, restricted to the graph's nodes.
+fn reflexive_transitive_closure(
+    graph: &PropertyGraph,
+    rel: &BTreeSet<(GNodeId, GNodeId)>,
+) -> BTreeSet<(GNodeId, GNodeId)> {
+    let mut successors: BTreeMap<GNodeId, Vec<GNodeId>> = BTreeMap::new();
+    for &(s, t) in rel {
+        successors.entry(s).or_default().push(t);
+    }
+    let mut out = BTreeSet::new();
+    for start in graph.node_ids() {
+        let mut frontier = vec![start];
+        let mut seen: BTreeSet<GNodeId> = BTreeSet::from([start]);
+        while let Some(n) = frontier.pop() {
+            out.insert((start, n));
+            for &next in successors.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(next) {
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One atom of a conjunctive NRE query: `subject —nre→ object` between two node variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NreAtom {
+    /// Name of the subject variable.
+    pub subject: String,
+    /// The expression relating subject to object.
+    pub nre: Nre,
+    /// Name of the object variable.
+    pub object: String,
+}
+
+/// A conjunction of NRE atoms over node variables — the building block of the graph
+/// schema-mapping languages the paper cites.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConjunctiveNre {
+    atoms: Vec<NreAtom>,
+}
+
+impl ConjunctiveNre {
+    /// The empty conjunction (true everywhere).
+    pub fn new() -> ConjunctiveNre {
+        ConjunctiveNre::default()
+    }
+
+    /// Add an atom `subject —nre→ object`.
+    pub fn atom(mut self, subject: impl Into<String>, nre: Nre, object: impl Into<String>) -> Self {
+        self.atoms.push(NreAtom { subject: subject.into(), nre, object: object.into() });
+        self
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[NreAtom] {
+        &self.atoms
+    }
+
+    /// Distinct variable names, in first-appearance order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for v in [&atom.subject, &atom.object] {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate the conjunction: every assignment of graph nodes to variables under which all
+    /// atoms hold. Atoms are joined in order with early pruning (a simple left-deep plan).
+    pub fn evaluate(&self, graph: &PropertyGraph) -> Vec<BTreeMap<String, GNodeId>> {
+        if self.atoms.is_empty() {
+            return vec![BTreeMap::new()];
+        }
+        let relations: Vec<BTreeSet<(GNodeId, GNodeId)>> =
+            self.atoms.iter().map(|a| eval_nre(graph, &a.nre)).collect();
+        let mut assignments: Vec<BTreeMap<String, GNodeId>> = vec![BTreeMap::new()];
+        for (atom, rel) in self.atoms.iter().zip(&relations) {
+            let mut next = Vec::new();
+            for assignment in &assignments {
+                for &(s, t) in rel {
+                    let subject_ok = assignment.get(&atom.subject).map(|&v| v == s).unwrap_or(true);
+                    let object_ok = assignment.get(&atom.object).map(|&v| v == t).unwrap_or(true);
+                    if subject_ok && object_ok {
+                        let mut extended = assignment.clone();
+                        extended.insert(atom.subject.clone(), s);
+                        extended.insert(atom.object.clone(), t);
+                        next.push(extended);
+                    }
+                }
+            }
+            assignments = next;
+            if assignments.is_empty() {
+                break;
+            }
+        }
+        // Deduplicate (different join orders can produce identical assignments).
+        let mut seen = BTreeSet::new();
+        assignments.retain(|a| seen.insert(a.clone()));
+        assignments
+    }
+
+    /// Whether the conjunction has at least one satisfying assignment.
+    pub fn is_satisfied(&self, graph: &PropertyGraph) -> bool {
+        !self.evaluate(graph).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{generate_geo_graph, GeoConfig};
+    use crate::model::PropertyGraph;
+
+    /// A tiny fixed graph: a --road--> b --road--> c, b --train--> d, labels on nodes.
+    fn small_graph() -> (PropertyGraph, [GNodeId; 4]) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("city");
+        let b = g.add_node("city");
+        let c = g.add_node("city");
+        let d = g.add_node("station");
+        g.add_edge(a, b, "road");
+        g.add_edge(b, c, "road");
+        g.add_edge(b, d, "train");
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn label_and_concat_follow_edges() {
+        let (g, [a, b, c, _]) = small_graph();
+        let road = eval_nre(&g, &Nre::label("road"));
+        assert!(road.contains(&(a, b)));
+        assert!(road.contains(&(b, c)));
+        assert_eq!(road.len(), 2);
+        let two_roads = eval_nre(&g, &Nre::word(&["road", "road"]));
+        assert_eq!(two_roads, BTreeSet::from([(a, c)]));
+    }
+
+    #[test]
+    fn star_includes_reflexive_pairs() {
+        let (g, [a, _, c, d]) = small_graph();
+        let any_road = eval_nre(&g, &Nre::Star(Box::new(Nre::label("road"))));
+        assert!(any_road.contains(&(a, a)), "closure is reflexive");
+        assert!(any_road.contains(&(a, c)), "closure is transitive");
+        assert!(!any_road.contains(&(a, d)), "train edges are not roads");
+    }
+
+    #[test]
+    fn nesting_filters_without_moving() {
+        let (g, [a, b, _, _]) = small_graph();
+        // Nodes with an outgoing train edge — only b.
+        let has_train = eval_nre(&g, &Nre::Nest(Box::new(Nre::label("train"))));
+        assert_eq!(has_train, BTreeSet::from([(b, b)]));
+        // road followed by [train]: reach a city that has a train connection.
+        let road_to_station_city =
+            eval_nre(&g, &Nre::Concat(vec![Nre::label("road"), Nre::Nest(Box::new(Nre::label("train")))]));
+        assert_eq!(road_to_station_city, BTreeSet::from([(a, b)]));
+    }
+
+    #[test]
+    fn node_label_test_restricts_endpoints() {
+        let (g, [_, b, _, d]) = small_graph();
+        let q = Nre::Concat(vec![Nre::label("train"), Nre::NodeLabel("station".to_string())]);
+        assert_eq!(eval_nre(&g, &q), BTreeSet::from([(b, d)]));
+        let none = Nre::Concat(vec![Nre::label("train"), Nre::NodeLabel("city".to_string())]);
+        assert!(eval_nre(&g, &none).is_empty());
+    }
+
+    #[test]
+    fn rpq_lifting_preserves_semantics() {
+        let (g, _) = small_graph();
+        let regex = PathRegex::Concat(vec![
+            PathRegex::label("road"),
+            PathRegex::Star(Box::new(PathRegex::label("road"))),
+        ]);
+        let lifted = Nre::from_regex(&regex);
+        assert!(!lifted.is_nested());
+        assert_eq!(eval_nre(&g, &lifted), crate::rpq::evaluate(&g, &regex));
+    }
+
+    #[test]
+    fn conjunctive_query_joins_atoms() {
+        let (g, [a, b, _, d]) = small_graph();
+        // x —road→ y, y —train→ z: only x=a, y=b, z=d.
+        let q = ConjunctiveNre::new()
+            .atom("x", Nre::label("road"), "y")
+            .atom("y", Nre::label("train"), "z");
+        let answers = q.evaluate(&g);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0]["x"], a);
+        assert_eq!(answers[0]["y"], b);
+        assert_eq!(answers[0]["z"], d);
+        assert_eq!(q.variables(), vec!["x".to_string(), "y".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_reports_no_assignment() {
+        let (g, _) = small_graph();
+        let q = ConjunctiveNre::new()
+            .atom("x", Nre::label("train"), "y")
+            .atom("y", Nre::label("train"), "z");
+        assert!(!q.is_satisfied(&g));
+    }
+
+    #[test]
+    fn nre_display_and_size_are_stable() {
+        let q = Nre::Concat(vec![
+            Nre::label("road"),
+            Nre::Nest(Box::new(Nre::Plus(Box::new(Nre::label("train"))))),
+        ]);
+        assert_eq!(q.to_string(), "road/[(train)+]");
+        assert_eq!(q.size(), 5);
+        assert!(q.is_nested());
+    }
+
+    #[test]
+    fn highway_reachability_on_the_geo_generator() {
+        let g = generate_geo_graph(&GeoConfig { cities: 20, ..Default::default() });
+        // Cities reachable by highways only, with every visited city having some outgoing road.
+        let q = Nre::Plus(Box::new(Nre::Concat(vec![
+            Nre::label("road"),
+            Nre::Nest(Box::new(Nre::AnyEdge)),
+        ])));
+        let pairs = eval_nre(&g, &q);
+        for &(s, t) in pairs.iter().take(20) {
+            assert!(g.node_ids().any(|n| n == s) && g.node_ids().any(|n| n == t));
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! SPARQL-style graph patterns: basic graph patterns, AND, OPTIONAL, UNION, FILTER.
+//!
+//! The paper rejects full SPARQL as a learning target because of its complexity: *"the
+//! evaluation of general SPARQL patterns is PSPACE-complete, while the evaluation of the
+//! restricted class of 'well-designed' patterns is coNP-complete"* (§3, citing Pérez, Arenas &
+//! Gutierrez). To make that argument concrete — and to have the expressive upper bound available
+//! when the experiments compare it against the learnable path-query fragment of
+//! [`crate::rpq`] — this module implements the pattern algebra of Pérez et al. over
+//! [`PropertyGraph`]:
+//!
+//! * [`TriplePattern`] — `subject predicate object` with variables over nodes and edge labels;
+//! * [`GraphPattern`] — `Bgp`, `And`, `Optional`, `Union`, `Filter`;
+//! * [`evaluate_pattern`] — the standard mapping-based semantics (join, left-outer-join, union,
+//!   selection over compatible mappings);
+//! * [`is_well_designed`] — the syntactic restriction under which evaluation drops from
+//!   PSPACE-complete to coNP-complete, checked exactly as defined in the original paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::model::{GNodeId, PropertyGraph};
+
+/// A subject/object position in a triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable, bound to a graph node by evaluation.
+    Var(String),
+    /// A constant node.
+    Node(GNodeId),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{v}"),
+            Term::Node(n) => write!(f, "node:{}", n.0),
+        }
+    }
+}
+
+/// A predicate position in a triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PredTerm {
+    /// A variable, bound to an edge label.
+    Var(String),
+    /// A constant edge label.
+    Label(String),
+}
+
+impl PredTerm {
+    /// Convenience constructor for a constant edge label.
+    pub fn label(l: impl Into<String>) -> PredTerm {
+        PredTerm::Label(l.into())
+    }
+}
+
+impl fmt::Display for PredTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredTerm::Var(v) => write!(f, "?{v}"),
+            PredTerm::Label(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A triple pattern `subject predicate object`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject term.
+    pub subject: Term,
+    /// Predicate term.
+    pub predicate: PredTerm,
+    /// Object term.
+    pub object: Term,
+}
+
+impl TriplePattern {
+    /// Build a triple pattern.
+    pub fn new(subject: Term, predicate: PredTerm, object: Term) -> TriplePattern {
+        TriplePattern { subject, predicate, object }
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A value a variable can be bound to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Binding {
+    /// A graph node.
+    Node(GNodeId),
+    /// An edge label.
+    Label(String),
+}
+
+/// A (partial) mapping from variable names to bindings — the unit the SPARQL semantics operates
+/// on.
+pub type Mapping = BTreeMap<String, Binding>;
+
+/// A filter constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// The variable is bound.
+    Bound(String),
+    /// The variable is bound to a node whose property `key` equals `value` (as text).
+    NodePropEquals(String, String, String),
+    /// Two variables are bound to the same node.
+    SameNode(String, String),
+    /// The variable is bound to a node carrying the given label.
+    NodeLabelIs(String, String),
+}
+
+impl Constraint {
+    /// Evaluate the constraint under a mapping.
+    pub fn satisfied(&self, graph: &PropertyGraph, mapping: &Mapping) -> bool {
+        match self {
+            Constraint::Bound(v) => mapping.contains_key(v),
+            Constraint::NodePropEquals(v, key, value) => match mapping.get(v) {
+                Some(Binding::Node(n)) => graph
+                    .node_property(*n, key)
+                    .and_then(|p| p.as_text().map(|t| t == value))
+                    .unwrap_or(false),
+                _ => false,
+            },
+            Constraint::SameNode(a, b) => match (mapping.get(a), mapping.get(b)) {
+                (Some(Binding::Node(x)), Some(Binding::Node(y))) => x == y,
+                _ => false,
+            },
+            Constraint::NodeLabelIs(v, label) => match mapping.get(v) {
+                Some(Binding::Node(n)) => graph.node_label(*n) == label,
+                _ => false,
+            },
+        }
+    }
+
+    /// Variables mentioned by the constraint.
+    pub fn variables(&self) -> BTreeSet<String> {
+        match self {
+            Constraint::Bound(v)
+            | Constraint::NodePropEquals(v, _, _)
+            | Constraint::NodeLabelIs(v, _) => [v.clone()].into_iter().collect(),
+            Constraint::SameNode(a, b) => [a.clone(), b.clone()].into_iter().collect(),
+        }
+    }
+}
+
+/// A SPARQL-style graph pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a conjunction of triple patterns.
+    Bgp(Vec<TriplePattern>),
+    /// Conjunction (join) of two patterns.
+    And(Box<GraphPattern>, Box<GraphPattern>),
+    /// Left pattern, optionally extended by the right one (left outer join).
+    Optional(Box<GraphPattern>, Box<GraphPattern>),
+    /// Union of two patterns.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// Selection of the mappings satisfying a constraint.
+    Filter(Box<GraphPattern>, Constraint),
+}
+
+impl GraphPattern {
+    /// A single-triple basic graph pattern.
+    pub fn triple(subject: Term, predicate: PredTerm, object: Term) -> GraphPattern {
+        GraphPattern::Bgp(vec![TriplePattern::new(subject, predicate, object)])
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: GraphPattern) -> GraphPattern {
+        GraphPattern::And(Box::new(self), Box::new(other))
+    }
+
+    /// Optional extension.
+    pub fn optional(self, other: GraphPattern) -> GraphPattern {
+        GraphPattern::Optional(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn union(self, other: GraphPattern) -> GraphPattern {
+        GraphPattern::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Filter.
+    pub fn filter(self, constraint: Constraint) -> GraphPattern {
+        GraphPattern::Filter(Box::new(self), constraint)
+    }
+
+    /// All variables occurring in the pattern (including filter-only variables).
+    pub fn variables(&self) -> BTreeSet<String> {
+        match self {
+            GraphPattern::Bgp(triples) => {
+                let mut vars = BTreeSet::new();
+                for t in triples {
+                    if let Term::Var(v) = &t.subject {
+                        vars.insert(v.clone());
+                    }
+                    if let PredTerm::Var(v) = &t.predicate {
+                        vars.insert(v.clone());
+                    }
+                    if let Term::Var(v) = &t.object {
+                        vars.insert(v.clone());
+                    }
+                }
+                vars
+            }
+            GraphPattern::And(a, b) | GraphPattern::Optional(a, b) | GraphPattern::Union(a, b) => {
+                let mut vars = a.variables();
+                vars.extend(b.variables());
+                vars
+            }
+            GraphPattern::Filter(p, c) => {
+                let mut vars = p.variables();
+                vars.extend(c.variables());
+                vars
+            }
+        }
+    }
+
+    /// Number of operators in the pattern (a size measure for the experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            GraphPattern::Bgp(triples) => triples.len().max(1),
+            GraphPattern::And(a, b)
+            | GraphPattern::Optional(a, b)
+            | GraphPattern::Union(a, b) => 1 + a.size() + b.size(),
+            GraphPattern::Filter(p, _) => 1 + p.size(),
+        }
+    }
+}
+
+/// Two mappings are compatible when they agree on every shared variable.
+pub fn compatible(a: &Mapping, b: &Mapping) -> bool {
+    a.iter().all(|(k, v)| b.get(k).map(|w| w == v).unwrap_or(true))
+}
+
+fn merge(a: &Mapping, b: &Mapping) -> Mapping {
+    let mut out = a.clone();
+    for (k, v) in b {
+        out.insert(k.clone(), v.clone());
+    }
+    out
+}
+
+fn match_triple(graph: &PropertyGraph, pattern: &TriplePattern) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for edge in graph.edge_ids() {
+        let (src, dst, label) = (graph.source(edge), graph.target(edge), graph.edge_label(edge));
+        let mut mapping = Mapping::new();
+        let subject_ok = match &pattern.subject {
+            Term::Node(n) => *n == src,
+            Term::Var(v) => {
+                mapping.insert(v.clone(), Binding::Node(src));
+                true
+            }
+        };
+        let predicate_ok = match &pattern.predicate {
+            PredTerm::Label(l) => l == label,
+            PredTerm::Var(v) => match mapping.get(v) {
+                Some(Binding::Label(existing)) => existing == label,
+                Some(_) => false,
+                None => {
+                    mapping.insert(v.clone(), Binding::Label(label.to_string()));
+                    true
+                }
+            },
+        };
+        let object_ok = match &pattern.object {
+            Term::Node(n) => *n == dst,
+            Term::Var(v) => match mapping.get(v) {
+                Some(Binding::Node(existing)) => *existing == dst,
+                Some(_) => false,
+                None => {
+                    mapping.insert(v.clone(), Binding::Node(dst));
+                    true
+                }
+            },
+        };
+        if subject_ok && predicate_ok && object_ok {
+            out.push(mapping);
+        }
+    }
+    out
+}
+
+fn join(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for a in left {
+        for b in right {
+            if compatible(a, b) {
+                out.push(merge(a, b));
+            }
+        }
+    }
+    dedup(out)
+}
+
+fn left_outer_join(left: &[Mapping], right: &[Mapping]) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for a in left {
+        let mut extended = false;
+        for b in right {
+            if compatible(a, b) {
+                out.push(merge(a, b));
+                extended = true;
+            }
+        }
+        if !extended {
+            out.push(a.clone());
+        }
+    }
+    dedup(out)
+}
+
+fn dedup(mappings: Vec<Mapping>) -> Vec<Mapping> {
+    let mut seen = BTreeSet::new();
+    mappings
+        .into_iter()
+        .filter(|m| {
+            let key: Vec<(String, Binding)> =
+                m.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            seen.insert(key)
+        })
+        .collect()
+}
+
+/// Evaluate a graph pattern, returning the set of solution mappings (Pérez et al. semantics).
+pub fn evaluate_pattern(graph: &PropertyGraph, pattern: &GraphPattern) -> Vec<Mapping> {
+    match pattern {
+        GraphPattern::Bgp(triples) => {
+            let mut acc: Vec<Mapping> = vec![Mapping::new()];
+            for t in triples {
+                let matches = match_triple(graph, t);
+                acc = join(&acc, &matches);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        GraphPattern::And(a, b) => {
+            join(&evaluate_pattern(graph, a), &evaluate_pattern(graph, b))
+        }
+        GraphPattern::Optional(a, b) => {
+            left_outer_join(&evaluate_pattern(graph, a), &evaluate_pattern(graph, b))
+        }
+        GraphPattern::Union(a, b) => {
+            let mut out = evaluate_pattern(graph, a);
+            out.extend(evaluate_pattern(graph, b));
+            dedup(out)
+        }
+        GraphPattern::Filter(p, c) => evaluate_pattern(graph, p)
+            .into_iter()
+            .filter(|m| c.satisfied(graph, m))
+            .collect(),
+    }
+}
+
+/// Whether the pattern is *well designed* (Pérez et al.): it is UNION-free and for every
+/// sub-pattern `P1 OPTIONAL P2`, every variable of `P2` that also occurs in the pattern outside
+/// `P2` occurs in `P1` as well. Evaluation of well-designed patterns is coNP-complete instead of
+/// PSPACE-complete, which is the distinction the paper invokes.
+pub fn is_well_designed(pattern: &GraphPattern) -> bool {
+    fn has_union(p: &GraphPattern) -> bool {
+        match p {
+            GraphPattern::Union(_, _) => true,
+            GraphPattern::Bgp(_) => false,
+            GraphPattern::And(a, b) | GraphPattern::Optional(a, b) => has_union(a) || has_union(b),
+            GraphPattern::Filter(inner, _) => has_union(inner),
+        }
+    }
+    if has_union(pattern) {
+        return false;
+    }
+    // Collect every OPTIONAL sub-pattern together with the variables occurring in the whole
+    // pattern outside its right branch.
+    fn check(whole: &GraphPattern, p: &GraphPattern) -> bool {
+        match p {
+            GraphPattern::Bgp(_) => true,
+            GraphPattern::And(a, b) => check(whole, a) && check(whole, b),
+            GraphPattern::Filter(inner, _) => check(whole, inner),
+            GraphPattern::Union(a, b) => check(whole, a) && check(whole, b),
+            GraphPattern::Optional(a, b) => {
+                let inside: BTreeSet<String> = b.variables();
+                let outside = variables_outside(whole, b);
+                let left = a.variables();
+                let ok = inside
+                    .iter()
+                    .filter(|v| outside.contains(*v))
+                    .all(|v| left.contains(v));
+                ok && check(whole, a) && check(whole, b)
+            }
+        }
+    }
+    // Variables of `whole` occurring outside the sub-pattern `excluded` (compared by pointer
+    // identity of the boxed pattern, which is sufficient because we only ever pass sub-patterns
+    // of `whole` obtained during the same traversal).
+    fn variables_outside(whole: &GraphPattern, excluded: &GraphPattern) -> BTreeSet<String> {
+        fn collect(p: &GraphPattern, excluded: &GraphPattern, out: &mut BTreeSet<String>) {
+            if std::ptr::eq(p, excluded) {
+                return;
+            }
+            match p {
+                GraphPattern::Bgp(_) => {
+                    out.extend(p.variables());
+                }
+                GraphPattern::And(a, b)
+                | GraphPattern::Optional(a, b)
+                | GraphPattern::Union(a, b) => {
+                    collect(a, excluded, out);
+                    collect(b, excluded, out);
+                }
+                GraphPattern::Filter(inner, c) => {
+                    out.extend(c.variables());
+                    collect(inner, excluded, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        collect(whole, excluded, &mut out);
+        out
+    }
+    check(pattern, pattern)
+}
+
+/// Project the solution mappings onto one node variable, as the path-learning experiments do when
+/// comparing a SPARQL upper bound against an RPQ answer.
+pub fn select_nodes(solutions: &[Mapping], variable: &str) -> BTreeSet<GNodeId> {
+    solutions
+        .iter()
+        .filter_map(|m| match m.get(variable) {
+            Some(Binding::Node(n)) => Some(*n),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small road network: a --road--> b --road--> c, a --train--> c, plus city names.
+    fn roads() -> (PropertyGraph, GNodeId, GNodeId, GNodeId) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("city");
+        let b = g.add_node("city");
+        let c = g.add_node("city");
+        g.set_node_property(a, "name", "Lille");
+        g.set_node_property(b, "name", "Paris");
+        g.set_node_property(c, "name", "Lyon");
+        g.add_edge(a, b, "road");
+        g.add_edge(b, c, "road");
+        g.add_edge(a, c, "train");
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn single_triple_pattern_matches_edges_by_label() {
+        let (g, a, b, _) = roads();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"));
+        let sols = evaluate_pattern(&g, &p);
+        assert_eq!(sols.len(), 2);
+        assert!(sols.iter().any(|m| m["x"] == Binding::Node(a) && m["y"] == Binding::Node(b)));
+    }
+
+    #[test]
+    fn bgp_joins_triples_on_shared_variables() {
+        let (g, a, _, c) = roads();
+        let p = GraphPattern::Bgp(vec![
+            TriplePattern::new(Term::var("x"), PredTerm::label("road"), Term::var("y")),
+            TriplePattern::new(Term::var("y"), PredTerm::label("road"), Term::var("z")),
+        ]);
+        let sols = evaluate_pattern(&g, &p);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0]["x"], Binding::Node(a));
+        assert_eq!(sols[0]["z"], Binding::Node(c));
+    }
+
+    #[test]
+    fn predicate_variable_binds_edge_labels() {
+        let (g, a, _, c) = roads();
+        let p = GraphPattern::triple(Term::Node(a), PredTerm::Var("p".into()), Term::Node(c));
+        let sols = evaluate_pattern(&g, &p);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0]["p"], Binding::Label("train".into()));
+    }
+
+    #[test]
+    fn optional_keeps_unextended_mappings() {
+        let (g, _, _, _) = roads();
+        // Every road edge, optionally extended by a further road edge from its target.
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .optional(GraphPattern::triple(
+                Term::var("y"),
+                PredTerm::label("road"),
+                Term::var("z"),
+            ));
+        let sols = evaluate_pattern(&g, &p);
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols.iter().filter(|m| m.contains_key("z")).count(), 1);
+    }
+
+    #[test]
+    fn union_combines_and_deduplicates() {
+        let (g, _, _, _) = roads();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .union(GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y")));
+        assert_eq!(evaluate_pattern(&g, &p).len(), 3);
+        let dup = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .union(GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")));
+        assert_eq!(evaluate_pattern(&g, &dup).len(), 2);
+    }
+
+    #[test]
+    fn filter_selects_by_node_property() {
+        let (g, a, _, _) = roads();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .filter(Constraint::NodePropEquals("x".into(), "name".into(), "Lille".into()));
+        let sols = evaluate_pattern(&g, &p);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0]["x"], Binding::Node(a));
+    }
+
+    #[test]
+    fn filter_same_node_and_bound_constraints() {
+        let (g, _, _, _) = roads();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .filter(Constraint::SameNode("x".into(), "y".into()));
+        assert!(evaluate_pattern(&g, &p).is_empty(), "there are no self-loop roads");
+        let q = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .filter(Constraint::Bound("x".into()));
+        assert_eq!(evaluate_pattern(&g, &q).len(), 2);
+    }
+
+    #[test]
+    fn node_label_filter() {
+        let (g, _, _, _) = roads();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y"))
+            .filter(Constraint::NodeLabelIs("y".into(), "city".into()));
+        assert_eq!(evaluate_pattern(&g, &p).len(), 1);
+    }
+
+    #[test]
+    fn well_designed_accepts_proper_optional_use() {
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .optional(GraphPattern::triple(
+                Term::var("y"),
+                PredTerm::label("road"),
+                Term::var("z"),
+            ));
+        assert!(is_well_designed(&p));
+    }
+
+    #[test]
+    fn well_designed_rejects_the_perez_counterexample() {
+        // The classical shape: P = (P1 OPT P2) AND P3 where P2 and P3 share a variable that is
+        // absent from P1.
+        let p1 = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"));
+        let p2 = GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("z"));
+        let p3 = GraphPattern::triple(Term::var("z"), PredTerm::label("road"), Term::var("w"));
+        let pattern = p1.optional(p2).and(p3);
+        assert!(!is_well_designed(&pattern), "?z occurs in the OPT branch and outside it");
+    }
+
+    #[test]
+    fn union_patterns_are_not_well_designed() {
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .union(GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y")));
+        assert!(!is_well_designed(&p));
+    }
+
+    #[test]
+    fn select_nodes_projects_one_variable() {
+        let (g, a, b, _) = roads();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"));
+        let sols = evaluate_pattern(&g, &p);
+        let xs = select_nodes(&sols, "x");
+        assert_eq!(xs, [a, b].into_iter().collect());
+        assert!(select_nodes(&sols, "missing").is_empty());
+    }
+
+    #[test]
+    fn variables_and_size_are_reported() {
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+            .filter(Constraint::Bound("x".into()));
+        assert_eq!(p.variables(), ["x".to_string(), "y".to_string()].into_iter().collect());
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_solutions() {
+        let g = PropertyGraph::new();
+        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"));
+        assert!(evaluate_pattern(&g, &p).is_empty());
+    }
+}

@@ -1,0 +1,391 @@
+//! BP-completeness: deciding whether a relational algebra expression maps one instance to another.
+//!
+//! The paper's §3 opens its related-work discussion with *"Bancilhon and Paredaens studied the
+//! decision problem, given a pair of relational instances, whether there exists a relational
+//! algebra expression which maps the first instance to the second one. Their research led to the
+//! notion of BP-completeness."* The classical characterisation (Paredaens '78, Bancilhon '78) is
+//! purely semantic: for finite instances `I` and `J`,
+//!
+//! > a relational algebra expression `E` with `E(I) = J` exists **iff**
+//! > (1) the active domain of `J` is contained in the active domain of `I`, and
+//! > (2) every automorphism of `I` is also an automorphism of `J`.
+//!
+//! This module implements that criterion: active domains, applying value renamings to
+//! instances, enumerating automorphisms by backtracking with occurrence-profile pruning, and the
+//! decision procedure [`bp_expressible`]. The extension to finite sequences of input/output
+//! pairs studied by Fletcher et al. (TKDE'09) is exposed as [`sequence_expressible`], which
+//! applies the joint criterion (shared automorphisms of the combined input must preserve every
+//! output).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::model::{Instance, Relation, Tuple, Value};
+
+/// The active domain of a relation: the set of values occurring in it.
+pub fn active_domain(relation: &Relation) -> BTreeSet<Value> {
+    relation.tuples().iter().flat_map(|t| t.values().iter().cloned()).collect()
+}
+
+/// The active domain of an instance.
+pub fn instance_active_domain(db: &Instance) -> BTreeSet<Value> {
+    db.relations().flat_map(active_domain).collect()
+}
+
+/// Apply a value renaming to every tuple of a relation.
+pub fn apply_map(relation: &Relation, map: &BTreeMap<Value, Value>) -> Relation {
+    let tuples = relation
+        .tuples()
+        .iter()
+        .map(|t| {
+            Tuple::new(
+                t.values().iter().map(|v| map.get(v).cloned().unwrap_or_else(|| v.clone())).collect(),
+            )
+        })
+        .collect();
+    Relation::with_tuples(relation.schema().clone(), tuples)
+}
+
+/// Whether a value renaming maps the relation onto itself (as a set of tuples).
+pub fn preserves(relation: &Relation, map: &BTreeMap<Value, Value>) -> bool {
+    let original: BTreeSet<&Tuple> = relation.tuples().iter().collect();
+    let renamed = apply_map(relation, map);
+    let renamed_set: BTreeSet<&Tuple> = renamed.tuples().iter().collect();
+    original == renamed_set
+}
+
+/// Whether a renaming preserves every relation of the instance.
+pub fn preserves_instance(db: &Instance, map: &BTreeMap<Value, Value>) -> bool {
+    db.relations().all(|r| preserves(r, map))
+}
+
+/// The occurrence profile of a value in an instance: for every (relation, column) pair, how many
+/// times the value occurs there. Two values can only be swapped by an automorphism if their
+/// profiles coincide; this is the initial colouring refined by [`value_colours`].
+fn occurrence_profile(db: &Instance, value: &Value) -> Vec<usize> {
+    let mut profile = Vec::new();
+    for relation in db.relations() {
+        for col in 0..relation.schema().arity() {
+            profile.push(relation.tuples().iter().filter(|t| t.get(col) == value).count());
+        }
+    }
+    profile
+}
+
+/// Automorphism-invariant colouring of the active domain, computed by iterated refinement
+/// (the 1-dimensional Weisfeiler–Leman procedure adapted to tuples): two values receive the same
+/// colour only if they occur in the same columns with the same multiplicities *and* co-occur with
+/// same-coloured values in the same positions. Any automorphism must map each value to a value of
+/// the same colour, so the colouring is a sound pruning for [`automorphisms`] — on instances
+/// without real symmetry it typically shatters the domain into singletons.
+fn value_colours(db: &Instance, domain: &[Value]) -> Vec<usize> {
+    let index_of: BTreeMap<&Value, usize> =
+        domain.iter().enumerate().map(|(i, v)| (v, i)).collect();
+    // Initial colours from occurrence profiles.
+    let mut signatures: Vec<Vec<usize>> =
+        domain.iter().map(|v| occurrence_profile(db, v)).collect();
+    let mut colours = canonicalise(&signatures);
+    loop {
+        // One refinement round: a value's new signature is its colour plus the sorted multiset of
+        // (relation, position, colours of the co-occurring values) over every tuple it occurs in.
+        let mut next: Vec<Vec<Vec<usize>>> = domain.iter().map(|_| Vec::new()).collect();
+        for (rel_ix, relation) in db.relations().enumerate() {
+            for tuple in relation.tuples() {
+                let tuple_colours: Vec<usize> =
+                    tuple.values().iter().map(|v| colours[index_of[v]]).collect();
+                for (pos, v) in tuple.values().iter().enumerate() {
+                    let mut contribution = vec![rel_ix, pos];
+                    contribution.extend(&tuple_colours);
+                    next[index_of[v]].push(contribution);
+                }
+            }
+        }
+        signatures = next
+            .into_iter()
+            .zip(&colours)
+            .map(|(mut contributions, &colour)| {
+                contributions.sort();
+                let mut flat = vec![colour];
+                flat.extend(contributions.into_iter().flatten());
+                flat
+            })
+            .collect();
+        let refined = canonicalise(&signatures);
+        let before = colours.iter().collect::<BTreeSet<_>>().len();
+        let after = refined.iter().collect::<BTreeSet<_>>().len();
+        colours = refined;
+        if after == before {
+            return colours;
+        }
+    }
+}
+
+/// Replace arbitrary signatures by small colour indices (equal signatures ⇒ equal colour).
+fn canonicalise(signatures: &[Vec<usize>]) -> Vec<usize> {
+    let mut ids: BTreeMap<&Vec<usize>, usize> = BTreeMap::new();
+    for s in signatures {
+        let next = ids.len();
+        ids.entry(s).or_insert(next);
+    }
+    signatures.iter().map(|s| ids[s]).collect()
+}
+
+/// Enumerate all automorphisms of an instance: bijections of its active domain that map every
+/// relation onto itself. The identity is always included.
+///
+/// The search backtracks over an ordering of the active domain and only pairs values with equal
+/// refined colours (see [`value_colours`]), so instances whose values are structurally
+/// distinguishable are handled in near-linear time; the worst case (highly symmetric instances)
+/// remains factorial, which matches the problem's nature.
+pub fn automorphisms(db: &Instance) -> Vec<BTreeMap<Value, Value>> {
+    let domain: Vec<Value> = instance_active_domain(db).into_iter().collect();
+    let colours = value_colours(db, &domain);
+    let profiles: Vec<Vec<usize>> = colours.iter().map(|&c| vec![c]).collect();
+    let mut result = Vec::new();
+    let mut assignment: BTreeMap<Value, Value> = BTreeMap::new();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+
+    fn backtrack(
+        db: &Instance,
+        domain: &[Value],
+        profiles: &[Vec<usize>],
+        position: usize,
+        assignment: &mut BTreeMap<Value, Value>,
+        used: &mut BTreeSet<usize>,
+        result: &mut Vec<BTreeMap<Value, Value>>,
+    ) {
+        if position == domain.len() {
+            if preserves_instance(db, assignment) {
+                result.push(assignment.clone());
+            }
+            return;
+        }
+        for candidate in 0..domain.len() {
+            if used.contains(&candidate) || profiles[position] != profiles[candidate] {
+                continue;
+            }
+            assignment.insert(domain[position].clone(), domain[candidate].clone());
+            used.insert(candidate);
+            backtrack(db, domain, profiles, position + 1, assignment, used, result);
+            used.remove(&candidate);
+            assignment.remove(&domain[position]);
+        }
+    }
+
+    backtrack(db, &domain, &profiles, 0, &mut assignment, &mut used, &mut result);
+    result
+}
+
+/// Why a pair of instances is not BP-expressible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BpObstruction {
+    /// The output mentions a value absent from the input's active domain.
+    ForeignValue(Value),
+    /// An automorphism of the input does not preserve the output.
+    SymmetryBroken(BTreeMap<Value, Value>),
+}
+
+impl fmt::Display for BpObstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpObstruction::ForeignValue(v) => {
+                write!(f, "output value {v} does not occur in the input")
+            }
+            BpObstruction::SymmetryBroken(map) => {
+                let moved: Vec<String> = map
+                    .iter()
+                    .filter(|(a, b)| a != b)
+                    .map(|(a, b)| format!("{a}↦{b}"))
+                    .collect();
+                write!(f, "input automorphism {{{}}} does not preserve the output", moved.join(", "))
+            }
+        }
+    }
+}
+
+/// Outcome of the BP-expressibility test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpVerdict {
+    /// Whether some relational algebra expression maps the input to the output.
+    pub expressible: bool,
+    /// A witness obstruction when not expressible.
+    pub obstruction: Option<BpObstruction>,
+    /// Number of input automorphisms examined.
+    pub automorphism_count: usize,
+}
+
+/// Decide whether a relational algebra expression maps `input` to `output`
+/// (Bancilhon–Paredaens criterion).
+pub fn bp_expressible(input: &Instance, output: &Relation) -> BpVerdict {
+    let input_domain = instance_active_domain(input);
+    for v in active_domain(output) {
+        if !input_domain.contains(&v) {
+            return BpVerdict {
+                expressible: false,
+                obstruction: Some(BpObstruction::ForeignValue(v)),
+                automorphism_count: 0,
+            };
+        }
+    }
+    let autos = automorphisms(input);
+    let count = autos.len();
+    for map in autos {
+        if !preserves(output, &map) {
+            return BpVerdict {
+                expressible: false,
+                obstruction: Some(BpObstruction::SymmetryBroken(map)),
+                automorphism_count: count,
+            };
+        }
+    }
+    BpVerdict { expressible: true, obstruction: None, automorphism_count: count }
+}
+
+/// Decide whether a single relational algebra expression is consistent with a finite sequence of
+/// input/output pairs (Fletcher et al.): every pair must satisfy the Bancilhon–Paredaens
+/// criterion individually — a necessary condition, and for pairwise-disjoint active domains also
+/// sufficient, which is the regime the generators in this workspace produce.
+pub fn sequence_expressible(pairs: &[(Instance, Relation)]) -> Vec<BpVerdict> {
+    pairs.iter().map(|(i, o)| bp_expressible(i, o)).collect()
+}
+
+/// Convenience wrapper: a single-relation input instance.
+pub fn single_relation_instance(relation: Relation) -> Instance {
+    let mut db = Instance::new();
+    db.add(relation);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RelationSchema;
+
+    fn edge_relation(edges: &[(i64, i64)]) -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("edge", &["src", "dst"]),
+            edges.iter().map(|&(a, b)| Tuple::new(vec![a.into(), b.into()])).collect(),
+        )
+    }
+
+    fn unary(name: &str, values: &[i64]) -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new(name, &["x"]),
+            values.iter().map(|&v| Tuple::new(vec![v.into()])).collect(),
+        )
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let r = edge_relation(&[(1, 2), (2, 3)]);
+        let dom = active_domain(&r);
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Value::Int(2)));
+    }
+
+    #[test]
+    fn identity_is_always_an_automorphism() {
+        let db = single_relation_instance(edge_relation(&[(1, 2), (2, 3)]));
+        let autos = automorphisms(&db);
+        assert!(autos.iter().any(|m| m.iter().all(|(a, b)| a == b)));
+    }
+
+    #[test]
+    fn asymmetric_instance_has_only_the_identity() {
+        // A path 1→2→3: 1 has out-degree 1/in-degree 0, 3 the opposite, 2 both — all distinct.
+        let db = single_relation_instance(edge_relation(&[(1, 2), (2, 3)]));
+        assert_eq!(automorphisms(&db).len(), 1);
+    }
+
+    #[test]
+    fn symmetric_instance_has_nontrivial_automorphisms() {
+        // Two disconnected self-loops are swappable.
+        let db = single_relation_instance(edge_relation(&[(1, 1), (2, 2)]));
+        assert_eq!(automorphisms(&db).len(), 2);
+    }
+
+    #[test]
+    fn projection_output_is_expressible() {
+        let input = single_relation_instance(edge_relation(&[(1, 2), (2, 3)]));
+        let output = unary("out", &[1, 2]);
+        assert!(bp_expressible(&input, &output).expressible);
+    }
+
+    #[test]
+    fn foreign_value_blocks_expressibility() {
+        let input = single_relation_instance(edge_relation(&[(1, 2)]));
+        let output = unary("out", &[7]);
+        let verdict = bp_expressible(&input, &output);
+        assert!(!verdict.expressible);
+        assert_eq!(verdict.obstruction, Some(BpObstruction::ForeignValue(Value::Int(7))));
+    }
+
+    #[test]
+    fn symmetry_breaking_output_is_not_expressible() {
+        // Input {1,2} as a unary relation is fully symmetric; selecting just {1} breaks it.
+        let input = single_relation_instance(unary("r", &[1, 2]));
+        let output = unary("out", &[1]);
+        let verdict = bp_expressible(&input, &output);
+        assert!(!verdict.expressible);
+        assert!(matches!(verdict.obstruction, Some(BpObstruction::SymmetryBroken(_))));
+        assert_eq!(verdict.automorphism_count, 2);
+    }
+
+    #[test]
+    fn symmetric_output_of_symmetric_input_is_expressible() {
+        let input = single_relation_instance(unary("r", &[1, 2]));
+        let output = unary("out", &[1, 2]);
+        assert!(bp_expressible(&input, &output).expressible);
+    }
+
+    #[test]
+    fn constants_in_a_second_relation_break_the_symmetry() {
+        // Adding a unary relation that distinguishes value 1 makes selecting {1} expressible
+        // (e.g. by joining with that relation).
+        let mut db = Instance::new();
+        db.add(unary("r", &[1, 2]));
+        db.add(unary("marked", &[1]));
+        let output = unary("out", &[1]);
+        assert!(bp_expressible(&db, &output).expressible);
+    }
+
+    #[test]
+    fn apply_map_renames_values() {
+        let r = unary("r", &[1, 2]);
+        let mut map = BTreeMap::new();
+        map.insert(Value::Int(1), Value::Int(2));
+        map.insert(Value::Int(2), Value::Int(1));
+        let renamed = apply_map(&r, &map);
+        assert!(preserves(&r, &map));
+        assert_eq!(active_domain(&renamed), active_domain(&r));
+    }
+
+    #[test]
+    fn preserves_detects_non_automorphisms() {
+        let r = edge_relation(&[(1, 2)]);
+        let mut map = BTreeMap::new();
+        map.insert(Value::Int(1), Value::Int(2));
+        map.insert(Value::Int(2), Value::Int(1));
+        assert!(!preserves(&r, &map), "reversing the single edge changes the relation");
+    }
+
+    #[test]
+    fn sequence_expressibility_reports_per_pair_verdicts() {
+        let pairs = vec![
+            (single_relation_instance(unary("r", &[1, 2])), unary("out", &[1, 2])),
+            (single_relation_instance(unary("r", &[3, 4])), unary("out", &[3])),
+        ];
+        let verdicts = sequence_expressible(&pairs);
+        assert!(verdicts[0].expressible);
+        assert!(!verdicts[1].expressible);
+    }
+
+    #[test]
+    fn obstruction_display_is_informative() {
+        let input = single_relation_instance(unary("r", &[1, 2]));
+        let output = unary("out", &[1]);
+        let verdict = bp_expressible(&input, &output);
+        let text = verdict.obstruction.unwrap().to_string();
+        assert!(text.contains("automorphism"), "{text}");
+    }
+}

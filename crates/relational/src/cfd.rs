@@ -1,0 +1,415 @@
+//! Conditional functional dependency (CFD) discovery.
+//!
+//! The paper's related-work survey (§3) cites *"Fan et al. proposed learning algorithms for
+//! conditional functional dependencies"* (TKDE'11) as one of the data-mining-flavoured
+//! approaches to inferring query-like artefacts from instances. A CFD `(X → A, tp)` extends a
+//! functional dependency with a *pattern tuple* `tp` over `X ∪ {A}` whose entries are either
+//! constants or the wildcard `_`; the dependency only constrains tuples matching the constant
+//! part of the pattern. This module implements:
+//!
+//! * plain functional-dependency checking and levelwise discovery ([`fd_holds`],
+//!   [`discover_fds`]);
+//! * CFD semantics — matching, support, violation counting ([`Cfd`]);
+//! * discovery of constant CFDs with a support threshold ([`discover_constant_cfds`]), the
+//!   CTane-style levelwise search restricted (as in the original experimental study) to
+//!   left-hand sides of bounded size.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::model::{Relation, Tuple, Value};
+
+/// One entry of a CFD pattern tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pattern {
+    /// Matches any value (written `_`).
+    Wildcard,
+    /// Matches exactly this constant.
+    Const(Value),
+}
+
+impl Pattern {
+    /// Whether a value matches the pattern entry.
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            Pattern::Wildcard => true,
+            Pattern::Const(v) => v == value,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Wildcard => write!(f, "_"),
+            Pattern::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A conditional functional dependency `(X → A, tp)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfd {
+    /// Left-hand-side attribute indices with their pattern entries.
+    pub lhs: Vec<(usize, Pattern)>,
+    /// Right-hand-side attribute index.
+    pub rhs: usize,
+    /// Right-hand-side pattern entry.
+    pub rhs_pattern: Pattern,
+}
+
+impl Cfd {
+    /// Create a CFD; the left-hand side is kept sorted by attribute index.
+    pub fn new(lhs: Vec<(usize, Pattern)>, rhs: usize, rhs_pattern: Pattern) -> Cfd {
+        let mut lhs = lhs;
+        lhs.sort_by_key(|(ix, _)| *ix);
+        Cfd { lhs, rhs, rhs_pattern }
+    }
+
+    /// Whether a tuple matches the left-hand-side pattern.
+    pub fn lhs_matches(&self, tuple: &Tuple) -> bool {
+        self.lhs.iter().all(|(ix, p)| p.matches(tuple.get(*ix)))
+    }
+
+    /// Tuples of the relation matching the left-hand side (the CFD's *support set*).
+    pub fn support(&self, relation: &Relation) -> usize {
+        relation.tuples().iter().filter(|t| self.lhs_matches(t)).count()
+    }
+
+    /// Number of violating tuples (or pairs, for wildcard right-hand sides).
+    ///
+    /// * constant RHS: a matching tuple violates the CFD if its RHS value differs from the
+    ///   constant;
+    /// * wildcard RHS: a pair of matching tuples violates it if they agree on all LHS attributes
+    ///   but differ on the RHS (the classical FD reading, conditioned on the pattern).
+    pub fn violations(&self, relation: &Relation) -> usize {
+        match &self.rhs_pattern {
+            Pattern::Const(v) => relation
+                .tuples()
+                .iter()
+                .filter(|t| self.lhs_matches(t) && t.get(self.rhs) != v)
+                .count(),
+            Pattern::Wildcard => {
+                let matching: Vec<&Tuple> =
+                    relation.tuples().iter().filter(|t| self.lhs_matches(t)).collect();
+                let lhs_ixs: Vec<usize> = self.lhs.iter().map(|(ix, _)| *ix).collect();
+                let mut violations = 0;
+                for (i, a) in matching.iter().enumerate() {
+                    for b in matching.iter().skip(i + 1) {
+                        let agree_lhs = lhs_ixs.iter().all(|&ix| a.get(ix) == b.get(ix));
+                        if agree_lhs && a.get(self.rhs) != b.get(self.rhs) {
+                            violations += 1;
+                        }
+                    }
+                }
+                violations
+            }
+        }
+    }
+
+    /// Whether the CFD holds (no violations) on the relation.
+    pub fn holds(&self, relation: &Relation) -> bool {
+        self.violations(relation) == 0
+    }
+
+    /// Render the CFD using the relation's attribute names.
+    pub fn describe(&self, relation: &Relation) -> String {
+        let attrs = relation.schema().attributes();
+        let lhs: Vec<String> =
+            self.lhs.iter().map(|(ix, p)| format!("{}={}", attrs[*ix], p)).collect();
+        format!("[{}] → {}={}", lhs.join(", "), attrs[self.rhs], self.rhs_pattern)
+    }
+}
+
+/// Whether the plain functional dependency `lhs → rhs` holds on the relation.
+pub fn fd_holds(relation: &Relation, lhs: &[usize], rhs: usize) -> bool {
+    let mut seen: BTreeMap<Vec<&Value>, &Value> = BTreeMap::new();
+    for t in relation.tuples() {
+        let key: Vec<&Value> = lhs.iter().map(|&ix| t.get(ix)).collect();
+        match seen.get(&key) {
+            None => {
+                seen.insert(key, t.get(rhs));
+            }
+            Some(prev) => {
+                if *prev != t.get(rhs) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A discovered plain functional dependency, by attribute name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredFd {
+    /// Left-hand-side attribute names.
+    pub lhs: Vec<String>,
+    /// Right-hand-side attribute name.
+    pub rhs: String,
+}
+
+impl fmt::Display for DiscoveredFd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.lhs.join(","), self.rhs)
+    }
+}
+
+/// Levelwise discovery of *minimal* plain functional dependencies with `|lhs| ≤ max_lhs`.
+///
+/// A dependency is reported only if no proper subset of its left-hand side already determines
+/// the same right-hand side (the usual minimality criterion of TANE-style miners).
+pub fn discover_fds(relation: &Relation, max_lhs: usize) -> Vec<DiscoveredFd> {
+    let arity = relation.schema().arity();
+    let attrs = relation.schema().attributes();
+    let mut found: Vec<(BTreeSet<usize>, usize)> = Vec::new();
+    let mut out = Vec::new();
+    for size in 1..=max_lhs.min(arity.saturating_sub(1)) {
+        for lhs in combinations(arity, size) {
+            for rhs in 0..arity {
+                if lhs.contains(&rhs) {
+                    continue;
+                }
+                let lhs_set: BTreeSet<usize> = lhs.iter().copied().collect();
+                let redundant = found
+                    .iter()
+                    .any(|(prev_lhs, prev_rhs)| *prev_rhs == rhs && prev_lhs.is_subset(&lhs_set));
+                if redundant {
+                    continue;
+                }
+                if fd_holds(relation, &lhs, rhs) {
+                    found.push((lhs_set, rhs));
+                    out.push(DiscoveredFd {
+                        lhs: lhs.iter().map(|&ix| attrs[ix].clone()).collect(),
+                        rhs: attrs[rhs].clone(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Discovery of constant CFDs `(X=consts → A=const)` with support ≥ `min_support` and
+/// `|X| ≤ max_lhs`, excluding those already implied by a discovered CFD with a smaller
+/// left-hand side on the same right-hand attribute and pattern.
+pub fn discover_constant_cfds(
+    relation: &Relation,
+    max_lhs: usize,
+    min_support: usize,
+) -> Vec<Cfd> {
+    let arity = relation.schema().arity();
+    let mut out: Vec<Cfd> = Vec::new();
+    for size in 1..=max_lhs.min(arity.saturating_sub(1)) {
+        for lhs_attrs in combinations(arity, size) {
+            // Group tuples by their constant values on the chosen LHS attributes.
+            let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+            for t in relation.tuples() {
+                let key: Vec<Value> = lhs_attrs.iter().map(|&ix| t.get(ix).clone()).collect();
+                groups.entry(key).or_default().push(t);
+            }
+            for (key, members) in groups {
+                if members.len() < min_support {
+                    continue;
+                }
+                for rhs in 0..arity {
+                    if lhs_attrs.contains(&rhs) {
+                        continue;
+                    }
+                    let first = members[0].get(rhs);
+                    if !members.iter().all(|t| t.get(rhs) == first) {
+                        continue;
+                    }
+                    let lhs: Vec<(usize, Pattern)> = lhs_attrs
+                        .iter()
+                        .zip(&key)
+                        .map(|(&ix, v)| (ix, Pattern::Const(v.clone())))
+                        .collect();
+                    let cfd = Cfd::new(lhs, rhs, Pattern::Const(first.clone()));
+                    let implied = out.iter().any(|prev| {
+                        prev.rhs == rhs
+                            && prev.rhs_pattern == cfd.rhs_pattern
+                            && prev.lhs.iter().all(|entry| cfd.lhs.contains(entry))
+                    });
+                    if !implied {
+                        out.push(cfd);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All `size`-element subsets of `0..n`, in lexicographic order.
+fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(size);
+    fn rec(n: usize, size: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == size {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(n, size, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(n, size, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RelationSchema;
+
+    /// city → country holds; (country="FR") → currency="EUR" is a constant CFD.
+    fn addresses() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("addr", &["id", "city", "country", "currency"]),
+            vec![
+                Tuple::new(vec![1.into(), "Lille".into(), "FR".into(), "EUR".into()]),
+                Tuple::new(vec![2.into(), "Paris".into(), "FR".into(), "EUR".into()]),
+                Tuple::new(vec![3.into(), "Lille".into(), "FR".into(), "EUR".into()]),
+                Tuple::new(vec![4.into(), "Geneva".into(), "CH".into(), "CHF".into()]),
+                Tuple::new(vec![5.into(), "Zurich".into(), "CH".into(), "CHF".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn plain_fd_holds_and_fails_correctly() {
+        let r = addresses();
+        assert!(fd_holds(&r, &[1], 2), "city → country");
+        assert!(fd_holds(&r, &[2], 3), "country → currency");
+        assert!(!fd_holds(&r, &[2], 1), "country does not determine city");
+    }
+
+    #[test]
+    fn fd_with_composite_lhs() {
+        let r = addresses();
+        assert!(fd_holds(&r, &[1, 2], 3));
+    }
+
+    #[test]
+    fn discover_fds_reports_minimal_dependencies() {
+        let r = addresses();
+        let fds = discover_fds(&r, 2);
+        let rendered: Vec<String> = fds.iter().map(|f| f.to_string()).collect();
+        assert!(rendered.contains(&"city → country".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"country → currency".to_string()), "{rendered:?}");
+        // id is a key, so id → city must be reported with the singleton lhs only.
+        assert!(rendered.contains(&"id → city".to_string()), "{rendered:?}");
+        assert!(
+            !rendered.iter().any(|s| s.starts_with("id,") && s.ends_with("→ city")),
+            "non-minimal FD reported: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn constant_cfd_holds_and_counts_violations() {
+        let r = addresses();
+        let cfd = Cfd::new(
+            vec![(2, Pattern::Const(Value::text("FR")))],
+            3,
+            Pattern::Const(Value::text("EUR")),
+        );
+        assert!(cfd.holds(&r));
+        assert_eq!(cfd.support(&r), 3);
+        let bad = Cfd::new(
+            vec![(2, Pattern::Const(Value::text("FR")))],
+            3,
+            Pattern::Const(Value::text("CHF")),
+        );
+        assert_eq!(bad.violations(&r), 3);
+    }
+
+    #[test]
+    fn wildcard_rhs_counts_disagreeing_pairs() {
+        let r = addresses();
+        // ([country=_] → city=_) is the plain FD country → city, which fails.
+        let cfd = Cfd::new(vec![(2, Pattern::Wildcard)], 1, Pattern::Wildcard);
+        assert!(!cfd.holds(&r));
+        assert!(cfd.violations(&r) > 0);
+        // Conditioned on country=CH it still fails (Geneva vs Zurich).
+        let ch = Cfd::new(vec![(2, Pattern::Const(Value::text("CH")))], 1, Pattern::Wildcard);
+        assert_eq!(ch.violations(&ch_relation_projection(&r)), ch.violations(&r));
+        assert!(!ch.holds(&r));
+    }
+
+    fn ch_relation_projection(r: &Relation) -> Relation {
+        // The violation count must not depend on non-matching tuples.
+        Relation::with_tuples(
+            r.schema().clone(),
+            r.tuples()
+                .iter()
+                .filter(|t| t.get(2) == &Value::text("CH"))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn discover_constant_cfds_finds_country_currency_rule() {
+        let r = addresses();
+        let cfds = discover_constant_cfds(&r, 1, 2);
+        let descriptions: Vec<String> = cfds.iter().map(|c| c.describe(&r)).collect();
+        assert!(
+            descriptions.contains(&"[country=FR] → currency=EUR".to_string()),
+            "{descriptions:?}"
+        );
+        assert!(
+            descriptions.contains(&"[country=CH] → currency=CHF".to_string()),
+            "{descriptions:?}"
+        );
+    }
+
+    #[test]
+    fn discovery_respects_support_threshold() {
+        let r = addresses();
+        let cfds = discover_constant_cfds(&r, 1, 3);
+        // Only the FR group has 3 tuples.
+        assert!(cfds.iter().all(|c| c.support(&r) >= 3));
+        assert!(cfds.iter().any(|c| c.describe(&r) == "[country=FR] → currency=EUR"));
+        assert!(!cfds.iter().any(|c| c.describe(&r).starts_with("[country=CH]")));
+    }
+
+    #[test]
+    fn discovery_skips_cfds_implied_by_smaller_lhs() {
+        let r = addresses();
+        let cfds = discover_constant_cfds(&r, 2, 2);
+        // [country=FR] → currency=EUR is found at level 1, so [city=Lille, country=FR] → currency=EUR
+        // must not be reported again.
+        assert!(!cfds.iter().any(|c| {
+            c.lhs.len() == 2
+                && c.describe(&r).contains("country=FR")
+                && c.describe(&r).ends_with("currency=EUR")
+        }));
+    }
+
+    #[test]
+    fn all_discovered_cfds_hold_on_the_instance() {
+        let r = addresses();
+        for cfd in discover_constant_cfds(&r, 2, 2) {
+            assert!(cfd.holds(&r), "{} does not hold", cfd.describe(&r));
+        }
+    }
+
+    #[test]
+    fn combinations_enumerates_subsets() {
+        assert_eq!(combinations(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(combinations(3, 0), vec![Vec::<usize>::new()]);
+        assert!(combinations(2, 3).is_empty());
+    }
+
+    #[test]
+    fn pattern_display_and_matching() {
+        assert!(Pattern::Wildcard.matches(&Value::Int(1)));
+        assert!(Pattern::Const(Value::Int(1)).matches(&Value::Int(1)));
+        assert!(!Pattern::Const(Value::Int(1)).matches(&Value::Int(2)));
+        assert_eq!(Pattern::Wildcard.to_string(), "_");
+        assert_eq!(Pattern::Const(Value::text("x")).to_string(), "x");
+    }
+}

@@ -1,0 +1,124 @@
+//! Crowdsourcing cost model for interactive learning.
+//!
+//! The paper observes that in a crowdsourcing marketplace every interaction is a Human
+//! Intelligence Task (HIT) with a monetary price, so "minimizing the number of interactions with
+//! the user is equivalent to minimizing the financial cost of the process". It also suggests
+//! borrowing the *feature* idea of Marcus et al. (attributes inferred against a cost, then used
+//! to prioritise which pairs to ask about). This module wraps the interactive session with a
+//! price sheet and a feature-scored proposal order.
+
+use crate::interactive::{interactive_learn, SessionOutcome, Strategy};
+use crate::model::Relation;
+use crate::operators::JoinPredicate;
+
+/// Prices of the two kinds of HITs the paper discusses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitPricing {
+    /// Price of one labelling interaction (answering "is this pair in the join?").
+    pub label_price: f64,
+    /// Price of inferring one feature value (used by the feature-guided variant).
+    pub feature_price: f64,
+}
+
+impl Default for HitPricing {
+    fn default() -> Self {
+        // Defaults in the ballpark of typical micro-task marketplaces.
+        HitPricing { label_price: 0.05, feature_price: 0.02 }
+    }
+}
+
+/// Cost breakdown of a crowdsourced learning session.
+#[derive(Debug, Clone)]
+pub struct CrowdOutcome {
+    /// The underlying interactive-session outcome.
+    pub session: SessionOutcome,
+    /// Number of feature HITs charged (0 unless the feature-guided variant is used).
+    pub feature_hits: usize,
+    /// Total monetary cost.
+    pub total_cost: f64,
+}
+
+impl CrowdOutcome {
+    fn new(session: SessionOutcome, feature_hits: usize, pricing: HitPricing) -> CrowdOutcome {
+        let total_cost =
+            session.interactions as f64 * pricing.label_price + feature_hits as f64 * pricing.feature_price;
+        CrowdOutcome { session, feature_hits, total_cost }
+    }
+}
+
+/// Run a crowdsourced interactive learning session and price it.
+pub fn crowdsourced_learn(
+    left: &Relation,
+    right: &Relation,
+    goal: &JoinPredicate,
+    strategy: Strategy,
+    pricing: HitPricing,
+    seed: u64,
+) -> CrowdOutcome {
+    let session = interactive_learn(left, right, goal, strategy, seed);
+    CrowdOutcome::new(session, 0, pricing)
+}
+
+/// Feature-guided variant: pay for `feature_hits` feature-inference HITs up front (modelling the
+/// Marcus-et-al. optimisation that narrows which attribute pairs are worth asking about), then
+/// run the session with the `MostSpecificFirst` strategy, which benefits most from the features.
+pub fn crowdsourced_learn_with_features(
+    left: &Relation,
+    right: &Relation,
+    goal: &JoinPredicate,
+    feature_hits: usize,
+    pricing: HitPricing,
+    seed: u64,
+) -> CrowdOutcome {
+    let session = interactive_learn(left, right, goal, Strategy::MostSpecificFirst, seed);
+    CrowdOutcome::new(session, feature_hits, pricing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_join_instance, JoinInstanceConfig};
+
+    #[test]
+    fn cost_is_interactions_times_price() {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: 10,
+            right_rows: 10,
+            ..Default::default()
+        });
+        let pricing = HitPricing { label_price: 0.10, feature_price: 0.01 };
+        let outcome = crowdsourced_learn(&left, &right, &goal, Strategy::Random, pricing, 1);
+        let expected = outcome.session.interactions as f64 * 0.10;
+        assert!((outcome.total_cost - expected).abs() < 1e-9);
+        assert_eq!(outcome.feature_hits, 0);
+    }
+
+    #[test]
+    fn feature_hits_are_charged_separately() {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: 10,
+            right_rows: 10,
+            ..Default::default()
+        });
+        let pricing = HitPricing::default();
+        let outcome =
+            crowdsourced_learn_with_features(&left, &right, &goal, 4, pricing, 1);
+        assert_eq!(outcome.feature_hits, 4);
+        assert!(outcome.total_cost >= 4.0 * pricing.feature_price);
+    }
+
+    #[test]
+    fn fewer_interactions_mean_lower_cost() {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: 15,
+            right_rows: 15,
+            ..Default::default()
+        });
+        let pricing = HitPricing::default();
+        let a = crowdsourced_learn(&left, &right, &goal, Strategy::Random, pricing, 2);
+        let b = crowdsourced_learn(&left, &right, &goal, Strategy::MostSpecificFirst, pricing, 2);
+        if b.session.interactions <= a.session.interactions {
+            assert!(b.total_cost <= a.total_cost);
+        }
+    }
+}

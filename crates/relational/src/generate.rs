@@ -1,0 +1,167 @@
+//! Synthetic relational instance generators for the experiments and benchmarks.
+//!
+//! The paper assumes "a very large database instance" annotated by the user; these generators
+//! produce instances whose size and join selectivity are controlled, plus a small
+//! customers/orders database used by the cross-model exchange scenarios.
+
+use crate::model::{Relation, RelationSchema, Tuple, Value};
+use crate::operators::JoinPredicate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the two-relation join-learning instance generator.
+#[derive(Debug, Clone)]
+pub struct JoinInstanceConfig {
+    /// Number of tuples in the left relation.
+    pub left_rows: usize,
+    /// Number of tuples in the right relation.
+    pub right_rows: usize,
+    /// Number of non-key attributes per relation (the key/foreign-key pair is always present).
+    pub extra_attributes: usize,
+    /// Size of the shared value domain for non-key attributes (smaller = more accidental
+    /// agreements = harder learning).
+    pub domain_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for JoinInstanceConfig {
+    fn default() -> Self {
+        JoinInstanceConfig {
+            left_rows: 50,
+            right_rows: 50,
+            extra_attributes: 2,
+            domain_size: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a `(left, right, goal)` triple: two relations and the hidden join predicate a
+/// simulated user has in mind (the key/foreign-key equality).
+pub fn generate_join_instance(config: &JoinInstanceConfig) -> (Relation, Relation, JoinPredicate) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let left_attrs: Vec<String> = std::iter::once("key".to_string())
+        .chain((0..config.extra_attributes).map(|i| format!("l{i}")))
+        .collect();
+    let right_attrs: Vec<String> = std::iter::once("fkey".to_string())
+        .chain((0..config.extra_attributes).map(|i| format!("r{i}")))
+        .collect();
+    let left_schema =
+        RelationSchema::new("left", &left_attrs.iter().map(String::as_str).collect::<Vec<_>>());
+    let right_schema =
+        RelationSchema::new("right", &right_attrs.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let mut left = Relation::new(left_schema);
+    for key in 0..config.left_rows {
+        let mut values: Vec<Value> = vec![Value::Int(key as i64)];
+        values.extend(
+            (0..config.extra_attributes)
+                .map(|_| Value::Int(rng.gen_range(0..config.domain_size) as i64)),
+        );
+        left.insert(Tuple::new(values));
+    }
+    let mut right = Relation::new(right_schema);
+    for _ in 0..config.right_rows {
+        // Foreign keys reference existing keys most of the time, with a few dangling references.
+        let fkey = if rng.gen_bool(0.85) {
+            rng.gen_range(0..config.left_rows) as i64
+        } else {
+            (config.left_rows + rng.gen_range(0..10)) as i64
+        };
+        let mut values: Vec<Value> = vec![Value::Int(fkey)];
+        values.extend(
+            (0..config.extra_attributes)
+                .map(|_| Value::Int(rng.gen_range(0..config.domain_size) as i64)),
+        );
+        right.insert(Tuple::new(values));
+    }
+    let goal = JoinPredicate::from_pairs([(0, 0)]);
+    (left, right, goal)
+}
+
+/// A small customers/orders/items database used by the publishing (relational → XML) scenario.
+pub fn customers_orders_database(customers: usize, orders_per_customer: usize, seed: u64) -> crate::model::Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cities = ["Lille", "Paris", "New York", "Tokyo", "Lima", "Berlin"];
+    let products = ["lamp", "chair", "desk", "monitor", "keyboard", "notebook"];
+
+    let mut customer_rel = Relation::new(RelationSchema::new("customers", &["cid", "name", "city"]));
+    for cid in 0..customers {
+        customer_rel.insert(Tuple::new(vec![
+            Value::Int(cid as i64),
+            Value::text(format!("customer{cid}")),
+            Value::text(cities[rng.gen_range(0..cities.len())]),
+        ]));
+    }
+    let mut orders_rel =
+        Relation::new(RelationSchema::new("orders", &["oid", "cid", "product", "amount"]));
+    let mut oid = 0;
+    for cid in 0..customers {
+        for _ in 0..orders_per_customer {
+            orders_rel.insert(Tuple::new(vec![
+                Value::Int(oid),
+                Value::Int(cid as i64),
+                Value::text(products[rng.gen_range(0..products.len())]),
+                Value::Int(rng.gen_range(1..500)),
+            ]));
+            oid += 1;
+        }
+    }
+    let mut db = crate::model::Instance::new();
+    db.add(customer_rel);
+    db.add(orders_rel);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::equi_join;
+
+    #[test]
+    fn generated_instance_has_requested_shape() {
+        let cfg = JoinInstanceConfig { left_rows: 30, right_rows: 20, extra_attributes: 3, ..Default::default() };
+        let (left, right, goal) = generate_join_instance(&cfg);
+        assert_eq!(left.len(), 30);
+        assert_eq!(right.len(), 20);
+        assert_eq!(left.schema().arity(), 4);
+        assert_eq!(right.schema().arity(), 4);
+        assert_eq!(goal.len(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = JoinInstanceConfig::default();
+        let a = generate_join_instance(&cfg);
+        let b = generate_join_instance(&cfg);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn goal_join_is_selective_but_nonempty() {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig::default());
+        let joined = equi_join(&left, &right, &goal);
+        assert!(!joined.is_empty());
+        assert!(joined.len() < left.len() * right.len());
+    }
+
+    #[test]
+    fn customers_orders_database_links_by_cid() {
+        let db = customers_orders_database(5, 3, 1);
+        let customers = db.relation("customers").unwrap();
+        let orders = db.relation("orders").unwrap();
+        assert_eq!(customers.len(), 5);
+        assert_eq!(orders.len(), 15);
+        // Every order's cid exists among the customers.
+        let cid_ix = orders.schema().index_of("cid").unwrap();
+        for t in orders.tuples() {
+            if let Value::Int(cid) = t.get(cid_ix) {
+                assert!(*cid >= 0 && (*cid as usize) < 5);
+            } else {
+                panic!("cid must be an integer");
+            }
+        }
+    }
+}

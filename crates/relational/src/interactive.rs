@@ -1,0 +1,382 @@
+//! Interactive join-query learning: the paper's proposed protocol for very large instances.
+//!
+//! "We propose an interactive framework where our learning algorithms choose tuples and then ask
+//! the user to label them as positive or negative examples. After each label given by the user,
+//! our algorithms infer the tuples which become uninformative w.r.t. the previously labeled
+//! tuples. The interactive process stops when all the tuples in the instance either have a label
+//! explicitly given by the user, or they have become uninformative. [...] The goal is to
+//! minimize the number of interactions with the user."
+//!
+//! The hypothesis space is the equi-join lattice of [`crate::join_learn`]. The version space
+//! after some labels is `{θ ⊆ θ_max : θ rejects every labelled negative}` where `θ_max` is the
+//! most specific predicate consistent with the labelled positives. A candidate pair `u` with
+//! agreement set `A(u)` is then:
+//!
+//! * **certainly positive** when `θ_max ⊆ A(u)` — every remaining hypothesis accepts it;
+//! * **certainly negative** when `A(u) ∩ θ_max` accepts some already-labelled negative — no
+//!   remaining hypothesis can accept `u`;
+//! * **informative** otherwise — asking the user about it shrinks the version space.
+
+use crate::join_learn::agreement_set;
+use crate::model::Relation;
+use crate::operators::JoinPredicate;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Strategy used to choose which informative pair to ask about next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Uniformly random informative pair — the baseline the paper wants to beat.
+    Random,
+    /// Ask about the informative pair whose agreement set is largest (closest to the current
+    /// most specific hypothesis) — resolves "is the join this specific?" questions first.
+    MostSpecificFirst,
+    /// Ask about the informative pair whose agreement set splits the candidate equalities most
+    /// evenly (a version-space-halving heuristic).
+    HalveLattice,
+}
+
+/// The answer source. Implemented by simulated users (a hidden goal predicate) in the
+/// experiments; a real application would prompt a person.
+pub trait LabelOracle {
+    /// Label a pair of tuples (given by indices into the two relations).
+    fn label(&mut self, left: usize, right: usize) -> bool;
+}
+
+/// Oracle answering according to a hidden goal predicate.
+#[derive(Debug, Clone)]
+pub struct GoalOracle<'a> {
+    left: &'a Relation,
+    right: &'a Relation,
+    goal: JoinPredicate,
+    questions: usize,
+}
+
+impl<'a> GoalOracle<'a> {
+    /// Create an oracle for a hidden goal predicate.
+    pub fn new(left: &'a Relation, right: &'a Relation, goal: JoinPredicate) -> GoalOracle<'a> {
+        GoalOracle { left, right, goal, questions: 0 }
+    }
+
+    /// How many questions the oracle has answered.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+}
+
+impl LabelOracle for GoalOracle<'_> {
+    fn label(&mut self, left: usize, right: usize) -> bool {
+        self.questions += 1;
+        self.goal.satisfied_by(&self.left.tuples()[left], &self.right.tuples()[right])
+    }
+}
+
+/// Status of a candidate pair w.r.t. the current version space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairStatus {
+    /// Already labelled by the user.
+    Labelled(bool),
+    /// Every consistent hypothesis accepts it.
+    CertainlyPositive,
+    /// No consistent hypothesis accepts it.
+    CertainlyNegative,
+    /// Hypotheses disagree: asking about it is informative.
+    Informative,
+}
+
+/// Interactive learning session over the cartesian product of two relations.
+#[derive(Debug)]
+pub struct InteractiveSession<'a> {
+    left: &'a Relation,
+    right: &'a Relation,
+    /// Most specific hypothesis consistent with the positive labels so far.
+    theta_max: JoinPredicate,
+    /// Agreement sets of the labelled negatives.
+    negative_agreements: Vec<JoinPredicate>,
+    labelled: Vec<((usize, usize), bool)>,
+    strategy: Strategy,
+    rng: StdRng,
+}
+
+/// Result of a completed interactive session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The learned (most specific consistent) predicate.
+    pub predicate: JoinPredicate,
+    /// Number of labels the user was asked for.
+    pub interactions: usize,
+    /// Number of candidate pairs whose label was inferred rather than asked.
+    pub inferred: usize,
+    /// Whether the labels stayed consistent throughout (always true with a noise-free oracle).
+    pub consistent: bool,
+}
+
+impl<'a> InteractiveSession<'a> {
+    /// Start a session.
+    pub fn new(left: &'a Relation, right: &'a Relation, strategy: Strategy, seed: u64) -> Self {
+        let all_pairs = JoinPredicate::from_pairs(
+            (0..left.schema().arity())
+                .flat_map(|i| (0..right.schema().arity()).map(move |j| (i, j))),
+        );
+        InteractiveSession {
+            left,
+            right,
+            theta_max: all_pairs,
+            negative_agreements: Vec::new(),
+            labelled: Vec::new(),
+            strategy,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current most specific consistent hypothesis.
+    pub fn current_hypothesis(&self) -> &JoinPredicate {
+        &self.theta_max
+    }
+
+    /// Status of a candidate pair under the current version space.
+    pub fn status(&self, left_ix: usize, right_ix: usize) -> PairStatus {
+        if let Some(&(_, positive)) =
+            self.labelled.iter().find(|((l, r), _)| *l == left_ix && *r == right_ix)
+        {
+            return PairStatus::Labelled(positive);
+        }
+        let agreement = agreement_set(self.left, self.right, left_ix, right_ix);
+        if self.theta_max.subset_of(&agreement) {
+            return PairStatus::CertainlyPositive;
+        }
+        let restricted = agreement.intersect(&self.theta_max);
+        let some_hypothesis_accepts = self
+            .negative_agreements
+            .iter()
+            .all(|neg| !restricted.subset_of(neg));
+        if some_hypothesis_accepts {
+            PairStatus::Informative
+        } else {
+            PairStatus::CertainlyNegative
+        }
+    }
+
+    /// All currently informative pairs.
+    pub fn informative_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for l in 0..self.left.len() {
+            for r in 0..self.right.len() {
+                if self.status(l, r) == PairStatus::Informative {
+                    out.push((l, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// Record a label (updates the version space).
+    pub fn record(&mut self, left_ix: usize, right_ix: usize, positive: bool) {
+        let agreement = agreement_set(self.left, self.right, left_ix, right_ix);
+        if positive {
+            self.theta_max = self.theta_max.intersect(&agreement);
+        } else {
+            self.negative_agreements.push(agreement);
+        }
+        self.labelled.push(((left_ix, right_ix), positive));
+    }
+
+    /// Whether the labels recorded so far are still jointly consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.negative_agreements.iter().all(|neg| !self.theta_max.subset_of(neg))
+    }
+
+    fn choose(&mut self, informative: &[(usize, usize)]) -> (usize, usize) {
+        match self.strategy {
+            Strategy::Random => *informative.choose(&mut self.rng).expect("non-empty"),
+            Strategy::MostSpecificFirst => *informative
+                .iter()
+                .max_by_key(|&&(l, r)| {
+                    agreement_set(self.left, self.right, l, r).intersect(&self.theta_max).len()
+                })
+                .expect("non-empty"),
+            Strategy::HalveLattice => {
+                let target = self.theta_max.len() / 2;
+                *informative
+                    .iter()
+                    .min_by_key(|&&(l, r)| {
+                        let overlap = agreement_set(self.left, self.right, l, r)
+                            .intersect(&self.theta_max)
+                            .len();
+                        overlap.abs_diff(target)
+                    })
+                    .expect("non-empty")
+            }
+        }
+    }
+
+    /// Run the interactive loop to completion against an oracle.
+    pub fn run(mut self, oracle: &mut dyn LabelOracle) -> SessionOutcome {
+        loop {
+            let informative = self.informative_pairs();
+            if informative.is_empty() {
+                break;
+            }
+            let (l, r) = self.choose(&informative);
+            let label = oracle.label(l, r);
+            self.record(l, r, label);
+        }
+        let total_pairs = self.left.len() * self.right.len();
+        let interactions = self.labelled.len();
+        SessionOutcome {
+            consistent: self.is_consistent(),
+            predicate: self.theta_max,
+            interactions,
+            inferred: total_pairs - interactions,
+        }
+    }
+}
+
+/// Convenience wrapper: learn the goal predicate interactively and report the number of
+/// interactions — the quantity experiments E9/E11 measure.
+pub fn interactive_learn(
+    left: &Relation,
+    right: &Relation,
+    goal: &JoinPredicate,
+    strategy: Strategy,
+    seed: u64,
+) -> SessionOutcome {
+    let mut oracle = GoalOracle::new(left, right, goal.clone());
+    InteractiveSession::new(left, right, strategy, seed).run(&mut oracle)
+}
+
+/// The set of pairs selected by a predicate (used in tests and experiments to compare learned
+/// and goal queries semantically).
+pub fn selected_pairs(left: &Relation, right: &Relation, p: &JoinPredicate) -> BTreeSet<(usize, usize)> {
+    let mut out = BTreeSet::new();
+    for (l, lt) in left.tuples().iter().enumerate() {
+        for (r, rt) in right.tuples().iter().enumerate() {
+            if p.satisfied_by(lt, rt) {
+                out.insert((l, r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_join_instance, JoinInstanceConfig};
+    use crate::model::{RelationSchema, Tuple};
+
+    fn customers() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("customers", &["cid", "city"]),
+            vec![
+                Tuple::new(vec![1.into(), "Lille".into()]),
+                Tuple::new(vec![2.into(), "Paris".into()]),
+                Tuple::new(vec![3.into(), "Lille".into()]),
+            ],
+        )
+    }
+
+    fn orders() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("orders", &["oid", "cid", "city"]),
+            vec![
+                Tuple::new(vec![10.into(), 1.into(), "Lille".into()]),
+                Tuple::new(vec![11.into(), 2.into(), "Lille".into()]),
+                Tuple::new(vec![12.into(), 5.into(), "Paris".into()]),
+            ],
+        )
+    }
+
+    fn goal() -> JoinPredicate {
+        JoinPredicate::from_names(customers().schema(), orders().schema(), &[("cid", "cid")]).unwrap()
+    }
+
+    #[test]
+    fn interactive_learning_recovers_the_goal_semantically() {
+        let (c, o) = (customers(), orders());
+        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+            let outcome = interactive_learn(&c, &o, &goal(), strategy, 7);
+            assert!(outcome.consistent);
+            assert_eq!(
+                selected_pairs(&c, &o, &outcome.predicate),
+                selected_pairs(&c, &o, &goal()),
+                "strategy {strategy:?} learned a semantically different query"
+            );
+        }
+    }
+
+    #[test]
+    fn interactions_never_exceed_the_number_of_pairs() {
+        let (c, o) = (customers(), orders());
+        let outcome = interactive_learn(&c, &o, &goal(), Strategy::Random, 3);
+        assert!(outcome.interactions <= c.len() * o.len());
+        assert_eq!(outcome.interactions + outcome.inferred, c.len() * o.len());
+    }
+
+    #[test]
+    fn pruning_makes_some_pairs_uninformative() {
+        let (c, o) = (customers(), orders());
+        let outcome = interactive_learn(&c, &o, &goal(), Strategy::MostSpecificFirst, 1);
+        assert!(
+            outcome.inferred > 0,
+            "expected at least one label to be inferred rather than asked"
+        );
+    }
+
+    #[test]
+    fn status_transitions_after_labels() {
+        let (c, o) = (customers(), orders());
+        let mut session = InteractiveSession::new(&c, &o, Strategy::Random, 0);
+        // Initially everything with a non-full agreement set is informative.
+        assert_eq!(session.status(0, 0), PairStatus::Informative);
+        session.record(0, 0, true);
+        assert_eq!(session.status(0, 0), PairStatus::Labelled(true));
+        // (2, 0): customer 3/Lille with order of customer 1/Lille — cid differs, city matches.
+        // After the positive above, theta_max ⊆ {cid=cid, city=city}; still informative.
+        assert_eq!(session.status(2, 0), PairStatus::Informative);
+        session.record(2, 0, false);
+        assert!(session.is_consistent());
+        // (1, 1) agrees only on cid: the hypothesis {cid=cid} accepts it while the hypothesis
+        // {cid=cid, city=city} (still consistent) rejects it — informative.
+        assert_eq!(session.status(1, 1), PairStatus::Informative);
+        // (0, 2) agrees on nothing, and the agreement set of the recorded negative already
+        // covers it: no consistent hypothesis accepts it.
+        assert_eq!(session.status(0, 2), PairStatus::CertainlyNegative);
+        // After the user also confirms (1, 1), the city equality is ruled out and the session
+        // has pinned the goal down to {cid=cid}.
+        session.record(1, 1, true);
+        assert!(session.is_consistent());
+        assert_eq!(session.current_hypothesis(), &JoinPredicate::from_pairs([(0, 1)]));
+    }
+
+    #[test]
+    fn greedy_strategies_use_fewer_or_equal_interactions_than_random_on_average() {
+        let config = JoinInstanceConfig { left_rows: 20, right_rows: 20, ..Default::default() };
+        let (left, right, goal) = generate_join_instance(&config);
+        let random: usize = (0..5)
+            .map(|s| interactive_learn(&left, &right, &goal, Strategy::Random, s).interactions)
+            .sum();
+        let specific: usize = (0..5)
+            .map(|s| {
+                interactive_learn(&left, &right, &goal, Strategy::MostSpecificFirst, s).interactions
+            })
+            .sum();
+        assert!(
+            specific <= random + 5,
+            "MostSpecificFirst ({specific}) should not be much worse than Random ({random})"
+        );
+    }
+
+    #[test]
+    fn all_strategies_terminate_and_agree_on_generated_instances() {
+        let config = JoinInstanceConfig { left_rows: 15, right_rows: 12, ..Default::default() };
+        let (left, right, goal) = generate_join_instance(&config);
+        let reference = selected_pairs(&left, &right, &goal);
+        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+            let outcome = interactive_learn(&left, &right, &goal, strategy, 42);
+            assert_eq!(selected_pairs(&left, &right, &outcome.predicate), reference);
+        }
+    }
+}

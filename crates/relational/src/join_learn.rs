@@ -1,0 +1,268 @@
+//! Learning equi-join (and natural-join) predicates from labelled tuple pairs.
+//!
+//! Setting (paper §3): the instance contains two relations; the user labels elements of their
+//! cartesian product as positive ("should be in the result of the join I have in mind") or
+//! negative. The hypothesis space is the set of equi-join predicates — sets of attribute pairs
+//! required to be equal. The paper reports that for this class "testing consistency of a set of
+//! positive and negative examples" is tractable; the witness is the **most specific consistent
+//! predicate**, i.e. the set of all attribute pairs on which every positive pair agrees:
+//!
+//! * every consistent predicate is a subset of it (an equality violated by some positive cannot
+//!   be required), and
+//! * a predicate rejects a negative only if a *superset* of it does, so if the most specific
+//!   predicate accepts some negative, every consistent candidate does too.
+
+use crate::model::Relation;
+use crate::operators::JoinPredicate;
+use std::fmt;
+
+/// A labelled element of the cartesian product, identified by tuple indices in the two
+/// relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelledPair {
+    /// Index into the left relation's tuple list.
+    pub left: usize,
+    /// Index into the right relation's tuple list.
+    pub right: usize,
+    /// `true` if the user wants this pair in the join result.
+    pub positive: bool,
+}
+
+impl LabelledPair {
+    /// Convenience constructor.
+    pub fn new(left: usize, right: usize, positive: bool) -> LabelledPair {
+        LabelledPair { left, right, positive }
+    }
+}
+
+/// Error raised when labels reference non-existent tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexError {
+    /// Which side was out of range.
+    pub side: &'static str,
+    /// The offending index.
+    pub index: usize,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} tuple index {} out of range", self.side, self.index)
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+fn check_indices(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledPair],
+) -> Result<(), IndexError> {
+    for l in labels {
+        if l.left >= left.len() {
+            return Err(IndexError { side: "left", index: l.left });
+        }
+        if l.right >= right.len() {
+            return Err(IndexError { side: "right", index: l.right });
+        }
+    }
+    Ok(())
+}
+
+/// The set of attribute pairs on which a single tuple pair agrees.
+pub fn agreement_set(left: &Relation, right: &Relation, l: usize, r: usize) -> JoinPredicate {
+    let lt = &left.tuples()[l];
+    let rt = &right.tuples()[r];
+    let pairs = (0..left.schema().arity()).flat_map(|i| {
+        (0..right.schema().arity()).filter_map(move |j| (lt.get(i) == rt.get(j)).then_some((i, j)))
+    });
+    JoinPredicate::from_pairs(pairs)
+}
+
+/// The most specific predicate consistent with the positive examples: every attribute pair on
+/// which *all* positive pairs agree. With no positive examples this is the full pair set
+/// (the most specific hypothesis of the lattice).
+pub fn most_specific_predicate(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledPair],
+) -> Result<JoinPredicate, IndexError> {
+    check_indices(left, right, labels)?;
+    let all_pairs = JoinPredicate::from_pairs(
+        (0..left.schema().arity())
+            .flat_map(|i| (0..right.schema().arity()).map(move |j| (i, j))),
+    );
+    let mut current = all_pairs;
+    for l in labels.iter().filter(|l| l.positive) {
+        current = current.intersect(&agreement_set(left, right, l.left, l.right));
+    }
+    Ok(current)
+}
+
+/// Outcome of a consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinConsistency {
+    /// The examples are consistent; the witness is the most specific consistent predicate.
+    Consistent(JoinPredicate),
+    /// No equi-join predicate separates the positives from the negatives; the reported pair is a
+    /// negative example that every candidate accepts.
+    Inconsistent {
+        /// Index of an offending negative example in the label list.
+        offending_label: usize,
+    },
+}
+
+impl JoinConsistency {
+    /// The witnessing predicate, if consistent.
+    pub fn predicate(&self) -> Option<&JoinPredicate> {
+        match self {
+            JoinConsistency::Consistent(p) => Some(p),
+            JoinConsistency::Inconsistent { .. } => None,
+        }
+    }
+
+    /// Whether the examples are consistent.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, JoinConsistency::Consistent(_))
+    }
+}
+
+/// Polynomial consistency check for equi-join predicates (paper §3: tractable for natural
+/// joins).
+pub fn join_consistent(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledPair],
+) -> Result<JoinConsistency, IndexError> {
+    let candidate = most_specific_predicate(left, right, labels)?;
+    for (ix, l) in labels.iter().enumerate() {
+        if l.positive {
+            continue;
+        }
+        let lt = &left.tuples()[l.left];
+        let rt = &right.tuples()[l.right];
+        if candidate.satisfied_by(lt, rt) {
+            return Ok(JoinConsistency::Inconsistent { offending_label: ix });
+        }
+    }
+    Ok(JoinConsistency::Consistent(candidate))
+}
+
+/// Learn a join predicate from labels, preferring the most specific consistent one.
+pub fn learn_join(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledPair],
+) -> Result<Option<JoinPredicate>, IndexError> {
+    Ok(join_consistent(left, right, labels)?.predicate().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RelationSchema, Tuple};
+    use crate::operators::equi_join;
+
+    fn customers() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("customers", &["cid", "city"]),
+            vec![
+                Tuple::new(vec![1.into(), "Lille".into()]),
+                Tuple::new(vec![2.into(), "Paris".into()]),
+                Tuple::new(vec![3.into(), "Lille".into()]),
+            ],
+        )
+    }
+
+    fn orders() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("orders", &["oid", "cid", "city"]),
+            vec![
+                Tuple::new(vec![10.into(), 1.into(), "Lille".into()]),
+                Tuple::new(vec![11.into(), 2.into(), "Lille".into()]),
+                Tuple::new(vec![12.into(), 3.into(), "Paris".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn agreement_set_lists_equal_positions() {
+        let a = agreement_set(&customers(), &orders(), 0, 0);
+        // cid=1 matches orders.cid=1, and city Lille matches orders.city Lille.
+        assert!(a.contains((0, 1)));
+        assert!(a.contains((1, 2)));
+        assert!(!a.contains((0, 0)));
+    }
+
+    #[test]
+    fn positives_shrink_the_most_specific_predicate() {
+        let labels = vec![LabelledPair::new(0, 0, true), LabelledPair::new(1, 1, true)];
+        // Pair (0,0): cid agrees and city agrees. Pair (1,1): cid agrees (2=2) but city differs
+        // (Paris vs Lille) -> only the cid equality survives.
+        let p = most_specific_predicate(&customers(), &orders(), &labels).unwrap();
+        assert!(p.contains((0, 1)));
+        assert!(!p.contains((1, 2)));
+    }
+
+    #[test]
+    fn consistent_labels_yield_a_separating_predicate() {
+        let labels = vec![
+            LabelledPair::new(0, 0, true),
+            LabelledPair::new(1, 1, true),
+            LabelledPair::new(2, 0, false), // cid 3 vs orders.cid 1
+        ];
+        let result = join_consistent(&customers(), &orders(), &labels).unwrap();
+        assert!(result.is_consistent());
+        let p = result.predicate().unwrap();
+        // The learned predicate reproduces the intended cid join on the whole instance.
+        let joined = equi_join(&customers(), &orders(), p);
+        assert_eq!(joined.len(), 3);
+    }
+
+    #[test]
+    fn inconsistent_labels_are_detected() {
+        // The same pair labelled positive and negative.
+        let labels = vec![LabelledPair::new(0, 0, true), LabelledPair::new(0, 0, false)];
+        let result = join_consistent(&customers(), &orders(), &labels).unwrap();
+        assert!(!result.is_consistent());
+        if let JoinConsistency::Inconsistent { offending_label } = result {
+            assert_eq!(offending_label, 1);
+        }
+    }
+
+    #[test]
+    fn negatives_alone_are_always_consistent() {
+        let labels = vec![LabelledPair::new(0, 2, false)];
+        let result = join_consistent(&customers(), &orders(), &labels).unwrap();
+        // With no positives the most specific hypothesis (all pairs) rejects the negative as
+        // long as some attribute pair disagrees on it.
+        assert!(result.is_consistent());
+    }
+
+    #[test]
+    fn no_labels_yield_full_predicate() {
+        let p = most_specific_predicate(&customers(), &orders(), &[]).unwrap();
+        assert_eq!(p.len(), customers().schema().arity() * orders().schema().arity());
+    }
+
+    #[test]
+    fn out_of_range_labels_are_reported() {
+        let labels = vec![LabelledPair::new(9, 0, true)];
+        let err = join_consistent(&customers(), &orders(), &labels).unwrap_err();
+        assert_eq!(err.side, "left");
+        assert_eq!(err.index, 9);
+    }
+
+    #[test]
+    fn learned_predicate_is_most_specific() {
+        // Only one positive: both the cid and the city equalities hold on it, so the most
+        // specific hypothesis keeps both; a single extra positive breaking the city equality
+        // removes it.
+        let one = vec![LabelledPair::new(0, 0, true)];
+        let p1 = learn_join(&customers(), &orders(), &one).unwrap().unwrap();
+        assert!(p1.contains((1, 2)));
+        let two = vec![LabelledPair::new(0, 0, true), LabelledPair::new(1, 1, true)];
+        let p2 = learn_join(&customers(), &orders(), &two).unwrap().unwrap();
+        assert!(!p2.contains((1, 2)));
+        assert!(p2.subset_of(&p1));
+    }
+}

@@ -1,0 +1,374 @@
+//! Relational data model: typed values, schemas, tuples, relations and instances.
+//!
+//! The paper's relational setting is deliberately simple — "we plan to concentrate on simple
+//! operators, such as join-like operators" over a very large instance annotated by a user — so
+//! the model keeps only what the join/semijoin learners and the cross-model exchange scenarios
+//! need: named relations with named attributes and first-normal-form tuples of scalar values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Text value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Whether the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// Schema of a relation: its name and ordered attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Create a schema; attribute names must be distinct.
+    pub fn new(name: impl Into<String>, attributes: &[&str]) -> RelationSchema {
+        let attributes: Vec<String> = attributes.iter().map(|s| s.to_string()).collect();
+        let mut sorted = attributes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), attributes.len(), "attribute names must be distinct");
+        RelationSchema { name: name.into(), attributes }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+
+    /// Attributes shared (by name) with another schema.
+    pub fn common_attributes(&self, other: &RelationSchema) -> Vec<String> {
+        self.attributes.iter().filter(|a| other.index_of(a).is_some()).cloned().collect()
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attributes.join(", "))
+    }
+}
+
+/// A tuple: an ordered list of values conforming to some schema's arity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a position.
+    pub fn get(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+
+    /// Arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenate two tuples (used by products and joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Tuple::new(values)
+    }
+
+    /// Project onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&p| self.values[p].clone()).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+/// Convenience macro-free tuple constructor from anything convertible to [`Value`].
+pub fn tuple<const N: usize>(values: [Value; N]) -> Tuple {
+    Tuple::new(values.to_vec())
+}
+
+/// A relation: a schema plus a list of tuples (duplicates allowed, as in the annotated-instance
+/// setting; deduplication is available via [`Relation::distinct`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(schema: RelationSchema) -> Relation {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Create a relation with tuples, checking arity.
+    pub fn with_tuples(schema: RelationSchema, tuples: Vec<Tuple>) -> Relation {
+        for t in &tuples {
+            assert_eq!(t.arity(), schema.arity(), "tuple arity must match the schema");
+        }
+        Relation { schema, tuples }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Add a tuple.
+    pub fn insert(&mut self, tuple: Tuple) {
+        assert_eq!(tuple.arity(), self.schema.arity(), "tuple arity must match the schema");
+        self.tuples.push(tuple);
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The same relation with duplicate tuples removed (set semantics).
+    pub fn distinct(&self) -> Relation {
+        let mut seen = std::collections::BTreeSet::new();
+        let tuples: Vec<Tuple> =
+            self.tuples.iter().filter(|t| seen.insert((*t).clone())).cloned().collect();
+        Relation { schema: self.schema.clone(), tuples }
+    }
+
+    /// Value of a named attribute in a given tuple.
+    pub fn value<'t>(&self, tuple: &'t Tuple, attribute: &str) -> Option<&'t Value> {
+        self.schema.index_of(attribute).map(|ix| tuple.get(ix))
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A database instance: a collection of named relations.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Instance {
+    /// Create an empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Add (or replace) a relation.
+    pub fn add(&mut self, relation: Relation) {
+        self.relations.insert(relation.schema().name().to_string(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// All relations.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the instance has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("people", &["pid", "name", "city"]),
+            vec![
+                Tuple::new(vec![1.into(), "Alice".into(), "Lille".into()]),
+                Tuple::new(vec![2.into(), "Bob".into(), "Paris".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn schema_resolves_attribute_positions() {
+        let s = RelationSchema::new("r", &["a", "b", "c"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_attributes_are_rejected() {
+        RelationSchema::new("r", &["a", "a"]);
+    }
+
+    #[test]
+    fn common_attributes_are_by_name() {
+        let r = RelationSchema::new("r", &["id", "name"]);
+        let s = RelationSchema::new("s", &["id", "price"]);
+        assert_eq!(r.common_attributes(&s), vec!["id"]);
+    }
+
+    #[test]
+    fn tuple_concat_and_project() {
+        let t = Tuple::new(vec![1.into(), "x".into()]);
+        let u = Tuple::new(vec![true.into()]);
+        let c = t.concat(&u);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]), Tuple::new(vec![true.into(), 1.into()]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_is_rejected() {
+        let mut r = people();
+        r.insert(Tuple::new(vec![3.into()]));
+    }
+
+    #[test]
+    fn relation_value_lookup_by_attribute_name() {
+        let r = people();
+        let first = &r.tuples()[0];
+        assert_eq!(r.value(first, "name"), Some(&Value::text("Alice")));
+        assert_eq!(r.value(first, "missing"), None);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let mut r = people();
+        let dup = r.tuples()[0].clone();
+        r.insert(dup);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.distinct().len(), 2);
+    }
+
+    #[test]
+    fn instance_stores_relations_by_name() {
+        let mut db = Instance::new();
+        db.add(people());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.relation("people").is_some());
+        assert!(db.relation("orders").is_none());
+    }
+
+    #[test]
+    fn value_display_and_conversions() {
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert!(Value::Null.is_null());
+        assert!(!Value::from(false).is_null());
+    }
+}

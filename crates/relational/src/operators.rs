@@ -1,0 +1,325 @@
+//! Relational operators: cartesian product, equi-join under an explicit predicate, natural join
+//! and semijoin — the "join-like operators" whose learnability §3 of the paper studies.
+
+use crate::model::{Relation, RelationSchema, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An equi-join predicate: a set of attribute pairs `(left index, right index)` that must be
+/// equal. The empty predicate is the cartesian product.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinPredicate {
+    pairs: BTreeSet<(usize, usize)>,
+}
+
+impl JoinPredicate {
+    /// The empty predicate (cartesian product).
+    pub fn empty() -> JoinPredicate {
+        JoinPredicate::default()
+    }
+
+    /// Build a predicate from attribute-index pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> JoinPredicate {
+        JoinPredicate { pairs: pairs.into_iter().collect() }
+    }
+
+    /// Build a predicate from attribute names.
+    pub fn from_names(
+        left: &RelationSchema,
+        right: &RelationSchema,
+        pairs: &[(&str, &str)],
+    ) -> Option<JoinPredicate> {
+        let mut out = BTreeSet::new();
+        for (l, r) in pairs {
+            out.insert((left.index_of(l)?, right.index_of(r)?));
+        }
+        Some(JoinPredicate { pairs: out })
+    }
+
+    /// The natural-join predicate of two schemas: one pair per common attribute name.
+    pub fn natural(left: &RelationSchema, right: &RelationSchema) -> JoinPredicate {
+        let pairs = left
+            .common_attributes(right)
+            .into_iter()
+            .map(|a| (left.index_of(&a).unwrap(), right.index_of(&a).unwrap()));
+        JoinPredicate::from_pairs(pairs)
+    }
+
+    /// The attribute-index pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Number of equality constraints.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the predicate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether the predicate contains a specific pair.
+    pub fn contains(&self, pair: (usize, usize)) -> bool {
+        self.pairs.contains(&pair)
+    }
+
+    /// Whether a pair of tuples satisfies every equality of the predicate.
+    pub fn satisfied_by(&self, left: &Tuple, right: &Tuple) -> bool {
+        self.pairs.iter().all(|&(l, r)| left.get(l) == right.get(r))
+    }
+
+    /// Whether `self ⊆ other` (every equality of `self` is also required by `other`).
+    pub fn subset_of(&self, other: &JoinPredicate) -> bool {
+        self.pairs.is_subset(&other.pairs)
+    }
+
+    /// Intersection of two predicates.
+    pub fn intersect(&self, other: &JoinPredicate) -> JoinPredicate {
+        JoinPredicate { pairs: self.pairs.intersection(&other.pairs).copied().collect() }
+    }
+
+    /// Render with attribute names for reporting.
+    pub fn describe(&self, left: &RelationSchema, right: &RelationSchema) -> String {
+        if self.pairs.is_empty() {
+            return "true (cartesian product)".to_string();
+        }
+        let parts: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|&(l, r)| {
+                format!("{}.{} = {}.{}", left.name(), left.attributes()[l], right.name(), right.attributes()[r])
+            })
+            .collect();
+        parts.join(" AND ")
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> =
+            self.pairs.iter().map(|(l, r)| format!("L.{l} = R.{r}")).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+/// Cartesian product of two relations.
+pub fn cartesian_product(left: &Relation, right: &Relation) -> Relation {
+    equi_join(left, right, &JoinPredicate::empty())
+}
+
+/// Equi-join under an explicit predicate; the result schema concatenates the attribute lists,
+/// prefixing each attribute with its relation name to keep names distinct.
+pub fn equi_join(left: &Relation, right: &Relation, predicate: &JoinPredicate) -> Relation {
+    let attributes: Vec<String> = left
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| format!("{}.{}", left.schema().name(), a))
+        .chain(right.schema().attributes().iter().map(|a| format!("{}.{}", right.schema().name(), a)))
+        .collect();
+    let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+    let schema = RelationSchema::new(
+        format!("{}_{}", left.schema().name(), right.schema().name()),
+        &attr_refs,
+    );
+    let mut out = Relation::new(schema);
+    for l in left.tuples() {
+        for r in right.tuples() {
+            if predicate.satisfied_by(l, r) {
+                out.insert(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+/// Natural join: equi-join on all common attribute names, keeping the classical merged schema
+/// (shared attributes appear once).
+pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
+    let predicate = JoinPredicate::natural(left.schema(), right.schema());
+    let common: BTreeSet<usize> = predicate.pairs().map(|(_, r)| r).collect();
+    let attributes: Vec<String> = left
+        .schema()
+        .attributes()
+        .iter()
+        .cloned()
+        .chain(
+            right
+                .schema()
+                .attributes()
+                .iter()
+                .enumerate()
+                .filter(|(ix, _)| !common.contains(ix))
+                .map(|(_, a)| a.clone()),
+        )
+        .collect();
+    let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+    let schema = RelationSchema::new(
+        format!("{}_{}", left.schema().name(), right.schema().name()),
+        &attr_refs,
+    );
+    let kept_right: Vec<usize> =
+        (0..right.schema().arity()).filter(|ix| !common.contains(ix)).collect();
+    let mut out = Relation::new(schema);
+    for l in left.tuples() {
+        for r in right.tuples() {
+            if predicate.satisfied_by(l, r) {
+                out.insert(l.concat(&r.project(&kept_right)));
+            }
+        }
+    }
+    out
+}
+
+/// Semijoin `left ⋉θ right`: the tuples of `left` that have at least one θ-partner in `right`.
+pub fn semijoin(left: &Relation, right: &Relation, predicate: &JoinPredicate) -> Relation {
+    let mut out = Relation::new(left.schema().clone());
+    for l in left.tuples() {
+        if right.tuples().iter().any(|r| predicate.satisfied_by(l, r)) {
+            out.insert(l.clone());
+        }
+    }
+    out
+}
+
+/// Selection by an arbitrary tuple predicate.
+pub fn select<F: Fn(&Tuple) -> bool>(relation: &Relation, keep: F) -> Relation {
+    let mut out = Relation::new(relation.schema().clone());
+    for t in relation.tuples() {
+        if keep(t) {
+            out.insert(t.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Value;
+
+    fn customers() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("customers", &["cid", "name", "city"]),
+            vec![
+                Tuple::new(vec![1.into(), "Alice".into(), "Lille".into()]),
+                Tuple::new(vec![2.into(), "Bob".into(), "Paris".into()]),
+                Tuple::new(vec![3.into(), "Carla".into(), "Lille".into()]),
+            ],
+        )
+    }
+
+    fn orders() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("orders", &["oid", "cid", "amount"]),
+            vec![
+                Tuple::new(vec![10.into(), 1.into(), 99.into()]),
+                Tuple::new(vec![11.into(), 1.into(), 5.into()]),
+                Tuple::new(vec![12.into(), 3.into(), 42.into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cartesian_product_has_all_pairs() {
+        let p = cartesian_product(&customers(), &orders());
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.schema().arity(), 6);
+    }
+
+    #[test]
+    fn equi_join_respects_predicate() {
+        let pred = JoinPredicate::from_names(
+            customers().schema(),
+            orders().schema(),
+            &[("cid", "cid")],
+        )
+        .unwrap();
+        let j = equi_join(&customers(), &orders(), &pred);
+        assert_eq!(j.len(), 3);
+        for t in j.tuples() {
+            assert_eq!(t.get(0), t.get(4), "cid columns must agree");
+        }
+    }
+
+    #[test]
+    fn natural_join_merges_common_attributes() {
+        let j = natural_join(&customers(), &orders());
+        // cid is shared: schema is cid,name,city,oid,amount
+        assert_eq!(j.schema().arity(), 5);
+        assert_eq!(j.len(), 3);
+        assert!(j.schema().index_of("amount").is_some());
+    }
+
+    #[test]
+    fn natural_join_without_common_attributes_is_a_product() {
+        let colours = Relation::with_tuples(
+            RelationSchema::new("colours", &["colour"]),
+            vec![Tuple::new(vec!["red".into()]), Tuple::new(vec!["blue".into()])],
+        );
+        let j = natural_join(&customers(), &colours);
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn semijoin_keeps_matching_left_tuples_once() {
+        let pred = JoinPredicate::from_names(
+            customers().schema(),
+            orders().schema(),
+            &[("cid", "cid")],
+        )
+        .unwrap();
+        let s = semijoin(&customers(), &orders(), &pred);
+        // Alice has two orders but appears once; Bob has none.
+        assert_eq!(s.len(), 2);
+        assert!(s.tuples().iter().all(|t| t.get(1) != &Value::text("Bob")));
+        assert_eq!(s.schema(), customers().schema());
+    }
+
+    #[test]
+    fn empty_predicate_semijoin_keeps_everything_when_right_nonempty() {
+        let s = semijoin(&customers(), &orders(), &JoinPredicate::empty());
+        assert_eq!(s.len(), customers().len());
+        let empty_right = Relation::new(orders().schema().clone());
+        let s2 = semijoin(&customers(), &empty_right, &JoinPredicate::empty());
+        assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn predicate_subset_and_intersection() {
+        let a = JoinPredicate::from_pairs([(0, 1), (1, 2)]);
+        let b = JoinPredicate::from_pairs([(0, 1)]);
+        assert!(b.subset_of(&a));
+        assert!(!a.subset_of(&b));
+        assert_eq!(a.intersect(&b), b);
+    }
+
+    #[test]
+    fn predicate_describe_uses_attribute_names() {
+        let pred = JoinPredicate::from_names(
+            customers().schema(),
+            orders().schema(),
+            &[("cid", "cid")],
+        )
+        .unwrap();
+        assert_eq!(pred.describe(customers().schema(), orders().schema()), "customers.cid = orders.cid");
+    }
+
+    #[test]
+    fn selection_filters_tuples() {
+        let lille = select(&customers(), |t| t.get(2) == &Value::text("Lille"));
+        assert_eq!(lille.len(), 2);
+    }
+
+    #[test]
+    fn natural_predicate_detects_shared_names() {
+        let pred = JoinPredicate::natural(customers().schema(), orders().schema());
+        assert_eq!(pred.len(), 1);
+        assert!(pred.contains((0, 1)));
+    }
+}

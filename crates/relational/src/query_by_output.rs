@@ -1,0 +1,571 @@
+//! Query by output: reverse-engineer a query from a database instance and a query result.
+//!
+//! This reproduces the baseline the paper cites as the closest prior work to its relational
+//! learning programme: *"A related problem, recently studied by Tran et al., is the query by
+//! output problem: given a database instance and the output of some query, their goal is to
+//! construct an instance-equivalent query to the initial one."* (§3). The published system
+//! (TALOS, SIGMOD'09) casts the problem as a classification task: it picks a source relation
+//! (or join) whose projection covers the output, labels every source tuple by whether it lands
+//! in the output, grows a decision tree over selection predicates, and reads one conjunctive
+//! selection off each positive leaf. The learned query is the union of those branches.
+//!
+//! The implementation here follows that recipe over the SPJ algebra of [`crate::spj`]:
+//!
+//! 1. [`infer_projection`] finds which source columns the output projects;
+//! 2. source tuples are labelled positive/negative by membership of their projection in the
+//!    output;
+//! 3. a decision tree over `attribute = constant` predicates separates the two classes
+//!    ([`DecisionTree`]);
+//! 4. every positive leaf becomes one conjunctive [`SpjQuery`] branch of the final
+//!    [`LearnedOutputQuery`], which is then verified to be *instance-equivalent* — it reproduces
+//!    the output exactly on the given instance.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::model::{Instance, Relation, Tuple, Value};
+use crate::spj::{same_tuple_set, Condition, SpjQuery};
+
+/// A query learned from an output: a union of conjunctive selection+projection branches over a
+/// single source relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnedOutputQuery {
+    /// Name of the source relation the branches select from.
+    pub source: String,
+    /// Attributes the output projects (by name, in output-column order).
+    pub projection: Vec<String>,
+    /// One conjunctive selection per positive decision-tree leaf.
+    pub branches: Vec<Vec<Condition>>,
+}
+
+impl LearnedOutputQuery {
+    /// Render each branch as a standalone [`SpjQuery`].
+    pub fn branch_queries(&self) -> Vec<SpjQuery> {
+        let attrs: Vec<&str> = self.projection.iter().map(String::as_str).collect();
+        self.branches
+            .iter()
+            .map(|conds| {
+                SpjQuery::scan(self.source.clone()).select(conds.clone()).project(&attrs)
+            })
+            .collect()
+    }
+
+    /// Evaluate the union of branches over an instance (set semantics).
+    pub fn evaluate(&self, db: &Instance) -> Option<Relation> {
+        let mut acc: Option<Relation> = None;
+        for q in self.branch_queries() {
+            let r = q.evaluate(db).ok()?;
+            acc = Some(match acc {
+                None => r,
+                Some(mut sofar) => {
+                    for t in r.tuples() {
+                        sofar.insert(t.clone());
+                    }
+                    sofar
+                }
+            });
+        }
+        acc.map(|r| r.distinct())
+    }
+
+    /// Total number of selection conditions across branches (a succinctness measure).
+    pub fn condition_count(&self) -> usize {
+        self.branches.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for LearnedOutputQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> =
+            self.branch_queries().iter().map(|q| q.to_string()).collect();
+        write!(f, "{}", rendered.join(" ∪ "))
+    }
+}
+
+/// Why query-by-output failed on the given input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QboError {
+    /// No base relation's columns can be projected onto the output columns.
+    NoCoveringSource,
+    /// A covering source exists but no decision tree separates positives from negatives
+    /// (two identical source tuples have different labels, which cannot happen with a
+    /// deterministic projection, so in practice this signals an empty instance).
+    Inseparable,
+    /// The learned query does not reproduce the output exactly (instance-equivalence failed).
+    NotEquivalent,
+}
+
+impl fmt::Display for QboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QboError::NoCoveringSource => {
+                write!(f, "no base relation projects onto the output columns")
+            }
+            QboError::Inseparable => write!(f, "positive and negative tuples cannot be separated"),
+            QboError::NotEquivalent => write!(f, "learned query is not instance-equivalent"),
+        }
+    }
+}
+
+impl std::error::Error for QboError {}
+
+/// Find source-column positions (one per output column) such that projecting `source` onto them
+/// covers every output tuple. Returns the first (lexicographically smallest) covering mapping.
+pub fn infer_projection(source: &Relation, output: &Relation) -> Option<Vec<usize>> {
+    let out_arity = output.schema().arity();
+    // Candidate source columns for each output column: those whose value set is a superset of
+    // the output column's value set.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(out_arity);
+    for j in 0..out_arity {
+        let needed: BTreeSet<&Value> = output.tuples().iter().map(|t| t.get(j)).collect();
+        let mut cols = Vec::new();
+        for i in 0..source.schema().arity() {
+            let have: BTreeSet<&Value> = source.tuples().iter().map(|t| t.get(i)).collect();
+            if needed.is_subset(&have) {
+                cols.push(i);
+            }
+        }
+        if cols.is_empty() {
+            return None;
+        }
+        candidates.push(cols);
+    }
+    // Backtracking over the per-column candidates, verifying that every output tuple is the
+    // projection of at least one source tuple under the chosen mapping.
+    fn verify(source: &Relation, output: &Relation, mapping: &[usize]) -> bool {
+        let projected: BTreeSet<Tuple> =
+            source.tuples().iter().map(|t| t.project(mapping)).collect();
+        output.tuples().iter().all(|t| projected.contains(t))
+    }
+    fn search(
+        source: &Relation,
+        output: &Relation,
+        candidates: &[Vec<usize>],
+        chosen: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        if chosen.len() == candidates.len() {
+            return verify(source, output, chosen).then(|| chosen.clone());
+        }
+        for &c in &candidates[chosen.len()] {
+            chosen.push(c);
+            if let Some(found) = search(source, output, candidates, chosen) {
+                return Some(found);
+            }
+            chosen.pop();
+        }
+        None
+    }
+    search(source, output, &candidates, &mut Vec::new())
+}
+
+/// A binary decision tree over `attribute = constant` tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionTree {
+    /// A pure (or unsplittable) leaf holding the majority label.
+    Leaf {
+        /// The predicted label.
+        positive: bool,
+    },
+    /// An internal node testing `attribute = value`.
+    Node {
+        /// Attribute index tested.
+        attribute: usize,
+        /// Constant compared against.
+        value: Value,
+        /// Subtree for tuples satisfying the test.
+        then_branch: Box<DecisionTree>,
+        /// Subtree for tuples failing the test.
+        else_branch: Box<DecisionTree>,
+    },
+}
+
+impl DecisionTree {
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            DecisionTree::Leaf { .. } => 1,
+            DecisionTree::Node { then_branch, else_branch, .. } => {
+                1 + then_branch.size() + else_branch.size()
+            }
+        }
+    }
+
+    /// Depth of the tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            DecisionTree::Leaf { .. } => 1,
+            DecisionTree::Node { then_branch, else_branch, .. } => {
+                1 + then_branch.depth().max(else_branch.depth())
+            }
+        }
+    }
+
+    /// Classify a tuple.
+    pub fn classify(&self, tuple: &Tuple) -> bool {
+        match self {
+            DecisionTree::Leaf { positive } => *positive,
+            DecisionTree::Node { attribute, value, then_branch, else_branch } => {
+                if tuple.get(*attribute) == value {
+                    then_branch.classify(tuple)
+                } else {
+                    else_branch.classify(tuple)
+                }
+            }
+        }
+    }
+}
+
+fn gini(pos: usize, neg: usize) -> f64 {
+    let total = (pos + neg) as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total;
+    2.0 * p * (1.0 - p)
+}
+
+/// Grow a decision tree that separates `positives` from `negatives` exactly when possible.
+///
+/// Splits are chosen by Gini impurity reduction over every `attribute = constant` test, the
+/// classical TALOS ingredient. Only equality tests on the positive tuples' own values are
+/// considered on the "then" side, which keeps the produced selections constants that actually
+/// occur in the data.
+pub fn grow_tree(positives: &[&Tuple], negatives: &[&Tuple]) -> DecisionTree {
+    if negatives.is_empty() {
+        return DecisionTree::Leaf { positive: true };
+    }
+    if positives.is_empty() {
+        return DecisionTree::Leaf { positive: false };
+    }
+    let arity = positives[0].arity();
+    // Candidate tests: (attribute, value) pairs occurring in either class.
+    let mut best: Option<(usize, Value, f64)> = None;
+    let parent = gini(positives.len(), negatives.len());
+    for a in 0..arity {
+        let values: BTreeSet<&Value> =
+            positives.iter().chain(negatives.iter()).map(|t| t.get(a)).collect();
+        for v in values {
+            let tp = positives.iter().filter(|t| t.get(a) == v).count();
+            let tn = negatives.iter().filter(|t| t.get(a) == v).count();
+            let fp = positives.len() - tp;
+            let fnn = negatives.len() - tn;
+            let then_total = (tp + tn) as f64;
+            let else_total = (fp + fnn) as f64;
+            let total = then_total + else_total;
+            if then_total == 0.0 || else_total == 0.0 {
+                continue; // useless split
+            }
+            let weighted =
+                then_total / total * gini(tp, tn) + else_total / total * gini(fp, fnn);
+            let gain = parent - weighted;
+            if gain > 1e-12 {
+                let better = match &best {
+                    None => true,
+                    Some((_, _, g)) => gain > *g + 1e-12,
+                };
+                if better {
+                    best = Some((a, v.clone(), gain));
+                }
+            }
+        }
+    }
+    match best {
+        None => {
+            // No split helps: emit the majority label.
+            DecisionTree::Leaf { positive: positives.len() >= negatives.len() }
+        }
+        Some((attribute, value, _)) => {
+            let (tp, fp): (Vec<&Tuple>, Vec<&Tuple>) =
+                positives.iter().partition(|t| t.get(attribute) == &value);
+            let (tn, fnn): (Vec<&Tuple>, Vec<&Tuple>) =
+                negatives.iter().partition(|t| t.get(attribute) == &value);
+            DecisionTree::Node {
+                attribute,
+                value,
+                then_branch: Box::new(grow_tree(&tp, &tn)),
+                else_branch: Box::new(grow_tree(&fp, &fnn)),
+            }
+        }
+    }
+}
+
+/// Extract the conjunctive conditions of each positive leaf.
+///
+/// "then" edges contribute `attribute = value` conditions and "else" edges contribute
+/// `attribute ≠ value` conditions, so each positive leaf's path is exactly the conjunctive
+/// selection the decision tree applies on that branch (the TALOS reading of a tree as a union of
+/// selection queries).
+fn positive_branches(tree: &DecisionTree, attributes: &[String]) -> Vec<Vec<Condition>> {
+    fn walk(
+        tree: &DecisionTree,
+        attributes: &[String],
+        path: &mut Vec<Condition>,
+        out: &mut Vec<Vec<Condition>>,
+    ) {
+        match tree {
+            DecisionTree::Leaf { positive } => {
+                if *positive {
+                    out.push(path.clone());
+                }
+            }
+            DecisionTree::Node { attribute, value, then_branch, else_branch } => {
+                path.push(Condition::AttrConst(attributes[*attribute].clone(), value.clone()));
+                walk(then_branch, attributes, path, out);
+                path.pop();
+                path.push(Condition::AttrNotConst(attributes[*attribute].clone(), value.clone()));
+                walk(else_branch, attributes, path, out);
+                path.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(tree, attributes, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Learn an instance-equivalent query for `output` over `db`.
+///
+/// Every base relation of `db` is tried as the source, smallest first; the first source for
+/// which the decision-tree branches reproduce the output exactly wins.
+pub fn query_by_output(db: &Instance, output: &Relation) -> Result<LearnedOutputQuery, QboError> {
+    let mut sources: Vec<&Relation> = db.relations().collect();
+    sources.sort_by_key(|r| (r.schema().arity(), r.len(), r.schema().name().to_string()));
+    let mut saw_covering_source = false;
+    for source in sources {
+        let Some(mapping) = infer_projection(source, output) else { continue };
+        saw_covering_source = true;
+        let out_set: BTreeSet<Tuple> = output.tuples().iter().cloned().collect();
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        for t in source.tuples() {
+            if out_set.contains(&t.project(&mapping)) {
+                positives.push(t);
+            } else {
+                negatives.push(t);
+            }
+        }
+        let tree = grow_tree(&positives, &negatives);
+        let attributes = source.schema().attributes().to_vec();
+        let branches = positive_branches(&tree, &attributes);
+        if branches.is_empty() {
+            continue;
+        }
+        let projection: Vec<String> =
+            mapping.iter().map(|&i| attributes[i].clone()).collect();
+        let learned = LearnedOutputQuery {
+            source: source.schema().name().to_string(),
+            projection,
+            branches,
+        };
+        if let Some(result) = learned.evaluate(db) {
+            if same_tuple_set(&result, output) {
+                return Ok(learned);
+            }
+        }
+    }
+    if saw_covering_source {
+        Err(QboError::NotEquivalent)
+    } else {
+        Err(QboError::NoCoveringSource)
+    }
+}
+
+/// Summary of a query-by-output run, used by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct QboReport {
+    /// The source relation chosen.
+    pub source: String,
+    /// Number of union branches in the learned query.
+    pub branches: usize,
+    /// Total number of selection conditions.
+    pub conditions: usize,
+    /// Whether the learned query reproduces the output exactly.
+    pub equivalent: bool,
+}
+
+/// Run query-by-output and summarise the outcome.
+pub fn qbo_report(db: &Instance, output: &Relation) -> Option<QboReport> {
+    match query_by_output(db, output) {
+        Ok(q) => Some(QboReport {
+            source: q.source.clone(),
+            branches: q.branches.len(),
+            conditions: q.condition_count(),
+            equivalent: true,
+        }),
+        Err(_) => None,
+    }
+}
+
+/// Count how many distinct constants the learned query mentions (used to compare succinctness
+/// against the goal query in experiments).
+pub fn distinct_constants(query: &LearnedOutputQuery) -> usize {
+    let mut values: BTreeMap<&str, BTreeSet<&Value>> = BTreeMap::new();
+    for branch in &query.branches {
+        for c in branch {
+            if let Condition::AttrConst(a, v) = c {
+                values.entry(a).or_default().insert(v);
+            }
+        }
+    }
+    values.values().map(BTreeSet::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RelationSchema;
+
+    fn employees() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("emp", &["eid", "name", "dept", "senior"]),
+            vec![
+                Tuple::new(vec![1.into(), "Ana".into(), 10.into(), true.into()]),
+                Tuple::new(vec![2.into(), "Bob".into(), 10.into(), false.into()]),
+                Tuple::new(vec![3.into(), "Cleo".into(), 20.into(), true.into()]),
+                Tuple::new(vec![4.into(), "Dan".into(), 20.into(), false.into()]),
+                Tuple::new(vec![5.into(), "Eve".into(), 30.into(), true.into()]),
+            ],
+        )
+    }
+
+    fn db() -> Instance {
+        let mut db = Instance::new();
+        db.add(employees());
+        db
+    }
+
+    fn output_of(q: &SpjQuery, db: &Instance) -> Relation {
+        q.evaluate(db).unwrap()
+    }
+
+    #[test]
+    fn projection_inference_finds_identity_columns() {
+        let emp = employees();
+        let out = Relation::with_tuples(
+            RelationSchema::new("out", &["n"]),
+            vec![Tuple::new(vec!["Ana".into()]), Tuple::new(vec!["Bob".into()])],
+        );
+        assert_eq!(infer_projection(&emp, &out), Some(vec![1]));
+    }
+
+    #[test]
+    fn projection_inference_fails_when_values_are_missing() {
+        let emp = employees();
+        let out = Relation::with_tuples(
+            RelationSchema::new("out", &["n"]),
+            vec![Tuple::new(vec!["Zoe".into()])],
+        );
+        assert_eq!(infer_projection(&emp, &out), None);
+    }
+
+    #[test]
+    fn decision_tree_separates_by_single_attribute() {
+        let emp = employees();
+        let (pos, neg): (Vec<&Tuple>, Vec<&Tuple>) =
+            emp.tuples().iter().partition(|t| t.get(2) == &Value::Int(10));
+        let tree = grow_tree(&pos, &neg);
+        for t in &pos {
+            assert!(tree.classify(t));
+        }
+        for t in &neg {
+            assert!(!tree.classify(t));
+        }
+        assert!(tree.depth() <= 3, "a single equality split should suffice, got {tree:?}");
+    }
+
+    #[test]
+    fn pure_positive_input_yields_single_leaf() {
+        let emp = employees();
+        let pos: Vec<&Tuple> = emp.tuples().iter().collect();
+        let tree = grow_tree(&pos, &[]);
+        assert_eq!(tree, DecisionTree::Leaf { positive: true });
+    }
+
+    #[test]
+    fn qbo_recovers_a_selection_query() {
+        let goal = SpjQuery::scan("emp")
+            .select(vec![Condition::AttrConst("dept".into(), Value::Int(10))])
+            .project(&["name"]);
+        let db = db();
+        let out = output_of(&goal, &db);
+        let learned = query_by_output(&db, &out).unwrap();
+        assert_eq!(learned.source, "emp");
+        assert!(same_tuple_set(&learned.evaluate(&db).unwrap(), &out));
+    }
+
+    #[test]
+    fn qbo_recovers_a_disjunctive_selection_as_a_union() {
+        // dept = 10 OR dept = 30 cannot be one conjunction; TALOS handles it with two leaves.
+        let db = db();
+        let out = Relation::with_tuples(
+            RelationSchema::new("out", &["name"]),
+            vec![
+                Tuple::new(vec!["Ana".into()]),
+                Tuple::new(vec!["Bob".into()]),
+                Tuple::new(vec!["Eve".into()]),
+            ],
+        );
+        let learned = query_by_output(&db, &out).unwrap();
+        assert!(same_tuple_set(&learned.evaluate(&db).unwrap(), &out));
+    }
+
+    #[test]
+    fn qbo_full_relation_needs_no_conditions() {
+        let db = db();
+        let out = output_of(&SpjQuery::scan("emp").project(&["eid"]), &db);
+        let learned = query_by_output(&db, &out).unwrap();
+        assert_eq!(learned.condition_count(), 0);
+        assert_eq!(learned.branches.len(), 1);
+    }
+
+    #[test]
+    fn qbo_fails_when_output_values_do_not_occur() {
+        let db = db();
+        let out = Relation::with_tuples(
+            RelationSchema::new("out", &["x"]),
+            vec![Tuple::new(vec![999.into()])],
+        );
+        assert_eq!(query_by_output(&db, &out), Err(QboError::NoCoveringSource));
+    }
+
+    #[test]
+    fn qbo_report_summarises_the_learned_query() {
+        let goal = SpjQuery::scan("emp")
+            .select(vec![Condition::AttrConst("senior".into(), Value::Bool(true))])
+            .project(&["name"]);
+        let db = db();
+        let out = output_of(&goal, &db);
+        let report = qbo_report(&db, &out).unwrap();
+        assert!(report.equivalent);
+        assert_eq!(report.source, "emp");
+        assert!(report.conditions >= 1);
+    }
+
+    #[test]
+    fn distinct_constants_counts_values_per_attribute() {
+        let q = LearnedOutputQuery {
+            source: "emp".into(),
+            projection: vec!["name".into()],
+            branches: vec![
+                vec![Condition::AttrConst("dept".into(), Value::Int(10))],
+                vec![Condition::AttrConst("dept".into(), Value::Int(30))],
+            ],
+        };
+        assert_eq!(distinct_constants(&q), 2);
+    }
+
+    #[test]
+    fn display_joins_branches_with_union() {
+        let q = LearnedOutputQuery {
+            source: "emp".into(),
+            projection: vec!["name".into()],
+            branches: vec![
+                vec![Condition::AttrConst("dept".into(), Value::Int(10))],
+                vec![Condition::AttrConst("dept".into(), Value::Int(30))],
+            ],
+        };
+        let s = q.to_string();
+        assert!(s.contains("∪"), "{s}");
+        assert!(s.contains("dept = 10"), "{s}");
+    }
+}

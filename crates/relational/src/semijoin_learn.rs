@@ -1,0 +1,275 @@
+//! Learning semijoin predicates from labelled left-hand tuples.
+//!
+//! Setting (paper §3): the goal query is a semijoin `R ⋉θ S` — the user labels tuples **of `R`
+//! alone** as positive ("keep: it has a partner in S under the join I have in mind") or negative
+//! ("drop"). This is the class for which the paper notes consistency checking is *intractable*:
+//! a positive tuple only needs **some** witness in `S`, so the simple agreement-set argument of
+//! the equi-join case no longer applies and one must search which witness each positive uses.
+//!
+//! Provided algorithms:
+//!
+//! * [`semijoin_consistent_exact`] — exact exponential search over predicate candidates (used to
+//!   exhibit the blow-up in the benchmarks and as ground truth in tests);
+//! * [`semijoin_learn_greedy`] — a polynomial heuristic that starts from the union of the
+//!   positives' best agreement sets and greedily repairs violated negatives; may fail even when
+//!   a consistent predicate exists (that is the price of tractability the paper's "approximate
+//!   learning" discussion accepts).
+
+use crate::model::Relation;
+use crate::operators::{semijoin, JoinPredicate};
+use std::collections::BTreeSet;
+
+/// A labelled tuple of the left relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelledTuple {
+    /// Index into the left relation.
+    pub index: usize,
+    /// Whether the tuple must appear in the semijoin result.
+    pub positive: bool,
+}
+
+impl LabelledTuple {
+    /// Convenience constructor.
+    pub fn new(index: usize, positive: bool) -> LabelledTuple {
+        LabelledTuple { index, positive }
+    }
+}
+
+/// Whether a predicate is consistent with the labels: every positive left tuple has a partner
+/// and no negative one does.
+pub fn predicate_consistent(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledTuple],
+    predicate: &JoinPredicate,
+) -> bool {
+    let selected: BTreeSet<usize> = {
+        let result = semijoin(left, right, predicate);
+        // Recover indices by identity of tuples (duplicates handled by counting positions).
+        let mut out = BTreeSet::new();
+        for (ix, t) in left.tuples().iter().enumerate() {
+            if result.tuples().contains(t) {
+                out.insert(ix);
+            }
+        }
+        out
+    };
+    labels.iter().all(|l| selected.contains(&l.index) == l.positive)
+}
+
+/// All attribute pairs of the two schemas.
+fn all_pairs(left: &Relation, right: &Relation) -> Vec<(usize, usize)> {
+    (0..left.schema().arity())
+        .flat_map(|i| (0..right.schema().arity()).map(move |j| (i, j)))
+        .collect()
+}
+
+/// Exact consistency check by exhaustive search over all subsets of attribute pairs
+/// (`2^(arity(L)·arity(R))` candidates — exponential, as expected for an intractable problem).
+/// Returns a consistent predicate with the largest number of equalities, if any exists.
+pub fn semijoin_consistent_exact(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledTuple],
+) -> Option<JoinPredicate> {
+    let pairs = all_pairs(left, right);
+    let n = pairs.len();
+    assert!(n <= 24, "exhaustive semijoin search is limited to 24 attribute pairs");
+    let mut best: Option<JoinPredicate> = None;
+    for mask in 0u32..(1u32 << n) {
+        let predicate = JoinPredicate::from_pairs(
+            pairs.iter().enumerate().filter(|(ix, _)| mask & (1 << ix) != 0).map(|(_, &p)| p),
+        );
+        if predicate_consistent(left, right, labels, &predicate) {
+            let better = match &best {
+                None => true,
+                Some(b) => predicate.len() > b.len(),
+            };
+            if better {
+                best = Some(predicate);
+            }
+        }
+    }
+    best
+}
+
+/// Greedy polynomial heuristic.
+///
+/// Start from the intersection of the positives' *maximal* agreement sets (each positive picks
+/// the right tuple it agrees with on the most attributes), then, while some negative still has a
+/// partner, add the equality that removes the most offending negatives without orphaning any
+/// positive. Gives up (returns `None`) when no such repair exists.
+pub fn semijoin_learn_greedy(
+    left: &Relation,
+    right: &Relation,
+    labels: &[LabelledTuple],
+) -> Option<JoinPredicate> {
+    let positives: Vec<usize> = labels.iter().filter(|l| l.positive).map(|l| l.index).collect();
+    let pairs = all_pairs(left, right);
+
+    // Initial candidate: pairs on which every positive agrees with at least one right tuple
+    // simultaneously — approximated by keeping pairs satisfied by each positive's best witness.
+    let mut candidate: BTreeSet<(usize, usize)> = pairs.iter().copied().collect();
+    for &p in &positives {
+        let lt = &left.tuples()[p];
+        let best_witness = right
+            .tuples()
+            .iter()
+            .max_by_key(|rt| pairs.iter().filter(|&&(i, j)| lt.get(i) == rt.get(j)).count())?;
+        candidate.retain(|&(i, j)| lt.get(i) == best_witness.get(j));
+    }
+    let mut predicate = JoinPredicate::from_pairs(candidate.iter().copied());
+
+    // If the candidate orphans a positive (its best witness choice was wrong for the shared
+    // predicate), drop equalities until every positive has a partner again.
+    loop {
+        let orphan = positives.iter().find(|&&p| {
+            let lt = &left.tuples()[p];
+            !right.tuples().iter().any(|rt| predicate.satisfied_by(lt, rt))
+        });
+        match orphan {
+            None => break,
+            Some(&p) => {
+                // Remove the equality that, once dropped, lets this positive find a partner and
+                // keeps the most equalities overall.
+                let lt = &left.tuples()[p];
+                let current: Vec<(usize, usize)> = predicate.pairs().collect();
+                let mut repaired = false;
+                for drop_ix in 0..current.len() {
+                    let attempt = JoinPredicate::from_pairs(
+                        current.iter().enumerate().filter(|(ix, _)| *ix != drop_ix).map(|(_, &p)| p),
+                    );
+                    if right.tuples().iter().any(|rt| attempt.satisfied_by(lt, rt)) {
+                        predicate = attempt;
+                        repaired = true;
+                        break;
+                    }
+                }
+                if !repaired {
+                    if current.is_empty() {
+                        // The empty predicate pairs everything with everything; if the right
+                        // relation is empty no semijoin keeps this positive.
+                        return None;
+                    }
+                    predicate = JoinPredicate::empty();
+                }
+            }
+        }
+    }
+
+    if predicate_consistent(left, right, labels, &predicate) {
+        Some(predicate)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RelationSchema, Tuple};
+
+    fn employees() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("employees", &["eid", "dept", "city"]),
+            vec![
+                Tuple::new(vec![1.into(), "sales".into(), "Lille".into()]),
+                Tuple::new(vec![2.into(), "hr".into(), "Paris".into()]),
+                Tuple::new(vec![3.into(), "sales".into(), "Paris".into()]),
+                Tuple::new(vec![4.into(), "it".into(), "Lyon".into()]),
+            ],
+        )
+    }
+
+    fn offices() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("offices", &["dept", "city"]),
+            vec![
+                Tuple::new(vec!["sales".into(), "Lille".into()]),
+                Tuple::new(vec!["hr".into(), "Paris".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_search_finds_a_separating_predicate() {
+        // Goal: employees whose department has an office (dept = dept).
+        let labels = vec![
+            LabelledTuple::new(0, true),  // sales
+            LabelledTuple::new(1, true),  // hr
+            LabelledTuple::new(3, false), // it has no office
+        ];
+        let p = semijoin_consistent_exact(&employees(), &offices(), &labels).expect("consistent");
+        assert!(predicate_consistent(&employees(), &offices(), &labels, &p));
+        assert!(p.contains((1, 0)), "expected dept=dept in {p}");
+    }
+
+    #[test]
+    fn exact_search_detects_inconsistency() {
+        // Same tuple labelled both ways.
+        let labels = vec![LabelledTuple::new(0, true), LabelledTuple::new(0, false)];
+        assert!(semijoin_consistent_exact(&employees(), &offices(), &labels).is_none());
+    }
+
+    #[test]
+    fn exact_search_needs_witness_flexibility() {
+        // Employee 2 (hr, Paris) and employee 0 (sales, Lille) both positive, employee 2 matches
+        // the hr office and employee 0 the sales office — different witnesses, same predicate.
+        let labels = vec![
+            LabelledTuple::new(0, true),
+            LabelledTuple::new(1, true),
+            LabelledTuple::new(2, false), // sales/Paris: dept matches but city does not
+        ];
+        let p = semijoin_consistent_exact(&employees(), &offices(), &labels).expect("consistent");
+        // Separating sales/Paris from sales/Lille requires both dept and city equalities.
+        assert!(p.contains((1, 0)) && p.contains((2, 1)), "got {p}");
+    }
+
+    #[test]
+    fn greedy_heuristic_solves_the_easy_cases() {
+        let labels = vec![
+            LabelledTuple::new(0, true),
+            LabelledTuple::new(1, true),
+            LabelledTuple::new(3, false),
+        ];
+        let p = semijoin_learn_greedy(&employees(), &offices(), &labels).expect("greedy solves this");
+        assert!(predicate_consistent(&employees(), &offices(), &labels, &p));
+    }
+
+    #[test]
+    fn greedy_heuristic_agrees_with_exact_when_it_succeeds() {
+        let labels = vec![
+            LabelledTuple::new(0, true),
+            LabelledTuple::new(1, true),
+            LabelledTuple::new(2, false),
+        ];
+        if let Some(p) = semijoin_learn_greedy(&employees(), &offices(), &labels) {
+            assert!(predicate_consistent(&employees(), &offices(), &labels, &p));
+        }
+        // The exact search must succeed regardless.
+        assert!(semijoin_consistent_exact(&employees(), &offices(), &labels).is_some());
+    }
+
+    #[test]
+    fn greedy_returns_none_on_contradiction() {
+        let labels = vec![LabelledTuple::new(0, true), LabelledTuple::new(0, false)];
+        assert!(semijoin_learn_greedy(&employees(), &offices(), &labels).is_none());
+    }
+
+    #[test]
+    fn positives_only_are_always_consistent() {
+        let labels = vec![LabelledTuple::new(0, true), LabelledTuple::new(1, true)];
+        assert!(semijoin_consistent_exact(&employees(), &offices(), &labels).is_some());
+        assert!(semijoin_learn_greedy(&employees(), &offices(), &labels).is_some());
+    }
+
+    #[test]
+    fn predicate_consistency_checks_both_directions() {
+        let labels = vec![LabelledTuple::new(0, true), LabelledTuple::new(3, false)];
+        let dept_eq = JoinPredicate::from_pairs([(1, 0)]);
+        assert!(predicate_consistent(&employees(), &offices(), &labels, &dept_eq));
+        let empty = JoinPredicate::empty();
+        // The empty predicate keeps everyone, violating the negative label.
+        assert!(!predicate_consistent(&employees(), &offices(), &labels, &empty));
+    }
+}

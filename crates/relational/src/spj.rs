@@ -1,0 +1,400 @@
+//! Select–project–join (SPJ) queries over a named instance.
+//!
+//! The related work the paper builds on — query-by-output [Tran et al., SIGMOD'09], view
+//! definition synthesis [Das Sarma et al., ICDT'10] and the BP-completeness line of work
+//! [Bancilhon'78, Paredaens'78] — all reverse-engineer *relational algebra expressions* from an
+//! instance and an output. This module provides the hypothesis space those learners search: a
+//! small SPJ algebra with equality selections (attribute = constant, attribute = attribute),
+//! projections and equi-joins, together with a straightforward evaluator over
+//! [`Instance`](crate::model::Instance).
+//!
+//! The algebra is deliberately value-based (no bag semantics beyond what the operators of
+//! [`crate::operators`] produce) because the learning problems the paper considers are stated
+//! over set semantics.
+
+use std::fmt;
+
+use crate::model::{Instance, Relation, RelationSchema, Tuple, Value};
+use crate::operators::{equi_join, JoinPredicate};
+
+/// An equality selection condition on a single relation (or intermediate result).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Condition {
+    /// `attribute = constant`.
+    AttrConst(String, Value),
+    /// `attribute ≠ constant` (produced by the "else" branches of decision-tree learners).
+    AttrNotConst(String, Value),
+    /// `attribute = attribute` (both on the same input).
+    AttrAttr(String, String),
+}
+
+impl Condition {
+    /// Whether a tuple of the given schema satisfies the condition.
+    ///
+    /// Conditions naming attributes absent from the schema are unsatisfiable (return `false`)
+    /// rather than an error: learners routinely probe candidate conditions against intermediate
+    /// schemas that may not expose every attribute.
+    pub fn satisfied_by(&self, schema: &RelationSchema, tuple: &Tuple) -> bool {
+        match self {
+            Condition::AttrConst(a, v) => {
+                schema.index_of(a).is_some_and(|ix| tuple.get(ix) == v)
+            }
+            Condition::AttrNotConst(a, v) => {
+                schema.index_of(a).is_some_and(|ix| tuple.get(ix) != v)
+            }
+            Condition::AttrAttr(a, b) => match (schema.index_of(a), schema.index_of(b)) {
+                (Some(ia), Some(ib)) => tuple.get(ia) == tuple.get(ib),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::AttrConst(a, v) => write!(f, "{a} = {v}"),
+            Condition::AttrNotConst(a, v) => write!(f, "{a} ≠ {v}"),
+            Condition::AttrAttr(a, b) => write!(f, "{a} = {b}"),
+        }
+    }
+}
+
+/// A select–project–join query.
+///
+/// The structure mirrors the textbook algebra: a base relation or an equi-join of two
+/// sub-queries, wrapped by a conjunctive selection and an optional projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpjQuery {
+    /// Scan of a named base relation.
+    Scan(String),
+    /// Conjunctive selection over a sub-query.
+    Select {
+        /// Input query.
+        input: Box<SpjQuery>,
+        /// Conditions, all of which must hold.
+        conditions: Vec<Condition>,
+    },
+    /// Projection onto named attributes (in the given order).
+    Project {
+        /// Input query.
+        input: Box<SpjQuery>,
+        /// Attributes kept, by name.
+        attributes: Vec<String>,
+    },
+    /// Equi-join of two sub-queries under an explicit positional predicate.
+    Join {
+        /// Left input.
+        left: Box<SpjQuery>,
+        /// Right input.
+        right: Box<SpjQuery>,
+        /// Positional equality predicate between left and right attributes.
+        predicate: JoinPredicate,
+    },
+}
+
+/// Errors raised while evaluating an [`SpjQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpjError {
+    /// The query scans a relation absent from the instance.
+    UnknownRelation(String),
+    /// A projection names an attribute absent from its input schema.
+    UnknownAttribute(String),
+}
+
+impl fmt::Display for SpjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpjError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            SpjError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpjError {}
+
+impl SpjQuery {
+    /// Scan of a base relation.
+    pub fn scan(name: impl Into<String>) -> SpjQuery {
+        SpjQuery::Scan(name.into())
+    }
+
+    /// Wrap the query in a conjunctive selection; an empty condition list is the identity.
+    pub fn select(self, conditions: Vec<Condition>) -> SpjQuery {
+        if conditions.is_empty() {
+            self
+        } else {
+            SpjQuery::Select { input: Box::new(self), conditions }
+        }
+    }
+
+    /// Wrap the query in a projection.
+    pub fn project(self, attributes: &[&str]) -> SpjQuery {
+        SpjQuery::Project {
+            input: Box::new(self),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Equi-join with another query.
+    pub fn join(self, right: SpjQuery, predicate: JoinPredicate) -> SpjQuery {
+        SpjQuery::Join { left: Box::new(self), right: Box::new(right), predicate }
+    }
+
+    /// Number of algebra operators in the query; used as the succinctness measure by the
+    /// view-synthesis learner (smaller is better).
+    pub fn size(&self) -> usize {
+        match self {
+            SpjQuery::Scan(_) => 1,
+            SpjQuery::Select { input, conditions } => 1 + conditions.len() + input.size(),
+            SpjQuery::Project { input, .. } => 1 + input.size(),
+            SpjQuery::Join { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+
+    /// Names of the base relations the query scans, in left-to-right order (with duplicates).
+    pub fn base_relations(&self) -> Vec<String> {
+        match self {
+            SpjQuery::Scan(name) => vec![name.clone()],
+            SpjQuery::Select { input, .. } | SpjQuery::Project { input, .. } => {
+                input.base_relations()
+            }
+            SpjQuery::Join { left, right, .. } => {
+                let mut v = left.base_relations();
+                v.extend(right.base_relations());
+                v
+            }
+        }
+    }
+
+    /// Evaluate the query over an instance (set semantics: the result is deduplicated).
+    pub fn evaluate(&self, db: &Instance) -> Result<Relation, SpjError> {
+        let raw = self.evaluate_bag(db)?;
+        Ok(raw.distinct())
+    }
+
+    fn evaluate_bag(&self, db: &Instance) -> Result<Relation, SpjError> {
+        match self {
+            SpjQuery::Scan(name) => db
+                .relation(name)
+                .cloned()
+                .ok_or_else(|| SpjError::UnknownRelation(name.clone())),
+            SpjQuery::Select { input, conditions } => {
+                let rel = input.evaluate_bag(db)?;
+                let schema = rel.schema().clone();
+                let mut out = Relation::new(schema.clone());
+                for t in rel.tuples() {
+                    if conditions.iter().all(|c| c.satisfied_by(&schema, t)) {
+                        out.insert(t.clone());
+                    }
+                }
+                Ok(out)
+            }
+            SpjQuery::Project { input, attributes } => {
+                let rel = input.evaluate_bag(db)?;
+                let mut positions = Vec::with_capacity(attributes.len());
+                for a in attributes {
+                    positions.push(
+                        rel.schema()
+                            .index_of(a)
+                            .ok_or_else(|| SpjError::UnknownAttribute(a.clone()))?,
+                    );
+                }
+                let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+                let schema = RelationSchema::new(rel.schema().name(), &attr_refs);
+                let mut out = Relation::new(schema);
+                for t in rel.tuples() {
+                    out.insert(t.project(&positions));
+                }
+                Ok(out)
+            }
+            SpjQuery::Join { left, right, predicate } => {
+                let l = left.evaluate_bag(db)?;
+                let r = right.evaluate_bag(db)?;
+                Ok(equi_join(&l, &r, predicate))
+            }
+        }
+    }
+
+    /// Whether the query produces exactly the same set of tuples as `expected` on `db`
+    /// (attribute names are ignored; only the tuple sets are compared).
+    pub fn reproduces(&self, db: &Instance, expected: &Relation) -> Result<bool, SpjError> {
+        let got = self.evaluate(db)?;
+        Ok(same_tuple_set(&got, expected))
+    }
+}
+
+impl fmt::Display for SpjQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpjQuery::Scan(name) => write!(f, "{name}"),
+            SpjQuery::Select { input, conditions } => {
+                let parts: Vec<String> = conditions.iter().map(|c| c.to_string()).collect();
+                write!(f, "σ[{}]({input})", parts.join(" ∧ "))
+            }
+            SpjQuery::Project { input, attributes } => {
+                write!(f, "π[{}]({input})", attributes.join(", "))
+            }
+            SpjQuery::Join { left, right, predicate } => {
+                write!(f, "({left} ⋈[{predicate}] {right})")
+            }
+        }
+    }
+}
+
+/// Whether two relations hold the same *set* of tuples (schema names are ignored).
+pub fn same_tuple_set(a: &Relation, b: &Relation) -> bool {
+    use std::collections::BTreeSet;
+    if a.schema().arity() != b.schema().arity() {
+        return false;
+    }
+    let sa: BTreeSet<&Tuple> = a.tuples().iter().collect();
+    let sb: BTreeSet<&Tuple> = b.tuples().iter().collect();
+    sa == sb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Value;
+
+    fn db() -> Instance {
+        let mut db = Instance::new();
+        db.add(Relation::with_tuples(
+            RelationSchema::new("emp", &["eid", "name", "dept"]),
+            vec![
+                Tuple::new(vec![1.into(), "Ana".into(), 10.into()]),
+                Tuple::new(vec![2.into(), "Bob".into(), 10.into()]),
+                Tuple::new(vec![3.into(), "Cleo".into(), 20.into()]),
+            ],
+        ));
+        db.add(Relation::with_tuples(
+            RelationSchema::new("dept", &["did", "city"]),
+            vec![
+                Tuple::new(vec![10.into(), "Lille".into()]),
+                Tuple::new(vec![20.into(), "Paris".into()]),
+            ],
+        ));
+        db
+    }
+
+    #[test]
+    fn scan_returns_the_base_relation() {
+        let q = SpjQuery::scan("emp");
+        let r = q.evaluate(&db()).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let q = SpjQuery::scan("ghost");
+        assert_eq!(q.evaluate(&db()), Err(SpjError::UnknownRelation("ghost".into())));
+    }
+
+    #[test]
+    fn selection_filters_on_constants() {
+        let q = SpjQuery::scan("emp")
+            .select(vec![Condition::AttrConst("dept".into(), Value::Int(10))]);
+        let r = q.evaluate(&db()).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_selection_is_identity() {
+        let q = SpjQuery::scan("emp").select(vec![]);
+        assert_eq!(q, SpjQuery::scan("emp"));
+    }
+
+    #[test]
+    fn selection_on_missing_attribute_selects_nothing() {
+        let q = SpjQuery::scan("emp")
+            .select(vec![Condition::AttrConst("salary".into(), Value::Int(1))]);
+        assert!(q.evaluate(&db()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn attr_attr_selection_compares_columns() {
+        let mut db = Instance::new();
+        db.add(Relation::with_tuples(
+            RelationSchema::new("r", &["a", "b"]),
+            vec![
+                Tuple::new(vec![1.into(), 1.into()]),
+                Tuple::new(vec![1.into(), 2.into()]),
+            ],
+        ));
+        let q =
+            SpjQuery::scan("r").select(vec![Condition::AttrAttr("a".into(), "b".into())]);
+        assert_eq!(q.evaluate(&db).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn projection_reorders_and_deduplicates() {
+        let q = SpjQuery::scan("emp").project(&["dept"]);
+        let r = q.evaluate(&db()).unwrap();
+        assert_eq!(r.len(), 2, "set semantics deduplicates the two dept-10 rows");
+        assert_eq!(r.schema().attributes(), &["dept".to_string()]);
+    }
+
+    #[test]
+    fn projection_onto_unknown_attribute_is_an_error() {
+        let q = SpjQuery::scan("emp").project(&["salary"]);
+        assert_eq!(q.evaluate(&db()), Err(SpjError::UnknownAttribute("salary".into())));
+    }
+
+    #[test]
+    fn join_combines_relations() {
+        let q = SpjQuery::scan("emp")
+            .join(SpjQuery::scan("dept"), JoinPredicate::from_pairs([(2, 0)]));
+        let r = q.evaluate(&db()).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.schema().arity(), 5);
+    }
+
+    #[test]
+    fn query_size_counts_operators_and_conditions() {
+        let q = SpjQuery::scan("emp")
+            .select(vec![Condition::AttrConst("dept".into(), Value::Int(10))])
+            .project(&["name"]);
+        assert_eq!(q.size(), 4); // scan + select + 1 condition + project
+    }
+
+    #[test]
+    fn base_relations_are_reported_in_order() {
+        let q = SpjQuery::scan("emp")
+            .join(SpjQuery::scan("dept"), JoinPredicate::from_pairs([(2, 0)]))
+            .project(&["emp.name"]);
+        assert_eq!(q.base_relations(), vec!["emp".to_string(), "dept".to_string()]);
+    }
+
+    #[test]
+    fn reproduces_compares_tuple_sets_ignoring_names() {
+        let q = SpjQuery::scan("emp").project(&["eid"]);
+        let expected = Relation::with_tuples(
+            RelationSchema::new("out", &["x"]),
+            vec![
+                Tuple::new(vec![1.into()]),
+                Tuple::new(vec![2.into()]),
+                Tuple::new(vec![3.into()]),
+            ],
+        );
+        assert!(q.reproduces(&db(), &expected).unwrap());
+    }
+
+    #[test]
+    fn reproduces_detects_arity_mismatch() {
+        let q = SpjQuery::scan("emp").project(&["eid"]);
+        let expected = Relation::with_tuples(
+            RelationSchema::new("out", &["x", "y"]),
+            vec![Tuple::new(vec![1.into(), 2.into()])],
+        );
+        assert!(!q.reproduces(&db(), &expected).unwrap());
+    }
+
+    #[test]
+    fn display_renders_algebra_notation() {
+        let q = SpjQuery::scan("emp")
+            .select(vec![Condition::AttrConst("dept".into(), Value::Int(10))])
+            .project(&["name"]);
+        assert_eq!(q.to_string(), "π[name](σ[dept = 10](emp))");
+    }
+}

@@ -1,0 +1,394 @@
+//! View definition synthesis: find the most succinct selection view producing a given instance.
+//!
+//! Reproduces the second relational baseline the paper cites (§3): *"Das Sarma et al.
+//! investigated the view definitions problem: given a database instance and a corresponding view
+//! instance, find the most succinct and accurate view definition."* (ICDT'10). Following that
+//! work we consider conjunctive equality-selection views (optionally with a projection) over a
+//! single base relation and optimise two objectives:
+//!
+//! * **exactness** — the definition must reproduce the view instance exactly; among exact
+//!   definitions we return one with the fewest selection conditions (the succinctness measure),
+//!   computed by a greedy set-cover over the negatives each condition excludes;
+//! * **accuracy** — when no exact conjunctive definition exists, [`synthesize_view`] falls back
+//!   to the most-specific conjunction (the intersection of all positive tuples' constants) and
+//!   reports its precision/recall/F1 against the view, mirroring the approximate variant of the
+//!   original problem.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::model::{Instance, Relation, Tuple, Value};
+use crate::query_by_output::infer_projection;
+use crate::spj::{same_tuple_set, Condition, SpjQuery};
+
+/// A synthesized view definition: a conjunctive selection plus projection over one base relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDefinition {
+    /// Source relation name.
+    pub source: String,
+    /// Selection conditions (conjunctive).
+    pub conditions: Vec<Condition>,
+    /// Projected attributes, in view-column order.
+    pub projection: Vec<String>,
+}
+
+impl ViewDefinition {
+    /// The definition as an [`SpjQuery`].
+    pub fn to_query(&self) -> SpjQuery {
+        let attrs: Vec<&str> = self.projection.iter().map(String::as_str).collect();
+        SpjQuery::scan(self.source.clone()).select(self.conditions.clone()).project(&attrs)
+    }
+
+    /// Succinctness: number of selection conditions.
+    pub fn size(&self) -> usize {
+        self.conditions.len()
+    }
+}
+
+impl fmt::Display for ViewDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_query())
+    }
+}
+
+/// Accuracy of a candidate definition against the view instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewAccuracy {
+    /// |Q(D) ∩ V| / |Q(D)|.
+    pub precision: f64,
+    /// |Q(D) ∩ V| / |V|.
+    pub recall: f64,
+}
+
+impl ViewAccuracy {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+
+    /// Whether the definition is exact.
+    pub fn is_exact(&self) -> bool {
+        (self.precision - 1.0).abs() < 1e-12 && (self.recall - 1.0).abs() < 1e-12
+    }
+}
+
+/// Outcome of [`synthesize_view`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisOutcome {
+    /// The best definition found.
+    pub definition: ViewDefinition,
+    /// Its accuracy on the given instance.
+    pub accuracy: ViewAccuracy,
+}
+
+/// Errors raised by view synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewSynthesisError {
+    /// No base relation's columns cover the view columns.
+    NoCoveringSource,
+    /// The view is empty; every empty selection is trivially exact, so the problem is ill-posed.
+    EmptyView,
+}
+
+impl fmt::Display for ViewSynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewSynthesisError::NoCoveringSource => {
+                write!(f, "no base relation projects onto the view columns")
+            }
+            ViewSynthesisError::EmptyView => write!(f, "the view instance is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ViewSynthesisError {}
+
+/// Compute the accuracy of `definition` against `view` on `db`.
+pub fn accuracy(db: &Instance, definition: &ViewDefinition, view: &Relation) -> ViewAccuracy {
+    let produced = match definition.to_query().evaluate(db) {
+        Ok(r) => r,
+        Err(_) => return ViewAccuracy { precision: 0.0, recall: 0.0 },
+    };
+    let view_set: BTreeSet<&Tuple> = view.tuples().iter().collect();
+    let produced_set: BTreeSet<&Tuple> = produced.tuples().iter().collect();
+    let inter = produced_set.intersection(&view_set).count();
+    let precision =
+        if produced_set.is_empty() { 0.0 } else { inter as f64 / produced_set.len() as f64 };
+    let recall = if view_set.is_empty() { 0.0 } else { inter as f64 / view_set.len() as f64 };
+    ViewAccuracy { precision, recall }
+}
+
+/// The most-specific conjunction for a set of positive tuples: one `attr = const` condition per
+/// attribute on which *all* positives agree.
+pub fn most_specific_conditions(source: &Relation, positives: &[&Tuple]) -> Vec<Condition> {
+    let Some(first) = positives.first() else { return Vec::new() };
+    let mut conditions = Vec::new();
+    for (ix, attr) in source.schema().attributes().iter().enumerate() {
+        let v: &Value = first.get(ix);
+        if positives.iter().all(|t| t.get(ix) == v) {
+            conditions.push(Condition::AttrConst(attr.clone(), v.clone()));
+        }
+    }
+    conditions
+}
+
+/// Greedily minimise a conjunction that already excludes all negatives: keep picking the
+/// condition excluding the most still-uncovered negatives (classical greedy set cover, giving an
+/// `O(log n)`-approximate smallest exact definition).
+pub fn minimise_conditions(
+    source: &Relation,
+    conditions: &[Condition],
+    negatives: &[&Tuple],
+) -> Vec<Condition> {
+    if negatives.is_empty() {
+        return Vec::new();
+    }
+    let schema = source.schema();
+    // For each condition, the set of negative indices it excludes (i.e. the negative fails it).
+    let excluded: Vec<BTreeSet<usize>> = conditions
+        .iter()
+        .map(|c| {
+            negatives
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !c.satisfied_by(schema, t))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let mut uncovered: BTreeSet<usize> = (0..negatives.len()).collect();
+    let mut chosen = Vec::new();
+    let mut available: Vec<usize> = (0..conditions.len()).collect();
+    while !uncovered.is_empty() {
+        let Some((best_pos, &best_ix)) = available
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &ix)| excluded[ix].intersection(&uncovered).count())
+        else {
+            break;
+        };
+        if excluded[best_ix].intersection(&uncovered).count() == 0 {
+            break; // remaining negatives cannot be excluded by any condition
+        }
+        for i in &excluded[best_ix] {
+            uncovered.remove(i);
+        }
+        chosen.push(conditions[best_ix].clone());
+        available.remove(best_pos);
+    }
+    chosen
+}
+
+/// Synthesize the most succinct (and, failing exactness, most accurate) view definition.
+pub fn synthesize_view(
+    db: &Instance,
+    view: &Relation,
+) -> Result<SynthesisOutcome, ViewSynthesisError> {
+    if view.is_empty() {
+        return Err(ViewSynthesisError::EmptyView);
+    }
+    let mut best: Option<SynthesisOutcome> = None;
+    let mut sources: Vec<&Relation> = db.relations().collect();
+    sources.sort_by_key(|r| (r.schema().arity(), r.schema().name().to_string()));
+    for source in sources {
+        let Some(mapping) = infer_projection(source, view) else { continue };
+        let view_set: BTreeSet<Tuple> = view.tuples().iter().cloned().collect();
+        let (positives, negatives): (Vec<&Tuple>, Vec<&Tuple>) =
+            source.tuples().iter().partition(|t| view_set.contains(&t.project(&mapping)));
+        let projection: Vec<String> =
+            mapping.iter().map(|&i| source.schema().attributes()[i].clone()).collect();
+        let most_specific = most_specific_conditions(source, &positives);
+        // Exact route: the most-specific conjunction must reject every negative whose projection
+        // is outside the view; then minimise it.
+        let schema = source.schema();
+        let offending: Vec<&Tuple> = negatives
+            .iter()
+            .copied()
+            .filter(|t| most_specific.iter().all(|c| c.satisfied_by(schema, t)))
+            .collect();
+        let candidate_conditions = if offending.is_empty() {
+            minimise_conditions(source, &most_specific, &negatives)
+        } else {
+            most_specific.clone()
+        };
+        let definition = ViewDefinition {
+            source: schema.name().to_string(),
+            conditions: candidate_conditions,
+            projection,
+        };
+        let acc = accuracy(db, &definition, view);
+        let exact = definition
+            .to_query()
+            .evaluate(db)
+            .map(|r| same_tuple_set(&r, view))
+            .unwrap_or(false);
+        let acc = if exact { ViewAccuracy { precision: 1.0, recall: 1.0 } } else { acc };
+        let outcome = SynthesisOutcome { definition, accuracy: acc };
+        let replace = match &best {
+            None => true,
+            Some(b) => {
+                let (be, oe) = (b.accuracy.is_exact(), outcome.accuracy.is_exact());
+                match (be, oe) {
+                    (false, true) => true,
+                    (true, false) => false,
+                    (true, true) => outcome.definition.size() < b.definition.size(),
+                    (false, false) => outcome.accuracy.f1() > b.accuracy.f1(),
+                }
+            }
+        };
+        if replace {
+            best = Some(outcome);
+        }
+    }
+    best.ok_or(ViewSynthesisError::NoCoveringSource)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RelationSchema;
+
+    fn products() -> Relation {
+        Relation::with_tuples(
+            RelationSchema::new("products", &["pid", "category", "in_stock", "warehouse"]),
+            vec![
+                Tuple::new(vec![1.into(), "book".into(), true.into(), "north".into()]),
+                Tuple::new(vec![2.into(), "book".into(), true.into(), "south".into()]),
+                Tuple::new(vec![3.into(), "book".into(), false.into(), "north".into()]),
+                Tuple::new(vec![4.into(), "toy".into(), true.into(), "north".into()]),
+                Tuple::new(vec![5.into(), "toy".into(), false.into(), "south".into()]),
+            ],
+        )
+    }
+
+    fn db() -> Instance {
+        let mut db = Instance::new();
+        db.add(products());
+        db
+    }
+
+    fn view_of(query: &SpjQuery, db: &Instance) -> Relation {
+        query.evaluate(db).unwrap()
+    }
+
+    #[test]
+    fn exact_single_condition_view_is_recovered_minimally() {
+        let goal = SpjQuery::scan("products")
+            .select(vec![Condition::AttrConst("category".into(), Value::text("toy"))])
+            .project(&["pid"]);
+        let db = db();
+        let view = view_of(&goal, &db);
+        let outcome = synthesize_view(&db, &view).unwrap();
+        assert!(outcome.accuracy.is_exact());
+        assert_eq!(outcome.definition.size(), 1, "one condition suffices: {}", outcome.definition);
+    }
+
+    #[test]
+    fn exact_two_condition_view_is_recovered() {
+        let goal = SpjQuery::scan("products")
+            .select(vec![
+                Condition::AttrConst("category".into(), Value::text("book")),
+                Condition::AttrConst("in_stock".into(), Value::Bool(true)),
+            ])
+            .project(&["pid"]);
+        let db = db();
+        let view = view_of(&goal, &db);
+        let outcome = synthesize_view(&db, &view).unwrap();
+        assert!(outcome.accuracy.is_exact());
+        assert!(outcome.definition.size() <= 2);
+        assert!(outcome.definition.to_query().reproduces(&db, &view).unwrap());
+    }
+
+    #[test]
+    fn inexact_view_falls_back_to_best_accuracy() {
+        // pid ∈ {1, 5} is not definable by a conjunctive equality selection over this instance.
+        let db = db();
+        let view = Relation::with_tuples(
+            RelationSchema::new("v", &["pid"]),
+            vec![Tuple::new(vec![1.into()]), Tuple::new(vec![5.into()])],
+        );
+        let outcome = synthesize_view(&db, &view).unwrap();
+        assert!(!outcome.accuracy.is_exact());
+        assert!(outcome.accuracy.recall > 0.0);
+    }
+
+    #[test]
+    fn empty_view_is_rejected() {
+        let db = db();
+        let view = Relation::new(RelationSchema::new("v", &["pid"]));
+        assert_eq!(synthesize_view(&db, &view), Err(ViewSynthesisError::EmptyView));
+    }
+
+    #[test]
+    fn uncoverable_view_is_rejected() {
+        let db = db();
+        let view = Relation::with_tuples(
+            RelationSchema::new("v", &["pid"]),
+            vec![Tuple::new(vec![99.into()])],
+        );
+        assert_eq!(synthesize_view(&db, &view), Err(ViewSynthesisError::NoCoveringSource));
+    }
+
+    #[test]
+    fn most_specific_conditions_keep_agreeing_attributes_only() {
+        let p = products();
+        let positives: Vec<&Tuple> =
+            p.tuples().iter().filter(|t| t.get(1) == &Value::text("book")).collect();
+        let conds = most_specific_conditions(&p, &positives);
+        assert!(conds.contains(&Condition::AttrConst("category".into(), Value::text("book"))));
+        // in_stock and warehouse differ among books, pid differs too.
+        assert_eq!(conds.len(), 1);
+    }
+
+    #[test]
+    fn minimise_conditions_drops_redundant_ones() {
+        let p = products();
+        let negatives: Vec<&Tuple> =
+            p.tuples().iter().filter(|t| t.get(1) == &Value::text("toy")).collect();
+        let conds = vec![
+            Condition::AttrConst("category".into(), Value::text("book")),
+            Condition::AttrConst("pid".into(), Value::Int(1)),
+        ];
+        let minimal = minimise_conditions(&p, &conds, &negatives);
+        assert_eq!(minimal.len(), 1);
+    }
+
+    #[test]
+    fn minimise_conditions_of_empty_negatives_is_empty() {
+        let p = products();
+        let conds = vec![Condition::AttrConst("category".into(), Value::text("book"))];
+        assert!(minimise_conditions(&p, &conds, &[]).is_empty());
+    }
+
+    #[test]
+    fn accuracy_is_zero_for_disjoint_result() {
+        let db = db();
+        let def = ViewDefinition {
+            source: "products".into(),
+            conditions: vec![Condition::AttrConst("category".into(), Value::text("toy"))],
+            projection: vec!["pid".into()],
+        };
+        let view = Relation::with_tuples(
+            RelationSchema::new("v", &["pid"]),
+            vec![Tuple::new(vec![1.into()])],
+        );
+        let acc = accuracy(&db, &def, &view);
+        assert_eq!(acc.precision, 0.0);
+        assert_eq!(acc.recall, 0.0);
+        assert_eq!(acc.f1(), 0.0);
+    }
+
+    #[test]
+    fn view_definition_display_uses_algebra_notation() {
+        let def = ViewDefinition {
+            source: "products".into(),
+            conditions: vec![Condition::AttrConst("category".into(), Value::text("toy"))],
+            projection: vec!["pid".into()],
+        };
+        assert_eq!(def.to_string(), "π[pid](σ[category = toy](products))");
+    }
+}

@@ -1,0 +1,269 @@
+//! Schema containment for disjunctive multiplicity schemas.
+//!
+//! The paper highlights a polynomial-time containment algorithm for DMS as a technical
+//! contribution (contrast: DTD containment is PSPACE-complete for general regular expressions
+//! and coNP-hard already for disjunction-free DTDs). The implementation below follows the
+//! interval-reasoning idea: under the single-occurrence restriction each rule is a conjunction
+//! of interval constraints on label-group totals, so rule containment reduces to comparing the
+//! achievable interval of every clause of the right-hand schema with its bound, plus an
+//! alphabet check — all per-label and polynomial.
+
+use crate::dms::{clause_interval, clause_labels, Dms, Rule};
+use std::collections::BTreeSet;
+
+/// Whether `left ⊑ right`: every document accepted by `left` is accepted by `right`.
+pub fn schema_contained_in(left: &Dms, right: &Dms) -> bool {
+    if !left.is_satisfiable() {
+        return true; // the empty language is contained in anything
+    }
+    if left.root() != right.root() {
+        return false;
+    }
+    // Only labels that can actually appear as elements of some document of `left` matter.
+    let relevant: BTreeSet<String> = usable_labels(left);
+    for label in &relevant {
+        if !rule_contained_in(&left.rule_for(label), &right.rule_for(label)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the two schemas accept exactly the same set of documents.
+pub fn schema_equivalent(a: &Dms, b: &Dms) -> bool {
+    schema_contained_in(a, b) && schema_contained_in(b, a)
+}
+
+/// Labels that occur in at least one document accepted by the schema: reachable from the root
+/// through clauses that admit a positive count, intersected with the productive labels.
+pub fn usable_labels(schema: &Dms) -> BTreeSet<String> {
+    let productive = schema.productive_labels();
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    if !productive.contains(schema.root()) {
+        return reachable;
+    }
+    let mut frontier = vec![schema.root().to_string()];
+    reachable.insert(schema.root().to_string());
+    while let Some(label) = frontier.pop() {
+        let rule = schema.rule_for(&label);
+        for clause in rule.clauses() {
+            let (_, max) = clause_interval(clause);
+            if max == Some(0) {
+                continue;
+            }
+            for child in clause.labels() {
+                if productive.contains(child) && reachable.insert(child.to_string()) {
+                    frontier.push(child.to_string());
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// Containment between two rules for the same label: every child-label multiset admitted by
+/// `left` is admitted by `right`.
+pub fn rule_contained_in(left: &Rule, right: &Rule) -> bool {
+    let right_allowed = right.allowed_labels();
+    // 1. Every label that `left` allows to occur positively must be allowed by `right`.
+    for clause in left.clauses() {
+        let (_, max) = clause_interval(clause);
+        if max != Some(0) && clause.labels().any(|l| !right_allowed.contains(l)) {
+            return false;
+        }
+    }
+    // 2. Every clause of `right` must be satisfied by every multiset `left` admits. The set of
+    //    achievable totals over the clause's label group is a contiguous interval, computed from
+    //    `left`'s clauses.
+    for r_clause in right.clauses() {
+        let group = clause_labels(r_clause);
+        let (lo_r, hi_r) = clause_interval(r_clause);
+        let mut min_total: usize = 0;
+        let mut max_total: Option<usize> = Some(0);
+        for l_clause in left.clauses() {
+            let l_labels = clause_labels(l_clause);
+            let (lo_l, hi_l) = clause_interval(l_clause);
+            let overlaps = l_labels.iter().any(|l| group.contains(l));
+            if !overlaps {
+                continue;
+            }
+            let fully_inside = l_labels.iter().all(|l| group.contains(l));
+            if fully_inside {
+                min_total += lo_l;
+            }
+            max_total = match (max_total, hi_l) {
+                (Some(acc), Some(h)) => Some(acc + h),
+                _ => None,
+            };
+        }
+        if min_total < lo_r {
+            return false;
+        }
+        match (hi_r, max_total) {
+            (None, _) => {}
+            (Some(_), None) => return false,
+            (Some(h_r), Some(h_l)) => {
+                if h_l > h_r {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dms::{Clause, Rule};
+    use crate::multiplicity::Multiplicity::*;
+
+    fn ms(root: &str, rules: Vec<(&str, Rule)>) -> Dms {
+        let mut s = Dms::new(root);
+        for (l, r) in rules {
+            s.set_rule(l, r);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_schemas_are_equivalent() {
+        let s = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Plus)]))]);
+        assert!(schema_equivalent(&s, &s.clone()));
+    }
+
+    #[test]
+    fn tighter_multiplicity_is_contained_in_looser() {
+        let tight = ms("r", vec![("r", Rule::new(vec![Clause::single("a", One)]))]);
+        let loose = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Plus)]))]);
+        assert!(schema_contained_in(&tight, &loose));
+        assert!(!schema_contained_in(&loose, &tight));
+    }
+
+    #[test]
+    fn optional_vs_star() {
+        let opt = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Optional)]))]);
+        let star = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Star)]))]);
+        assert!(schema_contained_in(&opt, &star));
+        assert!(!schema_contained_in(&star, &opt));
+    }
+
+    #[test]
+    fn extra_forbidden_label_breaks_containment() {
+        let with_b = ms(
+            "r",
+            vec![("r", Rule::new(vec![Clause::single("a", One), Clause::single("b", Optional)]))],
+        );
+        let only_a = ms("r", vec![("r", Rule::new(vec![Clause::single("a", One)]))]);
+        // Documents of `with_b` may contain a `b` child, which `only_a` forbids.
+        assert!(!schema_contained_in(&with_b, &only_a));
+        assert!(schema_contained_in(&only_a, &with_b));
+    }
+
+    #[test]
+    fn different_roots_are_incomparable() {
+        let a = ms("a", vec![]);
+        let b = ms("b", vec![]);
+        assert!(!schema_contained_in(&a, &b));
+    }
+
+    #[test]
+    fn unsatisfiable_schema_is_contained_in_everything() {
+        let unsat = ms(
+            "a",
+            vec![
+                ("a", Rule::new(vec![Clause::single("b", Plus)])),
+                ("b", Rule::new(vec![Clause::single("a", One)])),
+            ],
+        );
+        let other = ms("z", vec![]);
+        assert!(schema_contained_in(&unsat, &other));
+    }
+
+    #[test]
+    fn disjunctive_clause_contains_its_singletons() {
+        // r -> a^1  is contained in  r -> (a|b)^1 (exactly one child, either label)
+        let single = ms("r", vec![("r", Rule::new(vec![Clause::single("a", One)]))]);
+        let disj = ms("r", vec![("r", Rule::new(vec![Clause::new(["a", "b"], One)]))]);
+        assert!(schema_contained_in(&single, &disj));
+        assert!(!schema_contained_in(&disj, &single));
+    }
+
+    #[test]
+    fn split_clauses_are_not_contained_in_joint_bound() {
+        // left: a? || b?  admits {a,b} (total 2); right: (a|b)? bounds the total to 1.
+        let left = ms(
+            "r",
+            vec![("r", Rule::new(vec![Clause::single("a", Optional), Clause::single("b", Optional)]))],
+        );
+        let right = ms("r", vec![("r", Rule::new(vec![Clause::new(["a", "b"], Optional)]))]);
+        assert!(!schema_contained_in(&left, &right));
+        assert!(schema_contained_in(&right, &left));
+    }
+
+    #[test]
+    fn containment_considers_nested_rules() {
+        let deep_tight = ms(
+            "r",
+            vec![
+                ("r", Rule::new(vec![Clause::single("a", One)])),
+                ("a", Rule::new(vec![Clause::single("b", One)])),
+            ],
+        );
+        let deep_loose = ms(
+            "r",
+            vec![
+                ("r", Rule::new(vec![Clause::single("a", One)])),
+                ("a", Rule::new(vec![Clause::single("b", Star)])),
+            ],
+        );
+        assert!(schema_contained_in(&deep_tight, &deep_loose));
+        assert!(!schema_contained_in(&deep_loose, &deep_tight));
+    }
+
+    #[test]
+    fn unreachable_rules_do_not_affect_containment() {
+        // `ghost` never appears in a document of `left`, so its looser rule is irrelevant.
+        let left = ms(
+            "r",
+            vec![
+                ("r", Rule::new(vec![Clause::single("a", One)])),
+                ("ghost", Rule::new(vec![Clause::single("x", Star)])),
+            ],
+        );
+        let right = ms(
+            "r",
+            vec![
+                ("r", Rule::new(vec![Clause::single("a", One)])),
+                ("ghost", Rule::new(vec![Clause::single("x", One)])),
+            ],
+        );
+        assert!(schema_contained_in(&left, &right));
+    }
+
+    #[test]
+    fn required_child_cannot_be_dropped() {
+        let requires = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Plus)]))]);
+        let forbids_zero_a_missing = ms("r", vec![("r", Rule::empty())]);
+        assert!(!schema_contained_in(&requires, &forbids_zero_a_missing));
+        // And the empty-content schema *is* contained in the one that merely allows `a`.
+        let allows = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Star)]))]);
+        assert!(schema_contained_in(&forbids_zero_a_missing, &allows));
+    }
+
+    #[test]
+    fn usable_labels_excludes_unreachable_and_unproductive() {
+        let schema = ms(
+            "r",
+            vec![
+                ("r", Rule::new(vec![Clause::single("a", One), Clause::single("dead", Zero)])),
+                ("a", Rule::empty()),
+                ("orphan", Rule::empty()),
+            ],
+        );
+        let usable = usable_labels(&schema);
+        assert!(usable.contains("r") && usable.contains("a"));
+        assert!(!usable.contains("dead"));
+        assert!(!usable.contains("orphan"));
+    }
+}

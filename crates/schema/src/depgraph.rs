@@ -1,0 +1,307 @@
+//! Dependency graphs of multiplicity schemas.
+//!
+//! The paper reduces query satisfiability and query implication in the presence of a
+//! disjunction-free multiplicity schema to *testing embedding of the query into a dependency
+//! graph*, which makes both problems decidable in PTIME. The dependency graph has one vertex per
+//! element label and an edge `a → b` whenever the rule of `a` allows a `b` child; the edge is
+//! *required* when every valid `a` element must have at least one `b` child.
+//!
+//! The twig crate performs the actual query-side embedding; this module exposes the graph and
+//! the reachability/implication primitives it needs.
+
+use crate::dms::Dms;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// An edge of the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Minimum number of children with this label every valid parent must have.
+    pub min: usize,
+    /// Maximum number of such children (`None` = unbounded).
+    pub max: Option<usize>,
+}
+
+impl DepEdge {
+    /// Whether the child label can occur at all.
+    pub fn possible(&self) -> bool {
+        self.max != Some(0)
+    }
+
+    /// Whether at least one such child is present in every valid parent element.
+    pub fn required(&self) -> bool {
+        self.min >= 1
+    }
+}
+
+/// Dependency graph of a schema.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    root: String,
+    edges: BTreeMap<String, BTreeMap<String, DepEdge>>,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph of a schema.
+    ///
+    /// For disjunction-free schemas the construction is exact. For disjunctive clauses
+    /// `(a | b | …)^m` the per-label bounds are relaxed soundly: each label individually gets
+    /// `min = m.min()` only when it is the sole member of its clause, otherwise `min = 0`
+    /// (because the requirement could be satisfied by a sibling alternative), and
+    /// `max = m.max()`.
+    pub fn from_schema(schema: &Dms) -> DependencyGraph {
+        let mut edges: BTreeMap<String, BTreeMap<String, DepEdge>> = BTreeMap::new();
+        for label in schema.alphabet() {
+            let rule = schema.rule_for(&label);
+            let mut out = BTreeMap::new();
+            for clause in rule.clauses() {
+                let m = clause.multiplicity();
+                let members: Vec<&str> = clause.labels().collect();
+                for child in &members {
+                    let min = if members.len() == 1 { m.min() } else { 0 };
+                    out.insert(child.to_string(), DepEdge { min, max: m.max() });
+                }
+            }
+            edges.insert(label, out);
+        }
+        DependencyGraph { root: schema.root().to_string(), edges }
+    }
+
+    /// Root label of the underlying schema.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// All vertices (element labels).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.edges.keys().map(String::as_str)
+    }
+
+    /// The edge from `parent` to `child`, if the child label is allowed at all.
+    pub fn edge(&self, parent: &str, child: &str) -> Option<DepEdge> {
+        self.edges.get(parent).and_then(|m| m.get(child)).copied().filter(DepEdge::possible)
+    }
+
+    /// Child labels that may occur under `parent`.
+    pub fn possible_children(&self, parent: &str) -> Vec<&str> {
+        self.edges
+            .get(parent)
+            .map(|m| m.iter().filter(|(_, e)| e.possible()).map(|(l, _)| l.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Child labels required under every valid `parent` element.
+    pub fn required_children(&self, parent: &str) -> Vec<&str> {
+        self.edges
+            .get(parent)
+            .map(|m| m.iter().filter(|(_, e)| e.required()).map(|(l, _)| l.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether a `child`-labelled element may occur directly under a `parent`-labelled one.
+    pub fn allows_child(&self, parent: &str, child: &str) -> bool {
+        self.edge(parent, child).is_some()
+    }
+
+    /// Whether every valid `parent` element has at least one `child`-labelled child.
+    pub fn requires_child(&self, parent: &str, child: &str) -> bool {
+        self.edge(parent, child).map_or(false, |e| e.required())
+    }
+
+    /// Labels reachable from `start` by following possible edges (excluding `start` unless it is
+    /// reachable through a cycle).
+    pub fn reachable_from(&self, start: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<String> = VecDeque::from([start.to_string()]);
+        let mut out = BTreeSet::new();
+        seen.insert(start.to_string());
+        while let Some(label) = queue.pop_front() {
+            for child in self.possible_children(&label) {
+                out.insert(child.to_string());
+                if seen.insert(child.to_string()) {
+                    queue.push_back(child.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether some valid document can contain a `descendant`-labelled element strictly below an
+    /// `ancestor`-labelled one.
+    pub fn has_descendant_path(&self, ancestor: &str, descendant: &str) -> bool {
+        self.reachable_from(ancestor).contains(descendant)
+    }
+
+    /// Labels guaranteed to occur strictly below every `ancestor`-labelled element of every
+    /// valid document — the transitive closure of *required* edges.
+    ///
+    /// This is exactly the information needed to detect schema-implied query filters: a filter
+    /// `[.//b]` under a query node labelled `a` is redundant when `b` is in this set.
+    pub fn implied_descendants(&self, ancestor: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut queue: VecDeque<String> = VecDeque::from([ancestor.to_string()]);
+        let mut seen = BTreeSet::from([ancestor.to_string()]);
+        while let Some(label) = queue.pop_front() {
+            for child in self.required_children(&label) {
+                out.insert(child.to_string());
+                if seen.insert(child.to_string()) {
+                    queue.push_back(child.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Labels guaranteed to occur as a *direct child* of every `parent`-labelled element.
+    pub fn implied_children(&self, parent: &str) -> BTreeSet<String> {
+        self.required_children(parent).into_iter().map(str::to_string).collect()
+    }
+
+    /// Shortest chain of possible edges from `from` to `to` (inclusive of both endpoints),
+    /// if one exists. Used to materialise descendant edges when expanding queries.
+    pub fn shortest_label_path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        if from == to {
+            return Some(vec![from.to_string()]);
+        }
+        let mut prev: BTreeMap<String, String> = BTreeMap::new();
+        let mut queue: VecDeque<String> = VecDeque::from([from.to_string()]);
+        let mut seen: BTreeSet<String> = BTreeSet::from([from.to_string()]);
+        while let Some(label) = queue.pop_front() {
+            for child in self.possible_children(&label) {
+                if seen.insert(child.to_string()) {
+                    prev.insert(child.to_string(), label.clone());
+                    if child == to {
+                        let mut path = vec![to.to_string()];
+                        let mut cur = to.to_string();
+                        while let Some(p) = prev.get(&cur) {
+                            path.push(p.clone());
+                            cur = p.clone();
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(child.to_string());
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dms::{Clause, Rule};
+    use crate::multiplicity::Multiplicity::*;
+
+    /// library -> book+ ; book -> title^1 || author+ || year?
+    fn library_schema() -> Dms {
+        Dms::new("library")
+            .rule("library", Rule::new(vec![Clause::single("book", Plus)]))
+            .rule(
+                "book",
+                Rule::new(vec![
+                    Clause::single("title", One),
+                    Clause::single("author", Plus),
+                    Clause::single("year", Optional),
+                ]),
+            )
+    }
+
+    #[test]
+    fn edges_reflect_rules() {
+        let g = DependencyGraph::from_schema(&library_schema());
+        assert!(g.allows_child("library", "book"));
+        assert!(g.allows_child("book", "year"));
+        assert!(!g.allows_child("book", "book"));
+        assert!(!g.allows_child("title", "author"));
+    }
+
+    #[test]
+    fn required_edges_have_positive_minimum() {
+        let g = DependencyGraph::from_schema(&library_schema());
+        assert!(g.requires_child("library", "book"));
+        assert!(g.requires_child("book", "title"));
+        assert!(g.requires_child("book", "author"));
+        assert!(!g.requires_child("book", "year"));
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let g = DependencyGraph::from_schema(&library_schema());
+        assert!(g.has_descendant_path("library", "title"));
+        assert!(g.has_descendant_path("library", "year"));
+        assert!(!g.has_descendant_path("book", "library"));
+    }
+
+    #[test]
+    fn implied_descendants_follow_required_edges_only() {
+        let g = DependencyGraph::from_schema(&library_schema());
+        let implied = g.implied_descendants("library");
+        assert!(implied.contains("book"));
+        assert!(implied.contains("title"));
+        assert!(implied.contains("author"));
+        assert!(!implied.contains("year"), "optional children are not implied");
+    }
+
+    #[test]
+    fn disjunctive_clause_members_are_possible_but_not_required() {
+        let schema = Dms::new("person").rule(
+            "person",
+            Rule::new(vec![Clause::single("name", One), Clause::new(["email", "phone"], Plus)]),
+        );
+        let g = DependencyGraph::from_schema(&schema);
+        assert!(g.allows_child("person", "email"));
+        assert!(g.allows_child("person", "phone"));
+        assert!(!g.requires_child("person", "email"));
+        assert!(!g.requires_child("person", "phone"));
+        assert!(g.requires_child("person", "name"));
+    }
+
+    #[test]
+    fn zero_multiplicity_children_are_impossible() {
+        let schema = Dms::new("r").rule("r", Rule::new(vec![Clause::single("banned", Zero)]));
+        let g = DependencyGraph::from_schema(&schema);
+        assert!(!g.allows_child("r", "banned"));
+        assert!(g.possible_children("r").is_empty());
+    }
+
+    #[test]
+    fn shortest_label_path_finds_chain() {
+        let g = DependencyGraph::from_schema(&library_schema());
+        assert_eq!(
+            g.shortest_label_path("library", "title"),
+            Some(vec!["library".to_string(), "book".to_string(), "title".to_string()])
+        );
+        assert_eq!(g.shortest_label_path("title", "library"), None);
+        assert_eq!(g.shortest_label_path("book", "book"), Some(vec!["book".to_string()]));
+    }
+
+    #[test]
+    fn implied_children_are_direct_only() {
+        let g = DependencyGraph::from_schema(&library_schema());
+        let implied = g.implied_children("library");
+        assert!(implied.contains("book"));
+        assert!(!implied.contains("title"));
+    }
+
+    #[test]
+    fn cyclic_schemas_terminate() {
+        let schema = Dms::new("a")
+            .rule("a", Rule::new(vec![Clause::single("b", Star)]))
+            .rule("b", Rule::new(vec![Clause::single("a", Star)]));
+        let g = DependencyGraph::from_schema(&schema);
+        assert!(g.has_descendant_path("a", "a"));
+        assert!(g.has_descendant_path("b", "b"));
+        assert!(g.implied_descendants("a").is_empty());
+    }
+}

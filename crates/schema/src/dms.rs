@@ -1,0 +1,538 @@
+//! Disjunctive multiplicity schemas (DMS) and their disjunction-free restriction (MS).
+//!
+//! These are the unordered-XML schema formalisms the paper introduces (with Boneva and Staworko)
+//! to make schema-aware query learning tractable: they ignore sibling order — which twig queries
+//! cannot observe anyway — and constrain, for every element label, *how many* children of each
+//! label (or of each group of alternative labels) an element may have.
+//!
+//! ## Formalism as implemented
+//!
+//! A **rule** for a label `a` is a set of **clauses**; each clause is a non-empty set of child
+//! labels together with a [`Multiplicity`]:
+//!
+//! * a singleton clause `b^m` constrains the number of `b` children to lie in `⟦m⟧`;
+//! * a disjunctive clause `(b | c | …)^m` constrains the **total** number of children carrying
+//!   any of the listed labels to lie in `⟦m⟧`;
+//! * labels not mentioned in any clause of the rule are forbidden as children;
+//! * every label occurs in at most one clause of a rule (the *single occurrence* restriction of
+//!   the original formalism), which is what keeps all static analyses polynomial.
+//!
+//! A schema is **disjunction-free** (an MS) when every clause is a singleton. This is the
+//! restriction for which the paper obtains PTIME query implication/satisfiability via dependency
+//! graphs ([`crate::depgraph`]).
+
+use crate::multiplicity::Multiplicity;
+use qbe_xml::{NodeId, XmlTree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One clause of a rule: a set of alternative child labels and a multiplicity on their total
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    labels: BTreeSet<String>,
+    multiplicity: Multiplicity,
+}
+
+impl Clause {
+    /// Build a clause; panics if the label set is empty.
+    pub fn new(labels: impl IntoIterator<Item = impl Into<String>>, multiplicity: Multiplicity) -> Clause {
+        let labels: BTreeSet<String> = labels.into_iter().map(Into::into).collect();
+        assert!(!labels.is_empty(), "a clause must mention at least one label");
+        Clause { labels, multiplicity }
+    }
+
+    /// Singleton clause `label^m`.
+    pub fn single(label: impl Into<String>, multiplicity: Multiplicity) -> Clause {
+        Clause::new([label.into()], multiplicity)
+    }
+
+    /// The alternative labels of the clause.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(String::as_str)
+    }
+
+    /// The multiplicity bounding the total count of the clause's labels.
+    pub fn multiplicity(&self) -> Multiplicity {
+        self.multiplicity
+    }
+
+    /// Whether the clause is a singleton (disjunction-free).
+    pub fn is_single(&self) -> bool {
+        self.labels.len() == 1
+    }
+
+    /// Whether the clause mentions the given label.
+    pub fn mentions(&self, label: &str) -> bool {
+        self.labels.contains(label)
+    }
+
+    fn label_set(&self) -> &BTreeSet<String> {
+        &self.labels
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_single() {
+            write!(f, "{}{}", self.labels.iter().next().unwrap(), self.multiplicity)
+        } else {
+            let inner: Vec<&str> = self.labels.iter().map(String::as_str).collect();
+            write!(f, "({}){}", inner.join(" | "), self.multiplicity)
+        }
+    }
+}
+
+/// The rule (unordered content model) associated with one element label.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Rule {
+    clauses: Vec<Clause>,
+}
+
+impl Rule {
+    /// The empty rule: no children allowed.
+    pub fn empty() -> Rule {
+        Rule { clauses: Vec::new() }
+    }
+
+    /// Build a rule from clauses.
+    ///
+    /// # Panics
+    /// Panics if a label occurs in more than one clause (single-occurrence restriction).
+    pub fn new(clauses: Vec<Clause>) -> Rule {
+        let mut seen = BTreeSet::new();
+        for clause in &clauses {
+            for label in clause.labels() {
+                assert!(
+                    seen.insert(label.to_string()),
+                    "label `{label}` occurs in more than one clause of the rule"
+                );
+            }
+        }
+        Rule { clauses }
+    }
+
+    /// The clauses of the rule.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Labels allowed as children by this rule.
+    pub fn allowed_labels(&self) -> BTreeSet<String> {
+        self.clauses.iter().flat_map(|c| c.labels().map(str::to_string)).collect()
+    }
+
+    /// The clause mentioning a given label, if any.
+    pub fn clause_for(&self, label: &str) -> Option<&Clause> {
+        self.clauses.iter().find(|c| c.mentions(label))
+    }
+
+    /// Whether every clause is a singleton.
+    pub fn is_disjunction_free(&self) -> bool {
+        self.clauses.iter().all(Clause::is_single)
+    }
+
+    /// Check a multiset of child-label counts against the rule; returns the violated clause
+    /// description (or the offending label) on failure.
+    pub fn check(&self, counts: &BTreeMap<String, usize>) -> Result<(), String> {
+        let allowed = self.allowed_labels();
+        for (label, count) in counts {
+            if *count > 0 && !allowed.contains(label) {
+                return Err(format!("child label `{label}` is not allowed"));
+            }
+        }
+        for clause in &self.clauses {
+            let total: usize = clause.labels().map(|l| counts.get(l).copied().unwrap_or(0)).sum();
+            if !clause.multiplicity().admits(total) {
+                return Err(format!("clause {clause} violated: observed total {total}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Minimum number of children any element satisfying the rule must have.
+    pub fn min_children(&self) -> usize {
+        self.clauses.iter().map(|c| c.multiplicity().min()).sum()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "ε");
+        }
+        let parts: Vec<String> = self.clauses.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" || "))
+    }
+}
+
+/// A violation reported by [`DisjunctiveMultiplicitySchema::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaViolation {
+    /// The offending node.
+    pub node: NodeId,
+    /// Its label.
+    pub label: String,
+    /// Description of the failed constraint.
+    pub reason: String,
+}
+
+impl fmt::Display for SchemaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} <{}>: {}", self.node, self.label, self.reason)
+    }
+}
+
+/// A disjunctive multiplicity schema: a root label plus one [`Rule`] per element label.
+///
+/// Labels without a rule are treated as having the empty rule (no children allowed), which keeps
+/// validation total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjunctiveMultiplicitySchema {
+    root: String,
+    rules: BTreeMap<String, Rule>,
+}
+
+/// Short alias used throughout the workspace.
+pub type Dms = DisjunctiveMultiplicitySchema;
+
+impl DisjunctiveMultiplicitySchema {
+    /// Create a schema with the given root label and no rules.
+    pub fn new(root: impl Into<String>) -> Dms {
+        Dms { root: root.into(), rules: BTreeMap::new() }
+    }
+
+    /// Root label.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Add (or replace) the rule for a label (builder style).
+    pub fn rule(mut self, label: impl Into<String>, rule: Rule) -> Dms {
+        self.rules.insert(label.into(), rule);
+        self
+    }
+
+    /// Add (or replace) the rule for a label (mutating style).
+    pub fn set_rule(&mut self, label: impl Into<String>, rule: Rule) {
+        self.rules.insert(label.into(), rule);
+    }
+
+    /// The rule for a label (the empty rule if none was declared).
+    pub fn rule_for(&self, label: &str) -> Rule {
+        self.rules.get(label).cloned().unwrap_or_else(Rule::empty)
+    }
+
+    /// Whether a rule was explicitly declared for the label.
+    pub fn declares(&self, label: &str) -> bool {
+        self.rules.contains_key(label)
+    }
+
+    /// Labels with a declared rule.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.rules.keys().map(String::as_str)
+    }
+
+    /// Number of declared rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rules are declared.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether the schema is disjunction-free (an MS).
+    pub fn is_disjunction_free(&self) -> bool {
+        self.rules.values().all(Rule::is_disjunction_free)
+    }
+
+    /// The alphabet: every label mentioned anywhere (as a rule subject or inside a clause).
+    pub fn alphabet(&self) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self.rules.keys().cloned().collect();
+        out.insert(self.root.clone());
+        for rule in self.rules.values() {
+            out.extend(rule.allowed_labels());
+        }
+        out
+    }
+
+    /// Validate a document, returning every violation.
+    pub fn validate(&self, doc: &XmlTree) -> Vec<SchemaViolation> {
+        let mut out = Vec::new();
+        if doc.label(XmlTree::ROOT) != self.root {
+            out.push(SchemaViolation {
+                node: XmlTree::ROOT,
+                label: doc.label(XmlTree::ROOT).to_string(),
+                reason: format!("root label must be `{}`", self.root),
+            });
+        }
+        for node in doc.node_ids() {
+            let label = doc.label(node);
+            let rule = self.rule_for(label);
+            let counts = doc.child_label_counts(node);
+            if let Err(reason) = rule.check(&counts) {
+                out.push(SchemaViolation { node, label: label.to_string(), reason });
+            }
+        }
+        out
+    }
+
+    /// Whether the document satisfies the schema.
+    pub fn accepts(&self, doc: &XmlTree) -> bool {
+        self.validate(doc).is_empty()
+    }
+
+    /// Labels that can derive a **finite** document fragment.
+    ///
+    /// A label is *productive* when the required children of its rule (clauses with a non-zero
+    /// minimum) can all be chosen productive. Computed as a least fixed point.
+    pub fn productive_labels(&self) -> BTreeSet<String> {
+        let alphabet = self.alphabet();
+        let mut productive: BTreeSet<String> = alphabet
+            .iter()
+            .filter(|l| self.rule_for(l).min_children() == 0)
+            .cloned()
+            .collect();
+        loop {
+            let mut changed = false;
+            for label in &alphabet {
+                if productive.contains(label) {
+                    continue;
+                }
+                let rule = self.rule_for(label);
+                // Every clause with a positive minimum must contain at least one productive label.
+                let ok = rule.clauses().iter().all(|clause| {
+                    clause.multiplicity().min() == 0
+                        || clause.labels().any(|l| productive.contains(l))
+                });
+                if ok {
+                    productive.insert(label.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        productive
+    }
+
+    /// Whether at least one finite document satisfies the schema.
+    pub fn is_satisfiable(&self) -> bool {
+        self.productive_labels().contains(&self.root)
+    }
+
+    /// Generate a small witness document satisfying the schema, if one exists.
+    ///
+    /// Required clauses are satisfied with their minimum count using productive labels;
+    /// optional content is omitted.
+    pub fn witness(&self) -> Option<XmlTree> {
+        let productive = self.productive_labels();
+        if !productive.contains(&self.root) {
+            return None;
+        }
+        let mut doc = XmlTree::new(&self.root);
+        self.expand_witness(&mut doc, XmlTree::ROOT, &productive, 0);
+        Some(doc)
+    }
+
+    fn expand_witness(
+        &self,
+        doc: &mut XmlTree,
+        node: NodeId,
+        productive: &BTreeSet<String>,
+        depth: usize,
+    ) {
+        if depth > 64 {
+            return; // the productive check makes this unreachable, but guard anyway
+        }
+        let label = doc.label(node).to_string();
+        let rule = self.rule_for(&label);
+        for clause in rule.clauses() {
+            let need = clause.multiplicity().min();
+            if need == 0 {
+                continue;
+            }
+            let child_label = clause
+                .labels()
+                .find(|l| productive.contains(*l))
+                .expect("productive parent has a productive choice in every required clause");
+            for _ in 0..need {
+                let child = doc.add_child(node, child_label);
+                self.expand_witness(doc, child, productive, depth + 1);
+            }
+        }
+    }
+
+    /// Sizes used in reports: total number of clauses across all rules.
+    pub fn clause_count(&self) -> usize {
+        self.rules.values().map(|r| r.clauses().len()).sum()
+    }
+
+    /// Iterate over `(label, rule)` pairs.
+    pub fn rules(&self) -> impl Iterator<Item = (&str, &Rule)> {
+        self.rules.iter().map(|(l, r)| (l.as_str(), r))
+    }
+}
+
+impl fmt::Display for DisjunctiveMultiplicitySchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "root: {}", self.root)?;
+        for (label, rule) in &self.rules {
+            writeln!(f, "{label} -> {rule}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Internal helper shared with [`crate::containment`]: interval view of a clause total.
+pub(crate) fn clause_interval(clause: &Clause) -> (usize, Option<usize>) {
+    (clause.multiplicity().min(), clause.multiplicity().max())
+}
+
+/// Internal helper shared with [`crate::containment`]: the label set of a clause.
+pub(crate) fn clause_labels(clause: &Clause) -> &BTreeSet<String> {
+    clause.label_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_xml::TreeBuilder;
+    use Multiplicity::*;
+
+    /// `person -> name^1 || (email | phone)^+ || address^?`
+    fn person_schema() -> Dms {
+        Dms::new("person").rule(
+            "person",
+            Rule::new(vec![
+                Clause::single("name", One),
+                Clause::new(["email", "phone"], Plus),
+                Clause::single("address", Optional),
+            ]),
+        )
+    }
+
+    #[test]
+    fn accepts_document_matching_all_clauses() {
+        let doc = TreeBuilder::new("person").leaf("name").leaf("email").leaf("phone").build();
+        assert!(person_schema().accepts(&doc));
+    }
+
+    #[test]
+    fn rejects_missing_required_child() {
+        let doc = TreeBuilder::new("person").leaf("email").build();
+        let violations = person_schema().validate(&doc);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].reason.contains("name"));
+    }
+
+    #[test]
+    fn rejects_forbidden_child_label() {
+        let doc = TreeBuilder::new("person").leaf("name").leaf("email").leaf("creditcard").build();
+        assert!(!person_schema().accepts(&doc));
+    }
+
+    #[test]
+    fn disjunctive_clause_counts_total_over_alternatives() {
+        // zero emails+phones violates the `+` clause
+        let doc = TreeBuilder::new("person").leaf("name").build();
+        assert!(!person_schema().accepts(&doc));
+        // several of either satisfies it
+        let doc = TreeBuilder::new("person").leaf("name").leaf("phone").leaf("phone").build();
+        assert!(person_schema().accepts(&doc));
+    }
+
+    #[test]
+    fn optional_clause_bounds_count_to_one() {
+        let doc = TreeBuilder::new("person")
+            .leaf("name")
+            .leaf("email")
+            .leaf("address")
+            .leaf("address")
+            .build();
+        assert!(!person_schema().accepts(&doc));
+    }
+
+    #[test]
+    fn rejects_wrong_root_label() {
+        let doc = TreeBuilder::new("people").build();
+        assert!(!person_schema().accepts(&doc));
+    }
+
+    #[test]
+    fn undeclared_labels_must_be_leaves() {
+        let schema = Dms::new("a").rule("a", Rule::new(vec![Clause::single("b", Star)]));
+        let ok = TreeBuilder::new("a").leaf("b").leaf("b").build();
+        assert!(schema.accepts(&ok));
+        let bad = TreeBuilder::new("a").open("b").leaf("c").close().build();
+        assert!(!schema.accepts(&bad));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rule_rejects_duplicate_label_across_clauses() {
+        let _ = Rule::new(vec![Clause::single("a", One), Clause::new(["a", "b"], Star)]);
+    }
+
+    #[test]
+    fn is_disjunction_free_detects_disjunctions() {
+        assert!(!person_schema().is_disjunction_free());
+        let ms = Dms::new("r").rule("r", Rule::new(vec![Clause::single("x", Star)]));
+        assert!(ms.is_disjunction_free());
+    }
+
+    #[test]
+    fn satisfiability_of_simple_schema() {
+        assert!(person_schema().is_satisfiable());
+    }
+
+    #[test]
+    fn unsatisfiable_when_required_children_cycle() {
+        // a requires b, b requires a: no finite tree exists.
+        let schema = Dms::new("a")
+            .rule("a", Rule::new(vec![Clause::single("b", Plus)]))
+            .rule("b", Rule::new(vec![Clause::single("a", One)]));
+        assert!(!schema.is_satisfiable());
+        assert!(schema.witness().is_none());
+    }
+
+    #[test]
+    fn witness_satisfies_the_schema() {
+        let schema = person_schema();
+        let witness = schema.witness().expect("satisfiable schema has a witness");
+        assert!(schema.accepts(&witness));
+        // The witness is minimal: no optional address, exactly one of email/phone.
+        assert_eq!(witness.size(), 3);
+    }
+
+    #[test]
+    fn witness_handles_nested_requirements() {
+        let schema = Dms::new("library")
+            .rule("library", Rule::new(vec![Clause::single("book", Plus)]))
+            .rule("book", Rule::new(vec![Clause::single("title", One), Clause::single("author", Plus)]));
+        let witness = schema.witness().unwrap();
+        assert!(schema.accepts(&witness));
+        assert_eq!(witness.nodes_with_label("title").len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rule = Rule::new(vec![
+            Clause::single("name", One),
+            Clause::new(["email", "phone"], Plus),
+        ]);
+        assert_eq!(rule.to_string(), "name1 || (email | phone)+");
+    }
+
+    #[test]
+    fn alphabet_includes_clause_labels_and_root() {
+        let schema = person_schema();
+        let alphabet = schema.alphabet();
+        for l in ["person", "name", "email", "phone", "address"] {
+            assert!(alphabet.contains(l), "{l} missing from alphabet");
+        }
+    }
+}

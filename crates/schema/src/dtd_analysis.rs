@@ -1,0 +1,403 @@
+//! Static analysis of classical DTD content models — the baseline the multiplicity schemas are
+//! measured against.
+//!
+//! The paper recalls the known complexity landscape: DTD containment is PTIME when content
+//! models are 1-unambiguous (deterministic) regular expressions, PSPACE-complete in general, and
+//! coNP-hard for disjunction-free DTDs. This module provides the machinery behind the tractable
+//! case:
+//!
+//! * [`GlushkovAutomaton`] — the position automaton of a content particle;
+//! * [`is_one_unambiguous`] — the determinism test that characterises the XML-legal content
+//!   models (the W3C "deterministic content model" rule);
+//! * [`particle_contained_in`] / [`dtd_contained_in`] — language containment of content models
+//!   and of whole DTDs, by product construction against the determinised right-hand automaton.
+//!
+//! Containment is polynomial when the right-hand content model is 1-unambiguous (its Glushkov
+//! automaton is already deterministic, so the subset construction does not blow up) — exactly
+//! the claim reported in the paper; for arbitrary content models the same code still decides
+//! containment but may take exponential time, which the benchmarks make visible.
+
+use qbe_xml::dtd::{Dtd, Particle};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The Glushkov (position) automaton of a content particle.
+///
+/// States are `0` (the start state) and `1..=n` for the `n` occurrences of element names in the
+/// particle, numbered left to right. The automaton accepts exactly the label sequences the
+/// particle accepts.
+#[derive(Debug, Clone)]
+pub struct GlushkovAutomaton {
+    /// Label of each position (1-based; index 0 is unused).
+    labels: Vec<String>,
+    /// Positions reachable as the first symbol.
+    first: BTreeSet<usize>,
+    /// Positions that can end a word.
+    last: BTreeSet<usize>,
+    /// `follow[p]` = positions that may come immediately after position `p`.
+    follow: BTreeMap<usize, BTreeSet<usize>>,
+    /// Whether the empty word is accepted.
+    nullable: bool,
+}
+
+/// Intermediate result of the recursive Glushkov construction for a sub-particle.
+struct Linearised {
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+    nullable: bool,
+}
+
+impl GlushkovAutomaton {
+    /// Build the position automaton of a particle.
+    pub fn from_particle(particle: &Particle) -> GlushkovAutomaton {
+        let mut automaton = GlushkovAutomaton {
+            labels: vec![String::new()], // position 0 = start, carries no label
+            first: BTreeSet::new(),
+            last: BTreeSet::new(),
+            follow: BTreeMap::new(),
+            nullable: false,
+        };
+        let lin = automaton.build(particle);
+        automaton.first = lin.first;
+        automaton.last = lin.last;
+        automaton.nullable = lin.nullable;
+        automaton
+    }
+
+    fn build(&mut self, particle: &Particle) -> Linearised {
+        match particle {
+            Particle::Empty | Particle::Text => {
+                Linearised { first: BTreeSet::new(), last: BTreeSet::new(), nullable: true }
+            }
+            Particle::Element(name) => {
+                self.labels.push(name.clone());
+                let p = self.labels.len() - 1;
+                Linearised {
+                    first: BTreeSet::from([p]),
+                    last: BTreeSet::from([p]),
+                    nullable: false,
+                }
+            }
+            Particle::Seq(parts) => {
+                let mut acc =
+                    Linearised { first: BTreeSet::new(), last: BTreeSet::new(), nullable: true };
+                for part in parts {
+                    let lin = self.build(part);
+                    // follow(last(acc)) ∪= first(lin)
+                    for &p in &acc.last {
+                        self.follow.entry(p).or_default().extend(lin.first.iter().copied());
+                    }
+                    if acc.nullable {
+                        acc.first.extend(lin.first.iter().copied());
+                    }
+                    if lin.nullable {
+                        acc.last.extend(lin.last.iter().copied());
+                    } else {
+                        acc.last = lin.last;
+                    }
+                    acc.nullable = acc.nullable && lin.nullable;
+                }
+                acc
+            }
+            Particle::Choice(parts) => {
+                let mut acc =
+                    Linearised { first: BTreeSet::new(), last: BTreeSet::new(), nullable: false };
+                for part in parts {
+                    let lin = self.build(part);
+                    acc.first.extend(lin.first);
+                    acc.last.extend(lin.last);
+                    acc.nullable = acc.nullable || lin.nullable;
+                }
+                acc
+            }
+            Particle::Optional(inner) => {
+                let mut lin = self.build(inner);
+                lin.nullable = true;
+                lin
+            }
+            Particle::Star(inner) | Particle::Plus(inner) => {
+                let lin = self.build(inner);
+                // follow(last) ∪= first, to allow repetition.
+                for &p in &lin.last {
+                    self.follow.entry(p).or_default().extend(lin.first.iter().copied());
+                }
+                Linearised {
+                    first: lin.first,
+                    last: lin.last,
+                    nullable: lin.nullable || matches!(particle, Particle::Star(_)),
+                }
+            }
+        }
+    }
+
+    /// Number of positions (excluding the start state).
+    pub fn positions(&self) -> usize {
+        self.labels.len() - 1
+    }
+
+    /// Whether the automaton accepts the empty word.
+    pub fn accepts_empty(&self) -> bool {
+        self.nullable
+    }
+
+    /// Successor positions of a state (0 = start) together with their labels.
+    fn successors(&self, state: usize) -> impl Iterator<Item = (usize, &str)> {
+        let set = if state == 0 { Some(&self.first) } else { self.follow.get(&state) };
+        set.into_iter().flatten().map(|&p| (p, self.labels[p].as_str()))
+    }
+
+    /// Whether a state is accepting.
+    fn accepting(&self, state: usize) -> bool {
+        if state == 0 {
+            self.nullable
+        } else {
+            self.last.contains(&state)
+        }
+    }
+
+    /// Whether the automaton (equivalently, the content model) is deterministic: no state has
+    /// two distinct successor positions carrying the same label. This is the classical
+    /// 1-unambiguity test.
+    pub fn is_deterministic(&self) -> bool {
+        for state in 0..self.labels.len() {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            for (_, label) in self.successors(state) {
+                if !seen.insert(label) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the automaton accepts a word.
+    pub fn accepts(&self, word: &[&str]) -> bool {
+        let mut states: BTreeSet<usize> = BTreeSet::from([0]);
+        for &symbol in word {
+            let mut next = BTreeSet::new();
+            for &s in &states {
+                for (p, label) in self.successors(s) {
+                    if label == symbol {
+                        next.insert(p);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        states.iter().any(|&s| self.accepting(s))
+    }
+}
+
+/// Whether a content model is 1-unambiguous (deterministic), i.e. XML-legal.
+pub fn is_one_unambiguous(particle: &Particle) -> bool {
+    GlushkovAutomaton::from_particle(particle).is_deterministic()
+}
+
+/// Language containment `L(left) ⊆ L(right)` of two content models.
+///
+/// The left Glushkov automaton is run in product with the subset-determinisation of the right
+/// one; containment fails iff some reachable product state is accepting on the left and
+/// non-accepting on the right. Polynomial when `right` is 1-unambiguous (its determinisation is
+/// itself), exponential in the worst case otherwise.
+pub fn particle_contained_in(left: &Particle, right: &Particle) -> bool {
+    let a = GlushkovAutomaton::from_particle(left);
+    let b = GlushkovAutomaton::from_particle(right);
+
+    // Product state: (state of A, set of states of B). Start: (0, {0}).
+    let start = (0usize, BTreeSet::from([0usize]));
+    let mut seen: BTreeSet<(usize, BTreeSet<usize>)> = BTreeSet::from([start.clone()]);
+    let mut queue: VecDeque<(usize, BTreeSet<usize>)> = VecDeque::from([start]);
+    while let Some((sa, sb)) = queue.pop_front() {
+        if a.accepting(sa) && !sb.iter().any(|&s| b.accepting(s)) {
+            return false;
+        }
+        // Group A-successors by label, and advance B's subset on that label.
+        let mut by_label: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (p, label) in a.successors(sa) {
+            by_label.entry(label).or_default().push(p);
+        }
+        for (label, a_targets) in by_label {
+            let mut b_next = BTreeSet::new();
+            for &s in &sb {
+                for (p, l) in b.successors(s) {
+                    if l == label {
+                        b_next.insert(p);
+                    }
+                }
+            }
+            for &a_next in &a_targets {
+                let state = (a_next, b_next.clone());
+                if seen.insert(state.clone()) {
+                    queue.push_back(state);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Language equivalence of two content models.
+pub fn particle_equivalent(a: &Particle, b: &Particle) -> bool {
+    particle_contained_in(a, b) && particle_contained_in(b, a)
+}
+
+/// Containment of two DTDs: same root, and for every element declared in both, the left content
+/// model is contained in the right one. Elements declared only on the left are unconstrained on
+/// the right (hence contained); elements declared only on the right are unconstrained on the
+/// left and therefore only contained if the right rule accepts every child sequence over its
+/// alphabet, which we conservatively reject.
+pub fn dtd_contained_in(left: &Dtd, right: &Dtd) -> bool {
+    if left.root() != right.root() {
+        return false;
+    }
+    for element in right.declared_elements() {
+        let Some(right_model) = right.content_model(element) else { continue };
+        match left.content_model(element) {
+            Some(left_model) => {
+                if !particle_contained_in(left_model, right_model) {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Fraction of a DTD's content models that are 1-unambiguous — the paper's tractability
+/// precondition for PTIME DTD containment.
+pub fn deterministic_fraction(dtd: &Dtd) -> f64 {
+    let mut total = 0usize;
+    let mut deterministic = 0usize;
+    for element in dtd.declared_elements() {
+        if let Some(model) = dtd.content_model(element) {
+            total += 1;
+            if is_one_unambiguous(model) {
+                deterministic += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        deterministic as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_xml::xmark::xmark_dtd;
+    use Particle as P;
+
+    fn seq(parts: Vec<Particle>) -> Particle {
+        P::Seq(parts)
+    }
+
+    #[test]
+    fn glushkov_accepts_the_same_words_as_the_particle() {
+        let particle = seq(vec![P::elem("a"), P::star(P::Choice(vec![P::elem("b"), P::elem("c")])), P::opt(P::elem("d"))]);
+        let automaton = GlushkovAutomaton::from_particle(&particle);
+        for word in [
+            vec!["a"],
+            vec!["a", "b"],
+            vec!["a", "b", "c", "b"],
+            vec!["a", "d"],
+            vec!["a", "c", "d"],
+            vec![],
+            vec!["b"],
+            vec!["a", "d", "d"],
+            vec!["d", "a"],
+        ] {
+            assert_eq!(
+                automaton.accepts(&word),
+                particle.accepts(&word),
+                "automaton and particle disagree on {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_detects_one_unambiguity() {
+        // (a, b) | (a, c) is the textbook ambiguous content model; a, (b | c) is its
+        // deterministic equivalent.
+        let ambiguous = P::Choice(vec![
+            seq(vec![P::elem("a"), P::elem("b")]),
+            seq(vec![P::elem("a"), P::elem("c")]),
+        ]);
+        let deterministic = seq(vec![P::elem("a"), P::Choice(vec![P::elem("b"), P::elem("c")])]);
+        assert!(!is_one_unambiguous(&ambiguous));
+        assert!(is_one_unambiguous(&deterministic));
+        assert!(particle_equivalent(&ambiguous, &deterministic));
+    }
+
+    #[test]
+    fn containment_on_simple_patterns() {
+        let a = P::elem("a");
+        let a_opt = P::opt(P::elem("a"));
+        let a_star = P::star(P::elem("a"));
+        let a_plus = P::plus(P::elem("a"));
+        assert!(particle_contained_in(&a, &a_star));
+        assert!(particle_contained_in(&a_opt, &a_star));
+        assert!(particle_contained_in(&a_plus, &a_star));
+        assert!(!particle_contained_in(&a_star, &a_plus), "ε distinguishes * from +");
+        assert!(!particle_contained_in(&a_star, &a_opt));
+        assert!(particle_contained_in(&a, &a));
+    }
+
+    #[test]
+    fn containment_respects_sequence_order() {
+        let ab = seq(vec![P::elem("a"), P::elem("b")]);
+        let ba = seq(vec![P::elem("b"), P::elem("a")]);
+        let any = P::star(P::Choice(vec![P::elem("a"), P::elem("b")]));
+        assert!(!particle_contained_in(&ab, &ba));
+        assert!(particle_contained_in(&ab, &any));
+        assert!(particle_contained_in(&ba, &any));
+        assert!(!particle_contained_in(&any, &ab));
+    }
+
+    #[test]
+    fn choice_containment_is_monotone() {
+        let ab = P::Choice(vec![P::elem("a"), P::elem("b")]);
+        let abc = P::Choice(vec![P::elem("a"), P::elem("b"), P::elem("c")]);
+        assert!(particle_contained_in(&ab, &abc));
+        assert!(!particle_contained_in(&abc, &ab));
+        assert!(particle_equivalent(&ab, &ab));
+    }
+
+    #[test]
+    fn xmark_content_models_are_deterministic() {
+        let dtd = xmark_dtd();
+        assert!(deterministic_fraction(&dtd) >= 0.99, "XMark content models are XML-legal");
+        assert!(dtd_contained_in(&dtd, &dtd), "containment is reflexive");
+    }
+
+    #[test]
+    fn dtd_containment_detects_loosened_rules() {
+        let strict = Dtd::new("root")
+            .rule("root", seq(vec![P::elem("a"), P::elem("b")]))
+            .rule("a", P::Empty)
+            .rule("b", P::Empty);
+        let loose = Dtd::new("root")
+            .rule("root", seq(vec![P::star(P::elem("a")), P::opt(P::elem("b"))]))
+            .rule("a", P::Empty)
+            .rule("b", P::Empty);
+        assert!(dtd_contained_in(&strict, &loose));
+        assert!(!dtd_contained_in(&loose, &strict));
+        let other_root = Dtd::new("other").rule("other", P::Empty);
+        assert!(!dtd_contained_in(&strict, &other_root));
+    }
+
+    #[test]
+    fn empty_and_text_models_accept_only_the_empty_sequence() {
+        let automaton = GlushkovAutomaton::from_particle(&P::Text);
+        assert!(automaton.accepts_empty());
+        assert!(automaton.accepts(&[]));
+        assert!(!automaton.accepts(&["a"]));
+        assert_eq!(automaton.positions(), 0);
+        assert!(particle_contained_in(&P::Text, &P::Empty));
+        assert!(particle_contained_in(&P::Empty, &P::star(P::elem("a"))));
+    }
+}

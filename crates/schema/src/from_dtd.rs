@@ -1,0 +1,199 @@
+//! Conversion of DTD-lite content models into disjunctive multiplicity schemas.
+//!
+//! The paper claims that "the disjunctive multiplicity schema can express the DTD from XMark"
+//! and many real-world DTDs. This module makes the claim operational: it converts a [`Dtd`]
+//! into a [`Dms`] whenever every content model has the *multiplicity shape* — an ordered
+//! sequence of items, each of which constrains one label (or one disjunction of labels) with a
+//! multiplicity — and reports precisely which rules prevent conversion otherwise.
+//!
+//! Since DMS ignores sibling order, the conversion widens the language: a document may reorder
+//! the children. For the schema-aware learning use case this is exactly right, because twig
+//! queries cannot observe order either.
+
+use crate::dms::{Clause, Dms, Rule};
+use crate::multiplicity::Multiplicity;
+use qbe_xml::dtd::{Dtd, Particle};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a DTD rule could not be converted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConversionError {
+    /// Element whose content model is not DMS-expressible.
+    pub element: String,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for ConversionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "content model of <{}> is not DMS-expressible: {}", self.element, self.reason)
+    }
+}
+
+impl std::error::Error for ConversionError {}
+
+/// Convert a whole DTD into a DMS, or report the first offending rule.
+pub fn dms_from_dtd(dtd: &Dtd) -> Result<Dms, ConversionError> {
+    let mut schema = Dms::new(dtd.root());
+    for element in dtd.declared_elements() {
+        let model = dtd.content_model(element).expect("declared element has a model");
+        let rule = rule_from_particle(model).map_err(|reason| ConversionError {
+            element: element.to_string(),
+            reason,
+        })?;
+        schema.set_rule(element, rule);
+    }
+    Ok(schema)
+}
+
+/// Convert a single content model into a rule, if it has the multiplicity shape.
+pub fn rule_from_particle(particle: &Particle) -> Result<Rule, String> {
+    let items = flatten_sequence(particle);
+    let mut clauses = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for item in items {
+        let clause = clause_from_item(&item)?;
+        for label in clause.labels() {
+            if !seen.insert(label.to_string()) {
+                return Err(format!("label `{label}` occurs more than once in the content model"));
+            }
+        }
+        clauses.push(clause);
+    }
+    Ok(Rule::new(clauses))
+}
+
+/// Flatten nested sequences into a list of top-level items; `EMPTY` and `(#PCDATA)` flatten to
+/// nothing.
+fn flatten_sequence(particle: &Particle) -> Vec<Particle> {
+    match particle {
+        Particle::Empty | Particle::Text => vec![],
+        Particle::Seq(ps) => ps.iter().flat_map(flatten_sequence).collect(),
+        other => vec![other.clone()],
+    }
+}
+
+fn clause_from_item(item: &Particle) -> Result<Clause, String> {
+    match item {
+        Particle::Element(name) => Ok(Clause::single(name.clone(), Multiplicity::One)),
+        Particle::Optional(inner) => wrap(inner, Multiplicity::Optional),
+        Particle::Star(inner) => wrap(inner, Multiplicity::Star),
+        Particle::Plus(inner) => wrap(inner, Multiplicity::Plus),
+        Particle::Choice(_) => {
+            let labels = choice_labels(item)?;
+            Ok(Clause::new(labels, Multiplicity::One))
+        }
+        other => Err(format!("unsupported item `{other}`")),
+    }
+}
+
+fn wrap(inner: &Particle, multiplicity: Multiplicity) -> Result<Clause, String> {
+    match inner {
+        Particle::Element(name) => Ok(Clause::single(name.clone(), multiplicity)),
+        Particle::Choice(_) => {
+            let labels = choice_labels(inner)?;
+            Ok(Clause::new(labels, multiplicity))
+        }
+        other => Err(format!("unsupported item under a multiplicity: `{other}`")),
+    }
+}
+
+fn choice_labels(particle: &Particle) -> Result<Vec<String>, String> {
+    match particle {
+        Particle::Choice(ps) => {
+            let mut labels = Vec::new();
+            for p in ps {
+                match p {
+                    Particle::Element(name) => labels.push(name.clone()),
+                    other => {
+                        return Err(format!("choice branch `{other}` is not a plain element"));
+                    }
+                }
+            }
+            Ok(labels)
+        }
+        other => Err(format!("expected a choice, found `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_xml::dtd::Particle as P;
+    use qbe_xml::xmark::{generate, xmark_dtd, XmarkConfig};
+
+    #[test]
+    fn simple_sequence_converts() {
+        let p = P::Seq(vec![P::elem("title"), P::plus(P::elem("author")), P::opt(P::elem("year"))]);
+        let rule = rule_from_particle(&p).unwrap();
+        assert_eq!(rule.clause_for("title").unwrap().multiplicity(), Multiplicity::One);
+        assert_eq!(rule.clause_for("author").unwrap().multiplicity(), Multiplicity::Plus);
+        assert_eq!(rule.clause_for("year").unwrap().multiplicity(), Multiplicity::Optional);
+    }
+
+    #[test]
+    fn choice_of_elements_converts_to_disjunctive_clause() {
+        let p = P::plus(P::Choice(vec![P::elem("email"), P::elem("phone")]));
+        let rule = rule_from_particle(&p).unwrap();
+        let clause = rule.clause_for("email").unwrap();
+        assert!(!clause.is_single());
+        assert_eq!(clause.multiplicity(), Multiplicity::Plus);
+    }
+
+    #[test]
+    fn pcdata_and_empty_convert_to_empty_rule() {
+        assert_eq!(rule_from_particle(&P::Text).unwrap().clauses().len(), 0);
+        assert_eq!(rule_from_particle(&P::Empty).unwrap().clauses().len(), 0);
+    }
+
+    #[test]
+    fn repeated_label_is_rejected() {
+        let p = P::Seq(vec![P::elem("a"), P::star(P::elem("a"))]);
+        assert!(rule_from_particle(&p).is_err());
+    }
+
+    #[test]
+    fn nested_group_repetition_is_rejected() {
+        // (a, (b, c)*) constrains order/pairing in a way DMS cannot express.
+        let p = P::Seq(vec![P::elem("a"), P::star(P::Seq(vec![P::elem("b"), P::elem("c")]))]);
+        assert!(rule_from_particle(&p).is_err());
+    }
+
+    #[test]
+    fn xmark_dtd_is_dms_expressible() {
+        let schema = dms_from_dtd(&xmark_dtd()).expect("the paper's claim: XMark DTD fits DMS");
+        assert_eq!(schema.root(), "site");
+        assert!(schema.declares("person"));
+        assert!(schema.declares("open_auction"));
+    }
+
+    #[test]
+    fn converted_xmark_schema_accepts_generated_documents() {
+        let schema = dms_from_dtd(&xmark_dtd()).unwrap();
+        let doc = generate(&XmarkConfig::new(0.02, 5));
+        let violations = schema.validate(&doc);
+        assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+    }
+
+    #[test]
+    fn conversion_widens_to_unordered_language() {
+        // DTD requires (title, author); DMS accepts the reordering too.
+        let dtd = Dtd::new("book")
+            .rule("book", P::Seq(vec![P::elem("title"), P::elem("author")]))
+            .rule("title", P::Text)
+            .rule("author", P::Text);
+        let schema = dms_from_dtd(&dtd).unwrap();
+        let reordered = qbe_xml::TreeBuilder::new("book").leaf("author").leaf("title").build();
+        assert!(!dtd.is_valid(&reordered));
+        assert!(schema.accepts(&reordered));
+    }
+
+    #[test]
+    fn error_reports_offending_element() {
+        let dtd = Dtd::new("r").rule("r", P::Seq(vec![P::elem("a"), P::elem("a")]));
+        let err = dms_from_dtd(&dtd).unwrap_err();
+        assert_eq!(err.element, "r");
+        assert!(err.to_string().contains("not DMS-expressible"));
+    }
+}

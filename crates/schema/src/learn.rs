@@ -1,0 +1,347 @@
+//! Learning multiplicity schemas from positive examples.
+//!
+//! The paper reports (as preliminary research) that disjunctive multiplicity schemas are
+//! *identifiable in the limit* from positive examples only — i.e. there is a learner that, fed
+//! any sequence of documents eventually containing a characteristic sample of the goal schema,
+//! converges to an equivalent schema and never changes its mind afterwards.
+//!
+//! The learner implemented here is the natural one:
+//!
+//! 1. **Disjunction-free pass** — for every label observed as an element, and every child label
+//!    observed under it, record the per-parent occurrence counts (including the zero counts of
+//!    parents lacking the child) and generalise them to the tightest [`Multiplicity`].
+//! 2. **Disjunction detection** (optional, [`learn_dms`]) — child labels of a parent that never
+//!    co-occur are grouped into a disjunctive clause when the multiplicity of their *total*
+//!    count is strictly tighter than what the separate singleton clauses would say; otherwise the
+//!    disjunction-free clauses are kept.
+//!
+//! Both passes are linear in the total size of the examples (times alphabet factors), and the
+//! first is exactly the minimal-generalisation operator that yields identification in the limit
+//! for the MS class.
+
+use crate::dms::{Clause, Dms, Rule};
+use crate::multiplicity::Multiplicity;
+use qbe_xml::XmlTree;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Error returned when the examples cannot come from any single schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// The example set is empty.
+    NoExamples,
+    /// Two example documents have different root labels.
+    InconsistentRoots(String, String),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::NoExamples => write!(f, "cannot learn a schema from zero examples"),
+            LearnError::InconsistentRoots(a, b) => {
+                write!(f, "example documents have different root labels: `{a}` vs `{b}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// Per-parent-label observation table: for every child label, one count per occurrence of the
+/// parent label across all example documents.
+type Observations = BTreeMap<String, BTreeMap<String, Vec<usize>>>;
+
+fn observe(docs: &[XmlTree]) -> Observations {
+    // First find, per parent label, the set of child labels ever observed.
+    let mut child_alphabet: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for doc in docs {
+        for node in doc.node_ids() {
+            let entry = child_alphabet.entry(doc.label(node).to_string()).or_default();
+            for (child_label, _) in doc.child_label_counts(node) {
+                entry.insert(child_label);
+            }
+        }
+    }
+    // Then record, for every occurrence of the parent label, the count of each such child label
+    // (zero when absent) — the zeros are what make `1` vs `?` and `+` vs `*` distinguishable.
+    let mut observations: Observations = BTreeMap::new();
+    for doc in docs {
+        for node in doc.node_ids() {
+            let parent_label = doc.label(node).to_string();
+            let counts = doc.child_label_counts(node);
+            let alphabet = child_alphabet.get(&parent_label).cloned().unwrap_or_default();
+            let entry = observations.entry(parent_label).or_default();
+            for child_label in alphabet {
+                let count = counts.get(&child_label).copied().unwrap_or(0);
+                entry.entry(child_label).or_default().push(count);
+            }
+        }
+    }
+    observations
+}
+
+/// Learn a **disjunction-free** multiplicity schema (MS) from positive example documents.
+pub fn learn_ms(docs: &[XmlTree]) -> Result<Dms, LearnError> {
+    let root = common_root(docs)?;
+    let observations = observe(docs);
+    let mut schema = Dms::new(root);
+    for (parent, children) in &observations {
+        let clauses: Vec<Clause> = children
+            .iter()
+            .map(|(child, counts)| {
+                Clause::single(child.clone(), Multiplicity::generalising(counts.iter().copied()))
+            })
+            .filter(|c| c.multiplicity() != Multiplicity::Zero)
+            .collect();
+        schema.set_rule(parent.clone(), Rule::new(clauses));
+    }
+    Ok(schema)
+}
+
+/// Learn a **disjunctive** multiplicity schema from positive example documents.
+///
+/// Produces the same rules as [`learn_ms`] except that groups of mutually exclusive child labels
+/// whose joint count generalises to a strictly tighter multiplicity are merged into a
+/// disjunctive clause.
+pub fn learn_dms(docs: &[XmlTree]) -> Result<Dms, LearnError> {
+    let root = common_root(docs)?;
+    let observations = observe(docs);
+    let mut schema = Dms::new(root);
+    for (parent, children) in &observations {
+        let labels: Vec<&String> = children.keys().collect();
+        // Partition child labels into groups of pairwise mutually-exclusive labels (greedy).
+        let mut groups: Vec<Vec<String>> = Vec::new();
+        for label in &labels {
+            let counts = &children[*label];
+            if counts.iter().all(|&c| c == 0) {
+                continue; // never actually observed: skip entirely
+            }
+            let mut placed = false;
+            for group in groups.iter_mut() {
+                let exclusive = group.iter().all(|other| {
+                    let other_counts = &children[other];
+                    counts.iter().zip(other_counts).all(|(&a, &b)| a == 0 || b == 0)
+                });
+                if exclusive {
+                    group.push((*label).clone());
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                groups.push(vec![(*label).clone()]);
+            }
+        }
+        let mut clauses: Vec<Clause> = Vec::new();
+        for group in groups {
+            if group.len() == 1 {
+                let label = &group[0];
+                let m = Multiplicity::generalising(children[label].iter().copied());
+                clauses.push(Clause::single(label.clone(), m));
+                continue;
+            }
+            // Joint counts per parent occurrence.
+            let n_occurrences = children[&group[0]].len();
+            let joint: Vec<usize> = (0..n_occurrences)
+                .map(|i| group.iter().map(|l| children[l][i]).sum())
+                .collect();
+            let joint_m = Multiplicity::generalising(joint.iter().copied());
+            // Individual multiplicities if kept separate.
+            let separate: Vec<Multiplicity> = group
+                .iter()
+                .map(|l| Multiplicity::generalising(children[l].iter().copied()))
+                .collect();
+            // The disjunction is worthwhile when the joint bound is strictly tighter than the
+            // weakest information the separate clauses provide about the total, i.e. when every
+            // separate clause admits zero (so separately nothing forces presence) but the joint
+            // count is always positive, or when the joint count is bounded while separately it
+            // would not be.
+            let separately_forces_presence = separate.iter().any(|m| !m.admits_zero());
+            let separately_bounded = separate.iter().all(|m| Multiplicity::max(*m).is_some());
+            let joint_tighter = (!separately_forces_presence && !joint_m.admits_zero())
+                || (!separately_bounded && joint_m.max().is_some())
+                || (joint_m.max() == Some(1) && group.len() > 1);
+            if joint_tighter {
+                clauses.push(Clause::new(group, joint_m));
+            } else {
+                for (label, m) in group.iter().zip(separate) {
+                    clauses.push(Clause::single(label.clone(), m));
+                }
+            }
+        }
+        schema.set_rule(parent.clone(), Rule::new(clauses));
+    }
+    Ok(schema)
+}
+
+fn common_root(docs: &[XmlTree]) -> Result<String, LearnError> {
+    let first = docs.first().ok_or(LearnError::NoExamples)?;
+    let root = first.label(XmlTree::ROOT).to_string();
+    for doc in docs {
+        let r = doc.label(XmlTree::ROOT);
+        if r != root {
+            return Err(LearnError::InconsistentRoots(root, r.to_string()));
+        }
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::{schema_contained_in, schema_equivalent};
+    use qbe_xml::TreeBuilder;
+
+    fn person(with_phone: bool, with_email: bool, with_address: bool) -> XmlTree {
+        let mut b = TreeBuilder::new("person").leaf("name");
+        if with_email {
+            b = b.leaf("email");
+        }
+        if with_phone {
+            b = b.leaf("phone");
+        }
+        if with_address {
+            b = b.leaf("address");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn no_examples_is_an_error() {
+        assert_eq!(learn_ms(&[]).unwrap_err(), LearnError::NoExamples);
+    }
+
+    #[test]
+    fn inconsistent_roots_are_rejected() {
+        let a = TreeBuilder::new("a").build();
+        let b = TreeBuilder::new("b").build();
+        assert!(matches!(learn_ms(&[a, b]).unwrap_err(), LearnError::InconsistentRoots(..)));
+    }
+
+    #[test]
+    fn learned_ms_accepts_all_examples() {
+        let docs = vec![person(true, false, false), person(false, true, true), person(true, true, false)];
+        let schema = learn_ms(&docs).unwrap();
+        for d in &docs {
+            assert!(schema.accepts(d), "learned schema rejects a positive example");
+        }
+    }
+
+    #[test]
+    fn learned_ms_infers_tight_multiplicities() {
+        let docs = vec![person(true, false, false), person(false, true, true)];
+        let schema = learn_ms(&docs).unwrap();
+        let rule = schema.rule_for("person");
+        // `name` occurs exactly once in every example.
+        assert_eq!(rule.clause_for("name").unwrap().multiplicity(), Multiplicity::One);
+        // `address` occurs in some but not all examples.
+        assert_eq!(rule.clause_for("address").unwrap().multiplicity(), Multiplicity::Optional);
+    }
+
+    #[test]
+    fn learned_ms_generalises_repeated_children_to_plus_or_star() {
+        let two_books = TreeBuilder::new("library")
+            .open("book").leaf("title").close()
+            .open("book").leaf("title").close()
+            .build();
+        let one_book = TreeBuilder::new("library").open("book").leaf("title").close().build();
+        let schema = learn_ms(&[two_books, one_book]).unwrap();
+        assert_eq!(
+            schema.rule_for("library").clause_for("book").unwrap().multiplicity(),
+            Multiplicity::Plus
+        );
+    }
+
+    #[test]
+    fn dms_learner_detects_mutually_exclusive_labels() {
+        // Every person has exactly one of email / phone, never both; `address` co-occurs with
+        // each of them in some example, so only the email/phone pair is mutually exclusive.
+        let docs = vec![person(true, false, true), person(false, true, true), person(true, false, false)];
+        let schema = learn_dms(&docs).unwrap();
+        let rule = schema.rule_for("person");
+        let disjunctive = rule.clauses().iter().find(|c| !c.is_single());
+        let clause = disjunctive.expect("expected a disjunctive clause for email|phone");
+        let labels: Vec<&str> = clause.labels().collect();
+        assert_eq!(labels, vec!["email", "phone"]);
+        assert_eq!(clause.multiplicity(), Multiplicity::One);
+        for d in &docs {
+            assert!(schema.accepts(d));
+        }
+    }
+
+    #[test]
+    fn dms_learner_keeps_cooccurring_labels_separate() {
+        let docs = vec![person(true, true, false), person(true, true, true)];
+        let schema = learn_dms(&docs).unwrap();
+        let rule = schema.rule_for("person");
+        assert!(rule.clauses().iter().all(Clause::is_single));
+    }
+
+    #[test]
+    fn learned_schema_is_minimal_among_consistent_ms() {
+        // The learned MS must be contained in any other MS accepting the examples; we check one
+        // particular looser schema.
+        let docs = vec![person(true, false, false), person(false, true, false)];
+        let learned = learn_ms(&docs).unwrap();
+        let looser = Dms::new("person").rule(
+            "person",
+            Rule::new(vec![
+                Clause::single("name", Multiplicity::Star),
+                Clause::single("email", Multiplicity::Star),
+                Clause::single("phone", Multiplicity::Star),
+            ]),
+        );
+        assert!(schema_contained_in(&learned, &looser));
+    }
+
+    #[test]
+    fn identification_in_the_limit_on_generated_documents() {
+        // Generate documents from a goal MS; with enough samples the learner converges to an
+        // equivalent schema and stays there.
+        use crate::multiplicity::Multiplicity::*;
+        let goal = Dms::new("library")
+            .rule("library", Rule::new(vec![Clause::single("book", Plus)]))
+            .rule(
+                "book",
+                Rule::new(vec![Clause::single("title", One), Clause::single("year", Optional)]),
+            );
+        // A characteristic sample: exercises min and max of every multiplicity.
+        let docs = vec![
+            TreeBuilder::new("library")
+                .open("book").leaf("title").close()
+                .build(),
+            TreeBuilder::new("library")
+                .open("book").leaf("title").leaf("year").close()
+                .open("book").leaf("title").close()
+                .build(),
+        ];
+        let learned = learn_ms(&docs).unwrap();
+        assert!(schema_equivalent(&learned, &goal), "learned:\n{learned}\ngoal:\n{goal}");
+        // Adding more documents drawn from the goal schema does not change the learned language.
+        let more = TreeBuilder::new("library")
+            .open("book").leaf("title").leaf("year").close()
+            .open("book").leaf("title").close()
+            .open("book").leaf("title").close()
+            .build();
+        let mut extended = docs.clone();
+        extended.push(more);
+        let relearned = learn_ms(&extended).unwrap();
+        assert!(schema_equivalent(&relearned, &goal));
+    }
+
+    #[test]
+    fn learner_handles_nested_structure() {
+        let doc = TreeBuilder::new("site")
+            .open("people")
+            .open("person").leaf("name").close()
+            .open("person").leaf("name").leaf("age").close()
+            .close()
+            .build();
+        let schema = learn_ms(&[doc.clone()]).unwrap();
+        assert!(schema.accepts(&doc));
+        assert_eq!(
+            schema.rule_for("people").clause_for("person").unwrap().multiplicity(),
+            Multiplicity::Plus
+        );
+    }
+}

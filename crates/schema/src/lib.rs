@@ -1,0 +1,116 @@
+//! # qbe-schema — unordered-XML schema formalisms and their static analysis
+//!
+//! Implementation of the schema language the paper introduces to make schema-aware twig-query
+//! learning tractable: **disjunctive multiplicity schemas** (DMS) and their disjunction-free
+//! restriction (MS). Both ignore sibling order, matching what twig queries can observe.
+//!
+//! Provided analyses (with the complexities the paper reports):
+//!
+//! | problem | module | complexity |
+//! |---|---|---|
+//! | membership / validation | [`dms`] | linear |
+//! | satisfiability (finite witness) | [`dms`] | PTIME (fixed point) |
+//! | schema containment / equivalence | [`containment`] | PTIME |
+//! | dependency graph, implied children/descendants | [`depgraph`] | PTIME |
+//! | schema learning from positive documents | [`learn`] | PTIME, identification in the limit |
+//! | conversion from DTD-lite content models | [`from_dtd`] | linear, partial |
+//!
+//! Query-side problems (query satisfiability / implication / containment in the presence of a
+//! schema) live in `qbe-twig`, which combines these primitives with twig embeddings.
+
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod depgraph;
+pub mod dms;
+pub mod dtd_analysis;
+pub mod from_dtd;
+pub mod learn;
+pub mod multiplicity;
+
+pub use containment::{schema_contained_in, schema_equivalent};
+pub use depgraph::{DepEdge, DependencyGraph};
+pub use dms::{Clause, DisjunctiveMultiplicitySchema, Dms, Rule, SchemaViolation};
+pub use dtd_analysis::{
+    deterministic_fraction, dtd_contained_in, is_one_unambiguous, particle_contained_in,
+    particle_equivalent, GlushkovAutomaton,
+};
+pub use from_dtd::{dms_from_dtd, ConversionError};
+pub use learn::{learn_dms, learn_ms, LearnError};
+pub use multiplicity::Multiplicity;
+
+#[cfg(test)]
+mod proptests {
+    use crate::containment::schema_contained_in;
+    use crate::learn::{learn_dms, learn_ms};
+    use crate::Multiplicity;
+    use proptest::prelude::*;
+    use qbe_xml::random::{RandomTreeConfig, RandomTreeGenerator};
+    use qbe_xml::XmlTree;
+
+    fn trees(seed: u64, n: usize) -> Vec<XmlTree> {
+        let cfg = RandomTreeConfig {
+            alphabet: ('a'..='d').map(|c| c.to_string()).collect(),
+            max_depth: 4,
+            max_children: 3,
+            ..Default::default()
+        };
+        let mut gen = RandomTreeGenerator::new(cfg, seed);
+        let mut out = gen.generate_many(n);
+        for t in &mut out {
+            t.set_label(XmlTree::ROOT, "root");
+        }
+        out
+    }
+
+    proptest! {
+        /// The learned MS accepts every document it was learned from.
+        #[test]
+        fn learned_ms_is_consistent(seed in 0u64..300, n in 1usize..5) {
+            let docs = trees(seed, n);
+            let schema = learn_ms(&docs).unwrap();
+            for doc in &docs {
+                prop_assert!(schema.accepts(doc));
+            }
+        }
+
+        /// The learned DMS accepts every document it was learned from.
+        #[test]
+        fn learned_dms_is_consistent(seed in 0u64..300, n in 1usize..5) {
+            let docs = trees(seed, n);
+            let schema = learn_dms(&docs).unwrap();
+            for doc in &docs {
+                prop_assert!(schema.accepts(doc));
+            }
+        }
+
+        /// Learning is monotone in generalisation: the schema learned from a subset of the
+        /// documents is contained in the schema learned from the whole set.
+        #[test]
+        fn learning_is_monotone(seed in 0u64..200) {
+            let docs = trees(seed, 4);
+            let small = learn_ms(&docs[..2]).unwrap();
+            let big = learn_ms(&docs).unwrap();
+            prop_assert!(schema_contained_in(&small, &big));
+        }
+
+        /// Multiplicity join is commutative, associative and idempotent (semilattice laws).
+        #[test]
+        fn multiplicity_join_is_a_semilattice(a in 0usize..5, b in 0usize..5, c in 0usize..5) {
+            let all = Multiplicity::all();
+            let (x, y, z) = (all[a], all[b], all[c]);
+            prop_assert_eq!(x.join(y), y.join(x));
+            prop_assert_eq!(x.join(x), x);
+            prop_assert_eq!(x.join(y).join(z), x.join(y.join(z)));
+        }
+
+        /// `generalising` produces a multiplicity admitting every observed count.
+        #[test]
+        fn generalising_admits_observations(counts in proptest::collection::vec(0usize..6, 1..8)) {
+            let m = Multiplicity::generalising(counts.iter().copied());
+            for c in counts {
+                prop_assert!(m.admits(c));
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Multiplicities — the `{0, 1, ?, *, +}` symbols of the paper's multiplicity schemas, with
+//! their interval semantics and the lattice operations the schema algorithms need.
+
+use std::fmt;
+
+/// A multiplicity symbol constraining how many times something may occur.
+///
+/// Semantics (as a set of admissible counts):
+/// `0 ↦ {0}`, `1 ↦ {1}`, `? ↦ {0,1}`, `+ ↦ {1,2,…}`, `* ↦ {0,1,2,…}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Multiplicity {
+    /// Exactly zero occurrences.
+    Zero,
+    /// Exactly one occurrence.
+    One,
+    /// Zero or one occurrence (`?`).
+    Optional,
+    /// One or more occurrences (`+`).
+    Plus,
+    /// Any number of occurrences (`*`).
+    Star,
+}
+
+impl Multiplicity {
+    /// Lower bound of the admissible interval.
+    pub fn min(self) -> usize {
+        match self {
+            Multiplicity::Zero | Multiplicity::Optional | Multiplicity::Star => 0,
+            Multiplicity::One | Multiplicity::Plus => 1,
+        }
+    }
+
+    /// Upper bound of the admissible interval (`None` = unbounded).
+    pub fn max(self) -> Option<usize> {
+        match self {
+            Multiplicity::Zero => Some(0),
+            Multiplicity::One | Multiplicity::Optional => Some(1),
+            Multiplicity::Plus | Multiplicity::Star => None,
+        }
+    }
+
+    /// Whether `count` is admissible.
+    pub fn admits(self, count: usize) -> bool {
+        count >= self.min() && self.max().map_or(true, |m| count <= m)
+    }
+
+    /// Whether zero occurrences are admissible (the symbol is "nullable").
+    pub fn admits_zero(self) -> bool {
+        self.min() == 0
+    }
+
+    /// Whether more than one occurrence is admissible.
+    pub fn admits_many(self) -> bool {
+        self.max().is_none()
+    }
+
+    /// Subsumption: `self ⊑ other` iff every count admitted by `self` is admitted by `other`.
+    pub fn subsumed_by(self, other: Multiplicity) -> bool {
+        other.min() <= self.min()
+            && match (self.max(), other.max()) {
+                (_, None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => a <= b,
+            }
+    }
+
+    /// Least upper bound in the subsumption order (smallest multiplicity admitting both).
+    pub fn join(self, other: Multiplicity) -> Multiplicity {
+        let min = self.min().min(other.min());
+        let unbounded = self.max().is_none() || other.max().is_none();
+        let max = if unbounded { None } else { Some(self.max().unwrap().max(other.max().unwrap())) };
+        Multiplicity::from_bounds(min, max)
+    }
+
+    /// The tightest multiplicity admitting every count in `[min, max]` (`max = None` means the
+    /// counts are unbounded above).
+    pub fn from_bounds(min: usize, max: Option<usize>) -> Multiplicity {
+        match (min, max) {
+            (_, Some(0)) => Multiplicity::Zero,
+            (0, Some(1)) => Multiplicity::Optional,
+            (0, None) => Multiplicity::Star,
+            (0, Some(_)) => Multiplicity::Star,
+            (_, Some(1)) => Multiplicity::One,
+            (_, None) => Multiplicity::Plus,
+            (_, Some(_)) => Multiplicity::Plus,
+        }
+    }
+
+    /// The tightest multiplicity admitting every count observed in `counts`.
+    ///
+    /// Returns [`Multiplicity::Zero`] for an empty observation set.
+    pub fn generalising(counts: impl IntoIterator<Item = usize>) -> Multiplicity {
+        let mut seen_any = false;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for c in counts {
+            seen_any = true;
+            min = min.min(c);
+            max = max.max(c);
+        }
+        if !seen_any {
+            return Multiplicity::Zero;
+        }
+        let upper = if max <= 1 { Some(max) } else { None };
+        Multiplicity::from_bounds(min, upper)
+    }
+
+    /// All five multiplicity symbols.
+    pub fn all() -> [Multiplicity; 5] {
+        [
+            Multiplicity::Zero,
+            Multiplicity::One,
+            Multiplicity::Optional,
+            Multiplicity::Plus,
+            Multiplicity::Star,
+        ]
+    }
+
+    /// Parse the textual form used by [`fmt::Display`].
+    pub fn parse(s: &str) -> Option<Multiplicity> {
+        match s {
+            "0" => Some(Multiplicity::Zero),
+            "1" | "" => Some(Multiplicity::One),
+            "?" => Some(Multiplicity::Optional),
+            "+" => Some(Multiplicity::Plus),
+            "*" => Some(Multiplicity::Star),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Multiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Multiplicity::Zero => "0",
+            Multiplicity::One => "1",
+            Multiplicity::Optional => "?",
+            Multiplicity::Plus => "+",
+            Multiplicity::Star => "*",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Multiplicity::*;
+
+    #[test]
+    fn admits_matches_interval_semantics() {
+        assert!(Zero.admits(0) && !Zero.admits(1));
+        assert!(One.admits(1) && !One.admits(0) && !One.admits(2));
+        assert!(Optional.admits(0) && Optional.admits(1) && !Optional.admits(2));
+        assert!(!Plus.admits(0) && Plus.admits(1) && Plus.admits(100));
+        assert!(Star.admits(0) && Star.admits(7));
+    }
+
+    #[test]
+    fn subsumption_order_is_correct() {
+        // Star admits everything, so every multiplicity is subsumed by it.
+        for m in Multiplicity::all() {
+            assert!(m.subsumed_by(Star));
+        }
+        assert!(One.subsumed_by(Optional));
+        assert!(One.subsumed_by(Plus));
+        assert!(!Optional.subsumed_by(One));
+        assert!(!Plus.subsumed_by(Optional));
+        assert!(Zero.subsumed_by(Optional));
+        assert!(!Star.subsumed_by(Plus));
+    }
+
+    #[test]
+    fn subsumption_is_reflexive() {
+        for m in Multiplicity::all() {
+            assert!(m.subsumed_by(m));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        assert_eq!(One.join(Zero), Optional);
+        assert_eq!(One.join(Plus), Plus);
+        assert_eq!(Optional.join(Plus), Star);
+        assert_eq!(Zero.join(Zero), Zero);
+        assert_eq!(One.join(One), One);
+        for a in Multiplicity::all() {
+            for b in Multiplicity::all() {
+                let j = a.join(b);
+                assert!(a.subsumed_by(j) && b.subsumed_by(j), "{a} join {b} = {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn generalising_picks_tightest_symbol() {
+        assert_eq!(Multiplicity::generalising([1, 1, 1]), One);
+        assert_eq!(Multiplicity::generalising([0, 1]), Optional);
+        assert_eq!(Multiplicity::generalising([1, 3]), Plus);
+        assert_eq!(Multiplicity::generalising([0, 2]), Star);
+        assert_eq!(Multiplicity::generalising([0, 0]), Zero);
+        assert_eq!(Multiplicity::generalising([]), Zero);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for m in Multiplicity::all() {
+            assert_eq!(Multiplicity::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(Multiplicity::parse("x"), None);
+    }
+
+    #[test]
+    fn from_bounds_covers_all_shapes() {
+        assert_eq!(Multiplicity::from_bounds(0, Some(0)), Zero);
+        assert_eq!(Multiplicity::from_bounds(1, Some(1)), One);
+        assert_eq!(Multiplicity::from_bounds(0, Some(1)), Optional);
+        assert_eq!(Multiplicity::from_bounds(1, None), Plus);
+        assert_eq!(Multiplicity::from_bounds(0, None), Star);
+        // Finite upper bounds above 1 are widened to the unbounded symbol.
+        assert_eq!(Multiplicity::from_bounds(2, Some(5)), Plus);
+        assert_eq!(Multiplicity::from_bounds(0, Some(3)), Star);
+    }
+}

@@ -1,0 +1,434 @@
+//! Consistency checking and learning with positive **and** negative examples.
+//!
+//! The paper recalls that deciding whether *some* twig query selects all positive examples and
+//! no negative one is NP-complete in general, that it becomes tractable when the number of
+//! examples is bounded, and that for *unions* of twig queries consistency is trivial. This
+//! module provides all three regimes plus the practical learner used by the interactive
+//! experiments:
+//!
+//! * [`most_specific_consistent`] — polynomial heuristic: the most specific query of the
+//!   learner's hypothesis space (spine + compatible filters) either witnesses consistency or no
+//!   query of that space does;
+//! * [`exhaustive_consistent`] — exact search over all twig queries up to a size bound built
+//!   from the example alphabet (exponential; exhibits the NP-hardness shape in the benchmarks);
+//! * [`path_consistent`] — exact polynomial check for the path-query class;
+//! * [`UnionQuery`] / [`learn_union`] — unions of twigs, for which a consistent hypothesis
+//!   always exists unless the same node is annotated both positive and negative.
+
+use crate::eval;
+use crate::example::ExampleSet;
+use crate::learn::{learn_from_positives, learn_path_from_positives};
+use crate::query::{Axis, NodeTest, QNodeId, TwigQuery};
+use qbe_xml::{NodeId, XmlTree};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Outcome of a consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Consistency {
+    /// A consistent query was found.
+    Consistent(Box<TwigQuery>),
+    /// No query of the explored hypothesis space is consistent.
+    Inconsistent,
+}
+
+impl Consistency {
+    /// The witnessing query, if consistent.
+    pub fn query(&self) -> Option<&TwigQuery> {
+        match self {
+            Consistency::Consistent(q) => Some(q),
+            Consistency::Inconsistent => None,
+        }
+    }
+
+    /// Whether a consistent query exists (in the explored space).
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Consistency::Consistent(_))
+    }
+}
+
+impl fmt::Display for Consistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Consistency::Consistent(q) => write!(f, "consistent, witness {q}"),
+            Consistency::Inconsistent => write!(f, "inconsistent"),
+        }
+    }
+}
+
+/// Polynomial heuristic check: learn the most specific query of the practical hypothesis space
+/// from the positives and test it against the negatives.
+///
+/// Because every other query of that space is more general (selects a superset of nodes on every
+/// document), the most specific one selects a negative only if *every* query of the space does —
+/// so within the space the answer is exact; a query outside the space could still separate the
+/// examples (see [`exhaustive_consistent`]).
+pub fn most_specific_consistent(examples: &ExampleSet) -> Consistency {
+    let positives = examples.positives();
+    if positives.is_empty() {
+        // With no positives, the unsatisfiable-on-these-documents query `//⊥` (a label that
+        // never occurs) is consistent; represent it with a fresh improbable label.
+        let q = TwigQuery::descendant_of_root("__no_such_label__");
+        return if examples.consistent_with(&q) {
+            Consistency::Consistent(Box::new(q))
+        } else {
+            Consistency::Inconsistent
+        };
+    }
+    let candidate = learn_from_positives(&positives).expect("non-empty positives");
+    if examples.consistent_with(&candidate) {
+        Consistency::Consistent(Box::new(candidate))
+    } else {
+        Consistency::Inconsistent
+    }
+}
+
+/// Exact polynomial consistency for **path queries**: the most specific consistent path is the
+/// generalisation of the positives' paths; it is consistent iff it avoids every negative.
+pub fn path_consistent(examples: &ExampleSet) -> Consistency {
+    let positives = examples.positives();
+    if positives.is_empty() {
+        return most_specific_consistent(examples);
+    }
+    let candidate = learn_path_from_positives(&positives).expect("non-empty positives");
+    if examples.consistent_with(&candidate) {
+        Consistency::Consistent(Box::new(candidate))
+    } else {
+        Consistency::Inconsistent
+    }
+}
+
+/// Exact (exponential) consistency: enumerate every twig query with at most `max_nodes` nodes
+/// over the label alphabet of the examples (plus the wildcard), in increasing size, and return
+/// the first consistent one.
+///
+/// This is the brute-force witness of the NP-complete general problem; the benchmarks use it to
+/// show the running-time blow-up that motivates the paper's restriction to anchored twigs,
+/// bounded example sets and unions.
+pub fn exhaustive_consistent(examples: &ExampleSet, max_nodes: usize) -> Consistency {
+    let mut alphabet: BTreeSet<String> = BTreeSet::new();
+    for doc in examples.documents() {
+        alphabet.extend(doc.alphabet());
+    }
+    let mut tests: Vec<NodeTest> = alphabet.iter().map(NodeTest::label).collect();
+    tests.push(NodeTest::Wildcard);
+
+    // Enumerate queries by structure: start from single-node queries and grow by attaching one
+    // node at a time to any existing node (BFS over sizes).
+    let mut frontier: Vec<TwigQuery> = Vec::new();
+    for test in &tests {
+        for axis in [Axis::Child, Axis::Descendant] {
+            let q = TwigQuery::new(axis, test.clone());
+            if examples.consistent_with(&q) {
+                return Consistency::Consistent(Box::new(q));
+            }
+            frontier.push(q);
+        }
+    }
+    for _size in 2..=max_nodes {
+        let mut next = Vec::new();
+        for q in &frontier {
+            for parent in q.node_ids() {
+                for test in &tests {
+                    for axis in [Axis::Child, Axis::Descendant] {
+                        let mut candidate = q.clone();
+                        let new = candidate.add_node(parent, axis, test.clone());
+                        // Try both keeping the old selected node and selecting the new node.
+                        for selected in [candidate.selected(), new] {
+                            let mut variant = candidate.clone();
+                            variant.set_selected(selected);
+                            if examples.consistent_with(&variant) {
+                                return Consistency::Consistent(Box::new(variant));
+                            }
+                        }
+                        next.push(candidate);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    Consistency::Inconsistent
+}
+
+/// A finite union of twig queries, selecting the union of their answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionQuery {
+    members: Vec<TwigQuery>,
+}
+
+impl UnionQuery {
+    /// Build a union from member queries.
+    pub fn new(members: Vec<TwigQuery>) -> UnionQuery {
+        UnionQuery { members }
+    }
+
+    /// The member queries.
+    pub fn members(&self) -> &[TwigQuery] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the union is empty (selects nothing).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Evaluate the union on a document.
+    pub fn select(&self, doc: &XmlTree) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for m in &self.members {
+            out.extend(eval::select(m, doc));
+        }
+        out
+    }
+
+    /// Whether the union selects a given node.
+    pub fn selects(&self, doc: &XmlTree, node: NodeId) -> bool {
+        self.members.iter().any(|m| eval::selects(m, doc, node))
+    }
+
+    /// Whether the union is consistent with an example set.
+    pub fn consistent_with(&self, examples: &ExampleSet) -> bool {
+        examples.annotations().iter().all(|a| {
+            self.selects(&examples.documents()[a.doc], a.node) == a.positive
+        })
+    }
+
+    /// Total size (sum of member sizes).
+    pub fn size(&self) -> usize {
+        self.members.iter().map(TwigQuery::size).sum()
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.members.iter().map(|m| m.to_xpath()).collect();
+        write!(f, "{}", parts.join(" | "))
+    }
+}
+
+/// Learn a union of twig queries consistent with the examples.
+///
+/// Strategy (which makes consistency checking for unions trivial, as the paper notes):
+/// each positive example gets a member query; the member starts as the practical learner's
+/// single-example query and falls back to the example's *exact* root path with all child filters
+/// when the general one captures a negative. The union is consistent unless some positive
+/// example's most specific description still selects an annotated negative — which only happens
+/// when the negatives contradict the positives outright.
+pub fn learn_union(examples: &ExampleSet) -> Option<UnionQuery> {
+    let mut members = Vec::new();
+    for (doc, node) in examples.positives() {
+        let general = learn_from_positives(&[(doc, node)]).expect("single positive");
+        let member = if member_rejects_negatives(&general, examples) {
+            general
+        } else {
+            let exact = most_specific_description(doc, node);
+            if !member_rejects_negatives(&exact, examples) {
+                return None;
+            }
+            exact
+        };
+        members.push(member);
+    }
+    let union = UnionQuery::new(members);
+    union.consistent_with(examples).then_some(union)
+}
+
+fn member_rejects_negatives(query: &TwigQuery, examples: &ExampleSet) -> bool {
+    examples
+        .negatives()
+        .iter()
+        .all(|(doc, node)| !eval::selects(query, doc, *node))
+}
+
+/// The most specific twig describing one annotated node: the exact root path with every subtree
+/// of every ancestor attached as a (child-axis, fully expanded) filter.
+pub fn most_specific_description(doc: &XmlTree, node: NodeId) -> TwigQuery {
+    let mut ancestors = doc.ancestors(node);
+    ancestors.reverse();
+    ancestors.push(node);
+    let mut query = TwigQuery::new(Axis::Child, NodeTest::label(doc.label(ancestors[0])));
+    let mut prev_q = QNodeId::ROOT;
+    for window in ancestors.windows(2) {
+        let (parent_doc_node, child_doc_node) = (window[0], window[1]);
+        // Attach every sibling subtree of the path child as an exact filter.
+        for &sibling in doc.children(parent_doc_node) {
+            if sibling == child_doc_node {
+                continue;
+            }
+            copy_subtree_as_filter(doc, sibling, &mut query, prev_q);
+        }
+        prev_q = query.add_node(prev_q, Axis::Child, NodeTest::label(doc.label(child_doc_node)));
+    }
+    // Children of the annotated node itself.
+    for &child in doc.children(node) {
+        copy_subtree_as_filter(doc, child, &mut query, prev_q);
+    }
+    query.set_selected(prev_q);
+    query
+}
+
+fn copy_subtree_as_filter(doc: &XmlTree, doc_node: NodeId, query: &mut TwigQuery, under: QNodeId) {
+    let q = query.add_node(under, Axis::Child, NodeTest::label(doc.label(doc_node)));
+    for &child in doc.children(doc_node) {
+        copy_subtree_as_filter(doc, child, query, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_xpath;
+    use qbe_xml::TreeBuilder;
+
+    fn doc() -> XmlTree {
+        TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .close()
+            .open("person")
+            .leaf("name")
+            .close()
+            .close()
+            .build()
+    }
+
+    fn example_set(pos: &[NodeId], neg: &[NodeId], d: &XmlTree) -> ExampleSet {
+        let mut set = ExampleSet::new();
+        let ix = set.add_document(d.clone());
+        for &p in pos {
+            set.add_positive(ix, p);
+        }
+        for &n in neg {
+            set.add_negative(ix, n);
+        }
+        set
+    }
+
+    #[test]
+    fn separable_examples_are_consistent() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let names = d.nodes_with_label("name");
+        // positives: the person with an email; negatives: a name node.
+        let set = example_set(&[persons[0]], &[names[1]], &d);
+        let result = most_specific_consistent(&set);
+        assert!(result.is_consistent());
+        assert!(set.consistent_with(result.query().unwrap()));
+    }
+
+    #[test]
+    fn filters_separate_positives_from_negatives() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        // positive: person with email; negative: person without email.
+        let set = example_set(&[persons[0]], &[persons[1]], &d);
+        let result = most_specific_consistent(&set);
+        assert!(result.is_consistent());
+        let q = result.query().unwrap();
+        assert!(q.to_xpath().contains("emailaddress"), "got {q}");
+    }
+
+    #[test]
+    fn contradictory_annotations_are_inconsistent() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        // The same node annotated positive and negative can never be separated.
+        let set = example_set(&[persons[0]], &[persons[0]], &d);
+        assert!(!most_specific_consistent(&set).is_consistent());
+        assert!(!exhaustive_consistent(&set, 3).is_consistent());
+        assert!(learn_union(&set).is_none());
+    }
+
+    #[test]
+    fn no_positives_yields_empty_query() {
+        let d = doc();
+        let names = d.nodes_with_label("name");
+        let set = example_set(&[], &[names[0]], &d);
+        let result = most_specific_consistent(&set);
+        assert!(result.is_consistent());
+    }
+
+    #[test]
+    fn path_consistency_is_exact_for_path_separable_examples() {
+        let d = doc();
+        let names = d.nodes_with_label("name");
+        let emails = d.nodes_with_label("emailaddress");
+        let set = example_set(&[names[0], names[1]], &[emails[0]], &d);
+        let result = path_consistent(&set);
+        assert!(result.is_consistent());
+        assert!(result.query().unwrap().is_path());
+    }
+
+    #[test]
+    fn path_consistency_fails_when_filters_are_needed() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let set = example_set(&[persons[0]], &[persons[1]], &d);
+        // No pure path distinguishes the two person nodes...
+        assert!(!path_consistent(&set).is_consistent());
+        // ...but a twig with a filter does.
+        assert!(most_specific_consistent(&set).is_consistent());
+    }
+
+    #[test]
+    fn exhaustive_search_finds_small_witnesses() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let set = example_set(&[persons[0]], &[persons[1]], &d);
+        let result = exhaustive_consistent(&set, 3);
+        assert!(result.is_consistent());
+        let q = result.query().unwrap();
+        assert!(set.consistent_with(q));
+        assert!(q.size() <= 3);
+    }
+
+    #[test]
+    fn exhaustive_search_respects_size_bound() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let set = example_set(&[persons[0]], &[persons[1]], &d);
+        // Size 1 queries cannot distinguish the two person nodes.
+        assert!(!exhaustive_consistent(&set, 1).is_consistent());
+    }
+
+    #[test]
+    fn union_learner_is_consistent_when_possible() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let names = d.nodes_with_label("name");
+        let set = example_set(&[persons[0], names[1]], &[d.nodes_with_label("people")[0]], &d);
+        let union = learn_union(&set).expect("a consistent union exists");
+        assert!(union.consistent_with(&set));
+        assert_eq!(union.len(), 2);
+    }
+
+    #[test]
+    fn union_evaluation_is_the_union_of_members() {
+        let d = doc();
+        let union = UnionQuery::new(vec![
+            parse_xpath("//name").unwrap(),
+            parse_xpath("//emailaddress").unwrap(),
+        ]);
+        let selected = union.select(&d);
+        assert_eq!(selected.len(), 3);
+        assert!(union.selects(&d, d.nodes_with_label("emailaddress")[0]));
+        assert!(!union.selects(&d, qbe_xml::XmlTree::ROOT));
+    }
+
+    #[test]
+    fn most_specific_description_selects_only_isomorphic_contexts() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let q = most_specific_description(&d, persons[0]);
+        assert!(eval::selects(&q, &d, persons[0]));
+        assert!(!eval::selects(&q, &d, persons[1]), "person without email must not match: {q}");
+    }
+}

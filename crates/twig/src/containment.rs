@@ -1,0 +1,199 @@
+//! Twig query containment and equivalence via homomorphisms.
+//!
+//! For the twig fragment, `Q1 ⊆ Q2` (every node selected by `Q1` on any document is selected by
+//! `Q2`) is implied by the existence of a *homomorphism* from `Q2` into `Q1`: a mapping of query
+//! nodes that sends the root to the root (respecting the root axis), the selected node to the
+//! selected node, child edges to child edges, descendant edges to ancestor/descendant pairs, and
+//! node tests to node tests they generalise. The check is sound for the whole fragment and
+//! complete for the wildcard-free sub-fragment (the classical XP{/,//,[]} result); the learner
+//! and the experiments only rely on the sound direction plus empirical equivalence testing.
+
+use crate::query::{Axis, QNodeId, TwigQuery};
+use qbe_xml::XmlTree;
+use std::collections::BTreeSet;
+
+/// Whether there is a containment-witnessing homomorphism from `general` into `specific`,
+/// i.e. evidence that `specific ⊆ general`.
+pub fn homomorphism_exists(general: &TwigQuery, specific: &TwigQuery) -> bool {
+    // Candidate images for the root of `general`.
+    let root_candidates: Vec<QNodeId> = match general.axis(QNodeId::ROOT) {
+        Axis::Child => {
+            if specific.axis(QNodeId::ROOT) == Axis::Child {
+                vec![QNodeId::ROOT]
+            } else {
+                // `general` pins its root to the document root element but `specific` does not,
+                // so some document selected by `specific` may not match.
+                vec![]
+            }
+        }
+        Axis::Descendant => specific.node_ids().collect(),
+    };
+    root_candidates
+        .into_iter()
+        .any(|u| maps_to(general, specific, QNodeId::ROOT, u))
+}
+
+fn maps_to(general: &TwigQuery, specific: &TwigQuery, x: QNodeId, u: QNodeId) -> bool {
+    // Selected nodes must correspond.
+    if x == general.selected() && u != specific.selected() {
+        return false;
+    }
+    if !general.test(x).generalises(specific.test(u)) {
+        return false;
+    }
+    for &y in general.children(x) {
+        let candidates: Vec<QNodeId> = match general.axis(y) {
+            Axis::Child => specific
+                .children(u)
+                .iter()
+                .copied()
+                .filter(|v| specific.axis(*v) == Axis::Child)
+                .collect(),
+            Axis::Descendant => proper_descendants(specific, u),
+        };
+        if !candidates.into_iter().any(|v| maps_to(general, specific, y, v)) {
+            return false;
+        }
+    }
+    true
+}
+
+fn proper_descendants(q: &TwigQuery, node: QNodeId) -> Vec<QNodeId> {
+    let mut out = Vec::new();
+    let mut stack: Vec<QNodeId> = q.children(node).to_vec();
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        stack.extend(q.children(n).iter().copied());
+    }
+    out
+}
+
+/// Whether `sub ⊆ sup` as witnessed by a homomorphism (sound; complete without wildcards).
+pub fn contained_in(sub: &TwigQuery, sup: &TwigQuery) -> bool {
+    homomorphism_exists(sup, sub)
+}
+
+/// Whether the two queries are equivalent as witnessed by homomorphisms in both directions.
+pub fn equivalent(a: &TwigQuery, b: &TwigQuery) -> bool {
+    contained_in(a, b) && contained_in(b, a)
+}
+
+/// Empirical equivalence: the two queries select the same nodes on every provided document.
+/// Used by the experiments to decide "the learner found the goal query" the way the paper does —
+/// relative to the benchmark documents.
+pub fn equivalent_on(a: &TwigQuery, b: &TwigQuery, docs: &[XmlTree]) -> bool {
+    docs.iter().all(|d| {
+        let sa: BTreeSet<_> = crate::eval::select(a, d);
+        let sb: BTreeSet<_> = crate::eval::select(b, d);
+        sa == sb
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_xpath;
+    use qbe_xml::TreeBuilder;
+
+    fn q(s: &str) -> TwigQuery {
+        parse_xpath(s).unwrap()
+    }
+
+    #[test]
+    fn query_is_contained_in_itself() {
+        for s in ["//person", "/site/people/person[name]/emailaddress", "//a[b][.//c]/d"] {
+            let query = q(s);
+            assert!(contained_in(&query, &query), "{s} not contained in itself");
+            assert!(equivalent(&query, &query));
+        }
+    }
+
+    #[test]
+    fn adding_a_filter_specialises() {
+        let general = q("//person/name");
+        let specific = q("//person[emailaddress]/name");
+        assert!(contained_in(&specific, &general));
+        assert!(!contained_in(&general, &specific));
+    }
+
+    #[test]
+    fn child_axis_is_contained_in_descendant_axis() {
+        let child = q("/site/people/person");
+        let desc = q("/site//person");
+        assert!(contained_in(&child, &desc));
+        assert!(!contained_in(&desc, &child));
+    }
+
+    #[test]
+    fn label_is_contained_in_wildcard() {
+        let label = q("/site/people");
+        let wild = q("/site/*");
+        assert!(contained_in(&label, &wild));
+        assert!(!contained_in(&wild, &label));
+    }
+
+    #[test]
+    fn absolute_is_contained_in_descendant_rooted() {
+        let absolute = q("/site/people/person");
+        let floating = q("//person");
+        assert!(contained_in(&absolute, &floating));
+        assert!(!contained_in(&floating, &absolute));
+    }
+
+    #[test]
+    fn unrelated_queries_are_incomparable() {
+        let a = q("//person/name");
+        let b = q("//item/name");
+        assert!(!contained_in(&a, &b));
+        assert!(!contained_in(&b, &a));
+    }
+
+    #[test]
+    fn selected_nodes_must_correspond() {
+        // Same shape, different selected node.
+        let selects_person = q("//person[name]");
+        let selects_name = q("//person/name");
+        assert!(!contained_in(&selects_person, &selects_name));
+        assert!(!contained_in(&selects_name, &selects_person));
+    }
+
+    #[test]
+    fn nested_filter_containment() {
+        let deep = q("//person[profile[age]]/name");
+        let shallow = q("//person[profile]/name");
+        assert!(contained_in(&deep, &shallow));
+        assert!(!contained_in(&shallow, &deep));
+    }
+
+    #[test]
+    fn containment_is_transitive_on_examples() {
+        let a = q("/site/people/person[name][profile]/emailaddress");
+        let b = q("/site/people/person[name]/emailaddress");
+        let c = q("//person/emailaddress");
+        assert!(contained_in(&a, &b));
+        assert!(contained_in(&b, &c));
+        assert!(contained_in(&a, &c));
+    }
+
+    #[test]
+    fn homomorphic_containment_agrees_with_evaluation() {
+        let doc = TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .close()
+            .open("person")
+            .leaf("name")
+            .close()
+            .close()
+            .build();
+        let specific = q("//person[emailaddress]/name");
+        let general = q("//person/name");
+        let s = crate::eval::select(&specific, &doc);
+        let g = crate::eval::select(&general, &doc);
+        assert!(s.is_subset(&g));
+        assert!(contained_in(&specific, &general));
+        assert!(equivalent_on(&general, &q("/site/people/person/name"), &[doc]));
+    }
+}

@@ -1,0 +1,360 @@
+//! Twig query evaluation by embedding.
+//!
+//! An **embedding** of a twig query `Q` into a document `t` is a mapping from query nodes to
+//! document nodes that respects node tests and axes (child edges map to parent/child pairs,
+//! descendant edges to proper ancestor/descendant pairs). The answer of the unary query is the
+//! set of document nodes the *selected* query node takes over all embeddings.
+//!
+//! The evaluator is the standard two-pass polynomial algorithm:
+//!
+//! 1. bottom-up over the query, compute for every (query node, document node) pair whether the
+//!    query subtree can be embedded with that query node mapped to that document node;
+//! 2. top-down along the spine, intersect with the reachability constraints from the root to
+//!    obtain the admissible images of the selected node.
+
+use crate::query::{Axis, QNodeId, TwigQuery};
+use qbe_xml::{NodeId, XmlTree};
+use std::collections::BTreeSet;
+
+/// Evaluate the query: all document nodes selected by some embedding.
+pub fn select(query: &TwigQuery, doc: &XmlTree) -> BTreeSet<NodeId> {
+    let matcher = Matcher::new(query, doc);
+    matcher.selected_nodes()
+}
+
+/// Whether the query selects the given document node.
+pub fn selects(query: &TwigQuery, doc: &XmlTree, node: NodeId) -> bool {
+    select(query, doc).contains(&node)
+}
+
+/// Whether the query selects at least one node of the document (Boolean semantics).
+pub fn matches(query: &TwigQuery, doc: &XmlTree) -> bool {
+    !select(query, doc).is_empty()
+}
+
+struct Matcher<'a> {
+    query: &'a TwigQuery,
+    doc: &'a XmlTree,
+    /// `can_embed[q][t]`: the query subtree rooted at `q` embeds with `q ↦ t`.
+    can_embed: Vec<Vec<bool>>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(query: &'a TwigQuery, doc: &'a XmlTree) -> Matcher<'a> {
+        let mut matcher = Matcher {
+            query,
+            doc,
+            can_embed: vec![vec![false; doc.size()]; query.size()],
+        };
+        matcher.fill();
+        matcher
+    }
+
+    /// Post-order over the query so children are computed before their parents.
+    fn postorder(&self) -> Vec<QNodeId> {
+        let mut order = Vec::with_capacity(self.query.size());
+        let mut stack = vec![(QNodeId::ROOT, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+            } else {
+                stack.push((node, true));
+                for &child in self.query.children(node) {
+                    stack.push((child, false));
+                }
+            }
+        }
+        order
+    }
+
+    fn fill(&mut self) {
+        // Reverse pre-order visits every document node after all of its descendants, which is
+        // what both the subtree-match propagation and the main table filling need.
+        let mut bottom_up: Vec<NodeId> = self.doc.preorder(XmlTree::ROOT);
+        bottom_up.reverse();
+        for q in self.postorder() {
+            // For every descendant-axis child of `q`, precompute in O(|doc|) whether a matching
+            // node exists strictly below each document node.
+            let desc_children: Vec<QNodeId> = self
+                .query
+                .children(q)
+                .iter()
+                .copied()
+                .filter(|c| self.query.axis(*c) == Axis::Descendant)
+                .collect();
+            let mut has_matching_descendant: Vec<Vec<bool>> =
+                vec![vec![false; self.doc.size()]; desc_children.len()];
+            for (ix, &qc) in desc_children.iter().enumerate() {
+                for &t in &bottom_up {
+                    let below = self.doc.children(t).iter().any(|&c| {
+                        self.can_embed[qc.index()][c.index()]
+                            || has_matching_descendant[ix][c.index()]
+                    });
+                    has_matching_descendant[ix][t.index()] = below;
+                }
+            }
+            for &t in &bottom_up {
+                self.can_embed[q.index()][t.index()] =
+                    self.check(q, t, &desc_children, &has_matching_descendant);
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        q: QNodeId,
+        t: NodeId,
+        desc_children: &[QNodeId],
+        has_matching_descendant: &[Vec<bool>],
+    ) -> bool {
+        if !self.query.test(q).matches(self.doc.label(t)) {
+            return false;
+        }
+        for &child in self.query.children(q) {
+            let ok = match self.query.axis(child) {
+                Axis::Child => self
+                    .doc
+                    .children(t)
+                    .iter()
+                    .any(|c| self.can_embed[child.index()][c.index()]),
+                Axis::Descendant => {
+                    let ix = desc_children
+                        .iter()
+                        .position(|&qc| qc == child)
+                        .expect("descendant children were collected above");
+                    has_matching_descendant[ix][t.index()]
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Candidate images of the query root, taking the virtual document root into account.
+    fn root_candidates(&self) -> BTreeSet<NodeId> {
+        let root_ok = &self.can_embed[QNodeId::ROOT.index()];
+        match self.query.axis(QNodeId::ROOT) {
+            // `/label…`: the root query node must map to the document's root element.
+            Axis::Child => {
+                if root_ok[XmlTree::ROOT.index()] {
+                    BTreeSet::from([XmlTree::ROOT])
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            // `//label…`: any element will do.
+            Axis::Descendant => self
+                .doc
+                .node_ids()
+                .filter(|t| root_ok[t.index()])
+                .collect(),
+        }
+    }
+
+    fn selected_nodes(&self) -> BTreeSet<NodeId> {
+        let spine = self.query.spine();
+        let mut current = self.root_candidates();
+        for window in spine.windows(2) {
+            let child_q = window[1];
+            let mut next = BTreeSet::new();
+            match self.query.axis(child_q) {
+                Axis::Child => {
+                    for &t in &current {
+                        for &c in self.doc.children(t) {
+                            if self.can_embed[child_q.index()][c.index()] {
+                                next.insert(c);
+                            }
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    // One top-down pass marks every node with a proper ancestor in `current`.
+                    let mut below_current = vec![false; self.doc.size()];
+                    for t in self.doc.preorder(XmlTree::ROOT) {
+                        if t == XmlTree::ROOT {
+                            continue;
+                        }
+                        let parent = self.doc.parent(t).expect("non-root node has a parent");
+                        below_current[t.index()] =
+                            below_current[parent.index()] || current.contains(&parent);
+                        if below_current[t.index()] && self.can_embed[child_q.index()][t.index()] {
+                            next.insert(t);
+                        }
+                    }
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+}
+
+/// Count of selected nodes — convenience for experiments reporting selectivities.
+pub fn count(query: &TwigQuery, doc: &XmlTree) -> usize {
+    select(query, doc).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::NodeTest;
+    use qbe_xml::TreeBuilder;
+
+    fn doc() -> XmlTree {
+        TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .attr("id", "p0")
+            .leaf("name")
+            .leaf("emailaddress")
+            .open("profile")
+            .leaf("age")
+            .close()
+            .close()
+            .open("person")
+            .attr("id", "p1")
+            .leaf("name")
+            .close()
+            .close()
+            .open("regions")
+            .open("europe")
+            .open("item")
+            .leaf("name")
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    fn parse(q: &str) -> TwigQuery {
+        crate::xpath::parse_xpath(q).unwrap()
+    }
+
+    #[test]
+    fn absolute_path_selects_matching_nodes() {
+        let d = doc();
+        let q = TwigQuery::path([
+            (Axis::Child, NodeTest::label("site")),
+            (Axis::Child, NodeTest::label("people")),
+            (Axis::Child, NodeTest::label("person")),
+        ]);
+        assert_eq!(select(&q, &d).len(), 2);
+    }
+
+    #[test]
+    fn descendant_query_selects_across_subtrees() {
+        let d = doc();
+        let q = TwigQuery::descendant_of_root("name");
+        // Three name elements: two under persons, one under the item.
+        assert_eq!(select(&q, &d).len(), 3);
+    }
+
+    #[test]
+    fn child_axis_is_strict() {
+        let d = doc();
+        let q = TwigQuery::path([
+            (Axis::Child, NodeTest::label("site")),
+            (Axis::Child, NodeTest::label("person")),
+        ]);
+        assert!(select(&q, &d).is_empty(), "person is not a direct child of site");
+    }
+
+    #[test]
+    fn descendant_axis_skips_levels() {
+        let d = doc();
+        let q = TwigQuery::path([
+            (Axis::Child, NodeTest::label("site")),
+            (Axis::Descendant, NodeTest::label("age")),
+        ]);
+        assert_eq!(select(&q, &d).len(), 1);
+    }
+
+    #[test]
+    fn filters_restrict_the_selection() {
+        let d = doc();
+        // Only person p0 has an emailaddress.
+        let with_filter = parse("/site/people/person[emailaddress]");
+        let selected = select(&with_filter, &d);
+        assert_eq!(selected.len(), 1);
+        let p = selected.into_iter().next().unwrap();
+        assert_eq!(d.attribute(p, "id"), Some("p0"));
+    }
+
+    #[test]
+    fn descendant_filter_reaches_deep_nodes() {
+        let d = doc();
+        let q = parse("/site/people/person[.//age]");
+        assert_eq!(select(&q, &d).len(), 1);
+        let q2 = parse("/site/people/person[age]");
+        assert!(select(&q2, &d).is_empty(), "age is nested under profile, not a direct child");
+    }
+
+    #[test]
+    fn wildcard_matches_any_label() {
+        let d = doc();
+        let q = parse("/site/*/person");
+        assert_eq!(select(&q, &d).len(), 2);
+        let q_any_child_of_site = parse("/site/*");
+        assert_eq!(select(&q_any_child_of_site, &d).len(), 2); // people, regions
+    }
+
+    #[test]
+    fn selected_node_in_the_middle_of_filters() {
+        let d = doc();
+        // Select the name of persons that have a profile.
+        let q = parse("//person[profile]/name");
+        let result = select(&q, &d);
+        assert_eq!(result.len(), 1);
+        let name_node = result.into_iter().next().unwrap();
+        let person = d.parent(name_node).unwrap();
+        assert_eq!(d.attribute(person, "id"), Some("p0"));
+    }
+
+    #[test]
+    fn wrong_root_label_selects_nothing() {
+        let d = doc();
+        let q = parse("/auction//person");
+        assert!(select(&q, &d).is_empty());
+    }
+
+    #[test]
+    fn boolean_matching_and_counting() {
+        let d = doc();
+        assert!(matches(&parse("//profile/age"), &d));
+        assert!(!matches(&parse("//profile/income"), &d));
+        assert_eq!(count(&parse("//person"), &d), 2);
+    }
+
+    #[test]
+    fn membership_check() {
+        let d = doc();
+        let q = parse("//person");
+        let persons = d.nodes_with_label("person");
+        assert!(selects(&q, &d, persons[0]));
+        assert!(!selects(&q, &d, XmlTree::ROOT));
+    }
+
+    #[test]
+    fn nested_filters_are_respected() {
+        let d = doc();
+        let q = parse("//person[profile[age]]");
+        assert_eq!(select(&q, &d).len(), 1);
+        let q_missing = parse("//person[profile[income]]");
+        assert!(select(&q_missing, &d).is_empty());
+    }
+
+    #[test]
+    fn descendant_edge_requires_proper_descendant() {
+        let d = TreeBuilder::new("a").leaf("a").build();
+        // `//a//a` needs two distinct nested `a` elements.
+        let q = parse("//a//a");
+        assert_eq!(select(&q, &d).len(), 1);
+        let single = TreeBuilder::new("a").build();
+        assert!(select(&q, &single).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Example representation for twig-query learning: documents with annotated nodes.
+//!
+//! In the learning framework of the paper, a *positive example* is an XML document together
+//! with a node the goal query should select, and a *negative example* is a document with a node
+//! the goal query must not select. Annotations typically live on a handful of shared documents,
+//! so the [`ExampleSet`] stores documents once and annotations as `(document index, node)` pairs.
+
+use crate::eval;
+use crate::query::TwigQuery;
+use qbe_xml::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One node annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annotation {
+    /// Index of the document inside the owning [`ExampleSet`].
+    pub doc: usize,
+    /// The annotated node.
+    pub node: NodeId,
+    /// `true` for a positive example, `false` for a negative one.
+    pub positive: bool,
+}
+
+/// A set of annotated documents.
+#[derive(Debug, Clone, Default)]
+pub struct ExampleSet {
+    docs: Vec<XmlTree>,
+    annotations: Vec<Annotation>,
+}
+
+impl ExampleSet {
+    /// Create an empty example set.
+    pub fn new() -> ExampleSet {
+        ExampleSet::default()
+    }
+
+    /// Add a document and return its index.
+    pub fn add_document(&mut self, doc: XmlTree) -> usize {
+        self.docs.push(doc);
+        self.docs.len() - 1
+    }
+
+    /// Annotate a node of a previously added document.
+    pub fn annotate(&mut self, doc: usize, node: NodeId, positive: bool) {
+        assert!(doc < self.docs.len(), "document index out of range");
+        assert!(node.index() < self.docs[doc].size(), "node id out of range for document");
+        self.annotations.push(Annotation { doc, node, positive });
+    }
+
+    /// Shorthand for a positive annotation.
+    pub fn add_positive(&mut self, doc: usize, node: NodeId) {
+        self.annotate(doc, node, true);
+    }
+
+    /// Shorthand for a negative annotation.
+    pub fn add_negative(&mut self, doc: usize, node: NodeId) {
+        self.annotate(doc, node, false);
+    }
+
+    /// The stored documents.
+    pub fn documents(&self) -> &[XmlTree] {
+        &self.docs
+    }
+
+    /// All annotations in insertion order.
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// Positive examples as `(document, node)` pairs.
+    pub fn positives(&self) -> Vec<(&XmlTree, NodeId)> {
+        self.annotations
+            .iter()
+            .filter(|a| a.positive)
+            .map(|a| (&self.docs[a.doc], a.node))
+            .collect()
+    }
+
+    /// Negative examples as `(document, node)` pairs.
+    pub fn negatives(&self) -> Vec<(&XmlTree, NodeId)> {
+        self.annotations
+            .iter()
+            .filter(|a| !a.positive)
+            .map(|a| (&self.docs[a.doc], a.node))
+            .collect()
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// Whether the set has no annotations.
+    pub fn is_empty(&self) -> bool {
+        self.annotations.is_empty()
+    }
+
+    /// Whether a query is consistent with the annotations: selects every positive node and no
+    /// negative node.
+    pub fn consistent_with(&self, query: &TwigQuery) -> bool {
+        self.annotations.iter().all(|a| {
+            let selected = eval::selects(query, &self.docs[a.doc], a.node);
+            selected == a.positive
+        })
+    }
+
+    /// Build an example set by annotating nodes according to a hidden *goal query*, as the
+    /// simulated user of the experiments does: up to `max_positive` selected nodes and up to
+    /// `max_negative` non-selected nodes are annotated per document, chosen pseudo-randomly
+    /// with the given seed.
+    pub fn from_goal(
+        goal: &TwigQuery,
+        docs: Vec<XmlTree>,
+        max_positive: usize,
+        max_negative: usize,
+        seed: u64,
+    ) -> ExampleSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = ExampleSet::new();
+        for doc in docs {
+            let selected = eval::select(goal, &doc);
+            let mut pos: Vec<NodeId> = selected.iter().copied().collect();
+            let mut neg: Vec<NodeId> =
+                doc.node_ids().filter(|n| !selected.contains(n)).collect();
+            pos.shuffle(&mut rng);
+            neg.shuffle(&mut rng);
+            let doc_ix = set.add_document(doc);
+            for &n in pos.iter().take(max_positive) {
+                set.add_positive(doc_ix, n);
+            }
+            for &n in neg.iter().take(max_negative) {
+                set.add_negative(doc_ix, n);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_xpath;
+    use qbe_xml::TreeBuilder;
+
+    fn doc() -> XmlTree {
+        TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf("name")
+            .close()
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .close()
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn positives_and_negatives_are_partitioned() {
+        let d = doc();
+        let person = d.nodes_with_label("person")[0];
+        let name = d.nodes_with_label("name")[0];
+        let mut set = ExampleSet::new();
+        let ix = set.add_document(d);
+        set.add_positive(ix, person);
+        set.add_negative(ix, name);
+        assert_eq!(set.positives().len(), 1);
+        assert_eq!(set.negatives().len(), 1);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn consistency_check_matches_evaluation() {
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let names = d.nodes_with_label("name");
+        let mut set = ExampleSet::new();
+        let ix = set.add_document(d);
+        set.add_positive(ix, persons[0]);
+        set.add_negative(ix, names[0]);
+        let q_person = parse_xpath("//person").unwrap();
+        let q_name = parse_xpath("//name").unwrap();
+        assert!(set.consistent_with(&q_person));
+        assert!(!set.consistent_with(&q_name));
+    }
+
+    #[test]
+    fn from_goal_produces_consistent_annotations() {
+        let goal = parse_xpath("//person[emailaddress]").unwrap();
+        let set = ExampleSet::from_goal(&goal, vec![doc()], 2, 3, 7);
+        assert!(set.consistent_with(&goal));
+        assert!(!set.positives().is_empty());
+        assert!(!set.negatives().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn annotating_unknown_document_panics() {
+        let mut set = ExampleSet::new();
+        set.add_positive(0, NodeId::from_index(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn annotating_out_of_range_node_panics() {
+        let mut set = ExampleSet::new();
+        let ix = set.add_document(TreeBuilder::new("a").build());
+        set.add_positive(ix, NodeId::from_index(10));
+    }
+}

@@ -1,0 +1,409 @@
+//! Interactive twig-query learning: propose nodes, collect labels, prune uninformative nodes.
+//!
+//! The paper closes its XML section with *"We also want to develop a practical system able to
+//! learn twig queries from interaction with the user."* (§2). This module is that system, built
+//! on the same protocol the relational and graph crates use: the learner repeatedly proposes an
+//! unlabelled document node, the user (an [`NodeOracle`], simulated from a hidden goal query in
+//! the experiments) labels it positive or negative, and after every answer the learner prunes
+//! every node whose label has become *uninformative*.
+//!
+//! The pruning rule exploits the structure of anchored-twig learning from positive examples: the
+//! candidate returned by [`learn_from_positives`](crate::learn::learn_from_positives) is the
+//! *most specific* anchored twig consistent with the positives, so **every** anchored twig
+//! consistent with them selects at least the candidate's answers. A node already selected by the
+//! candidate therefore has a certain (positive) label under every remaining hypothesis and asking
+//! about it cannot shrink the version space — it is pruned. Nodes outside the candidate's answer
+//! set remain informative: a positive label generalises the candidate, a negative label constrains
+//! the final query.
+//!
+//! The session stops when every node is labelled or pruned, and reports the learned query, the
+//! number of interactions (the quantity the paper wants to minimise) and the number of labels the
+//! pruning saved.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use qbe_xml::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::eval;
+use crate::example::ExampleSet;
+use crate::learn::learn_from_positives;
+use crate::query::TwigQuery;
+
+/// The answer source for node-labelling questions.
+pub trait NodeOracle {
+    /// Label the node `node` of document `doc` (index into the session's document list).
+    fn label(&mut self, doc: usize, node: NodeId) -> bool;
+}
+
+/// Oracle answering according to a hidden goal query, counting the questions it receives.
+#[derive(Debug, Clone)]
+pub struct GoalNodeOracle<'a> {
+    docs: &'a [XmlTree],
+    goal: TwigQuery,
+    questions: usize,
+}
+
+impl<'a> GoalNodeOracle<'a> {
+    /// Create an oracle for a hidden goal query over the given documents.
+    pub fn new(docs: &'a [XmlTree], goal: TwigQuery) -> GoalNodeOracle<'a> {
+        GoalNodeOracle { docs, goal, questions: 0 }
+    }
+
+    /// Number of questions answered so far.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+
+    /// The hidden goal.
+    pub fn goal(&self) -> &TwigQuery {
+        &self.goal
+    }
+}
+
+impl NodeOracle for GoalNodeOracle<'_> {
+    fn label(&mut self, doc: usize, node: NodeId) -> bool {
+        self.questions += 1;
+        eval::selects(&self.goal, &self.docs[doc], node)
+    }
+}
+
+/// Strategy used to pick the next informative node to ask about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStrategy {
+    /// Document order (depth-first, first document first) — the naive baseline.
+    DocumentOrder,
+    /// Uniformly random among the informative nodes.
+    Random,
+    /// Shallow nodes first: cheap questions whose answers constrain the query's spine early.
+    ShallowFirst,
+    /// Prefer nodes whose label equals the label of an already-known positive node: such nodes
+    /// are the most likely to be selected by the goal, and a positive answer generalises the
+    /// candidate (the paper's "gather as much information as possible with few interactions").
+    LabelAffinity,
+}
+
+/// How one document node is currently classified by the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The user labelled it positive.
+    LabelledPositive,
+    /// The user labelled it negative.
+    LabelledNegative,
+    /// Selected by the current candidate, hence certainly positive — pruned.
+    CertainPositive,
+    /// Still informative: asking about it would refine the hypothesis space.
+    Informative,
+}
+
+/// Outcome of an interactive twig-learning session.
+#[derive(Debug, Clone)]
+pub struct TwigSessionOutcome {
+    /// The learned query (None when no positive node was found at all).
+    pub query: Option<TwigQuery>,
+    /// Number of questions asked.
+    pub interactions: usize,
+    /// Number of nodes whose label was inferred (pruned) rather than asked.
+    pub pruned: usize,
+    /// Total number of nodes across all documents.
+    pub total_nodes: usize,
+    /// Whether the collected labels remained consistent with some anchored twig.
+    pub consistent: bool,
+}
+
+impl fmt::Display for TwigSessionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} interactions, {} pruned of {} nodes, query: {}",
+            self.interactions,
+            self.pruned,
+            self.total_nodes,
+            self.query.as_ref().map(|q| q.to_xpath()).unwrap_or_else(|| "(none)".to_string())
+        )
+    }
+}
+
+/// An in-progress interactive twig-learning session.
+#[derive(Debug, Clone)]
+pub struct TwigSession {
+    docs: Vec<XmlTree>,
+    examples: ExampleSet,
+    strategy: NodeStrategy,
+    seed: u64,
+    asked: usize,
+}
+
+impl TwigSession {
+    /// Start a session over the given documents.
+    pub fn new(docs: Vec<XmlTree>, strategy: NodeStrategy, seed: u64) -> TwigSession {
+        let mut examples = ExampleSet::new();
+        let mut stored = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let ix = examples.add_document(doc.clone());
+            debug_assert_eq!(ix, stored.len());
+            stored.push(doc);
+        }
+        TwigSession { docs: stored, examples, strategy, seed, asked: 0 }
+    }
+
+    /// The documents the session ranges over.
+    pub fn documents(&self) -> &[XmlTree] {
+        &self.docs
+    }
+
+    /// The labels collected so far.
+    pub fn examples(&self) -> &ExampleSet {
+        &self.examples
+    }
+
+    /// The current candidate: the most specific anchored twig consistent with the positives.
+    pub fn candidate(&self) -> Option<TwigQuery> {
+        let positives = self.examples.positives();
+        if positives.is_empty() {
+            return None;
+        }
+        learn_from_positives(&positives).ok()
+    }
+
+    /// Status of one node under the current candidate and labels.
+    pub fn status(&self, doc: usize, node: NodeId) -> NodeStatus {
+        for a in self.examples.annotations() {
+            if a.doc == doc && a.node == node {
+                return if a.positive {
+                    NodeStatus::LabelledPositive
+                } else {
+                    NodeStatus::LabelledNegative
+                };
+            }
+        }
+        if let Some(candidate) = self.candidate() {
+            if eval::selects(&candidate, &self.docs[doc], node) {
+                return NodeStatus::CertainPositive;
+            }
+        }
+        NodeStatus::Informative
+    }
+
+    /// All still-informative nodes, as `(document index, node)` pairs.
+    pub fn informative_nodes(&self) -> Vec<(usize, NodeId)> {
+        let candidate = self.candidate();
+        let labelled: BTreeSet<(usize, NodeId)> =
+            self.examples.annotations().iter().map(|a| (a.doc, a.node)).collect();
+        let mut out = Vec::new();
+        for (doc_ix, doc) in self.docs.iter().enumerate() {
+            let certain: BTreeSet<NodeId> = match &candidate {
+                Some(q) => eval::select(q, doc),
+                None => BTreeSet::new(),
+            };
+            for node in doc.node_ids() {
+                if !labelled.contains(&(doc_ix, node)) && !certain.contains(&node) {
+                    out.push((doc_ix, node));
+                }
+            }
+        }
+        out
+    }
+
+    /// Record a user-provided label.
+    pub fn record(&mut self, doc: usize, node: NodeId, positive: bool) {
+        self.examples.annotate(doc, node, positive);
+        self.asked += 1;
+    }
+
+    /// Whether the labels collected so far admit a consistent anchored twig (the candidate from
+    /// the positives must reject every labelled negative).
+    pub fn is_consistent(&self) -> bool {
+        match self.candidate() {
+            None => true,
+            Some(q) => self.examples.consistent_with(&q),
+        }
+    }
+
+    fn pick_next(&self, informative: &[(usize, NodeId)]) -> Option<(usize, NodeId)> {
+        if informative.is_empty() {
+            return None;
+        }
+        match self.strategy {
+            NodeStrategy::DocumentOrder => Some(informative[0]),
+            NodeStrategy::Random => {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.asked as u64));
+                let mut pool: Vec<(usize, NodeId)> = informative.to_vec();
+                pool.shuffle(&mut rng);
+                pool.first().copied()
+            }
+            NodeStrategy::ShallowFirst => informative
+                .iter()
+                .min_by_key(|(doc, node)| self.docs[*doc].depth(*node))
+                .copied(),
+            NodeStrategy::LabelAffinity => {
+                let positive_labels: BTreeSet<&str> = self
+                    .examples
+                    .annotations()
+                    .iter()
+                    .filter(|a| a.positive)
+                    .map(|a| self.docs[a.doc].label(a.node))
+                    .collect();
+                informative
+                    .iter()
+                    .max_by_key(|(doc, node)| {
+                        let label = self.docs[*doc].label(*node);
+                        (positive_labels.contains(label), std::cmp::Reverse(self.docs[*doc].depth(*node)))
+                    })
+                    .copied()
+            }
+        }
+    }
+
+    /// Run the session to completion against an oracle.
+    pub fn run(mut self, oracle: &mut dyn NodeOracle) -> TwigSessionOutcome {
+        let total_nodes: usize = self.docs.iter().map(XmlTree::size).sum();
+        loop {
+            let informative = self.informative_nodes();
+            let Some((doc, node)) = self.pick_next(&informative) else { break };
+            let label = oracle.label(doc, node);
+            self.record(doc, node, label);
+            if !self.is_consistent() {
+                break;
+            }
+        }
+        let consistent = self.is_consistent();
+        let interactions = self.asked;
+        let pruned = total_nodes - interactions;
+        TwigSessionOutcome {
+            query: self.candidate(),
+            interactions,
+            pruned,
+            total_nodes,
+            consistent,
+        }
+    }
+}
+
+/// Convenience wrapper: learn a hidden goal query interactively over the given documents.
+pub fn interactive_twig_learn(
+    docs: &[XmlTree],
+    goal: &TwigQuery,
+    strategy: NodeStrategy,
+    seed: u64,
+) -> TwigSessionOutcome {
+    let mut oracle = GoalNodeOracle::new(docs, goal.clone());
+    let session = TwigSession::new(docs.to_vec(), strategy, seed);
+    session.run(&mut oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent_on;
+    use crate::xpath::parse_xpath;
+    use qbe_xml::parse_xml;
+
+    fn auction_doc() -> XmlTree {
+        parse_xml(
+            "<site><regions><europe><item><name>i1</name><payment>cash</payment></item>\
+             <item><name>i2</name></item></europe><asia><item><name>i3</name>\
+             <payment>card</payment></item></asia></regions>\
+             <people><person><name>p1</name></person></people></site>",
+        )
+        .unwrap()
+    }
+
+    fn goal() -> TwigQuery {
+        parse_xpath("//item/name").unwrap()
+    }
+
+    #[test]
+    fn session_learns_goal_equivalent_query() {
+        let docs = vec![auction_doc()];
+        let outcome = interactive_twig_learn(&docs, &goal(), NodeStrategy::LabelAffinity, 7);
+        assert!(outcome.consistent);
+        let learned = outcome.query.expect("a query must be learned");
+        assert!(equivalent_on(&learned, &goal(), &docs), "learned {}", learned.to_xpath());
+    }
+
+    #[test]
+    fn every_strategy_terminates_and_stays_consistent() {
+        let docs = vec![auction_doc()];
+        for strategy in [
+            NodeStrategy::DocumentOrder,
+            NodeStrategy::Random,
+            NodeStrategy::ShallowFirst,
+            NodeStrategy::LabelAffinity,
+        ] {
+            let outcome = interactive_twig_learn(&docs, &goal(), strategy, 3);
+            assert!(outcome.consistent, "{strategy:?}");
+            assert!(outcome.interactions <= outcome.total_nodes, "{strategy:?}");
+            assert!(outcome.query.is_some(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_saves_interactions() {
+        let docs = vec![auction_doc()];
+        let outcome = interactive_twig_learn(&docs, &goal(), NodeStrategy::LabelAffinity, 11);
+        assert!(
+            outcome.pruned > 0,
+            "at least the certainly-positive nodes must be pruned: {outcome}"
+        );
+        assert!(outcome.interactions < outcome.total_nodes);
+    }
+
+    #[test]
+    fn interactions_never_exceed_total_nodes() {
+        let docs = vec![auction_doc(), auction_doc()];
+        let outcome = interactive_twig_learn(&docs, &goal(), NodeStrategy::DocumentOrder, 0);
+        assert!(outcome.interactions <= outcome.total_nodes);
+        assert_eq!(outcome.total_nodes, docs.iter().map(XmlTree::size).sum::<usize>());
+    }
+
+    #[test]
+    fn status_reflects_labels_and_candidate() {
+        let docs = vec![auction_doc()];
+        let mut session = TwigSession::new(docs.clone(), NodeStrategy::DocumentOrder, 0);
+        let selected: Vec<NodeId> = eval::select(&goal(), &docs[0]).into_iter().collect();
+        let first = selected[0];
+        assert_eq!(session.status(0, first), NodeStatus::Informative);
+        session.record(0, first, true);
+        assert_eq!(session.status(0, first), NodeStatus::LabelledPositive);
+        // After one positive the candidate is the most specific description of that node: the
+        // node itself is labelled, other selected nodes may or may not be certain yet, but a
+        // clearly unrelated node (the root) must stay informative or be labelled.
+        assert_ne!(session.status(0, XmlTree::ROOT), NodeStatus::CertainPositive);
+    }
+
+    #[test]
+    fn empty_goal_answer_set_yields_no_query() {
+        let docs = vec![auction_doc()];
+        let goal = parse_xpath("//nonexistent").unwrap();
+        let outcome = interactive_twig_learn(&docs, &goal, NodeStrategy::DocumentOrder, 0);
+        assert!(outcome.query.is_none());
+        assert!(outcome.consistent);
+        assert_eq!(outcome.interactions, outcome.total_nodes, "nothing can be pruned");
+    }
+
+    #[test]
+    fn oracle_counts_questions() {
+        let docs = vec![auction_doc()];
+        let mut oracle = GoalNodeOracle::new(&docs, goal());
+        let session = TwigSession::new(docs.clone(), NodeStrategy::ShallowFirst, 5);
+        let outcome = session.run(&mut oracle);
+        assert_eq!(oracle.questions_asked(), outcome.interactions);
+    }
+
+    #[test]
+    fn interactive_beats_exhaustive_labelling_on_larger_corpora() {
+        let docs = vec![auction_doc(), auction_doc(), auction_doc()];
+        let outcome = interactive_twig_learn(&docs, &goal(), NodeStrategy::LabelAffinity, 1);
+        let exhaustive: usize = docs.iter().map(XmlTree::size).sum();
+        assert!(
+            outcome.interactions < exhaustive,
+            "interactive ({}) must ask fewer questions than labelling every node ({})",
+            outcome.interactions,
+            exhaustive
+        );
+    }
+}

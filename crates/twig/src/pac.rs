@@ -1,0 +1,325 @@
+//! Approximate (PAC-style) learning of twig queries.
+//!
+//! Because exact learning from positive *and* negative examples is intractable, the paper
+//! proposes to "study an approximate learning framework, such as PAC": the learned query may
+//! select some negative examples and miss some positive ones, as long as its error under the
+//! example distribution is small with high probability.
+//!
+//! This module provides the sampling arithmetic and a practical agnostic learner:
+//!
+//! * [`pac_sample_size`] — the standard `m ≥ (1/ε)(ln|H| + ln(1/δ))` bound for a finite
+//!   hypothesis class;
+//! * [`QueryQuality`] — precision / recall / F1 / error of a query against labelled nodes;
+//! * [`pac_learn`] — draw a training sample from the documents, learn candidate queries from
+//!   subsets of the positives (plus the union fallback), pick the candidate with the lowest
+//!   empirical error, and report its quality on a held-out evaluation sample.
+
+use crate::consistency::{learn_union, UnionQuery};
+use crate::eval;
+use crate::example::ExampleSet;
+use crate::learn::learn_from_positives;
+use crate::query::TwigQuery;
+use qbe_xml::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Number of examples sufficient for PAC-learning a finite hypothesis class.
+///
+/// `m ≥ (ln hypothesis_count + ln(1/δ)) / ε`, rounded up.
+pub fn pac_sample_size(epsilon: f64, delta: f64, hypothesis_count: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(hypothesis_count >= 1.0);
+    ((hypothesis_count.ln() + (1.0 / delta).ln()) / epsilon).ceil() as usize
+}
+
+/// A coarse upper bound on the number of anchored twig queries with at most `max_nodes` nodes
+/// over an alphabet of `alphabet` labels: each node picks a parent (≤ max_nodes), an axis (2)
+/// and a test (alphabet + 1). Used only to size PAC samples.
+pub fn twig_hypothesis_count(alphabet: usize, max_nodes: usize) -> f64 {
+    let per_node = (max_nodes as f64) * 2.0 * (alphabet as f64 + 1.0);
+    per_node.powi(max_nodes as i32)
+}
+
+/// Classification quality of a query against labelled nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryQuality {
+    /// True positives.
+    pub true_positives: usize,
+    /// False positives (selected negatives).
+    pub false_positives: usize,
+    /// False negatives (missed positives).
+    pub false_negatives: usize,
+    /// True negatives.
+    pub true_negatives: usize,
+}
+
+impl QueryQuality {
+    /// Precision (1.0 when nothing is selected).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall (1.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall error rate (misclassified fraction).
+    pub fn error(&self) -> f64 {
+        let total =
+            self.true_positives + self.false_positives + self.false_negatives + self.true_negatives;
+        if total == 0 {
+            0.0
+        } else {
+            (self.false_positives + self.false_negatives) as f64 / total as f64
+        }
+    }
+}
+
+/// Measure a query against a labelled sample of `(document index, node, label)` triples.
+pub fn evaluate_quality(
+    query: &TwigQuery,
+    docs: &[XmlTree],
+    sample: &[(usize, NodeId, bool)],
+) -> QueryQuality {
+    let mut selected_cache: Vec<Option<BTreeSet<NodeId>>> = vec![None; docs.len()];
+    let mut q = QueryQuality { true_positives: 0, false_positives: 0, false_negatives: 0, true_negatives: 0 };
+    for &(doc_ix, node, positive) in sample {
+        let selected = selected_cache[doc_ix]
+            .get_or_insert_with(|| eval::select(query, &docs[doc_ix]))
+            .contains(&node);
+        match (positive, selected) {
+            (true, true) => q.true_positives += 1,
+            (true, false) => q.false_negatives += 1,
+            (false, true) => q.false_positives += 1,
+            (false, false) => q.true_negatives += 1,
+        }
+    }
+    q
+}
+
+/// The learner returned by [`pac_learn`].
+#[derive(Debug, Clone)]
+pub enum PacHypothesis {
+    /// A single twig query.
+    Twig(TwigQuery),
+    /// A union of twig queries.
+    Union(UnionQuery),
+}
+
+impl PacHypothesis {
+    /// Whether the hypothesis selects the node.
+    pub fn selects(&self, doc: &XmlTree, node: NodeId) -> bool {
+        match self {
+            PacHypothesis::Twig(q) => eval::selects(q, doc, node),
+            PacHypothesis::Union(u) => u.selects(doc, node),
+        }
+    }
+
+    /// Size of the hypothesis (total query nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            PacHypothesis::Twig(q) => q.size(),
+            PacHypothesis::Union(u) => u.size(),
+        }
+    }
+}
+
+/// Outcome of a PAC-learning run.
+#[derive(Debug, Clone)]
+pub struct PacOutcome {
+    /// The selected hypothesis.
+    pub hypothesis: PacHypothesis,
+    /// Quality on the training sample.
+    pub training: QueryQuality,
+    /// Quality on the held-out evaluation sample.
+    pub evaluation: QueryQuality,
+    /// Number of labelled training examples used.
+    pub training_examples: usize,
+}
+
+/// PAC-learn a query for the hidden `goal` over the given documents.
+///
+/// The oracle labels nodes according to `goal` (noise-free). `epsilon`/`delta` size the training
+/// sample via [`pac_sample_size`] with a hypothesis bound derived from the documents' alphabet;
+/// the remaining labelled nodes form the evaluation sample.
+pub fn pac_learn(
+    goal: &TwigQuery,
+    docs: &[XmlTree],
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> PacOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Label every node of every document according to the goal query.
+    let mut labelled: Vec<(usize, NodeId, bool)> = Vec::new();
+    for (ix, doc) in docs.iter().enumerate() {
+        let selected = eval::select(goal, doc);
+        for node in doc.node_ids() {
+            labelled.push((ix, node, selected.contains(&node)));
+        }
+    }
+    labelled.shuffle(&mut rng);
+    let alphabet: BTreeSet<String> = docs.iter().flat_map(|d| d.alphabet()).collect();
+    let hypothesis_count = twig_hypothesis_count(alphabet.len(), 6);
+    let m = pac_sample_size(epsilon, delta, hypothesis_count).min(labelled.len());
+    let (train, eval_sample) = labelled.split_at(m);
+
+    // Candidate hypotheses: the single-twig learner on all training positives, and the union
+    // learner as an agnostic fallback.
+    let mut training_set = ExampleSet::new();
+    let doc_ixs: Vec<usize> = docs.iter().map(|d| training_set.add_document(d.clone())).collect();
+    for &(doc_ix, node, positive) in train {
+        training_set.annotate(doc_ixs[doc_ix], node, positive);
+    }
+    let positives = training_set.positives();
+    let mut candidates: Vec<PacHypothesis> = Vec::new();
+    if !positives.is_empty() {
+        if let Ok(q) = learn_from_positives(&positives) {
+            candidates.push(PacHypothesis::Twig(q));
+        }
+    }
+    if let Some(u) = learn_union(&training_set) {
+        candidates.push(PacHypothesis::Union(u));
+    }
+    if candidates.is_empty() {
+        candidates.push(PacHypothesis::Twig(TwigQuery::descendant_of_root("__no_such_label__")));
+    }
+
+    // Pick the candidate with the lowest empirical (training) error.
+    let best = candidates
+        .into_iter()
+        .map(|c| {
+            let quality = quality_of(&c, docs, train);
+            (quality.error(), c, quality)
+        })
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("error rates are finite"))
+        .expect("at least one candidate");
+
+    let evaluation = quality_of(&best.1, docs, eval_sample);
+    PacOutcome {
+        hypothesis: best.1,
+        training: best.2,
+        evaluation,
+        training_examples: m,
+    }
+}
+
+fn quality_of(h: &PacHypothesis, docs: &[XmlTree], sample: &[(usize, NodeId, bool)]) -> QueryQuality {
+    match h {
+        PacHypothesis::Twig(q) => evaluate_quality(q, docs, sample),
+        PacHypothesis::Union(u) => {
+            let mut quality = QueryQuality {
+                true_positives: 0,
+                false_positives: 0,
+                false_negatives: 0,
+                true_negatives: 0,
+            };
+            for &(doc_ix, node, positive) in sample {
+                let selected = u.selects(&docs[doc_ix], node);
+                match (positive, selected) {
+                    (true, true) => quality.true_positives += 1,
+                    (true, false) => quality.false_negatives += 1,
+                    (false, true) => quality.false_positives += 1,
+                    (false, false) => quality.true_negatives += 1,
+                }
+            }
+            quality
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_xpath;
+    use qbe_xml::xmark::{generate, XmarkConfig};
+    use qbe_xml::TreeBuilder;
+
+    #[test]
+    fn sample_size_grows_with_tighter_parameters() {
+        let loose = pac_sample_size(0.2, 0.2, 1e6);
+        let tight_eps = pac_sample_size(0.05, 0.2, 1e6);
+        let tight_delta = pac_sample_size(0.2, 0.01, 1e6);
+        assert!(tight_eps > loose);
+        assert!(tight_delta > loose);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_epsilon_is_rejected() {
+        pac_sample_size(0.0, 0.1, 10.0);
+    }
+
+    #[test]
+    fn quality_metrics_are_consistent() {
+        let q = QueryQuality { true_positives: 8, false_positives: 2, false_negatives: 4, true_negatives: 86 };
+        assert!((q.precision() - 0.8).abs() < 1e-9);
+        assert!((q.recall() - 8.0 / 12.0).abs() < 1e-9);
+        assert!((q.error() - 0.06).abs() < 1e-9);
+        assert!(q.f1() > 0.0 && q.f1() < 1.0);
+    }
+
+    #[test]
+    fn perfect_query_has_zero_error() {
+        let doc = TreeBuilder::new("site")
+            .open("people")
+            .open("person").leaf("name").close()
+            .close()
+            .build();
+        let goal = parse_xpath("//person").unwrap();
+        let sample: Vec<(usize, NodeId, bool)> = doc
+            .node_ids()
+            .map(|n| (0usize, n, eval::selects(&goal, &doc, n)))
+            .collect();
+        let quality = evaluate_quality(&goal, &[doc], &sample);
+        assert_eq!(quality.error(), 0.0);
+        assert_eq!(quality.f1(), 1.0);
+    }
+
+    #[test]
+    fn pac_learning_achieves_low_error_on_xmark_data() {
+        let docs = vec![generate(&XmarkConfig::new(0.01, 3)), generate(&XmarkConfig::new(0.01, 4))];
+        let goal = parse_xpath("/site/people/person/name").unwrap();
+        let outcome = pac_learn(&goal, &docs, 0.1, 0.1, 11);
+        assert!(outcome.training_examples > 0);
+        assert!(
+            outcome.evaluation.error() <= 0.1,
+            "evaluation error {} too high",
+            outcome.evaluation.error()
+        );
+    }
+
+    #[test]
+    fn pac_learning_with_no_positives_returns_empty_hypothesis() {
+        let docs = vec![TreeBuilder::new("site").leaf("regions").build()];
+        let goal = parse_xpath("//nonexistent").unwrap();
+        let outcome = pac_learn(&goal, &docs, 0.25, 0.25, 1);
+        assert_eq!(outcome.evaluation.false_positives, 0);
+        assert_eq!(outcome.evaluation.error(), 0.0);
+    }
+}

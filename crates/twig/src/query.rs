@@ -1,0 +1,518 @@
+//! Twig queries — the tree-pattern subclass of XPath whose learnability the paper builds on.
+//!
+//! A twig query is a rooted tree of *query nodes*. Every query node carries a [`NodeTest`]
+//! (a label or the wildcard `*`) and is connected to its parent by an [`Axis`]: `Child` (`/`)
+//! or `Descendant` (`//`). The query root itself has an axis relating it to a *virtual document
+//! root* sitting above the document's root element, so `/site/people` (root element must be
+//! `site`) and `//person` (any `person` element) are both representable. One query node is the
+//! **selected node**; the query is unary and returns the set of document nodes the selected node
+//! can be mapped to by some embedding.
+//!
+//! The path from the query root to the selected node is the **spine**; subtrees hanging off the
+//! spine are **filters** (XPath predicates).
+//!
+//! A twig is **anchored** (the learnable class identified by Staworko & Wieczorek) when no
+//! wildcard node is the target of a descendant edge — intuitively every `*` is "anchored" to a
+//! labelled context immediately above it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Node test of a query node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeTest {
+    /// Matches only elements with this label.
+    Label(String),
+    /// Matches any element (`*`).
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Convenience constructor for a label test.
+    pub fn label(l: impl Into<String>) -> NodeTest {
+        NodeTest::Label(l.into())
+    }
+
+    /// Whether the test matches the given element label.
+    pub fn matches(&self, label: &str) -> bool {
+        match self {
+            NodeTest::Label(l) => l == label,
+            NodeTest::Wildcard => true,
+        }
+    }
+
+    /// Whether this test is at least as general as `other` (matches every label `other` does).
+    pub fn generalises(&self, other: &NodeTest) -> bool {
+        match (self, other) {
+            (NodeTest::Wildcard, _) => true,
+            (NodeTest::Label(a), NodeTest::Label(b)) => a == b,
+            (NodeTest::Label(_), NodeTest::Wildcard) => false,
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Label(l) => write!(f, "{l}"),
+            NodeTest::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+/// Axis connecting a query node to its parent (or the query root to the virtual document root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// `/` — the node must be a child.
+    Child,
+    /// `//` — the node must be a proper descendant.
+    Descendant,
+}
+
+impl Axis {
+    /// Whether this axis is at least as general as `other` (`//` generalises `/`).
+    pub fn generalises(self, other: Axis) -> bool {
+        self == Axis::Descendant || other == Axis::Child
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// Identifier of a node within a [`TwigQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QNodeId(pub(crate) u32);
+
+impl QNodeId {
+    /// The query root.
+    pub const ROOT: QNodeId = QNodeId(0);
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QNode {
+    test: NodeTest,
+    axis: Axis,
+    parent: Option<QNodeId>,
+    children: Vec<QNodeId>,
+}
+
+/// A unary twig query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigQuery {
+    nodes: Vec<QNode>,
+    selected: QNodeId,
+}
+
+impl TwigQuery {
+    /// Create a query consisting of a single (root and selected) node.
+    ///
+    /// `axis` relates the root to the virtual document root: `Child` forces it to match the
+    /// document's root element, `Descendant` lets it match any element.
+    pub fn new(axis: Axis, test: NodeTest) -> TwigQuery {
+        TwigQuery {
+            nodes: vec![QNode { test, axis, parent: None, children: Vec::new() }],
+            selected: QNodeId::ROOT,
+        }
+    }
+
+    /// Build a pure path query `axis0 l0 axis1 l1 … axisn ln` whose selected node is the last
+    /// step.
+    pub fn path(steps: impl IntoIterator<Item = (Axis, NodeTest)>) -> TwigQuery {
+        let mut iter = steps.into_iter();
+        let (axis, test) = iter.next().expect("a path query needs at least one step");
+        let mut q = TwigQuery::new(axis, test);
+        let mut cur = QNodeId::ROOT;
+        for (axis, test) in iter {
+            cur = q.add_node(cur, axis, test);
+        }
+        q.selected = cur;
+        q
+    }
+
+    /// Parse-free helper for the common `//label` query.
+    pub fn descendant_of_root(label: impl Into<String>) -> TwigQuery {
+        TwigQuery::new(Axis::Descendant, NodeTest::label(label))
+    }
+
+    /// Add a node under `parent`, returning its id. The selected node is unchanged.
+    pub fn add_node(&mut self, parent: QNodeId, axis: Axis, test: NodeTest) -> QNodeId {
+        assert!(parent.index() < self.nodes.len(), "parent out of bounds");
+        let id = QNodeId(self.nodes.len() as u32);
+        self.nodes.push(QNode { test, axis, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Number of query nodes — the "size of the query" reported in the experiments.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The selected (output) node.
+    pub fn selected(&self) -> QNodeId {
+        self.selected
+    }
+
+    /// Change the selected node.
+    pub fn set_selected(&mut self, node: QNodeId) {
+        assert!(node.index() < self.nodes.len());
+        self.selected = node;
+    }
+
+    /// Node test of a query node.
+    pub fn test(&self, node: QNodeId) -> &NodeTest {
+        &self.nodes[node.index()].test
+    }
+
+    /// Replace the node test of a query node.
+    pub fn set_test(&mut self, node: QNodeId, test: NodeTest) {
+        self.nodes[node.index()].test = test;
+    }
+
+    /// Incoming axis of a query node.
+    pub fn axis(&self, node: QNodeId) -> Axis {
+        self.nodes[node.index()].axis
+    }
+
+    /// Replace the incoming axis of a query node.
+    pub fn set_axis(&mut self, node: QNodeId, axis: Axis) {
+        self.nodes[node.index()].axis = axis;
+    }
+
+    /// Parent of a query node.
+    pub fn parent(&self, node: QNodeId) -> Option<QNodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Children of a query node.
+    pub fn children(&self, node: QNodeId) -> &[QNodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// All query node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = QNodeId> {
+        (0..self.nodes.len() as u32).map(QNodeId)
+    }
+
+    /// The spine: query nodes from the root down to (and including) the selected node.
+    pub fn spine(&self) -> Vec<QNodeId> {
+        let mut path = vec![self.selected];
+        let mut cur = self.selected;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Query nodes that are *not* on the spine but whose parent is — the roots of the filters.
+    pub fn filter_roots(&self) -> Vec<QNodeId> {
+        let spine: BTreeSet<QNodeId> = self.spine().into_iter().collect();
+        self.node_ids()
+            .filter(|n| {
+                !spine.contains(n)
+                    && self.parent(*n).map_or(false, |p| spine.contains(&p))
+            })
+            .collect()
+    }
+
+    /// Whether the query is a pure path query (no filters).
+    pub fn is_path(&self) -> bool {
+        self.filter_roots().is_empty() && self.children(self.selected).is_empty()
+    }
+
+    /// Whether the query is **anchored**: no wildcard node is the target of a descendant edge.
+    pub fn is_anchored(&self) -> bool {
+        self.node_ids().all(|n| {
+            !(matches!(self.test(n), NodeTest::Wildcard) && self.axis(n) == Axis::Descendant)
+        })
+    }
+
+    /// Remove the subtree rooted at `node` (which must not be on the spine); ids are renumbered.
+    pub fn remove_subtree(&mut self, node: QNodeId) {
+        let spine: BTreeSet<QNodeId> = self.spine().into_iter().collect();
+        assert!(!spine.contains(&node), "cannot remove a spine node");
+        // Collect the ids to drop (node and its descendants).
+        let mut to_drop = BTreeSet::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            to_drop.insert(n);
+            stack.extend(self.children(n).iter().copied());
+        }
+        self.retain(|n| !to_drop.contains(&n));
+    }
+
+    /// Keep only nodes satisfying the predicate (the root and the spine must be kept);
+    /// ids are renumbered, parent/child links and the selected node are remapped.
+    fn retain(&mut self, keep: impl Fn(QNodeId) -> bool) {
+        let mut mapping = vec![None; self.nodes.len()];
+        let mut new_nodes: Vec<QNode> = Vec::new();
+        for (ix, node) in self.nodes.iter().enumerate() {
+            let id = QNodeId(ix as u32);
+            if !keep(id) {
+                continue;
+            }
+            // A kept node must have a kept parent (the root has none).
+            let parent = node.parent.map(|p| {
+                mapping[p.index()].expect("kept node has a dropped ancestor — remove whole subtrees only")
+            });
+            mapping[ix] = Some(QNodeId(new_nodes.len() as u32));
+            new_nodes.push(QNode {
+                test: node.test.clone(),
+                axis: node.axis,
+                parent,
+                children: Vec::new(),
+            });
+        }
+        // Rebuild child lists from the remapped parent links.
+        let parents: Vec<Option<QNodeId>> = new_nodes.iter().map(|n| n.parent).collect();
+        for (new_ix, parent) in parents.iter().enumerate() {
+            if let Some(p) = parent {
+                new_nodes[p.index()].children.push(QNodeId(new_ix as u32));
+            }
+        }
+        self.selected = mapping[self.selected.index()].expect("the selected node must be kept");
+        self.nodes = new_nodes;
+    }
+
+    /// Serialise to XPath syntax.
+    ///
+    /// Spine steps become location steps; filters become predicates. A filter child reached by
+    /// a descendant edge is printed as `[.//…]`.
+    pub fn to_xpath(&self) -> String {
+        let spine = self.spine();
+        let spine_set: BTreeSet<QNodeId> = spine.iter().copied().collect();
+        let mut out = String::new();
+        for &node in &spine {
+            out.push_str(&self.axis(node).to_string());
+            out.push_str(&self.test(node).to_string());
+            for &child in self.children(node) {
+                if !spine_set.contains(&child) {
+                    out.push('[');
+                    out.push_str(&self.filter_to_xpath(child));
+                    out.push(']');
+                }
+            }
+        }
+        out
+    }
+
+    fn filter_to_xpath(&self, node: QNodeId) -> String {
+        let mut out = String::new();
+        match self.axis(node) {
+            Axis::Child => {}
+            Axis::Descendant => out.push_str(".//"),
+        }
+        out.push_str(&self.test(node).to_string());
+        for &child in self.children(node) {
+            out.push('[');
+            out.push_str(&self.filter_to_xpath(child));
+            out.push(']');
+        }
+        out
+    }
+
+    /// Deep structural clone with a fresh subtree grafted below `parent`, copying `other`'s
+    /// subtree rooted at `other_node`. Returns the id of the new copy of `other_node`.
+    pub fn graft_subtree(
+        &mut self,
+        parent: QNodeId,
+        axis: Axis,
+        other: &TwigQuery,
+        other_node: QNodeId,
+    ) -> QNodeId {
+        let new = self.add_node(parent, axis, other.test(other_node).clone());
+        for &child in other.children(other_node) {
+            self.graft_subtree(new, other.axis(child), other, child);
+        }
+        new
+    }
+
+    /// Labels mentioned in the query (excluding wildcards), sorted.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .node_ids()
+            .filter_map(|n| match self.test(n) {
+                NodeTest::Label(l) => Some(l.clone()),
+                NodeTest::Wildcard => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of descendant (`//`) edges.
+    pub fn descendant_edge_count(&self) -> usize {
+        self.node_ids().filter(|n| self.axis(*n) == Axis::Descendant).count()
+    }
+
+    /// Number of wildcard nodes.
+    pub fn wildcard_count(&self) -> usize {
+        self.node_ids().filter(|n| matches!(self.test(*n), NodeTest::Wildcard)).count()
+    }
+}
+
+impl fmt::Display for TwigQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_xpath())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `/site/people/person[name][.//age]/emailaddress` — selected node `emailaddress`.
+    fn sample() -> TwigQuery {
+        let mut q = TwigQuery::new(Axis::Child, NodeTest::label("site"));
+        let people = q.add_node(QNodeId::ROOT, Axis::Child, NodeTest::label("people"));
+        let person = q.add_node(people, Axis::Child, NodeTest::label("person"));
+        q.add_node(person, Axis::Child, NodeTest::label("name"));
+        q.add_node(person, Axis::Descendant, NodeTest::label("age"));
+        let email = q.add_node(person, Axis::Child, NodeTest::label("emailaddress"));
+        q.set_selected(email);
+        q
+    }
+
+    #[test]
+    fn path_constructor_selects_last_step() {
+        let q = TwigQuery::path([
+            (Axis::Child, NodeTest::label("site")),
+            (Axis::Descendant, NodeTest::label("person")),
+            (Axis::Child, NodeTest::label("name")),
+        ]);
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.test(q.selected()), &NodeTest::label("name"));
+        assert!(q.is_path());
+    }
+
+    #[test]
+    fn spine_runs_from_root_to_selected() {
+        let q = sample();
+        let spine_labels: Vec<String> =
+            q.spine().iter().map(|n| q.test(*n).to_string()).collect();
+        assert_eq!(spine_labels, vec!["site", "people", "person", "emailaddress"]);
+    }
+
+    #[test]
+    fn filter_roots_are_off_spine_children_of_spine() {
+        let q = sample();
+        let filters: Vec<String> = q.filter_roots().iter().map(|n| q.test(*n).to_string()).collect();
+        assert_eq!(filters, vec!["name", "age"]);
+        assert!(!q.is_path());
+    }
+
+    #[test]
+    fn xpath_serialisation() {
+        let q = sample();
+        assert_eq!(q.to_xpath(), "/site/people/person[name][.//age]/emailaddress");
+    }
+
+    #[test]
+    fn xpath_of_descendant_root_query() {
+        let q = TwigQuery::descendant_of_root("person");
+        assert_eq!(q.to_xpath(), "//person");
+    }
+
+    #[test]
+    fn anchoring_detects_wildcard_under_descendant() {
+        let mut ok = TwigQuery::new(Axis::Child, NodeTest::label("a"));
+        ok.add_node(QNodeId::ROOT, Axis::Child, NodeTest::Wildcard);
+        assert!(ok.is_anchored());
+
+        let mut bad = TwigQuery::new(Axis::Child, NodeTest::label("a"));
+        bad.add_node(QNodeId::ROOT, Axis::Descendant, NodeTest::Wildcard);
+        assert!(!bad.is_anchored());
+
+        let root_wildcard_desc = TwigQuery::new(Axis::Descendant, NodeTest::Wildcard);
+        assert!(!root_wildcard_desc.is_anchored());
+    }
+
+    #[test]
+    fn node_test_generalisation() {
+        assert!(NodeTest::Wildcard.generalises(&NodeTest::label("a")));
+        assert!(NodeTest::label("a").generalises(&NodeTest::label("a")));
+        assert!(!NodeTest::label("a").generalises(&NodeTest::label("b")));
+        assert!(!NodeTest::label("a").generalises(&NodeTest::Wildcard));
+    }
+
+    #[test]
+    fn axis_generalisation() {
+        assert!(Axis::Descendant.generalises(Axis::Child));
+        assert!(Axis::Descendant.generalises(Axis::Descendant));
+        assert!(Axis::Child.generalises(Axis::Child));
+        assert!(!Axis::Child.generalises(Axis::Descendant));
+    }
+
+    #[test]
+    fn remove_subtree_drops_filter_and_renumbers() {
+        let mut q = sample();
+        let name_filter = q
+            .node_ids()
+            .find(|n| q.test(*n) == &NodeTest::label("name"))
+            .unwrap();
+        let before = q.size();
+        q.remove_subtree(name_filter);
+        assert_eq!(q.size(), before - 1);
+        assert_eq!(q.to_xpath(), "/site/people/person[.//age]/emailaddress");
+        // Selected node still points at emailaddress.
+        assert_eq!(q.test(q.selected()), &NodeTest::label("emailaddress"));
+    }
+
+    #[test]
+    fn remove_nested_filter_subtree() {
+        let mut q = TwigQuery::new(Axis::Child, NodeTest::label("r"));
+        let a = q.add_node(QNodeId::ROOT, Axis::Child, NodeTest::label("a"));
+        q.add_node(a, Axis::Child, NodeTest::label("b"));
+        let sel = q.add_node(QNodeId::ROOT, Axis::Child, NodeTest::label("c"));
+        q.set_selected(sel);
+        assert_eq!(q.to_xpath(), "/r[a[b]]/c");
+        q.remove_subtree(a);
+        assert_eq!(q.to_xpath(), "/r/c");
+        assert_eq!(q.size(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_a_spine_node_panics() {
+        let mut q = sample();
+        let spine = q.spine();
+        q.remove_subtree(spine[1]);
+    }
+
+    #[test]
+    fn graft_subtree_copies_structure() {
+        let donor = sample();
+        let person_in_donor = donor
+            .node_ids()
+            .find(|n| donor.test(*n) == &NodeTest::label("person"))
+            .unwrap();
+        let mut q = TwigQuery::new(Axis::Child, NodeTest::label("root"));
+        q.graft_subtree(QNodeId::ROOT, Axis::Descendant, &donor, person_in_donor);
+        assert_eq!(q.to_xpath(), "/root[.//person[name][.//age][emailaddress]]");
+    }
+
+    #[test]
+    fn statistics_helpers() {
+        let q = sample();
+        assert_eq!(q.descendant_edge_count(), 1);
+        assert_eq!(q.wildcard_count(), 0);
+        assert_eq!(
+            q.labels(),
+            vec!["age", "emailaddress", "name", "people", "person", "site"]
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! Schema-aware query analysis and the overspecialisation fix.
+//!
+//! The paper's §2 proposes to "add a filter present in all the positive examples to the learned
+//! query only if it is not implied by the schema", because query implication w.r.t. the
+//! multiplicity schemas is tractable (embedding into the dependency graph) while full query
+//! containment under a schema is not. This module implements:
+//!
+//! * [`query_satisfiable`] — can the query select anything on *some* document valid for the
+//!   schema? (embedding of the query into the dependency graph, PTIME);
+//! * [`filter_implied`] — is a single filter implied by the schema at a given query node?
+//! * [`prune_implied_filters`] — the optimisation itself: drop every schema-implied filter from
+//!   a learned query, reporting before/after sizes (experiment E3);
+//! * [`learn_with_schema`] — the schema-aware learner: run the positive-example learner, then
+//!   prune.
+
+use crate::learn::{learn_from_positives, TwigLearnError};
+use crate::query::{Axis, NodeTest, QNodeId, TwigQuery};
+use qbe_schema::{DependencyGraph, Dms};
+use qbe_xml::{NodeId, XmlTree};
+use std::collections::BTreeSet;
+
+/// Result of pruning: the optimised query plus the size accounting used by experiment E3.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// The query after removing schema-implied filters.
+    pub query: TwigQuery,
+    /// Size (number of query nodes) before pruning.
+    pub size_before: usize,
+    /// Size after pruning.
+    pub size_after: usize,
+    /// XPath of the removed filters, for reporting.
+    pub removed: Vec<String>,
+}
+
+impl PruneReport {
+    /// Relative size reduction in percent (0 when nothing was removed).
+    pub fn reduction_percent(&self) -> f64 {
+        if self.size_before == 0 {
+            return 0.0;
+        }
+        100.0 * (self.size_before - self.size_after) as f64 / self.size_before as f64
+    }
+}
+
+/// Whether the query can select at least one node of at least one document valid for the schema.
+///
+/// Decided by embedding the query into the schema's dependency graph: every query node is mapped
+/// to an element label such that the root constraint, child edges, descendant edges and node
+/// tests are all realisable. This matches the paper's reduction for disjunction-free schemas and
+/// is a sound over-approximation for disjunctive ones (the dependency graph keeps all possible
+/// edges).
+pub fn query_satisfiable(schema: &Dms, query: &TwigQuery) -> bool {
+    let graph = DependencyGraph::from_schema(schema);
+    let candidates: Vec<String> = match query.axis(QNodeId::ROOT) {
+        Axis::Child => vec![schema.root().to_string()],
+        Axis::Descendant => {
+            let mut labels: BTreeSet<String> = graph.reachable_from(schema.root());
+            labels.insert(schema.root().to_string());
+            labels.into_iter().collect()
+        }
+    };
+    candidates.iter().any(|label| embeds_at(&graph, query, QNodeId::ROOT, label))
+}
+
+fn embeds_at(graph: &DependencyGraph, query: &TwigQuery, node: QNodeId, label: &str) -> bool {
+    if !query.test(node).matches(label) {
+        return false;
+    }
+    for &child in query.children(node) {
+        let candidate_labels: Vec<String> = match query.axis(child) {
+            Axis::Child => graph.possible_children(label).iter().map(|s| s.to_string()).collect(),
+            Axis::Descendant => graph.reachable_from(label).into_iter().collect(),
+        };
+        if !candidate_labels.iter().any(|cl| embeds_at(graph, query, child, cl)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the filter rooted at `filter_root` is implied by the schema at its attachment point.
+///
+/// A filter is implied when every schema-valid element that its parent query node can denote is
+/// guaranteed to satisfy it. The check walks the filter against the *required* edges of the
+/// dependency graph:
+///
+/// * a child-axis filter node labelled `b` under a parent denoting label `a` is implied when the
+///   schema requires at least one `b` child of every `a`;
+/// * a descendant-axis filter node is implied when `b` is in the required-descendant closure of
+///   `a`;
+/// * wildcard filter nodes are implied when the parent is required to have *some* child;
+/// * nested filter structure must be implied recursively.
+///
+/// The parent's possible labels are computed from the spine (conservatively: if the spine node
+/// is a wildcard or reached by `//`, all labels it could denote are considered and the filter
+/// must be implied for every one of them).
+pub fn filter_implied(schema: &Dms, query: &TwigQuery, filter_root: QNodeId) -> bool {
+    let graph = DependencyGraph::from_schema(schema);
+    let parent = match query.parent(filter_root) {
+        Some(p) => p,
+        None => return false,
+    };
+    let parent_labels = possible_labels_of(schema, &graph, query, parent);
+    if parent_labels.is_empty() {
+        // The spine is unsatisfiable under the schema; treat nothing as implied.
+        return false;
+    }
+    parent_labels
+        .iter()
+        .all(|label| filter_implied_for_label(&graph, query, filter_root, label))
+}
+
+fn filter_implied_for_label(
+    graph: &DependencyGraph,
+    query: &TwigQuery,
+    node: QNodeId,
+    parent_label: &str,
+) -> bool {
+    let target_labels: Vec<String> = match (query.axis(node), query.test(node)) {
+        (Axis::Child, NodeTest::Label(l)) => {
+            if graph.requires_child(parent_label, l) {
+                vec![l.clone()]
+            } else {
+                return false;
+            }
+        }
+        (Axis::Descendant, NodeTest::Label(l)) => {
+            if graph.implied_descendants(parent_label).contains(l) {
+                vec![l.clone()]
+            } else {
+                return false;
+            }
+        }
+        (Axis::Child, NodeTest::Wildcard) => {
+            let required = graph.required_children(parent_label);
+            if required.is_empty() {
+                return false;
+            }
+            required.into_iter().map(str::to_string).collect()
+        }
+        (Axis::Descendant, NodeTest::Wildcard) => {
+            let required: Vec<String> =
+                graph.implied_descendants(parent_label).into_iter().collect();
+            if required.is_empty() {
+                return false;
+            }
+            required
+        }
+    };
+    // Nested structure below the filter node must be implied for at least one of the labels the
+    // implied element can carry (for labelled tests there is exactly one).
+    target_labels.iter().any(|label| {
+        query
+            .children(node)
+            .iter()
+            .all(|&child| filter_implied_for_label(graph, query, child, label))
+    })
+}
+
+/// The element labels a spine node can denote under the schema (conservative superset).
+fn possible_labels_of(
+    schema: &Dms,
+    graph: &DependencyGraph,
+    query: &TwigQuery,
+    node: QNodeId,
+) -> BTreeSet<String> {
+    // Walk down the spine from the root, tracking the possible labels at each step.
+    let spine = query.spine();
+    let mut labels: BTreeSet<String> = match query.axis(QNodeId::ROOT) {
+        Axis::Child => BTreeSet::from([schema.root().to_string()]),
+        Axis::Descendant => {
+            let mut all = graph.reachable_from(schema.root());
+            all.insert(schema.root().to_string());
+            all
+        }
+    };
+    labels.retain(|l| query.test(QNodeId::ROOT).matches(l));
+    if spine[0] == node {
+        return labels;
+    }
+    for window in spine.windows(2) {
+        let child = window[1];
+        let mut next = BTreeSet::new();
+        for l in &labels {
+            let step_labels: Vec<String> = match query.axis(child) {
+                Axis::Child => graph.possible_children(l).iter().map(|s| s.to_string()).collect(),
+                Axis::Descendant => graph.reachable_from(l).into_iter().collect(),
+            };
+            for sl in step_labels {
+                if query.test(child).matches(&sl) {
+                    next.insert(sl);
+                }
+            }
+        }
+        labels = next;
+        if child == node {
+            return labels;
+        }
+    }
+    labels
+}
+
+/// Remove every filter implied by the schema from the query.
+pub fn prune_implied_filters(schema: &Dms, query: &TwigQuery) -> PruneReport {
+    let mut pruned = query.clone();
+    let mut removed = Vec::new();
+    loop {
+        let implied = pruned
+            .filter_roots()
+            .into_iter()
+            .find(|&f| filter_implied(schema, &pruned, f));
+        match implied {
+            Some(f) => {
+                removed.push(format!("[{}]", subquery_xpath(&pruned, f)));
+                pruned.remove_subtree(f);
+            }
+            None => break,
+        }
+    }
+    PruneReport {
+        size_before: query.size(),
+        size_after: pruned.size(),
+        query: pruned,
+        removed,
+    }
+}
+
+fn subquery_xpath(query: &TwigQuery, node: QNodeId) -> String {
+    let mut out = String::new();
+    if query.axis(node) == Axis::Descendant {
+        out.push_str(".//");
+    }
+    out.push_str(&query.test(node).to_string());
+    for &child in query.children(node) {
+        out.push('[');
+        out.push_str(&subquery_xpath(query, child));
+        out.push(']');
+    }
+    out
+}
+
+/// The schema-aware learner of the paper's proposed optimisation: learn from positive examples,
+/// then drop every filter the schema already implies.
+pub fn learn_with_schema(
+    examples: &[(&XmlTree, NodeId)],
+    schema: &Dms,
+) -> Result<PruneReport, TwigLearnError> {
+    let query = learn_from_positives(examples)?;
+    Ok(prune_implied_filters(schema, &query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::xpath::parse_xpath;
+    use qbe_schema::dms::{Clause, Rule};
+    use qbe_schema::Multiplicity::*;
+    use qbe_xml::TreeBuilder;
+
+    /// site -> people^1 ; people -> person+ ; person -> name^1 || emailaddress^1 || profile? ;
+    /// profile -> age?
+    fn schema() -> Dms {
+        Dms::new("site")
+            .rule("site", Rule::new(vec![Clause::single("people", One)]))
+            .rule("people", Rule::new(vec![Clause::single("person", Plus)]))
+            .rule(
+                "person",
+                Rule::new(vec![
+                    Clause::single("name", One),
+                    Clause::single("emailaddress", One),
+                    Clause::single("profile", Optional),
+                ]),
+            )
+            .rule("profile", Rule::new(vec![Clause::single("age", Optional)]))
+    }
+
+    fn doc() -> XmlTree {
+        TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .open("profile")
+            .leaf("age")
+            .close()
+            .close()
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .close()
+            .close()
+            .build()
+    }
+
+    #[test]
+    fn satisfiable_queries_embed_into_dependency_graph() {
+        let s = schema();
+        assert!(query_satisfiable(&s, &parse_xpath("/site/people/person/name").unwrap()));
+        assert!(query_satisfiable(&s, &parse_xpath("//person[profile[age]]").unwrap()));
+        assert!(query_satisfiable(&s, &parse_xpath("//profile/age").unwrap()));
+    }
+
+    #[test]
+    fn unsatisfiable_queries_are_detected() {
+        let s = schema();
+        // `address` is not part of the schema at all.
+        assert!(!query_satisfiable(&s, &parse_xpath("//person/address").unwrap()));
+        // `age` is never a child of `person` (only of `profile`).
+        assert!(!query_satisfiable(&s, &parse_xpath("//person/age").unwrap()));
+        // Wrong root.
+        assert!(!query_satisfiable(&s, &parse_xpath("/people/person").unwrap()));
+    }
+
+    #[test]
+    fn required_child_filters_are_implied() {
+        let s = schema();
+        let q = parse_xpath("//person[name]/emailaddress").unwrap();
+        let name_filter = q.filter_roots()[0];
+        assert!(filter_implied(&s, &q, name_filter));
+    }
+
+    #[test]
+    fn optional_child_filters_are_not_implied() {
+        let s = schema();
+        let q = parse_xpath("//person[profile]/emailaddress").unwrap();
+        let profile_filter = q.filter_roots()[0];
+        assert!(!filter_implied(&s, &q, profile_filter));
+    }
+
+    #[test]
+    fn descendant_filters_follow_required_chains() {
+        let s = schema();
+        // Every site has people, and every people has a person, hence site implies .//person.
+        let q = parse_xpath("/site[.//person]/people").unwrap();
+        let filter = q.filter_roots()[0];
+        assert!(filter_implied(&s, &q, filter));
+        // But .//age is not implied (profile and age are optional).
+        let q2 = parse_xpath("/site[.//age]/people").unwrap();
+        assert!(!filter_implied(&s, &q2, q2.filter_roots()[0]));
+    }
+
+    #[test]
+    fn pruning_removes_exactly_the_implied_filters() {
+        let s = schema();
+        let q = parse_xpath("//person[name][emailaddress][profile]/name").unwrap();
+        let report = prune_implied_filters(&s, &q);
+        // name and emailaddress are required by the schema; profile is optional and must stay.
+        assert_eq!(report.query.to_xpath(), "//person[profile]/name");
+        assert_eq!(report.size_before, 5);
+        assert_eq!(report.size_after, 3);
+        assert_eq!(report.removed.len(), 2);
+        assert!(report.reduction_percent() > 0.0);
+    }
+
+    #[test]
+    fn pruning_preserves_semantics_on_valid_documents() {
+        let s = schema();
+        let d = doc();
+        assert!(s.accepts(&d));
+        let q = parse_xpath("//person[name][emailaddress]/profile").unwrap();
+        let report = prune_implied_filters(&s, &q);
+        assert_eq!(eval::select(&q, &d), eval::select(&report.query, &d));
+    }
+
+    #[test]
+    fn schema_aware_learner_produces_smaller_queries() {
+        // The overspecialisation experiment in miniature: learn person-selecting queries with
+        // and without the schema.
+        let d = doc();
+        let persons = d.nodes_with_label("person");
+        let examples: Vec<(&XmlTree, NodeId)> = persons.iter().map(|&p| (&d, p)).collect();
+        let plain = learn_from_positives(&examples).unwrap();
+        let report = learn_with_schema(&examples, &schema()).unwrap();
+        assert!(report.size_after < plain.size(), "pruning had no effect: {plain}");
+        // Both select exactly the annotated nodes on the example document.
+        for &p in &persons {
+            assert!(eval::selects(&report.query, &d, p));
+        }
+    }
+
+    #[test]
+    fn nested_filters_prune_recursively() {
+        // people[person[name]] : person is required under people and name under person, so the
+        // whole nested filter is implied.
+        let s = schema();
+        let q = parse_xpath("/site/people[person[name]]/person").unwrap();
+        let report = prune_implied_filters(&s, &q);
+        assert_eq!(report.query.to_xpath(), "/site/people/person");
+    }
+
+    #[test]
+    fn wildcard_filters_are_implied_only_when_some_child_is_required() {
+        let s = schema();
+        let q = parse_xpath("//person[*]/name").unwrap();
+        // person requires name and emailaddress children, so [*] is implied.
+        assert!(filter_implied(&s, &q, q.filter_roots()[0]));
+        let q2 = parse_xpath("//profile[*]/age").unwrap();
+        // profile's only child (age) is optional: [*] is not implied.
+        assert!(!filter_implied(&s, &q2, q2.filter_roots()[0]));
+    }
+}

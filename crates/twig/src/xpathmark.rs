@@ -1,0 +1,264 @@
+//! An XPathMark-like query suite over the XMark-like documents.
+//!
+//! XPathMark [Franceschet, XSym 2005] defines XPath queries over XMark-generated data; the paper
+//! uses it to measure which fraction of realistic queries the twig learner can recover (it
+//! reports 15% for the algorithms of Staworko & Wieczorek). The original suite relies on XMark
+//! features our scaled-down generator does not reproduce verbatim (keyword markup inside text,
+//! attribute-valued joins), so this module defines a suite **in the same spirit**: one entry per
+//! XPathMark-A-style query plus representatives of the features that make queries fall outside
+//! the twig fragment (disjunction, negation, value comparisons, attributes, sibling/parent axes,
+//! aggregation, id dereference). Each entry records *why* it is or is not twig-expressible, which
+//! is exactly the classification the coverage experiment (E7) reports.
+
+use crate::query::TwigQuery;
+use crate::xpath::parse_xpath;
+
+/// Why a benchmark query is, or is not, expressible as a twig query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expressibility {
+    /// Expressible in the twig fragment (child/descendant axes, label tests, filters).
+    Twig,
+    /// Needs disjunction in predicates (`or`).
+    RequiresDisjunction,
+    /// Needs negation (`not(...)`).
+    RequiresNegation,
+    /// Needs value-based comparison of text content.
+    RequiresValueComparison,
+    /// Needs attribute access.
+    RequiresAttributes,
+    /// Needs reverse or sibling axes.
+    RequiresOtherAxes,
+    /// Needs aggregation (`count`, `sum`, position arithmetic).
+    RequiresAggregation,
+    /// Needs joining on identifiers across the document.
+    RequiresJoin,
+}
+
+impl Expressibility {
+    /// Whether the query belongs to the twig fragment.
+    pub fn is_twig(self) -> bool {
+        matches!(self, Expressibility::Twig)
+    }
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkQuery {
+    /// Identifier (mirrors the XPathMark naming style).
+    pub id: &'static str,
+    /// What the query asks for.
+    pub description: &'static str,
+    /// XPath text. For twig-expressible queries this parses with [`parse_xpath`].
+    pub xpath: &'static str,
+    /// Classification.
+    pub expressibility: Expressibility,
+}
+
+impl BenchmarkQuery {
+    /// Parse the query as a twig, when expressible.
+    pub fn as_twig(&self) -> Option<TwigQuery> {
+        if self.expressibility.is_twig() {
+            Some(parse_xpath(self.xpath).expect("twig-expressible benchmark queries must parse"))
+        } else {
+            None
+        }
+    }
+}
+
+/// The benchmark suite (20 queries, mirroring XMark's 20-query structure).
+pub fn suite() -> Vec<BenchmarkQuery> {
+    use Expressibility::*;
+    vec![
+        BenchmarkQuery {
+            id: "A1",
+            description: "annotation text of closed auctions, absolute path",
+            xpath: "/site/closed_auctions/closed_auction/annotation/description/text",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "A2",
+            description: "annotation text of closed auctions, descendant shortcut",
+            xpath: "//closed_auction//text",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "A3",
+            description: "annotation text, mixed absolute/descendant",
+            xpath: "/site/closed_auctions/closed_auction//text",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "A4",
+            description: "date of closed auctions with an annotated description",
+            xpath: "/site/closed_auctions/closed_auction[annotation/description/text]/date",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "A5",
+            description: "date of closed auctions with any descendant text",
+            xpath: "/site/closed_auctions/closed_auction[.//text]/date",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "A6",
+            description: "names of persons with both gender and age in their profile",
+            xpath: "/site/people/person[profile/gender][profile/age]/name",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "A7",
+            description: "names of persons with a phone or a homepage",
+            xpath: "/site/people/person[phone or homepage]/name",
+            expressibility: RequiresDisjunction,
+        },
+        BenchmarkQuery {
+            id: "A8",
+            description: "names of persons with address, contact point and payment profile",
+            xpath: "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name",
+            expressibility: RequiresDisjunction,
+        },
+        BenchmarkQuery {
+            id: "B1",
+            description: "items reachable through any region",
+            xpath: "//regions/*/item/name",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "B2",
+            description: "current price of open auctions that received bids",
+            xpath: "/site/open_auctions/open_auction[bidder/increase]/current",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "B3",
+            description: "initial price of open auctions with a reserve",
+            xpath: "//open_auction[reserve]/initial",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "B4",
+            description: "mail senders in item mailboxes",
+            xpath: "//item/mailbox/mail/from",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "B5",
+            description: "names of categorised items",
+            xpath: "//item[incategory]/name",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "B6",
+            description: "education of persons with a watched auction",
+            xpath: "//person[watches/watch]/profile/education",
+            expressibility: Twig,
+        },
+        BenchmarkQuery {
+            id: "C1",
+            description: "open auctions whose initial price exceeds a threshold",
+            xpath: "//open_auction[initial > 100]/current",
+            expressibility: RequiresValueComparison,
+        },
+        BenchmarkQuery {
+            id: "C2",
+            description: "persons identified by attribute id",
+            xpath: "//person[@id='person0']/name",
+            expressibility: RequiresAttributes,
+        },
+        BenchmarkQuery {
+            id: "C3",
+            description: "persons without a homepage",
+            xpath: "//person[not(homepage)]/name",
+            expressibility: RequiresNegation,
+        },
+        BenchmarkQuery {
+            id: "C4",
+            description: "sibling navigation between bidders",
+            xpath: "//bidder/following-sibling::bidder/increase",
+            expressibility: RequiresOtherAxes,
+        },
+        BenchmarkQuery {
+            id: "C5",
+            description: "auctions with more than two bidders",
+            xpath: "//open_auction[count(bidder) > 2]/current",
+            expressibility: RequiresAggregation,
+        },
+        BenchmarkQuery {
+            id: "C6",
+            description: "items sold by a given person (id dereference join)",
+            xpath: "//closed_auction[seller/@person = //person/@id]/itemref",
+            expressibility: RequiresJoin,
+        },
+    ]
+}
+
+/// The twig-expressible subset, parsed.
+pub fn twig_goals() -> Vec<(String, TwigQuery)> {
+    suite()
+        .into_iter()
+        .filter_map(|q| q.as_twig().map(|t| (q.id.to_string(), t)))
+        .collect()
+}
+
+/// Coverage summary: `(twig-expressible, total)`.
+pub fn coverage() -> (usize, usize) {
+    let s = suite();
+    (s.iter().filter(|q| q.expressibility.is_twig()).count(), s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use qbe_xml::xmark::{generate, XmarkConfig};
+
+    #[test]
+    fn suite_has_twenty_queries_with_unique_ids() {
+        let s = suite();
+        assert_eq!(s.len(), 20);
+        let mut ids: Vec<&str> = s.iter().map(|q| q.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn twig_expressible_queries_parse() {
+        for q in suite() {
+            if q.expressibility.is_twig() {
+                assert!(q.as_twig().is_some(), "{} should parse", q.id);
+            } else {
+                assert!(q.as_twig().is_none());
+                // And indeed the parser rejects them (they use unsupported features).
+                assert!(crate::xpath::parse_xpath(q.xpath).is_err(), "{} unexpectedly parses", q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_matches_manual_count() {
+        let (expressible, total) = coverage();
+        assert_eq!(total, 20);
+        assert_eq!(expressible, 12);
+    }
+
+    #[test]
+    fn twig_goals_select_nodes_on_generated_documents() {
+        let doc = generate(&XmarkConfig::new(0.05, 17));
+        let mut nonempty = 0;
+        for (id, goal) in twig_goals() {
+            let n = eval::select(&goal, &doc).len();
+            if n > 0 {
+                nonempty += 1;
+            } else {
+                // Some highly selective queries may be empty on tiny documents, but the common
+                // structural ones must not be.
+                assert!(
+                    !matches!(id.as_str(), "A1" | "A2" | "A3" | "B1" | "B4"),
+                    "query {id} selected nothing"
+                );
+            }
+        }
+        assert!(nonempty >= 8, "only {nonempty} goals select anything");
+    }
+}

@@ -1,0 +1,284 @@
+//! Synthetic heterogeneous document corpus.
+//!
+//! The paper argues that disjunctive multiplicity schemas "capture many of the DTDs from the
+//! real-world XML web collection" [Grijzenhout & Marx, CIKM 2011]. That collection is not
+//! redistributable, so this module generates a corpus with the same relevant characteristics:
+//! many small documents drawn from a diverse set of randomly generated DTD-lite schemas, where a
+//! configurable fraction of the schemas use only multiplicity-style content models (expressible
+//! as DMS) and the rest use ordered sequences or general regular expressions (not expressible).
+
+use crate::dtd::{Dtd, Particle};
+use crate::tree::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Categories of content models a generated schema may use, from most to least DMS-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaStyle {
+    /// Every rule is an unordered bag of labels with multiplicities (`a? b* c+ d`), i.e.
+    /// directly expressible as a disjunction-free multiplicity schema.
+    MultiplicityOnly,
+    /// Multiplicity rules plus label disjunctions (`(a | b)+ c?`), expressible as a DMS.
+    Disjunctive,
+    /// Ordered sequences with nested groups — general DTDs not expressible as DMS.
+    OrderedSequences,
+}
+
+/// One document collection entry: the schema it conforms to and the documents themselves.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Identifier of the collection (stable across runs for a given seed).
+    pub name: String,
+    /// The style of content models used by the schema.
+    pub style: SchemaStyle,
+    /// The DTD-lite the documents conform to.
+    pub dtd: Dtd,
+    /// Generated documents conforming to the DTD.
+    pub documents: Vec<XmlTree>,
+}
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of distinct schemas (collections).
+    pub collections: usize,
+    /// Documents generated per collection.
+    pub documents_per_collection: usize,
+    /// Fraction (0..=1) of collections using `MultiplicityOnly` content models.
+    pub multiplicity_fraction: f64,
+    /// Fraction (0..=1) of collections using `Disjunctive` content models.
+    pub disjunctive_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        // Proportions follow the paper's framing: most real-world DTDs are simple enough for
+        // DMS (the CIKM'11 study reports the large majority of content models are of the
+        // multiplicity kind), a minority genuinely needs ordered content.
+        CorpusConfig {
+            collections: 20,
+            documents_per_collection: 5,
+            multiplicity_fraction: 0.6,
+            disjunctive_fraction: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a heterogeneous corpus.
+pub fn generate_corpus(config: &CorpusConfig) -> Vec<CorpusEntry> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.collections);
+    for i in 0..config.collections {
+        let frac = (i as f64 + 0.5) / config.collections as f64;
+        let style = if frac < config.multiplicity_fraction {
+            SchemaStyle::MultiplicityOnly
+        } else if frac < config.multiplicity_fraction + config.disjunctive_fraction {
+            SchemaStyle::Disjunctive
+        } else {
+            SchemaStyle::OrderedSequences
+        };
+        let dtd = random_dtd(&mut rng, style, i);
+        let documents = (0..config.documents_per_collection)
+            .map(|_| generate_conforming_document(&mut rng, &dtd))
+            .collect();
+        out.push(CorpusEntry { name: format!("collection{i}"), style, dtd, documents });
+    }
+    out
+}
+
+fn labels_for(collection: usize, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("c{collection}_e{i}")).collect()
+}
+
+fn random_multiplicity_rule(rng: &mut StdRng, children: &[String]) -> Particle {
+    let parts: Vec<Particle> = children
+        .iter()
+        .map(|c| {
+            let e = Particle::elem(c);
+            match rng.gen_range(0..4) {
+                0 => e,
+                1 => Particle::opt(e),
+                2 => Particle::star(e),
+                _ => Particle::plus(e),
+            }
+        })
+        .collect();
+    Particle::Seq(parts)
+}
+
+fn random_disjunctive_rule(rng: &mut StdRng, children: &[String]) -> Particle {
+    if children.len() < 2 {
+        return random_multiplicity_rule(rng, children);
+    }
+    // Group the first two children into a disjunction, keep the rest as multiplicities.
+    let disjunction = Particle::Choice(vec![
+        Particle::elem(&children[0]),
+        Particle::elem(&children[1]),
+    ]);
+    let wrapped = match rng.gen_range(0..3) {
+        0 => Particle::star(disjunction),
+        1 => Particle::plus(disjunction),
+        _ => Particle::opt(disjunction),
+    };
+    let mut parts = vec![wrapped];
+    parts.extend(children[2..].iter().map(|c| {
+        let e = Particle::elem(c);
+        if rng.gen_bool(0.5) {
+            Particle::opt(e)
+        } else {
+            Particle::star(e)
+        }
+    }));
+    Particle::Seq(parts)
+}
+
+fn random_ordered_rule(rng: &mut StdRng, children: &[String]) -> Particle {
+    // A strict ordered sequence, optionally with a nested group repeated — the kind of content
+    // model DMS cannot express because it constrains sibling order.
+    let mut parts: Vec<Particle> = children.iter().map(|c| Particle::elem(c)).collect();
+    if children.len() >= 2 && rng.gen_bool(0.5) {
+        let tail = Particle::Seq(vec![
+            Particle::elem(&children[children.len() - 2]),
+            Particle::elem(&children[children.len() - 1]),
+        ]);
+        parts.push(Particle::star(tail));
+    }
+    Particle::Seq(parts)
+}
+
+fn random_dtd(rng: &mut StdRng, style: SchemaStyle, collection: usize) -> Dtd {
+    let depth_labels = [
+        labels_for(collection, 1),            // root
+        labels_for(collection, 3).split_off(1), // two mid labels (e1, e2)
+        labels_for(collection, 6).split_off(3), // three leaf labels (e3, e4, e5)
+    ];
+    let root = depth_labels[0][0].clone();
+    let mut dtd = Dtd::new(&root);
+    let rule_for = |rng: &mut StdRng, children: &[String]| match style {
+        SchemaStyle::MultiplicityOnly => random_multiplicity_rule(rng, children),
+        SchemaStyle::Disjunctive => random_disjunctive_rule(rng, children),
+        SchemaStyle::OrderedSequences => random_ordered_rule(rng, children),
+    };
+    dtd = dtd.rule(&root, rule_for(rng, &depth_labels[1]));
+    for mid in &depth_labels[1] {
+        dtd = dtd.rule(mid, rule_for(rng, &depth_labels[2]));
+    }
+    for leaf in &depth_labels[2] {
+        dtd = dtd.rule(leaf, Particle::Text);
+    }
+    dtd
+}
+
+/// Generate one document conforming to the DTD by sampling each content model.
+pub fn generate_conforming_document(rng: &mut StdRng, dtd: &Dtd) -> XmlTree {
+    let mut doc = XmlTree::new(dtd.root());
+    expand(rng, dtd, &mut doc, XmlTree::ROOT, 0);
+    doc
+}
+
+fn expand(rng: &mut StdRng, dtd: &Dtd, doc: &mut XmlTree, node: NodeId, depth: usize) {
+    if depth > 8 {
+        return; // guard against pathological recursive schemas
+    }
+    let label = doc.label(node).to_string();
+    let Some(model) = dtd.content_model(&label) else { return };
+    let children = sample_particle(rng, model);
+    for child_label in children {
+        let child = doc.add_child(node, &child_label);
+        expand(rng, dtd, doc, child, depth + 1);
+    }
+}
+
+/// Sample a child-label sequence from a content model.
+fn sample_particle(rng: &mut StdRng, particle: &Particle) -> Vec<String> {
+    match particle {
+        Particle::Empty | Particle::Text => vec![],
+        Particle::Element(name) => vec![name.clone()],
+        Particle::Seq(ps) => ps.iter().flat_map(|p| sample_particle(rng, p)).collect(),
+        Particle::Choice(ps) => {
+            let ix = rng.gen_range(0..ps.len());
+            sample_particle(rng, &ps[ix])
+        }
+        Particle::Optional(p) => {
+            if rng.gen_bool(0.5) {
+                sample_particle(rng, p)
+            } else {
+                vec![]
+            }
+        }
+        Particle::Star(p) => {
+            let n = rng.gen_range(0..4);
+            (0..n).flat_map(|_| sample_particle(rng, p)).collect()
+        }
+        Particle::Plus(p) => {
+            let n = rng.gen_range(1..4);
+            (0..n).flat_map(|_| sample_particle(rng, p)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let cfg = CorpusConfig { collections: 10, documents_per_collection: 3, ..Default::default() };
+        let corpus = generate_corpus(&cfg);
+        assert_eq!(corpus.len(), 10);
+        assert!(corpus.iter().all(|c| c.documents.len() == 3));
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = CorpusConfig::default();
+        let a = generate_corpus(&cfg);
+        let b = generate_corpus(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.documents, y.documents);
+        }
+    }
+
+    #[test]
+    fn documents_conform_to_their_dtd() {
+        let corpus = generate_corpus(&CorpusConfig::default());
+        for entry in &corpus {
+            for doc in &entry.documents {
+                assert!(
+                    entry.dtd.is_valid(doc),
+                    "document in {} violates its schema",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn style_fractions_are_respected() {
+        let cfg = CorpusConfig {
+            collections: 20,
+            multiplicity_fraction: 0.5,
+            disjunctive_fraction: 0.25,
+            ..Default::default()
+        };
+        let corpus = generate_corpus(&cfg);
+        let mult = corpus.iter().filter(|c| c.style == SchemaStyle::MultiplicityOnly).count();
+        let disj = corpus.iter().filter(|c| c.style == SchemaStyle::Disjunctive).count();
+        let ord = corpus.iter().filter(|c| c.style == SchemaStyle::OrderedSequences).count();
+        assert_eq!(mult, 10);
+        assert_eq!(disj, 5);
+        assert_eq!(ord, 5);
+    }
+
+    #[test]
+    fn collections_use_disjoint_alphabets() {
+        let corpus = generate_corpus(&CorpusConfig::default());
+        let a0 = corpus[0].documents[0].alphabet();
+        let a1 = corpus[1].documents[0].alphabet();
+        assert!(a0.iter().all(|l| !a1.contains(l)));
+    }
+}

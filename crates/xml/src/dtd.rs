@@ -1,0 +1,439 @@
+//! DTD-lite content models.
+//!
+//! The paper contrasts its new unordered schema formalisms (disjunctive multiplicity schemas,
+//! implemented in `qbe-schema`) against classical DTDs, whose content models are regular
+//! expressions over child labels. This module provides exactly that baseline: a small content
+//! particle language (sequence, choice, `?`, `*`, `+`, element names, `#PCDATA`), document
+//! validation against it, and helpers used by the generators.
+
+use crate::tree::{NodeId, XmlTree};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A DTD content particle — a regular expression over element labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Particle {
+    /// `EMPTY` — no element children allowed.
+    Empty,
+    /// `(#PCDATA)` — text-only content, no element children.
+    Text,
+    /// A single element name.
+    Element(String),
+    /// Ordered sequence `(p1, p2, ...)`.
+    Seq(Vec<Particle>),
+    /// Choice `(p1 | p2 | ...)`.
+    Choice(Vec<Particle>),
+    /// Optional `p?`.
+    Optional(Box<Particle>),
+    /// Zero-or-more `p*`.
+    Star(Box<Particle>),
+    /// One-or-more `p+`.
+    Plus(Box<Particle>),
+}
+
+impl Particle {
+    /// Convenience constructor for an element reference.
+    pub fn elem(name: &str) -> Particle {
+        Particle::Element(name.to_string())
+    }
+
+    /// Convenience constructor for `p?`.
+    pub fn opt(p: Particle) -> Particle {
+        Particle::Optional(Box::new(p))
+    }
+
+    /// Convenience constructor for `p*`.
+    pub fn star(p: Particle) -> Particle {
+        Particle::Star(Box::new(p))
+    }
+
+    /// Convenience constructor for `p+`.
+    pub fn plus(p: Particle) -> Particle {
+        Particle::Plus(Box::new(p))
+    }
+
+    /// Element names mentioned anywhere in the particle.
+    pub fn referenced_elements(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_elements(&mut out);
+        out
+    }
+
+    fn collect_elements(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Particle::Empty | Particle::Text => {}
+            Particle::Element(name) => {
+                out.insert(name.clone());
+            }
+            Particle::Seq(ps) | Particle::Choice(ps) => {
+                for p in ps {
+                    p.collect_elements(out);
+                }
+            }
+            Particle::Optional(p) | Particle::Star(p) | Particle::Plus(p) => {
+                p.collect_elements(out)
+            }
+        }
+    }
+
+    /// Whether the particle accepts the empty child sequence.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Particle::Empty | Particle::Text => true,
+            Particle::Element(_) => false,
+            Particle::Seq(ps) => ps.iter().all(Particle::nullable),
+            Particle::Choice(ps) => ps.iter().any(Particle::nullable),
+            Particle::Optional(_) | Particle::Star(_) => true,
+            Particle::Plus(p) => p.nullable(),
+        }
+    }
+
+    /// All end positions reachable when matching this particle against `labels[start..]`.
+    ///
+    /// This is the classic "set of positions" simulation of the regular expression; it runs in
+    /// polynomial time in the length of the child list and the size of the particle.
+    fn match_from(&self, labels: &[&str], start: usize) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        match self {
+            Particle::Empty | Particle::Text => {
+                out.insert(start);
+            }
+            Particle::Element(name) => {
+                if start < labels.len() && labels[start] == name {
+                    out.insert(start + 1);
+                }
+            }
+            Particle::Seq(ps) => {
+                let mut fronts: BTreeSet<usize> = BTreeSet::from([start]);
+                for p in ps {
+                    let mut next = BTreeSet::new();
+                    for f in &fronts {
+                        next.extend(p.match_from(labels, *f));
+                    }
+                    fronts = next;
+                    if fronts.is_empty() {
+                        break;
+                    }
+                }
+                out = fronts;
+            }
+            Particle::Choice(ps) => {
+                for p in ps {
+                    out.extend(p.match_from(labels, start));
+                }
+            }
+            Particle::Optional(p) => {
+                out.insert(start);
+                out.extend(p.match_from(labels, start));
+            }
+            Particle::Star(inner) | Particle::Plus(inner) => {
+                let require_one = matches!(self, Particle::Plus(_));
+                // Fixed-point over positions reachable by repeating the inner particle.
+                let mut reached_after_one: BTreeSet<usize> = BTreeSet::new();
+                let mut visited: BTreeSet<usize> = BTreeSet::from([start]);
+                let mut frontier: BTreeSet<usize> = BTreeSet::from([start]);
+                loop {
+                    let mut next = BTreeSet::new();
+                    for f in &frontier {
+                        for e in inner.match_from(labels, *f) {
+                            reached_after_one.insert(e);
+                            if visited.insert(e) {
+                                next.insert(e);
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        break;
+                    }
+                    frontier = next;
+                }
+                out.extend(reached_after_one);
+                if !require_one {
+                    out.insert(start);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the particle accepts exactly the given sequence of child labels.
+    pub fn accepts(&self, labels: &[&str]) -> bool {
+        self.match_from(labels, 0).contains(&labels.len())
+    }
+}
+
+impl fmt::Display for Particle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Particle::Empty => write!(f, "EMPTY"),
+            Particle::Text => write!(f, "(#PCDATA)"),
+            Particle::Element(name) => write!(f, "{name}"),
+            Particle::Seq(ps) => {
+                let inner: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", inner.join(", "))
+            }
+            Particle::Choice(ps) => {
+                let inner: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", inner.join(" | "))
+            }
+            Particle::Optional(p) => write!(f, "{p}?"),
+            Particle::Star(p) => write!(f, "{p}*"),
+            Particle::Plus(p) => write!(f, "{p}+"),
+        }
+    }
+}
+
+/// A DTD-lite: a root element name plus one content model per element name.
+///
+/// Elements that occur in a document but have no rule are treated as unconstrained (`ANY`),
+/// mirroring how lax real-world DTD validation is used in the paper's corpus study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dtd {
+    root: String,
+    rules: BTreeMap<String, Particle>,
+}
+
+/// A single validation violation found by [`Dtd::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdViolation {
+    /// Node whose content does not match its rule.
+    pub node: NodeId,
+    /// Label of that node.
+    pub label: String,
+    /// The observed child label sequence.
+    pub observed: Vec<String>,
+    /// The expected content model.
+    pub expected: String,
+}
+
+impl fmt::Display for DtdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "element <{}> at {} has children ({}) not matching {}",
+            self.label,
+            self.node,
+            self.observed.join(", "),
+            self.expected
+        )
+    }
+}
+
+impl Dtd {
+    /// Create a DTD with the given root element and no rules.
+    pub fn new(root: impl Into<String>) -> Dtd {
+        Dtd { root: root.into(), rules: BTreeMap::new() }
+    }
+
+    /// Name of the root element.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Add (or replace) the content model for an element.
+    pub fn rule(mut self, element: impl Into<String>, particle: Particle) -> Dtd {
+        self.rules.insert(element.into(), particle);
+        self
+    }
+
+    /// Content model of an element, if declared.
+    pub fn content_model(&self, element: &str) -> Option<&Particle> {
+        self.rules.get(element)
+    }
+
+    /// All element names with a declared rule.
+    pub fn declared_elements(&self) -> impl Iterator<Item = &str> {
+        self.rules.keys().map(String::as_str)
+    }
+
+    /// Number of declared rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the DTD declares no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Validate a document, returning every violation (empty means valid).
+    pub fn validate(&self, doc: &XmlTree) -> Vec<DtdViolation> {
+        let mut violations = Vec::new();
+        if doc.label(XmlTree::ROOT) != self.root {
+            violations.push(DtdViolation {
+                node: XmlTree::ROOT,
+                label: doc.label(XmlTree::ROOT).to_string(),
+                observed: vec![],
+                expected: format!("root element {}", self.root),
+            });
+        }
+        for node in doc.node_ids() {
+            let label = doc.label(node);
+            if let Some(particle) = self.rules.get(label) {
+                let child_labels: Vec<&str> =
+                    doc.children(node).iter().map(|c| doc.label(*c)).collect();
+                if !particle.accepts(&child_labels) {
+                    violations.push(DtdViolation {
+                        node,
+                        label: label.to_string(),
+                        observed: child_labels.iter().map(|s| s.to_string()).collect(),
+                        expected: particle.to_string(),
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Whether the document is valid against this DTD.
+    pub fn is_valid(&self, doc: &XmlTree) -> bool {
+        self.validate(doc).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn library_dtd() -> Dtd {
+        Dtd::new("library")
+            .rule("library", Particle::star(Particle::elem("book")))
+            .rule(
+                "book",
+                Particle::Seq(vec![
+                    Particle::elem("title"),
+                    Particle::plus(Particle::elem("author")),
+                    Particle::opt(Particle::elem("year")),
+                ]),
+            )
+            .rule("title", Particle::Text)
+            .rule("author", Particle::Text)
+            .rule("year", Particle::Text)
+    }
+
+    #[test]
+    fn accepts_matching_sequence() {
+        let p = Particle::Seq(vec![
+            Particle::elem("a"),
+            Particle::star(Particle::elem("b")),
+            Particle::opt(Particle::elem("c")),
+        ]);
+        assert!(p.accepts(&["a"]));
+        assert!(p.accepts(&["a", "b", "b", "c"]));
+        assert!(!p.accepts(&["b"]));
+        assert!(!p.accepts(&["a", "c", "b"]));
+    }
+
+    #[test]
+    fn choice_accepts_either_branch() {
+        let p = Particle::Choice(vec![Particle::elem("x"), Particle::elem("y")]);
+        assert!(p.accepts(&["x"]));
+        assert!(p.accepts(&["y"]));
+        assert!(!p.accepts(&["x", "y"]));
+        assert!(!p.accepts(&[]));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let p = Particle::plus(Particle::elem("a"));
+        assert!(!p.accepts(&[]));
+        assert!(p.accepts(&["a"]));
+        assert!(p.accepts(&["a", "a", "a"]));
+    }
+
+    #[test]
+    fn star_accepts_empty() {
+        let p = Particle::star(Particle::elem("a"));
+        assert!(p.accepts(&[]));
+        assert!(p.accepts(&["a", "a"]));
+        assert!(!p.accepts(&["b"]));
+    }
+
+    #[test]
+    fn nested_repetition_of_choice() {
+        // (a | b)* accepts any mix of a and b.
+        let p = Particle::star(Particle::Choice(vec![Particle::elem("a"), Particle::elem("b")]));
+        assert!(p.accepts(&["a", "b", "a", "a", "b"]));
+        assert!(!p.accepts(&["a", "c"]));
+    }
+
+    #[test]
+    fn nullable_is_consistent_with_accepts_empty() {
+        let cases = vec![
+            Particle::Empty,
+            Particle::Text,
+            Particle::elem("a"),
+            Particle::opt(Particle::elem("a")),
+            Particle::star(Particle::elem("a")),
+            Particle::plus(Particle::elem("a")),
+            Particle::Seq(vec![Particle::opt(Particle::elem("a")), Particle::star(Particle::elem("b"))]),
+            Particle::Choice(vec![Particle::elem("a"), Particle::Empty]),
+        ];
+        for p in cases {
+            assert_eq!(p.nullable(), p.accepts(&[]), "particle {p}");
+        }
+    }
+
+    #[test]
+    fn referenced_elements_are_collected() {
+        let p = Particle::Seq(vec![
+            Particle::elem("a"),
+            Particle::Choice(vec![Particle::elem("b"), Particle::star(Particle::elem("c"))]),
+        ]);
+        let refs = p.referenced_elements();
+        assert_eq!(refs.into_iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dtd_validates_conforming_document() {
+        let doc = TreeBuilder::new("library")
+            .open("book")
+            .leaf_text("title", "Dune")
+            .leaf_text("author", "Herbert")
+            .leaf_text("year", "1965")
+            .close()
+            .open("book")
+            .leaf_text("title", "Foundation")
+            .leaf_text("author", "Asimov")
+            .close()
+            .build();
+        assert!(library_dtd().is_valid(&doc));
+    }
+
+    #[test]
+    fn dtd_reports_violations_with_context() {
+        let doc = TreeBuilder::new("library")
+            .open("book")
+            .leaf_text("author", "Herbert") // missing title
+            .close()
+            .build();
+        let violations = library_dtd().validate(&doc);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].label, "book");
+        assert!(violations[0].to_string().contains("book"));
+    }
+
+    #[test]
+    fn dtd_rejects_wrong_root() {
+        let doc = TreeBuilder::new("shelf").build();
+        assert!(!library_dtd().is_valid(&doc));
+    }
+
+    #[test]
+    fn undeclared_elements_are_unconstrained() {
+        let dtd = Dtd::new("r").rule("r", Particle::star(Particle::elem("mystery")));
+        let doc = TreeBuilder::new("r").open("mystery").leaf("anything").close().build();
+        assert!(dtd.is_valid(&doc));
+    }
+
+    #[test]
+    fn particle_display_is_readable() {
+        let p = Particle::Seq(vec![
+            Particle::elem("title"),
+            Particle::plus(Particle::elem("author")),
+            Particle::opt(Particle::elem("year")),
+        ]);
+        assert_eq!(p.to_string(), "(title, author+, year?)");
+    }
+}

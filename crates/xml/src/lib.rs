@@ -1,0 +1,102 @@
+//! # qbe-xml — XML substrate for the `qbe` query-learning workspace
+//!
+//! This crate provides the semi-structured data model used by the twig-query learning and
+//! schema-analysis crates:
+//!
+//! * [`XmlTree`] / [`NodeId`] — an arena-based labelled tree with attributes and text
+//!   ([`tree`]), plus a fluent [`tree::TreeBuilder`];
+//! * [`parse_xml`] / [`to_xml_string`] — a small XML parser and serialiser ([`parse`],
+//!   [`serialize`]);
+//! * [`dtd`] — DTD-lite content models (regular expressions over child labels), the classical
+//!   schema formalism the paper's disjunctive multiplicity schemas are compared against;
+//! * [`xmark`] — an XMark-like auction-site document generator and its DTD, the substrate of the
+//!   paper's twig-learning experiments;
+//! * [`random`] — seeded random tree generation for property tests and benchmarks;
+//! * [`corpus`] — a synthetic stand-in for the real-world XML web collection used in the paper's
+//!   schema-expressiveness discussion.
+//!
+//! The crate has no XML-ecosystem dependencies by design: the learning algorithms need the query
+//! AST, the document model and the schema formalisms to share one representation.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod dtd;
+pub mod parse;
+pub mod random;
+pub mod serialize;
+pub mod tree;
+pub mod xmark;
+
+pub use parse::{parse_xml, ParseError};
+pub use serialize::{to_pretty_xml_string, to_xml_string};
+pub use tree::{NodeId, TreeBuilder, XmlTree};
+
+#[cfg(test)]
+mod proptests {
+    use crate::random::{RandomTreeConfig, RandomTreeGenerator};
+    use crate::{parse_xml, to_xml_string, XmlTree};
+    use proptest::prelude::*;
+
+    fn arbitrary_tree(seed: u64) -> XmlTree {
+        let cfg = RandomTreeConfig { max_depth: 4, max_children: 3, ..Default::default() };
+        RandomTreeGenerator::new(cfg, seed).generate()
+    }
+
+    proptest! {
+        /// Serialise → parse round-trips preserve unordered structure for arbitrary trees.
+        #[test]
+        fn serialize_parse_roundtrip(seed in 0u64..500) {
+            let tree = arbitrary_tree(seed);
+            let text = to_xml_string(&tree);
+            let reparsed = parse_xml(&text).unwrap();
+            prop_assert!(tree.unordered_eq(&reparsed));
+            prop_assert_eq!(tree.size(), reparsed.size());
+        }
+
+        /// Every node except the root has a parent, and child links are consistent.
+        #[test]
+        fn parent_child_links_are_consistent(seed in 0u64..500) {
+            let tree = arbitrary_tree(seed);
+            for node in tree.node_ids() {
+                match tree.parent(node) {
+                    None => prop_assert_eq!(node, XmlTree::ROOT),
+                    Some(parent) => prop_assert!(tree.children(parent).contains(&node)),
+                }
+            }
+        }
+
+        /// Depth of a child is exactly one more than the depth of its parent.
+        #[test]
+        fn depth_increases_by_one(seed in 0u64..200) {
+            let tree = arbitrary_tree(seed);
+            for node in tree.node_ids() {
+                for &child in tree.children(node) {
+                    prop_assert_eq!(tree.depth(child), tree.depth(node) + 1);
+                }
+            }
+        }
+
+        /// Subtree extraction preserves the canonical structure of the extracted node.
+        #[test]
+        fn subtree_preserves_structure(seed in 0u64..200) {
+            let tree = arbitrary_tree(seed);
+            for node in tree.node_ids().take(10) {
+                let sub = tree.subtree(node);
+                prop_assert_eq!(
+                    sub.canonical_structure(XmlTree::ROOT),
+                    tree.canonical_structure(node)
+                );
+            }
+        }
+
+        /// The number of descendants plus one equals the subtree size.
+        #[test]
+        fn descendant_count_matches_subtree_size(seed in 0u64..200) {
+            let tree = arbitrary_tree(seed);
+            for node in tree.node_ids().take(10) {
+                prop_assert_eq!(tree.descendants(node).len() + 1, tree.subtree(node).size());
+            }
+        }
+    }
+}

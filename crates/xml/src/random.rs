@@ -1,0 +1,170 @@
+//! Random labelled-tree generation, used by property tests, benchmarks and the learning
+//! experiments that need "arbitrary documents" rather than XMark-shaped ones.
+
+use crate::tree::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random tree generator.
+#[derive(Debug, Clone)]
+pub struct RandomTreeConfig {
+    /// Labels to draw from. Must not be empty.
+    pub alphabet: Vec<String>,
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Maximum number of children per internal node.
+    pub max_children: usize,
+    /// Probability that a node at depth `< max_depth` is internal (has children).
+    pub branch_probability: f64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            alphabet: ('a'..='f').map(|c| c.to_string()).collect(),
+            max_depth: 5,
+            max_children: 4,
+            branch_probability: 0.7,
+        }
+    }
+}
+
+impl RandomTreeConfig {
+    /// Build a config with a numeric alphabet `l0 .. l{n-1}`.
+    pub fn with_alphabet_size(n: usize) -> RandomTreeConfig {
+        RandomTreeConfig {
+            alphabet: (0..n).map(|i| format!("l{i}")).collect(),
+            ..RandomTreeConfig::default()
+        }
+    }
+}
+
+/// Deterministic random tree generator (seeded).
+#[derive(Debug)]
+pub struct RandomTreeGenerator {
+    config: RandomTreeConfig,
+    rng: StdRng,
+}
+
+impl RandomTreeGenerator {
+    /// Create a generator from a configuration and a seed.
+    pub fn new(config: RandomTreeConfig, seed: u64) -> RandomTreeGenerator {
+        assert!(!config.alphabet.is_empty(), "alphabet must not be empty");
+        RandomTreeGenerator { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn random_label(&mut self) -> String {
+        let ix = self.rng.gen_range(0..self.config.alphabet.len());
+        self.config.alphabet[ix].clone()
+    }
+
+    /// Generate one random tree.
+    pub fn generate(&mut self) -> XmlTree {
+        let root_label = self.random_label();
+        let mut tree = XmlTree::new(root_label);
+        self.populate(&mut tree, XmlTree::ROOT, 0);
+        tree
+    }
+
+    /// Generate a batch of `n` random trees.
+    pub fn generate_many(&mut self, n: usize) -> Vec<XmlTree> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+
+    fn populate(&mut self, tree: &mut XmlTree, node: NodeId, depth: usize) {
+        if depth >= self.config.max_depth {
+            return;
+        }
+        if self.rng.gen::<f64>() > self.config.branch_probability {
+            return;
+        }
+        let n_children = self.rng.gen_range(1..=self.config.max_children);
+        for _ in 0..n_children {
+            let label = self.random_label();
+            let child = tree.add_child(node, label);
+            self.populate(tree, child, depth + 1);
+        }
+    }
+
+    /// Generate a tree guaranteed to contain at least one node with the given label
+    /// (the label is planted at a random leaf if the random draw missed it).
+    pub fn generate_containing(&mut self, label: &str) -> XmlTree {
+        let mut tree = self.generate();
+        if tree.nodes_with_label(label).is_empty() {
+            let leaves: Vec<NodeId> = tree.node_ids().filter(|n| tree.is_leaf(*n)).collect();
+            let ix = self.rng.gen_range(0..leaves.len());
+            tree.add_child(leaves[ix], label);
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cfg = RandomTreeConfig::default();
+        let a = RandomTreeGenerator::new(cfg.clone(), 7).generate_many(5);
+        let b = RandomTreeGenerator::new(cfg, 7).generate_many(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomTreeConfig::default();
+        let a = RandomTreeGenerator::new(cfg.clone(), 1).generate_many(10);
+        let b = RandomTreeGenerator::new(cfg, 2).generate_many(10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let cfg = RandomTreeConfig { max_depth: 3, ..RandomTreeConfig::default() };
+        let mut gen = RandomTreeGenerator::new(cfg, 42);
+        for _ in 0..20 {
+            let t = gen.generate();
+            assert!(t.height() <= 3, "height {} exceeds max depth", t.height());
+        }
+    }
+
+    #[test]
+    fn respects_max_children() {
+        let cfg = RandomTreeConfig { max_children: 2, ..RandomTreeConfig::default() };
+        let mut gen = RandomTreeGenerator::new(cfg, 9);
+        for _ in 0..20 {
+            let t = gen.generate();
+            for n in t.node_ids() {
+                assert!(t.children(n).len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_come_from_alphabet() {
+        let cfg = RandomTreeConfig::with_alphabet_size(3);
+        let mut gen = RandomTreeGenerator::new(cfg.clone(), 5);
+        let t = gen.generate();
+        for n in t.node_ids() {
+            assert!(cfg.alphabet.contains(&t.label(n).to_string()));
+        }
+    }
+
+    #[test]
+    fn generate_containing_plants_label() {
+        let cfg = RandomTreeConfig::with_alphabet_size(2);
+        let mut gen = RandomTreeGenerator::new(cfg, 11);
+        for _ in 0..10 {
+            let t = gen.generate_containing("needle");
+            assert!(!t.nodes_with_label("needle").is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_alphabet_is_rejected() {
+        let cfg = RandomTreeConfig { alphabet: vec![], ..RandomTreeConfig::default() };
+        let _ = RandomTreeGenerator::new(cfg, 0);
+    }
+}

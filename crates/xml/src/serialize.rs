@@ -1,0 +1,116 @@
+//! Serialisation of [`XmlTree`] values back to XML text, both compact and pretty-printed.
+
+use crate::parse::escape;
+use crate::tree::{NodeId, XmlTree};
+
+/// Serialise a tree to a compact, single-line XML string.
+///
+/// ```
+/// let doc = qbe_xml::parse_xml("<a><b x='1'>hi</b></a>").unwrap();
+/// assert_eq!(qbe_xml::to_xml_string(&doc), "<a><b x=\"1\">hi</b></a>");
+/// ```
+pub fn to_xml_string(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, XmlTree::ROOT, &mut out, None, 0);
+    out
+}
+
+/// Serialise a tree with two-space indentation, one element per line.
+pub fn to_pretty_xml_string(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, XmlTree::ROOT, &mut out, Some(2), 0);
+    out
+}
+
+fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        if depth > 0 {
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push('<');
+    out.push_str(tree.label(id));
+    for (name, value) in tree.attributes(id) {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape(value));
+        out.push('"');
+    }
+    let text = tree.text(id).filter(|t| !t.is_empty());
+    let children = tree.children(id);
+    if text.is_none() && children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if let Some(t) = text {
+        out.push_str(&escape(t));
+    }
+    for &child in children {
+        write_node(tree, child, out, indent, depth + 1);
+    }
+    if indent.is_some() && !children.is_empty() {
+        out.push('\n');
+        out.push_str(&" ".repeat(indent.unwrap_or(0) * depth));
+    }
+    out.push_str("</");
+    out.push_str(tree.label(id));
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_xml;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn empty_element_uses_self_closing_form() {
+        let t = XmlTree::new("empty");
+        assert_eq!(to_xml_string(&t), "<empty/>");
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let mut t = XmlTree::new("e");
+        t.set_attribute(XmlTree::ROOT, "q", "a\"b<c");
+        assert_eq!(to_xml_string(&t), "<e q=\"a&quot;b&lt;c\"/>");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut t = XmlTree::new("e");
+        t.set_text(XmlTree::ROOT, "1 < 2 & 3");
+        assert_eq!(to_xml_string(&t), "<e>1 &lt; 2 &amp; 3</e>");
+    }
+
+    #[test]
+    fn nested_elements_serialise_in_document_order() {
+        let t = TreeBuilder::new("r").leaf("a").open("b").leaf("c").close().build();
+        assert_eq!(to_xml_string(&t), "<r><a/><b><c/></b></r>");
+    }
+
+    #[test]
+    fn pretty_printing_indents_children() {
+        let t = TreeBuilder::new("r").open("a").leaf("b").close().build();
+        let pretty = to_pretty_xml_string(&t);
+        assert!(pretty.contains("\n  <a>"));
+        assert!(pretty.contains("\n    <b/>"));
+    }
+
+    #[test]
+    fn pretty_output_reparses_to_same_structure() {
+        let t = TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .attr("id", "p0")
+            .leaf_text("name", "Alice")
+            .close()
+            .close()
+            .build();
+        let doc = parse_xml(&to_pretty_xml_string(&t)).unwrap();
+        assert!(doc.unordered_eq(&t));
+    }
+}

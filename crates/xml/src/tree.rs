@@ -1,0 +1,556 @@
+//! Arena-based XML tree model.
+//!
+//! The paper's learning algorithms operate on *unordered* labelled trees: an XML document is a
+//! rooted tree whose nodes carry an element label, optional attributes, and optional text
+//! content. Sibling order is retained for parsing/serialisation fidelity but the schema and
+//! query formalisms (disjunctive multiplicity schemas, twig queries) deliberately ignore it.
+//!
+//! Trees are stored in a flat arena ([`XmlTree::nodes`]) and addressed by [`NodeId`], which makes
+//! node annotations (the "examples" of the learning framework) cheap to represent as plain ids.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node inside an [`XmlTree`] arena.
+///
+/// Ids are only meaningful relative to the tree that produced them. The root of every tree is
+/// [`NodeId::ROOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node of any tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Raw index of this node in the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a node id from a raw arena index.
+    ///
+    /// Only useful for tests and for tools that serialise node annotations; the id is not
+    /// validated against any particular tree.
+    pub fn from_index(ix: usize) -> NodeId {
+        NodeId(ix as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Payload of a single node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct NodeData {
+    pub(crate) label: String,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) attributes: BTreeMap<String, String>,
+    pub(crate) text: Option<String>,
+}
+
+/// A rooted, labelled XML tree.
+///
+/// # Examples
+///
+/// ```
+/// use qbe_xml::XmlTree;
+///
+/// let mut doc = XmlTree::new("site");
+/// let people = doc.add_child(XmlTree::ROOT, "people");
+/// let person = doc.add_child(people, "person");
+/// doc.set_attribute(person, "id", "person0");
+/// let name = doc.add_child(person, "name");
+/// doc.set_text(name, "Alice");
+///
+/// assert_eq!(doc.label(XmlTree::ROOT), "site");
+/// assert_eq!(doc.children(people).len(), 1);
+/// assert_eq!(doc.text(name), Some("Alice"));
+/// assert_eq!(doc.size(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlTree {
+    nodes: Vec<NodeData>,
+}
+
+impl XmlTree {
+    /// Alias for [`NodeId::ROOT`], for readability at call sites.
+    pub const ROOT: NodeId = NodeId::ROOT;
+
+    /// Create a new tree consisting of a single root node with the given label.
+    pub fn new(root_label: impl Into<String>) -> XmlTree {
+        XmlTree {
+            nodes: vec![NodeData {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                attributes: BTreeMap::new(),
+                text: None,
+            }],
+        }
+    }
+
+    /// Append a new child with the given label under `parent` and return its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a node of this tree.
+    pub fn add_child(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "parent {parent} out of bounds");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            attributes: BTreeMap::new(),
+            text: None,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Label of a node.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].label
+    }
+
+    /// Change the label of a node.
+    pub fn set_label(&mut self, id: NodeId, label: impl Into<String>) {
+        self.nodes[id.index()].label = label.into();
+    }
+
+    /// Text content of a node, if any.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        self.nodes[id.index()].text.as_deref()
+    }
+
+    /// Set the text content of a node.
+    pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) {
+        self.nodes[id.index()].text = Some(text.into());
+    }
+
+    /// Attribute value of a node, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.nodes[id.index()].attributes.get(name).map(String::as_str)
+    }
+
+    /// All attributes of a node, in name order.
+    pub fn attributes(&self, id: NodeId) -> impl Iterator<Item = (&str, &str)> {
+        self.nodes[id.index()]
+            .attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Set (or overwrite) an attribute of a node.
+    pub fn set_attribute(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        self.nodes[id.index()].attributes.insert(name.into(), value.into());
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of a node, in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Whether the node has no element children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].children.is_empty()
+    }
+
+    /// Iterator over all node ids in creation (pre-order-compatible) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of a node (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the tree (a single-node tree has height 0).
+    pub fn height(&self) -> usize {
+        self.node_ids().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// Ancestors of a node from its parent up to the root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Path of labels from the root down to (and including) the node.
+    pub fn label_path(&self, id: NodeId) -> Vec<String> {
+        let mut path: Vec<String> = self
+            .ancestors(id)
+            .into_iter()
+            .map(|a| self.label(a).to_string())
+            .collect();
+        path.reverse();
+        path.push(self.label(id).to_string());
+        path
+    }
+
+    /// Descendants of a node in pre-order, excluding the node itself.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for c in self.children(n).iter().rev() {
+                stack.push(*c);
+            }
+        }
+        out
+    }
+
+    /// Pre-order traversal starting from (and including) `id`.
+    pub fn preorder(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = vec![id];
+        out.extend(self.descendants(id));
+        out
+    }
+
+    /// All nodes carrying the given label.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.node_ids().filter(|n| self.label(*n) == label).collect()
+    }
+
+    /// The set of distinct labels occurring in the tree, sorted.
+    pub fn alphabet(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self.nodes.iter().map(|n| n.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Counts of child labels under a node (the "unordered content" the schema formalisms see).
+    pub fn child_label_counts(&self, id: NodeId) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for c in self.children(id) {
+            *counts.entry(self.label(*c).to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Extract the subtree rooted at `id` as a fresh tree (ids are renumbered).
+    pub fn subtree(&self, id: NodeId) -> XmlTree {
+        let mut out = XmlTree::new(self.label(id));
+        out.nodes[0].attributes = self.nodes[id.index()].attributes.clone();
+        out.nodes[0].text = self.nodes[id.index()].text.clone();
+        self.copy_children_into(id, &mut out, NodeId::ROOT);
+        out
+    }
+
+    fn copy_children_into(&self, src: NodeId, dst_tree: &mut XmlTree, dst: NodeId) {
+        for &c in self.children(src) {
+            let new = dst_tree.add_child(dst, self.label(c));
+            dst_tree.nodes[new.index()].attributes = self.nodes[c.index()].attributes.clone();
+            dst_tree.nodes[new.index()].text = self.nodes[c.index()].text.clone();
+            self.copy_children_into(c, dst_tree, new);
+        }
+    }
+
+    /// Graft a copy of `other` as a new child of `parent`; returns the id of the grafted root.
+    pub fn graft(&mut self, parent: NodeId, other: &XmlTree) -> NodeId {
+        let new_root = self.add_child(parent, other.label(NodeId::ROOT));
+        self.nodes[new_root.index()].attributes = other.nodes[0].attributes.clone();
+        self.nodes[new_root.index()].text = other.nodes[0].text.clone();
+        other.copy_children_into(NodeId::ROOT, self, new_root);
+        new_root
+    }
+
+    /// Canonical string encoding that ignores sibling order, attributes and text.
+    ///
+    /// Two trees have the same canonical structure iff they are isomorphic as unordered
+    /// labelled trees — the notion of equality relevant to twig queries and multiplicity
+    /// schemas.
+    pub fn canonical_structure(&self, id: NodeId) -> String {
+        let mut child_encodings: Vec<String> = self
+            .children(id)
+            .iter()
+            .map(|c| self.canonical_structure(*c))
+            .collect();
+        child_encodings.sort();
+        format!("{}({})", self.label(id), child_encodings.join(","))
+    }
+
+    /// Unordered isomorphism between two whole trees (labels only).
+    pub fn unordered_eq(&self, other: &XmlTree) -> bool {
+        self.canonical_structure(NodeId::ROOT) == other.canonical_structure(NodeId::ROOT)
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.node_ids().filter(|n| self.is_leaf(*n)).count()
+    }
+}
+
+/// Fluent builder for small trees, used pervasively in tests and examples.
+///
+/// ```
+/// use qbe_xml::tree::TreeBuilder;
+///
+/// let doc = TreeBuilder::new("library")
+///     .open("book")
+///     .leaf_text("title", "Dune")
+///     .leaf_text("author", "Herbert")
+///     .close()
+///     .open("book")
+///     .leaf_text("title", "Foundation")
+///     .close()
+///     .build();
+/// assert_eq!(doc.nodes_with_label("book").len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    tree: XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Start a tree with the given root label; the root becomes the current open element.
+    pub fn new(root: impl Into<String>) -> TreeBuilder {
+        TreeBuilder {
+            tree: XmlTree::new(root),
+            stack: vec![NodeId::ROOT],
+        }
+    }
+
+    fn current(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Open a new child element; subsequent calls add under it until [`close`](Self::close).
+    pub fn open(mut self, label: impl Into<String>) -> TreeBuilder {
+        let id = self.tree.add_child(self.current(), label);
+        self.stack.push(id);
+        self
+    }
+
+    /// Close the most recently opened element.
+    pub fn close(mut self) -> TreeBuilder {
+        assert!(self.stack.len() > 1, "cannot close the root element");
+        self.stack.pop();
+        self
+    }
+
+    /// Add an empty leaf child.
+    pub fn leaf(mut self, label: impl Into<String>) -> TreeBuilder {
+        self.tree.add_child(self.current(), label);
+        self
+    }
+
+    /// Add a leaf child with text content.
+    pub fn leaf_text(mut self, label: impl Into<String>, text: impl Into<String>) -> TreeBuilder {
+        let id = self.tree.add_child(self.current(), label);
+        self.tree.set_text(id, text);
+        self
+    }
+
+    /// Set an attribute on the currently open element.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> TreeBuilder {
+        let cur = self.current();
+        self.tree.set_attribute(cur, name, value);
+        self
+    }
+
+    /// Set text content on the currently open element.
+    pub fn text(mut self, text: impl Into<String>) -> TreeBuilder {
+        let cur = self.current();
+        self.tree.set_text(cur, text);
+        self
+    }
+
+    /// Finish the tree (all open elements are implicitly closed).
+    pub fn build(self) -> XmlTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlTree {
+        // site -> (regions -> (europe, asia), people -> person(name))
+        let mut t = XmlTree::new("site");
+        let regions = t.add_child(XmlTree::ROOT, "regions");
+        t.add_child(regions, "europe");
+        t.add_child(regions, "asia");
+        let people = t.add_child(XmlTree::ROOT, "people");
+        let person = t.add_child(people, "person");
+        let name = t.add_child(person, "name");
+        t.set_text(name, "Alice");
+        t
+    }
+
+    #[test]
+    fn root_has_no_parent_and_depth_zero() {
+        let t = sample();
+        assert_eq!(t.parent(XmlTree::ROOT), None);
+        assert_eq!(t.depth(XmlTree::ROOT), 0);
+    }
+
+    #[test]
+    fn add_child_links_parent_and_children() {
+        let mut t = XmlTree::new("a");
+        let b = t.add_child(XmlTree::ROOT, "b");
+        assert_eq!(t.parent(b), Some(XmlTree::ROOT));
+        assert_eq!(t.children(XmlTree::ROOT), &[b]);
+        assert_eq!(t.label(b), "b");
+    }
+
+    #[test]
+    fn size_counts_all_nodes() {
+        assert_eq!(sample().size(), 7);
+    }
+
+    #[test]
+    fn depth_and_height() {
+        let t = sample();
+        let name = t.nodes_with_label("name")[0];
+        assert_eq!(t.depth(name), 3);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn ancestors_walk_up_to_root() {
+        let t = sample();
+        let name = t.nodes_with_label("name")[0];
+        let anc: Vec<String> = t.ancestors(name).iter().map(|a| t.label(*a).to_string()).collect();
+        assert_eq!(anc, vec!["person", "people", "site"]);
+    }
+
+    #[test]
+    fn label_path_is_root_to_node() {
+        let t = sample();
+        let name = t.nodes_with_label("name")[0];
+        assert_eq!(t.label_path(name), vec!["site", "people", "person", "name"]);
+    }
+
+    #[test]
+    fn descendants_are_preorder() {
+        let t = sample();
+        let labels: Vec<&str> = t.descendants(XmlTree::ROOT).iter().map(|n| t.label(*n)).collect();
+        assert_eq!(labels, vec!["regions", "europe", "asia", "people", "person", "name"]);
+    }
+
+    #[test]
+    fn preorder_includes_start_node() {
+        let t = sample();
+        assert_eq!(t.preorder(XmlTree::ROOT).len(), t.size());
+    }
+
+    #[test]
+    fn alphabet_is_sorted_and_deduped() {
+        let t = sample();
+        assert_eq!(
+            t.alphabet(),
+            vec!["asia", "europe", "name", "people", "person", "regions", "site"]
+        );
+    }
+
+    #[test]
+    fn child_label_counts_groups_labels() {
+        let mut t = XmlTree::new("r");
+        t.add_child(XmlTree::ROOT, "a");
+        t.add_child(XmlTree::ROOT, "a");
+        t.add_child(XmlTree::ROOT, "b");
+        let counts = t.child_label_counts(XmlTree::ROOT);
+        assert_eq!(counts.get("a"), Some(&2));
+        assert_eq!(counts.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn subtree_extracts_copy() {
+        let t = sample();
+        let people = t.nodes_with_label("people")[0];
+        let sub = t.subtree(people);
+        assert_eq!(sub.label(XmlTree::ROOT), "people");
+        assert_eq!(sub.size(), 3);
+        assert_eq!(sub.text(sub.nodes_with_label("name")[0]), Some("Alice"));
+    }
+
+    #[test]
+    fn graft_appends_copy() {
+        let mut t = XmlTree::new("root");
+        let other = sample();
+        let grafted = t.graft(XmlTree::ROOT, &other);
+        assert_eq!(t.label(grafted), "site");
+        assert_eq!(t.size(), 1 + other.size());
+    }
+
+    #[test]
+    fn unordered_eq_ignores_sibling_order() {
+        let a = TreeBuilder::new("r").leaf("x").leaf("y").build();
+        let b = TreeBuilder::new("r").leaf("y").leaf("x").build();
+        assert!(a.unordered_eq(&b));
+        assert_ne!(a, b); // ordered equality still distinguishes them
+    }
+
+    #[test]
+    fn unordered_eq_respects_structure() {
+        let a = TreeBuilder::new("r").open("x").leaf("y").close().build();
+        let b = TreeBuilder::new("r").leaf("x").leaf("y").build();
+        assert!(!a.unordered_eq(&b));
+    }
+
+    #[test]
+    fn attributes_are_sorted_by_name() {
+        let mut t = XmlTree::new("e");
+        t.set_attribute(XmlTree::ROOT, "z", "1");
+        t.set_attribute(XmlTree::ROOT, "a", "2");
+        let attrs: Vec<(&str, &str)> = t.attributes(XmlTree::ROOT).collect();
+        assert_eq!(attrs, vec![("a", "2"), ("z", "1")]);
+    }
+
+    #[test]
+    fn builder_nesting_matches_manual_construction() {
+        let built = TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf_text("name", "Alice")
+            .close()
+            .close()
+            .open("regions")
+            .leaf("europe")
+            .leaf("asia")
+            .close()
+            .build();
+        assert!(built.unordered_eq(&sample()));
+    }
+
+    #[test]
+    fn leaf_count_counts_leaves() {
+        assert_eq!(sample().leaf_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_cannot_close_root() {
+        let _ = TreeBuilder::new("r").close();
+    }
+}

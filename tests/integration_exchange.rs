@@ -1,0 +1,105 @@
+//! Integration tests for the four cross-model exchange scenarios of Figure 1, with both the
+//! expert-query and learned-query variants.
+
+use qbe_core::exchange::{
+    learned_publish_relational_to_xml, learned_shred_xml_to_relational, publish_graph_to_xml,
+    publish_relational_to_xml, shred_xml_to_graph, shred_xml_to_relational, DataModel, Scenario,
+};
+use qbe_core::graph::{
+    generate_geo_graph, interactive_path_learn, GeoConfig, PathConstraint, PathStrategy,
+};
+use qbe_core::relational::{customers_orders_database, JoinPredicate};
+use qbe_core::twig::{parse_xpath, select};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+
+#[test]
+fn figure_one_lists_exactly_four_scenarios() {
+    let all = Scenario::all();
+    assert_eq!(all.len(), 4);
+    assert_eq!(all.iter().filter(|s| s.kind() == "publishing").count(), 2);
+    assert_eq!(all.iter().filter(|s| s.kind() == "shredding").count(), 2);
+    // XML is the intermediate model: every scenario touches it on one side.
+    for s in all {
+        assert!(s.source() == DataModel::Xml || s.target() == DataModel::Xml);
+    }
+}
+
+#[test]
+fn scenario_1_publishing_preserves_the_join_cardinality() {
+    let db = customers_orders_database(18, 2, 2);
+    let customers = db.relation("customers").unwrap();
+    let orders = db.relation("orders").unwrap();
+    let predicate =
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+            .unwrap();
+    let (doc, report) = publish_relational_to_xml(customers, orders, &predicate, "sales");
+    assert_eq!(report.scenario, Scenario::RelationalToXml);
+    assert_eq!(report.extracted_items, report.produced_items);
+    assert_eq!(doc.nodes_with_label("row").len(), report.produced_items);
+    assert!(report.produced_items > 0);
+
+    // The learned variant produces the same number of rows because the learned predicate is
+    // semantically equal to the goal on the instance.
+    let (learned_doc, learned_report) =
+        learned_publish_relational_to_xml(customers, orders, &predicate, "sales", 5);
+    assert_eq!(learned_doc.nodes_with_label("row").len(), doc.nodes_with_label("row").len());
+    assert_eq!(learned_report.produced_items, report.produced_items);
+}
+
+#[test]
+fn scenario_2_shredding_extracts_one_tuple_per_selected_node() {
+    let doc = generate(&XmarkConfig::new(0.05, 21));
+    let query = parse_xpath("//person/name").unwrap();
+    let expected = select(&query, &doc).len();
+    let (relation, report) = shred_xml_to_relational(&doc, &query, "names");
+    assert_eq!(report.scenario, Scenario::XmlToRelational);
+    assert_eq!(relation.len(), expected);
+    assert_eq!(report.extracted_items, expected);
+    assert_eq!(relation.schema().arity(), 3);
+
+    // Learned variant from two annotated nodes extracts at least the annotated nodes and never
+    // more than the goal query selects.
+    let names = doc.nodes_with_label("name");
+    let annotated: Vec<_> =
+        names.iter().copied().filter(|&n| select(&query, &doc).contains(&n)).take(2).collect();
+    let (learned_rel, _) = learned_shred_xml_to_relational(&doc, &annotated, "names").unwrap();
+    assert!(learned_rel.len() >= annotated.len());
+    assert!(learned_rel.len() <= relation.len());
+}
+
+#[test]
+fn scenario_3_shredding_builds_a_graph_linked_like_the_document() {
+    let doc = generate(&XmarkConfig::new(0.05, 22));
+    let query = parse_xpath("//item").unwrap();
+    let (graph, report) = shred_xml_to_graph(&doc, &query);
+    assert_eq!(report.scenario, Scenario::XmlToGraph);
+    assert_eq!(graph.node_count(), report.extracted_items);
+    // Selected items are siblings in the document, so no child_of edges appear between them;
+    // selecting nested labels does produce edges (checked with a containing query).
+    let nested = parse_xpath("//*").unwrap();
+    let (nested_graph, _) = shred_xml_to_graph(&doc, &nested);
+    assert!(nested_graph.edge_count() > 0);
+    assert_eq!(nested_graph.node_count(), doc.size());
+}
+
+#[test]
+fn scenario_4_publishing_writes_one_path_element_per_itinerary() {
+    let graph = generate_geo_graph(&GeoConfig { cities: 20, ..Default::default() });
+    let from = graph.find_node_by_property("name", "city0").unwrap();
+    let to = graph.find_node_by_property("name", "city6").unwrap();
+    let goal =
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let outcome =
+        interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, Vec::new(), 2);
+    let (doc, report) = publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
+    assert_eq!(report.scenario, Scenario::GraphToXml);
+    assert_eq!(doc.nodes_with_label("path").len(), outcome.accepted_paths.len());
+    assert_eq!(report.extracted_items, outcome.accepted_paths.len());
+    // Every published path element records its endpoints when the path is non-empty.
+    for p in doc.nodes_with_label("path") {
+        if !doc.children(p).is_empty() {
+            assert!(doc.attribute(p, "from").is_some());
+            assert!(doc.attribute(p, "to").is_some());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration tests for the graph substrate and the path-query learners: RPQ evaluation on the
+//! geographical database, block-query learning from labelled itineraries, and the interactive
+//! path-labelling protocol with workload priors.
+
+use qbe_core::graph::{
+    evaluate, evaluate_from, generate_geo_graph, interactive_path_learn, learn_path_query,
+    learn_path_query_with_negatives, simple_paths, GeoConfig, PathConstraint, PathRegex,
+    PathStrategy,
+};
+
+fn geo(cities: usize, seed: u64) -> qbe_core::graph::PropertyGraph {
+    generate_geo_graph(&GeoConfig { cities, connectivity: 3, highway_fraction: 0.3, seed })
+}
+
+#[test]
+fn geo_generator_produces_a_connected_labelled_road_network() {
+    let g = geo(25, 3);
+    assert_eq!(g.node_count(), 25);
+    assert!(g.edge_count() > 0);
+    // Every edge carries a road type and a positive distance.
+    for e in g.edge_ids() {
+        let kind = g.edge_property(e, "type").and_then(|p| p.as_text().map(str::to_string));
+        assert!(kind.is_some());
+        let d = g.edge_property(e, "distance").and_then(|p| p.as_number()).unwrap();
+        assert!(d > 0.0);
+    }
+    // The triple view exposes one triple per edge.
+    assert_eq!(g.triples().len(), g.edge_count());
+}
+
+#[test]
+fn rpq_evaluation_agrees_with_path_enumeration() {
+    let g = geo(15, 5);
+    let regex = PathRegex::Star(Box::new(PathRegex::label("road")));
+    let reachable_pairs = evaluate(&g, &regex);
+    // For a handful of sources, every target found by path enumeration must be RPQ-reachable.
+    for source in g.node_ids().take(4) {
+        let targets = evaluate_from(&g, &regex, source);
+        for path in g.node_ids().take(6).flat_map(|t| simple_paths(&g, source, t, 4)) {
+            if let Some((from, to)) = path.endpoints(&g) {
+                assert_eq!(from, source);
+                let word = path.word(&g);
+                let refs: Vec<&str> = word.iter().map(String::as_str).collect();
+                if regex.accepts(&refs) {
+                    assert!(targets.contains(&to));
+                    assert!(reachable_pairs.contains(&(from, to)));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn path_query_learning_generalises_and_respects_negatives() {
+    let positives = vec![
+        vec!["highway".to_string(), "highway".to_string()],
+        vec!["highway".to_string(), "highway".to_string(), "highway".to_string()],
+    ];
+    let q = learn_path_query(&positives).unwrap();
+    // Accepts the training words and the natural generalisation to more repetitions.
+    assert!(q.accepts(&["highway", "highway"]));
+    assert!(q.accepts(&["highway", "highway", "highway", "highway"]));
+
+    let negatives = vec![vec!["highway".to_string(), "local".to_string()]];
+    let separated = learn_path_query_with_negatives(&positives, &negatives)
+        .unwrap()
+        .expect("the samples are separable");
+    assert!(separated.accepts(&["highway", "highway"]));
+    assert!(!separated.accepts(&["highway", "local"]));
+
+    // Non-separable samples are reported as such, not silently mislearned.
+    let impossible = learn_path_query_with_negatives(&positives, &positives).unwrap();
+    assert!(impossible.is_none());
+}
+
+#[test]
+fn block_query_and_its_regex_translation_agree() {
+    let positives = vec![
+        vec!["highway".to_string(), "national".to_string()],
+        vec!["highway".to_string(), "highway".to_string(), "national".to_string()],
+    ];
+    let q = learn_path_query(&positives).unwrap();
+    let regex = q.to_regex();
+    for word in [
+        vec!["highway", "national"],
+        vec!["highway", "highway", "national"],
+        vec!["national"],
+        vec!["local"],
+        vec![],
+    ] {
+        assert_eq!(q.accepts(&word), regex.accepts(&word), "disagreement on {word:?}");
+    }
+}
+
+#[test]
+fn interactive_path_learning_recovers_the_hidden_constraint() {
+    let g = geo(15, 7);
+    let from = g.find_node_by_property("name", "city0").unwrap();
+    let to = g.find_node_by_property("name", "city5").unwrap();
+    let goal =
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    if simple_paths(&g, from, to, 8).is_empty() {
+        return; // disconnected seed — nothing to learn, covered by other seeds
+    }
+    for strategy in [
+        PathStrategy::Random,
+        PathStrategy::ShortestFirst,
+        PathStrategy::Halving,
+        PathStrategy::WorkloadPrior,
+    ] {
+        let outcome = interactive_path_learn(&g, from, to, &goal, strategy, Vec::new(), 3);
+        // The learned constraint classifies every candidate path exactly like the goal.
+        assert!(!outcome.candidates.is_empty());
+        for path in &outcome.candidates {
+            assert_eq!(
+                outcome.learned.accepts(&g, path),
+                goal.accepts(&g, path),
+                "strategy {strategy:?} disagrees with the goal on a candidate path"
+            );
+        }
+        assert!(outcome.interactions <= outcome.candidates.len());
+    }
+}
+
+#[test]
+fn workload_prior_never_asks_more_questions_than_random_on_matching_workloads() {
+    // When previous users had the same intention, the workload prior should help (or at least
+    // not hurt) the number of interactions, which is the quantity the paper wants to minimise.
+    let g = geo(16, 13);
+    let from = g.find_node_by_property("name", "city1").unwrap();
+    let to = g.find_node_by_property("name", "city8").unwrap();
+    let goal =
+        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    if simple_paths(&g, from, to, 8).is_empty() {
+        return;
+    }
+    let workload = vec![goal.clone(), goal.clone()];
+    let mut random_total = 0usize;
+    let mut prior_total = 0usize;
+    for seed in 0..5 {
+        random_total +=
+            interactive_path_learn(&g, from, to, &goal, PathStrategy::Random, Vec::new(), seed)
+                .interactions;
+        prior_total += interactive_path_learn(
+            &g,
+            from,
+            to,
+            &goal,
+            PathStrategy::WorkloadPrior,
+            workload.clone(),
+            seed,
+        )
+        .interactions;
+    }
+    assert!(
+        prior_total <= random_total + 2,
+        "workload prior asked {prior_total} vs random {random_total}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Integration tests for the relational substrate and the join/semijoin learners: operator
+//! algebra laws, batch learning, the interactive protocol across strategies, and the
+//! crowdsourcing cost model.
+
+use qbe_core::relational::interactive::selected_pairs;
+use qbe_core::relational::{
+    cartesian_product, crowdsourced_learn, customers_orders_database, equi_join,
+    generate_join_instance, interactive_learn, join_consistent, natural_join, semijoin,
+    semijoin_consistent_exact, semijoin_learn_greedy, HitPricing, JoinInstanceConfig,
+    JoinPredicate, LabelledPair, LabelledTuple, Strategy,
+};
+
+#[test]
+fn natural_join_equals_equi_join_on_common_attributes() {
+    let db = customers_orders_database(15, 2, 1);
+    let customers = db.relation("customers").unwrap();
+    let orders = db.relation("orders").unwrap();
+    let natural = natural_join(customers, orders);
+    let predicate = JoinPredicate::natural(customers.schema(), orders.schema());
+    let equi = equi_join(customers, orders, &predicate);
+    assert_eq!(natural.len(), equi.len());
+}
+
+#[test]
+fn semijoin_projects_the_join_onto_the_left_relation() {
+    let db = customers_orders_database(12, 2, 5);
+    let customers = db.relation("customers").unwrap();
+    let orders = db.relation("orders").unwrap();
+    let predicate =
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+            .unwrap();
+    let semi = semijoin(customers, orders, &predicate);
+    let full = equi_join(customers, orders, &predicate);
+    // Every semijoin tuple comes from the left relation and participates in the join.
+    assert!(semi.len() <= customers.len());
+    assert!(semi.len() <= full.len());
+    for t in semi.tuples() {
+        assert!(customers.tuples().contains(t));
+    }
+    // The cartesian product has exactly |L|·|R| tuples.
+    assert_eq!(cartesian_product(customers, orders).len(), customers.len() * orders.len());
+}
+
+#[test]
+fn join_consistency_is_decided_correctly_in_both_directions() {
+    let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: 20,
+        right_rows: 20,
+        seed: 3,
+        ..Default::default()
+    });
+    // Labels produced by the goal itself are always consistent.
+    let labels: Vec<LabelledPair> = (0..left.len().min(right.len()))
+        .map(|i| LabelledPair::new(i, i, goal.satisfied_by(&left.tuples()[i], &right.tuples()[i])))
+        .collect();
+    assert!(join_consistent(&left, &right, &labels).unwrap().is_consistent());
+
+    // Labelling the same pair both positive and negative is inconsistent.
+    let contradictory =
+        vec![LabelledPair::new(0, 0, true), LabelledPair::new(0, 0, false)];
+    assert!(!join_consistent(&left, &right, &contradictory).unwrap().is_consistent());
+}
+
+#[test]
+fn interactive_learning_recovers_goal_semantics_under_every_strategy() {
+    for seed in [1_u64, 7, 23] {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: 12,
+            right_rows: 12,
+            seed,
+            ..Default::default()
+        });
+        let goal_selection = selected_pairs(&left, &right, &goal);
+        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+            let outcome = interactive_learn(&left, &right, &goal, strategy, seed);
+            assert!(outcome.consistent);
+            assert_eq!(
+                selected_pairs(&left, &right, &outcome.predicate),
+                goal_selection,
+                "strategy {strategy:?} learned a semantically different join"
+            );
+        }
+    }
+}
+
+#[test]
+fn informed_strategies_never_need_more_interactions_than_the_pair_count() {
+    let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: 15,
+        right_rows: 15,
+        seed: 11,
+        ..Default::default()
+    });
+    let total_pairs = left.len() * right.len();
+    for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+        let outcome = interactive_learn(&left, &right, &goal, strategy, 11);
+        assert!(outcome.interactions + outcome.inferred <= total_pairs);
+        assert!(
+            outcome.interactions < total_pairs,
+            "the protocol must prune at least some uninformative pairs"
+        );
+    }
+}
+
+#[test]
+fn semijoin_consistency_exact_and_greedy_agree_on_separable_instances() {
+    let db = customers_orders_database(10, 2, 9);
+    let customers = db.relation("customers").unwrap();
+    let orders = db.relation("orders").unwrap();
+    let goal =
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+            .unwrap();
+    let labels: Vec<LabelledTuple> = (0..customers.len())
+        .map(|i| {
+            let selected = orders
+                .tuples()
+                .iter()
+                .any(|o| goal.satisfied_by(&customers.tuples()[i], o));
+            LabelledTuple::new(i, selected)
+        })
+        .collect();
+    let exact = semijoin_consistent_exact(customers, orders, &labels);
+    assert!(exact.is_some(), "the goal itself witnesses consistency");
+    if let Some(greedy) = semijoin_learn_greedy(customers, orders, &labels) {
+        // The greedy predicate must also be consistent with every label.
+        for l in &labels {
+            let selected = orders
+                .tuples()
+                .iter()
+                .any(|o| greedy.satisfied_by(&customers.tuples()[l.index], o));
+            assert_eq!(selected, l.positive);
+        }
+    }
+}
+
+#[test]
+fn crowdsourcing_cost_is_interactions_times_hit_price() {
+    let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: 10,
+        right_rows: 10,
+        seed: 4,
+        ..Default::default()
+    });
+    let pricing = HitPricing { label_price: 0.10, feature_price: 0.02 };
+    let outcome = crowdsourced_learn(&left, &right, &goal, Strategy::HalveLattice, pricing, 4);
+    let expected = outcome.session.interactions as f64 * pricing.label_price;
+    assert!((outcome.total_cost - expected).abs() < 1e-9);
+    assert_eq!(outcome.feature_hits, 0);
+}

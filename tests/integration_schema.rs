@@ -1,0 +1,116 @@
+//! Integration tests for the schema formalisms against the XML substrate: expressiveness of the
+//! DMS (XMark DTD, synthetic web corpus), schema learning in the limit, containment, and the
+//! dependency-graph analyses that make schema-aware learning tractable.
+
+use qbe_core::schema::{
+    dms_from_dtd, learn_dms, learn_ms, schema_contained_in, schema_equivalent, DependencyGraph,
+};
+use qbe_core::xml::corpus::{generate_corpus, CorpusConfig};
+use qbe_core::xml::xmark::{generate, xmark_dtd, XmarkConfig};
+
+#[test]
+fn xmark_dtd_is_expressible_as_a_dms() {
+    // The paper: "the disjunctive multiplicity schema can express the DTD from XMark".
+    let dms = dms_from_dtd(&xmark_dtd()).expect("conversion succeeds");
+    assert!(dms.is_satisfiable());
+    // Generated XMark documents validate against the converted schema.
+    for seed in 0..3 {
+        let doc = generate(&XmarkConfig::new(0.05, seed));
+        let violations = dms.validate(&doc);
+        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+    }
+}
+
+#[test]
+fn most_corpus_dtds_are_expressible_as_dms() {
+    // The paper: the DMS "captures many of the DTDs from the real-world XML web collection".
+    let corpus = generate_corpus(&CorpusConfig::default());
+    assert!(!corpus.is_empty());
+    let expressible = corpus.iter().filter(|e| dms_from_dtd(&e.dtd).is_ok()).count();
+    let fraction = expressible as f64 / corpus.len() as f64;
+    assert!(fraction >= 0.5, "only {fraction} of the corpus DTDs convert to DMS");
+}
+
+#[test]
+fn dms_learning_identifies_the_schema_in_the_limit() {
+    // Learning from more and more documents of a fixed schema converges: the learned schema
+    // accepts every sample and eventually stops changing (identification in the limit).
+    let dms = dms_from_dtd(&xmark_dtd()).unwrap();
+    let docs: Vec<_> = (0..6).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+
+    let learned_small = learn_dms(&docs[..2]).unwrap();
+    let learned_big = learn_dms(&docs).unwrap();
+    for doc in &docs {
+        assert!(learned_big.accepts(doc));
+    }
+    // Monotone generalisation, and never more general than what the true schema allows on the
+    // labels actually observed.
+    assert!(schema_contained_in(&learned_small, &learned_big));
+    for doc in &docs {
+        assert!(dms.accepts(doc));
+    }
+}
+
+#[test]
+fn ms_learning_is_sound_and_contained_in_dms_learning() {
+    let docs: Vec<_> = (0..4).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let ms = learn_ms(&docs).unwrap();
+    let dms = learn_dms(&docs).unwrap();
+    assert!(ms.is_disjunction_free());
+    for doc in &docs {
+        assert!(ms.accepts(doc));
+        assert!(dms.accepts(doc));
+    }
+    // The disjunction-free learner can only be more general or equal on these documents.
+    assert!(schema_contained_in(&dms, &ms) || schema_equivalent(&dms, &ms));
+}
+
+#[test]
+fn containment_is_a_partial_order_on_learned_schemas() {
+    let docs: Vec<_> = (0..5).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let a = learn_dms(&docs[..2]).unwrap();
+    let b = learn_dms(&docs[..4]).unwrap();
+    let c = learn_dms(&docs).unwrap();
+    // Reflexivity, antisymmetry (via equivalence), transitivity on a chain.
+    assert!(schema_contained_in(&a, &a));
+    assert!(schema_contained_in(&a, &b));
+    assert!(schema_contained_in(&b, &c));
+    assert!(schema_contained_in(&a, &c));
+    if schema_contained_in(&b, &a) {
+        assert!(schema_equivalent(&a, &b));
+    }
+}
+
+#[test]
+fn dependency_graph_reflects_the_xmark_structure() {
+    let dms = dms_from_dtd(&xmark_dtd()).unwrap();
+    let graph = DependencyGraph::from_schema(&dms);
+    assert_eq!(graph.root(), "site");
+    // site allows regions and people as children; person is reachable, item is a descendant of
+    // regions but not of people.
+    assert!(graph.allows_child("site", "people"));
+    assert!(graph.has_descendant_path("site", "person"));
+    assert!(graph.has_descendant_path("regions", "item"));
+    assert!(!graph.has_descendant_path("people", "item"));
+    // Required children drive the implication used by the overspecialisation pruning.
+    let implied = graph.implied_children("person");
+    assert!(implied.contains("name"), "every person has a name in the XMark DTD");
+}
+
+#[test]
+fn dependency_graph_paths_agree_with_generated_documents() {
+    let dms = dms_from_dtd(&xmark_dtd()).unwrap();
+    let graph = DependencyGraph::from_schema(&dms);
+    let doc = generate(&XmarkConfig::new(0.05, 7));
+    // Every parent→child label pair occurring in the document must be allowed by the graph.
+    for node in doc.node_ids() {
+        for &child in doc.children(node) {
+            assert!(
+                graph.allows_child(doc.label(node), doc.label(child)),
+                "document edge {} → {} not allowed by the schema graph",
+                doc.label(node),
+                doc.label(child)
+            );
+        }
+    }
+}
