@@ -11,7 +11,11 @@ use qbe_core::relational::{
 };
 
 /// The orders relation of the generated customers/orders database, as a standalone instance.
-fn orders_instance(customers: usize, orders_per_customer: usize, seed: u64) -> (Instance, Relation) {
+fn orders_instance(
+    customers: usize,
+    orders_per_customer: usize,
+    seed: u64,
+) -> (Instance, Relation) {
     let db = customers_orders_database(customers, orders_per_customer, seed);
     let orders = db.relation("orders").expect("orders relation").clone();
     let mut single = Instance::new();
@@ -58,9 +62,11 @@ fn bench_cfd_discovery(c: &mut Criterion) {
     group.sample_size(20);
     for customers in [5usize, 10, 20] {
         let (_, orders) = orders_instance(customers, 4, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(orders.len()), &orders, |b, orders| {
-            b.iter(|| discover_constant_cfds(black_box(orders), 2, 2))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(orders.len()),
+            &orders,
+            |b, orders| b.iter(|| discover_constant_cfds(black_box(orders), 2, 2)),
+        );
     }
     group.finish();
 }
@@ -72,9 +78,11 @@ fn bench_bp_expressibility(c: &mut Criterion) {
         let (db, orders) = orders_instance(customers, 2, 7);
         let output = goal_output(&db);
         let single = single_relation_instance(orders);
-        group.bench_with_input(BenchmarkId::from_parameter(customers * 2), &single, |b, single| {
-            b.iter(|| bp_expressible(black_box(single), black_box(&output)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(customers * 2),
+            &single,
+            |b, single| b.iter(|| bp_expressible(black_box(single), black_box(&output))),
+        );
     }
     group.finish();
 }

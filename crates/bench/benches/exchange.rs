@@ -56,13 +56,26 @@ fn bench_scenario_3(c: &mut Criterion) {
 }
 
 fn bench_scenario_4(c: &mut Criterion) {
-    let graph = generate_geo_graph(&GeoConfig { cities: 25, ..Default::default() });
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 25,
+        ..Default::default()
+    });
     let from = graph.find_node_by_property("name", "city0").unwrap();
     let to = graph.find_node_by_property("name", "city6").unwrap();
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
-    let outcome =
-        interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, Vec::new(), 2);
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let outcome = interactive_path_learn(
+        &graph,
+        from,
+        to,
+        &goal,
+        PathStrategy::Halving,
+        Vec::new(),
+        2,
+    );
     c.bench_function("exchange/graph_to_xml", |b| {
         b.iter(|| {
             publish_graph_to_xml(
@@ -74,5 +87,11 @@ fn bench_scenario_4(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scenario_1, bench_scenario_2, bench_scenario_3, bench_scenario_4);
+criterion_group!(
+    benches,
+    bench_scenario_1,
+    bench_scenario_2,
+    bench_scenario_3,
+    bench_scenario_4
+);
 criterion_main!(benches);

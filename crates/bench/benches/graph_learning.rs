@@ -16,7 +16,10 @@ fn bench_rpq_evaluation(c: &mut Criterion) {
         PathRegex::Star(Box::new(PathRegex::label("road"))),
     ]);
     for cities in [20usize, 40, 80] {
-        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+        let graph = generate_geo_graph(&GeoConfig {
+            cities,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::from_parameter(cities), &graph, |b, graph| {
             b.iter(|| evaluate(black_box(graph), black_box(&regex)))
         });
@@ -28,7 +31,10 @@ fn bench_simple_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_learning/simple_paths");
     group.sample_size(20);
     for cities in [20usize, 35, 50] {
-        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+        let graph = generate_geo_graph(&GeoConfig {
+            cities,
+            ..Default::default()
+        });
         let from = graph.find_node_by_property("name", "city0").unwrap();
         let to = graph.find_node_by_property("name", "city5").unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(cities), &graph, |b, graph| {
@@ -56,10 +62,16 @@ fn bench_path_query_learning(c: &mut Criterion) {
 fn bench_interactive_session(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_learning/interactive");
     group.sample_size(10);
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
     for cities in [20usize, 30, 40] {
-        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+        let graph = generate_geo_graph(&GeoConfig {
+            cities,
+            ..Default::default()
+        });
         let from = graph.find_node_by_property("name", "city0").unwrap();
         let to = graph.find_node_by_property("name", "city5").unwrap();
         if simple_paths(&graph, from, to, 7).is_empty() {

@@ -16,7 +16,11 @@ fn bench_strategies(c: &mut Criterion) {
         domain_size: 6,
         seed: 5,
     });
-    for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::MostSpecificFirst,
+        Strategy::HalveLattice,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{strategy:?}")),
             &strategy,

@@ -18,7 +18,11 @@ fn labels_for(
         .map(|i| {
             let l = i % left.len();
             let r = (i * 7 + 3) % right.len();
-            LabelledPair::new(l, r, goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]))
+            LabelledPair::new(
+                l,
+                r,
+                goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]),
+            )
         })
         .collect()
 }
@@ -54,7 +58,10 @@ fn bench_semijoin_exact_vs_greedy(c: &mut Criterion) {
         });
         let labels: Vec<LabelledTuple> = (0..left.len())
             .map(|i| {
-                let has = right.tuples().iter().any(|r| goal.satisfied_by(&left.tuples()[i], r));
+                let has = right
+                    .tuples()
+                    .iter()
+                    .any(|r| goal.satisfied_by(&left.tuples()[i], r));
                 LabelledTuple::new(i, has)
             })
             .collect();
@@ -64,13 +71,15 @@ fn bench_semijoin_exact_vs_greedy(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("greedy", extra), &labels, |b, labels| {
-            b.iter(|| {
-                semijoin_learn_greedy(black_box(&left), black_box(&right), black_box(labels))
-            })
+            b.iter(|| semijoin_learn_greedy(black_box(&left), black_box(&right), black_box(labels)))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_join_consistency_rows, bench_semijoin_exact_vs_greedy);
+criterion_group!(
+    benches,
+    bench_join_consistency_rows,
+    bench_semijoin_exact_vs_greedy
+);
 criterion_main!(benches);

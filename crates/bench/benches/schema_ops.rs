@@ -15,7 +15,9 @@ fn xmark_schema() -> Dms {
 
 fn bench_containment(c: &mut Criterion) {
     let schema = xmark_schema();
-    let docs: Vec<XmlTree> = (0..4).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let docs: Vec<XmlTree> = (0..4)
+        .map(|s| generate(&XmarkConfig::new(0.03, s)))
+        .collect();
     let learned = learn_dms(&docs).unwrap();
     c.bench_function("schema_ops/containment", |b| {
         b.iter(|| schema_contained_in(black_box(&learned), black_box(&schema)))
@@ -61,8 +63,9 @@ fn bench_schema_learning(c: &mut Criterion) {
     let mut group = c.benchmark_group("schema_ops/learn_dms");
     group.sample_size(20);
     for n in [2usize, 4, 8] {
-        let docs: Vec<XmlTree> =
-            (0..n as u64).map(|s| generate(&XmarkConfig::new(0.02, s))).collect();
+        let docs: Vec<XmlTree> = (0..n as u64)
+            .map(|s| generate(&XmarkConfig::new(0.02, s)))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
             b.iter(|| learn_dms(black_box(docs)).unwrap())
         });

@@ -55,8 +55,12 @@ fn bench_document_scale(c: &mut Criterion) {
 
 fn bench_evaluation(c: &mut Criterion) {
     let doc = generate(&XmarkConfig::new(0.1, 5));
-    let queries =
-        ["//person", "//person/name", "/site/regions//item", "//open_auction/bidder/increase"];
+    let queries = [
+        "//person",
+        "//person/name",
+        "/site/regions//item",
+        "//open_auction/bidder/increase",
+    ];
     let mut group = c.benchmark_group("twig_learning/evaluate");
     for xpath in queries {
         let q = parse_xpath(xpath).unwrap();
@@ -67,5 +71,10 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_examples_count, bench_document_scale, bench_evaluation);
+criterion_group!(
+    benches,
+    bench_examples_count,
+    bench_document_scale,
+    bench_evaluation
+);
 criterion_main!(benches);

@@ -25,8 +25,12 @@ use qbe_relational::{
 /// selection queries over it have interesting correlated attributes.
 fn orders_flat(customers: usize, orders_per_customer: usize, seed: u64) -> Relation {
     let db = customers_orders_database(customers, orders_per_customer, seed);
-    let c = db.relation("customers").expect("generator always emits customers");
-    let o = db.relation("orders").expect("generator always emits orders");
+    let c = db
+        .relation("customers")
+        .expect("generator always emits customers");
+    let o = db
+        .relation("orders")
+        .expect("generator always emits orders");
     let schema = RelationSchema::new(
         "orders_flat",
         &["oid", "cid", "city", "segment", "amount_band", "express"],
@@ -39,7 +43,9 @@ fn orders_flat(customers: usize, orders_per_customer: usize, seed: u64) -> Relat
             .iter()
             .find(|t| t.get(c.schema().index_of("cid").expect("cid attribute")) == cid)
             .expect("every order references an existing customer");
-        let city = customer.get(c.schema().index_of("city").expect("city attribute")).clone();
+        let city = customer
+            .get(c.schema().index_of("city").expect("city attribute"))
+            .clone();
         let amount = match order.get(o.schema().index_of("amount").expect("amount attribute")) {
             Value::Int(a) => *a,
             _ => 0,
@@ -72,13 +78,19 @@ fn main() {
         (
             "σ[city=Paris] π[oid]",
             SpjQuery::scan("orders_flat")
-                .select(vec![Condition::AttrConst("city".into(), Value::text("Paris"))])
+                .select(vec![Condition::AttrConst(
+                    "city".into(),
+                    Value::text("Paris"),
+                )])
                 .project(&["oid"]),
         ),
         (
             "σ[amount_band=high] π[oid]",
             SpjQuery::scan("orders_flat")
-                .select(vec![Condition::AttrConst("amount_band".into(), Value::text("high"))])
+                .select(vec![Condition::AttrConst(
+                    "amount_band".into(),
+                    Value::text("high"),
+                )])
                 .project(&["oid"]),
         ),
         (
@@ -90,10 +102,15 @@ fn main() {
                 ])
                 .project(&["oid"]),
         ),
-        ("full projection π[cid]", SpjQuery::scan("orders_flat").project(&["cid"])),
+        (
+            "full projection π[cid]",
+            SpjQuery::scan("orders_flat").project(&["cid"]),
+        ),
     ];
     for (name, goal) in &goals {
-        let output = goal.evaluate(&db).expect("goal evaluates on the generated instance");
+        let output = goal
+            .evaluate(&db)
+            .expect("goal evaluates on the generated instance");
         let t = Instant::now();
         let learned = query_by_output(&db, &output);
         let micros = t.elapsed().as_micros();
@@ -126,7 +143,9 @@ fn main() {
         "view", "|view|", "exact?", "conditions", "time (µs)"
     );
     for (name, goal) in &goals {
-        let view = goal.evaluate(&db).expect("goal evaluates on the generated instance");
+        let view = goal
+            .evaluate(&db)
+            .expect("goal evaluates on the generated instance");
         if view.is_empty() {
             continue;
         }
@@ -138,11 +157,22 @@ fn main() {
                 "{:<34} {:>8} {:>12} {:>12} {:>10}",
                 name,
                 view.len(),
-                if o.accuracy.is_exact() { "exact" } else { "approximate" },
+                if o.accuracy.is_exact() {
+                    "exact"
+                } else {
+                    "approximate"
+                },
                 o.definition.size(),
                 micros
             ),
-            Err(e) => println!("{:<34} {:>8} {:>12} {:>12} {:>10}", name, view.len(), format!("{e}"), "-", micros),
+            Err(e) => println!(
+                "{:<34} {:>8} {:>12} {:>12} {:>10}",
+                name,
+                view.len(),
+                format!("{e}"),
+                "-",
+                micros
+            ),
         }
     }
 
@@ -152,7 +182,7 @@ fn main() {
         "{:<10} {:>8} {:>8} {:>14} {:>16} {:>12}",
         "rows", "minsup", "FDs", "constant CFDs", "all hold?", "time (µs)"
     );
-    for rows in [8usize, 16, 32, 64] {
+    for rows in qbe_bench::param(vec![8usize, 16, 32, 64], vec![8, 16]) {
         let relation = orders_flat(rows, 3, rows as u64);
         for minsup in [2usize, 4] {
             let t = Instant::now();
@@ -191,7 +221,10 @@ fn main() {
         (
             "σ[express] π[oid]",
             SpjQuery::scan("orders_flat")
-                .select(vec![Condition::AttrConst("express".into(), Value::Bool(true))])
+                .select(vec![Condition::AttrConst(
+                    "express".into(),
+                    Value::Bool(true),
+                )])
                 .project(&["oid"])
                 .evaluate(&single_relation_instance(flat10.clone()))
                 .expect("selection evaluates"),

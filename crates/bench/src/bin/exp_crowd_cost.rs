@@ -16,9 +16,12 @@ fn main() {
         "{:<8} {:<26} {:>12} {:>14} {:>12}",
         "rows", "variant", "label HITs", "feature HITs", "total cost $"
     );
-    let pricing = HitPricing { label_price: 0.05, feature_price: 0.02 };
-    let seeds = [3u64, 5, 8];
-    for rows in [20usize, 40, 80] {
+    let pricing = HitPricing {
+        label_price: 0.05,
+        feature_price: 0.02,
+    };
+    let seeds = qbe_bench::param(vec![3u64, 5, 8], vec![3]);
+    for rows in qbe_bench::param(vec![20usize, 40, 80], vec![20]) {
         let mut rows_out: Vec<(String, f64, f64, f64)> = Vec::new();
         for (name, strategy) in [
             ("Random", Strategy::Random),
@@ -73,5 +76,8 @@ fn main() {
             println!("{rows:<8} {name:<26} {labels:>12.1} {features:>14.1} {cost:>12.3}");
         }
     }
-    println!("\n(label HIT = ${:.2}, feature HIT = ${:.2})", pricing.label_price, pricing.feature_price);
+    println!(
+        "\n(label HIT = ${:.2}, feature HIT = ${:.2})",
+        pricing.label_price, pricing.feature_price
+    );
 }

@@ -29,29 +29,41 @@ fn shorten(query: &str, max: usize) -> String {
 
 fn main() {
     println!("E1 — cross-model exchange with learned source queries (Figure 1)");
-    println!("{:<22} {:<44} {:>9} {:>9} {:>13}", "scenario", "learned source query", "extracted", "produced", "interactions");
+    println!(
+        "{:<22} {:<44} {:>9} {:>9} {:>13}",
+        "scenario", "learned source query", "extracted", "produced", "interactions"
+    );
 
     // Scenario 1: relational → XML.
     let db = customers_orders_database(40, 3, 3);
     let customers = db.relation("customers").unwrap();
     let orders = db.relation("orders").unwrap();
-    let goal = JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+    let goal =
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
     let session = interactive_learn(customers, orders, &goal, Strategy::HalveLattice, 1);
     let (_, report) = learned_publish_relational_to_xml(customers, orders, &goal, "sales", 1);
     println!(
         "{:<22} {:<44} {:>9} {:>9} {:>13}",
-        "1 relational→XML", shorten(&report.source_query, 44), report.extracted_items, report.produced_items, session.interactions
+        "1 relational→XML",
+        shorten(&report.source_query, 44),
+        report.extracted_items,
+        report.produced_items,
+        session.interactions
     );
 
     // Scenario 2: XML → relational.
-    let doc = generate(&XmarkConfig::new(0.1, 7));
+    let doc = generate(&XmarkConfig::new(qbe_bench::param(0.1, 0.02), 7));
     let goal_q = qbe_twig::parse_xpath("//person/name").unwrap();
     let selected: Vec<_> = select(&goal_q, &doc).into_iter().collect();
     let annotated: Vec<_> = selected.iter().copied().take(2).collect();
     let (_, report) = learned_shred_xml_to_relational(&doc, &annotated, "person_names").unwrap();
     println!(
         "{:<22} {:<44} {:>9} {:>9} {:>13}",
-        "2 XML→relational", shorten(&report.source_query, 44), report.extracted_items, report.produced_items, annotated.len()
+        "2 XML→relational",
+        shorten(&report.source_query, 44),
+        report.extracted_items,
+        report.produced_items,
+        annotated.len()
     );
 
     // Scenario 3: XML → graph.
@@ -61,7 +73,11 @@ fn main() {
     let (_, report) = shred_xml_to_graph(&doc, &query);
     println!(
         "{:<22} {:<44} {:>9} {:>9} {:>13}",
-        "3 XML→graph", shorten(&report.source_query, 44), report.extracted_items, report.produced_items, examples.len()
+        "3 XML→graph",
+        shorten(&report.source_query, 44),
+        report.extracted_items,
+        report.produced_items,
+        examples.len()
     );
 
     // Scenario 4: graph → XML. The simulated user wants the itineraries whose total distance
@@ -69,7 +85,10 @@ fn main() {
     // use case names explicitly), so the learned constraint keeps a non-trivial set of paths.
     // A probe session with the unconstrained goal exposes the candidate set the interactive
     // session will reason about.
-    let graph = generate_geo_graph(&GeoConfig { cities: 30, ..Default::default() });
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: qbe_bench::param(30, 12),
+        ..Default::default()
+    });
     let from = graph.find_node_by_property("name", "city0").unwrap();
     let to = graph.find_node_by_property("name", "city9").unwrap();
     let probe = interactive_path_learn(
@@ -81,15 +100,37 @@ fn main() {
         Vec::new(),
         4,
     );
-    let mut distances: Vec<f64> =
-        probe.candidates.iter().map(|p| p.total_distance(&graph)).collect();
+    let mut distances: Vec<f64> = probe
+        .candidates
+        .iter()
+        .map(|p| p.total_distance(&graph))
+        .collect();
     distances.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
-    let median = distances.get(distances.len() / 2).copied().unwrap_or(1_000.0);
-    let goal = PathConstraint { road_type: None, max_distance: Some(median), via: None };
-    let outcome = interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, Vec::new(), 4);
+    let median = distances
+        .get(distances.len() / 2)
+        .copied()
+        .unwrap_or(1_000.0);
+    let goal = PathConstraint {
+        road_type: None,
+        max_distance: Some(median),
+        via: None,
+    };
+    let outcome = interactive_path_learn(
+        &graph,
+        from,
+        to,
+        &goal,
+        PathStrategy::Halving,
+        Vec::new(),
+        4,
+    );
     let (_, report) = publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
     println!(
         "{:<22} {:<44} {:>9} {:>9} {:>13}",
-        "4 graph→XML", shorten(&report.source_query, 44), report.extracted_items, report.produced_items, outcome.interactions
+        "4 graph→XML",
+        shorten(&report.source_query, 44),
+        report.extracted_items,
+        report.produced_items,
+        outcome.interactions
     );
 }

@@ -19,11 +19,14 @@ fn main() {
         "{:<8} {:>11} {:<16} {:>13} {:>10} {:>12}",
         "cities", "candidates", "strategy", "interactions", "inferred", "paths kept"
     );
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
     let workload = vec![goal.clone(), goal.clone(), goal.clone()];
 
-    for cities in [15usize, 25, 35, 50] {
+    for cities in qbe_bench::param(vec![15usize, 25, 35, 50], vec![15]) {
         let graph = generate_geo_graph(&GeoConfig {
             cities,
             connectivity: 3,

@@ -16,9 +16,13 @@ fn main() {
         "{:<8} {:<12} {:<20} {:>13} {:>10} {:>12}",
         "rows", "pairs", "strategy", "interactions", "inferred", "goal exact"
     );
-    let seeds = [1u64, 2, 3, 4, 5];
-    for rows in [10usize, 20, 40, 80] {
-        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+    let seeds = qbe_bench::param(vec![1u64, 2, 3, 4, 5], vec![1, 2]);
+    for rows in qbe_bench::param(vec![10usize, 20, 40, 80], vec![10, 20]) {
+        for strategy in [
+            Strategy::Random,
+            Strategy::MostSpecificFirst,
+            Strategy::HalveLattice,
+        ] {
             let mut interactions = 0usize;
             let mut inferred = 0usize;
             let mut exact = 0usize;

@@ -15,7 +15,7 @@ fn main() {
         "{:<26} {:>14} {:>13} {:>12} {:>12}",
         "goal", "size (naive)", "size (schema)", "reduction %", "same answers"
     );
-    let doc = generate(&XmarkConfig::new(0.1, 5));
+    let doc = generate(&XmarkConfig::new(qbe_bench::param(0.1, 0.03), 5));
     let schema = dms_from_dtd(&xmark_dtd()).expect("XMark DTD is DMS-expressible");
     let goals = [
         "//person",
@@ -55,5 +55,7 @@ fn main() {
     } else {
         0.0
     };
-    println!("\noverall size reduction: {overall:.1}% ({total_before} → {total_after} query nodes)");
+    println!(
+        "\noverall size reduction: {overall:.1}% ({total_before} → {total_after} query nodes)"
+    );
 }

@@ -23,7 +23,7 @@ fn main() {
     // The exact semijoin search enumerates subsets of the attribute-pair lattice and is capped at
     // 24 pairs (arity 4 × 4 here); the growth from arity 1 to 4 already spans five orders of
     // magnitude, which is the paper's tractable-vs-intractable contrast.
-    for extra in [0usize, 1, 2, 3] {
+    for extra in qbe_bench::param(vec![0usize, 1, 2, 3], vec![0, 1]) {
         let rows = 30;
         let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
             left_rows: rows,
@@ -40,7 +40,11 @@ fn main() {
             .map(|i| {
                 let l = i % left.len();
                 let r = (i * 3 + 1) % right.len();
-                LabelledPair::new(l, r, goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]))
+                LabelledPair::new(
+                    l,
+                    r,
+                    goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]),
+                )
             })
             .collect();
         let t0 = Instant::now();
@@ -51,8 +55,10 @@ fn main() {
         // Semijoin labels: each left tuple labelled by whether the goal gives it a partner.
         let tuple_labels: Vec<LabelledTuple> = (0..left.len())
             .map(|i| {
-                let has_partner =
-                    right.tuples().iter().any(|r| goal.satisfied_by(&left.tuples()[i], r));
+                let has_partner = right
+                    .tuples()
+                    .iter()
+                    .any(|r| goal.satisfied_by(&left.tuples()[i], r));
                 LabelledTuple::new(i, has_partner)
             })
             .collect();
@@ -73,7 +79,7 @@ fn main() {
 
     println!("\njoin consistency as the instance grows (arity fixed at 3):");
     println!("{:<10} {:>16}", "rows", "join (µs)");
-    for rows in [50usize, 100, 200, 400, 800] {
+    for rows in qbe_bench::param(vec![50usize, 100, 200, 400, 800], vec![50, 100]) {
         let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
             left_rows: rows,
             right_rows: rows,
@@ -85,7 +91,11 @@ fn main() {
             .map(|i| {
                 let l = i % left.len();
                 let r = (i * 7 + 3) % right.len();
-                LabelledPair::new(l, r, goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]))
+                LabelledPair::new(
+                    l,
+                    r,
+                    goal.satisfied_by(&left.tuples()[l], &right.tuples()[r]),
+                )
             })
             .collect();
         let t = Instant::now();

@@ -19,13 +19,18 @@ fn main() {
     println!("E5 — schema static analysis: timings on growing schemas");
     println!(
         "{:<12} {:>8} {:>18} {:>18} {:>20} {:>18}",
-        "alphabet", "clauses", "containment (µs)", "depgraph (µs)", "satisfiability (µs)", "validation (µs)"
+        "alphabet",
+        "clauses",
+        "containment (µs)",
+        "depgraph (µs)",
+        "satisfiability (µs)",
+        "validation (µs)"
     );
 
     // Schemas of growing total size: every collection of the corpus has its own root label and
     // its own learned DMS (documents from different collections cannot share one schema), so the
     // row aggregates the per-collection timings; the totals grow with the number of collections.
-    for collections in [2usize, 4, 8, 12, 16, 20] {
+    for collections in qbe_bench::param(vec![2usize, 4, 8, 12, 16, 20], vec![2, 4]) {
         let corpus = generate_corpus(&CorpusConfig {
             collections,
             documents_per_collection: 4,
@@ -38,9 +43,13 @@ fn main() {
         let mut satisfiability = 0u128;
         let mut validation = 0u128;
         for entry in &corpus {
-            let Ok(schema) = learn_dms(&entry.documents) else { continue };
+            let Ok(schema) = learn_dms(&entry.documents) else {
+                continue;
+            };
             let half = (entry.documents.len() / 2).max(1);
-            let Ok(smaller) = learn_dms(&entry.documents[..half]) else { continue };
+            let Ok(smaller) = learn_dms(&entry.documents[..half]) else {
+                continue;
+            };
             total_alphabet += schema.alphabet().len();
             total_clauses += schema.clause_count();
 
@@ -72,7 +81,7 @@ fn main() {
 
     // XMark reference point: the schema the twig experiments use.
     let dms = dms_from_dtd(&xmark_dtd()).unwrap();
-    let doc = generate(&XmarkConfig::new(0.1, 1));
+    let doc = generate(&XmarkConfig::new(qbe_bench::param(0.1, 0.02), 1));
     let t = Instant::now();
     let ok = dms.accepts(&doc);
     println!(

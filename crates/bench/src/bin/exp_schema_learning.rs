@@ -13,13 +13,23 @@ use qbe_xml::xmark::{generate, xmark_dtd, XmarkConfig};
 
 fn main() {
     println!("E6a — DMS expressibility of DTDs (synthetic web corpus, 20 collections)");
-    println!("{:<22} {:>12} {:>14} {:>12}", "content-model style", "collections", "DMS-expressible", "fraction");
+    println!(
+        "{:<22} {:>12} {:>14} {:>12}",
+        "content-model style", "collections", "DMS-expressible", "fraction"
+    );
     let corpus = generate_corpus(&CorpusConfig::default());
     let mut total = 0usize;
     let mut total_ok = 0usize;
-    for style in [SchemaStyle::MultiplicityOnly, SchemaStyle::Disjunctive, SchemaStyle::OrderedSequences] {
+    for style in [
+        SchemaStyle::MultiplicityOnly,
+        SchemaStyle::Disjunctive,
+        SchemaStyle::OrderedSequences,
+    ] {
         let of_style: Vec<_> = corpus.iter().filter(|e| e.style == style).collect();
-        let ok = of_style.iter().filter(|e| dms_from_dtd(&e.dtd).is_ok()).count();
+        let ok = of_style
+            .iter()
+            .filter(|e| dms_from_dtd(&e.dtd).is_ok())
+            .count();
         total += of_style.len();
         total_ok += ok;
         println!(
@@ -30,17 +40,29 @@ fn main() {
             100.0 * ok as f64 / of_style.len().max(1) as f64
         );
     }
-    println!("{:<22} {:>12} {:>14} {:>11.0}%", "total", total, total_ok, 100.0 * total_ok as f64 / total.max(1) as f64);
+    println!(
+        "{:<22} {:>12} {:>14} {:>11.0}%",
+        "total",
+        total,
+        total_ok,
+        100.0 * total_ok as f64 / total.max(1) as f64
+    );
     println!(
         "XMark DTD expressible as DMS: {}",
         dms_from_dtd(&xmark_dtd()).is_ok()
     );
 
     println!("\nE6b — identification in the limit: learned DMS vs number of sample documents");
-    println!("{:<12} {:>10} {:>12} {:>22} {:>20}", "#documents", "labels", "clauses", "accepts all samples", "equal to previous");
-    let docs: Vec<_> = (0..12).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    println!(
+        "{:<12} {:>10} {:>12} {:>22} {:>20}",
+        "#documents", "labels", "clauses", "accepts all samples", "equal to previous"
+    );
+    let n_docs = qbe_bench::param(12u64, 4);
+    let docs: Vec<_> = (0..n_docs)
+        .map(|s| generate(&XmarkConfig::new(0.03, s)))
+        .collect();
     let mut previous = None;
-    for k in [1usize, 2, 4, 6, 8, 10, 12] {
+    for k in qbe_bench::param(vec![1usize, 2, 4, 6, 8, 10, 12], vec![1, 2, 4]) {
         let learned = learn_dms(&docs[..k]).unwrap();
         let accepts_all = docs[..k].iter().all(|d| learned.accepts(d));
         let stable = previous

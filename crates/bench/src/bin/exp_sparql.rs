@@ -58,8 +58,11 @@ fn main() {
         "pattern B sols",
         "B (µs)"
     );
-    for cities in [10usize, 20, 30, 40] {
-        let graph = generate_geo_graph(&GeoConfig { cities, ..Default::default() });
+    for cities in qbe_bench::param(vec![10usize, 20, 30, 40], vec![10]) {
+        let graph = generate_geo_graph(&GeoConfig {
+            cities,
+            ..Default::default()
+        });
 
         let t0 = Instant::now();
         let rpq_answers = evaluate(&graph, &rpq).len();

@@ -33,10 +33,15 @@ fn main() {
     println!("E4 — consistency with positives and negatives: polynomial vs exhaustive");
     println!(
         "{:<12} {:<12} {:>16} {:>12} {:>16} {:>12}",
-        "#positives", "#negatives", "poly time (µs)", "poly result", "exhaustive (µs)", "exact result"
+        "#positives",
+        "#negatives",
+        "poly time (µs)",
+        "poly result",
+        "exhaustive (µs)",
+        "exact result"
     );
     let goal = parse_xpath("//a[b]").unwrap();
-    for negatives in [1usize, 2, 4, 8, 16, 32] {
+    for negatives in qbe_bench::param(vec![1usize, 2, 4, 8, 16, 32], vec![1, 2, 4]) {
         let docs = random_docs(4, negatives as u64);
         let set = ExampleSet::from_goal(&goal, docs, 2, negatives, 7);
 
@@ -61,7 +66,7 @@ fn main() {
 
     println!("\nbounded-size case (≤ k examples in total) stays polynomial:");
     println!("{:<8} {:>16}", "k", "exhaustive (µs)");
-    for k in [2usize, 3, 4, 5, 6] {
+    for k in qbe_bench::param(vec![2usize, 3, 4, 5, 6], vec![2, 3]) {
         let docs = random_docs(2, 99);
         let set = ExampleSet::from_goal(&goal, docs, k / 2 + 1, k / 2, 3);
         let t = Instant::now();

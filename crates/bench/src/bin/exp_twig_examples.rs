@@ -104,7 +104,11 @@ fn main() {
         "{:<26} {:<28} {:>10} {:>14} {:>20}",
         "goal", "xpath", "selected", "naive learner", "schema-aware learner"
     );
-    let docs: Vec<XmlTree> = (0..3).map(|s| generate(&XmarkConfig::new(0.05, s))).collect();
+    let n_docs = qbe_bench::param(3, 2);
+    let scale = qbe_bench::param(0.05, 0.02);
+    let docs: Vec<XmlTree> = (0..n_docs)
+        .map(|s| generate(&XmarkConfig::new(scale, s)))
+        .collect();
     let schema = dms_from_dtd(&xmark_dtd()).expect("the XMark DTD is DMS-expressible");
     let mut naive_counts = Vec::new();
     let mut schema_counts = Vec::new();
@@ -113,7 +117,9 @@ fn main() {
         let selected: usize = docs.iter().map(|d| select(&goal, d).len()).sum();
         let naive = mean_examples_needed(&goal, &docs, |ex| learn_from_positives(ex).ok());
         let schema_aware = mean_examples_needed(&goal, &docs, |ex| {
-            learn_with_schema(ex, &schema).ok().map(|report| report.query)
+            learn_with_schema(ex, &schema)
+                .ok()
+                .map(|report| report.query)
         });
         naive_counts.push(naive);
         schema_counts.push(schema_aware);

@@ -13,8 +13,11 @@ use qbe_xml::xmark::{generate, XmarkConfig};
 
 fn main() {
     println!("E7 — XPathMark-like suite: expressibility and learnability");
-    println!("{:<6} {:<18} {:<40} {:>10} {:>10}", "query", "class", "xpath", "selected", "learned");
-    let doc = generate(&XmarkConfig::new(0.1, 9));
+    println!(
+        "{:<6} {:<18} {:<40} {:>10} {:>10}",
+        "query", "class", "xpath", "selected", "learned"
+    );
+    let doc = generate(&XmarkConfig::new(qbe_bench::param(0.1, 0.02), 9));
     let queries = suite();
     let mut twig_expressible = 0usize;
     let mut learned_ok = 0usize;
@@ -40,7 +43,10 @@ fn main() {
             }
             None => (0, "-".to_string()),
         };
-        println!("{:<6} {:<18} {:<40} {:>10} {:>10}", q.id, class, q.xpath, selected, learned);
+        println!(
+            "{:<6} {:<18} {:<40} {:>10} {:>10}",
+            q.id, class, q.xpath, selected, learned
+        );
     }
     println!(
         "\nsuite size: {}; twig-expressible: {}; learned exactly from 2 examples: {} ({:.0}% of the suite)",

@@ -1,1 +1,63 @@
-//! placeholder
+//! Shared plumbing for the `exp_*` experiment binaries and criterion benches.
+//!
+//! Every experiment binary supports `--smoke` (or the `QBE_BENCH_SMOKE=1`
+//! environment variable): a drastically shrunk workload that exercises the
+//! same code paths in well under a second, so CI can run the whole experiment
+//! suite on every push and the binaries cannot silently rot.
+
+/// Whether the current invocation asked for the smoke (CI-sized) workload,
+/// either via a `--smoke` argument or the `QBE_BENCH_SMOKE` environment
+/// variable (any value but `0`).
+pub fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var_os("QBE_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Picks the experiment's full-size parameter normally and the shrunk one
+/// under [`smoke`]. Works for scalars, arrays and vecs alike:
+///
+/// ```
+/// let rows = qbe_bench::param(vec![50usize, 100, 200], vec![10]);
+/// let scale = qbe_bench::param(0.1, 0.02);
+/// ```
+pub fn param<T>(full: T, smoke_sized: T) -> T {
+    if smoke() {
+        smoke_sized
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // `smoke()` reads process-global state (env + args), so the two regimes
+    // are exercised in a spawned child rather than by mutating the test's own
+    // environment.
+    #[test]
+    fn smoke_env_controls_param_choice() {
+        // libtest rejects unknown `--` flags, so the child is driven through
+        // the environment variable rather than the `--smoke` argument.
+        let out = std::process::Command::new(std::env::current_exe().unwrap())
+            .args(["tests::child_sees_smoke", "--exact", "--nocapture"])
+            .env("QBE_BENCH_SMOKE", "1")
+            .output()
+            .expect("re-running the test binary works");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    #[test]
+    fn child_sees_smoke() {
+        // Only meaningful when spawned with QBE_BENCH_SMOKE=1 by
+        // smoke_env_controls_param_choice; standalone (no flag, no env) it
+        // checks the full-size branch instead.
+        if super::smoke() {
+            assert_eq!(super::param(1, 2), 2);
+        } else {
+            assert_eq!(super::param(1, 2), 1);
+        }
+    }
+}

@@ -97,8 +97,11 @@ impl<'a> Learner for TwigLearner<'a> {
 
     fn learn(&self, positives: &[XmlItem], negatives: &[XmlItem]) -> Option<Self::Query> {
         let mut set = qbe_twig::ExampleSet::new();
-        let ixs: Vec<usize> =
-            self.documents.iter().map(|d| set.add_document(d.clone())).collect();
+        let ixs: Vec<usize> = self
+            .documents
+            .iter()
+            .map(|d| set.add_document(d.clone()))
+            .collect();
         for p in positives {
             set.annotate(ixs[p.doc], p.node, true);
         }
@@ -106,7 +109,10 @@ impl<'a> Learner for TwigLearner<'a> {
             set.annotate(ixs[n.doc], n.node, false);
         }
         let result = qbe_twig::most_specific_consistent(&set);
-        result.query().cloned().map(|query| BoundTwigQuery { documents: self.documents, query })
+        result.query().cloned().map(|query| BoundTwigQuery {
+            documents: self.documents,
+            query,
+        })
     }
 }
 
@@ -138,12 +144,15 @@ impl Hypothesis for BoundJoinQuery<'_> {
     type Item = PairItem;
 
     fn selects(&self, item: &PairItem) -> bool {
-        self.predicate
-            .satisfied_by(&self.left.tuples()[item.left], &self.right.tuples()[item.right])
+        self.predicate.satisfied_by(
+            &self.left.tuples()[item.left],
+            &self.right.tuples()[item.right],
+        )
     }
 
     fn describe(&self) -> String {
-        self.predicate.describe(self.left.schema(), self.right.schema())
+        self.predicate
+            .describe(self.left.schema(), self.right.schema())
     }
 }
 
@@ -173,7 +182,11 @@ impl<'a> Learner for JoinLearner<'a> {
         qbe_relational::learn_join(self.left, self.right, &labels)
             .ok()
             .flatten()
-            .map(|predicate| BoundJoinQuery { left: self.left, right: self.right, predicate })
+            .map(|predicate| BoundJoinQuery {
+                left: self.left,
+                right: self.right,
+                predicate,
+            })
     }
 }
 
@@ -250,8 +263,14 @@ mod tests {
         let docs = xml_instance();
         let learner = TwigLearner { documents: &docs };
         let persons = docs[0].nodes_with_label("person");
-        let positives = vec![XmlItem { doc: 0, node: persons[0] }];
-        let negatives = vec![XmlItem { doc: 0, node: persons[1] }];
+        let positives = vec![XmlItem {
+            doc: 0,
+            node: persons[0],
+        }];
+        let negatives = vec![XmlItem {
+            doc: 0,
+            node: persons[1],
+        }];
         let hypothesis = learner.learn(&positives, &negatives).expect("consistent");
         assert!(hypothesis.selects(&positives[0]));
         assert!(!hypothesis.selects(&negatives[0]));
@@ -263,7 +282,10 @@ mod tests {
         let docs = xml_instance();
         let learner = TwigLearner { documents: &docs };
         let person = docs[0].nodes_with_label("person")[0];
-        let item = XmlItem { doc: 0, node: person };
+        let item = XmlItem {
+            doc: 0,
+            node: person,
+        };
         assert!(learner.learn(&[item], &[item]).is_none());
     }
 
@@ -278,9 +300,15 @@ mod tests {
             RelationSchema::new("r", &["ref"]),
             vec![Tuple::new(vec![1.into()]), Tuple::new(vec![3.into()])],
         );
-        let learner = JoinLearner { left: &left, right: &right };
+        let learner = JoinLearner {
+            left: &left,
+            right: &right,
+        };
         let hypothesis = learner
-            .learn(&[PairItem { left: 0, right: 0 }], &[PairItem { left: 1, right: 0 }])
+            .learn(
+                &[PairItem { left: 0, right: 0 }],
+                &[PairItem { left: 1, right: 0 }],
+            )
             .expect("consistent");
         assert!(hypothesis.selects(&PairItem { left: 0, right: 0 }));
         assert!(!hypothesis.selects(&PairItem { left: 1, right: 1 }));
@@ -291,10 +319,16 @@ mod tests {
     fn path_adapter_learns_and_classifies() {
         let learner = PathLearner;
         let positives = vec![
-            PathItem { word: vec!["highway".into(), "highway".into()] },
-            PathItem { word: vec!["highway".into()] },
+            PathItem {
+                word: vec!["highway".into(), "highway".into()],
+            },
+            PathItem {
+                word: vec!["highway".into()],
+            },
         ];
-        let negatives = vec![PathItem { word: vec!["local".into()] }];
+        let negatives = vec![PathItem {
+            word: vec!["local".into()],
+        }];
         let hypothesis = learner.learn(&positives, &negatives).expect("consistent");
         assert!(hypothesis.selects(&positives[0]));
         assert!(!hypothesis.selects(&negatives[0]));
@@ -304,15 +338,36 @@ mod tests {
     fn compare_hypotheses_builds_a_confusion_matrix() {
         let learner = PathLearner;
         let goal = learner
-            .learn(&[PathItem { word: vec!["highway".into()] }], &[])
+            .learn(
+                &[PathItem {
+                    word: vec!["highway".into()],
+                }],
+                &[],
+            )
             .unwrap();
         let learned = learner
-            .learn(&[PathItem { word: vec!["highway".into()] }, PathItem { word: vec!["local".into()] }], &[])
+            .learn(
+                &[
+                    PathItem {
+                        word: vec!["highway".into()],
+                    },
+                    PathItem {
+                        word: vec!["local".into()],
+                    },
+                ],
+                &[],
+            )
             .unwrap();
         let items = vec![
-            PathItem { word: vec!["highway".into()] },
-            PathItem { word: vec!["local".into()] },
-            PathItem { word: vec!["ferry".into()] },
+            PathItem {
+                word: vec!["highway".into()],
+            },
+            PathItem {
+                word: vec!["local".into()],
+            },
+            PathItem {
+                word: vec!["ferry".into()],
+            },
         ];
         let m = compare_hypotheses(&goal, &learned, items);
         assert_eq!(m.true_positives, 1);

@@ -125,7 +125,9 @@ mod tests {
     use crate::framework::{BoundPathQuery, PathItem, PathLearner};
 
     fn item(word: &[&str]) -> PathItem {
-        PathItem { word: word.iter().map(|s| s.to_string()).collect() }
+        PathItem {
+            word: word.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     fn goal() -> BoundPathQuery {
@@ -174,6 +176,9 @@ mod tests {
         let mut oracle = GoalOracle::new(goal());
         let outcome = run_interactive(&learner, &pool, &mut oracle);
         assert!(outcome.hypothesis.is_some());
-        assert!(outcome.interactions <= 1, "identical items should be asked about at most once");
+        assert!(
+            outcome.interactions <= 1,
+            "identical items should be asked about at most once"
+        );
     }
 }

@@ -88,8 +88,10 @@ pub fn shred_graph_to_relational(
     constraint: &PathConstraint,
     relation_name: &str,
 ) -> (Relation, ExchangeReport) {
-    let schema =
-        RelationSchema::new(relation_name, &["path", "step", "from", "to", "road", "distance"]);
+    let schema = RelationSchema::new(
+        relation_name,
+        &["path", "step", "from", "to", "road", "distance"],
+    );
     let mut relation = Relation::new(schema);
     for (path_ix, path) in paths.iter().enumerate() {
         for (step_ix, &edge) in path.edges.iter().enumerate() {
@@ -141,7 +143,12 @@ pub fn learned_shred_graph_to_relational(
         Vec::new(),
         seed,
     );
-    shred_graph_to_relational(graph, &outcome.accepted_paths, &outcome.learned, relation_name)
+    shred_graph_to_relational(
+        graph,
+        &outcome.accepted_paths,
+        &outcome.learned,
+        relation_name,
+    )
 }
 
 #[cfg(test)]
@@ -179,8 +186,7 @@ mod tests {
     fn learned_relational_to_graph_matches_expert_result() {
         let (customers, orders, goal) = customers_and_orders();
         let (expert, _) = publish_relational_to_graph(&customers, &orders, &goal);
-        let (learned, report) =
-            learned_publish_relational_to_graph(&customers, &orders, &goal, 17);
+        let (learned, report) = learned_publish_relational_to_graph(&customers, &orders, &goal, 17);
         assert_eq!(expert.edge_count(), learned.edge_count());
         assert_eq!(expert.node_count(), learned.node_count());
         assert!(report.source_query.contains("cid"));
@@ -188,7 +194,10 @@ mod tests {
 
     #[test]
     fn graph_to_relational_produces_one_row_per_step() {
-        let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        let graph = generate_geo_graph(&GeoConfig {
+            cities: 12,
+            ..Default::default()
+        });
         let from = graph.find_node_by_property("name", "city0").unwrap();
         let to = graph.find_node_by_property("name", "city5").unwrap();
         let goal = PathConstraint::any();
@@ -215,7 +224,10 @@ mod tests {
 
     #[test]
     fn learned_graph_to_relational_only_keeps_goal_paths() {
-        let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        let graph = generate_geo_graph(&GeoConfig {
+            cities: 12,
+            ..Default::default()
+        });
         let from = graph.find_node_by_property("name", "city0").unwrap();
         let to = graph.find_node_by_property("name", "city5").unwrap();
         let goal = PathConstraint {
@@ -236,14 +248,10 @@ mod tests {
     fn empty_join_produces_empty_graph() {
         let (customers, _, _) = customers_and_orders();
         let empty_orders = Relation::new(RelationSchema::new("orders", &["oid", "cid"]));
-        let predicate = JoinPredicate::from_names(
-            customers.schema(),
-            empty_orders.schema(),
-            &[("cid", "cid")],
-        )
-        .unwrap();
-        let (graph, report) =
-            publish_relational_to_graph(&customers, &empty_orders, &predicate);
+        let predicate =
+            JoinPredicate::from_names(customers.schema(), empty_orders.schema(), &[("cid", "cid")])
+                .unwrap();
+        let (graph, report) = publish_relational_to_graph(&customers, &empty_orders, &predicate);
         assert_eq!(graph.node_count(), 0);
         assert_eq!(report.extracted_items, 0);
     }

@@ -105,7 +105,11 @@ pub fn shred_xml_to_graph(doc: &XmlTree, query: &TwigQuery) -> (PropertyGraph, E
     let mut node_of = std::collections::BTreeMap::new();
     for &xml_node in &selected {
         let g = graph.add_node(doc.label(xml_node));
-        graph.set_node_property(g, "name", format!("{}#{}", doc.label(xml_node), xml_node.index()).as_str());
+        graph.set_node_property(
+            g,
+            "name",
+            format!("{}#{}", doc.label(xml_node), xml_node.index()).as_str(),
+        );
         graph.set_node_property(g, "value", node_value(doc, xml_node).as_str());
         node_of.insert(xml_node, g);
     }
@@ -144,7 +148,11 @@ pub fn publish_graph_to_xml(
             doc.set_attribute(path_el, "from", graph.display_name(from));
             doc.set_attribute(path_el, "to", graph.display_name(to));
         }
-        doc.set_attribute(path_el, "distance", format!("{:.1}", path.total_distance(graph)));
+        doc.set_attribute(
+            path_el,
+            "distance",
+            format!("{:.1}", path.total_distance(graph)),
+        );
         for &edge in &path.edges {
             let step = doc.add_child(path_el, "step");
             doc.set_attribute(step, "to", graph.display_name(graph.target(edge)));
@@ -201,7 +209,8 @@ mod tests {
         let customers = db.relation("customers").unwrap();
         let orders = db.relation("orders").unwrap();
         let predicate =
-            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+                .unwrap();
         let (doc, report) = publish_relational_to_xml(customers, orders, &predicate, "sales");
         assert_eq!(doc.label(XmlTree::ROOT), "sales");
         assert_eq!(report.extracted_items, 8);
@@ -215,11 +224,15 @@ mod tests {
         let customers = db.relation("customers").unwrap();
         let orders = db.relation("orders").unwrap();
         let goal =
-            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+            JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+                .unwrap();
         let (expert_doc, _) = publish_relational_to_xml(customers, orders, &goal, "sales");
         let (learned_doc, report) =
             learned_publish_relational_to_xml(customers, orders, &goal, "sales", 11);
-        assert_eq!(expert_doc.nodes_with_label("row").len(), learned_doc.nodes_with_label("row").len());
+        assert_eq!(
+            expert_doc.nodes_with_label("row").len(),
+            learned_doc.nodes_with_label("row").len()
+        );
         assert_eq!(report.scenario, Scenario::RelationalToXml);
     }
 
@@ -278,14 +291,20 @@ mod tests {
 
     #[test]
     fn scenario4_publishes_learned_paths_as_itineraries() {
-        let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+        let graph = generate_geo_graph(&GeoConfig {
+            cities: 12,
+            ..Default::default()
+        });
         let from = graph.find_node_by_property("name", "city0").unwrap();
         let to = graph.find_node_by_property("name", "city5").unwrap();
-        let goal = PathConstraint { road_type: Some("highway".into()), max_distance: None, via: None };
+        let goal = PathConstraint {
+            road_type: Some("highway".into()),
+            max_distance: None,
+            via: None,
+        };
         let outcome =
             interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, vec![], 3);
-        let (doc, report) =
-            publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
+        let (doc, report) = publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
         assert_eq!(doc.label(XmlTree::ROOT), "itineraries");
         assert_eq!(doc.nodes_with_label("path").len(), report.produced_items);
         // Every step on every path is a highway (the learned constraint).

@@ -28,7 +28,12 @@ pub struct GeoConfig {
 
 impl Default for GeoConfig {
     fn default() -> Self {
-        GeoConfig { cities: 40, connectivity: 3, highway_fraction: 0.3, seed: 42 }
+        GeoConfig {
+            cities: 40,
+            connectivity: 3,
+            highway_fraction: 0.3,
+            seed: 42,
+        }
     }
 }
 
@@ -43,13 +48,14 @@ pub fn generate_geo_graph(config: &GeoConfig) -> PropertyGraph {
         graph.set_node_property(node, "population", rng.gen_range(5_000..2_000_000));
         cities.push(node);
     }
-    let add_road = |graph: &mut PropertyGraph, a: GNodeId, b: GNodeId, kind: &str, distance: f64| {
-        for (from, to) in [(a, b), (b, a)] {
-            let e = graph.add_edge(from, to, "road");
-            graph.set_edge_property(e, "type", kind);
-            graph.set_edge_property(e, "distance", distance);
-        }
-    };
+    let add_road =
+        |graph: &mut PropertyGraph, a: GNodeId, b: GNodeId, kind: &str, distance: f64| {
+            for (from, to) in [(a, b), (b, a)] {
+                let e = graph.add_edge(from, to, "road");
+                graph.set_edge_property(e, "type", kind);
+                graph.set_edge_property(e, "distance", distance);
+            }
+        };
     // Local/national mesh: connect each city to a few of the following ones (keeps the graph
     // connected because city i always links to city i+1).
     for i in 0..config.cities {
@@ -59,7 +65,11 @@ pub fn generate_geo_graph(config: &GeoConfig) -> PropertyGraph {
             if j >= config.cities {
                 break;
             }
-            let kind = if rng.gen_bool(0.4) { "national" } else { "local" };
+            let kind = if rng.gen_bool(0.4) {
+                "national"
+            } else {
+                "local"
+            };
             let distance = rng.gen_range(10.0..120.0);
             add_road(&mut graph, cities[i], cities[j], kind, distance);
         }
@@ -94,7 +104,10 @@ mod tests {
 
     #[test]
     fn cities_have_names_and_populations() {
-        let g = generate_geo_graph(&GeoConfig { cities: 10, ..Default::default() });
+        let g = generate_geo_graph(&GeoConfig {
+            cities: 10,
+            ..Default::default()
+        });
         assert_eq!(g.node_count(), 10);
         for n in g.node_ids() {
             assert_eq!(g.node_label(n), "city");
@@ -105,8 +118,14 @@ mod tests {
 
     #[test]
     fn roads_are_bidirectional_with_properties() {
-        let g = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
-        assert!(g.edge_count() % 2 == 0, "roads are added in both directions");
+        let g = generate_geo_graph(&GeoConfig {
+            cities: 12,
+            ..Default::default()
+        });
+        assert!(
+            g.edge_count() % 2 == 0,
+            "roads are added in both directions"
+        );
         for e in g.edge_ids() {
             assert_eq!(g.edge_label(e), "road");
             let kind = g.edge_property(e, "type").unwrap().as_text().unwrap();
@@ -117,7 +136,10 @@ mod tests {
 
     #[test]
     fn all_road_types_appear() {
-        let g = generate_geo_graph(&GeoConfig { cities: 40, ..Default::default() });
+        let g = generate_geo_graph(&GeoConfig {
+            cities: 40,
+            ..Default::default()
+        });
         for kind in ROAD_TYPES {
             let found = g
                 .edge_ids()
@@ -128,10 +150,16 @@ mod tests {
 
     #[test]
     fn consecutive_cities_are_connected() {
-        let g = generate_geo_graph(&GeoConfig { cities: 15, ..Default::default() });
+        let g = generate_geo_graph(&GeoConfig {
+            cities: 15,
+            ..Default::default()
+        });
         let c0 = g.find_node_by_property("name", "city0").unwrap();
         let c5 = g.find_node_by_property("name", "city5").unwrap();
         let paths = simple_paths(&g, c0, c5, 8);
-        assert!(!paths.is_empty(), "the local mesh keeps the graph connected");
+        assert!(
+            !paths.is_empty(),
+            "the local mesh keeps the graph connected"
+        );
     }
 }

@@ -43,7 +43,11 @@ pub struct PathConstraint {
 impl PathConstraint {
     /// The unconstrained hypothesis (accepts every path).
     pub fn any() -> PathConstraint {
-        PathConstraint { road_type: None, max_distance: None, via: None }
+        PathConstraint {
+            road_type: None,
+            max_distance: None,
+            via: None,
+        }
     }
 
     /// Whether a path satisfies the constraint.
@@ -115,14 +119,20 @@ impl PathFeatures {
         let mut uniform_types = BTreeSet::new();
         if let Some(&first) = path.edges.first() {
             if let Some(t) = graph.edge_property(first, "type").and_then(|p| p.as_text()) {
-                if path.edges.iter().all(|&e| {
-                    graph.edge_property(e, "type").and_then(|p| p.as_text()) == Some(t)
-                }) {
+                if path
+                    .edges
+                    .iter()
+                    .all(|&e| graph.edge_property(e, "type").and_then(|p| p.as_text()) == Some(t))
+                {
                     uniform_types.insert(t.to_string());
                 }
             }
         }
-        PathFeatures { distance, visited, uniform_types }
+        PathFeatures {
+            distance,
+            visited,
+            uniform_types,
+        }
     }
 }
 
@@ -248,8 +258,10 @@ impl<'a> PathSession<'a> {
                 .expect("distances are finite")
         });
         candidates.truncate(MAX_CANDIDATE_PATHS);
-        let features: Vec<PathFeatures> =
-            candidates.iter().map(|p| PathFeatures::of(graph, p)).collect();
+        let features: Vec<PathFeatures> = candidates
+            .iter()
+            .map(|p| PathFeatures::of(graph, p))
+            .collect();
         let n = candidates.len();
         let words = n.div_ceil(64).max(1);
 
@@ -287,7 +299,10 @@ impl<'a> PathSession<'a> {
                 // Base acceptance of (rt, via) ignoring the distance bound.
                 let mut base = vec![0u64; words];
                 for (ix, f) in features.iter().enumerate() {
-                    let rt_ok = rt.as_ref().map(|t| f.uniform_types.contains(t)).unwrap_or(true);
+                    let rt_ok = rt
+                        .as_ref()
+                        .map(|t| f.uniform_types.contains(t))
+                        .unwrap_or(true);
                     let via_ok = via.map(|v| f.visited.contains(&v)).unwrap_or(true);
                     if rt_ok && via_ok {
                         base[ix / 64] |= 1 << (ix % 64);
@@ -295,10 +310,8 @@ impl<'a> PathSession<'a> {
                 }
                 let mut push_row =
                     |constraint: PathConstraint, mask: &[u64], rows: &mut Vec<HypothesisRow>| {
-                        let accepts: Vec<u64> =
-                            base.iter().zip(mask).map(|(b, m)| b & m).collect();
-                        let accepted_count =
-                            accepts.iter().map(|w| w.count_ones() as usize).sum();
+                        let accepts: Vec<u64> = base.iter().zip(mask).map(|(b, m)| b & m).collect();
+                        let accepted_count = accepts.iter().map(|w| w.count_ones() as usize).sum();
                         for (w, word) in accepts.iter().enumerate() {
                             let mut bits = *word;
                             while bits != 0 {
@@ -307,10 +320,18 @@ impl<'a> PathSession<'a> {
                                 bits &= bits - 1;
                             }
                         }
-                        rows.push(HypothesisRow { constraint, accepts, accepted_count });
+                        rows.push(HypothesisRow {
+                            constraint,
+                            accepts,
+                            accepted_count,
+                        });
                     };
                 push_row(
-                    PathConstraint { road_type: rt.clone(), max_distance: None, via: *via },
+                    PathConstraint {
+                        road_type: rt.clone(),
+                        max_distance: None,
+                        via: *via,
+                    },
                     &full_mask,
                     &mut rows,
                 );
@@ -318,7 +339,11 @@ impl<'a> PathSession<'a> {
                     // Number of candidates whose distance is ≤ d (they form a prefix).
                     let len = features.partition_point(|f| f.distance <= d + 1e-9);
                     push_row(
-                        PathConstraint { road_type: rt.clone(), max_distance: Some(d), via: *via },
+                        PathConstraint {
+                            road_type: rt.clone(),
+                            max_distance: Some(d),
+                            via: *via,
+                        },
                         &prefix_mask(len),
                         &mut rows,
                     );
@@ -417,7 +442,11 @@ impl<'a> PathSession<'a> {
                         .filter(|h| h.accepts_features(&self.features[ix]))
                         .count()
                 };
-                let best_prior = informative.iter().map(|&ix| prior_score(ix)).max().unwrap_or(0);
+                let best_prior = informative
+                    .iter()
+                    .map(|&ix| prior_score(ix))
+                    .max()
+                    .unwrap_or(0);
                 let half = self.rows.len() / 2;
                 *informative
                     .iter()
@@ -487,14 +516,22 @@ mod tests {
     use crate::geo::{generate_geo_graph, GeoConfig};
 
     fn setup() -> (PropertyGraph, GNodeId, GNodeId) {
-        let g = generate_geo_graph(&GeoConfig { cities: 14, connectivity: 3, ..Default::default() });
+        let g = generate_geo_graph(&GeoConfig {
+            cities: 14,
+            connectivity: 3,
+            ..Default::default()
+        });
         let from = g.find_node_by_property("name", "city0").unwrap();
         let to = g.find_node_by_property("name", "city6").unwrap();
         (g, from, to)
     }
 
     fn highway_goal() -> PathConstraint {
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None }
+        PathConstraint {
+            road_type: Some("highway".to_string()),
+            max_distance: None,
+            via: None,
+        }
     }
 
     #[test]
@@ -503,7 +540,10 @@ mod tests {
         let paths = simple_paths(&g, from, to, 6);
         assert!(!paths.is_empty());
         let any = PathConstraint::any();
-        assert_eq!(paths.iter().filter(|p| any.accepts(&g, p)).count(), paths.len());
+        assert_eq!(
+            paths.iter().filter(|p| any.accepts(&g, p)).count(),
+            paths.len()
+        );
         let highway = highway_goal();
         let highway_count = paths.iter().filter(|p| highway.accepts(&g, p)).count();
         assert!(highway_count < paths.len());
@@ -529,7 +569,8 @@ mod tests {
             PathStrategy::Halving,
             PathStrategy::WorkloadPrior,
         ] {
-            let outcome = interactive_path_learn(&g, from, to, &highway_goal(), strategy, vec![], 5);
+            let outcome =
+                interactive_path_learn(&g, from, to, &highway_goal(), strategy, vec![], 5);
             assert!(outcome.interactions <= outcome.interactions + outcome.inferred);
             // The learned constraint classifies every candidate path exactly as the goal does.
             for p in &outcome.candidates {
@@ -575,7 +616,10 @@ mod tests {
         );
         // The prior-guided session still learns the correct constraint.
         for p in &with_prior.candidates {
-            assert_eq!(with_prior.learned.accepts(&g, p), highway_goal().accepts(&g, p));
+            assert_eq!(
+                with_prior.learned.accepts(&g, p),
+                highway_goal().accepts(&g, p)
+            );
         }
     }
 
@@ -592,14 +636,20 @@ mod tests {
             9,
         );
         let median = {
-            let mut d: Vec<f64> =
-                probe.candidates.iter().map(|p| p.total_distance(&g)).collect();
+            let mut d: Vec<f64> = probe
+                .candidates
+                .iter()
+                .map(|p| p.total_distance(&g))
+                .collect();
             d.sort_by(|a, b| a.partial_cmp(b).unwrap());
             d[d.len() / 2]
         };
-        let goal = PathConstraint { road_type: None, max_distance: Some(median), via: None };
-        let outcome =
-            interactive_path_learn(&g, from, to, &goal, PathStrategy::Halving, vec![], 9);
+        let goal = PathConstraint {
+            road_type: None,
+            max_distance: Some(median),
+            via: None,
+        };
+        let outcome = interactive_path_learn(&g, from, to, &goal, PathStrategy::Halving, vec![], 9);
         for p in &outcome.candidates {
             assert_eq!(outcome.learned.accepts(&g, p), goal.accepts(&g, p));
         }

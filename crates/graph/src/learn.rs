@@ -37,7 +37,10 @@ pub struct Block {
 
 impl Block {
     fn one(label: &str) -> Block {
-        Block { labels: BTreeSet::from([label.to_string()]), multiplicity: BlockMultiplicity::One }
+        Block {
+            labels: BTreeSet::from([label.to_string()]),
+            multiplicity: BlockMultiplicity::One,
+        }
     }
 
     fn matches(&self, label: &str) -> bool {
@@ -48,7 +51,11 @@ impl Block {
 impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let labels: Vec<&str> = self.labels.iter().map(String::as_str).collect();
-        let body = if labels.len() == 1 { labels[0].to_string() } else { format!("({})", labels.join("|")) };
+        let body = if labels.len() == 1 {
+            labels[0].to_string()
+        } else {
+            format!("({})", labels.join("|"))
+        };
         match self.multiplicity {
             BlockMultiplicity::One => write!(f, "{body}"),
             BlockMultiplicity::OneOrMore => write!(f, "{body}+"),
@@ -242,8 +249,12 @@ fn generalise(a: &BlockPathQuery, b: &BlockPathQuery) -> BlockPathQuery {
         if compatible(&a.blocks[i], &b.blocks[j]) && table[i][j] == table[i + 1][j + 1] + 1 {
             let mut labels = a.blocks[i].labels.clone();
             labels.extend(b.blocks[j].labels.iter().cloned());
-            let multiplicity = merge_multiplicity(a.blocks[i].multiplicity, b.blocks[j].multiplicity);
-            out.push(Block { labels, multiplicity });
+            let multiplicity =
+                merge_multiplicity(a.blocks[i].multiplicity, b.blocks[j].multiplicity);
+            out.push(Block {
+                labels,
+                multiplicity,
+            });
             i += 1;
             j += 1;
         } else if table[i + 1][j] >= table[i][j + 1] {
@@ -273,7 +284,10 @@ fn merge_multiplicity(a: BlockMultiplicity, b: BlockMultiplicity) -> BlockMultip
 }
 
 fn weaken_to_optional(block: &Block) -> Block {
-    Block { labels: block.labels.clone(), multiplicity: BlockMultiplicity::ZeroOrMore }
+    Block {
+        labels: block.labels.clone(),
+        multiplicity: BlockMultiplicity::ZeroOrMore,
+    }
 }
 
 #[cfg(test)]
@@ -286,7 +300,10 @@ mod tests {
 
     #[test]
     fn no_examples_is_an_error() {
-        assert_eq!(learn_path_query(&[]).unwrap_err(), PathLearnError::NoExamples);
+        assert_eq!(
+            learn_path_query(&[]).unwrap_err(),
+            PathLearnError::NoExamples
+        );
     }
 
     #[test]
@@ -334,14 +351,19 @@ mod tests {
         let positives = vec![word(&["road", "road"])];
         // The positive collapses to road+, which also accepts the negative "road".
         let negatives = vec![word(&["road"])];
-        assert_eq!(learn_path_query_with_negatives(&positives, &negatives).unwrap(), None);
+        assert_eq!(
+            learn_path_query_with_negatives(&positives, &negatives).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn negatives_are_rejected_when_separable() {
         let positives = vec![word(&["highway", "highway"]), word(&["highway"])];
         let negatives = vec![word(&["local"]), word(&["highway", "local"])];
-        let q = learn_path_query_with_negatives(&positives, &negatives).unwrap().expect("separable");
+        let q = learn_path_query_with_negatives(&positives, &negatives)
+            .unwrap()
+            .expect("separable");
         assert!(q.accepts(&["highway", "highway", "highway"]));
         assert!(!q.accepts(&["highway", "local"]));
     }

@@ -28,11 +28,6 @@ pub mod pattern;
 pub mod rpq;
 
 pub use geo::{generate_geo_graph, GeoConfig, ROAD_TYPES};
-pub use pattern::{
-    evaluate_pattern, is_well_designed, select_nodes, Binding, Constraint, GraphPattern, Mapping,
-    PredTerm, Term, TriplePattern,
-};
-pub use nre::{eval_nre, eval_nre_from, ConjunctiveNre, Nre, NreAtom};
 pub use interactive::{
     interactive_path_learn, GoalPathOracle, PathConstraint, PathOracle, PathSession,
     PathSessionOutcome, PathStrategy,
@@ -42,6 +37,11 @@ pub use learn::{
     PathLearnError,
 };
 pub use model::{GEdgeId, GNodeId, PropValue, PropertyGraph, Triple};
+pub use nre::{eval_nre, eval_nre_from, ConjunctiveNre, Nre, NreAtom};
+pub use pattern::{
+    evaluate_pattern, is_well_designed, select_nodes, Binding, Constraint, GraphPattern, Mapping,
+    PredTerm, Term, TriplePattern,
+};
 pub use rpq::{evaluate, evaluate_from, simple_paths, Path, PathRegex};
 
 #[cfg(test)]
@@ -51,7 +51,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn label_strategy() -> impl Strategy<Value = String> {
-        prop_oneof![Just("road".to_string()), Just("train".to_string()), Just("ferry".to_string())]
+        prop_oneof![
+            Just("road".to_string()),
+            Just("train".to_string()),
+            Just("ferry".to_string())
+        ]
     }
 
     proptest! {

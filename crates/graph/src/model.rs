@@ -129,20 +129,39 @@ impl PropertyGraph {
     pub fn add_edge(&mut self, from: GNodeId, to: GNodeId, label: impl Into<String>) -> GEdgeId {
         assert!(from.0 < self.nodes.len() as u32 && to.0 < self.nodes.len() as u32);
         let id = GEdgeId(self.edges.len() as u32);
-        self.edges.push(EdgeData { from, to, label: label.into(), properties: BTreeMap::new() });
+        self.edges.push(EdgeData {
+            from,
+            to,
+            label: label.into(),
+            properties: BTreeMap::new(),
+        });
         self.nodes[from.0 as usize].outgoing.push(id);
         self.nodes[to.0 as usize].incoming.push(id);
         id
     }
 
     /// Set a node property.
-    pub fn set_node_property(&mut self, node: GNodeId, key: impl Into<String>, value: impl Into<PropValue>) {
-        self.nodes[node.0 as usize].properties.insert(key.into(), value.into());
+    pub fn set_node_property(
+        &mut self,
+        node: GNodeId,
+        key: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) {
+        self.nodes[node.0 as usize]
+            .properties
+            .insert(key.into(), value.into());
     }
 
     /// Set an edge property.
-    pub fn set_edge_property(&mut self, edge: GEdgeId, key: impl Into<String>, value: impl Into<PropValue>) {
-        self.edges[edge.0 as usize].properties.insert(key.into(), value.into());
+    pub fn set_edge_property(
+        &mut self,
+        edge: GEdgeId,
+        key: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) {
+        self.edges[edge.0 as usize]
+            .properties
+            .insert(key.into(), value.into());
     }
 
     /// Node label.
@@ -207,14 +226,15 @@ impl PropertyGraph {
 
     /// Nodes carrying a given label.
     pub fn nodes_with_label(&self, label: &str) -> Vec<GNodeId> {
-        self.node_ids().filter(|n| self.node_label(*n) == label).collect()
+        self.node_ids()
+            .filter(|n| self.node_label(*n) == label)
+            .collect()
     }
 
     /// Find a node by the value of a property (first match).
     pub fn find_node_by_property(&self, key: &str, value: &str) -> Option<GNodeId> {
-        self.node_ids().find(|n| {
-            self.node_property(*n, key).and_then(PropValue::as_text) == Some(value)
-        })
+        self.node_ids()
+            .find(|n| self.node_property(*n, key).and_then(PropValue::as_text) == Some(value))
     }
 
     /// Distinct edge labels, sorted.
@@ -239,7 +259,10 @@ impl PropertyGraph {
 
     /// Human-readable node name used by the triple view and the exchange scenarios.
     pub fn display_name(&self, node: GNodeId) -> String {
-        match self.node_property(node, "name").and_then(PropValue::as_text) {
+        match self
+            .node_property(node, "name")
+            .and_then(PropValue::as_text)
+        {
             Some(name) => name.to_string(),
             None => format!("{}#{}", self.node_label(node), node.0),
         }
@@ -278,8 +301,14 @@ mod tests {
     fn properties_are_retrievable() {
         let g = sample();
         let e = g.edge_ids().next().unwrap();
-        assert_eq!(g.edge_property(e, "type").unwrap().as_text(), Some("highway"));
-        assert_eq!(g.edge_property(e, "distance").unwrap().as_number(), Some(225.0));
+        assert_eq!(
+            g.edge_property(e, "type").unwrap().as_text(),
+            Some("highway")
+        );
+        assert_eq!(
+            g.edge_property(e, "distance").unwrap().as_number(),
+            Some(225.0)
+        );
         assert!(g.edge_property(e, "toll").is_none());
     }
 
@@ -295,11 +324,14 @@ mod tests {
         let g = sample();
         let triples = g.triples();
         assert_eq!(triples.len(), 1);
-        assert_eq!(triples[0], Triple {
-            subject: "Lille".to_string(),
-            predicate: "road".to_string(),
-            object: "Paris".to_string(),
-        });
+        assert_eq!(
+            triples[0],
+            Triple {
+                subject: "Lille".to_string(),
+                predicate: "road".to_string(),
+                object: "Paris".to_string(),
+            }
+        );
     }
 
     #[test]

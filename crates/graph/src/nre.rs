@@ -114,17 +114,17 @@ pub fn eval_nre(graph: &PropertyGraph, nre: &Nre) -> BTreeSet<(GNodeId, GNodeId)
             .filter(|&e| graph.edge_label(e) == l)
             .map(|e| (graph.source(e), graph.target(e)))
             .collect(),
-        Nre::AnyEdge => {
-            graph.edge_ids().map(|e| (graph.source(e), graph.target(e))).collect()
-        }
+        Nre::AnyEdge => graph
+            .edge_ids()
+            .map(|e| (graph.source(e), graph.target(e)))
+            .collect(),
         Nre::NodeLabel(l) => graph
             .node_ids()
             .filter(|&n| graph.node_label(n) == l)
             .map(|n| (n, n))
             .collect(),
         Nre::Concat(parts) => {
-            let mut acc: BTreeSet<(GNodeId, GNodeId)> =
-                graph.node_ids().map(|n| (n, n)).collect();
+            let mut acc: BTreeSet<(GNodeId, GNodeId)> = graph.node_ids().map(|n| (n, n)).collect();
             for part in parts {
                 let rel = eval_nre(graph, part);
                 acc = compose(&acc, &rel);
@@ -161,7 +161,11 @@ pub fn eval_nre(graph: &PropertyGraph, nre: &Nre) -> BTreeSet<(GNodeId, GNodeId)
 
 /// Nodes reachable from `source` by the expression.
 pub fn eval_nre_from(graph: &PropertyGraph, nre: &Nre, source: GNodeId) -> BTreeSet<GNodeId> {
-    eval_nre(graph, nre).into_iter().filter(|&(s, _)| s == source).map(|(_, t)| t).collect()
+    eval_nre(graph, nre)
+        .into_iter()
+        .filter(|&(s, _)| s == source)
+        .map(|(_, t)| t)
+        .collect()
 }
 
 /// Relational composition of two binary relations over nodes.
@@ -235,7 +239,11 @@ impl ConjunctiveNre {
 
     /// Add an atom `subject —nre→ object`.
     pub fn atom(mut self, subject: impl Into<String>, nre: Nre, object: impl Into<String>) -> Self {
-        self.atoms.push(NreAtom { subject: subject.into(), nre, object: object.into() });
+        self.atoms.push(NreAtom {
+            subject: subject.into(),
+            nre,
+            object: object.into(),
+        });
         self
     }
 
@@ -270,8 +278,14 @@ impl ConjunctiveNre {
             let mut next = Vec::new();
             for assignment in &assignments {
                 for &(s, t) in rel {
-                    let subject_ok = assignment.get(&atom.subject).map(|&v| v == s).unwrap_or(true);
-                    let object_ok = assignment.get(&atom.object).map(|&v| v == t).unwrap_or(true);
+                    let subject_ok = assignment
+                        .get(&atom.subject)
+                        .map(|&v| v == s)
+                        .unwrap_or(true);
+                    let object_ok = assignment
+                        .get(&atom.object)
+                        .map(|&v| v == t)
+                        .unwrap_or(true);
                     if subject_ok && object_ok {
                         let mut extended = assignment.clone();
                         extended.insert(atom.subject.clone(), s);
@@ -343,17 +357,28 @@ mod tests {
         let has_train = eval_nre(&g, &Nre::Nest(Box::new(Nre::label("train"))));
         assert_eq!(has_train, BTreeSet::from([(b, b)]));
         // road followed by [train]: reach a city that has a train connection.
-        let road_to_station_city =
-            eval_nre(&g, &Nre::Concat(vec![Nre::label("road"), Nre::Nest(Box::new(Nre::label("train")))]));
+        let road_to_station_city = eval_nre(
+            &g,
+            &Nre::Concat(vec![
+                Nre::label("road"),
+                Nre::Nest(Box::new(Nre::label("train"))),
+            ]),
+        );
         assert_eq!(road_to_station_city, BTreeSet::from([(a, b)]));
     }
 
     #[test]
     fn node_label_test_restricts_endpoints() {
         let (g, [_, b, _, d]) = small_graph();
-        let q = Nre::Concat(vec![Nre::label("train"), Nre::NodeLabel("station".to_string())]);
+        let q = Nre::Concat(vec![
+            Nre::label("train"),
+            Nre::NodeLabel("station".to_string()),
+        ]);
         assert_eq!(eval_nre(&g, &q), BTreeSet::from([(b, d)]));
-        let none = Nre::Concat(vec![Nre::label("train"), Nre::NodeLabel("city".to_string())]);
+        let none = Nre::Concat(vec![
+            Nre::label("train"),
+            Nre::NodeLabel("city".to_string()),
+        ]);
         assert!(eval_nre(&g, &none).is_empty());
     }
 
@@ -381,7 +406,10 @@ mod tests {
         assert_eq!(answers[0]["x"], a);
         assert_eq!(answers[0]["y"], b);
         assert_eq!(answers[0]["z"], d);
-        assert_eq!(q.variables(), vec!["x".to_string(), "y".to_string(), "z".to_string()]);
+        assert_eq!(
+            q.variables(),
+            vec!["x".to_string(), "y".to_string(), "z".to_string()]
+        );
     }
 
     #[test]
@@ -406,7 +434,10 @@ mod tests {
 
     #[test]
     fn highway_reachability_on_the_geo_generator() {
-        let g = generate_geo_graph(&GeoConfig { cities: 20, ..Default::default() });
+        let g = generate_geo_graph(&GeoConfig {
+            cities: 20,
+            ..Default::default()
+        });
         // Cities reachable by highways only, with every visited city having some outgoing road.
         let q = Nre::Plus(Box::new(Nre::Concat(vec![
             Nre::label("road"),

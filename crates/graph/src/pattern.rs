@@ -84,7 +84,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Build a triple pattern.
     pub fn new(subject: Term, predicate: PredTerm, object: Term) -> TriplePattern {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 }
 
@@ -230,9 +234,9 @@ impl GraphPattern {
     pub fn size(&self) -> usize {
         match self {
             GraphPattern::Bgp(triples) => triples.len().max(1),
-            GraphPattern::And(a, b)
-            | GraphPattern::Optional(a, b)
-            | GraphPattern::Union(a, b) => 1 + a.size() + b.size(),
+            GraphPattern::And(a, b) | GraphPattern::Optional(a, b) | GraphPattern::Union(a, b) => {
+                1 + a.size() + b.size()
+            }
             GraphPattern::Filter(p, _) => 1 + p.size(),
         }
     }
@@ -240,7 +244,8 @@ impl GraphPattern {
 
 /// Two mappings are compatible when they agree on every shared variable.
 pub fn compatible(a: &Mapping, b: &Mapping) -> bool {
-    a.iter().all(|(k, v)| b.get(k).map(|w| w == v).unwrap_or(true))
+    a.iter()
+        .all(|(k, v)| b.get(k).map(|w| w == v).unwrap_or(true))
 }
 
 fn merge(a: &Mapping, b: &Mapping) -> Mapping {
@@ -254,7 +259,11 @@ fn merge(a: &Mapping, b: &Mapping) -> Mapping {
 fn match_triple(graph: &PropertyGraph, pattern: &TriplePattern) -> Vec<Mapping> {
     let mut out = Vec::new();
     for edge in graph.edge_ids() {
-        let (src, dst, label) = (graph.source(edge), graph.target(edge), graph.edge_label(edge));
+        let (src, dst, label) = (
+            graph.source(edge),
+            graph.target(edge),
+            graph.edge_label(edge),
+        );
         let mut mapping = Mapping::new();
         let subject_ok = match &pattern.subject {
             Term::Node(n) => *n == src,
@@ -347,9 +356,7 @@ pub fn evaluate_pattern(graph: &PropertyGraph, pattern: &GraphPattern) -> Vec<Ma
             }
             acc
         }
-        GraphPattern::And(a, b) => {
-            join(&evaluate_pattern(graph, a), &evaluate_pattern(graph, b))
-        }
+        GraphPattern::And(a, b) => join(&evaluate_pattern(graph, a), &evaluate_pattern(graph, b)),
         GraphPattern::Optional(a, b) => {
             left_outer_join(&evaluate_pattern(graph, a), &evaluate_pattern(graph, b))
         }
@@ -469,7 +476,9 @@ mod tests {
         let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"));
         let sols = evaluate_pattern(&g, &p);
         assert_eq!(sols.len(), 2);
-        assert!(sols.iter().any(|m| m["x"] == Binding::Node(a) && m["y"] == Binding::Node(b)));
+        assert!(sols
+            .iter()
+            .any(|m| m["x"] == Binding::Node(a) && m["y"] == Binding::Node(b)));
     }
 
     #[test]
@@ -498,12 +507,10 @@ mod tests {
     fn optional_keeps_unextended_mappings() {
         let (g, _, _, _) = roads();
         // Every road edge, optionally extended by a further road edge from its target.
-        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-            .optional(GraphPattern::triple(
-                Term::var("y"),
-                PredTerm::label("road"),
-                Term::var("z"),
-            ));
+        let p =
+            GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")).optional(
+                GraphPattern::triple(Term::var("y"), PredTerm::label("road"), Term::var("z")),
+            );
         let sols = evaluate_pattern(&g, &p);
         assert_eq!(sols.len(), 2);
         assert_eq!(sols.iter().filter(|m| m.contains_key("z")).count(), 1);
@@ -512,19 +519,25 @@ mod tests {
     #[test]
     fn union_combines_and_deduplicates() {
         let (g, _, _, _) = roads();
-        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-            .union(GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y")));
+        let p =
+            GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")).union(
+                GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y")),
+            );
         assert_eq!(evaluate_pattern(&g, &p).len(), 3);
-        let dup = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-            .union(GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")));
+        let dup =
+            GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")).union(
+                GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")),
+            );
         assert_eq!(evaluate_pattern(&g, &dup).len(), 2);
     }
 
     #[test]
     fn filter_selects_by_node_property() {
         let (g, a, _, _) = roads();
-        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-            .filter(Constraint::NodePropEquals("x".into(), "name".into(), "Lille".into()));
+        let p =
+            GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")).filter(
+                Constraint::NodePropEquals("x".into(), "name".into(), "Lille".into()),
+            );
         let sols = evaluate_pattern(&g, &p);
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["x"], Binding::Node(a));
@@ -535,7 +548,10 @@ mod tests {
         let (g, _, _, _) = roads();
         let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
             .filter(Constraint::SameNode("x".into(), "y".into()));
-        assert!(evaluate_pattern(&g, &p).is_empty(), "there are no self-loop roads");
+        assert!(
+            evaluate_pattern(&g, &p).is_empty(),
+            "there are no self-loop roads"
+        );
         let q = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
             .filter(Constraint::Bound("x".into()));
         assert_eq!(evaluate_pattern(&g, &q).len(), 2);
@@ -551,12 +567,10 @@ mod tests {
 
     #[test]
     fn well_designed_accepts_proper_optional_use() {
-        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-            .optional(GraphPattern::triple(
-                Term::var("y"),
-                PredTerm::label("road"),
-                Term::var("z"),
-            ));
+        let p =
+            GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")).optional(
+                GraphPattern::triple(Term::var("y"), PredTerm::label("road"), Term::var("z")),
+            );
         assert!(is_well_designed(&p));
     }
 
@@ -568,13 +582,18 @@ mod tests {
         let p2 = GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("z"));
         let p3 = GraphPattern::triple(Term::var("z"), PredTerm::label("road"), Term::var("w"));
         let pattern = p1.optional(p2).and(p3);
-        assert!(!is_well_designed(&pattern), "?z occurs in the OPT branch and outside it");
+        assert!(
+            !is_well_designed(&pattern),
+            "?z occurs in the OPT branch and outside it"
+        );
     }
 
     #[test]
     fn union_patterns_are_not_well_designed() {
-        let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-            .union(GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y")));
+        let p =
+            GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y")).union(
+                GraphPattern::triple(Term::var("x"), PredTerm::label("train"), Term::var("y")),
+            );
         assert!(!is_well_designed(&p));
     }
 
@@ -592,7 +611,10 @@ mod tests {
     fn variables_and_size_are_reported() {
         let p = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
             .filter(Constraint::Bound("x".into()));
-        assert_eq!(p.variables(), ["x".to_string(), "y".to_string()].into_iter().collect());
+        assert_eq!(
+            p.variables(),
+            ["x".to_string(), "y".to_string()].into_iter().collect()
+        );
         assert_eq!(p.size(), 2);
     }
 

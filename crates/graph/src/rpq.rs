@@ -90,7 +90,11 @@ struct Nfa {
 
 impl Nfa {
     fn compile(regex: &PathRegex) -> Nfa {
-        let mut nfa = Nfa { transitions: vec![Vec::new(), Vec::new()], start: 0, accept: 1 };
+        let mut nfa = Nfa {
+            transitions: vec![Vec::new(), Vec::new()],
+            start: 0,
+            accept: 1,
+        };
         nfa.build(regex, 0, 1);
         nfa
     }
@@ -110,7 +114,11 @@ impl Nfa {
                 }
                 let mut current = from;
                 for (ix, part) in parts.iter().enumerate() {
-                    let next = if ix == parts.len() - 1 { to } else { self.new_state() };
+                    let next = if ix == parts.len() - 1 {
+                        to
+                    } else {
+                        self.new_state()
+                    };
                     self.build(part, current, next);
                     current = next;
                 }
@@ -213,7 +221,11 @@ pub fn evaluate(graph: &PropertyGraph, regex: &PathRegex) -> BTreeSet<(GNodeId, 
 }
 
 /// All node pairs reachable from `source` under the RPQ.
-pub fn evaluate_from(graph: &PropertyGraph, regex: &PathRegex, source: GNodeId) -> BTreeSet<GNodeId> {
+pub fn evaluate_from(
+    graph: &PropertyGraph,
+    regex: &PathRegex,
+    source: GNodeId,
+) -> BTreeSet<GNodeId> {
     evaluate(graph, regex)
         .into_iter()
         .filter(|(s, _)| *s == source)
@@ -231,7 +243,10 @@ pub struct Path {
 impl Path {
     /// The edge-label word of the path.
     pub fn word(&self, graph: &PropertyGraph) -> Vec<String> {
-        self.edges.iter().map(|e| graph.edge_label(*e).to_string()).collect()
+        self.edges
+            .iter()
+            .map(|e| graph.edge_label(*e).to_string())
+            .collect()
     }
 
     /// Endpoints of the path (`None` for the empty path).
@@ -245,15 +260,19 @@ impl Path {
     pub fn total_distance(&self, graph: &PropertyGraph) -> f64 {
         self.edges
             .iter()
-            .filter_map(|e| graph.edge_property(*e, "distance").and_then(|v| v.as_number()))
+            .filter_map(|e| {
+                graph
+                    .edge_property(*e, "distance")
+                    .and_then(|v| v.as_number())
+            })
             .sum()
     }
 
     /// Whether every edge has the given text property value.
     pub fn all_edges_have(&self, graph: &PropertyGraph, key: &str, value: &str) -> bool {
-        self.edges.iter().all(|e| {
-            graph.edge_property(*e, key).and_then(|v| v.as_text()) == Some(value)
-        })
+        self.edges
+            .iter()
+            .all(|e| graph.edge_property(*e, key).and_then(|v| v.as_text()) == Some(value))
     }
 
     /// Number of edges.
@@ -279,7 +298,9 @@ pub fn simple_paths(
         vec![(from, Vec::new(), BTreeSet::from([from]))];
     while let Some((node, edges, visited)) = stack.pop() {
         if node == to && !edges.is_empty() {
-            out.push(Path { edges: edges.clone() });
+            out.push(Path {
+                edges: edges.clone(),
+            });
             // Paths may continue through `to` only if it can be revisited — with simple paths it
             // cannot, so stop extending here.
             continue;
@@ -309,11 +330,13 @@ mod tests {
     /// a --road--> b --road--> c --train--> d,  a --train--> c
     fn graph() -> (PropertyGraph, Vec<GNodeId>) {
         let mut g = PropertyGraph::new();
-        let nodes: Vec<GNodeId> = (0..4).map(|i| {
-            let n = g.add_node("city");
-            g.set_node_property(n, "name", format!("c{i}").as_str());
-            n
-        }).collect();
+        let nodes: Vec<GNodeId> = (0..4)
+            .map(|i| {
+                let n = g.add_node("city");
+                g.set_node_property(n, "name", format!("c{i}").as_str());
+                n
+            })
+            .collect();
         g.add_edge(nodes[0], nodes[1], "road");
         g.add_edge(nodes[1], nodes[2], "road");
         g.add_edge(nodes[2], nodes[3], "train");
@@ -360,7 +383,10 @@ mod tests {
         assert!(pairs.contains(&(n[0], n[1])));
         assert!(pairs.contains(&(n[0], n[2])));
         assert!(pairs.contains(&(n[1], n[2])));
-        assert!(!pairs.contains(&(n[0], n[3])), "d is only reachable via a train edge");
+        assert!(
+            !pairs.contains(&(n[0], n[3])),
+            "d is only reachable via a train edge"
+        );
     }
 
     #[test]
@@ -408,7 +434,9 @@ mod tests {
         g.set_edge_property(e1, "type", "highway");
         g.set_edge_property(e2, "distance", 50.0);
         g.set_edge_property(e2, "type", "local");
-        let path = Path { edges: vec![e1, e2] };
+        let path = Path {
+            edges: vec![e1, e2],
+        };
         assert_eq!(path.total_distance(&g), 150.0);
         assert!(!path.all_edges_have(&g, "type", "highway"));
         assert_eq!(path.endpoints(&g), Some((a, c)));

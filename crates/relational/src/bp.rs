@@ -24,7 +24,11 @@ use crate::model::{Instance, Relation, Tuple, Value};
 
 /// The active domain of a relation: the set of values occurring in it.
 pub fn active_domain(relation: &Relation) -> BTreeSet<Value> {
-    relation.tuples().iter().flat_map(|t| t.values().iter().cloned()).collect()
+    relation
+        .tuples()
+        .iter()
+        .flat_map(|t| t.values().iter().cloned())
+        .collect()
 }
 
 /// The active domain of an instance.
@@ -39,7 +43,10 @@ pub fn apply_map(relation: &Relation, map: &BTreeMap<Value, Value>) -> Relation 
         .iter()
         .map(|t| {
             Tuple::new(
-                t.values().iter().map(|v| map.get(v).cloned().unwrap_or_else(|| v.clone())).collect(),
+                t.values()
+                    .iter()
+                    .map(|v| map.get(v).cloned().unwrap_or_else(|| v.clone()))
+                    .collect(),
             )
         })
         .collect();
@@ -66,7 +73,13 @@ fn occurrence_profile(db: &Instance, value: &Value) -> Vec<usize> {
     let mut profile = Vec::new();
     for relation in db.relations() {
         for col in 0..relation.schema().arity() {
-            profile.push(relation.tuples().iter().filter(|t| t.get(col) == value).count());
+            profile.push(
+                relation
+                    .tuples()
+                    .iter()
+                    .filter(|t| t.get(col) == value)
+                    .count(),
+            );
         }
     }
     profile
@@ -91,8 +104,11 @@ fn value_colours(db: &Instance, domain: &[Value]) -> Vec<usize> {
         let mut next: Vec<Vec<Vec<usize>>> = domain.iter().map(|_| Vec::new()).collect();
         for (rel_ix, relation) in db.relations().enumerate() {
             for tuple in relation.tuples() {
-                let tuple_colours: Vec<usize> =
-                    tuple.values().iter().map(|v| colours[index_of[v]]).collect();
+                let tuple_colours: Vec<usize> = tuple
+                    .values()
+                    .iter()
+                    .map(|v| colours[index_of[v]])
+                    .collect();
                 for (pos, v) in tuple.values().iter().enumerate() {
                     let mut contribution = vec![rel_ix, pos];
                     contribution.extend(&tuple_colours);
@@ -172,7 +188,15 @@ pub fn automorphisms(db: &Instance) -> Vec<BTreeMap<Value, Value>> {
         }
     }
 
-    backtrack(db, &domain, &profiles, 0, &mut assignment, &mut used, &mut result);
+    backtrack(
+        db,
+        &domain,
+        &profiles,
+        0,
+        &mut assignment,
+        &mut used,
+        &mut result,
+    );
     result
 }
 
@@ -197,7 +221,11 @@ impl fmt::Display for BpObstruction {
                     .filter(|(a, b)| a != b)
                     .map(|(a, b)| format!("{a}↦{b}"))
                     .collect();
-                write!(f, "input automorphism {{{}}} does not preserve the output", moved.join(", "))
+                write!(
+                    f,
+                    "input automorphism {{{}}} does not preserve the output",
+                    moved.join(", ")
+                )
             }
         }
     }
@@ -238,7 +266,11 @@ pub fn bp_expressible(input: &Instance, output: &Relation) -> BpVerdict {
             };
         }
     }
-    BpVerdict { expressible: true, obstruction: None, automorphism_count: count }
+    BpVerdict {
+        expressible: true,
+        obstruction: None,
+        automorphism_count: count,
+    }
 }
 
 /// Decide whether a single relational algebra expression is consistent with a finite sequence of
@@ -264,7 +296,10 @@ mod tests {
     fn edge_relation(edges: &[(i64, i64)]) -> Relation {
         Relation::with_tuples(
             RelationSchema::new("edge", &["src", "dst"]),
-            edges.iter().map(|&(a, b)| Tuple::new(vec![a.into(), b.into()])).collect(),
+            edges
+                .iter()
+                .map(|&(a, b)| Tuple::new(vec![a.into(), b.into()]))
+                .collect(),
         )
     }
 
@@ -317,7 +352,10 @@ mod tests {
         let output = unary("out", &[7]);
         let verdict = bp_expressible(&input, &output);
         assert!(!verdict.expressible);
-        assert_eq!(verdict.obstruction, Some(BpObstruction::ForeignValue(Value::Int(7))));
+        assert_eq!(
+            verdict.obstruction,
+            Some(BpObstruction::ForeignValue(Value::Int(7)))
+        );
     }
 
     #[test]
@@ -327,7 +365,10 @@ mod tests {
         let output = unary("out", &[1]);
         let verdict = bp_expressible(&input, &output);
         assert!(!verdict.expressible);
-        assert!(matches!(verdict.obstruction, Some(BpObstruction::SymmetryBroken(_))));
+        assert!(matches!(
+            verdict.obstruction,
+            Some(BpObstruction::SymmetryBroken(_))
+        ));
         assert_eq!(verdict.automorphism_count, 2);
     }
 
@@ -366,14 +407,23 @@ mod tests {
         let mut map = BTreeMap::new();
         map.insert(Value::Int(1), Value::Int(2));
         map.insert(Value::Int(2), Value::Int(1));
-        assert!(!preserves(&r, &map), "reversing the single edge changes the relation");
+        assert!(
+            !preserves(&r, &map),
+            "reversing the single edge changes the relation"
+        );
     }
 
     #[test]
     fn sequence_expressibility_reports_per_pair_verdicts() {
         let pairs = vec![
-            (single_relation_instance(unary("r", &[1, 2])), unary("out", &[1, 2])),
-            (single_relation_instance(unary("r", &[3, 4])), unary("out", &[3])),
+            (
+                single_relation_instance(unary("r", &[1, 2])),
+                unary("out", &[1, 2]),
+            ),
+            (
+                single_relation_instance(unary("r", &[3, 4])),
+                unary("out", &[3]),
+            ),
         ];
         let verdicts = sequence_expressible(&pairs);
         assert!(verdicts[0].expressible);

@@ -63,7 +63,11 @@ impl Cfd {
     pub fn new(lhs: Vec<(usize, Pattern)>, rhs: usize, rhs_pattern: Pattern) -> Cfd {
         let mut lhs = lhs;
         lhs.sort_by_key(|(ix, _)| *ix);
-        Cfd { lhs, rhs, rhs_pattern }
+        Cfd {
+            lhs,
+            rhs,
+            rhs_pattern,
+        }
     }
 
     /// Whether a tuple matches the left-hand-side pattern.
@@ -73,7 +77,11 @@ impl Cfd {
 
     /// Tuples of the relation matching the left-hand side (the CFD's *support set*).
     pub fn support(&self, relation: &Relation) -> usize {
-        relation.tuples().iter().filter(|t| self.lhs_matches(t)).count()
+        relation
+            .tuples()
+            .iter()
+            .filter(|t| self.lhs_matches(t))
+            .count()
     }
 
     /// Number of violating tuples (or pairs, for wildcard right-hand sides).
@@ -90,8 +98,11 @@ impl Cfd {
                 .filter(|t| self.lhs_matches(t) && t.get(self.rhs) != v)
                 .count(),
             Pattern::Wildcard => {
-                let matching: Vec<&Tuple> =
-                    relation.tuples().iter().filter(|t| self.lhs_matches(t)).collect();
+                let matching: Vec<&Tuple> = relation
+                    .tuples()
+                    .iter()
+                    .filter(|t| self.lhs_matches(t))
+                    .collect();
                 let lhs_ixs: Vec<usize> = self.lhs.iter().map(|(ix, _)| *ix).collect();
                 let mut violations = 0;
                 for (i, a) in matching.iter().enumerate() {
@@ -115,9 +126,17 @@ impl Cfd {
     /// Render the CFD using the relation's attribute names.
     pub fn describe(&self, relation: &Relation) -> String {
         let attrs = relation.schema().attributes();
-        let lhs: Vec<String> =
-            self.lhs.iter().map(|(ix, p)| format!("{}={}", attrs[*ix], p)).collect();
-        format!("[{}] → {}={}", lhs.join(", "), attrs[self.rhs], self.rhs_pattern)
+        let lhs: Vec<String> = self
+            .lhs
+            .iter()
+            .map(|(ix, p)| format!("{}={}", attrs[*ix], p))
+            .collect();
+        format!(
+            "[{}] → {}={}",
+            lhs.join(", "),
+            attrs[self.rhs],
+            self.rhs_pattern
+        )
     }
 }
 
@@ -193,11 +212,7 @@ pub fn discover_fds(relation: &Relation, max_lhs: usize) -> Vec<DiscoveredFd> {
 /// Discovery of constant CFDs `(X=consts → A=const)` with support ≥ `min_support` and
 /// `|X| ≤ max_lhs`, excluding those already implied by a discovered CFD with a smaller
 /// left-hand side on the same right-hand attribute and pattern.
-pub fn discover_constant_cfds(
-    relation: &Relation,
-    max_lhs: usize,
-    min_support: usize,
-) -> Vec<Cfd> {
+pub fn discover_constant_cfds(relation: &Relation, max_lhs: usize, min_support: usize) -> Vec<Cfd> {
     let arity = relation.schema().arity();
     let mut out: Vec<Cfd> = Vec::new();
     for size in 1..=max_lhs.min(arity.saturating_sub(1)) {
@@ -245,7 +260,13 @@ pub fn discover_constant_cfds(
 fn combinations(n: usize, size: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(size);
-    fn rec(n: usize, size: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        n: usize,
+        size: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == size {
             out.push(current.clone());
             return;
@@ -298,12 +319,20 @@ mod tests {
         let r = addresses();
         let fds = discover_fds(&r, 2);
         let rendered: Vec<String> = fds.iter().map(|f| f.to_string()).collect();
-        assert!(rendered.contains(&"city → country".to_string()), "{rendered:?}");
-        assert!(rendered.contains(&"country → currency".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"city → country".to_string()),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.contains(&"country → currency".to_string()),
+            "{rendered:?}"
+        );
         // id is a key, so id → city must be reported with the singleton lhs only.
         assert!(rendered.contains(&"id → city".to_string()), "{rendered:?}");
         assert!(
-            !rendered.iter().any(|s| s.starts_with("id,") && s.ends_with("→ city")),
+            !rendered
+                .iter()
+                .any(|s| s.starts_with("id,") && s.ends_with("→ city")),
             "non-minimal FD reported: {rendered:?}"
         );
     }
@@ -334,8 +363,15 @@ mod tests {
         assert!(!cfd.holds(&r));
         assert!(cfd.violations(&r) > 0);
         // Conditioned on country=CH it still fails (Geneva vs Zurich).
-        let ch = Cfd::new(vec![(2, Pattern::Const(Value::text("CH")))], 1, Pattern::Wildcard);
-        assert_eq!(ch.violations(&ch_relation_projection(&r)), ch.violations(&r));
+        let ch = Cfd::new(
+            vec![(2, Pattern::Const(Value::text("CH")))],
+            1,
+            Pattern::Wildcard,
+        );
+        assert_eq!(
+            ch.violations(&ch_relation_projection(&r)),
+            ch.violations(&r)
+        );
         assert!(!ch.holds(&r));
     }
 
@@ -372,8 +408,12 @@ mod tests {
         let cfds = discover_constant_cfds(&r, 1, 3);
         // Only the FR group has 3 tuples.
         assert!(cfds.iter().all(|c| c.support(&r) >= 3));
-        assert!(cfds.iter().any(|c| c.describe(&r) == "[country=FR] → currency=EUR"));
-        assert!(!cfds.iter().any(|c| c.describe(&r).starts_with("[country=CH]")));
+        assert!(cfds
+            .iter()
+            .any(|c| c.describe(&r) == "[country=FR] → currency=EUR"));
+        assert!(!cfds
+            .iter()
+            .any(|c| c.describe(&r).starts_with("[country=CH]")));
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl ChainPredicate {
     /// The most general chain predicate over `k` relations (no equalities anywhere).
     pub fn top(k: usize) -> ChainPredicate {
         assert!(k >= 2, "a chain needs at least two relations");
-        ChainPredicate { preds: vec![JoinPredicate::empty(); k - 1] }
+        ChainPredicate {
+            preds: vec![JoinPredicate::empty(); k - 1],
+        }
     }
 
     /// Predicates of the chain, in order.
@@ -58,7 +60,11 @@ impl ChainPredicate {
 
     /// Whether a combination of tuples (one per relation) satisfies every adjacent predicate.
     pub fn satisfied_by(&self, tuples: &[&Tuple]) -> bool {
-        assert_eq!(tuples.len(), self.relations(), "one tuple per relation expected");
+        assert_eq!(
+            tuples.len(),
+            self.relations(),
+            "one tuple per relation expected"
+        );
         self.preds
             .iter()
             .enumerate()
@@ -69,7 +75,11 @@ impl ChainPredicate {
     /// appears in `other` at the same position).
     pub fn subset_of(&self, other: &ChainPredicate) -> bool {
         self.preds.len() == other.preds.len()
-            && self.preds.iter().zip(&other.preds).all(|(a, b)| a.subset_of(b))
+            && self
+                .preds
+                .iter()
+                .zip(&other.preds)
+                .all(|(a, b)| a.subset_of(b))
     }
 
     /// Human-readable rendering against the relation schemas.
@@ -141,8 +151,12 @@ pub fn most_specific_chain(
         );
         let mut pred = all_pairs;
         for label in labels.iter().filter(|l| l.positive) {
-            let agreement =
-                agreement_set(&relations[i], &relations[i + 1], label.indices[i], label.indices[i + 1]);
+            let agreement = agreement_set(
+                &relations[i],
+                &relations[i + 1],
+                label.indices[i],
+                label.indices[i + 1],
+            );
             pred = pred.intersect(&agreement);
         }
         preds.push(pred);
@@ -157,7 +171,11 @@ pub fn chain_consistent(
     labels: &[LabelledCombination],
 ) -> ChainConsistency {
     for label in labels {
-        assert_eq!(label.indices.len(), relations.len(), "one index per relation expected");
+        assert_eq!(
+            label.indices.len(),
+            relations.len(),
+            "one index per relation expected"
+        );
         for (ix, &t) in label.indices.iter().enumerate() {
             assert!(t < relations[ix].len(), "tuple index out of range");
         }
@@ -191,7 +209,9 @@ pub fn chain_join(relations: &[Relation], predicate: &ChainPredicate) -> Relatio
         // `relations[i-1].arity()` columns of the accumulated result — shift accordingly.
         let offset = left_arity - relations[i - 1].schema().arity();
         let shifted = JoinPredicate::from_pairs(
-            predicate.predicates()[i - 1].pairs().map(|(a, b)| (a + offset, b)),
+            predicate.predicates()[i - 1]
+                .pairs()
+                .map(|(a, b)| (a + offset, b)),
         );
         acc = equi_join(&acc, right, &shifted);
         left_arity += right.schema().arity();
@@ -236,7 +256,11 @@ pub fn interactive_chain_learn(
         inferred += outcome.inferred;
         preds.push(outcome.predicate);
     }
-    ChainSessionOutcome { predicate: ChainPredicate::new(preds), interactions, inferred }
+    ChainSessionOutcome {
+        predicate: ChainPredicate::new(preds),
+        interactions,
+        inferred,
+    }
 }
 
 /// Configuration of the synthetic chain-instance generator.
@@ -256,7 +280,13 @@ pub struct ChainInstanceConfig {
 
 impl Default for ChainInstanceConfig {
     fn default() -> Self {
-        ChainInstanceConfig { relations: 3, rows: 30, extra_attributes: 1, domain_size: 6, seed: 42 }
+        ChainInstanceConfig {
+            relations: 3,
+            rows: 30,
+            extra_attributes: 1,
+            domain_size: 6,
+            seed: 42,
+        }
     }
 }
 
@@ -278,12 +308,14 @@ pub fn generate_chain_instance(config: &ChainInstanceConfig) -> (Vec<Relation>, 
         for row in 0..config.rows {
             let mut values = vec![crate::model::Value::Int(row as i64)];
             if r > 0 {
-                values.push(crate::model::Value::Int(rng.gen_range(0..config.rows) as i64));
+                values.push(crate::model::Value::Int(
+                    rng.gen_range(0..config.rows) as i64
+                ));
             }
-            values.extend(
-                (0..config.extra_attributes)
-                    .map(|_| crate::model::Value::Int(rng.gen_range(0..config.domain_size) as i64)),
-            );
+            values
+                .extend((0..config.extra_attributes).map(|_| {
+                    crate::model::Value::Int(rng.gen_range(0..config.domain_size) as i64)
+                }));
             rel.insert(Tuple::new(values));
         }
         relations.push(rel);
@@ -307,7 +339,11 @@ mod tests {
     use crate::interactive::Strategy;
 
     fn chain(seed: u64) -> (Vec<Relation>, ChainPredicate) {
-        generate_chain_instance(&ChainInstanceConfig { rows: 12, seed, ..Default::default() })
+        generate_chain_instance(&ChainInstanceConfig {
+            rows: 12,
+            seed,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -330,7 +366,10 @@ mod tests {
                 .enumerate()
                 .map(|(ix, &t)| &relations[ix].tuples()[t])
                 .collect();
-            labels.push(LabelledCombination::new(indices, goal.satisfied_by(&tuples)));
+            labels.push(LabelledCombination::new(
+                indices,
+                goal.satisfied_by(&tuples),
+            ));
         }
         let outcome = chain_consistent(&relations, &labels);
         assert!(outcome.is_consistent());
@@ -377,8 +416,7 @@ mod tests {
     #[test]
     fn interactive_chain_learning_recovers_goal_semantics() {
         let (relations, goal) = chain(5);
-        let outcome =
-            interactive_chain_learn(&relations, &goal, Strategy::MostSpecificFirst, 11);
+        let outcome = interactive_chain_learn(&relations, &goal, Strategy::MostSpecificFirst, 11);
         // Learned and goal chains select the same combinations (checked on a sample).
         for i in 0..relations[0].len() {
             for j in 0..relations[1].len().min(6) {

@@ -23,7 +23,10 @@ pub struct HitPricing {
 impl Default for HitPricing {
     fn default() -> Self {
         // Defaults in the ballpark of typical micro-task marketplaces.
-        HitPricing { label_price: 0.05, feature_price: 0.02 }
+        HitPricing {
+            label_price: 0.05,
+            feature_price: 0.02,
+        }
     }
 }
 
@@ -40,9 +43,13 @@ pub struct CrowdOutcome {
 
 impl CrowdOutcome {
     fn new(session: SessionOutcome, feature_hits: usize, pricing: HitPricing) -> CrowdOutcome {
-        let total_cost =
-            session.interactions as f64 * pricing.label_price + feature_hits as f64 * pricing.feature_price;
-        CrowdOutcome { session, feature_hits, total_cost }
+        let total_cost = session.interactions as f64 * pricing.label_price
+            + feature_hits as f64 * pricing.feature_price;
+        CrowdOutcome {
+            session,
+            feature_hits,
+            total_cost,
+        }
     }
 }
 
@@ -86,7 +93,10 @@ mod tests {
             right_rows: 10,
             ..Default::default()
         });
-        let pricing = HitPricing { label_price: 0.10, feature_price: 0.01 };
+        let pricing = HitPricing {
+            label_price: 0.10,
+            feature_price: 0.01,
+        };
         let outcome = crowdsourced_learn(&left, &right, &goal, Strategy::Random, pricing, 1);
         let expected = outcome.session.interactions as f64 * 0.10;
         assert!((outcome.total_cost - expected).abs() < 1e-9);
@@ -101,8 +111,7 @@ mod tests {
             ..Default::default()
         });
         let pricing = HitPricing::default();
-        let outcome =
-            crowdsourced_learn_with_features(&left, &right, &goal, 4, pricing, 1);
+        let outcome = crowdsourced_learn_with_features(&left, &right, &goal, 4, pricing, 1);
         assert_eq!(outcome.feature_hits, 4);
         assert!(outcome.total_cost >= 4.0 * pricing.feature_price);
     }
@@ -116,7 +125,14 @@ mod tests {
         });
         let pricing = HitPricing::default();
         let a = crowdsourced_learn(&left, &right, &goal, Strategy::Random, pricing, 2);
-        let b = crowdsourced_learn(&left, &right, &goal, Strategy::MostSpecificFirst, pricing, 2);
+        let b = crowdsourced_learn(
+            &left,
+            &right,
+            &goal,
+            Strategy::MostSpecificFirst,
+            pricing,
+            2,
+        );
         if b.session.interactions <= a.session.interactions {
             assert!(b.total_cost <= a.total_cost);
         }

@@ -47,10 +47,14 @@ pub fn generate_join_instance(config: &JoinInstanceConfig) -> (Relation, Relatio
     let right_attrs: Vec<String> = std::iter::once("fkey".to_string())
         .chain((0..config.extra_attributes).map(|i| format!("r{i}")))
         .collect();
-    let left_schema =
-        RelationSchema::new("left", &left_attrs.iter().map(String::as_str).collect::<Vec<_>>());
-    let right_schema =
-        RelationSchema::new("right", &right_attrs.iter().map(String::as_str).collect::<Vec<_>>());
+    let left_schema = RelationSchema::new(
+        "left",
+        &left_attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let right_schema = RelationSchema::new(
+        "right",
+        &right_attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
 
     let mut left = Relation::new(left_schema);
     for key in 0..config.left_rows {
@@ -81,12 +85,17 @@ pub fn generate_join_instance(config: &JoinInstanceConfig) -> (Relation, Relatio
 }
 
 /// A small customers/orders/items database used by the publishing (relational → XML) scenario.
-pub fn customers_orders_database(customers: usize, orders_per_customer: usize, seed: u64) -> crate::model::Instance {
+pub fn customers_orders_database(
+    customers: usize,
+    orders_per_customer: usize,
+    seed: u64,
+) -> crate::model::Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let cities = ["Lille", "Paris", "New York", "Tokyo", "Lima", "Berlin"];
     let products = ["lamp", "chair", "desk", "monitor", "keyboard", "notebook"];
 
-    let mut customer_rel = Relation::new(RelationSchema::new("customers", &["cid", "name", "city"]));
+    let mut customer_rel =
+        Relation::new(RelationSchema::new("customers", &["cid", "name", "city"]));
     for cid in 0..customers {
         customer_rel.insert(Tuple::new(vec![
             Value::Int(cid as i64),
@@ -94,8 +103,10 @@ pub fn customers_orders_database(customers: usize, orders_per_customer: usize, s
             Value::text(cities[rng.gen_range(0..cities.len())]),
         ]));
     }
-    let mut orders_rel =
-        Relation::new(RelationSchema::new("orders", &["oid", "cid", "product", "amount"]));
+    let mut orders_rel = Relation::new(RelationSchema::new(
+        "orders",
+        &["oid", "cid", "product", "amount"],
+    ));
     let mut oid = 0;
     for cid in 0..customers {
         for _ in 0..orders_per_customer {
@@ -121,7 +132,12 @@ mod tests {
 
     #[test]
     fn generated_instance_has_requested_shape() {
-        let cfg = JoinInstanceConfig { left_rows: 30, right_rows: 20, extra_attributes: 3, ..Default::default() };
+        let cfg = JoinInstanceConfig {
+            left_rows: 30,
+            right_rows: 20,
+            extra_attributes: 3,
+            ..Default::default()
+        };
         let (left, right, goal) = generate_join_instance(&cfg);
         assert_eq!(left.len(), 30);
         assert_eq!(right.len(), 20);

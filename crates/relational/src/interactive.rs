@@ -57,7 +57,12 @@ pub struct GoalOracle<'a> {
 impl<'a> GoalOracle<'a> {
     /// Create an oracle for a hidden goal predicate.
     pub fn new(left: &'a Relation, right: &'a Relation, goal: JoinPredicate) -> GoalOracle<'a> {
-        GoalOracle { left, right, goal, questions: 0 }
+        GoalOracle {
+            left,
+            right,
+            goal,
+            questions: 0,
+        }
     }
 
     /// How many questions the oracle has answered.
@@ -69,7 +74,8 @@ impl<'a> GoalOracle<'a> {
 impl LabelOracle for GoalOracle<'_> {
     fn label(&mut self, left: usize, right: usize) -> bool {
         self.questions += 1;
-        self.goal.satisfied_by(&self.left.tuples()[left], &self.right.tuples()[right])
+        self.goal
+            .satisfied_by(&self.left.tuples()[left], &self.right.tuples()[right])
     }
 }
 
@@ -138,8 +144,10 @@ impl<'a> InteractiveSession<'a> {
 
     /// Status of a candidate pair under the current version space.
     pub fn status(&self, left_ix: usize, right_ix: usize) -> PairStatus {
-        if let Some(&(_, positive)) =
-            self.labelled.iter().find(|((l, r), _)| *l == left_ix && *r == right_ix)
+        if let Some(&(_, positive)) = self
+            .labelled
+            .iter()
+            .find(|((l, r), _)| *l == left_ix && *r == right_ix)
         {
             return PairStatus::Labelled(positive);
         }
@@ -185,7 +193,9 @@ impl<'a> InteractiveSession<'a> {
 
     /// Whether the labels recorded so far are still jointly consistent.
     pub fn is_consistent(&self) -> bool {
-        self.negative_agreements.iter().all(|neg| !self.theta_max.subset_of(neg))
+        self.negative_agreements
+            .iter()
+            .all(|neg| !self.theta_max.subset_of(neg))
     }
 
     fn choose(&mut self, informative: &[(usize, usize)]) -> (usize, usize) {
@@ -194,7 +204,9 @@ impl<'a> InteractiveSession<'a> {
             Strategy::MostSpecificFirst => *informative
                 .iter()
                 .max_by_key(|&&(l, r)| {
-                    agreement_set(self.left, self.right, l, r).intersect(&self.theta_max).len()
+                    agreement_set(self.left, self.right, l, r)
+                        .intersect(&self.theta_max)
+                        .len()
                 })
                 .expect("non-empty"),
             Strategy::HalveLattice => {
@@ -249,7 +261,11 @@ pub fn interactive_learn(
 
 /// The set of pairs selected by a predicate (used in tests and experiments to compare learned
 /// and goal queries semantically).
-pub fn selected_pairs(left: &Relation, right: &Relation, p: &JoinPredicate) -> BTreeSet<(usize, usize)> {
+pub fn selected_pairs(
+    left: &Relation,
+    right: &Relation,
+    p: &JoinPredicate,
+) -> BTreeSet<(usize, usize)> {
     let mut out = BTreeSet::new();
     for (l, lt) in left.tuples().iter().enumerate() {
         for (r, rt) in right.tuples().iter().enumerate() {
@@ -290,13 +306,18 @@ mod tests {
     }
 
     fn goal() -> JoinPredicate {
-        JoinPredicate::from_names(customers().schema(), orders().schema(), &[("cid", "cid")]).unwrap()
+        JoinPredicate::from_names(customers().schema(), orders().schema(), &[("cid", "cid")])
+            .unwrap()
     }
 
     #[test]
     fn interactive_learning_recovers_the_goal_semantically() {
         let (c, o) = (customers(), orders());
-        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+        for strategy in [
+            Strategy::Random,
+            Strategy::MostSpecificFirst,
+            Strategy::HalveLattice,
+        ] {
             let outcome = interactive_learn(&c, &o, &goal(), strategy, 7);
             assert!(outcome.consistent);
             assert_eq!(
@@ -348,12 +369,19 @@ mod tests {
         // has pinned the goal down to {cid=cid}.
         session.record(1, 1, true);
         assert!(session.is_consistent());
-        assert_eq!(session.current_hypothesis(), &JoinPredicate::from_pairs([(0, 1)]));
+        assert_eq!(
+            session.current_hypothesis(),
+            &JoinPredicate::from_pairs([(0, 1)])
+        );
     }
 
     #[test]
     fn greedy_strategies_use_fewer_or_equal_interactions_than_random_on_average() {
-        let config = JoinInstanceConfig { left_rows: 20, right_rows: 20, ..Default::default() };
+        let config = JoinInstanceConfig {
+            left_rows: 20,
+            right_rows: 20,
+            ..Default::default()
+        };
         let (left, right, goal) = generate_join_instance(&config);
         let random: usize = (0..5)
             .map(|s| interactive_learn(&left, &right, &goal, Strategy::Random, s).interactions)
@@ -371,10 +399,18 @@ mod tests {
 
     #[test]
     fn all_strategies_terminate_and_agree_on_generated_instances() {
-        let config = JoinInstanceConfig { left_rows: 15, right_rows: 12, ..Default::default() };
+        let config = JoinInstanceConfig {
+            left_rows: 15,
+            right_rows: 12,
+            ..Default::default()
+        };
         let (left, right, goal) = generate_join_instance(&config);
         let reference = selected_pairs(&left, &right, &goal);
-        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+        for strategy in [
+            Strategy::Random,
+            Strategy::MostSpecificFirst,
+            Strategy::HalveLattice,
+        ] {
             let outcome = interactive_learn(&left, &right, &goal, strategy, 42);
             assert_eq!(selected_pairs(&left, &right, &outcome.predicate), reference);
         }

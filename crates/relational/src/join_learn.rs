@@ -31,7 +31,11 @@ pub struct LabelledPair {
 impl LabelledPair {
     /// Convenience constructor.
     pub fn new(left: usize, right: usize, positive: bool) -> LabelledPair {
-        LabelledPair { left, right, positive }
+        LabelledPair {
+            left,
+            right,
+            positive,
+        }
     }
 }
 
@@ -59,10 +63,16 @@ fn check_indices(
 ) -> Result<(), IndexError> {
     for l in labels {
         if l.left >= left.len() {
-            return Err(IndexError { side: "left", index: l.left });
+            return Err(IndexError {
+                side: "left",
+                index: l.left,
+            });
         }
         if l.right >= right.len() {
-            return Err(IndexError { side: "right", index: l.right });
+            return Err(IndexError {
+                side: "right",
+                index: l.right,
+            });
         }
     }
     Ok(())
@@ -88,8 +98,7 @@ pub fn most_specific_predicate(
 ) -> Result<JoinPredicate, IndexError> {
     check_indices(left, right, labels)?;
     let all_pairs = JoinPredicate::from_pairs(
-        (0..left.schema().arity())
-            .flat_map(|i| (0..right.schema().arity()).map(move |j| (i, j))),
+        (0..left.schema().arity()).flat_map(|i| (0..right.schema().arity()).map(move |j| (i, j))),
     );
     let mut current = all_pairs;
     for l in labels.iter().filter(|l| l.positive) {
@@ -141,7 +150,9 @@ pub fn join_consistent(
         let lt = &left.tuples()[l.left];
         let rt = &right.tuples()[l.right];
         if candidate.satisfied_by(lt, rt) {
-            return Ok(JoinConsistency::Inconsistent { offending_label: ix });
+            return Ok(JoinConsistency::Inconsistent {
+                offending_label: ix,
+            });
         }
     }
     Ok(JoinConsistency::Consistent(candidate))
@@ -221,7 +232,10 @@ mod tests {
     #[test]
     fn inconsistent_labels_are_detected() {
         // The same pair labelled positive and negative.
-        let labels = vec![LabelledPair::new(0, 0, true), LabelledPair::new(0, 0, false)];
+        let labels = vec![
+            LabelledPair::new(0, 0, true),
+            LabelledPair::new(0, 0, false),
+        ];
         let result = join_consistent(&customers(), &orders(), &labels).unwrap();
         assert!(!result.is_consistent());
         if let JoinConsistency::Inconsistent { offending_label } = result {
@@ -241,7 +255,10 @@ mod tests {
     #[test]
     fn no_labels_yield_full_predicate() {
         let p = most_specific_predicate(&customers(), &orders(), &[]).unwrap();
-        assert_eq!(p.len(), customers().schema().arity() * orders().schema().arity());
+        assert_eq!(
+            p.len(),
+            customers().schema().arity() * orders().schema().arity()
+        );
     }
 
     #[test]

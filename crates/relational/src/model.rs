@@ -82,8 +82,15 @@ impl RelationSchema {
         let mut sorted = attributes.clone();
         sorted.sort();
         sorted.dedup();
-        assert_eq!(sorted.len(), attributes.len(), "attribute names must be distinct");
-        RelationSchema { name: name.into(), attributes }
+        assert_eq!(
+            sorted.len(),
+            attributes.len(),
+            "attribute names must be distinct"
+        );
+        RelationSchema {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Relation name.
@@ -108,7 +115,11 @@ impl RelationSchema {
 
     /// Attributes shared (by name) with another schema.
     pub fn common_attributes(&self, other: &RelationSchema) -> Vec<String> {
-        self.attributes.iter().filter(|a| other.index_of(a).is_some()).cloned().collect()
+        self.attributes
+            .iter()
+            .filter(|a| other.index_of(a).is_some())
+            .cloned()
+            .collect()
     }
 }
 
@@ -181,13 +192,20 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation.
     pub fn new(schema: RelationSchema) -> Relation {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Create a relation with tuples, checking arity.
     pub fn with_tuples(schema: RelationSchema, tuples: Vec<Tuple>) -> Relation {
         for t in &tuples {
-            assert_eq!(t.arity(), schema.arity(), "tuple arity must match the schema");
+            assert_eq!(
+                t.arity(),
+                schema.arity(),
+                "tuple arity must match the schema"
+            );
         }
         Relation { schema, tuples }
     }
@@ -204,7 +222,11 @@ impl Relation {
 
     /// Add a tuple.
     pub fn insert(&mut self, tuple: Tuple) {
-        assert_eq!(tuple.arity(), self.schema.arity(), "tuple arity must match the schema");
+        assert_eq!(
+            tuple.arity(),
+            self.schema.arity(),
+            "tuple arity must match the schema"
+        );
         self.tuples.push(tuple);
     }
 
@@ -221,9 +243,16 @@ impl Relation {
     /// The same relation with duplicate tuples removed (set semantics).
     pub fn distinct(&self) -> Relation {
         let mut seen = std::collections::BTreeSet::new();
-        let tuples: Vec<Tuple> =
-            self.tuples.iter().filter(|t| seen.insert((*t).clone())).cloned().collect();
-        Relation { schema: self.schema.clone(), tuples }
+        let tuples: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| seen.insert((*t).clone()))
+            .cloned()
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
     }
 
     /// Value of a named attribute in a given tuple.
@@ -256,7 +285,8 @@ impl Instance {
 
     /// Add (or replace) a relation.
     pub fn add(&mut self, relation: Relation) {
-        self.relations.insert(relation.schema().name().to_string(), relation);
+        self.relations
+            .insert(relation.schema().name().to_string(), relation);
     }
 
     /// Look up a relation by name.

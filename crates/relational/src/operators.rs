@@ -20,7 +20,9 @@ impl JoinPredicate {
 
     /// Build a predicate from attribute-index pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> JoinPredicate {
-        JoinPredicate { pairs: pairs.into_iter().collect() }
+        JoinPredicate {
+            pairs: pairs.into_iter().collect(),
+        }
     }
 
     /// Build a predicate from attribute names.
@@ -77,7 +79,9 @@ impl JoinPredicate {
 
     /// Intersection of two predicates.
     pub fn intersect(&self, other: &JoinPredicate) -> JoinPredicate {
-        JoinPredicate { pairs: self.pairs.intersection(&other.pairs).copied().collect() }
+        JoinPredicate {
+            pairs: self.pairs.intersection(&other.pairs).copied().collect(),
+        }
     }
 
     /// Render with attribute names for reporting.
@@ -89,7 +93,13 @@ impl JoinPredicate {
             .pairs
             .iter()
             .map(|&(l, r)| {
-                format!("{}.{} = {}.{}", left.name(), left.attributes()[l], right.name(), right.attributes()[r])
+                format!(
+                    "{}.{} = {}.{}",
+                    left.name(),
+                    left.attributes()[l],
+                    right.name(),
+                    right.attributes()[r]
+                )
             })
             .collect();
         parts.join(" AND ")
@@ -101,8 +111,11 @@ impl fmt::Display for JoinPredicate {
         if self.pairs.is_empty() {
             return write!(f, "true");
         }
-        let parts: Vec<String> =
-            self.pairs.iter().map(|(l, r)| format!("L.{l} = R.{r}")).collect();
+        let parts: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|(l, r)| format!("L.{l} = R.{r}"))
+            .collect();
         write!(f, "{}", parts.join(" ∧ "))
     }
 }
@@ -120,7 +133,13 @@ pub fn equi_join(left: &Relation, right: &Relation, predicate: &JoinPredicate) -
         .attributes()
         .iter()
         .map(|a| format!("{}.{}", left.schema().name(), a))
-        .chain(right.schema().attributes().iter().map(|a| format!("{}.{}", right.schema().name(), a)))
+        .chain(
+            right
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| format!("{}.{}", right.schema().name(), a)),
+        )
         .collect();
     let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
     let schema = RelationSchema::new(
@@ -163,8 +182,9 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Relation {
         format!("{}_{}", left.schema().name(), right.schema().name()),
         &attr_refs,
     );
-    let kept_right: Vec<usize> =
-        (0..right.schema().arity()).filter(|ix| !common.contains(ix)).collect();
+    let kept_right: Vec<usize> = (0..right.schema().arity())
+        .filter(|ix| !common.contains(ix))
+        .collect();
     let mut out = Relation::new(schema);
     for l in left.tuples() {
         for r in right.tuples() {
@@ -234,12 +254,9 @@ mod tests {
 
     #[test]
     fn equi_join_respects_predicate() {
-        let pred = JoinPredicate::from_names(
-            customers().schema(),
-            orders().schema(),
-            &[("cid", "cid")],
-        )
-        .unwrap();
+        let pred =
+            JoinPredicate::from_names(customers().schema(), orders().schema(), &[("cid", "cid")])
+                .unwrap();
         let j = equi_join(&customers(), &orders(), &pred);
         assert_eq!(j.len(), 3);
         for t in j.tuples() {
@@ -260,7 +277,10 @@ mod tests {
     fn natural_join_without_common_attributes_is_a_product() {
         let colours = Relation::with_tuples(
             RelationSchema::new("colours", &["colour"]),
-            vec![Tuple::new(vec!["red".into()]), Tuple::new(vec!["blue".into()])],
+            vec![
+                Tuple::new(vec!["red".into()]),
+                Tuple::new(vec!["blue".into()]),
+            ],
         );
         let j = natural_join(&customers(), &colours);
         assert_eq!(j.len(), 6);
@@ -268,12 +288,9 @@ mod tests {
 
     #[test]
     fn semijoin_keeps_matching_left_tuples_once() {
-        let pred = JoinPredicate::from_names(
-            customers().schema(),
-            orders().schema(),
-            &[("cid", "cid")],
-        )
-        .unwrap();
+        let pred =
+            JoinPredicate::from_names(customers().schema(), orders().schema(), &[("cid", "cid")])
+                .unwrap();
         let s = semijoin(&customers(), &orders(), &pred);
         // Alice has two orders but appears once; Bob has none.
         assert_eq!(s.len(), 2);
@@ -301,13 +318,13 @@ mod tests {
 
     #[test]
     fn predicate_describe_uses_attribute_names() {
-        let pred = JoinPredicate::from_names(
-            customers().schema(),
-            orders().schema(),
-            &[("cid", "cid")],
-        )
-        .unwrap();
-        assert_eq!(pred.describe(customers().schema(), orders().schema()), "customers.cid = orders.cid");
+        let pred =
+            JoinPredicate::from_names(customers().schema(), orders().schema(), &[("cid", "cid")])
+                .unwrap();
+        assert_eq!(
+            pred.describe(customers().schema(), orders().schema()),
+            "customers.cid = orders.cid"
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ impl LearnedOutputQuery {
         self.branches
             .iter()
             .map(|conds| {
-                SpjQuery::scan(self.source.clone()).select(conds.clone()).project(&attrs)
+                SpjQuery::scan(self.source.clone())
+                    .select(conds.clone())
+                    .project(&attrs)
             })
             .collect()
     }
@@ -76,8 +78,11 @@ impl LearnedOutputQuery {
 
 impl fmt::Display for LearnedOutputQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let rendered: Vec<String> =
-            self.branch_queries().iter().map(|q| q.to_string()).collect();
+        let rendered: Vec<String> = self
+            .branch_queries()
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
         write!(f, "{}", rendered.join(" ∪ "))
     }
 }
@@ -184,9 +189,11 @@ impl DecisionTree {
     pub fn size(&self) -> usize {
         match self {
             DecisionTree::Leaf { .. } => 1,
-            DecisionTree::Node { then_branch, else_branch, .. } => {
-                1 + then_branch.size() + else_branch.size()
-            }
+            DecisionTree::Node {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + then_branch.size() + else_branch.size(),
         }
     }
 
@@ -194,9 +201,11 @@ impl DecisionTree {
     pub fn depth(&self) -> usize {
         match self {
             DecisionTree::Leaf { .. } => 1,
-            DecisionTree::Node { then_branch, else_branch, .. } => {
-                1 + then_branch.depth().max(else_branch.depth())
-            }
+            DecisionTree::Node {
+                then_branch,
+                else_branch,
+                ..
+            } => 1 + then_branch.depth().max(else_branch.depth()),
         }
     }
 
@@ -204,7 +213,12 @@ impl DecisionTree {
     pub fn classify(&self, tuple: &Tuple) -> bool {
         match self {
             DecisionTree::Leaf { positive } => *positive,
-            DecisionTree::Node { attribute, value, then_branch, else_branch } => {
+            DecisionTree::Node {
+                attribute,
+                value,
+                then_branch,
+                else_branch,
+            } => {
                 if tuple.get(*attribute) == value {
                     then_branch.classify(tuple)
                 } else {
@@ -242,8 +256,11 @@ pub fn grow_tree(positives: &[&Tuple], negatives: &[&Tuple]) -> DecisionTree {
     let mut best: Option<(usize, Value, f64)> = None;
     let parent = gini(positives.len(), negatives.len());
     for a in 0..arity {
-        let values: BTreeSet<&Value> =
-            positives.iter().chain(negatives.iter()).map(|t| t.get(a)).collect();
+        let values: BTreeSet<&Value> = positives
+            .iter()
+            .chain(negatives.iter())
+            .map(|t| t.get(a))
+            .collect();
         for v in values {
             let tp = positives.iter().filter(|t| t.get(a) == v).count();
             let tn = negatives.iter().filter(|t| t.get(a) == v).count();
@@ -255,8 +272,7 @@ pub fn grow_tree(positives: &[&Tuple], negatives: &[&Tuple]) -> DecisionTree {
             if then_total == 0.0 || else_total == 0.0 {
                 continue; // useless split
             }
-            let weighted =
-                then_total / total * gini(tp, tn) + else_total / total * gini(fp, fnn);
+            let weighted = then_total / total * gini(tp, tn) + else_total / total * gini(fp, fnn);
             let gain = parent - weighted;
             if gain > 1e-12 {
                 let better = match &best {
@@ -272,7 +288,9 @@ pub fn grow_tree(positives: &[&Tuple], negatives: &[&Tuple]) -> DecisionTree {
     match best {
         None => {
             // No split helps: emit the majority label.
-            DecisionTree::Leaf { positive: positives.len() >= negatives.len() }
+            DecisionTree::Leaf {
+                positive: positives.len() >= negatives.len(),
+            }
         }
         Some((attribute, value, _)) => {
             let (tp, fp): (Vec<&Tuple>, Vec<&Tuple>) =
@@ -308,11 +326,22 @@ fn positive_branches(tree: &DecisionTree, attributes: &[String]) -> Vec<Vec<Cond
                     out.push(path.clone());
                 }
             }
-            DecisionTree::Node { attribute, value, then_branch, else_branch } => {
-                path.push(Condition::AttrConst(attributes[*attribute].clone(), value.clone()));
+            DecisionTree::Node {
+                attribute,
+                value,
+                then_branch,
+                else_branch,
+            } => {
+                path.push(Condition::AttrConst(
+                    attributes[*attribute].clone(),
+                    value.clone(),
+                ));
                 walk(then_branch, attributes, path, out);
                 path.pop();
-                path.push(Condition::AttrNotConst(attributes[*attribute].clone(), value.clone()));
+                path.push(Condition::AttrNotConst(
+                    attributes[*attribute].clone(),
+                    value.clone(),
+                ));
                 walk(else_branch, attributes, path, out);
                 path.pop();
             }
@@ -332,7 +361,9 @@ pub fn query_by_output(db: &Instance, output: &Relation) -> Result<LearnedOutput
     sources.sort_by_key(|r| (r.schema().arity(), r.len(), r.schema().name().to_string()));
     let mut saw_covering_source = false;
     for source in sources {
-        let Some(mapping) = infer_projection(source, output) else { continue };
+        let Some(mapping) = infer_projection(source, output) else {
+            continue;
+        };
         saw_covering_source = true;
         let out_set: BTreeSet<Tuple> = output.tuples().iter().cloned().collect();
         let mut positives = Vec::new();
@@ -350,8 +381,7 @@ pub fn query_by_output(db: &Instance, output: &Relation) -> Result<LearnedOutput
         if branches.is_empty() {
             continue;
         }
-        let projection: Vec<String> =
-            mapping.iter().map(|&i| attributes[i].clone()).collect();
+        let projection: Vec<String> = mapping.iter().map(|&i| attributes[i].clone()).collect();
         let learned = LearnedOutputQuery {
             source: source.schema().name().to_string(),
             projection,
@@ -443,7 +473,10 @@ mod tests {
         let emp = employees();
         let out = Relation::with_tuples(
             RelationSchema::new("out", &["n"]),
-            vec![Tuple::new(vec!["Ana".into()]), Tuple::new(vec!["Bob".into()])],
+            vec![
+                Tuple::new(vec!["Ana".into()]),
+                Tuple::new(vec!["Bob".into()]),
+            ],
         );
         assert_eq!(infer_projection(&emp, &out), Some(vec![1]));
     }
@@ -461,8 +494,10 @@ mod tests {
     #[test]
     fn decision_tree_separates_by_single_attribute() {
         let emp = employees();
-        let (pos, neg): (Vec<&Tuple>, Vec<&Tuple>) =
-            emp.tuples().iter().partition(|t| t.get(2) == &Value::Int(10));
+        let (pos, neg): (Vec<&Tuple>, Vec<&Tuple>) = emp
+            .tuples()
+            .iter()
+            .partition(|t| t.get(2) == &Value::Int(10));
         let tree = grow_tree(&pos, &neg);
         for t in &pos {
             assert!(tree.classify(t));
@@ -470,7 +505,10 @@ mod tests {
         for t in &neg {
             assert!(!tree.classify(t));
         }
-        assert!(tree.depth() <= 3, "a single equality split should suffice, got {tree:?}");
+        assert!(
+            tree.depth() <= 3,
+            "a single equality split should suffice, got {tree:?}"
+        );
     }
 
     #[test]
@@ -531,7 +569,10 @@ mod tests {
     #[test]
     fn qbo_report_summarises_the_learned_query() {
         let goal = SpjQuery::scan("emp")
-            .select(vec![Condition::AttrConst("senior".into(), Value::Bool(true))])
+            .select(vec![Condition::AttrConst(
+                "senior".into(),
+                Value::Bool(true),
+            )])
             .project(&["name"]);
         let db = db();
         let out = output_of(&goal, &db);

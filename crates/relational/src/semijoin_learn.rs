@@ -54,7 +54,9 @@ pub fn predicate_consistent(
         }
         out
     };
-    labels.iter().all(|l| selected.contains(&l.index) == l.positive)
+    labels
+        .iter()
+        .all(|l| selected.contains(&l.index) == l.positive)
 }
 
 /// All attribute pairs of the two schemas.
@@ -74,11 +76,18 @@ pub fn semijoin_consistent_exact(
 ) -> Option<JoinPredicate> {
     let pairs = all_pairs(left, right);
     let n = pairs.len();
-    assert!(n <= 24, "exhaustive semijoin search is limited to 24 attribute pairs");
+    assert!(
+        n <= 24,
+        "exhaustive semijoin search is limited to 24 attribute pairs"
+    );
     let mut best: Option<JoinPredicate> = None;
     for mask in 0u32..(1u32 << n) {
         let predicate = JoinPredicate::from_pairs(
-            pairs.iter().enumerate().filter(|(ix, _)| mask & (1 << ix) != 0).map(|(_, &p)| p),
+            pairs
+                .iter()
+                .enumerate()
+                .filter(|(ix, _)| mask & (1 << ix) != 0)
+                .map(|(_, &p)| p),
         );
         if predicate_consistent(left, right, labels, &predicate) {
             let better = match &best {
@@ -104,7 +113,11 @@ pub fn semijoin_learn_greedy(
     right: &Relation,
     labels: &[LabelledTuple],
 ) -> Option<JoinPredicate> {
-    let positives: Vec<usize> = labels.iter().filter(|l| l.positive).map(|l| l.index).collect();
+    let positives: Vec<usize> = labels
+        .iter()
+        .filter(|l| l.positive)
+        .map(|l| l.index)
+        .collect();
     let pairs = all_pairs(left, right);
 
     // Initial candidate: pairs on which every positive agrees with at least one right tuple
@@ -112,10 +125,12 @@ pub fn semijoin_learn_greedy(
     let mut candidate: BTreeSet<(usize, usize)> = pairs.iter().copied().collect();
     for &p in &positives {
         let lt = &left.tuples()[p];
-        let best_witness = right
-            .tuples()
-            .iter()
-            .max_by_key(|rt| pairs.iter().filter(|&&(i, j)| lt.get(i) == rt.get(j)).count())?;
+        let best_witness = right.tuples().iter().max_by_key(|rt| {
+            pairs
+                .iter()
+                .filter(|&&(i, j)| lt.get(i) == rt.get(j))
+                .count()
+        })?;
         candidate.retain(|&(i, j)| lt.get(i) == best_witness.get(j));
     }
     let mut predicate = JoinPredicate::from_pairs(candidate.iter().copied());
@@ -125,7 +140,10 @@ pub fn semijoin_learn_greedy(
     loop {
         let orphan = positives.iter().find(|&&p| {
             let lt = &left.tuples()[p];
-            !right.tuples().iter().any(|rt| predicate.satisfied_by(lt, rt))
+            !right
+                .tuples()
+                .iter()
+                .any(|rt| predicate.satisfied_by(lt, rt))
         });
         match orphan {
             None => break,
@@ -137,7 +155,11 @@ pub fn semijoin_learn_greedy(
                 let mut repaired = false;
                 for drop_ix in 0..current.len() {
                     let attempt = JoinPredicate::from_pairs(
-                        current.iter().enumerate().filter(|(ix, _)| *ix != drop_ix).map(|(_, &p)| p),
+                        current
+                            .iter()
+                            .enumerate()
+                            .filter(|(ix, _)| *ix != drop_ix)
+                            .map(|(_, &p)| p),
                     );
                     if right.tuples().iter().any(|rt| attempt.satisfied_by(lt, rt)) {
                         predicate = attempt;
@@ -232,7 +254,8 @@ mod tests {
             LabelledTuple::new(1, true),
             LabelledTuple::new(3, false),
         ];
-        let p = semijoin_learn_greedy(&employees(), &offices(), &labels).expect("greedy solves this");
+        let p =
+            semijoin_learn_greedy(&employees(), &offices(), &labels).expect("greedy solves this");
         assert!(predicate_consistent(&employees(), &offices(), &labels, &p));
     }
 
@@ -267,9 +290,19 @@ mod tests {
     fn predicate_consistency_checks_both_directions() {
         let labels = vec![LabelledTuple::new(0, true), LabelledTuple::new(3, false)];
         let dept_eq = JoinPredicate::from_pairs([(1, 0)]);
-        assert!(predicate_consistent(&employees(), &offices(), &labels, &dept_eq));
+        assert!(predicate_consistent(
+            &employees(),
+            &offices(),
+            &labels,
+            &dept_eq
+        ));
         let empty = JoinPredicate::empty();
         // The empty predicate keeps everyone, violating the negative label.
-        assert!(!predicate_consistent(&employees(), &offices(), &labels, &empty));
+        assert!(!predicate_consistent(
+            &employees(),
+            &offices(),
+            &labels,
+            &empty
+        ));
     }
 }

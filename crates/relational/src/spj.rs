@@ -36,9 +36,7 @@ impl Condition {
     /// schemas that may not expose every attribute.
     pub fn satisfied_by(&self, schema: &RelationSchema, tuple: &Tuple) -> bool {
         match self {
-            Condition::AttrConst(a, v) => {
-                schema.index_of(a).is_some_and(|ix| tuple.get(ix) == v)
-            }
+            Condition::AttrConst(a, v) => schema.index_of(a).is_some_and(|ix| tuple.get(ix) == v),
             Condition::AttrNotConst(a, v) => {
                 schema.index_of(a).is_some_and(|ix| tuple.get(ix) != v)
             }
@@ -124,7 +122,10 @@ impl SpjQuery {
         if conditions.is_empty() {
             self
         } else {
-            SpjQuery::Select { input: Box::new(self), conditions }
+            SpjQuery::Select {
+                input: Box::new(self),
+                conditions,
+            }
         }
     }
 
@@ -138,7 +139,11 @@ impl SpjQuery {
 
     /// Equi-join with another query.
     pub fn join(self, right: SpjQuery, predicate: JoinPredicate) -> SpjQuery {
-        SpjQuery::Join { left: Box::new(self), right: Box::new(right), predicate }
+        SpjQuery::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            predicate,
+        }
     }
 
     /// Number of algebra operators in the query; used as the succinctness measure by the
@@ -208,7 +213,11 @@ impl SpjQuery {
                 }
                 Ok(out)
             }
-            SpjQuery::Join { left, right, predicate } => {
+            SpjQuery::Join {
+                left,
+                right,
+                predicate,
+            } => {
                 let l = left.evaluate_bag(db)?;
                 let r = right.evaluate_bag(db)?;
                 Ok(equi_join(&l, &r, predicate))
@@ -235,7 +244,11 @@ impl fmt::Display for SpjQuery {
             SpjQuery::Project { input, attributes } => {
                 write!(f, "π[{}]({input})", attributes.join(", "))
             }
-            SpjQuery::Join { left, right, predicate } => {
+            SpjQuery::Join {
+                left,
+                right,
+                predicate,
+            } => {
                 write!(f, "({left} ⋈[{predicate}] {right})")
             }
         }
@@ -288,13 +301,16 @@ mod tests {
     #[test]
     fn unknown_relation_is_an_error() {
         let q = SpjQuery::scan("ghost");
-        assert_eq!(q.evaluate(&db()), Err(SpjError::UnknownRelation("ghost".into())));
+        assert_eq!(
+            q.evaluate(&db()),
+            Err(SpjError::UnknownRelation("ghost".into()))
+        );
     }
 
     #[test]
     fn selection_filters_on_constants() {
-        let q = SpjQuery::scan("emp")
-            .select(vec![Condition::AttrConst("dept".into(), Value::Int(10))]);
+        let q =
+            SpjQuery::scan("emp").select(vec![Condition::AttrConst("dept".into(), Value::Int(10))]);
         let r = q.evaluate(&db()).unwrap();
         assert_eq!(r.len(), 2);
     }
@@ -322,8 +338,7 @@ mod tests {
                 Tuple::new(vec![1.into(), 2.into()]),
             ],
         ));
-        let q =
-            SpjQuery::scan("r").select(vec![Condition::AttrAttr("a".into(), "b".into())]);
+        let q = SpjQuery::scan("r").select(vec![Condition::AttrAttr("a".into(), "b".into())]);
         assert_eq!(q.evaluate(&db).unwrap().len(), 1);
     }
 
@@ -331,20 +346,27 @@ mod tests {
     fn projection_reorders_and_deduplicates() {
         let q = SpjQuery::scan("emp").project(&["dept"]);
         let r = q.evaluate(&db()).unwrap();
-        assert_eq!(r.len(), 2, "set semantics deduplicates the two dept-10 rows");
+        assert_eq!(
+            r.len(),
+            2,
+            "set semantics deduplicates the two dept-10 rows"
+        );
         assert_eq!(r.schema().attributes(), &["dept".to_string()]);
     }
 
     #[test]
     fn projection_onto_unknown_attribute_is_an_error() {
         let q = SpjQuery::scan("emp").project(&["salary"]);
-        assert_eq!(q.evaluate(&db()), Err(SpjError::UnknownAttribute("salary".into())));
+        assert_eq!(
+            q.evaluate(&db()),
+            Err(SpjError::UnknownAttribute("salary".into()))
+        );
     }
 
     #[test]
     fn join_combines_relations() {
-        let q = SpjQuery::scan("emp")
-            .join(SpjQuery::scan("dept"), JoinPredicate::from_pairs([(2, 0)]));
+        let q =
+            SpjQuery::scan("emp").join(SpjQuery::scan("dept"), JoinPredicate::from_pairs([(2, 0)]));
         let r = q.evaluate(&db()).unwrap();
         assert_eq!(r.len(), 3);
         assert_eq!(r.schema().arity(), 5);
@@ -363,7 +385,10 @@ mod tests {
         let q = SpjQuery::scan("emp")
             .join(SpjQuery::scan("dept"), JoinPredicate::from_pairs([(2, 0)]))
             .project(&["emp.name"]);
-        assert_eq!(q.base_relations(), vec!["emp".to_string(), "dept".to_string()]);
+        assert_eq!(
+            q.base_relations(),
+            vec!["emp".to_string(), "dept".to_string()]
+        );
     }
 
     #[test]

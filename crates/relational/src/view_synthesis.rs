@@ -36,7 +36,9 @@ impl ViewDefinition {
     /// The definition as an [`SpjQuery`].
     pub fn to_query(&self) -> SpjQuery {
         let attrs: Vec<&str> = self.projection.iter().map(String::as_str).collect();
-        SpjQuery::scan(self.source.clone()).select(self.conditions.clone()).project(&attrs)
+        SpjQuery::scan(self.source.clone())
+            .select(self.conditions.clone())
+            .project(&attrs)
     }
 
     /// Succinctness: number of selection conditions.
@@ -111,21 +113,35 @@ impl std::error::Error for ViewSynthesisError {}
 pub fn accuracy(db: &Instance, definition: &ViewDefinition, view: &Relation) -> ViewAccuracy {
     let produced = match definition.to_query().evaluate(db) {
         Ok(r) => r,
-        Err(_) => return ViewAccuracy { precision: 0.0, recall: 0.0 },
+        Err(_) => {
+            return ViewAccuracy {
+                precision: 0.0,
+                recall: 0.0,
+            }
+        }
     };
     let view_set: BTreeSet<&Tuple> = view.tuples().iter().collect();
     let produced_set: BTreeSet<&Tuple> = produced.tuples().iter().collect();
     let inter = produced_set.intersection(&view_set).count();
-    let precision =
-        if produced_set.is_empty() { 0.0 } else { inter as f64 / produced_set.len() as f64 };
-    let recall = if view_set.is_empty() { 0.0 } else { inter as f64 / view_set.len() as f64 };
+    let precision = if produced_set.is_empty() {
+        0.0
+    } else {
+        inter as f64 / produced_set.len() as f64
+    };
+    let recall = if view_set.is_empty() {
+        0.0
+    } else {
+        inter as f64 / view_set.len() as f64
+    };
     ViewAccuracy { precision, recall }
 }
 
 /// The most-specific conjunction for a set of positive tuples: one `attr = const` condition per
 /// attribute on which *all* positives agree.
 pub fn most_specific_conditions(source: &Relation, positives: &[&Tuple]) -> Vec<Condition> {
-    let Some(first) = positives.first() else { return Vec::new() };
+    let Some(first) = positives.first() else {
+        return Vec::new();
+    };
     let mut conditions = Vec::new();
     for (ix, attr) in source.schema().attributes().iter().enumerate() {
         let v: &Value = first.get(ix);
@@ -195,12 +211,18 @@ pub fn synthesize_view(
     let mut sources: Vec<&Relation> = db.relations().collect();
     sources.sort_by_key(|r| (r.schema().arity(), r.schema().name().to_string()));
     for source in sources {
-        let Some(mapping) = infer_projection(source, view) else { continue };
+        let Some(mapping) = infer_projection(source, view) else {
+            continue;
+        };
         let view_set: BTreeSet<Tuple> = view.tuples().iter().cloned().collect();
-        let (positives, negatives): (Vec<&Tuple>, Vec<&Tuple>) =
-            source.tuples().iter().partition(|t| view_set.contains(&t.project(&mapping)));
-        let projection: Vec<String> =
-            mapping.iter().map(|&i| source.schema().attributes()[i].clone()).collect();
+        let (positives, negatives): (Vec<&Tuple>, Vec<&Tuple>) = source
+            .tuples()
+            .iter()
+            .partition(|t| view_set.contains(&t.project(&mapping)));
+        let projection: Vec<String> = mapping
+            .iter()
+            .map(|&i| source.schema().attributes()[i].clone())
+            .collect();
         let most_specific = most_specific_conditions(source, &positives);
         // Exact route: the most-specific conjunction must reject every negative whose projection
         // is outside the view; then minimise it.
@@ -226,8 +248,18 @@ pub fn synthesize_view(
             .evaluate(db)
             .map(|r| same_tuple_set(&r, view))
             .unwrap_or(false);
-        let acc = if exact { ViewAccuracy { precision: 1.0, recall: 1.0 } } else { acc };
-        let outcome = SynthesisOutcome { definition, accuracy: acc };
+        let acc = if exact {
+            ViewAccuracy {
+                precision: 1.0,
+                recall: 1.0,
+            }
+        } else {
+            acc
+        };
+        let outcome = SynthesisOutcome {
+            definition,
+            accuracy: acc,
+        };
         let replace = match &best {
             None => true,
             Some(b) => {
@@ -278,13 +310,21 @@ mod tests {
     #[test]
     fn exact_single_condition_view_is_recovered_minimally() {
         let goal = SpjQuery::scan("products")
-            .select(vec![Condition::AttrConst("category".into(), Value::text("toy"))])
+            .select(vec![Condition::AttrConst(
+                "category".into(),
+                Value::text("toy"),
+            )])
             .project(&["pid"]);
         let db = db();
         let view = view_of(&goal, &db);
         let outcome = synthesize_view(&db, &view).unwrap();
         assert!(outcome.accuracy.is_exact());
-        assert_eq!(outcome.definition.size(), 1, "one condition suffices: {}", outcome.definition);
+        assert_eq!(
+            outcome.definition.size(),
+            1,
+            "one condition suffices: {}",
+            outcome.definition
+        );
     }
 
     #[test]
@@ -300,7 +340,11 @@ mod tests {
         let outcome = synthesize_view(&db, &view).unwrap();
         assert!(outcome.accuracy.is_exact());
         assert!(outcome.definition.size() <= 2);
-        assert!(outcome.definition.to_query().reproduces(&db, &view).unwrap());
+        assert!(outcome
+            .definition
+            .to_query()
+            .reproduces(&db, &view)
+            .unwrap());
     }
 
     #[test]
@@ -320,7 +364,10 @@ mod tests {
     fn empty_view_is_rejected() {
         let db = db();
         let view = Relation::new(RelationSchema::new("v", &["pid"]));
-        assert_eq!(synthesize_view(&db, &view), Err(ViewSynthesisError::EmptyView));
+        assert_eq!(
+            synthesize_view(&db, &view),
+            Err(ViewSynthesisError::EmptyView)
+        );
     }
 
     #[test]
@@ -330,16 +377,25 @@ mod tests {
             RelationSchema::new("v", &["pid"]),
             vec![Tuple::new(vec![99.into()])],
         );
-        assert_eq!(synthesize_view(&db, &view), Err(ViewSynthesisError::NoCoveringSource));
+        assert_eq!(
+            synthesize_view(&db, &view),
+            Err(ViewSynthesisError::NoCoveringSource)
+        );
     }
 
     #[test]
     fn most_specific_conditions_keep_agreeing_attributes_only() {
         let p = products();
-        let positives: Vec<&Tuple> =
-            p.tuples().iter().filter(|t| t.get(1) == &Value::text("book")).collect();
+        let positives: Vec<&Tuple> = p
+            .tuples()
+            .iter()
+            .filter(|t| t.get(1) == &Value::text("book"))
+            .collect();
         let conds = most_specific_conditions(&p, &positives);
-        assert!(conds.contains(&Condition::AttrConst("category".into(), Value::text("book"))));
+        assert!(conds.contains(&Condition::AttrConst(
+            "category".into(),
+            Value::text("book")
+        )));
         // in_stock and warehouse differ among books, pid differs too.
         assert_eq!(conds.len(), 1);
     }
@@ -347,8 +403,11 @@ mod tests {
     #[test]
     fn minimise_conditions_drops_redundant_ones() {
         let p = products();
-        let negatives: Vec<&Tuple> =
-            p.tuples().iter().filter(|t| t.get(1) == &Value::text("toy")).collect();
+        let negatives: Vec<&Tuple> = p
+            .tuples()
+            .iter()
+            .filter(|t| t.get(1) == &Value::text("toy"))
+            .collect();
         let conds = vec![
             Condition::AttrConst("category".into(), Value::text("book")),
             Condition::AttrConst("pid".into(), Value::Int(1)),

@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn optional_vs_star() {
-        let opt = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Optional)]))]);
+        let opt = ms(
+            "r",
+            vec![("r", Rule::new(vec![Clause::single("a", Optional)]))],
+        );
         let star = ms("r", vec![("r", Rule::new(vec![Clause::single("a", Star)]))]);
         assert!(schema_contained_in(&opt, &star));
         assert!(!schema_contained_in(&star, &opt));
@@ -152,7 +155,13 @@ mod tests {
     fn extra_forbidden_label_breaks_containment() {
         let with_b = ms(
             "r",
-            vec![("r", Rule::new(vec![Clause::single("a", One), Clause::single("b", Optional)]))],
+            vec![(
+                "r",
+                Rule::new(vec![
+                    Clause::single("a", One),
+                    Clause::single("b", Optional),
+                ]),
+            )],
         );
         let only_a = ms("r", vec![("r", Rule::new(vec![Clause::single("a", One)]))]);
         // Documents of `with_b` may contain a `b` child, which `only_a` forbids.
@@ -184,7 +193,10 @@ mod tests {
     fn disjunctive_clause_contains_its_singletons() {
         // r -> a^1  is contained in  r -> (a|b)^1 (exactly one child, either label)
         let single = ms("r", vec![("r", Rule::new(vec![Clause::single("a", One)]))]);
-        let disj = ms("r", vec![("r", Rule::new(vec![Clause::new(["a", "b"], One)]))]);
+        let disj = ms(
+            "r",
+            vec![("r", Rule::new(vec![Clause::new(["a", "b"], One)]))],
+        );
         assert!(schema_contained_in(&single, &disj));
         assert!(!schema_contained_in(&disj, &single));
     }
@@ -194,9 +206,18 @@ mod tests {
         // left: a? || b?  admits {a,b} (total 2); right: (a|b)? bounds the total to 1.
         let left = ms(
             "r",
-            vec![("r", Rule::new(vec![Clause::single("a", Optional), Clause::single("b", Optional)]))],
+            vec![(
+                "r",
+                Rule::new(vec![
+                    Clause::single("a", Optional),
+                    Clause::single("b", Optional),
+                ]),
+            )],
         );
-        let right = ms("r", vec![("r", Rule::new(vec![Clause::new(["a", "b"], Optional)]))]);
+        let right = ms(
+            "r",
+            vec![("r", Rule::new(vec![Clause::new(["a", "b"], Optional)]))],
+        );
         assert!(!schema_contained_in(&left, &right));
         assert!(schema_contained_in(&right, &left));
     }
@@ -256,7 +277,10 @@ mod tests {
         let schema = ms(
             "r",
             vec![
-                ("r", Rule::new(vec![Clause::single("a", One), Clause::single("dead", Zero)])),
+                (
+                    "r",
+                    Rule::new(vec![Clause::single("a", One), Clause::single("dead", Zero)]),
+                ),
                 ("a", Rule::empty()),
                 ("orphan", Rule::empty()),
             ],

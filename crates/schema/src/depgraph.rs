@@ -63,7 +63,10 @@ impl DependencyGraph {
             }
             edges.insert(label, out);
         }
-        DependencyGraph { root: schema.root().to_string(), edges }
+        DependencyGraph {
+            root: schema.root().to_string(),
+            edges,
+        }
     }
 
     /// Root label of the underlying schema.
@@ -78,14 +81,23 @@ impl DependencyGraph {
 
     /// The edge from `parent` to `child`, if the child label is allowed at all.
     pub fn edge(&self, parent: &str, child: &str) -> Option<DepEdge> {
-        self.edges.get(parent).and_then(|m| m.get(child)).copied().filter(DepEdge::possible)
+        self.edges
+            .get(parent)
+            .and_then(|m| m.get(child))
+            .copied()
+            .filter(DepEdge::possible)
     }
 
     /// Child labels that may occur under `parent`.
     pub fn possible_children(&self, parent: &str) -> Vec<&str> {
         self.edges
             .get(parent)
-            .map(|m| m.iter().filter(|(_, e)| e.possible()).map(|(l, _)| l.as_str()).collect())
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, e)| e.possible())
+                    .map(|(l, _)| l.as_str())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -93,7 +105,12 @@ impl DependencyGraph {
     pub fn required_children(&self, parent: &str) -> Vec<&str> {
         self.edges
             .get(parent)
-            .map(|m| m.iter().filter(|(_, e)| e.required()).map(|(l, _)| l.as_str()).collect())
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, e)| e.required())
+                    .map(|(l, _)| l.as_str())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -153,7 +170,10 @@ impl DependencyGraph {
 
     /// Labels guaranteed to occur as a *direct child* of every `parent`-labelled element.
     pub fn implied_children(&self, parent: &str) -> BTreeSet<String> {
-        self.required_children(parent).into_iter().map(str::to_string).collect()
+        self.required_children(parent)
+            .into_iter()
+            .map(str::to_string)
+            .collect()
     }
 
     /// Shortest chain of possible edges from `from` to `to` (inclusive of both endpoints),
@@ -250,14 +270,20 @@ mod tests {
         assert!(implied.contains("book"));
         assert!(implied.contains("title"));
         assert!(implied.contains("author"));
-        assert!(!implied.contains("year"), "optional children are not implied");
+        assert!(
+            !implied.contains("year"),
+            "optional children are not implied"
+        );
     }
 
     #[test]
     fn disjunctive_clause_members_are_possible_but_not_required() {
         let schema = Dms::new("person").rule(
             "person",
-            Rule::new(vec![Clause::single("name", One), Clause::new(["email", "phone"], Plus)]),
+            Rule::new(vec![
+                Clause::single("name", One),
+                Clause::new(["email", "phone"], Plus),
+            ]),
         );
         let g = DependencyGraph::from_schema(&schema);
         assert!(g.allows_child("person", "email"));
@@ -280,10 +306,17 @@ mod tests {
         let g = DependencyGraph::from_schema(&library_schema());
         assert_eq!(
             g.shortest_label_path("library", "title"),
-            Some(vec!["library".to_string(), "book".to_string(), "title".to_string()])
+            Some(vec![
+                "library".to_string(),
+                "book".to_string(),
+                "title".to_string()
+            ])
         );
         assert_eq!(g.shortest_label_path("title", "library"), None);
-        assert_eq!(g.shortest_label_path("book", "book"), Some(vec!["book".to_string()]));
+        assert_eq!(
+            g.shortest_label_path("book", "book"),
+            Some(vec!["book".to_string()])
+        );
     }
 
     #[test]

@@ -36,10 +36,19 @@ pub struct Clause {
 
 impl Clause {
     /// Build a clause; panics if the label set is empty.
-    pub fn new(labels: impl IntoIterator<Item = impl Into<String>>, multiplicity: Multiplicity) -> Clause {
+    pub fn new(
+        labels: impl IntoIterator<Item = impl Into<String>>,
+        multiplicity: Multiplicity,
+    ) -> Clause {
         let labels: BTreeSet<String> = labels.into_iter().map(Into::into).collect();
-        assert!(!labels.is_empty(), "a clause must mention at least one label");
-        Clause { labels, multiplicity }
+        assert!(
+            !labels.is_empty(),
+            "a clause must mention at least one label"
+        );
+        Clause {
+            labels,
+            multiplicity,
+        }
     }
 
     /// Singleton clause `label^m`.
@@ -75,7 +84,12 @@ impl Clause {
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_single() {
-            write!(f, "{}{}", self.labels.iter().next().unwrap(), self.multiplicity)
+            write!(
+                f,
+                "{}{}",
+                self.labels.iter().next().unwrap(),
+                self.multiplicity
+            )
         } else {
             let inner: Vec<&str> = self.labels.iter().map(String::as_str).collect();
             write!(f, "({}){}", inner.join(" | "), self.multiplicity)
@@ -92,7 +106,9 @@ pub struct Rule {
 impl Rule {
     /// The empty rule: no children allowed.
     pub fn empty() -> Rule {
-        Rule { clauses: Vec::new() }
+        Rule {
+            clauses: Vec::new(),
+        }
     }
 
     /// Build a rule from clauses.
@@ -119,7 +135,10 @@ impl Rule {
 
     /// Labels allowed as children by this rule.
     pub fn allowed_labels(&self) -> BTreeSet<String> {
-        self.clauses.iter().flat_map(|c| c.labels().map(str::to_string)).collect()
+        self.clauses
+            .iter()
+            .flat_map(|c| c.labels().map(str::to_string))
+            .collect()
     }
 
     /// The clause mentioning a given label, if any.
@@ -142,7 +161,10 @@ impl Rule {
             }
         }
         for clause in &self.clauses {
-            let total: usize = clause.labels().map(|l| counts.get(l).copied().unwrap_or(0)).sum();
+            let total: usize = clause
+                .labels()
+                .map(|l| counts.get(l).copied().unwrap_or(0))
+                .sum();
             if !clause.multiplicity().admits(total) {
                 return Err(format!("clause {clause} violated: observed total {total}"));
             }
@@ -199,7 +221,10 @@ pub type Dms = DisjunctiveMultiplicitySchema;
 impl DisjunctiveMultiplicitySchema {
     /// Create a schema with the given root label and no rules.
     pub fn new(root: impl Into<String>) -> Dms {
-        Dms { root: root.into(), rules: BTreeMap::new() }
+        Dms {
+            root: root.into(),
+            rules: BTreeMap::new(),
+        }
     }
 
     /// Root label.
@@ -273,7 +298,11 @@ impl DisjunctiveMultiplicitySchema {
             let rule = self.rule_for(label);
             let counts = doc.child_label_counts(node);
             if let Err(reason) = rule.check(&counts) {
-                out.push(SchemaViolation { node, label: label.to_string(), reason });
+                out.push(SchemaViolation {
+                    node,
+                    label: label.to_string(),
+                    reason,
+                });
             }
         }
         out
@@ -417,7 +446,11 @@ mod tests {
 
     #[test]
     fn accepts_document_matching_all_clauses() {
-        let doc = TreeBuilder::new("person").leaf("name").leaf("email").leaf("phone").build();
+        let doc = TreeBuilder::new("person")
+            .leaf("name")
+            .leaf("email")
+            .leaf("phone")
+            .build();
         assert!(person_schema().accepts(&doc));
     }
 
@@ -431,7 +464,11 @@ mod tests {
 
     #[test]
     fn rejects_forbidden_child_label() {
-        let doc = TreeBuilder::new("person").leaf("name").leaf("email").leaf("creditcard").build();
+        let doc = TreeBuilder::new("person")
+            .leaf("name")
+            .leaf("email")
+            .leaf("creditcard")
+            .build();
         assert!(!person_schema().accepts(&doc));
     }
 
@@ -441,7 +478,11 @@ mod tests {
         let doc = TreeBuilder::new("person").leaf("name").build();
         assert!(!person_schema().accepts(&doc));
         // several of either satisfies it
-        let doc = TreeBuilder::new("person").leaf("name").leaf("phone").leaf("phone").build();
+        let doc = TreeBuilder::new("person")
+            .leaf("name")
+            .leaf("phone")
+            .leaf("phone")
+            .build();
         assert!(person_schema().accepts(&doc));
     }
 
@@ -474,7 +515,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn rule_rejects_duplicate_label_across_clauses() {
-        let _ = Rule::new(vec![Clause::single("a", One), Clause::new(["a", "b"], Star)]);
+        let _ = Rule::new(vec![
+            Clause::single("a", One),
+            Clause::new(["a", "b"], Star),
+        ]);
     }
 
     #[test]
@@ -512,7 +556,13 @@ mod tests {
     fn witness_handles_nested_requirements() {
         let schema = Dms::new("library")
             .rule("library", Rule::new(vec![Clause::single("book", Plus)]))
-            .rule("book", Rule::new(vec![Clause::single("title", One), Clause::single("author", Plus)]));
+            .rule(
+                "book",
+                Rule::new(vec![
+                    Clause::single("title", One),
+                    Clause::single("author", Plus),
+                ]),
+            );
         let witness = schema.witness().unwrap();
         assert!(schema.accepts(&witness));
         assert_eq!(witness.nodes_with_label("title").len(), 1);

@@ -65,9 +65,11 @@ impl GlushkovAutomaton {
 
     fn build(&mut self, particle: &Particle) -> Linearised {
         match particle {
-            Particle::Empty | Particle::Text => {
-                Linearised { first: BTreeSet::new(), last: BTreeSet::new(), nullable: true }
-            }
+            Particle::Empty | Particle::Text => Linearised {
+                first: BTreeSet::new(),
+                last: BTreeSet::new(),
+                nullable: true,
+            },
             Particle::Element(name) => {
                 self.labels.push(name.clone());
                 let p = self.labels.len() - 1;
@@ -78,13 +80,19 @@ impl GlushkovAutomaton {
                 }
             }
             Particle::Seq(parts) => {
-                let mut acc =
-                    Linearised { first: BTreeSet::new(), last: BTreeSet::new(), nullable: true };
+                let mut acc = Linearised {
+                    first: BTreeSet::new(),
+                    last: BTreeSet::new(),
+                    nullable: true,
+                };
                 for part in parts {
                     let lin = self.build(part);
                     // follow(last(acc)) ∪= first(lin)
                     for &p in &acc.last {
-                        self.follow.entry(p).or_default().extend(lin.first.iter().copied());
+                        self.follow
+                            .entry(p)
+                            .or_default()
+                            .extend(lin.first.iter().copied());
                     }
                     if acc.nullable {
                         acc.first.extend(lin.first.iter().copied());
@@ -99,8 +107,11 @@ impl GlushkovAutomaton {
                 acc
             }
             Particle::Choice(parts) => {
-                let mut acc =
-                    Linearised { first: BTreeSet::new(), last: BTreeSet::new(), nullable: false };
+                let mut acc = Linearised {
+                    first: BTreeSet::new(),
+                    last: BTreeSet::new(),
+                    nullable: false,
+                };
                 for part in parts {
                     let lin = self.build(part);
                     acc.first.extend(lin.first);
@@ -118,7 +129,10 @@ impl GlushkovAutomaton {
                 let lin = self.build(inner);
                 // follow(last) ∪= first, to allow repetition.
                 for &p in &lin.last {
-                    self.follow.entry(p).or_default().extend(lin.first.iter().copied());
+                    self.follow
+                        .entry(p)
+                        .or_default()
+                        .extend(lin.first.iter().copied());
                 }
                 Linearised {
                     first: lin.first,
@@ -141,8 +155,14 @@ impl GlushkovAutomaton {
 
     /// Successor positions of a state (0 = start) together with their labels.
     fn successors(&self, state: usize) -> impl Iterator<Item = (usize, &str)> {
-        let set = if state == 0 { Some(&self.first) } else { self.follow.get(&state) };
-        set.into_iter().flatten().map(|&p| (p, self.labels[p].as_str()))
+        let set = if state == 0 {
+            Some(&self.first)
+        } else {
+            self.follow.get(&state)
+        };
+        set.into_iter()
+            .flatten()
+            .map(|&p| (p, self.labels[p].as_str()))
     }
 
     /// Whether a state is accepting.
@@ -253,7 +273,9 @@ pub fn dtd_contained_in(left: &Dtd, right: &Dtd) -> bool {
         return false;
     }
     for element in right.declared_elements() {
-        let Some(right_model) = right.content_model(element) else { continue };
+        let Some(right_model) = right.content_model(element) else {
+            continue;
+        };
         match left.content_model(element) {
             Some(left_model) => {
                 if !particle_contained_in(left_model, right_model) {
@@ -298,7 +320,11 @@ mod tests {
 
     #[test]
     fn glushkov_accepts_the_same_words_as_the_particle() {
-        let particle = seq(vec![P::elem("a"), P::star(P::Choice(vec![P::elem("b"), P::elem("c")])), P::opt(P::elem("d"))]);
+        let particle = seq(vec![
+            P::elem("a"),
+            P::star(P::Choice(vec![P::elem("b"), P::elem("c")])),
+            P::opt(P::elem("d")),
+        ]);
         let automaton = GlushkovAutomaton::from_particle(&particle);
         for word in [
             vec!["a"],
@@ -327,7 +353,10 @@ mod tests {
             seq(vec![P::elem("a"), P::elem("b")]),
             seq(vec![P::elem("a"), P::elem("c")]),
         ]);
-        let deterministic = seq(vec![P::elem("a"), P::Choice(vec![P::elem("b"), P::elem("c")])]);
+        let deterministic = seq(vec![
+            P::elem("a"),
+            P::Choice(vec![P::elem("b"), P::elem("c")]),
+        ]);
         assert!(!is_one_unambiguous(&ambiguous));
         assert!(is_one_unambiguous(&deterministic));
         assert!(particle_equivalent(&ambiguous, &deterministic));
@@ -342,7 +371,10 @@ mod tests {
         assert!(particle_contained_in(&a, &a_star));
         assert!(particle_contained_in(&a_opt, &a_star));
         assert!(particle_contained_in(&a_plus, &a_star));
-        assert!(!particle_contained_in(&a_star, &a_plus), "ε distinguishes * from +");
+        assert!(
+            !particle_contained_in(&a_star, &a_plus),
+            "ε distinguishes * from +"
+        );
         assert!(!particle_contained_in(&a_star, &a_opt));
         assert!(particle_contained_in(&a, &a));
     }
@@ -370,7 +402,10 @@ mod tests {
     #[test]
     fn xmark_content_models_are_deterministic() {
         let dtd = xmark_dtd();
-        assert!(deterministic_fraction(&dtd) >= 0.99, "XMark content models are XML-legal");
+        assert!(
+            deterministic_fraction(&dtd) >= 0.99,
+            "XMark content models are XML-legal"
+        );
         assert!(dtd_contained_in(&dtd, &dtd), "containment is reflexive");
     }
 
@@ -381,7 +416,10 @@ mod tests {
             .rule("a", P::Empty)
             .rule("b", P::Empty);
         let loose = Dtd::new("root")
-            .rule("root", seq(vec![P::star(P::elem("a")), P::opt(P::elem("b"))]))
+            .rule(
+                "root",
+                seq(vec![P::star(P::elem("a")), P::opt(P::elem("b"))]),
+            )
             .rule("a", P::Empty)
             .rule("b", P::Empty);
         assert!(dtd_contained_in(&strict, &loose));

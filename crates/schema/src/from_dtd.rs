@@ -27,7 +27,11 @@ pub struct ConversionError {
 
 impl fmt::Display for ConversionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "content model of <{}> is not DMS-expressible: {}", self.element, self.reason)
+        write!(
+            f,
+            "content model of <{}> is not DMS-expressible: {}",
+            self.element, self.reason
+        )
     }
 }
 
@@ -37,7 +41,9 @@ impl std::error::Error for ConversionError {}
 pub fn dms_from_dtd(dtd: &Dtd) -> Result<Dms, ConversionError> {
     let mut schema = Dms::new(dtd.root());
     for element in dtd.declared_elements() {
-        let model = dtd.content_model(element).expect("declared element has a model");
+        let model = dtd
+            .content_model(element)
+            .expect("declared element has a model");
         let rule = rule_from_particle(model).map_err(|reason| ConversionError {
             element: element.to_string(),
             reason,
@@ -56,7 +62,9 @@ pub fn rule_from_particle(particle: &Particle) -> Result<Rule, String> {
         let clause = clause_from_item(&item)?;
         for label in clause.labels() {
             if !seen.insert(label.to_string()) {
-                return Err(format!("label `{label}` occurs more than once in the content model"));
+                return Err(format!(
+                    "label `{label}` occurs more than once in the content model"
+                ));
             }
         }
         clauses.push(clause);
@@ -125,11 +133,24 @@ mod tests {
 
     #[test]
     fn simple_sequence_converts() {
-        let p = P::Seq(vec![P::elem("title"), P::plus(P::elem("author")), P::opt(P::elem("year"))]);
+        let p = P::Seq(vec![
+            P::elem("title"),
+            P::plus(P::elem("author")),
+            P::opt(P::elem("year")),
+        ]);
         let rule = rule_from_particle(&p).unwrap();
-        assert_eq!(rule.clause_for("title").unwrap().multiplicity(), Multiplicity::One);
-        assert_eq!(rule.clause_for("author").unwrap().multiplicity(), Multiplicity::Plus);
-        assert_eq!(rule.clause_for("year").unwrap().multiplicity(), Multiplicity::Optional);
+        assert_eq!(
+            rule.clause_for("title").unwrap().multiplicity(),
+            Multiplicity::One
+        );
+        assert_eq!(
+            rule.clause_for("author").unwrap().multiplicity(),
+            Multiplicity::Plus
+        );
+        assert_eq!(
+            rule.clause_for("year").unwrap().multiplicity(),
+            Multiplicity::Optional
+        );
     }
 
     #[test]
@@ -156,7 +177,10 @@ mod tests {
     #[test]
     fn nested_group_repetition_is_rejected() {
         // (a, (b, c)*) constrains order/pairing in a way DMS cannot express.
-        let p = P::Seq(vec![P::elem("a"), P::star(P::Seq(vec![P::elem("b"), P::elem("c")]))]);
+        let p = P::Seq(vec![
+            P::elem("a"),
+            P::star(P::Seq(vec![P::elem("b"), P::elem("c")])),
+        ]);
         assert!(rule_from_particle(&p).is_err());
     }
 
@@ -173,7 +197,11 @@ mod tests {
         let schema = dms_from_dtd(&xmark_dtd()).unwrap();
         let doc = generate(&XmarkConfig::new(0.02, 5));
         let violations = schema.validate(&doc);
-        assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+        assert!(
+            violations.is_empty(),
+            "violations: {:?}",
+            &violations[..violations.len().min(3)]
+        );
     }
 
     #[test]
@@ -184,7 +212,10 @@ mod tests {
             .rule("title", P::Text)
             .rule("author", P::Text);
         let schema = dms_from_dtd(&dtd).unwrap();
-        let reordered = qbe_xml::TreeBuilder::new("book").leaf("author").leaf("title").build();
+        let reordered = qbe_xml::TreeBuilder::new("book")
+            .leaf("author")
+            .leaf("title")
+            .build();
         assert!(!dtd.is_valid(&reordered));
         assert!(schema.accepts(&reordered));
     }

@@ -39,7 +39,10 @@ impl fmt::Display for LearnError {
         match self {
             LearnError::NoExamples => write!(f, "cannot learn a schema from zero examples"),
             LearnError::InconsistentRoots(a, b) => {
-                write!(f, "example documents have different root labels: `{a}` vs `{b}`")
+                write!(
+                    f,
+                    "example documents have different root labels: `{a}` vs `{b}`"
+                )
             }
         }
     }
@@ -56,7 +59,9 @@ fn observe(docs: &[XmlTree]) -> Observations {
     let mut child_alphabet: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for doc in docs {
         for node in doc.node_ids() {
-            let entry = child_alphabet.entry(doc.label(node).to_string()).or_default();
+            let entry = child_alphabet
+                .entry(doc.label(node).to_string())
+                .or_default();
             for (child_label, _) in doc.child_label_counts(node) {
                 entry.insert(child_label);
             }
@@ -69,7 +74,10 @@ fn observe(docs: &[XmlTree]) -> Observations {
         for node in doc.node_ids() {
             let parent_label = doc.label(node).to_string();
             let counts = doc.child_label_counts(node);
-            let alphabet = child_alphabet.get(&parent_label).cloned().unwrap_or_default();
+            let alphabet = child_alphabet
+                .get(&parent_label)
+                .cloned()
+                .unwrap_or_default();
             let entry = observations.entry(parent_label).or_default();
             for child_label in alphabet {
                 let count = counts.get(&child_label).copied().unwrap_or(0);
@@ -89,7 +97,10 @@ pub fn learn_ms(docs: &[XmlTree]) -> Result<Dms, LearnError> {
         let clauses: Vec<Clause> = children
             .iter()
             .map(|(child, counts)| {
-                Clause::single(child.clone(), Multiplicity::generalising(counts.iter().copied()))
+                Clause::single(
+                    child.clone(),
+                    Multiplicity::generalising(counts.iter().copied()),
+                )
             })
             .filter(|c| c.multiplicity() != Multiplicity::Zero)
             .collect();
@@ -120,7 +131,10 @@ pub fn learn_dms(docs: &[XmlTree]) -> Result<Dms, LearnError> {
             for group in groups.iter_mut() {
                 let exclusive = group.iter().all(|other| {
                     let other_counts = &children[other];
-                    counts.iter().zip(other_counts).all(|(&a, &b)| a == 0 || b == 0)
+                    counts
+                        .iter()
+                        .zip(other_counts)
+                        .all(|(&a, &b)| a == 0 || b == 0)
                 });
                 if exclusive {
                     group.push((*label).clone());
@@ -215,15 +229,25 @@ mod tests {
     fn inconsistent_roots_are_rejected() {
         let a = TreeBuilder::new("a").build();
         let b = TreeBuilder::new("b").build();
-        assert!(matches!(learn_ms(&[a, b]).unwrap_err(), LearnError::InconsistentRoots(..)));
+        assert!(matches!(
+            learn_ms(&[a, b]).unwrap_err(),
+            LearnError::InconsistentRoots(..)
+        ));
     }
 
     #[test]
     fn learned_ms_accepts_all_examples() {
-        let docs = vec![person(true, false, false), person(false, true, true), person(true, true, false)];
+        let docs = vec![
+            person(true, false, false),
+            person(false, true, true),
+            person(true, true, false),
+        ];
         let schema = learn_ms(&docs).unwrap();
         for d in &docs {
-            assert!(schema.accepts(d), "learned schema rejects a positive example");
+            assert!(
+                schema.accepts(d),
+                "learned schema rejects a positive example"
+            );
         }
     }
 
@@ -233,21 +257,39 @@ mod tests {
         let schema = learn_ms(&docs).unwrap();
         let rule = schema.rule_for("person");
         // `name` occurs exactly once in every example.
-        assert_eq!(rule.clause_for("name").unwrap().multiplicity(), Multiplicity::One);
+        assert_eq!(
+            rule.clause_for("name").unwrap().multiplicity(),
+            Multiplicity::One
+        );
         // `address` occurs in some but not all examples.
-        assert_eq!(rule.clause_for("address").unwrap().multiplicity(), Multiplicity::Optional);
+        assert_eq!(
+            rule.clause_for("address").unwrap().multiplicity(),
+            Multiplicity::Optional
+        );
     }
 
     #[test]
     fn learned_ms_generalises_repeated_children_to_plus_or_star() {
         let two_books = TreeBuilder::new("library")
-            .open("book").leaf("title").close()
-            .open("book").leaf("title").close()
+            .open("book")
+            .leaf("title")
+            .close()
+            .open("book")
+            .leaf("title")
+            .close()
             .build();
-        let one_book = TreeBuilder::new("library").open("book").leaf("title").close().build();
+        let one_book = TreeBuilder::new("library")
+            .open("book")
+            .leaf("title")
+            .close()
+            .build();
         let schema = learn_ms(&[two_books, one_book]).unwrap();
         assert_eq!(
-            schema.rule_for("library").clause_for("book").unwrap().multiplicity(),
+            schema
+                .rule_for("library")
+                .clause_for("book")
+                .unwrap()
+                .multiplicity(),
             Multiplicity::Plus
         );
     }
@@ -256,7 +298,11 @@ mod tests {
     fn dms_learner_detects_mutually_exclusive_labels() {
         // Every person has exactly one of email / phone, never both; `address` co-occurs with
         // each of them in some example, so only the email/phone pair is mutually exclusive.
-        let docs = vec![person(true, false, true), person(false, true, true), person(true, false, false)];
+        let docs = vec![
+            person(true, false, true),
+            person(false, true, true),
+            person(true, false, false),
+        ];
         let schema = learn_dms(&docs).unwrap();
         let rule = schema.rule_for("person");
         let disjunctive = rule.clauses().iter().find(|c| !c.is_single());
@@ -303,25 +349,45 @@ mod tests {
             .rule("library", Rule::new(vec![Clause::single("book", Plus)]))
             .rule(
                 "book",
-                Rule::new(vec![Clause::single("title", One), Clause::single("year", Optional)]),
+                Rule::new(vec![
+                    Clause::single("title", One),
+                    Clause::single("year", Optional),
+                ]),
             );
         // A characteristic sample: exercises min and max of every multiplicity.
         let docs = vec![
             TreeBuilder::new("library")
-                .open("book").leaf("title").close()
+                .open("book")
+                .leaf("title")
+                .close()
                 .build(),
             TreeBuilder::new("library")
-                .open("book").leaf("title").leaf("year").close()
-                .open("book").leaf("title").close()
+                .open("book")
+                .leaf("title")
+                .leaf("year")
+                .close()
+                .open("book")
+                .leaf("title")
+                .close()
                 .build(),
         ];
         let learned = learn_ms(&docs).unwrap();
-        assert!(schema_equivalent(&learned, &goal), "learned:\n{learned}\ngoal:\n{goal}");
+        assert!(
+            schema_equivalent(&learned, &goal),
+            "learned:\n{learned}\ngoal:\n{goal}"
+        );
         // Adding more documents drawn from the goal schema does not change the learned language.
         let more = TreeBuilder::new("library")
-            .open("book").leaf("title").leaf("year").close()
-            .open("book").leaf("title").close()
-            .open("book").leaf("title").close()
+            .open("book")
+            .leaf("title")
+            .leaf("year")
+            .close()
+            .open("book")
+            .leaf("title")
+            .close()
+            .open("book")
+            .leaf("title")
+            .close()
             .build();
         let mut extended = docs.clone();
         extended.push(more);
@@ -333,14 +399,23 @@ mod tests {
     fn learner_handles_nested_structure() {
         let doc = TreeBuilder::new("site")
             .open("people")
-            .open("person").leaf("name").close()
-            .open("person").leaf("name").leaf("age").close()
+            .open("person")
+            .leaf("name")
+            .close()
+            .open("person")
+            .leaf("name")
+            .leaf("age")
+            .close()
             .close()
             .build();
         let schema = learn_ms(&[doc.clone()]).unwrap();
         assert!(schema.accepts(&doc));
         assert_eq!(
-            schema.rule_for("people").clause_for("person").unwrap().multiplicity(),
+            schema
+                .rule_for("people")
+                .clause_for("person")
+                .unwrap()
+                .multiplicity(),
             Multiplicity::Plus
         );
     }

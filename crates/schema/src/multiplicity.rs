@@ -68,7 +68,11 @@ impl Multiplicity {
     pub fn join(self, other: Multiplicity) -> Multiplicity {
         let min = self.min().min(other.min());
         let unbounded = self.max().is_none() || other.max().is_none();
-        let max = if unbounded { None } else { Some(self.max().unwrap().max(other.max().unwrap())) };
+        let max = if unbounded {
+            None
+        } else {
+            Some(self.max().unwrap().max(other.max().unwrap()))
+        };
         Multiplicity::from_bounds(min, max)
     }
 

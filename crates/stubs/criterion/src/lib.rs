@@ -1,0 +1,300 @@
+//! Offline stand-in for the crates.io [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no access to a crates registry, so this crate
+//! implements the subset of the criterion 0.5 API the qbe benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — backed by a
+//! simple but real wall-clock harness: each benchmark is warmed up, then
+//! timed over batches until a fixed measurement budget is spent, and the
+//! median per-iteration time is printed.
+//!
+//! There is no statistical analysis, HTML report or comparison with saved
+//! baselines. The goal is that `cargo bench` runs the full suite and prints
+//! honest per-iteration timings; trajectory tooling parses that output.
+//!
+//! `--smoke` (or env `QBE_BENCH_SMOKE=1`) shrinks the measurement budget so a
+//! full `cargo bench` sweep finishes in seconds; criterion's own CLI flags
+//! (`--bench`, filters) are accepted and ignored where harmless.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group. Mirror of criterion's `BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] performs the measurement.
+pub struct Bencher<'a> {
+    budget: Duration,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, recording the median per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: how many iterations fit in ~1/8 of the budget?
+        let calibration_deadline = self.budget / 8;
+        let mut iters_per_batch: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < calibration_deadline || iters_per_batch == 0 {
+            black_box(routine());
+            iters_per_batch += 1;
+        }
+
+        // Measurement: several batches of that size, keep per-iteration times.
+        let mut batch_times = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.budget && batch_times.len() < 64 {
+            let batch_start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            batch_times.push(batch_start.elapsed() / iters_per_batch.max(1) as u32);
+        }
+        batch_times.sort_unstable();
+        self.samples.push(batch_times[batch_times.len() / 2]);
+    }
+}
+
+fn format_time(t: Duration) -> String {
+    let nanos = t.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point. Mirror of criterion's `Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var_os("QBE_BENCH_SMOKE").is_some_and(|v| v != "0");
+        let budget = if smoke {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(400)
+        };
+        Criterion { budget }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            budget: self.budget,
+            samples: &mut samples,
+        });
+        report(id, &samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Final hook invoked by [`criterion_main!`]; a no-op in this stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is budget-based, so the
+    /// requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark of the group with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut samples = Vec::new();
+        f(
+            &mut Bencher {
+                budget: self.criterion.budget,
+                samples: &mut samples,
+            },
+            input,
+        );
+        report(&format!("{}/{}", self.name, id.name), &samples);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            budget: self.criterion.budget,
+            samples: &mut samples,
+        });
+        report(&format!("{}/{}", self.name, id.into().0), &samples);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Anything acceptable as a benchmark name within a group.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.name)
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    match samples {
+        [] => println!("{id:<50} (no samples)"),
+        [t] => println!("{id:<50} time: {}", format_time(*t)),
+        many => {
+            let mut sorted: Vec<_> = many.to_vec();
+            sorted.sort_unstable();
+            println!(
+                "{id:<50} time: [{} {} {}]",
+                format_time(sorted[0]),
+                format_time(sorted[sorted.len() / 2]),
+                format_time(sorted[sorted.len() - 1]),
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function invoking each target with a shared
+/// [`Criterion`]. Only the positional form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            budget: Duration::from_millis(5),
+            samples: &mut samples,
+        };
+        let mut counter = 0u64;
+        b.iter(|| counter += 1);
+        assert_eq!(samples.len(), 1);
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("learn", 8).name, "learn/8");
+        assert_eq!(BenchmarkId::from_parameter(0.05).name, "0.05");
+    }
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert_eq!(format_time(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_time(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_time(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_time(Duration::from_secs(2)), "2.00 s");
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.budget = Duration::from_millis(2);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u32, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    #[test]
+    fn groups_run_end_to_end() {
+        smoke_group();
+    }
+}

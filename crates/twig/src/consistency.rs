@@ -194,9 +194,10 @@ impl UnionQuery {
 
     /// Whether the union is consistent with an example set.
     pub fn consistent_with(&self, examples: &ExampleSet) -> bool {
-        examples.annotations().iter().all(|a| {
-            self.selects(&examples.documents()[a.doc], a.node) == a.positive
-        })
+        examples
+            .annotations()
+            .iter()
+            .all(|a| self.selects(&examples.documents()[a.doc], a.node) == a.positive)
     }
 
     /// Total size (sum of member sizes).
@@ -263,7 +264,11 @@ pub fn most_specific_description(doc: &XmlTree, node: NodeId) -> TwigQuery {
             }
             copy_subtree_as_filter(doc, sibling, &mut query, prev_q);
         }
-        prev_q = query.add_node(prev_q, Axis::Child, NodeTest::label(doc.label(child_doc_node)));
+        prev_q = query.add_node(
+            prev_q,
+            Axis::Child,
+            NodeTest::label(doc.label(child_doc_node)),
+        );
     }
     // Children of the annotated node itself.
     for &child in doc.children(node) {
@@ -404,7 +409,11 @@ mod tests {
         let d = doc();
         let persons = d.nodes_with_label("person");
         let names = d.nodes_with_label("name");
-        let set = example_set(&[persons[0], names[1]], &[d.nodes_with_label("people")[0]], &d);
+        let set = example_set(
+            &[persons[0], names[1]],
+            &[d.nodes_with_label("people")[0]],
+            &d,
+        );
         let union = learn_union(&set).expect("a consistent union exists");
         assert!(union.consistent_with(&set));
         assert_eq!(union.len(), 2);
@@ -429,6 +438,9 @@ mod tests {
         let persons = d.nodes_with_label("person");
         let q = most_specific_description(&d, persons[0]);
         assert!(eval::selects(&q, &d, persons[0]));
-        assert!(!eval::selects(&q, &d, persons[1]), "person without email must not match: {q}");
+        assert!(
+            !eval::selects(&q, &d, persons[1]),
+            "person without email must not match: {q}"
+        );
     }
 }

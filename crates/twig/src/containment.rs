@@ -51,7 +51,10 @@ fn maps_to(general: &TwigQuery, specific: &TwigQuery, x: QNodeId, u: QNodeId) ->
                 .collect(),
             Axis::Descendant => proper_descendants(specific, u),
         };
-        if !candidates.into_iter().any(|v| maps_to(general, specific, y, v)) {
+        if !candidates
+            .into_iter()
+            .any(|v| maps_to(general, specific, y, v))
+        {
             return false;
         }
     }
@@ -101,7 +104,11 @@ mod tests {
 
     #[test]
     fn query_is_contained_in_itself() {
-        for s in ["//person", "/site/people/person[name]/emailaddress", "//a[b][.//c]/d"] {
+        for s in [
+            "//person",
+            "/site/people/person[name]/emailaddress",
+            "//a[b][.//c]/d",
+        ] {
             let query = q(s);
             assert!(contained_in(&query, &query), "{s} not contained in itself");
             assert!(equivalent(&query, &query));
@@ -194,6 +201,10 @@ mod tests {
         let g = crate::eval::select(&general, &doc);
         assert!(s.is_subset(&g));
         assert!(contained_in(&specific, &general));
-        assert!(equivalent_on(&general, &q("/site/people/person/name"), &[doc]));
+        assert!(equivalent_on(
+            &general,
+            &q("/site/people/person/name"),
+            &[doc]
+        ));
     }
 }

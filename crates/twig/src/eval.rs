@@ -145,11 +145,7 @@ impl<'a> Matcher<'a> {
                 }
             }
             // `//label…`: any element will do.
-            Axis::Descendant => self
-                .doc
-                .node_ids()
-                .filter(|t| root_ok[t.index()])
-                .collect(),
+            Axis::Descendant => self.doc.node_ids().filter(|t| root_ok[t.index()]).collect(),
         }
     }
 
@@ -261,7 +257,10 @@ mod tests {
             (Axis::Child, NodeTest::label("site")),
             (Axis::Child, NodeTest::label("person")),
         ]);
-        assert!(select(&q, &d).is_empty(), "person is not a direct child of site");
+        assert!(
+            select(&q, &d).is_empty(),
+            "person is not a direct child of site"
+        );
     }
 
     #[test]
@@ -291,7 +290,10 @@ mod tests {
         let q = parse("/site/people/person[.//age]");
         assert_eq!(select(&q, &d).len(), 1);
         let q2 = parse("/site/people/person[age]");
-        assert!(select(&q2, &d).is_empty(), "age is nested under profile, not a direct child");
+        assert!(
+            select(&q2, &d).is_empty(),
+            "age is nested under profile, not a direct child"
+        );
     }
 
     #[test]

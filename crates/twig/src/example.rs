@@ -45,8 +45,15 @@ impl ExampleSet {
     /// Annotate a node of a previously added document.
     pub fn annotate(&mut self, doc: usize, node: NodeId, positive: bool) {
         assert!(doc < self.docs.len(), "document index out of range");
-        assert!(node.index() < self.docs[doc].size(), "node id out of range for document");
-        self.annotations.push(Annotation { doc, node, positive });
+        assert!(
+            node.index() < self.docs[doc].size(),
+            "node id out of range for document"
+        );
+        self.annotations.push(Annotation {
+            doc,
+            node,
+            positive,
+        });
     }
 
     /// Shorthand for a positive annotation.
@@ -122,8 +129,7 @@ impl ExampleSet {
         for doc in docs {
             let selected = eval::select(goal, &doc);
             let mut pos: Vec<NodeId> = selected.iter().copied().collect();
-            let mut neg: Vec<NodeId> =
-                doc.node_ids().filter(|n| !selected.contains(n)).collect();
+            let mut neg: Vec<NodeId> = doc.node_ids().filter(|n| !selected.contains(n)).collect();
             pos.shuffle(&mut rng);
             neg.shuffle(&mut rng);
             let doc_ix = set.add_document(doc);

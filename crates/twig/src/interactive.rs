@@ -7,14 +7,23 @@
 //! the experiments) labels it positive or negative, and after every answer the learner prunes
 //! every node whose label has become *uninformative*.
 //!
-//! The pruning rule exploits the structure of anchored-twig learning from positive examples: the
-//! candidate returned by [`learn_from_positives`](crate::learn::learn_from_positives) is the
-//! *most specific* anchored twig consistent with the positives, so **every** anchored twig
-//! consistent with them selects at least the candidate's answers. A node already selected by the
-//! candidate therefore has a certain (positive) label under every remaining hypothesis and asking
-//! about it cannot shrink the version space — it is pruned. Nodes outside the candidate's answer
-//! set remain informative: a positive label generalises the candidate, a negative label constrains
-//! the final query.
+//! Two pruning rules exploit the structure of anchored-twig learning from positive examples,
+//! both consequences of [`learn_from_positives`](crate::learn::learn_from_positives) returning
+//! the *most specific* anchored twig consistent with the positives:
+//!
+//! * **Certain positives.** Every anchored twig consistent with the positives selects at least
+//!   the candidate's answers, so a node already selected by the candidate has a certain
+//!   (positive) label under every remaining hypothesis — asking about it cannot shrink the
+//!   version space and it is pruned.
+//! * **Determined negatives.** For an unlabelled node `n`, consider the most specific anchored
+//!   twig selecting `positives ∪ {n}`. Every hypothesis selecting `n` together with the known
+//!   positives is at least as general, so it selects at least that query's answers. If that
+//!   query selects an already-labelled *negative*, every hypothesis selecting `n` is
+//!   inconsistent with the collected labels — `n`'s label is determined to be negative and it is
+//!   pruned without asking (see [`TwigSession::is_determined_negative`]).
+//!
+//! Remaining nodes are informative: a positive label generalises the candidate, a negative label
+//! constrains the final query.
 //!
 //! The session stops when every node is labelled or pruned, and reports the learned query, the
 //! number of interactions (the quantity the paper wants to minimise) and the number of labels the
@@ -50,7 +59,11 @@ pub struct GoalNodeOracle<'a> {
 impl<'a> GoalNodeOracle<'a> {
     /// Create an oracle for a hidden goal query over the given documents.
     pub fn new(docs: &'a [XmlTree], goal: TwigQuery) -> GoalNodeOracle<'a> {
-        GoalNodeOracle { docs, goal, questions: 0 }
+        GoalNodeOracle {
+            docs,
+            goal,
+            questions: 0,
+        }
     }
 
     /// Number of questions answered so far.
@@ -122,7 +135,10 @@ impl fmt::Display for TwigSessionOutcome {
             self.interactions,
             self.pruned,
             self.total_nodes,
-            self.query.as_ref().map(|q| q.to_xpath()).unwrap_or_else(|| "(none)".to_string())
+            self.query
+                .as_ref()
+                .map(|q| q.to_xpath())
+                .unwrap_or_else(|| "(none)".to_string())
         )
     }
 }
@@ -147,7 +163,13 @@ impl TwigSession {
             debug_assert_eq!(ix, stored.len());
             stored.push(doc);
         }
-        TwigSession { docs: stored, examples, strategy, seed, asked: 0 }
+        TwigSession {
+            docs: stored,
+            examples,
+            strategy,
+            seed,
+            asked: 0,
+        }
     }
 
     /// The documents the session ranges over.
@@ -189,10 +211,19 @@ impl TwigSession {
     }
 
     /// All still-informative nodes, as `(document index, node)` pairs.
+    ///
+    /// Conservative: excludes labelled nodes and certain positives but does *not* run the
+    /// per-node determined-negative analysis (see [`Self::is_determined_negative`]), which
+    /// [`Self::run`] additionally applies lazily to the nodes the strategy proposes. Callers
+    /// driving a session by hand can apply the same check to skip further questions.
     pub fn informative_nodes(&self) -> Vec<(usize, NodeId)> {
         let candidate = self.candidate();
-        let labelled: BTreeSet<(usize, NodeId)> =
-            self.examples.annotations().iter().map(|a| (a.doc, a.node)).collect();
+        let labelled: BTreeSet<(usize, NodeId)> = self
+            .examples
+            .annotations()
+            .iter()
+            .map(|a| (a.doc, a.node))
+            .collect();
         let mut out = Vec::new();
         for (doc_ix, doc) in self.docs.iter().enumerate() {
             let certain: BTreeSet<NodeId> = match &candidate {
@@ -223,6 +254,62 @@ impl TwigSession {
         }
     }
 
+    /// Whether `node`'s label is *determined* to be negative by the labels collected so far:
+    /// no query of the learner's hypothesis class consistent with the current labels selects
+    /// it, so asking about it cannot shrink the version space.
+    ///
+    /// Soundness: any hypothesis selecting `node` and all known positives is at least as
+    /// general as the most specific anchored twig over `positives ∪ {node}`, hence selects all
+    /// of that query's answers; if those answers include a labelled negative, every such
+    /// hypothesis is inconsistent. The cheap spine-only query (a superset of the most specific
+    /// query's answers) is used as a pre-filter so the full filter-harvesting learner only runs
+    /// on nodes that might actually be pruned.
+    ///
+    /// The version space this argues over is the *practical* class
+    /// [`learn_from_positives`] searches (spine plus single-label child/descendant filters),
+    /// in which it returns the most specific element. Goal queries outside that class (e.g.
+    /// with nested multi-step predicates) can in principle have answers pruned here — but the
+    /// learner could never converge to such a goal anyway, so the session loses nothing it
+    /// could have used.
+    ///
+    /// The check is skipped (returns `false`) until at least one positive *and* one negative
+    /// label exist: with no positives there is nothing to generalise against, and with no
+    /// negatives nothing can contradict.
+    pub fn is_determined_negative(&self, doc: usize, node: NodeId) -> bool {
+        let positives = self.examples.positives();
+        if positives.is_empty() {
+            return false;
+        }
+        let negatives: Vec<(usize, NodeId)> = self
+            .examples
+            .annotations()
+            .iter()
+            .filter(|a| !a.positive)
+            .map(|a| (a.doc, a.node))
+            .collect();
+        if negatives.is_empty() {
+            return false;
+        }
+        let mut extended = positives;
+        extended.push((&self.docs[doc], node));
+        // `extended` is never empty, and NoExamples is the learners' only error, so failures
+        // here must surface rather than silently prune the node.
+        let spine_only = crate::learn::learn_path_from_positives(&extended)
+            .expect("learning from a non-empty example set cannot fail");
+        if !negatives
+            .iter()
+            .any(|&(d, m)| eval::selects(&spine_only, &self.docs[d], m))
+        {
+            // Even the loosest consistent generalisation misses every negative: informative.
+            return false;
+        }
+        let most_specific = learn_from_positives(&extended)
+            .expect("learning from a non-empty example set cannot fail");
+        negatives
+            .iter()
+            .any(|&(d, m)| eval::selects(&most_specific, &self.docs[d], m))
+    }
+
     fn pick_next(&self, informative: &[(usize, NodeId)]) -> Option<(usize, NodeId)> {
         if informative.is_empty() {
             return None;
@@ -251,7 +338,10 @@ impl TwigSession {
                     .iter()
                     .max_by_key(|(doc, node)| {
                         let label = self.docs[*doc].label(*node);
-                        (positive_labels.contains(label), std::cmp::Reverse(self.docs[*doc].depth(*node)))
+                        (
+                            positive_labels.contains(label),
+                            std::cmp::Reverse(self.docs[*doc].depth(*node)),
+                        )
                     })
                     .copied()
             }
@@ -259,18 +349,82 @@ impl TwigSession {
     }
 
     /// Run the session to completion against an oracle.
+    ///
+    /// Each round the session recomputes the still-informative nodes (pruning certain
+    /// positives and determined negatives), asks the strategy's preferred one, and records the
+    /// answer. The candidate — and with it the certain-positive set — only changes when a new
+    /// positive arrives, so it is cached per positive-count epoch; determined-negative checks
+    /// run lazily, only on nodes the strategy actually proposes.
     pub fn run(mut self, oracle: &mut dyn NodeOracle) -> TwigSessionOutcome {
         let total_nodes: usize = self.docs.iter().map(XmlTree::size).sum();
+        let mut determined: BTreeSet<(usize, NodeId)> = BTreeSet::new();
+        let mut certain: BTreeSet<(usize, NodeId)> = BTreeSet::new();
+        let mut known_positives = 0usize;
+        let mut consistent = true;
         loop {
-            let informative = self.informative_nodes();
-            let Some((doc, node)) = self.pick_next(&informative) else { break };
-            let label = oracle.label(doc, node);
-            self.record(doc, node, label);
-            if !self.is_consistent() {
+            let positives_now = self
+                .examples
+                .annotations()
+                .iter()
+                .filter(|a| a.positive)
+                .count();
+            if positives_now != known_positives {
+                known_positives = positives_now;
+                certain.clear();
+                if let Some(q) = self.candidate() {
+                    for (doc_ix, doc) in self.docs.iter().enumerate() {
+                        for node in eval::select(&q, doc) {
+                            certain.insert((doc_ix, node));
+                        }
+                    }
+                }
+                // A generalised candidate may have swallowed an earlier negative: the labels
+                // no longer admit a consistent anchored twig, matching `is_consistent`.
+                if self
+                    .examples
+                    .annotations()
+                    .iter()
+                    .any(|a| !a.positive && certain.contains(&(a.doc, a.node)))
+                {
+                    consistent = false;
+                    break;
+                }
+            }
+
+            let labelled: BTreeSet<(usize, NodeId)> = self
+                .examples
+                .annotations()
+                .iter()
+                .map(|a| (a.doc, a.node))
+                .collect();
+            let mut informative: Vec<(usize, NodeId)> = Vec::new();
+            for (doc_ix, doc) in self.docs.iter().enumerate() {
+                for node in doc.node_ids() {
+                    let key = (doc_ix, node);
+                    if !labelled.contains(&key)
+                        && !determined.contains(&key)
+                        && !certain.contains(&key)
+                    {
+                        informative.push(key);
+                    }
+                }
+            }
+
+            let mut chosen = None;
+            while let Some(pick) = self.pick_next(&informative) {
+                if self.is_determined_negative(pick.0, pick.1) {
+                    determined.insert(pick);
+                    informative.retain(|key| *key != pick);
+                    continue;
+                }
+                chosen = Some(pick);
                 break;
             }
+            let Some((doc, node)) = chosen else { break };
+            let label = oracle.label(doc, node);
+            self.record(doc, node, label);
         }
-        let consistent = self.is_consistent();
+        let consistent = consistent && self.is_consistent();
         let interactions = self.asked;
         let pruned = total_nodes - interactions;
         TwigSessionOutcome {
@@ -322,7 +476,11 @@ mod tests {
         let outcome = interactive_twig_learn(&docs, &goal(), NodeStrategy::LabelAffinity, 7);
         assert!(outcome.consistent);
         let learned = outcome.query.expect("a query must be learned");
-        assert!(equivalent_on(&learned, &goal(), &docs), "learned {}", learned.to_xpath());
+        assert!(
+            equivalent_on(&learned, &goal(), &docs),
+            "learned {}",
+            learned.to_xpath()
+        );
     }
 
     #[test]
@@ -357,7 +515,10 @@ mod tests {
         let docs = vec![auction_doc(), auction_doc()];
         let outcome = interactive_twig_learn(&docs, &goal(), NodeStrategy::DocumentOrder, 0);
         assert!(outcome.interactions <= outcome.total_nodes);
-        assert_eq!(outcome.total_nodes, docs.iter().map(XmlTree::size).sum::<usize>());
+        assert_eq!(
+            outcome.total_nodes,
+            docs.iter().map(XmlTree::size).sum::<usize>()
+        );
     }
 
     #[test]
@@ -372,7 +533,10 @@ mod tests {
         // After one positive the candidate is the most specific description of that node: the
         // node itself is labelled, other selected nodes may or may not be certain yet, but a
         // clearly unrelated node (the root) must stay informative or be labelled.
-        assert_ne!(session.status(0, XmlTree::ROOT), NodeStatus::CertainPositive);
+        assert_ne!(
+            session.status(0, XmlTree::ROOT),
+            NodeStatus::CertainPositive
+        );
     }
 
     #[test]
@@ -382,7 +546,10 @@ mod tests {
         let outcome = interactive_twig_learn(&docs, &goal, NodeStrategy::DocumentOrder, 0);
         assert!(outcome.query.is_none());
         assert!(outcome.consistent);
-        assert_eq!(outcome.interactions, outcome.total_nodes, "nothing can be pruned");
+        assert_eq!(
+            outcome.interactions, outcome.total_nodes,
+            "nothing can be pruned"
+        );
     }
 
     #[test]

@@ -57,9 +57,7 @@ pub fn learn_path_from_positives(
 }
 
 /// Learn the most specific **twig query** (spine + filters) selecting every positive example.
-pub fn learn_from_positives(
-    examples: &[(&XmlTree, NodeId)],
-) -> Result<TwigQuery, TwigLearnError> {
+pub fn learn_from_positives(examples: &[(&XmlTree, NodeId)]) -> Result<TwigQuery, TwigLearnError> {
     let spine = generalise_spines(examples)?;
     let mut query = spine_to_query(&spine);
     let (first_doc, first_node) = examples[0];
@@ -68,13 +66,16 @@ pub fn learn_from_positives(
     // Candidate filters per spine position, harvested from the first example.
     let spine_ids = query.spine();
     for (pos, step) in spine.iter().enumerate() {
-        let Some(first_ix) = step.first_example_index else { continue };
+        let Some(first_ix) = step.first_example_index else {
+            continue;
+        };
         let anchor_node = first_path[first_ix];
         let spine_query_node = spine_ids[pos];
         // The child of `anchor_node` that continues the path towards the annotated node (if
         // any): filters duplicating its label are redundant with the spine itself.
-        let path_child_label =
-            first_path.get(first_ix + 1).map(|n| first_doc.label(*n).to_string());
+        let path_child_label = first_path
+            .get(first_ix + 1)
+            .map(|n| first_doc.label(*n).to_string());
 
         let mut child_labels: Vec<String> = first_doc
             .children(anchor_node)
@@ -103,7 +104,13 @@ pub fn learn_from_positives(
             if child_labels.contains(&label) || Some(&label) == path_child_label.as_ref() {
                 continue;
             }
-            try_add_filter(&mut query, spine_query_node, Axis::Descendant, &label, examples);
+            try_add_filter(
+                &mut query,
+                spine_query_node,
+                Axis::Descendant,
+                &label,
+                examples,
+            );
         }
     }
     Ok(query)
@@ -120,7 +127,9 @@ fn try_add_filter(
 ) {
     let mut candidate = query.clone();
     candidate.add_node(node, axis, NodeTest::label(label));
-    let ok = examples.iter().all(|(doc, target)| eval::selects(&candidate, doc, *target));
+    let ok = examples
+        .iter()
+        .all(|(doc, target)| eval::selects(&candidate, doc, *target));
     if ok {
         *query = candidate;
     }
@@ -137,9 +146,7 @@ fn label_path(doc: &XmlTree, node: NodeId) -> Vec<String> {
     doc.label_path(node)
 }
 
-fn generalise_spines(
-    examples: &[(&XmlTree, NodeId)],
-) -> Result<Vec<SpineStep>, TwigLearnError> {
+fn generalise_spines(examples: &[(&XmlTree, NodeId)]) -> Result<Vec<SpineStep>, TwigLearnError> {
     let (first_doc, first_node) = *examples.first().ok_or(TwigLearnError::NoExamples)?;
     let first = label_path(first_doc, first_node);
     let mut spine: Vec<SpineStep> = first
@@ -179,8 +186,16 @@ fn generalise_with_path(spine: &[SpineStep], path: &[String]) -> Vec<SpineStep> 
             (Some(ps), Some(pp)) => si == ps + 1 && pi == pp + 1,
             _ => false,
         };
-        let axis = if step.axis == Axis::Child && adjacent { Axis::Child } else { Axis::Descendant };
-        out.push(SpineStep { axis, test: step.test.clone(), first_example_index: step.first_example_index });
+        let axis = if step.axis == Axis::Child && adjacent {
+            Axis::Child
+        } else {
+            Axis::Descendant
+        };
+        out.push(SpineStep {
+            axis,
+            test: step.test.clone(),
+            first_example_index: step.first_example_index,
+        });
         prev_spine_ix = Some(si);
         prev_path_ix = Some(pi);
     }
@@ -210,7 +225,11 @@ fn generalise_with_path(spine: &[SpineStep], path: &[String]) -> Vec<SpineStep> 
     } else {
         None
     };
-    out.push(SpineStep { axis: selected_axis, test: selected_test, first_example_index });
+    out.push(SpineStep {
+        axis: selected_axis,
+        test: selected_test,
+        first_example_index,
+    });
     out
 }
 
@@ -289,7 +308,10 @@ mod tests {
 
     #[test]
     fn no_examples_is_an_error() {
-        assert_eq!(learn_from_positives(&[]).unwrap_err(), TwigLearnError::NoExamples);
+        assert_eq!(
+            learn_from_positives(&[]).unwrap_err(),
+            TwigLearnError::NoExamples
+        );
     }
 
     #[test]
@@ -299,9 +321,15 @@ mod tests {
         let q = learn_from_positives(&[(&doc, email)]).unwrap();
         // The spine is the exact label path, with sibling filters harvested from the example.
         let spine_labels: Vec<String> = q.spine().iter().map(|n| q.test(*n).to_string()).collect();
-        assert_eq!(spine_labels, vec!["site", "people", "person", "emailaddress"]);
+        assert_eq!(
+            spine_labels,
+            vec!["site", "people", "person", "emailaddress"]
+        );
         assert!(eval::selects(&q, &doc, email));
-        assert!(q.to_xpath().contains("[name]"), "sibling filter expected, got {q}");
+        assert!(
+            q.to_xpath().contains("[name]"),
+            "sibling filter expected, got {q}"
+        );
     }
 
     #[test]
@@ -335,8 +363,14 @@ mod tests {
             .filter(|c| q.test(**c) != &NodeTest::label("emailaddress"))
             .map(|c| q.test(*c).to_string())
             .collect();
-        assert!(!person_filters.contains(&"profile".to_string()), "overspecific filter kept: {q}");
-        assert!(person_filters.contains(&"name".to_string()), "shared filter dropped: {q}");
+        assert!(
+            !person_filters.contains(&"profile".to_string()),
+            "overspecific filter kept: {q}"
+        );
+        assert!(
+            person_filters.contains(&"name".to_string()),
+            "shared filter dropped: {q}"
+        );
     }
 
     #[test]
@@ -384,7 +418,10 @@ mod tests {
         let examples: Vec<(&XmlTree, NodeId)> = persons.iter().map(|&p| (&doc, p)).collect();
         let q = learn_from_positives(&examples).unwrap();
         assert!(q.to_xpath().contains("[name]"));
-        assert!(q.size() > 3, "expected filters beyond the bare spine, got {q}");
+        assert!(
+            q.size() > 3,
+            "expected filters beyond the bare spine, got {q}"
+        );
     }
 
     #[test]

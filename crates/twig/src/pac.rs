@@ -107,7 +107,12 @@ pub fn evaluate_quality(
     sample: &[(usize, NodeId, bool)],
 ) -> QueryQuality {
     let mut selected_cache: Vec<Option<BTreeSet<NodeId>>> = vec![None; docs.len()];
-    let mut q = QueryQuality { true_positives: 0, false_positives: 0, false_negatives: 0, true_negatives: 0 };
+    let mut q = QueryQuality {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        true_negatives: 0,
+    };
     for &(doc_ix, node, positive) in sample {
         let selected = selected_cache[doc_ix]
             .get_or_insert_with(|| eval::select(query, &docs[doc_ix]))
@@ -192,7 +197,10 @@ pub fn pac_learn(
     // Candidate hypotheses: the single-twig learner on all training positives, and the union
     // learner as an agnostic fallback.
     let mut training_set = ExampleSet::new();
-    let doc_ixs: Vec<usize> = docs.iter().map(|d| training_set.add_document(d.clone())).collect();
+    let doc_ixs: Vec<usize> = docs
+        .iter()
+        .map(|d| training_set.add_document(d.clone()))
+        .collect();
     for &(doc_ix, node, positive) in train {
         training_set.annotate(doc_ixs[doc_ix], node, positive);
     }
@@ -207,7 +215,9 @@ pub fn pac_learn(
         candidates.push(PacHypothesis::Union(u));
     }
     if candidates.is_empty() {
-        candidates.push(PacHypothesis::Twig(TwigQuery::descendant_of_root("__no_such_label__")));
+        candidates.push(PacHypothesis::Twig(TwigQuery::descendant_of_root(
+            "__no_such_label__",
+        )));
     }
 
     // Pick the candidate with the lowest empirical (training) error.
@@ -229,7 +239,11 @@ pub fn pac_learn(
     }
 }
 
-fn quality_of(h: &PacHypothesis, docs: &[XmlTree], sample: &[(usize, NodeId, bool)]) -> QueryQuality {
+fn quality_of(
+    h: &PacHypothesis,
+    docs: &[XmlTree],
+    sample: &[(usize, NodeId, bool)],
+) -> QueryQuality {
     match h {
         PacHypothesis::Twig(q) => evaluate_quality(q, docs, sample),
         PacHypothesis::Union(u) => {
@@ -277,7 +291,12 @@ mod tests {
 
     #[test]
     fn quality_metrics_are_consistent() {
-        let q = QueryQuality { true_positives: 8, false_positives: 2, false_negatives: 4, true_negatives: 86 };
+        let q = QueryQuality {
+            true_positives: 8,
+            false_positives: 2,
+            false_negatives: 4,
+            true_negatives: 86,
+        };
         assert!((q.precision() - 0.8).abs() < 1e-9);
         assert!((q.recall() - 8.0 / 12.0).abs() < 1e-9);
         assert!((q.error() - 0.06).abs() < 1e-9);
@@ -288,7 +307,9 @@ mod tests {
     fn perfect_query_has_zero_error() {
         let doc = TreeBuilder::new("site")
             .open("people")
-            .open("person").leaf("name").close()
+            .open("person")
+            .leaf("name")
+            .close()
             .close()
             .build();
         let goal = parse_xpath("//person").unwrap();
@@ -303,7 +324,10 @@ mod tests {
 
     #[test]
     fn pac_learning_achieves_low_error_on_xmark_data() {
-        let docs = vec![generate(&XmarkConfig::new(0.01, 3)), generate(&XmarkConfig::new(0.01, 4))];
+        let docs = vec![
+            generate(&XmarkConfig::new(0.01, 3)),
+            generate(&XmarkConfig::new(0.01, 4)),
+        ];
         let goal = parse_xpath("/site/people/person/name").unwrap();
         let outcome = pac_learn(&goal, &docs, 0.1, 0.1, 11);
         assert!(outcome.training_examples > 0);

@@ -121,7 +121,12 @@ impl TwigQuery {
     /// document's root element, `Descendant` lets it match any element.
     pub fn new(axis: Axis, test: NodeTest) -> TwigQuery {
         TwigQuery {
-            nodes: vec![QNode { test, axis, parent: None, children: Vec::new() }],
+            nodes: vec![QNode {
+                test,
+                axis,
+                parent: None,
+                children: Vec::new(),
+            }],
             selected: QNodeId::ROOT,
         }
     }
@@ -149,7 +154,12 @@ impl TwigQuery {
     pub fn add_node(&mut self, parent: QNodeId, axis: Axis, test: NodeTest) -> QNodeId {
         assert!(parent.index() < self.nodes.len(), "parent out of bounds");
         let id = QNodeId(self.nodes.len() as u32);
-        self.nodes.push(QNode { test, axis, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(QNode {
+            test,
+            axis,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -221,10 +231,7 @@ impl TwigQuery {
     pub fn filter_roots(&self) -> Vec<QNodeId> {
         let spine: BTreeSet<QNodeId> = self.spine().into_iter().collect();
         self.node_ids()
-            .filter(|n| {
-                !spine.contains(n)
-                    && self.parent(*n).map_or(false, |p| spine.contains(&p))
-            })
+            .filter(|n| !spine.contains(n) && self.parent(*n).map_or(false, |p| spine.contains(&p)))
             .collect()
     }
 
@@ -266,7 +273,8 @@ impl TwigQuery {
             }
             // A kept node must have a kept parent (the root has none).
             let parent = node.parent.map(|p| {
-                mapping[p.index()].expect("kept node has a dropped ancestor — remove whole subtrees only")
+                mapping[p.index()]
+                    .expect("kept node has a dropped ancestor — remove whole subtrees only")
             });
             mapping[ix] = Some(QNodeId(new_nodes.len() as u32));
             new_nodes.push(QNode {
@@ -356,12 +364,16 @@ impl TwigQuery {
 
     /// Number of descendant (`//`) edges.
     pub fn descendant_edge_count(&self) -> usize {
-        self.node_ids().filter(|n| self.axis(*n) == Axis::Descendant).count()
+        self.node_ids()
+            .filter(|n| self.axis(*n) == Axis::Descendant)
+            .count()
     }
 
     /// Number of wildcard nodes.
     pub fn wildcard_count(&self) -> usize {
-        self.node_ids().filter(|n| matches!(self.test(*n), NodeTest::Wildcard)).count()
+        self.node_ids()
+            .filter(|n| matches!(self.test(*n), NodeTest::Wildcard))
+            .count()
     }
 }
 
@@ -402,15 +414,21 @@ mod tests {
     #[test]
     fn spine_runs_from_root_to_selected() {
         let q = sample();
-        let spine_labels: Vec<String> =
-            q.spine().iter().map(|n| q.test(*n).to_string()).collect();
-        assert_eq!(spine_labels, vec!["site", "people", "person", "emailaddress"]);
+        let spine_labels: Vec<String> = q.spine().iter().map(|n| q.test(*n).to_string()).collect();
+        assert_eq!(
+            spine_labels,
+            vec!["site", "people", "person", "emailaddress"]
+        );
     }
 
     #[test]
     fn filter_roots_are_off_spine_children_of_spine() {
         let q = sample();
-        let filters: Vec<String> = q.filter_roots().iter().map(|n| q.test(*n).to_string()).collect();
+        let filters: Vec<String> = q
+            .filter_roots()
+            .iter()
+            .map(|n| q.test(*n).to_string())
+            .collect();
         assert_eq!(filters, vec!["name", "age"]);
         assert!(!q.is_path());
     }
@@ -418,7 +436,10 @@ mod tests {
     #[test]
     fn xpath_serialisation() {
         let q = sample();
-        assert_eq!(q.to_xpath(), "/site/people/person[name][.//age]/emailaddress");
+        assert_eq!(
+            q.to_xpath(),
+            "/site/people/person[name][.//age]/emailaddress"
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub fn query_satisfiable(schema: &Dms, query: &TwigQuery) -> bool {
             labels.into_iter().collect()
         }
     };
-    candidates.iter().any(|label| embeds_at(&graph, query, QNodeId::ROOT, label))
+    candidates
+        .iter()
+        .any(|label| embeds_at(&graph, query, QNodeId::ROOT, label))
 }
 
 fn embeds_at(graph: &DependencyGraph, query: &TwigQuery, node: QNodeId, label: &str) -> bool {
@@ -68,10 +70,17 @@ fn embeds_at(graph: &DependencyGraph, query: &TwigQuery, node: QNodeId, label: &
     }
     for &child in query.children(node) {
         let candidate_labels: Vec<String> = match query.axis(child) {
-            Axis::Child => graph.possible_children(label).iter().map(|s| s.to_string()).collect(),
+            Axis::Child => graph
+                .possible_children(label)
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             Axis::Descendant => graph.reachable_from(label).into_iter().collect(),
         };
-        if !candidate_labels.iter().any(|cl| embeds_at(graph, query, child, cl)) {
+        if !candidate_labels
+            .iter()
+            .any(|cl| embeds_at(graph, query, child, cl))
+        {
             return false;
         }
     }
@@ -139,8 +148,10 @@ fn filter_implied_for_label(
             required.into_iter().map(str::to_string).collect()
         }
         (Axis::Descendant, NodeTest::Wildcard) => {
-            let required: Vec<String> =
-                graph.implied_descendants(parent_label).into_iter().collect();
+            let required: Vec<String> = graph
+                .implied_descendants(parent_label)
+                .into_iter()
+                .collect();
             if required.is_empty() {
                 return false;
             }
@@ -183,7 +194,11 @@ fn possible_labels_of(
         let mut next = BTreeSet::new();
         for l in &labels {
             let step_labels: Vec<String> = match query.axis(child) {
-                Axis::Child => graph.possible_children(l).iter().map(|s| s.to_string()).collect(),
+                Axis::Child => graph
+                    .possible_children(l)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
                 Axis::Descendant => graph.reachable_from(l).into_iter().collect(),
             };
             for sl in step_labels {
@@ -296,20 +311,38 @@ mod tests {
     #[test]
     fn satisfiable_queries_embed_into_dependency_graph() {
         let s = schema();
-        assert!(query_satisfiable(&s, &parse_xpath("/site/people/person/name").unwrap()));
-        assert!(query_satisfiable(&s, &parse_xpath("//person[profile[age]]").unwrap()));
-        assert!(query_satisfiable(&s, &parse_xpath("//profile/age").unwrap()));
+        assert!(query_satisfiable(
+            &s,
+            &parse_xpath("/site/people/person/name").unwrap()
+        ));
+        assert!(query_satisfiable(
+            &s,
+            &parse_xpath("//person[profile[age]]").unwrap()
+        ));
+        assert!(query_satisfiable(
+            &s,
+            &parse_xpath("//profile/age").unwrap()
+        ));
     }
 
     #[test]
     fn unsatisfiable_queries_are_detected() {
         let s = schema();
         // `address` is not part of the schema at all.
-        assert!(!query_satisfiable(&s, &parse_xpath("//person/address").unwrap()));
+        assert!(!query_satisfiable(
+            &s,
+            &parse_xpath("//person/address").unwrap()
+        ));
         // `age` is never a child of `person` (only of `profile`).
-        assert!(!query_satisfiable(&s, &parse_xpath("//person/age").unwrap()));
+        assert!(!query_satisfiable(
+            &s,
+            &parse_xpath("//person/age").unwrap()
+        ));
         // Wrong root.
-        assert!(!query_satisfiable(&s, &parse_xpath("/people/person").unwrap()));
+        assert!(!query_satisfiable(
+            &s,
+            &parse_xpath("/people/person").unwrap()
+        ));
     }
 
     #[test]
@@ -372,7 +405,10 @@ mod tests {
         let examples: Vec<(&XmlTree, NodeId)> = persons.iter().map(|&p| (&d, p)).collect();
         let plain = learn_from_positives(&examples).unwrap();
         let report = learn_with_schema(&examples, &schema()).unwrap();
-        assert!(report.size_after < plain.size(), "pruning had no effect: {plain}");
+        assert!(
+            report.size_after < plain.size(),
+            "pruning had no effect: {plain}"
+        );
         // Both select exactly the annotated nodes on the example document.
         for &p in &persons {
             assert!(eval::selects(&report.query, &d, p));

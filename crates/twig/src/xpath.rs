@@ -29,7 +29,11 @@ pub struct XPathError {
 
 impl fmt::Display for XPathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XPath parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -42,7 +46,11 @@ impl std::error::Error for XPathError {}
 /// assert_eq!(q.to_xpath(), "/site//person[profile[age]]/name");
 /// ```
 pub fn parse_xpath(input: &str) -> Result<TwigQuery, XPathError> {
-    Parser { input: input.as_bytes(), pos: 0 }.parse_query()
+    Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    }
+    .parse_query()
 }
 
 struct Parser<'a> {
@@ -52,7 +60,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, XPathError> {
-        Err(XPathError { position: self.pos, message: message.into() })
+        Err(XPathError {
+            position: self.pos,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -140,11 +151,7 @@ impl<'a> Parser<'a> {
         Ok(query)
     }
 
-    fn parse_predicates(
-        &mut self,
-        query: &mut TwigQuery,
-        node: QNodeId,
-    ) -> Result<(), XPathError> {
+    fn parse_predicates(&mut self, query: &mut TwigQuery, node: QNodeId) -> Result<(), XPathError> {
         loop {
             self.skip_ws();
             if !self.eat(b'[') {

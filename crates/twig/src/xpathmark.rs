@@ -203,7 +203,10 @@ pub fn twig_goals() -> Vec<(String, TwigQuery)> {
 /// Coverage summary: `(twig-expressible, total)`.
 pub fn coverage() -> (usize, usize) {
     let s = suite();
-    (s.iter().filter(|q| q.expressibility.is_twig()).count(), s.len())
+    (
+        s.iter().filter(|q| q.expressibility.is_twig()).count(),
+        s.len(),
+    )
 }
 
 #[cfg(test)]
@@ -230,7 +233,11 @@ mod tests {
             } else {
                 assert!(q.as_twig().is_none());
                 // And indeed the parser rejects them (they use unsupported features).
-                assert!(crate::xpath::parse_xpath(q.xpath).is_err(), "{} unexpectedly parses", q.id);
+                assert!(
+                    crate::xpath::parse_xpath(q.xpath).is_err(),
+                    "{} unexpectedly parses",
+                    q.id
+                );
             }
         }
     }

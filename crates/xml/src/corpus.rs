@@ -84,7 +84,12 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<CorpusEntry> {
         let documents = (0..config.documents_per_collection)
             .map(|_| generate_conforming_document(&mut rng, &dtd))
             .collect();
-        out.push(CorpusEntry { name: format!("collection{i}"), style, dtd, documents });
+        out.push(CorpusEntry {
+            name: format!("collection{i}"),
+            style,
+            dtd,
+            documents,
+        });
     }
     out
 }
@@ -151,7 +156,7 @@ fn random_ordered_rule(rng: &mut StdRng, children: &[String]) -> Particle {
 
 fn random_dtd(rng: &mut StdRng, style: SchemaStyle, collection: usize) -> Dtd {
     let depth_labels = [
-        labels_for(collection, 1),            // root
+        labels_for(collection, 1),              // root
         labels_for(collection, 3).split_off(1), // two mid labels (e1, e2)
         labels_for(collection, 6).split_off(3), // three leaf labels (e3, e4, e5)
     ];
@@ -184,7 +189,9 @@ fn expand(rng: &mut StdRng, dtd: &Dtd, doc: &mut XmlTree, node: NodeId, depth: u
         return; // guard against pathological recursive schemas
     }
     let label = doc.label(node).to_string();
-    let Some(model) = dtd.content_model(&label) else { return };
+    let Some(model) = dtd.content_model(&label) else {
+        return;
+    };
     let children = sample_particle(rng, model);
     for child_label in children {
         let child = doc.add_child(node, &child_label);
@@ -226,7 +233,11 @@ mod tests {
 
     #[test]
     fn corpus_has_requested_shape() {
-        let cfg = CorpusConfig { collections: 10, documents_per_collection: 3, ..Default::default() };
+        let cfg = CorpusConfig {
+            collections: 10,
+            documents_per_collection: 3,
+            ..Default::default()
+        };
         let corpus = generate_corpus(&cfg);
         assert_eq!(corpus.len(), 10);
         assert!(corpus.iter().all(|c| c.documents.len() == 3));
@@ -266,9 +277,18 @@ mod tests {
             ..Default::default()
         };
         let corpus = generate_corpus(&cfg);
-        let mult = corpus.iter().filter(|c| c.style == SchemaStyle::MultiplicityOnly).count();
-        let disj = corpus.iter().filter(|c| c.style == SchemaStyle::Disjunctive).count();
-        let ord = corpus.iter().filter(|c| c.style == SchemaStyle::OrderedSequences).count();
+        let mult = corpus
+            .iter()
+            .filter(|c| c.style == SchemaStyle::MultiplicityOnly)
+            .count();
+        let disj = corpus
+            .iter()
+            .filter(|c| c.style == SchemaStyle::Disjunctive)
+            .count();
+        let ord = corpus
+            .iter()
+            .filter(|c| c.style == SchemaStyle::OrderedSequences)
+            .count();
         assert_eq!(mult, 10);
         assert_eq!(disj, 5);
         assert_eq!(ord, 5);

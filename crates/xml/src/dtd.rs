@@ -222,7 +222,10 @@ impl fmt::Display for DtdViolation {
 impl Dtd {
     /// Create a DTD with the given root element and no rules.
     pub fn new(root: impl Into<String>) -> Dtd {
-        Dtd { root: root.into(), rules: BTreeMap::new() }
+        Dtd {
+            root: root.into(),
+            rules: BTreeMap::new(),
+        }
     }
 
     /// Name of the root element.
@@ -353,7 +356,10 @@ mod tests {
     #[test]
     fn nested_repetition_of_choice() {
         // (a | b)* accepts any mix of a and b.
-        let p = Particle::star(Particle::Choice(vec![Particle::elem("a"), Particle::elem("b")]));
+        let p = Particle::star(Particle::Choice(vec![
+            Particle::elem("a"),
+            Particle::elem("b"),
+        ]));
         assert!(p.accepts(&["a", "b", "a", "a", "b"]));
         assert!(!p.accepts(&["a", "c"]));
     }
@@ -367,7 +373,10 @@ mod tests {
             Particle::opt(Particle::elem("a")),
             Particle::star(Particle::elem("a")),
             Particle::plus(Particle::elem("a")),
-            Particle::Seq(vec![Particle::opt(Particle::elem("a")), Particle::star(Particle::elem("b"))]),
+            Particle::Seq(vec![
+                Particle::opt(Particle::elem("a")),
+                Particle::star(Particle::elem("b")),
+            ]),
             Particle::Choice(vec![Particle::elem("a"), Particle::Empty]),
         ];
         for p in cases {
@@ -379,7 +388,10 @@ mod tests {
     fn referenced_elements_are_collected() {
         let p = Particle::Seq(vec![
             Particle::elem("a"),
-            Particle::Choice(vec![Particle::elem("b"), Particle::star(Particle::elem("c"))]),
+            Particle::Choice(vec![
+                Particle::elem("b"),
+                Particle::star(Particle::elem("c")),
+            ]),
         ]);
         let refs = p.referenced_elements();
         assert_eq!(refs.into_iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
@@ -423,7 +435,11 @@ mod tests {
     #[test]
     fn undeclared_elements_are_unconstrained() {
         let dtd = Dtd::new("r").rule("r", Particle::star(Particle::elem("mystery")));
-        let doc = TreeBuilder::new("r").open("mystery").leaf("anything").close().build();
+        let doc = TreeBuilder::new("r")
+            .open("mystery")
+            .leaf("anything")
+            .close()
+            .build();
         assert!(dtd.is_valid(&doc));
     }
 

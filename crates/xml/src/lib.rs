@@ -39,7 +39,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arbitrary_tree(seed: u64) -> XmlTree {
-        let cfg = RandomTreeConfig { max_depth: 4, max_children: 3, ..Default::default() };
+        let cfg = RandomTreeConfig {
+            max_depth: 4,
+            max_children: 3,
+            ..Default::default()
+        };
         RandomTreeGenerator::new(cfg, seed).generate()
     }
 

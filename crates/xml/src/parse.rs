@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -77,11 +81,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Parser<'a> {
-        Parser { input: input.as_bytes(), pos: 0 }
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { position: self.pos, message: message.into() })
+        Err(ParseError {
+            position: self.pos,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -97,7 +107,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -211,8 +224,9 @@ impl<'a> Parser<'a> {
                         self.bump(2);
                         let close = self.parse_name()?;
                         if close != name {
-                            return self
-                                .err(format!("mismatched closing tag </{close}>, expected </{name}>"));
+                            return self.err(format!(
+                                "mismatched closing tag </{close}>, expected </{name}>"
+                            ));
                         }
                         self.skip_whitespace();
                         if self.peek() != Some(b'>') {
@@ -255,7 +269,10 @@ impl<'a> Parser<'a> {
                         self.bump(1);
                     }
                     let raw = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| {
-                        ParseError { position: start, message: "invalid UTF-8 in text".into() }
+                        ParseError {
+                            position: start,
+                            message: "invalid UTF-8 in text".into(),
+                        }
                     })?;
                     text_acc.push_str(&unescape(raw));
                 }
@@ -275,7 +292,9 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return self.err("expected a name");
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string())
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .to_string())
     }
 
     fn parse_quoted(&mut self) -> Result<String, ParseError> {
@@ -287,7 +306,9 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             if c == quote {
-                let s = std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string();
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .unwrap()
+                    .to_string();
                 self.bump(1);
                 return Ok(s);
             }
@@ -404,8 +425,11 @@ mod tests {
     #[test]
     fn preserves_document_order_of_children() {
         let doc = parse_xml("<r><x/><y/><z/></r>").unwrap();
-        let labels: Vec<&str> =
-            doc.children(XmlTree::ROOT).iter().map(|c| doc.label(*c)).collect();
+        let labels: Vec<&str> = doc
+            .children(XmlTree::ROOT)
+            .iter()
+            .map(|c| doc.label(*c))
+            .collect();
         assert_eq!(labels, vec!["x", "y", "z"]);
     }
 
@@ -417,8 +441,14 @@ mod tests {
         let out = to_xml_string(&doc);
         let doc2 = parse_xml(&out).unwrap();
         assert!(doc.unordered_eq(&doc2));
-        assert_eq!(doc2.attribute(doc2.nodes_with_label("person")[0], "id"), Some("p0"));
-        assert_eq!(doc2.text(doc2.nodes_with_label("name")[0]), Some("Alice & Bob"));
+        assert_eq!(
+            doc2.attribute(doc2.nodes_with_label("person")[0], "id"),
+            Some("p0")
+        );
+        assert_eq!(
+            doc2.text(doc2.nodes_with_label("name")[0]),
+            Some("Alice & Bob")
+        );
     }
 
     #[test]

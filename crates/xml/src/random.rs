@@ -50,7 +50,10 @@ impl RandomTreeGenerator {
     /// Create a generator from a configuration and a seed.
     pub fn new(config: RandomTreeConfig, seed: u64) -> RandomTreeGenerator {
         assert!(!config.alphabet.is_empty(), "alphabet must not be empty");
-        RandomTreeGenerator { config, rng: StdRng::seed_from_u64(seed) }
+        RandomTreeGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn random_label(&mut self) -> String {
@@ -121,7 +124,10 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let cfg = RandomTreeConfig { max_depth: 3, ..RandomTreeConfig::default() };
+        let cfg = RandomTreeConfig {
+            max_depth: 3,
+            ..RandomTreeConfig::default()
+        };
         let mut gen = RandomTreeGenerator::new(cfg, 42);
         for _ in 0..20 {
             let t = gen.generate();
@@ -131,7 +137,10 @@ mod tests {
 
     #[test]
     fn respects_max_children() {
-        let cfg = RandomTreeConfig { max_children: 2, ..RandomTreeConfig::default() };
+        let cfg = RandomTreeConfig {
+            max_children: 2,
+            ..RandomTreeConfig::default()
+        };
         let mut gen = RandomTreeGenerator::new(cfg, 9);
         for _ in 0..20 {
             let t = gen.generate();
@@ -164,7 +173,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_alphabet_is_rejected() {
-        let cfg = RandomTreeConfig { alphabet: vec![], ..RandomTreeConfig::default() };
+        let cfg = RandomTreeConfig {
+            alphabet: vec![],
+            ..RandomTreeConfig::default()
+        };
         let _ = RandomTreeGenerator::new(cfg, 0);
     }
 }

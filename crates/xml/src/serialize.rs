@@ -88,7 +88,12 @@ mod tests {
 
     #[test]
     fn nested_elements_serialise_in_document_order() {
-        let t = TreeBuilder::new("r").leaf("a").open("b").leaf("c").close().build();
+        let t = TreeBuilder::new("r")
+            .leaf("a")
+            .open("b")
+            .leaf("c")
+            .close()
+            .build();
         assert_eq!(to_xml_string(&t), "<r><a/><b><c/></b></r>");
     }
 

@@ -98,7 +98,10 @@ impl XmlTree {
     /// # Panics
     /// Panics if `parent` is not a node of this tree.
     pub fn add_child(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
-        assert!(parent.index() < self.nodes.len(), "parent {parent} out of bounds");
+        assert!(
+            parent.index() < self.nodes.len(),
+            "parent {parent} out of bounds"
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeData {
             label: label.into(),
@@ -138,7 +141,10 @@ impl XmlTree {
 
     /// Attribute value of a node, if present.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
-        self.nodes[id.index()].attributes.get(name).map(String::as_str)
+        self.nodes[id.index()]
+            .attributes
+            .get(name)
+            .map(String::as_str)
     }
 
     /// All attributes of a node, in name order.
@@ -151,7 +157,9 @@ impl XmlTree {
 
     /// Set (or overwrite) an attribute of a node.
     pub fn set_attribute(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
-        self.nodes[id.index()].attributes.insert(name.into(), value.into());
+        self.nodes[id.index()]
+            .attributes
+            .insert(name.into(), value.into());
     }
 
     /// Parent of a node (`None` for the root).
@@ -235,7 +243,9 @@ impl XmlTree {
 
     /// All nodes carrying the given label.
     pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
-        self.node_ids().filter(|n| self.label(*n) == label).collect()
+        self.node_ids()
+            .filter(|n| self.label(*n) == label)
+            .collect()
     }
 
     /// The set of distinct labels occurring in the tree, sorted.
@@ -440,7 +450,11 @@ mod tests {
     fn ancestors_walk_up_to_root() {
         let t = sample();
         let name = t.nodes_with_label("name")[0];
-        let anc: Vec<String> = t.ancestors(name).iter().map(|a| t.label(*a).to_string()).collect();
+        let anc: Vec<String> = t
+            .ancestors(name)
+            .iter()
+            .map(|a| t.label(*a).to_string())
+            .collect();
         assert_eq!(anc, vec!["person", "people", "site"]);
     }
 
@@ -454,8 +468,15 @@ mod tests {
     #[test]
     fn descendants_are_preorder() {
         let t = sample();
-        let labels: Vec<&str> = t.descendants(XmlTree::ROOT).iter().map(|n| t.label(*n)).collect();
-        assert_eq!(labels, vec!["regions", "europe", "asia", "people", "person", "name"]);
+        let labels: Vec<&str> = t
+            .descendants(XmlTree::ROOT)
+            .iter()
+            .map(|n| t.label(*n))
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["regions", "europe", "asia", "people", "person", "name"]
+        );
     }
 
     #[test]

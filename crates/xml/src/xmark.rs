@@ -14,7 +14,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Continent regions used by XMark.
-pub const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+pub const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 const FIRST_NAMES: [&str; 16] = [
     "Alice", "Bob", "Carla", "Dmitri", "Elena", "Farid", "Grace", "Hugo", "Ines", "Jun", "Kira",
@@ -22,8 +29,8 @@ const FIRST_NAMES: [&str; 16] = [
 ];
 
 const LAST_NAMES: [&str; 16] = [
-    "Anderson", "Brown", "Chen", "Dubois", "Eriksen", "Fischer", "Garcia", "Haas", "Ito",
-    "Jansen", "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov",
+    "Anderson", "Brown", "Chen", "Dubois", "Eriksen", "Fischer", "Garcia", "Haas", "Ito", "Jansen",
+    "Kovacs", "Larsen", "Moreau", "Novak", "Okafor", "Petrov",
 ];
 
 const CITIES: [&str; 12] = [
@@ -32,8 +39,18 @@ const CITIES: [&str; 12] = [
 ];
 
 const COUNTRIES: [&str; 12] = [
-    "France", "United States", "Japan", "Kenya", "Australia", "Peru", "Germany", "Poland",
-    "Spain", "Canada", "South Korea", "Brazil",
+    "France",
+    "United States",
+    "Japan",
+    "Kenya",
+    "Australia",
+    "Peru",
+    "Germany",
+    "Poland",
+    "Spain",
+    "Canada",
+    "South Korea",
+    "Brazil",
 ];
 
 const WORDS: [&str; 24] = [
@@ -43,8 +60,16 @@ const WORDS: [&str; 24] = [
 ];
 
 const CATEGORY_THEMES: [&str; 10] = [
-    "coins", "stamps", "books", "paintings", "furniture", "jewelry", "maps", "instruments",
-    "pottery", "textiles",
+    "coins",
+    "stamps",
+    "books",
+    "paintings",
+    "furniture",
+    "jewelry",
+    "maps",
+    "instruments",
+    "pottery",
+    "textiles",
 ];
 
 /// Configuration for the XMark-like generator.
@@ -60,7 +85,10 @@ pub struct XmarkConfig {
 
 impl Default for XmarkConfig {
     fn default() -> Self {
-        XmarkConfig { scale: 0.1, seed: 42 }
+        XmarkConfig {
+            scale: 0.1,
+            seed: 42,
+        }
     }
 }
 
@@ -119,7 +147,10 @@ struct Generator<'a> {
 
 impl<'a> Generator<'a> {
     fn new(config: &'a XmarkConfig) -> Generator<'a> {
-        Generator { config, rng: StdRng::seed_from_u64(config.seed) }
+        Generator {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
     }
 
     fn pick<'s>(&mut self, pool: &[&'s str]) -> &'s str {
@@ -127,7 +158,10 @@ impl<'a> Generator<'a> {
     }
 
     fn phrase(&mut self, words: usize) -> String {
-        (0..words).map(|_| self.pick(&WORDS)).collect::<Vec<_>>().join(" ")
+        (0..words)
+            .map(|_| self.pick(&WORDS))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     fn person_name(&mut self) -> String {
@@ -184,7 +218,11 @@ impl<'a> Generator<'a> {
         let n_cats = self.rng.gen_range(1..=3);
         for _ in 0..n_cats {
             let incat = doc.add_child(item, "incategory");
-            doc.set_attribute(incat, "category", format!("category{}", self.rng.gen_range(0..n_categories)));
+            doc.set_attribute(
+                incat,
+                "category",
+                format!("category{}", self.rng.gen_range(0..n_categories)),
+            );
         }
         // mailbox with zero or more mails.
         let mailbox = doc.add_child(item, "mailbox");
@@ -216,7 +254,10 @@ impl<'a> Generator<'a> {
             let category = doc.add_child(categories, "category");
             doc.set_attribute(category, "id", format!("category{i}"));
             let name = doc.add_child(category, "name");
-            doc.set_text(name, format!("{} {}", self.pick(&WORDS), self.pick(&CATEGORY_THEMES)));
+            doc.set_text(
+                name,
+                format!("{} {}", self.pick(&WORDS), self.pick(&CATEGORY_THEMES)),
+            );
             let description = doc.add_child(category, "description");
             let text = doc.add_child(description, "text");
             doc.set_text(text, self.phrase(4));
@@ -228,8 +269,16 @@ impl<'a> Generator<'a> {
         let n_edges = n_categories.saturating_sub(1);
         for _ in 0..n_edges {
             let edge = doc.add_child(catgraph, "edge");
-            doc.set_attribute(edge, "from", format!("category{}", self.rng.gen_range(0..n_categories)));
-            doc.set_attribute(edge, "to", format!("category{}", self.rng.gen_range(0..n_categories)));
+            doc.set_attribute(
+                edge,
+                "from",
+                format!("category{}", self.rng.gen_range(0..n_categories)),
+            );
+            doc.set_attribute(
+                edge,
+                "to",
+                format!("category{}", self.rng.gen_range(0..n_categories)),
+            );
         }
     }
 
@@ -244,12 +293,22 @@ impl<'a> Generator<'a> {
             doc.set_text(email, format!("mailto:user{i}@example.org"));
             if self.rng.gen_bool(0.4) {
                 let phone = doc.add_child(person, "phone");
-                doc.set_text(phone, format!("+{} {}", self.rng.gen_range(1..99), self.rng.gen_range(1000000..9999999)));
+                doc.set_text(
+                    phone,
+                    format!(
+                        "+{} {}",
+                        self.rng.gen_range(1..99),
+                        self.rng.gen_range(1000000..9999999)
+                    ),
+                );
             }
             if self.rng.gen_bool(0.6) {
                 let address = doc.add_child(person, "address");
                 let street = doc.add_child(address, "street");
-                doc.set_text(street, format!("{} {} St", self.rng.gen_range(1..99), self.pick(&WORDS)));
+                doc.set_text(
+                    street,
+                    format!("{} {} St", self.rng.gen_range(1..99), self.pick(&WORDS)),
+                );
                 let city = doc.add_child(address, "city");
                 doc.set_text(city, self.pick(&CITIES).to_string());
                 let country = doc.add_child(address, "country");
@@ -274,23 +333,46 @@ impl<'a> Generator<'a> {
                     ),
                 );
             }
-            if self.rng.gen_bool(0.7) {
+            if self.rng.gen_bool(0.6) {
                 let profile = doc.add_child(person, "profile");
-                doc.set_attribute(profile, "income", format!("{:.2}", self.rng.gen_range(20000.0..120000.0)));
+                doc.set_attribute(
+                    profile,
+                    "income",
+                    format!("{:.2}", self.rng.gen_range(20000.0..120000.0)),
+                );
                 for _ in 0..self.rng.gen_range(0..3) {
                     let interest = doc.add_child(profile, "interest");
-                    doc.set_attribute(interest, "category", format!("category{}", self.rng.gen_range(0..n_categories)));
+                    doc.set_attribute(
+                        interest,
+                        "category",
+                        format!("category{}", self.rng.gen_range(0..n_categories)),
+                    );
                 }
                 if self.rng.gen_bool(0.5) {
                     let education = doc.add_child(profile, "education");
-                    doc.set_text(education, ["High School", "College", "Graduate School"][self.rng.gen_range(0..3)].to_string());
+                    doc.set_text(
+                        education,
+                        ["High School", "College", "Graduate School"][self.rng.gen_range(0..3)]
+                            .to_string(),
+                    );
                 }
                 if self.rng.gen_bool(0.5) {
                     let gender = doc.add_child(profile, "gender");
-                    doc.set_text(gender, if self.rng.gen_bool(0.5) { "male" } else { "female" }.to_string());
+                    doc.set_text(
+                        gender,
+                        if self.rng.gen_bool(0.5) {
+                            "male"
+                        } else {
+                            "female"
+                        }
+                        .to_string(),
+                    );
                 }
                 let business = doc.add_child(profile, "business");
-                doc.set_text(business, if self.rng.gen_bool(0.5) { "Yes" } else { "No" }.to_string());
+                doc.set_text(
+                    business,
+                    if self.rng.gen_bool(0.5) { "Yes" } else { "No" }.to_string(),
+                );
                 if self.rng.gen_bool(0.6) {
                     let age = doc.add_child(profile, "age");
                     doc.set_text(age, self.rng.gen_range(18..80).to_string());
@@ -300,7 +382,11 @@ impl<'a> Generator<'a> {
                 let watches = doc.add_child(person, "watches");
                 for _ in 0..self.rng.gen_range(1..=3) {
                     let watch = doc.add_child(watches, "watch");
-                    doc.set_attribute(watch, "open_auction", format!("open_auction{}", self.rng.gen_range(0..n_open)));
+                    doc.set_attribute(
+                        watch,
+                        "open_auction",
+                        format!("open_auction{}", self.rng.gen_range(0..n_open)),
+                    );
                 }
             }
         }
@@ -332,9 +418,21 @@ impl<'a> Generator<'a> {
                 let date = doc.add_child(bidder, "date");
                 doc.set_text(date, self.date());
                 let time = doc.add_child(bidder, "time");
-                doc.set_text(time, format!("{:02}:{:02}:{:02}", self.rng.gen_range(0..24), self.rng.gen_range(0..60), self.rng.gen_range(0..60)));
+                doc.set_text(
+                    time,
+                    format!(
+                        "{:02}:{:02}:{:02}",
+                        self.rng.gen_range(0..24),
+                        self.rng.gen_range(0..60),
+                        self.rng.gen_range(0..60)
+                    ),
+                );
                 let personref = doc.add_child(bidder, "personref");
-                doc.set_attribute(personref, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+                doc.set_attribute(
+                    personref,
+                    "person",
+                    format!("person{}", self.rng.gen_range(0..n_people)),
+                );
                 let increase = doc.add_child(bidder, "increase");
                 let inc = self.rng.gen_range(1.5..30.0);
                 current_price += inc;
@@ -347,19 +445,39 @@ impl<'a> Generator<'a> {
                 doc.set_text(privacy, "Yes");
             }
             let itemref = doc.add_child(auction, "itemref");
-            doc.set_attribute(itemref, "item", format!("item{}", self.rng.gen_range(0..n_items)));
+            doc.set_attribute(
+                itemref,
+                "item",
+                format!("item{}", self.rng.gen_range(0..n_items)),
+            );
             let seller = doc.add_child(auction, "seller");
-            doc.set_attribute(seller, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            doc.set_attribute(
+                seller,
+                "person",
+                format!("person{}", self.rng.gen_range(0..n_people)),
+            );
             let annotation = doc.add_child(auction, "annotation");
             let author = doc.add_child(annotation, "author");
-            doc.set_attribute(author, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            doc.set_attribute(
+                author,
+                "person",
+                format!("person{}", self.rng.gen_range(0..n_people)),
+            );
             let description = doc.add_child(annotation, "description");
             let text = doc.add_child(description, "text");
             doc.set_text(text, self.phrase(5));
             let quantity = doc.add_child(auction, "quantity");
             doc.set_text(quantity, self.rng.gen_range(1..5).to_string());
             let auction_type = doc.add_child(auction, "type");
-            doc.set_text(auction_type, if self.rng.gen_bool(0.5) { "Regular" } else { "Featured" }.to_string());
+            doc.set_text(
+                auction_type,
+                if self.rng.gen_bool(0.5) {
+                    "Regular"
+                } else {
+                    "Featured"
+                }
+                .to_string(),
+            );
             let interval = doc.add_child(auction, "interval");
             let start = doc.add_child(interval, "start");
             doc.set_text(start, self.date());
@@ -369,7 +487,11 @@ impl<'a> Generator<'a> {
             // `itemref`/`incategory` cross-references XPathMark queries navigate.
             if self.rng.gen_bool(0.2) && n_categories > 0 {
                 let incat = doc.add_child(auction, "incategory");
-                doc.set_attribute(incat, "category", format!("category{}", self.rng.gen_range(0..n_categories)));
+                doc.set_attribute(
+                    incat,
+                    "category",
+                    format!("category{}", self.rng.gen_range(0..n_categories)),
+                );
             }
         }
     }
@@ -379,11 +501,23 @@ impl<'a> Generator<'a> {
         for _ in 0..n {
             let auction = doc.add_child(closed_auctions, "closed_auction");
             let seller = doc.add_child(auction, "seller");
-            doc.set_attribute(seller, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            doc.set_attribute(
+                seller,
+                "person",
+                format!("person{}", self.rng.gen_range(0..n_people)),
+            );
             let buyer = doc.add_child(auction, "buyer");
-            doc.set_attribute(buyer, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            doc.set_attribute(
+                buyer,
+                "person",
+                format!("person{}", self.rng.gen_range(0..n_people)),
+            );
             let itemref = doc.add_child(auction, "itemref");
-            doc.set_attribute(itemref, "item", format!("item{}", self.rng.gen_range(0..n_items)));
+            doc.set_attribute(
+                itemref,
+                "item",
+                format!("item{}", self.rng.gen_range(0..n_items)),
+            );
             let price = doc.add_child(auction, "price");
             doc.set_text(price, format!("{:.2}", self.rng.gen_range(5.0..500.0)));
             let date = doc.add_child(auction, "date");
@@ -391,10 +525,22 @@ impl<'a> Generator<'a> {
             let quantity = doc.add_child(auction, "quantity");
             doc.set_text(quantity, self.rng.gen_range(1..5).to_string());
             let auction_type = doc.add_child(auction, "type");
-            doc.set_text(auction_type, if self.rng.gen_bool(0.5) { "Regular" } else { "Featured" }.to_string());
+            doc.set_text(
+                auction_type,
+                if self.rng.gen_bool(0.5) {
+                    "Regular"
+                } else {
+                    "Featured"
+                }
+                .to_string(),
+            );
             let annotation = doc.add_child(auction, "annotation");
             let author = doc.add_child(annotation, "author");
-            doc.set_attribute(author, "person", format!("person{}", self.rng.gen_range(0..n_people)));
+            doc.set_attribute(
+                author,
+                "person",
+                format!("person{}", self.rng.gen_range(0..n_people)),
+            );
             let description = doc.add_child(annotation, "description");
             let text = doc.add_child(description, "text");
             doc.set_text(text, self.phrase(5));
@@ -446,10 +592,18 @@ pub fn xmark_dtd() -> Dtd {
         .rule("mailbox", P::star(P::elem("mail")))
         .rule(
             "mail",
-            P::Seq(vec![P::elem("from"), P::elem("to"), P::elem("date"), P::elem("text")]),
+            P::Seq(vec![
+                P::elem("from"),
+                P::elem("to"),
+                P::elem("date"),
+                P::elem("text"),
+            ]),
         )
         .rule("categories", P::star(P::elem("category")))
-        .rule("category", P::Seq(vec![P::elem("name"), P::elem("description")]))
+        .rule(
+            "category",
+            P::Seq(vec![P::elem("name"), P::elem("description")]),
+        )
         .rule("description", P::elem("text"))
         .rule("catgraph", P::star(P::elem("edge")))
         .rule("edge", P::Empty)
@@ -469,7 +623,12 @@ pub fn xmark_dtd() -> Dtd {
         )
         .rule(
             "address",
-            P::Seq(vec![P::elem("street"), P::elem("city"), P::elem("country"), P::elem("zipcode")]),
+            P::Seq(vec![
+                P::elem("street"),
+                P::elem("city"),
+                P::elem("country"),
+                P::elem("zipcode"),
+            ]),
         )
         .rule(
             "profile",
@@ -503,10 +662,18 @@ pub fn xmark_dtd() -> Dtd {
         )
         .rule(
             "bidder",
-            P::Seq(vec![P::elem("date"), P::elem("time"), P::elem("personref"), P::elem("increase")]),
+            P::Seq(vec![
+                P::elem("date"),
+                P::elem("time"),
+                P::elem("personref"),
+                P::elem("increase"),
+            ]),
         )
         .rule("interval", P::Seq(vec![P::elem("start"), P::elem("end")]))
-        .rule("annotation", P::Seq(vec![P::elem("author"), P::elem("description")]))
+        .rule(
+            "annotation",
+            P::Seq(vec![P::elem("author"), P::elem("description")]),
+        )
         .rule("closed_auctions", P::star(P::elem("closed_auction")))
         .rule(
             "closed_auction",
@@ -573,11 +740,21 @@ mod tests {
     fn root_is_site_with_six_sections() {
         let doc = small_doc();
         assert_eq!(doc.label(XmlTree::ROOT), "site");
-        let sections: Vec<&str> =
-            doc.children(XmlTree::ROOT).iter().map(|c| doc.label(*c)).collect();
+        let sections: Vec<&str> = doc
+            .children(XmlTree::ROOT)
+            .iter()
+            .map(|c| doc.label(*c))
+            .collect();
         assert_eq!(
             sections,
-            vec!["regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"]
+            vec![
+                "regions",
+                "categories",
+                "catgraph",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
         );
     }
 
@@ -599,7 +776,11 @@ mod tests {
     fn all_six_regions_present() {
         let doc = small_doc();
         for region in REGIONS {
-            assert_eq!(doc.nodes_with_label(region).len(), 1, "missing region {region}");
+            assert_eq!(
+                doc.nodes_with_label(region).len(),
+                1,
+                "missing region {region}"
+            );
         }
     }
 
@@ -608,7 +789,16 @@ mod tests {
         let doc = small_doc();
         for item in doc.nodes_with_label("item") {
             let labels: Vec<&str> = doc.children(item).iter().map(|c| doc.label(*c)).collect();
-            for required in ["location", "quantity", "name", "payment", "description", "shipping", "incategory", "mailbox"] {
+            for required in [
+                "location",
+                "quantity",
+                "name",
+                "payment",
+                "description",
+                "shipping",
+                "incategory",
+                "mailbox",
+            ] {
                 assert!(labels.contains(&required), "item missing {required}");
             }
         }
@@ -630,7 +820,11 @@ mod tests {
         let doc = small_doc();
         let dtd = xmark_dtd();
         let violations = dtd.validate(&doc);
-        assert!(violations.is_empty(), "violations: {:?}", &violations[..violations.len().min(3)]);
+        assert!(
+            violations.is_empty(),
+            "violations: {:?}",
+            &violations[..violations.len().min(3)]
+        );
     }
 
     #[test]

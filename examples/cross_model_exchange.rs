@@ -36,12 +36,8 @@ fn scenario_1_relational_to_xml() {
     let db = customers_orders_database(20, 3, 3);
     let customers = db.relation("customers").expect("customers relation");
     let orders = db.relation("orders").expect("orders relation");
-    let goal = JoinPredicate::from_names(
-        customers.schema(),
-        orders.schema(),
-        &[("cid", "cid")],
-    )
-    .expect("attributes exist");
+    let goal = JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
+        .expect("attributes exist");
     let (doc, report) = learned_publish_relational_to_xml(customers, orders, &goal, "sales", 5);
     println!("  {report}");
     println!("  published document has {} nodes\n", doc.size());
@@ -76,20 +72,37 @@ fn scenario_3_xml_to_graph() {
     let (graph, report) = shred_xml_to_graph(&doc, &query);
     println!("  learned query: {}", query.to_xpath());
     println!("  {report}");
-    println!("  graph: {} resources, {} triples\n", graph.node_count(), graph.triples().len());
+    println!(
+        "  graph: {} resources, {} triples\n",
+        graph.node_count(),
+        graph.triples().len()
+    );
 }
 
 /// Scenario 4: itineraries extracted from a geographical graph database with a learned path
 /// constraint are published as XML.
 fn scenario_4_graph_to_xml() {
     println!("== Scenario 4: graph → XML (publishing) ==");
-    let graph = generate_geo_graph(&GeoConfig { cities: 24, ..Default::default() });
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 24,
+        ..Default::default()
+    });
     let from = graph.find_node_by_property("name", "city0").expect("city0");
     let to = graph.find_node_by_property("name", "city7").expect("city7");
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
-    let outcome =
-        interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, Vec::new(), 13);
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let outcome = interactive_path_learn(
+        &graph,
+        from,
+        to,
+        &goal,
+        PathStrategy::Halving,
+        Vec::new(),
+        13,
+    );
     let (doc, report) = publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
     println!("  questions asked: {}", outcome.interactions);
     println!("  {report}");

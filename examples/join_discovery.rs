@@ -9,8 +9,8 @@
 //! the quantity the paper's §3 sets out to minimise.
 
 use qbe_core::relational::{
-    crowdsourced_learn, generate_join_instance, interactive_learn, HitPricing,
-    JoinInstanceConfig, Strategy,
+    crowdsourced_learn, generate_join_instance, interactive_learn, HitPricing, JoinInstanceConfig,
+    Strategy,
 };
 
 fn main() {
@@ -31,17 +31,27 @@ fn main() {
         goal.describe(left.schema(), right.schema())
     );
     println!();
-    println!("{:<22} {:>14} {:>14} {:>12}", "strategy", "interactions", "inferred", "HIT cost $");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "strategy", "interactions", "inferred", "HIT cost $"
+    );
 
     let pricing = HitPricing::default();
-    for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::MostSpecificFirst,
+        Strategy::HalveLattice,
+    ] {
         // Average over a few seeds to smooth the randomised strategy.
         let mut interactions = 0;
         let mut inferred = 0;
         let runs = 3;
         for seed in 0..runs {
             let outcome = interactive_learn(&left, &right, &goal, strategy, seed);
-            assert!(outcome.consistent, "noise-free oracle labels must stay consistent");
+            assert!(
+                outcome.consistent,
+                "noise-free oracle labels must stay consistent"
+            );
             interactions += outcome.interactions;
             inferred += outcome.inferred;
         }

@@ -38,7 +38,10 @@ fn employees() -> Relation {
         (8, "Hana", "engineering", "Paris", true, 68),
     ];
     Relation::with_tuples(
-        RelationSchema::new("employees", &["eid", "name", "dept", "city", "senior", "salary"]),
+        RelationSchema::new(
+            "employees",
+            &["eid", "name", "dept", "city", "senior", "salary"],
+        ),
         rows.iter()
             .map(|(eid, name, dept, city, senior, salary)| {
                 Tuple::new(vec![
@@ -69,7 +72,11 @@ fn main() {
     let mut db = Instance::new();
     db.add(employees());
     db.add(departments());
-    println!("database: {} relations, {} tuples\n", db.len(), db.total_tuples());
+    println!(
+        "database: {} relations, {} tuples\n",
+        db.len(),
+        db.total_tuples()
+    );
 
     // ---------------------------------------------------------------- query by output
     let goal = SpjQuery::scan("employees")
@@ -80,7 +87,10 @@ fn main() {
         .project(&["name"]);
     let output = goal.evaluate(&db).expect("the goal query evaluates");
     println!("hidden goal query: {goal}");
-    println!("its output ({} tuples) is all the user provides.\n", output.len());
+    println!(
+        "its output ({} tuples) is all the user provides.\n",
+        output.len()
+    );
 
     match query_by_output(&db, &output) {
         Ok(learned) => {
@@ -92,20 +102,29 @@ fn main() {
                 distinct_constants(&learned)
             );
             let reproduced = learned.evaluate(&db).expect("the learned query evaluates");
-            println!("  instance-equivalent: {}\n", reproduced.len() == output.len());
+            println!(
+                "  instance-equivalent: {}\n",
+                reproduced.len() == output.len()
+            );
         }
         Err(e) => println!("query by output failed: {e}\n"),
     }
 
     // ---------------------------------------------------------------- view synthesis
     let view = SpjQuery::scan("employees")
-        .select(vec![Condition::AttrConst("city".into(), Value::text("Lille"))])
+        .select(vec![Condition::AttrConst(
+            "city".into(),
+            Value::text("Lille"),
+        )])
         .project(&["eid"])
         .evaluate(&db)
         .expect("the view query evaluates");
     match synthesize_view(&db, &view) {
         Ok(outcome) => {
-            println!("view instance with {} rows is exactly defined by:", view.len());
+            println!(
+                "view instance with {} rows is exactly defined by:",
+                view.len()
+            );
             println!("  {}", outcome.definition);
             println!(
                 "  succinctness: {} condition(s); exact: {}\n",
@@ -124,7 +143,10 @@ fn main() {
     for fd in fds.iter().take(5) {
         println!("  {fd}");
     }
-    println!("constant conditional functional dependencies (support ≥ 2): {}", cfds.len());
+    println!(
+        "constant conditional functional dependencies (support ≥ 2): {}",
+        cfds.len()
+    );
     for cfd in cfds.iter().take(5) {
         println!("  {}", cfd.describe(&emp));
     }
@@ -140,7 +162,10 @@ fn main() {
         RelationSchema::new("out", &["x"]),
         vec![Tuple::new(vec![Value::text("legal")])],
     );
-    for (label, output) in [("π[dept]", &expressible_output), ("{legal}", &foreign_output)] {
+    for (label, output) in [
+        ("π[dept]", &expressible_output),
+        ("{legal}", &foreign_output),
+    ] {
         let verdict = bp_expressible(&single, output);
         println!(
             "is some algebra expression mapping employees to {label}? {} ({} automorphisms examined)",
@@ -171,7 +196,9 @@ fn main() {
     println!(
         "for contrast, the paper's interactive join learner recovered `{}` after only {} labelled \
          pair(s) out of {} candidate pairs — no materialised output required.",
-        outcome.predicate.describe(employees_rel.schema(), departments_rel.schema()),
+        outcome
+            .predicate
+            .describe(employees_rel.schema(), departments_rel.schema()),
         outcome.interactions,
         employees_rel.len() * departments_rel.len()
     );

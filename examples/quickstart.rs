@@ -64,7 +64,9 @@ fn relational() {
     let outcome = interactive_learn(&customers, &orders, &goal, Strategy::MostSpecificFirst, 7);
     println!(
         "  learned predicate: {}",
-        outcome.predicate.describe(customers.schema(), orders.schema())
+        outcome
+            .predicate
+            .describe(customers.schema(), orders.schema())
     );
     println!(
         "  user interactions: {} (labels inferred automatically: {})",
@@ -90,5 +92,8 @@ fn graph() {
         "  accepts highway/highway/highway: {}",
         as_regex.accepts(&["highway", "highway", "highway"])
     );
-    println!("  accepts highway/local: {}", as_regex.accepts(&["highway", "local"]));
+    println!(
+        "  accepts highway/local: {}",
+        as_regex.accepts(&["highway", "local"])
+    );
 }

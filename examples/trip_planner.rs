@@ -31,8 +31,12 @@ fn main() {
     );
 
     // The user selects the two extremity cities of the trip.
-    let from = graph.find_node_by_property("name", "city0").expect("city0 exists");
-    let to = graph.find_node_by_property("name", "city9").expect("city9 exists");
+    let from = graph
+        .find_node_by_property("name", "city0")
+        .expect("city0 exists");
+    let to = graph
+        .find_node_by_property("name", "city9")
+        .expect("city9 exists");
     println!(
         "planning a trip from {} to {}",
         graph.display_name(from),
@@ -43,13 +47,25 @@ fn main() {
 
     // Her hidden intention: highway-only itineraries. The learner does not know this; it only
     // sees the labels she gives to the paths it proposes.
-    let goal = PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
 
     // Previous users of the system mostly asked for highway itineraries too; that workload is
     // used as a prior so the learner asks about the most plausible constraint first.
     let workload = vec![
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None },
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: Some(900.0), via: None },
+        PathConstraint {
+            road_type: Some("highway".to_string()),
+            max_distance: None,
+            via: None,
+        },
+        PathConstraint {
+            road_type: Some("highway".to_string()),
+            max_distance: Some(900.0),
+            via: None,
+        },
     ];
 
     for strategy in [
@@ -70,8 +86,15 @@ fn main() {
     }
 
     // Use the workload-prior session's result to actually extract and publish the data.
-    let outcome =
-        interactive_path_learn(&graph, from, to, &goal, PathStrategy::WorkloadPrior, workload, 7);
+    let outcome = interactive_path_learn(
+        &graph,
+        from,
+        to,
+        &goal,
+        PathStrategy::WorkloadPrior,
+        workload,
+        7,
+    );
     let (doc, report) = publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
     println!("\n{report}");
     let xml = to_pretty_xml_string(&doc);

@@ -18,7 +18,11 @@ use qbe_core::xml::xmark::{generate, xmark_dtd, XmarkConfig};
 fn main() {
     let doc = generate(&XmarkConfig::new(0.05, 2024));
     let schema = dms_from_dtd(&xmark_dtd()).expect("the XMark DTD is DMS-expressible");
-    println!("document: {} nodes; schema: {} rules", doc.size(), schema.len());
+    println!(
+        "document: {} nodes; schema: {} rules",
+        doc.size(),
+        schema.len()
+    );
     println!();
 
     let goals = [
@@ -52,7 +56,11 @@ fn main() {
         }
         let learned = learned.expect("at least one learning round ran");
         println!("  examples needed: {used}");
-        println!("  learned (no schema):   {}  [size {}]", learned.to_xpath(), learned.size());
+        println!(
+            "  learned (no schema):   {}  [size {}]",
+            learned.to_xpath(),
+            learned.size()
+        );
 
         let report = prune_implied_filters(&schema, &learned);
         println!(

@@ -52,11 +52,18 @@ fn query_by_output_handles_disjunctive_goals() {
         .select(vec![Condition::AttrConst("cid".into(), Value::Int(5))])
         .project(&["oid"]);
     let mut output = union_goal_a.evaluate(&db).expect("goal a evaluates");
-    for t in union_goal_b.evaluate(&db).expect("goal b evaluates").tuples() {
+    for t in union_goal_b
+        .evaluate(&db)
+        .expect("goal b evaluates")
+        .tuples()
+    {
         output.insert(t.clone());
     }
     let learned = query_by_output(&db, &output).expect("union goal is recoverable");
-    assert!(learned.branches.len() >= 2, "a disjunction needs at least two branches");
+    assert!(
+        learned.branches.len() >= 2,
+        "a disjunction needs at least two branches"
+    );
     let reproduced = learned.evaluate(&db).expect("learned query evaluates");
     assert_eq!(reproduced.distinct().len(), output.distinct().len());
 }
@@ -77,7 +84,10 @@ fn cfd_discovery_reports_only_valid_dependencies() {
 #[test]
 fn bp_criterion_is_consistent_with_actual_queries() {
     let db = customers_orders_database(4, 2, 13);
-    let orders = db.relation("orders").expect("orders relation exists").clone();
+    let orders = db
+        .relation("orders")
+        .expect("orders relation exists")
+        .clone();
     let single = single_relation_instance(orders);
     for query in [
         SpjQuery::scan("orders").project(&["cid"]),
@@ -90,7 +100,10 @@ fn bp_criterion_is_consistent_with_actual_queries() {
             continue;
         }
         let verdict = bp_expressible(&single, &output);
-        assert!(verdict.expressible, "output of `{query}` must be BP-expressible");
+        assert!(
+            verdict.expressible,
+            "output of `{query}` must be BP-expressible"
+        );
     }
 }
 
@@ -98,7 +111,10 @@ fn bp_criterion_is_consistent_with_actual_queries() {
 /// the conjunctive fragment, and the well-designedness check separates the two regimes.
 #[test]
 fn graph_patterns_evaluate_and_classify_well_designedness() {
-    let graph = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 12,
+        ..Default::default()
+    });
     let bgp = GraphPattern::Bgp(vec![
         qbe_core::graph::TriplePattern::new(
             Term::var("x"),
@@ -130,8 +146,16 @@ fn graph_patterns_evaluate_and_classify_well_designedness() {
     assert!(evaluate_pattern(&graph, &opt).len() >= solutions.len());
 
     let broken = GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("y"))
-        .optional(GraphPattern::triple(Term::var("x"), PredTerm::label("road"), Term::var("z")))
-        .and(GraphPattern::triple(Term::var("z"), PredTerm::label("road"), Term::var("w")));
+        .optional(GraphPattern::triple(
+            Term::var("x"),
+            PredTerm::label("road"),
+            Term::var("z"),
+        ))
+        .and(GraphPattern::triple(
+            Term::var("z"),
+            PredTerm::label("road"),
+            Term::var("w"),
+        ));
     assert!(!is_well_designed(&broken));
 }
 
@@ -163,26 +187,29 @@ fn direct_relational_graph_exchange_round_trip() {
     let goal = JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
         .expect("cid is shared");
 
-    let (graph, publish_report) =
-        learned_publish_relational_to_graph(customers, orders, &goal, 3);
+    let (graph, publish_report) = learned_publish_relational_to_graph(customers, orders, &goal, 3);
     assert_eq!(publish_report.scenario, Scenario::RelationalToGraph);
     assert_eq!(graph.edge_count(), 10, "5 customers × 2 orders each");
     assert!(graph.node_count() > 0);
 
     // And back: learn a path constraint over a geographical graph and shred it to tuples.
-    let geo = generate_geo_graph(&GeoConfig { cities: 12, ..Default::default() });
-    let from = geo.find_node_by_property("name", "city0").expect("city0 exists");
-    let to = geo.find_node_by_property("name", "city4").expect("city4 exists");
-    let (steps, shred_report) = learned_shred_graph_to_relational(
-        &geo,
-        from,
-        to,
-        &PathConstraint::any(),
-        "steps",
-        2,
-    );
+    let geo = generate_geo_graph(&GeoConfig {
+        cities: 12,
+        ..Default::default()
+    });
+    let from = geo
+        .find_node_by_property("name", "city0")
+        .expect("city0 exists");
+    let to = geo
+        .find_node_by_property("name", "city4")
+        .expect("city4 exists");
+    let (steps, shred_report) =
+        learned_shred_graph_to_relational(&geo, from, to, &PathConstraint::any(), "steps", 2);
     assert_eq!(shred_report.scenario, Scenario::GraphToRelational);
-    assert_eq!(shred_report.scenario.source(), qbe_core::exchange::DataModel::Graph);
+    assert_eq!(
+        shred_report.scenario.source(),
+        qbe_core::exchange::DataModel::Graph
+    );
     assert_eq!(steps.schema().arity(), 6);
 }
 
@@ -198,19 +225,18 @@ fn interactive_and_output_driven_join_discovery_are_equivalent() {
     let outcome = interactive_learn(customers, orders, &goal, Strategy::HalveLattice, 19);
     assert!(outcome.consistent);
     // The learned predicate selects exactly the goal's pairs.
-    let learned_pairs = qbe_core::relational::interactive::selected_pairs(
-        customers,
-        orders,
-        &outcome.predicate,
-    );
-    let goal_pairs =
-        qbe_core::relational::interactive::selected_pairs(customers, orders, &goal);
+    let learned_pairs =
+        qbe_core::relational::interactive::selected_pairs(customers, orders, &outcome.predicate);
+    let goal_pairs = qbe_core::relational::interactive::selected_pairs(customers, orders, &goal);
     assert_eq!(learned_pairs, goal_pairs);
 
     // Query by output, given the materialised projection of the join, also reproduces it.
     let mut single = Instance::new();
     single.add(orders.clone());
-    let goal_output = SpjQuery::scan("orders").project(&["cid"]).evaluate(&single).unwrap();
+    let goal_output = SpjQuery::scan("orders")
+        .project(&["cid"])
+        .evaluate(&single)
+        .unwrap();
     let qbo = query_by_output(&single, &goal_output).expect("projection is recoverable");
     assert_eq!(qbo.evaluate(&single).unwrap().len(), goal_output.len());
 }

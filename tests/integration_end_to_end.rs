@@ -14,7 +14,10 @@ use qbe_core::{
 fn generic_interactive_protocol_learns_a_twig_query() {
     let docs = vec![generate(&XmarkConfig::new(0.03, 1))];
     let goal_query = parse_xpath("//person/name").unwrap();
-    let goal = BoundTwigQuery { documents: &docs, query: goal_query.clone() };
+    let goal = BoundTwigQuery {
+        documents: &docs,
+        query: goal_query.clone(),
+    };
 
     // Pool: a sample of nodes of the document (every 5th node keeps the pool small).
     let pool: Vec<XmlItem> = docs[0]
@@ -27,7 +30,9 @@ fn generic_interactive_protocol_learns_a_twig_query() {
     let learner = TwigLearner { documents: &docs };
     let mut oracle = GoalOracle::new(goal.clone());
     let outcome = run_interactive(&learner, &pool, &mut oracle);
-    let learned = outcome.hypothesis.expect("labels from a goal are always consistent");
+    let learned = outcome
+        .hypothesis
+        .expect("labels from a goal are always consistent");
 
     // The learned query agrees with the goal on the whole pool.
     let matrix = compare_hypotheses(&goal, &learned, pool.iter().copied());
@@ -43,15 +48,20 @@ fn generic_interactive_protocol_learns_a_join_query() {
     let customers = db.relation("customers").unwrap();
     let orders = db.relation("orders").unwrap();
     let goal_predicate =
-        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
-            .unwrap();
-    let goal =
-        BoundJoinQuery { left: customers, right: orders, predicate: goal_predicate.clone() };
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
+    let goal = BoundJoinQuery {
+        left: customers,
+        right: orders,
+        predicate: goal_predicate.clone(),
+    };
 
     let pool: Vec<PairItem> = (0..customers.len())
         .flat_map(|l| (0..orders.len()).map(move |r| PairItem { left: l, right: r }))
         .collect();
-    let learner = JoinLearner { left: customers, right: orders };
+    let learner = JoinLearner {
+        left: customers,
+        right: orders,
+    };
     let mut oracle = GoalOracle::new(goal.clone());
     let outcome = run_interactive(&learner, &pool, &mut oracle);
     let learned = outcome.hypothesis.expect("consistent");
@@ -66,19 +76,35 @@ fn generic_interactive_protocol_learns_a_path_query() {
     let goal = learner
         .learn(
             &[
-                PathItem { word: vec!["highway".into()] },
-                PathItem { word: vec!["highway".into(), "highway".into()] },
+                PathItem {
+                    word: vec!["highway".into()],
+                },
+                PathItem {
+                    word: vec!["highway".into(), "highway".into()],
+                },
             ],
-            &[PathItem { word: vec!["local".into()] }],
+            &[PathItem {
+                word: vec!["local".into()],
+            }],
         )
         .expect("separable");
 
     let pool: Vec<PathItem> = vec![
-        PathItem { word: vec!["highway".into()] },
-        PathItem { word: vec!["highway".into(), "highway".into()] },
-        PathItem { word: vec!["highway".into(), "highway".into(), "highway".into()] },
-        PathItem { word: vec!["local".into()] },
-        PathItem { word: vec!["local".into(), "highway".into()] },
+        PathItem {
+            word: vec!["highway".into()],
+        },
+        PathItem {
+            word: vec!["highway".into(), "highway".into()],
+        },
+        PathItem {
+            word: vec!["highway".into(), "highway".into(), "highway".into()],
+        },
+        PathItem {
+            word: vec!["local".into()],
+        },
+        PathItem {
+            word: vec!["local".into(), "highway".into()],
+        },
         PathItem { word: vec![] },
     ];
     let mut oracle = GoalOracle::new(goal.clone());
@@ -104,8 +130,11 @@ fn learned_shredding_feeds_a_learned_join() {
     let doc = generate(&XmarkConfig::new(0.05, 8));
     let names = doc.nodes_with_label("name");
     let goal_query = parse_xpath("//person/name").unwrap();
-    let person_names: Vec<_> =
-        names.iter().copied().filter(|&n| select(&goal_query, &doc).contains(&n)).collect();
+    let person_names: Vec<_> = names
+        .iter()
+        .copied()
+        .filter(|&n| select(&goal_query, &doc).contains(&n))
+        .collect();
     assert!(person_names.len() >= 2);
 
     // Learn the extraction query from a handful of clicks and shred. (Two clicks usually
@@ -124,16 +153,18 @@ fn learned_shredding_feeds_a_learned_join() {
         shredded
             .tuples()
             .iter()
-            .map(|t| {
-                Tuple::new(vec![t.get(0).clone(), Value::text("person")])
-            })
+            .map(|t| Tuple::new(vec![t.get(0).clone(), Value::text("person")]))
             .collect(),
     );
     let goal_join =
-        JoinPredicate::from_names(shredded.schema(), lookup.schema(), &[("node", "node")])
-            .unwrap();
-    let outcome =
-        interactive_learn(&shredded, &lookup, &goal_join, Strategy::MostSpecificFirst, 3);
+        JoinPredicate::from_names(shredded.schema(), lookup.schema(), &[("node", "node")]).unwrap();
+    let outcome = interactive_learn(
+        &shredded,
+        &lookup,
+        &goal_join,
+        Strategy::MostSpecificFirst,
+        3,
+    );
     assert!(outcome.consistent);
     // The learned join links every shredded tuple to its lookup row.
     let joined = qbe_core::relational::equi_join(&shredded, &lookup, &outcome.predicate);

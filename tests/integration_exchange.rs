@@ -30,8 +30,7 @@ fn scenario_1_publishing_preserves_the_join_cardinality() {
     let customers = db.relation("customers").unwrap();
     let orders = db.relation("orders").unwrap();
     let predicate =
-        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
-            .unwrap();
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
     let (doc, report) = publish_relational_to_xml(customers, orders, &predicate, "sales");
     assert_eq!(report.scenario, Scenario::RelationalToXml);
     assert_eq!(report.extracted_items, report.produced_items);
@@ -42,7 +41,10 @@ fn scenario_1_publishing_preserves_the_join_cardinality() {
     // semantically equal to the goal on the instance.
     let (learned_doc, learned_report) =
         learned_publish_relational_to_xml(customers, orders, &predicate, "sales", 5);
-    assert_eq!(learned_doc.nodes_with_label("row").len(), doc.nodes_with_label("row").len());
+    assert_eq!(
+        learned_doc.nodes_with_label("row").len(),
+        doc.nodes_with_label("row").len()
+    );
     assert_eq!(learned_report.produced_items, report.produced_items);
 }
 
@@ -60,8 +62,12 @@ fn scenario_2_shredding_extracts_one_tuple_per_selected_node() {
     // Learned variant from two annotated nodes extracts at least the annotated nodes and never
     // more than the goal query selects.
     let names = doc.nodes_with_label("name");
-    let annotated: Vec<_> =
-        names.iter().copied().filter(|&n| select(&query, &doc).contains(&n)).take(2).collect();
+    let annotated: Vec<_> = names
+        .iter()
+        .copied()
+        .filter(|&n| select(&query, &doc).contains(&n))
+        .take(2)
+        .collect();
     let (learned_rel, _) = learned_shred_xml_to_relational(&doc, &annotated, "names").unwrap();
     assert!(learned_rel.len() >= annotated.len());
     assert!(learned_rel.len() <= relation.len());
@@ -84,16 +90,32 @@ fn scenario_3_shredding_builds_a_graph_linked_like_the_document() {
 
 #[test]
 fn scenario_4_publishing_writes_one_path_element_per_itinerary() {
-    let graph = generate_geo_graph(&GeoConfig { cities: 20, ..Default::default() });
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 20,
+        ..Default::default()
+    });
     let from = graph.find_node_by_property("name", "city0").unwrap();
     let to = graph.find_node_by_property("name", "city6").unwrap();
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
-    let outcome =
-        interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, Vec::new(), 2);
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let outcome = interactive_path_learn(
+        &graph,
+        from,
+        to,
+        &goal,
+        PathStrategy::Halving,
+        Vec::new(),
+        2,
+    );
     let (doc, report) = publish_graph_to_xml(&graph, &outcome.accepted_paths, &outcome.learned);
     assert_eq!(report.scenario, Scenario::GraphToXml);
-    assert_eq!(doc.nodes_with_label("path").len(), outcome.accepted_paths.len());
+    assert_eq!(
+        doc.nodes_with_label("path").len(),
+        outcome.accepted_paths.len()
+    );
     assert_eq!(report.extracted_items, outcome.accepted_paths.len());
     // Every published path element records its endpoints when the path is non-empty.
     for p in doc.nodes_with_label("path") {

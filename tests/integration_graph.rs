@@ -9,7 +9,12 @@ use qbe_core::graph::{
 };
 
 fn geo(cities: usize, seed: u64) -> qbe_core::graph::PropertyGraph {
-    generate_geo_graph(&GeoConfig { cities, connectivity: 3, highway_fraction: 0.3, seed })
+    generate_geo_graph(&GeoConfig {
+        cities,
+        connectivity: 3,
+        highway_fraction: 0.3,
+        seed,
+    })
 }
 
 #[test]
@@ -19,9 +24,14 @@ fn geo_generator_produces_a_connected_labelled_road_network() {
     assert!(g.edge_count() > 0);
     // Every edge carries a road type and a positive distance.
     for e in g.edge_ids() {
-        let kind = g.edge_property(e, "type").and_then(|p| p.as_text().map(str::to_string));
+        let kind = g
+            .edge_property(e, "type")
+            .and_then(|p| p.as_text().map(str::to_string));
         assert!(kind.is_some());
-        let d = g.edge_property(e, "distance").and_then(|p| p.as_number()).unwrap();
+        let d = g
+            .edge_property(e, "distance")
+            .and_then(|p| p.as_number())
+            .unwrap();
         assert!(d > 0.0);
     }
     // The triple view exposes one triple per edge.
@@ -36,7 +46,11 @@ fn rpq_evaluation_agrees_with_path_enumeration() {
     // For a handful of sources, every target found by path enumeration must be RPQ-reachable.
     for source in g.node_ids().take(4) {
         let targets = evaluate_from(&g, &regex, source);
-        for path in g.node_ids().take(6).flat_map(|t| simple_paths(&g, source, t, 4)) {
+        for path in g
+            .node_ids()
+            .take(6)
+            .flat_map(|t| simple_paths(&g, source, t, 4))
+        {
             if let Some((from, to)) = path.endpoints(&g) {
                 assert_eq!(from, source);
                 let word = path.word(&g);
@@ -54,7 +68,11 @@ fn rpq_evaluation_agrees_with_path_enumeration() {
 fn path_query_learning_generalises_and_respects_negatives() {
     let positives = vec![
         vec!["highway".to_string(), "highway".to_string()],
-        vec!["highway".to_string(), "highway".to_string(), "highway".to_string()],
+        vec![
+            "highway".to_string(),
+            "highway".to_string(),
+            "highway".to_string(),
+        ],
     ];
     let q = learn_path_query(&positives).unwrap();
     // Accepts the training words and the natural generalisation to more repetitions.
@@ -77,7 +95,11 @@ fn path_query_learning_generalises_and_respects_negatives() {
 fn block_query_and_its_regex_translation_agree() {
     let positives = vec![
         vec!["highway".to_string(), "national".to_string()],
-        vec!["highway".to_string(), "highway".to_string(), "national".to_string()],
+        vec![
+            "highway".to_string(),
+            "highway".to_string(),
+            "national".to_string(),
+        ],
     ];
     let q = learn_path_query(&positives).unwrap();
     let regex = q.to_regex();
@@ -88,7 +110,11 @@ fn block_query_and_its_regex_translation_agree() {
         vec!["local"],
         vec![],
     ] {
-        assert_eq!(q.accepts(&word), regex.accepts(&word), "disagreement on {word:?}");
+        assert_eq!(
+            q.accepts(&word),
+            regex.accepts(&word),
+            "disagreement on {word:?}"
+        );
     }
 }
 
@@ -97,8 +123,11 @@ fn interactive_path_learning_recovers_the_hidden_constraint() {
     let g = geo(15, 7);
     let from = g.find_node_by_property("name", "city0").unwrap();
     let to = g.find_node_by_property("name", "city5").unwrap();
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
     if simple_paths(&g, from, to, 8).is_empty() {
         return; // disconnected seed — nothing to learn, covered by other seeds
     }
@@ -129,8 +158,11 @@ fn workload_prior_never_asks_more_questions_than_random_on_matching_workloads() 
     let g = geo(16, 13);
     let from = g.find_node_by_property("name", "city1").unwrap();
     let to = g.find_node_by_property("name", "city8").unwrap();
-    let goal =
-        PathConstraint { road_type: Some("highway".to_string()), max_distance: None, via: None };
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
     if simple_paths(&g, from, to, 8).is_empty() {
         return;
     }

@@ -27,8 +27,7 @@ fn semijoin_projects_the_join_onto_the_left_relation() {
     let customers = db.relation("customers").unwrap();
     let orders = db.relation("orders").unwrap();
     let predicate =
-        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
-            .unwrap();
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
     let semi = semijoin(customers, orders, &predicate);
     let full = equi_join(customers, orders, &predicate);
     // Every semijoin tuple comes from the left relation and participates in the join.
@@ -38,7 +37,10 @@ fn semijoin_projects_the_join_onto_the_left_relation() {
         assert!(customers.tuples().contains(t));
     }
     // The cartesian product has exactly |L|·|R| tuples.
-    assert_eq!(cartesian_product(customers, orders).len(), customers.len() * orders.len());
+    assert_eq!(
+        cartesian_product(customers, orders).len(),
+        customers.len() * orders.len()
+    );
 }
 
 #[test]
@@ -51,14 +53,26 @@ fn join_consistency_is_decided_correctly_in_both_directions() {
     });
     // Labels produced by the goal itself are always consistent.
     let labels: Vec<LabelledPair> = (0..left.len().min(right.len()))
-        .map(|i| LabelledPair::new(i, i, goal.satisfied_by(&left.tuples()[i], &right.tuples()[i])))
+        .map(|i| {
+            LabelledPair::new(
+                i,
+                i,
+                goal.satisfied_by(&left.tuples()[i], &right.tuples()[i]),
+            )
+        })
         .collect();
-    assert!(join_consistent(&left, &right, &labels).unwrap().is_consistent());
+    assert!(join_consistent(&left, &right, &labels)
+        .unwrap()
+        .is_consistent());
 
     // Labelling the same pair both positive and negative is inconsistent.
-    let contradictory =
-        vec![LabelledPair::new(0, 0, true), LabelledPair::new(0, 0, false)];
-    assert!(!join_consistent(&left, &right, &contradictory).unwrap().is_consistent());
+    let contradictory = vec![
+        LabelledPair::new(0, 0, true),
+        LabelledPair::new(0, 0, false),
+    ];
+    assert!(!join_consistent(&left, &right, &contradictory)
+        .unwrap()
+        .is_consistent());
 }
 
 #[test]
@@ -71,7 +85,11 @@ fn interactive_learning_recovers_goal_semantics_under_every_strategy() {
             ..Default::default()
         });
         let goal_selection = selected_pairs(&left, &right, &goal);
-        for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+        for strategy in [
+            Strategy::Random,
+            Strategy::MostSpecificFirst,
+            Strategy::HalveLattice,
+        ] {
             let outcome = interactive_learn(&left, &right, &goal, strategy, seed);
             assert!(outcome.consistent);
             assert_eq!(
@@ -92,7 +110,11 @@ fn informed_strategies_never_need_more_interactions_than_the_pair_count() {
         ..Default::default()
     });
     let total_pairs = left.len() * right.len();
-    for strategy in [Strategy::Random, Strategy::MostSpecificFirst, Strategy::HalveLattice] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::MostSpecificFirst,
+        Strategy::HalveLattice,
+    ] {
         let outcome = interactive_learn(&left, &right, &goal, strategy, 11);
         assert!(outcome.interactions + outcome.inferred <= total_pairs);
         assert!(
@@ -108,8 +130,7 @@ fn semijoin_consistency_exact_and_greedy_agree_on_separable_instances() {
     let customers = db.relation("customers").unwrap();
     let orders = db.relation("orders").unwrap();
     let goal =
-        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")])
-            .unwrap();
+        JoinPredicate::from_names(customers.schema(), orders.schema(), &[("cid", "cid")]).unwrap();
     let labels: Vec<LabelledTuple> = (0..customers.len())
         .map(|i| {
             let selected = orders
@@ -141,7 +162,10 @@ fn crowdsourcing_cost_is_interactions_times_hit_price() {
         seed: 4,
         ..Default::default()
     });
-    let pricing = HitPricing { label_price: 0.10, feature_price: 0.02 };
+    let pricing = HitPricing {
+        label_price: 0.10,
+        feature_price: 0.02,
+    };
     let outcome = crowdsourced_learn(&left, &right, &goal, Strategy::HalveLattice, pricing, 4);
     let expected = outcome.session.interactions as f64 * pricing.label_price;
     assert!((outcome.total_cost - expected).abs() < 1e-9);

@@ -17,7 +17,10 @@ fn xmark_dtd_is_expressible_as_a_dms() {
     for seed in 0..3 {
         let doc = generate(&XmarkConfig::new(0.05, seed));
         let violations = dms.validate(&doc);
-        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "unexpected violations: {violations:?}"
+        );
     }
 }
 
@@ -26,9 +29,15 @@ fn most_corpus_dtds_are_expressible_as_dms() {
     // The paper: the DMS "captures many of the DTDs from the real-world XML web collection".
     let corpus = generate_corpus(&CorpusConfig::default());
     assert!(!corpus.is_empty());
-    let expressible = corpus.iter().filter(|e| dms_from_dtd(&e.dtd).is_ok()).count();
+    let expressible = corpus
+        .iter()
+        .filter(|e| dms_from_dtd(&e.dtd).is_ok())
+        .count();
     let fraction = expressible as f64 / corpus.len() as f64;
-    assert!(fraction >= 0.5, "only {fraction} of the corpus DTDs convert to DMS");
+    assert!(
+        fraction >= 0.5,
+        "only {fraction} of the corpus DTDs convert to DMS"
+    );
 }
 
 #[test]
@@ -36,7 +45,9 @@ fn dms_learning_identifies_the_schema_in_the_limit() {
     // Learning from more and more documents of a fixed schema converges: the learned schema
     // accepts every sample and eventually stops changing (identification in the limit).
     let dms = dms_from_dtd(&xmark_dtd()).unwrap();
-    let docs: Vec<_> = (0..6).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let docs: Vec<_> = (0..6)
+        .map(|s| generate(&XmarkConfig::new(0.03, s)))
+        .collect();
 
     let learned_small = learn_dms(&docs[..2]).unwrap();
     let learned_big = learn_dms(&docs).unwrap();
@@ -53,7 +64,9 @@ fn dms_learning_identifies_the_schema_in_the_limit() {
 
 #[test]
 fn ms_learning_is_sound_and_contained_in_dms_learning() {
-    let docs: Vec<_> = (0..4).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let docs: Vec<_> = (0..4)
+        .map(|s| generate(&XmarkConfig::new(0.03, s)))
+        .collect();
     let ms = learn_ms(&docs).unwrap();
     let dms = learn_dms(&docs).unwrap();
     assert!(ms.is_disjunction_free());
@@ -67,7 +80,9 @@ fn ms_learning_is_sound_and_contained_in_dms_learning() {
 
 #[test]
 fn containment_is_a_partial_order_on_learned_schemas() {
-    let docs: Vec<_> = (0..5).map(|s| generate(&XmarkConfig::new(0.03, s))).collect();
+    let docs: Vec<_> = (0..5)
+        .map(|s| generate(&XmarkConfig::new(0.03, s)))
+        .collect();
     let a = learn_dms(&docs[..2]).unwrap();
     let b = learn_dms(&docs[..4]).unwrap();
     let c = learn_dms(&docs).unwrap();
@@ -94,7 +109,10 @@ fn dependency_graph_reflects_the_xmark_structure() {
     assert!(!graph.has_descendant_path("people", "item"));
     // Required children drive the implication used by the overspecialisation pruning.
     let implied = graph.implied_children("person");
-    assert!(implied.contains("name"), "every person has a name in the XMark DTD");
+    assert!(
+        implied.contains("name"),
+        "every person has a name in the XMark DTD"
+    );
 }
 
 #[test]

@@ -22,7 +22,10 @@ fn twig_learned_from_few_examples_recovers_goal_on_xmark() {
     let doc = xmark_doc(1);
     let goal = parse_xpath("//person/name").unwrap();
     let wanted: Vec<_> = select(&goal, &doc).into_iter().collect();
-    assert!(wanted.len() >= 2, "the XMark document must contain at least two person names");
+    assert!(
+        wanted.len() >= 2,
+        "the XMark document must contain at least two person names"
+    );
 
     let mut needed = None;
     for k in 1..=wanted.len().min(6) {
@@ -34,7 +37,10 @@ fn twig_learned_from_few_examples_recovers_goal_on_xmark() {
         }
     }
     let needed = needed.expect("the learner converges to the goal on the document");
-    assert!(needed <= 6, "needed {needed} examples, expected a handful at most");
+    assert!(
+        needed <= 6,
+        "needed {needed} examples, expected a handful at most"
+    );
 }
 
 #[test]
@@ -102,7 +108,10 @@ fn union_of_twigs_handles_examples_a_single_twig_cannot() {
     set.add_negative(d, misc);
     let union = learn_union(&set).expect("positives exist");
     assert!(union.consistent_with(&set));
-    assert!(union.len() >= 2, "a single twig cannot separate these examples exactly");
+    assert!(
+        union.len() >= 2,
+        "a single twig cannot separate these examples exactly"
+    );
 }
 
 #[test]
