@@ -1,5 +1,7 @@
 //! Criterion benchmarks for the related-work baselines (experiment E12): query by output,
-//! view synthesis, CFD discovery and the BP-expressibility test, on instances of growing size.
+//! view synthesis, CFD discovery and the BP-expressibility test, on instances of growing size —
+//! plus the twig-evaluation baseline pair (naive embedding table vs the indexed engine) that
+//! quantifies the speedup the interactive sessions ride on.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qbe_core::relational::bp::{bp_expressible, single_relation_instance};
@@ -9,6 +11,9 @@ use qbe_core::relational::view_synthesis::synthesize_view;
 use qbe_core::relational::{
     customers_orders_database, Condition, Instance, Relation, SpjQuery, Value,
 };
+use qbe_core::twig::{eval, eval_indexed, parse_xpath};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::NodeIndex;
 
 /// The orders relation of the generated customers/orders database, as a standalone instance.
 fn orders_instance(
@@ -87,11 +92,42 @@ fn bench_bp_expressibility(c: &mut Criterion) {
     group.finish();
 }
 
+/// Twig `select` on an XMark document: the naive dense-table evaluator against the indexed
+/// postings-intersection evaluator over a prebuilt `NodeIndex`. Same queries, same document —
+/// the ratio between the two groups is the per-evaluation speedup every learner session sees.
+fn bench_twig_select(c: &mut Criterion) {
+    let doc = generate(&XmarkConfig::new(0.05, 7));
+    let index = NodeIndex::build(&doc);
+    let queries = [
+        "//person/name",
+        "/site/people/person[emailaddress]",
+        "//item[name]",
+        "/site//open_auction",
+    ];
+    let mut group = c.benchmark_group("baselines/twig_select_naive");
+    for q in queries {
+        let query = parse_xpath(q).expect("query parses");
+        group.bench_with_input(BenchmarkId::from_parameter(q), &doc, |b, doc| {
+            b.iter(|| eval::select(black_box(&query), black_box(doc)))
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("baselines/twig_select_indexed");
+    for q in queries {
+        let query = parse_xpath(q).expect("query parses");
+        group.bench_with_input(BenchmarkId::from_parameter(q), &doc, |b, doc| {
+            b.iter(|| eval_indexed::select(black_box(&query), black_box(doc), black_box(&index)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_query_by_output,
     bench_view_synthesis,
     bench_cfd_discovery,
-    bench_bp_expressibility
+    bench_bp_expressibility,
+    bench_twig_select
 );
 criterion_main!(benches);

@@ -46,7 +46,7 @@ fn bench_simple_paths(c: &mut Criterion) {
 
 fn bench_path_query_learning(c: &mut Criterion) {
     let positives: Vec<Vec<String>> = (1..6)
-        .map(|n| std::iter::repeat("highway".to_string()).take(n).collect())
+        .map(|n| std::iter::repeat_n("highway".to_string(), n).collect())
         .collect();
     let negatives = vec![
         vec!["highway".to_string(), "local".to_string()],

@@ -1,0 +1,70 @@
+//! Criterion benchmark for the concurrent workload driver: the same fleet of twig-learning
+//! sessions over one shared XMark corpus and `NodeIndex`, run with 1 worker (serial baseline)
+//! and with all available workers, so the wall-time ratio shows the scaling the `SessionPool`
+//! buys on the machine at hand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_core::twig::{interactive::GoalNodeOracle, parse_xpath, NodeStrategy, TwigSession};
+use qbe_core::workload::{SessionJob, SessionPool, SessionReport};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::{NodeIndex, XmlTree};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_pool(docs: &Arc<Vec<XmlTree>>, indexes: &Arc<Vec<NodeIndex>>) -> SessionPool {
+    let mut pool = SessionPool::new();
+    for seed in 0u64..4 {
+        for goal in ["//person/name", "//open_auction"] {
+            let label = format!("{goal}#{seed}");
+            let goal_query = parse_xpath(goal).expect("goal parses");
+            let docs = docs.clone();
+            let indexes = indexes.clone();
+            let job_label = label.clone();
+            pool.push(SessionJob::new(label, 16, move || {
+                let mut oracle = GoalNodeOracle::new(&docs, goal_query.clone());
+                let session = TwigSession::with_shared(
+                    docs.clone(),
+                    indexes.clone(),
+                    NodeStrategy::LabelAffinity,
+                    seed,
+                );
+                let outcome = session.run(&mut oracle);
+                SessionReport {
+                    label: job_label,
+                    questions: outcome.interactions,
+                    inferred: outcome.pruned,
+                    success: outcome.consistent,
+                    wall: Duration::ZERO,
+                }
+            }));
+        }
+    }
+    pool
+}
+
+fn bench_session_pool(c: &mut Criterion) {
+    let docs = Arc::new(vec![generate(&XmarkConfig::new(0.01, 7))]);
+    let indexes: Arc<Vec<NodeIndex>> = Arc::new(docs.iter().map(NodeIndex::build).collect());
+    let parallel = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("workload/session_pool");
+    group.sample_size(10);
+    for workers in [1usize, parallel] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("workers={workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let metrics = build_pool(&docs, &indexes).run(workers);
+                    assert_eq!(metrics.sessions(), 8);
+                    metrics
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_pool);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Experiment W1 — concurrent multi-user session workload over shared indexes.
+//!
+//! The paper's experiments measure one interactive session at a time; this experiment drives a
+//! mixed fleet of sessions — twig learning on a shared XMark document, path learning on a
+//! shared geographical graph, join learning on a shared relational instance — concurrently
+//! through `qbe_core::workload::SessionPool`. All twig sessions share a single `Arc`'d corpus
+//! and `NodeIndex`; scheduling is shortest-expected-questions first.
+//!
+//! The table reports one row per session (questions asked, labels inferred, per-session wall
+//! time) plus the aggregate workload metrics (throughput, p50/p95 questions). The run aborts if
+//! the aggregates do not reconcile with the per-session rows, so CI's `--smoke` invocation
+//! doubles as a correctness check of the metrics plumbing.
+//!
+//! Regenerate with `cargo run --release -p qbe-bench --bin exp_workload`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qbe_core::graph::{
+    generate_geo_graph, interactive::interactive_path_learn, interactive::PathConstraint,
+    interactive::PathStrategy, GeoConfig, PropertyGraph,
+};
+use qbe_core::relational::{
+    generate_join_instance, interactive_learn, JoinInstanceConfig, Strategy,
+};
+use qbe_core::twig::{interactive::GoalNodeOracle, parse_xpath, NodeStrategy, TwigSession};
+use qbe_core::workload::{SessionJob, SessionPool, SessionReport};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::{NodeIndex, XmlTree};
+
+fn twig_job(
+    docs: Arc<Vec<XmlTree>>,
+    indexes: Arc<Vec<NodeIndex>>,
+    goal: &str,
+    strategy: NodeStrategy,
+    seed: u64,
+) -> SessionJob {
+    let label = format!("twig {goal} {strategy:?}");
+    let goal_query = parse_xpath(goal).expect("goal parses");
+    // Estimate: the goal's selectivity drives how many positives the session must see.
+    let expected = docs
+        .iter()
+        .zip(indexes.iter())
+        .map(|(d, ix)| qbe_core::twig::eval_indexed::count(&goal_query, d, ix))
+        .sum::<usize>()
+        * 2
+        + 8;
+    let job_label = label.clone();
+    SessionJob::new(label, expected, move || {
+        let mut oracle = GoalNodeOracle::new(&docs, goal_query.clone());
+        let session = TwigSession::with_shared(docs.clone(), indexes.clone(), strategy, seed);
+        let outcome = session.run(&mut oracle);
+        SessionReport {
+            label: job_label,
+            questions: outcome.interactions,
+            inferred: outcome.pruned,
+            success: outcome.consistent && outcome.query.is_some(),
+            wall: Duration::ZERO, // filled by the pool
+        }
+    })
+}
+
+fn path_job(graph: Arc<PropertyGraph>, goal_type: &str, seed: u64) -> SessionJob {
+    let label = format!("path type={goal_type} seed={seed}");
+    let goal = PathConstraint {
+        road_type: Some(goal_type.to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let job_label = label.clone();
+    SessionJob::new(label, 24, move || {
+        let from = graph
+            .find_node_by_property("name", "city0")
+            .expect("generator names cities");
+        let to = graph
+            .find_node_by_property("name", "city5")
+            .expect("generator names cities");
+        let outcome =
+            interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, vec![], seed);
+        SessionReport {
+            label: job_label,
+            questions: outcome.interactions,
+            inferred: outcome.inferred,
+            success: true,
+            wall: Duration::ZERO,
+        }
+    })
+}
+
+fn join_job(rows: usize, seed: u64) -> SessionJob {
+    let label = format!("join rows={rows} seed={seed}");
+    let job_label = label.clone();
+    SessionJob::new(label, 30, move || {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: rows,
+            right_rows: rows,
+            extra_attributes: 2,
+            domain_size: 6,
+            seed,
+        });
+        let outcome = interactive_learn(&left, &right, &goal, Strategy::HalveLattice, seed);
+        SessionReport {
+            label: job_label,
+            questions: outcome.interactions,
+            inferred: outcome.inferred,
+            success: outcome.consistent,
+            wall: Duration::ZERO,
+        }
+    })
+}
+
+fn main() {
+    let scale = qbe_bench::param(0.05, 0.008);
+    let twig_seeds: Vec<u64> = qbe_bench::param(vec![1, 2, 3], vec![1]);
+    let docs = Arc::new(vec![generate(&XmarkConfig::new(scale, 7))]);
+    let indexes: Arc<Vec<NodeIndex>> = Arc::new(docs.iter().map(NodeIndex::build).collect());
+    let graph = Arc::new(generate_geo_graph(&GeoConfig {
+        cities: qbe_bench::param(16, 10),
+        connectivity: 3,
+        ..Default::default()
+    }));
+
+    let mut pool = SessionPool::new();
+    for &seed in &twig_seeds {
+        for (goal, strategy) in [
+            ("//person/name", NodeStrategy::LabelAffinity),
+            ("//item/name", NodeStrategy::LabelAffinity),
+            ("//open_auction", NodeStrategy::ShallowFirst),
+        ] {
+            pool.push(twig_job(
+                docs.clone(),
+                indexes.clone(),
+                goal,
+                strategy,
+                seed,
+            ));
+        }
+    }
+    for seed in qbe_bench::param(vec![11u64, 12, 13, 14], vec![11, 12, 13]) {
+        pool.push(path_job(graph.clone(), "highway", seed));
+    }
+    for seed in qbe_bench::param(vec![21u64, 22, 23], vec![21, 22]) {
+        pool.push(join_job(qbe_bench::param(30, 12), seed));
+    }
+
+    let queued = pool.len();
+    assert!(queued >= 8, "the workload must exercise real concurrency");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(queued);
+    println!(
+        "W1 — {queued} concurrent sessions over shared indexes ({workers} workers, XMark {} nodes)",
+        docs[0].size()
+    );
+    println!(
+        "{:<44} {:>10} {:>10} {:>8} {:>10}",
+        "session", "questions", "inferred", "ok", "wall"
+    );
+
+    let metrics = pool.run(workers);
+
+    for r in &metrics.reports {
+        println!(
+            "{:<44} {:>10} {:>10} {:>8} {:>9.1}ms",
+            r.label,
+            r.questions,
+            r.inferred,
+            if r.success { "yes" } else { "NO" },
+            r.wall.as_secs_f64() * 1e3
+        );
+    }
+    println!("\naggregate: {metrics}");
+
+    // The smoke run doubles as a metrics-correctness check: the aggregates must reconcile
+    // exactly with the per-session rows.
+    assert_eq!(metrics.sessions(), queued, "every session must complete");
+    assert_eq!(
+        metrics.total_questions(),
+        metrics.reports.iter().map(|r| r.questions).sum::<usize>()
+    );
+    let p50 = metrics.p50_questions().expect("non-empty run");
+    let p95 = metrics.p95_questions().expect("non-empty run");
+    assert!(p50 <= p95, "percentiles must be monotone");
+    assert!(
+        metrics.reports.iter().any(|r| r.questions <= p50)
+            && metrics.reports.iter().any(|r| r.questions >= p95),
+        "percentiles must bracket the observed counts"
+    );
+    assert_eq!(metrics.successes(), queued, "all sessions learn their goal");
+    println!("aggregates reconcile: {queued} sessions, p50 {p50} ≤ p95 {p95}");
+}

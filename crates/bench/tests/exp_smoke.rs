@@ -38,6 +38,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         env!("CARGO_BIN_EXE_exp_twig_consistency"),
     ),
     ("exp_twig_examples", env!("CARGO_BIN_EXE_exp_twig_examples")),
+    ("exp_workload", env!("CARGO_BIN_EXE_exp_workload")),
     ("exp_xpathmark", env!("CARGO_BIN_EXE_exp_xpathmark")),
 ];
 

@@ -11,6 +11,9 @@
 //! * [`oracle`] — oracles (simulated users) and a generic interactive driver that minimises the
 //!   number of questions by skipping determined items;
 //! * [`metrics`] — confusion-matrix quality metrics shared by all experiments;
+//! * [`workload`] — the concurrent multi-session driver: a [`SessionPool`] runs many
+//!   interactive sessions over `std::thread` against shared immutable indexes, scheduled
+//!   shortest-expected-work first, and aggregates throughput/percentile metrics;
 //! * re-exports: [`xml`], [`schema`], [`twig`], [`relational`], [`graph`], [`exchange`].
 //!
 //! ## Quickstart
@@ -35,6 +38,7 @@
 pub mod framework;
 pub mod metrics;
 pub mod oracle;
+pub mod workload;
 
 pub use framework::{
     compare_hypotheses, BoundJoinQuery, BoundPathQuery, BoundTwigQuery, Hypothesis, JoinLearner,
@@ -42,6 +46,7 @@ pub use framework::{
 };
 pub use metrics::ConfusionMatrix;
 pub use oracle::{run_interactive, GoalOracle, InteractiveOutcome, Oracle};
+pub use workload::{percentile, SessionJob, SessionPool, SessionReport, WorkloadMetrics};
 
 /// Re-export of the XML substrate (`qbe-xml`).
 pub use qbe_xml as xml;

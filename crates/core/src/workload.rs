@@ -1,0 +1,388 @@
+//! Concurrent multi-session workload driver.
+//!
+//! The paper's experiments run one interactive learning session at a time; the north star of
+//! this reproduction is serving *many users at once*. This module provides the substrate: a
+//! [`SessionPool`] runs N independent sessions over `std::thread` workers, all sessions sharing
+//! the same immutable corpus and indexes (`Arc<Vec<XmlTree>>` + `Arc<Vec<NodeIndex>>` for twig
+//! sessions, `Arc<PropertyGraph>` + `Arc<GraphIndex>` for path sessions — see
+//! `qbe_twig::TwigSession::with_shared`).
+//!
+//! Scheduling follows the workload-mining playbook (closure-aware miners process their queue by
+//! expected yield): sessions are dispatched **shortest expected work first**, from a priority
+//! queue ordered by each session's *expected questions remaining*. With heterogeneous sessions
+//! this minimises mean completion time, so cheap users are not stuck behind expensive ones.
+//!
+//! Every session reports a [`SessionReport`]; the pool aggregates them into
+//! [`WorkloadMetrics`] — throughput, p50/p95 question counts, wall time — the numbers the
+//! `exp_workload` experiment and the `workload` bench print.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What one completed session reports back to the pool.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Short human-readable description of the session (goal query, strategy, …).
+    pub label: String,
+    /// Number of oracle questions the session asked.
+    pub questions: usize,
+    /// Items whose label the session inferred without asking.
+    pub inferred: usize,
+    /// Whether the session completed successfully (learned a consistent hypothesis).
+    pub success: bool,
+    /// Wall time of this session alone.
+    pub wall: Duration,
+}
+
+/// One session queued in a [`SessionPool`]: a priority estimate plus the closure that runs it.
+///
+/// The closure owns everything the session needs (typically `Arc` handles onto the shared
+/// corpus/index plus per-session parameters) and returns the session's report. `Send` is
+/// required because the pool moves jobs across worker threads.
+pub struct SessionJob {
+    label: String,
+    expected_questions: usize,
+    run: Box<dyn FnOnce() -> SessionReport + Send>,
+}
+
+impl SessionJob {
+    /// Package a session. `expected_questions` is the scheduling priority: the pool serves
+    /// sessions with the smallest estimate first. Estimates only order the queue — wrong
+    /// estimates cost scheduling quality, never correctness.
+    pub fn new(
+        label: impl Into<String>,
+        expected_questions: usize,
+        run: impl FnOnce() -> SessionReport + Send + 'static,
+    ) -> SessionJob {
+        SessionJob {
+            label: label.into(),
+            expected_questions,
+            run: Box::new(run),
+        }
+    }
+
+    /// The session's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The scheduling estimate.
+    pub fn expected_questions(&self) -> usize {
+        self.expected_questions
+    }
+}
+
+impl std::fmt::Debug for SessionJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionJob")
+            .field("label", &self.label)
+            .field("expected_questions", &self.expected_questions)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pool of interactive sessions executed concurrently by a fixed number of workers.
+#[derive(Debug, Default)]
+pub struct SessionPool {
+    jobs: Vec<SessionJob>,
+}
+
+impl SessionPool {
+    /// An empty pool.
+    pub fn new() -> SessionPool {
+        SessionPool::default()
+    }
+
+    /// Queue a session.
+    pub fn push(&mut self, job: SessionJob) {
+        self.jobs.push(job);
+    }
+
+    /// Number of queued sessions.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no session is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Run every queued session on `workers` threads (clamped to at least 1) and aggregate the
+    /// reports. Sessions are dispatched in ascending expected-questions order; each worker pops
+    /// the cheapest remaining session as soon as it finishes its previous one.
+    pub fn run(self, workers: usize) -> WorkloadMetrics {
+        let started = Instant::now();
+        let total = self.jobs.len();
+        // Min-heap by (expected questions, insertion index): `Reverse` flips `BinaryHeap`'s
+        // max-heap order; the index both breaks ties deterministically and addresses the job.
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        let mut slots: Vec<Option<SessionJob>> = Vec::with_capacity(total);
+        for (ix, job) in self.jobs.into_iter().enumerate() {
+            heap.push(Reverse((job.expected_questions, ix)));
+            slots.push(Some(job));
+        }
+        let queue = Mutex::new((heap, slots));
+        let reports = Mutex::new(Vec::with_capacity(total));
+        let workers = workers.max(1).min(total.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = {
+                        let mut q = queue.lock().expect("queue lock never poisoned");
+                        match q.0.pop() {
+                            Some(Reverse((_, ix))) => {
+                                q.1[ix].take().expect("each job is dispatched once")
+                            }
+                            None => break,
+                        }
+                    };
+                    let session_started = Instant::now();
+                    let mut report = (job.run)();
+                    report.wall = session_started.elapsed();
+                    reports
+                        .lock()
+                        .expect("report lock never poisoned")
+                        .push(report);
+                });
+            }
+        });
+        let reports = reports.into_inner().expect("all workers joined");
+        WorkloadMetrics::aggregate(reports, started.elapsed())
+    }
+}
+
+/// Aggregate statistics over one pool run.
+#[derive(Debug, Clone)]
+pub struct WorkloadMetrics {
+    /// Per-session reports, sorted by ascending question count.
+    pub reports: Vec<SessionReport>,
+    /// Wall time of the whole pool run.
+    pub wall: Duration,
+}
+
+impl WorkloadMetrics {
+    fn aggregate(mut reports: Vec<SessionReport>, wall: Duration) -> WorkloadMetrics {
+        reports.sort_by_key(|r| r.questions);
+        WorkloadMetrics { reports, wall }
+    }
+
+    /// Number of completed sessions.
+    pub fn sessions(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Number of sessions that reported success.
+    pub fn successes(&self) -> usize {
+        self.reports.iter().filter(|r| r.success).count()
+    }
+
+    /// Total questions across all sessions.
+    pub fn total_questions(&self) -> usize {
+        self.reports.iter().map(|r| r.questions).sum()
+    }
+
+    /// Sessions completed per second of wall time (0 for an empty run).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sessions() as f64 / secs
+        }
+    }
+
+    /// The `p`-th percentile (0–100) of per-session question counts, by the nearest-rank
+    /// method: the smallest count such that at least `p`% of sessions asked no more. `None`
+    /// for an empty run.
+    pub fn questions_percentile(&self, p: f64) -> Option<usize> {
+        percentile(self.reports.iter().map(|r| r.questions), p)
+    }
+
+    /// Median question count (`None` for an empty run).
+    pub fn p50_questions(&self) -> Option<usize> {
+        self.questions_percentile(50.0)
+    }
+
+    /// 95th-percentile question count (`None` for an empty run).
+    pub fn p95_questions(&self) -> Option<usize> {
+        self.questions_percentile(95.0)
+    }
+
+    /// Mean question count (`None` for an empty run).
+    pub fn mean_questions(&self) -> Option<f64> {
+        if self.reports.is_empty() {
+            None
+        } else {
+            Some(self.total_questions() as f64 / self.sessions() as f64)
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sessions ({} ok) in {:?} ({:.1}/s), questions p50 {} p95 {} mean {:.1}",
+            self.sessions(),
+            self.successes(),
+            self.wall,
+            self.throughput(),
+            self.p50_questions().unwrap_or(0),
+            self.p95_questions().unwrap_or(0),
+            self.mean_questions().unwrap_or(0.0),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sequence (`None` when empty). `p` is clamped to
+/// 0–100; rank 0 (p = 0) maps to the minimum.
+pub fn percentile(values: impl IntoIterator<Item = usize>, p: f64) -> Option<usize> {
+    let mut sorted: Vec<usize> = values.into_iter().collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn job(label: &str, questions: usize) -> SessionJob {
+        let label_owned = label.to_string();
+        SessionJob::new(label, questions, move || SessionReport {
+            label: label_owned,
+            questions,
+            inferred: 0,
+            success: true,
+            wall: Duration::ZERO,
+        })
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![15, 20, 35, 40, 50];
+        assert_eq!(percentile(v.clone(), 5.0), Some(15));
+        assert_eq!(percentile(v.clone(), 30.0), Some(20));
+        assert_eq!(percentile(v.clone(), 40.0), Some(20));
+        assert_eq!(percentile(v.clone(), 50.0), Some(35));
+        assert_eq!(percentile(v.clone(), 95.0), Some(50));
+        assert_eq!(percentile(v.clone(), 100.0), Some(50));
+        assert_eq!(percentile(v, 0.0), Some(15));
+        assert_eq!(percentile(Vec::new(), 50.0), None);
+        assert_eq!(percentile(vec![7], 99.0), Some(7));
+    }
+
+    #[test]
+    fn empty_pool_yields_empty_metrics() {
+        let metrics = SessionPool::new().run(4);
+        assert_eq!(metrics.sessions(), 0);
+        assert_eq!(metrics.successes(), 0);
+        assert_eq!(metrics.total_questions(), 0);
+        assert_eq!(metrics.p50_questions(), None);
+        assert_eq!(metrics.p95_questions(), None);
+        assert_eq!(metrics.mean_questions(), None);
+    }
+
+    #[test]
+    fn single_session_metrics_are_that_session() {
+        let mut pool = SessionPool::new();
+        pool.push(job("only", 12));
+        let metrics = pool.run(3);
+        assert_eq!(metrics.sessions(), 1);
+        assert_eq!(metrics.p50_questions(), Some(12));
+        assert_eq!(metrics.p95_questions(), Some(12));
+        assert_eq!(metrics.mean_questions(), Some(12.0));
+        assert_eq!(metrics.total_questions(), 12);
+        assert!(metrics.throughput() > 0.0);
+    }
+
+    #[test]
+    fn aggregation_over_many_sessions() {
+        let mut pool = SessionPool::new();
+        for (ix, q) in [15usize, 20, 35, 40, 50].into_iter().enumerate() {
+            pool.push(job(&format!("s{ix}"), q));
+        }
+        let metrics = pool.run(2);
+        assert_eq!(metrics.sessions(), 5);
+        assert_eq!(metrics.successes(), 5);
+        assert_eq!(metrics.p50_questions(), Some(35));
+        assert_eq!(metrics.p95_questions(), Some(50));
+        assert_eq!(metrics.mean_questions(), Some(32.0));
+        // Reports come back sorted by question count regardless of completion order.
+        let qs: Vec<usize> = metrics.reports.iter().map(|r| r.questions).collect();
+        assert_eq!(qs, vec![15, 20, 35, 40, 50]);
+    }
+
+    #[test]
+    fn cheapest_sessions_are_dispatched_first() {
+        // One worker ⇒ dispatch order is exactly the priority order.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut pool = SessionPool::new();
+        for expected in [30usize, 10, 20] {
+            let order = order.clone();
+            pool.push(SessionJob::new(
+                format!("e{expected}"),
+                expected,
+                move || {
+                    order.lock().unwrap().push(expected);
+                    SessionReport {
+                        label: format!("e{expected}"),
+                        questions: expected,
+                        inferred: 0,
+                        success: true,
+                        wall: Duration::ZERO,
+                    }
+                },
+            ));
+        }
+        pool.run(1);
+        assert_eq!(*order.lock().unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_across_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = SessionPool::new();
+        for i in 0..32 {
+            let counter = counter.clone();
+            pool.push(SessionJob::new(format!("j{i}"), i, move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                SessionReport {
+                    label: format!("j{i}"),
+                    questions: i,
+                    inferred: 0,
+                    success: true,
+                    wall: Duration::ZERO,
+                }
+            }));
+        }
+        let metrics = pool.run(8);
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        assert_eq!(metrics.sessions(), 32);
+    }
+
+    #[test]
+    fn failed_sessions_are_counted_but_not_successes() {
+        let mut pool = SessionPool::new();
+        pool.push(job("ok", 5));
+        pool.push(SessionJob::new("bad", 1, || SessionReport {
+            label: "bad".into(),
+            questions: 1,
+            inferred: 0,
+            success: false,
+            wall: Duration::ZERO,
+        }));
+        let metrics = pool.run(2);
+        assert_eq!(metrics.sessions(), 2);
+        assert_eq!(metrics.successes(), 1);
+    }
+}

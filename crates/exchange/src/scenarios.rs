@@ -242,7 +242,7 @@ mod tests {
         let query = parse_xpath("/site/people/person/name").unwrap();
         let (relation, report) = shred_xml_to_relational(&doc, &query, "person_names");
         assert_eq!(relation.len(), report.extracted_items);
-        assert!(relation.len() > 0);
+        assert!(!relation.is_empty());
         // Every produced tuple carries the full label path of its source node.
         for t in relation.tuples() {
             assert_eq!(t.get(1), &Value::text("site/people/person/name"));

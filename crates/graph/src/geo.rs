@@ -123,7 +123,7 @@ mod tests {
             ..Default::default()
         });
         assert!(
-            g.edge_count() % 2 == 0,
+            g.edge_count().is_multiple_of(2),
             "roads are added in both directions"
         );
         for e in g.edge_ids() {

@@ -1,0 +1,131 @@
+//! Label-indexed adjacency for property graphs.
+//!
+//! RPQ evaluation is a BFS over the product of the graph with the query automaton; the naive
+//! loop scans every outgoing edge of a node and string-compares its label against each NFA
+//! transition. [`GraphIndex`] interns the edge labels once and lays the adjacency out as, per
+//! node, a label-id-sorted successor list — the product BFS then matches transitions by integer
+//! id and can enumerate the successors of a node under one label as a contiguous slice.
+//!
+//! Like [`qbe_xml::NodeIndex`], the index is immutable and self-contained, so it can be built
+//! once per graph and shared (behind an `Arc`) by every concurrent learning session over that
+//! graph.
+
+use crate::model::{GNodeId, PropertyGraph};
+use std::collections::HashMap;
+
+/// Immutable label-interned adjacency index of one [`PropertyGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphIndex {
+    labels: Vec<String>,
+    label_ids: HashMap<String, u32>,
+    /// `out[node]` = `(label id, target)` pairs, sorted by label id (then target).
+    out: Vec<Vec<(u32, GNodeId)>>,
+}
+
+impl GraphIndex {
+    /// Build the index in one pass over the edges.
+    pub fn build(graph: &PropertyGraph) -> GraphIndex {
+        let mut labels: Vec<String> = graph.edge_alphabet();
+        labels.sort();
+        let label_ids: HashMap<String, u32> = labels
+            .iter()
+            .enumerate()
+            .map(|(ix, l)| (l.clone(), ix as u32))
+            .collect();
+        let mut out: Vec<Vec<(u32, GNodeId)>> = vec![Vec::new(); graph.node_count()];
+        for edge in graph.edge_ids() {
+            let lid = label_ids[graph.edge_label(edge)];
+            out[graph.source(edge).0 as usize].push((lid, graph.target(edge)));
+        }
+        for adj in &mut out {
+            adj.sort_unstable();
+        }
+        GraphIndex {
+            labels,
+            label_ids,
+            out,
+        }
+    }
+
+    /// Number of indexed nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of distinct edge labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The interned id of a label (`None` when no edge carries it).
+    pub fn label_id(&self, label: &str) -> Option<u32> {
+        self.label_ids.get(label).copied()
+    }
+
+    /// The label behind an interned id.
+    pub fn label(&self, id: u32) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// All `(label id, target)` successor pairs of a node, sorted by label id.
+    pub fn out_edges(&self, node: GNodeId) -> &[(u32, GNodeId)] {
+        &self.out[node.0 as usize]
+    }
+
+    /// Successors of `node` under edges labelled `label_id`, as a contiguous slice.
+    pub fn successors(&self, node: GNodeId, label_id: u32) -> &[(u32, GNodeId)] {
+        let adj = &self.out[node.0 as usize];
+        let lo = adj.partition_point(|&(l, _)| l < label_id);
+        let hi = adj.partition_point(|&(l, _)| l <= label_id);
+        &adj[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> (PropertyGraph, Vec<GNodeId>) {
+        let mut g = PropertyGraph::new();
+        let n: Vec<GNodeId> = (0..4).map(|_| g.add_node("city")).collect();
+        g.add_edge(n[0], n[1], "road");
+        g.add_edge(n[0], n[2], "train");
+        g.add_edge(n[0], n[3], "road");
+        g.add_edge(n[1], n[2], "road");
+        (g, n)
+    }
+
+    #[test]
+    fn labels_are_interned_sorted() {
+        let (g, _) = graph();
+        let ix = GraphIndex::build(&g);
+        assert_eq!(ix.label_count(), 2);
+        assert_eq!(ix.label(ix.label_id("road").unwrap()), "road");
+        assert_eq!(ix.label(ix.label_id("train").unwrap()), "train");
+        assert!(ix.label_id("ferry").is_none());
+    }
+
+    #[test]
+    fn successors_enumerate_per_label() {
+        let (g, n) = graph();
+        let ix = GraphIndex::build(&g);
+        let road = ix.label_id("road").unwrap();
+        let train = ix.label_id("train").unwrap();
+        let road_targets: Vec<GNodeId> =
+            ix.successors(n[0], road).iter().map(|&(_, t)| t).collect();
+        assert_eq!(road_targets, vec![n[1], n[3]]);
+        let train_targets: Vec<GNodeId> =
+            ix.successors(n[0], train).iter().map(|&(_, t)| t).collect();
+        assert_eq!(train_targets, vec![n[2]]);
+        assert!(ix.successors(n[2], road).is_empty());
+    }
+
+    #[test]
+    fn out_edges_cover_every_edge_once() {
+        let (g, _) = graph();
+        let ix = GraphIndex::build(&g);
+        let total: usize = g.node_ids().map(|v| ix.out_edges(v).len()).sum();
+        assert_eq!(total, g.edge_count());
+        assert_eq!(ix.node_count(), g.node_count());
+    }
+}

@@ -6,6 +6,8 @@
 //!   triple view;
 //! * [`rpq`] — regular path queries over edge labels, NFA-product evaluation, simple-path
 //!   enumeration;
+//! * [`index`] — label-interned adjacency ([`GraphIndex`]) backing the indexed RPQ evaluator
+//!   [`rpq::evaluate_indexed`], differentially tested against the naive product BFS;
 //! * [`learn`] — learning path queries (block regexes) from positive and negative example
 //!   paths;
 //! * [`interactive`] — the interactive path-labelling framework of the geographical use case,
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod geo;
+pub mod index;
 pub mod interactive;
 pub mod learn;
 pub mod model;
@@ -28,6 +31,7 @@ pub mod pattern;
 pub mod rpq;
 
 pub use geo::{generate_geo_graph, GeoConfig, ROAD_TYPES};
+pub use index::GraphIndex;
 pub use interactive::{
     interactive_path_learn, GoalPathOracle, PathConstraint, PathOracle, PathSession,
     PathSessionOutcome, PathStrategy,
@@ -42,7 +46,7 @@ pub use pattern::{
     evaluate_pattern, is_well_designed, select_nodes, Binding, Constraint, GraphPattern, Mapping,
     PredTerm, Term, TriplePattern,
 };
-pub use rpq::{evaluate, evaluate_from, simple_paths, Path, PathRegex};
+pub use rpq::{evaluate, evaluate_from, evaluate_indexed, simple_paths, Path, PathRegex};
 
 #[cfg(test)]
 mod proptests {

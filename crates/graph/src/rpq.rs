@@ -220,6 +220,92 @@ pub fn evaluate(graph: &PropertyGraph, regex: &PathRegex) -> BTreeSet<(GNodeId, 
     out
 }
 
+/// Evaluate an RPQ against a prebuilt [`GraphIndex`]: same answer as [`evaluate`], computed by
+/// a product BFS over interned label ids with NFA state sets packed into a `u64` bitmask.
+///
+/// The interned adjacency turns the per-step transition work from "scan every outgoing edge and
+/// string-compare against every NFA transition" into "merge two id-sorted lists"; the bitmask
+/// makes state-set closure/union constant-time. Queries whose Thompson NFA exceeds 64 states
+/// (none of the learners produce them) fall back to the naive evaluator, so the function is
+/// total and extensionally equal to [`evaluate`] — the differential property suite
+/// (`crates/graph/tests/prop_eval_indexed.rs`) pins exactly that.
+pub fn evaluate_indexed(
+    graph: &PropertyGraph,
+    index: &crate::index::GraphIndex,
+    regex: &PathRegex,
+) -> BTreeSet<(GNodeId, GNodeId)> {
+    let nfa = Nfa::compile(regex);
+    let n_states = nfa.transitions.len();
+    if n_states > 64 {
+        return evaluate(graph, regex);
+    }
+    // ε-closure of each single state, as a bitmask (includes the state itself).
+    let mut closure = vec![0u64; n_states];
+    for (s, mask) in closure.iter_mut().enumerate() {
+        let mut stack = vec![s];
+        *mask = 1 << s;
+        while let Some(cur) = stack.pop() {
+            for (label, target) in &nfa.transitions[cur] {
+                if label.is_none() && *mask & (1 << target) == 0 {
+                    *mask |= 1 << target;
+                    stack.push(*target);
+                }
+            }
+        }
+    }
+    // trans[label id][state] = ε-closed mask of states reachable by consuming that label.
+    let mut trans = vec![vec![0u64; n_states]; index.label_count()];
+    for (s, edges) in nfa.transitions.iter().enumerate() {
+        for (label, target) in edges {
+            let Some(label) = label else { continue };
+            // NFA labels absent from the graph can never fire.
+            if let Some(lid) = index.label_id(label) {
+                trans[lid as usize][s] |= closure[*target];
+            }
+        }
+    }
+    let accept_bit = 1u64 << nfa.accept;
+    let start_mask = closure[nfa.start];
+    let mut out = BTreeSet::new();
+    let mut visited: std::collections::HashSet<(GNodeId, u64)> = std::collections::HashSet::new();
+    let mut queue: VecDeque<(GNodeId, u64)> = VecDeque::new();
+    for start in graph.node_ids() {
+        visited.clear();
+        queue.clear();
+        queue.push_back((start, start_mask));
+        while let Some((node, mask)) = queue.pop_front() {
+            if !visited.insert((node, mask)) {
+                continue;
+            }
+            if mask & accept_bit != 0 {
+                out.insert((start, node));
+            }
+            let adj = index.out_edges(node);
+            let mut i = 0;
+            while i < adj.len() {
+                let lid = adj[i].0;
+                // Transition once per distinct label, then fan out to that label's successors.
+                let mut next_mask = 0u64;
+                let mut bits = mask;
+                while bits != 0 {
+                    let s = bits.trailing_zeros() as usize;
+                    next_mask |= trans[lid as usize][s];
+                    bits &= bits - 1;
+                }
+                let mut j = i;
+                while j < adj.len() && adj[j].0 == lid {
+                    if next_mask != 0 {
+                        queue.push_back((adj[j].1, next_mask));
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+    }
+    out
+}
+
 /// All node pairs reachable from `source` under the RPQ.
 pub fn evaluate_from(
     graph: &PropertyGraph,
@@ -373,6 +459,26 @@ mod tests {
         assert!(r.accepts(&["road"]));
         assert!(r.accepts(&["train", "ferry"]));
         assert!(!r.accepts(&["ferry"]));
+    }
+
+    #[test]
+    fn indexed_evaluation_agrees_with_naive() {
+        let (g, _) = graph();
+        let ix = crate::index::GraphIndex::build(&g);
+        let queries = [
+            PathRegex::Plus(Box::new(PathRegex::label("road"))),
+            PathRegex::Star(Box::new(PathRegex::label("road"))),
+            PathRegex::Concat(vec![
+                PathRegex::Star(Box::new(PathRegex::label("road"))),
+                PathRegex::label("train"),
+            ]),
+            PathRegex::Alt(vec![PathRegex::label("road"), PathRegex::label("ferry")]),
+            PathRegex::Optional(Box::new(PathRegex::label("train"))),
+            PathRegex::label("ferry"), // label absent from the graph
+        ];
+        for r in queries {
+            assert_eq!(evaluate_indexed(&g, &ix, &r), evaluate(&g, &r), "{r}");
+        }
     }
 
     #[test]

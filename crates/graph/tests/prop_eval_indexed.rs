@@ -1,0 +1,85 @@
+//! Differential property suite: the label-indexed RPQ evaluator must be extensionally equal to
+//! the naive NFA-product evaluator on random graphs and random regular expressions.
+//!
+//! Each property samples ≥256 random `(graph, regex)` cases; the regex generator covers every
+//! `PathRegex` constructor (labels, concatenation, alternation, star, plus, optional), both
+//! labels the graphs carry and labels they never do.
+
+use proptest::prelude::*;
+use qbe_graph::{evaluate, evaluate_indexed, GraphIndex, PathRegex, PropertyGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const LABELS: [&str; 4] = ["road", "train", "ferry", "trail"];
+
+fn random_graph(seed: u64) -> PropertyGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = PropertyGraph::new();
+    let nodes: Vec<_> = (0..rng.gen_range(1usize..8))
+        .map(|_| g.add_node("city"))
+        .collect();
+    let edges = rng.gen_range(0usize..14);
+    for _ in 0..edges {
+        let from = *nodes.choose(&mut rng).expect("non-empty");
+        let to = *nodes.choose(&mut rng).expect("non-empty");
+        // Draw from a prefix so some graphs miss some labels entirely.
+        let cutoff = rng.gen_range(1usize..=LABELS.len());
+        let label = LABELS[rng.gen_range(0usize..cutoff)];
+        g.add_edge(from, to, label);
+    }
+    g
+}
+
+fn random_regex(rng: &mut StdRng, depth: usize) -> PathRegex {
+    let leaf = depth == 0 || rng.gen_bool(0.35);
+    if leaf {
+        return PathRegex::label(*LABELS.choose(rng).expect("non-empty"));
+    }
+    match rng.gen_range(0u32..5) {
+        0 => PathRegex::Concat(
+            (0..rng.gen_range(1usize..4))
+                .map(|_| random_regex(rng, depth - 1))
+                .collect(),
+        ),
+        1 => PathRegex::Alt(
+            (0..rng.gen_range(1usize..4))
+                .map(|_| random_regex(rng, depth - 1))
+                .collect(),
+        ),
+        2 => PathRegex::Star(Box::new(random_regex(rng, depth - 1))),
+        3 => PathRegex::Plus(Box::new(random_regex(rng, depth - 1))),
+        _ => PathRegex::Optional(Box::new(random_regex(rng, depth - 1))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `evaluate_indexed` ≡ `evaluate` on random graphs and regexes.
+    #[test]
+    fn indexed_rpq_equals_naive(seed in 0u64..1_000_000) {
+        let g = random_graph(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let regex = random_regex(&mut rng, 3);
+        let index = GraphIndex::build(&g);
+        prop_assert_eq!(
+            evaluate_indexed(&g, &index, &regex),
+            evaluate(&g, &regex),
+            "regex {} on {} nodes / {} edges", regex, g.node_count(), g.edge_count()
+        );
+    }
+
+    /// The index answers repeated queries against the same graph consistently (one index, many
+    /// regexes — the shape learner sessions use).
+    #[test]
+    fn one_index_many_queries(seed in 0u64..1_000_000) {
+        let g = random_graph(seed);
+        let index = GraphIndex::build(&g);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234_5678);
+        for _ in 0..4 {
+            let regex = random_regex(&mut rng, 2);
+            prop_assert_eq!(evaluate_indexed(&g, &index, &regex), evaluate(&g, &regex), "{}", regex);
+        }
+    }
+}

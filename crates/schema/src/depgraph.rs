@@ -121,7 +121,7 @@ impl DependencyGraph {
 
     /// Whether every valid `parent` element has at least one `child`-labelled child.
     pub fn requires_child(&self, parent: &str, child: &str) -> bool {
-        self.edge(parent, child).map_or(false, |e| e.required())
+        self.edge(parent, child).is_some_and(|e| e.required())
     }
 
     /// Labels reachable from `start` by following possible edges (excluding `start` unless it is

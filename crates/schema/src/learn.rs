@@ -408,7 +408,7 @@ mod tests {
             .close()
             .close()
             .build();
-        let schema = learn_ms(&[doc.clone()]).unwrap();
+        let schema = learn_ms(std::slice::from_ref(&doc)).unwrap();
         assert!(schema.accepts(&doc));
         assert_eq!(
             schema

@@ -41,7 +41,7 @@ impl Multiplicity {
 
     /// Whether `count` is admissible.
     pub fn admits(self, count: usize) -> bool {
-        count >= self.min() && self.max().map_or(true, |m| count <= m)
+        count >= self.min() && self.max().is_none_or(|m| count <= m)
     }
 
     /// Whether zero occurrences are admissible (the symbol is "nullable").

@@ -178,11 +178,31 @@ impl UnionQuery {
         self.members.is_empty()
     }
 
-    /// Evaluate the union on a document.
+    /// Evaluate the union on a document, building a fresh index and memo for this one call.
+    /// Callers evaluating many hypotheses against the same document should build the
+    /// [`qbe_xml::NodeIndex`] once and use [`Self::select_with`] instead.
     pub fn select(&self, doc: &XmlTree) -> BTreeSet<NodeId> {
+        self.select_with(
+            doc,
+            &qbe_xml::NodeIndex::build(doc),
+            &mut crate::eval_indexed::EvalCache::new(),
+        )
+    }
+
+    /// Evaluate the union through a caller-owned index and sub-twig memo.
+    ///
+    /// Members are evaluated over the one shared memo — union members produced by
+    /// [`learn_union`] share most of their structure, so the memo collapses the repeated
+    /// filters to a single match-set computation, and across calls nothing is recomputed.
+    pub fn select_with(
+        &self,
+        doc: &XmlTree,
+        index: &qbe_xml::NodeIndex,
+        cache: &mut crate::eval_indexed::EvalCache,
+    ) -> BTreeSet<NodeId> {
         let mut out = BTreeSet::new();
         for m in &self.members {
-            out.extend(eval::select(m, doc));
+            out.extend(crate::eval_indexed::select_vec_with(m, doc, index, cache));
         }
         out
     }
@@ -192,12 +212,25 @@ impl UnionQuery {
         self.members.iter().any(|m| eval::selects(m, doc, node))
     }
 
-    /// Whether the union is consistent with an example set.
+    /// Whether the union is consistent with an example set: one indexed evaluation of the
+    /// union per annotated document (through the set's persistent per-document state), then a
+    /// lookup per annotation.
     pub fn consistent_with(&self, examples: &ExampleSet) -> bool {
-        examples
-            .annotations()
-            .iter()
-            .all(|a| self.selects(&examples.documents()[a.doc], a.node) == a.positive)
+        (0..examples.documents().len()).all(|doc_ix| {
+            let on_doc: Vec<(NodeId, bool)> = examples
+                .annotations()
+                .iter()
+                .filter(|a| a.doc == doc_ix)
+                .map(|a| (a.node, a.positive))
+                .collect();
+            on_doc.is_empty()
+                || examples.with_eval_state(doc_ix, |doc, index, cache| {
+                    let selected = self.select_with(doc, index, cache);
+                    on_doc
+                        .iter()
+                        .all(|&(node, positive)| selected.contains(&node) == positive)
+                })
+        })
     }
 
     /// Total size (sum of member sizes).
@@ -240,11 +273,21 @@ pub fn learn_union(examples: &ExampleSet) -> Option<UnionQuery> {
     union.consistent_with(examples).then_some(union)
 }
 
+/// Whether the member query avoids every annotated negative — indexed, one evaluation per
+/// annotated document through the example set's persistent state.
 fn member_rejects_negatives(query: &TwigQuery, examples: &ExampleSet) -> bool {
-    examples
-        .negatives()
-        .iter()
-        .all(|(doc, node)| !eval::selects(query, doc, *node))
+    (0..examples.documents().len()).all(|doc_ix| {
+        let negatives: Vec<(NodeId, bool)> = examples
+            .annotations()
+            .iter()
+            .filter(|a| !a.positive && a.doc == doc_ix)
+            .map(|a| (a.node, false))
+            .collect();
+        negatives.is_empty()
+            || examples.with_eval_state(doc_ix, |doc, index, cache| {
+                crate::eval_indexed::classifies_with(query, doc, index, cache, negatives)
+            })
+    })
 }
 
 /// The most specific twig describing one annotated node: the exact root path with every subtree

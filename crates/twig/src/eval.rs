@@ -132,35 +132,34 @@ impl<'a> Matcher<'a> {
         true
     }
 
-    /// Candidate images of the query root, taking the virtual document root into account.
-    fn root_candidates(&self) -> BTreeSet<NodeId> {
+    /// One flag per document node: whether the query selects it. The spine pass works entirely
+    /// on flat boolean arrays so that [`count`] never materialises a node set.
+    fn selected_flags(&self) -> Vec<bool> {
+        let mut current = vec![false; self.doc.size()];
         let root_ok = &self.can_embed[QNodeId::ROOT.index()];
         match self.query.axis(QNodeId::ROOT) {
             // `/label…`: the root query node must map to the document's root element.
-            Axis::Child => {
-                if root_ok[XmlTree::ROOT.index()] {
-                    BTreeSet::from([XmlTree::ROOT])
-                } else {
-                    BTreeSet::new()
+            Axis::Child => current[XmlTree::ROOT.index()] = root_ok[XmlTree::ROOT.index()],
+            // `//label…`: any element will do.
+            Axis::Descendant => {
+                for t in self.doc.node_ids() {
+                    current[t.index()] = root_ok[t.index()];
                 }
             }
-            // `//label…`: any element will do.
-            Axis::Descendant => self.doc.node_ids().filter(|t| root_ok[t.index()]).collect(),
         }
-    }
-
-    fn selected_nodes(&self) -> BTreeSet<NodeId> {
         let spine = self.query.spine();
-        let mut current = self.root_candidates();
         for window in spine.windows(2) {
             let child_q = window[1];
-            let mut next = BTreeSet::new();
+            let mut next = vec![false; self.doc.size()];
             match self.query.axis(child_q) {
                 Axis::Child => {
-                    for &t in &current {
+                    for t in self.doc.node_ids() {
+                        if !current[t.index()] {
+                            continue;
+                        }
                         for &c in self.doc.children(t) {
                             if self.can_embed[child_q.index()][c.index()] {
-                                next.insert(c);
+                                next[c.index()] = true;
                             }
                         }
                     }
@@ -174,25 +173,29 @@ impl<'a> Matcher<'a> {
                         }
                         let parent = self.doc.parent(t).expect("non-root node has a parent");
                         below_current[t.index()] =
-                            below_current[parent.index()] || current.contains(&parent);
+                            below_current[parent.index()] || current[parent.index()];
                         if below_current[t.index()] && self.can_embed[child_q.index()][t.index()] {
-                            next.insert(t);
+                            next[t.index()] = true;
                         }
                     }
                 }
             }
             current = next;
-            if current.is_empty() {
-                break;
-            }
         }
         current
     }
+
+    fn selected_nodes(&self) -> BTreeSet<NodeId> {
+        let flags = self.selected_flags();
+        self.doc.node_ids().filter(|t| flags[t.index()]).collect()
+    }
 }
 
-/// Count of selected nodes — convenience for experiments reporting selectivities.
+/// Count of selected nodes — convenience for experiments reporting selectivities. Counts the
+/// selection flags directly instead of building the full answer set.
 pub fn count(query: &TwigQuery, doc: &XmlTree) -> usize {
-    select(query, doc).len()
+    let matcher = Matcher::new(query, doc);
+    matcher.selected_flags().iter().filter(|&&b| b).count()
 }
 
 #[cfg(test)]
@@ -348,6 +351,27 @@ mod tests {
         assert_eq!(select(&q, &d).len(), 1);
         let q_missing = parse("//person[profile[income]]");
         assert!(select(&q_missing, &d).is_empty());
+    }
+
+    #[test]
+    fn count_of_empty_match_is_zero() {
+        let d = doc();
+        assert_eq!(count(&parse("//nonexistent"), &d), 0);
+        assert_eq!(count(&parse("/auction//person"), &d), 0);
+        assert!(select(&parse("//nonexistent"), &d).is_empty());
+    }
+
+    #[test]
+    fn count_of_root_only_selection_is_one() {
+        let single = TreeBuilder::new("site").build();
+        assert_eq!(count(&parse("/site"), &single), 1);
+        assert_eq!(count(&parse("//site"), &single), 1);
+        let d = doc();
+        assert_eq!(count(&parse("/site"), &d), 1);
+        assert_eq!(
+            select(&parse("/site"), &d).into_iter().collect::<Vec<_>>(),
+            vec![XmlTree::ROOT]
+        );
     }
 
     #[test]

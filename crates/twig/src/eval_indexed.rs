@@ -1,0 +1,542 @@
+//! Indexed twig-query evaluation: postings intersection with memoised sub-twig matches.
+//!
+//! [`crate::eval`] answers each query by filling a dense `|query| × |document|` boolean table —
+//! robust, but every evaluation walks the whole document even when the query's labels are rare.
+//! The interactive learners evaluate thousands of candidate queries against the same documents,
+//! which makes that walk the hot path of the whole reproduction.
+//!
+//! This module evaluates against a prebuilt [`NodeIndex`] instead:
+//!
+//! * each query node starts from the **postings list** of its label (all nodes for `*`), so the
+//!   work is proportional to the number of *candidate* nodes, not the document size;
+//! * child/descendant structure is enforced by **sorted-list intersection**: a child-axis edge
+//!   intersects with the parents of the child's matches, a descendant-axis edge with their
+//!   proper-ancestor closure (computed once per edge with a visited bitmap);
+//! * structurally identical sub-twigs (the same filter attached at several spine positions, or
+//!   re-asked across calls) are **memoised** by their canonical encoding in an [`EvalCache`],
+//!   so a session that evaluates many near-identical candidates pays for each distinct filter
+//!   once per document.
+//!
+//! The differential property suites (`crates/twig/tests/prop_eval_indexed.rs`) pin
+//! `select`/`selects`/`count` here to be extensionally equal to [`crate::eval`] on hundreds of
+//! random documents and queries.
+
+use crate::query::{Axis, QNodeId, TwigQuery};
+use qbe_xml::{NodeId, NodeIndex, XmlTree};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Cross-call memo of sub-twig match sets for **one document**.
+///
+/// Keys are canonical sub-twig encodings (label + sorted children with axes), values the sorted
+/// list of document nodes where that sub-twig can embed. The cache never needs invalidation:
+/// documents and indexes are immutable. Reusing a cache with a different document is a logic
+/// error; [`Evaluator`] ties the three together so callers cannot mix them up.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    /// `Arc` so a cache hit is a reference bump, not a copy of the match list — and so the
+    /// cache stays `Send` for sessions handed across `SessionPool` worker threads.
+    match_sets: HashMap<String, Arc<Vec<NodeId>>>,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Number of memoised sub-twig match sets.
+    pub fn len(&self) -> usize {
+        self.match_sets.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.match_sets.is_empty()
+    }
+}
+
+/// One document, its index, and the memo of sub-twig matches — the unit a session keeps per
+/// document and reuses across every candidate evaluation.
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    doc: &'a XmlTree,
+    index: &'a NodeIndex,
+    cache: EvalCache,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Wrap a document and its prebuilt index.
+    pub fn new(doc: &'a XmlTree, index: &'a NodeIndex) -> Evaluator<'a> {
+        debug_assert_eq!(
+            doc.size(),
+            index.node_count(),
+            "index built for another tree"
+        );
+        Evaluator {
+            doc,
+            index,
+            cache: EvalCache::new(),
+        }
+    }
+
+    /// The document this evaluator answers for.
+    pub fn document(&self) -> &'a XmlTree {
+        self.doc
+    }
+
+    /// Evaluate: all document nodes selected by some embedding (ascending id order).
+    pub fn select_vec(&mut self, query: &TwigQuery) -> Vec<NodeId> {
+        select_spine(query, self.doc, self.index, &mut self.cache)
+    }
+
+    /// Evaluate into the same set type [`crate::eval::select`] returns.
+    pub fn select(&mut self, query: &TwigQuery) -> BTreeSet<NodeId> {
+        self.select_vec(query).into_iter().collect()
+    }
+
+    /// Whether the query selects the given node.
+    pub fn selects(&mut self, query: &TwigQuery, node: NodeId) -> bool {
+        self.select_vec(query).binary_search(&node).is_ok()
+    }
+
+    /// Number of selected nodes, without materialising a set.
+    pub fn count(&mut self, query: &TwigQuery) -> usize {
+        self.select_vec(query).len()
+    }
+
+    /// Whether the query selects at least one node.
+    pub fn matches(&mut self, query: &TwigQuery) -> bool {
+        !self.select_vec(query).is_empty()
+    }
+}
+
+/// Indexed evaluation against an externally owned memo: the sorted answer list. This is the
+/// entry point for sessions that keep one [`EvalCache`] per document across many candidate
+/// queries without holding a borrow of the document (see `TwigSession`).
+pub fn select_vec_with(
+    query: &TwigQuery,
+    doc: &XmlTree,
+    index: &NodeIndex,
+    cache: &mut EvalCache,
+) -> Vec<NodeId> {
+    select_spine(query, doc, index, cache)
+}
+
+/// Membership variant of [`select_vec_with`].
+pub fn selects_with(
+    query: &TwigQuery,
+    doc: &XmlTree,
+    index: &NodeIndex,
+    cache: &mut EvalCache,
+    node: NodeId,
+) -> bool {
+    select_vec_with(query, doc, index, cache)
+        .binary_search(&node)
+        .is_ok()
+}
+
+/// Whether `query` classifies every `(node, expected)` label of one document correctly: one
+/// indexed evaluation, then a binary search per label. The consistency checkers
+/// (`ExampleSet::consistent_with`, `TwigSession`) all funnel through this.
+pub fn classifies_with(
+    query: &TwigQuery,
+    doc: &XmlTree,
+    index: &NodeIndex,
+    cache: &mut EvalCache,
+    labels: impl IntoIterator<Item = (NodeId, bool)>,
+) -> bool {
+    let selected = select_vec_with(query, doc, index, cache);
+    labels
+        .into_iter()
+        .all(|(node, expected)| selected.binary_search(&node).is_ok() == expected)
+}
+
+/// One-shot indexed evaluation (fresh memo). Sessions should hold an [`Evaluator`] or an
+/// [`EvalCache`] instead so the memo survives across candidate queries.
+pub fn select(query: &TwigQuery, doc: &XmlTree, index: &NodeIndex) -> BTreeSet<NodeId> {
+    Evaluator::new(doc, index).select(query)
+}
+
+/// One-shot indexed membership test.
+pub fn selects(query: &TwigQuery, doc: &XmlTree, index: &NodeIndex, node: NodeId) -> bool {
+    Evaluator::new(doc, index).selects(query, node)
+}
+
+/// One-shot indexed count.
+pub fn count(query: &TwigQuery, doc: &XmlTree, index: &NodeIndex) -> usize {
+    Evaluator::new(doc, index).count(query)
+}
+
+/// One-shot indexed Boolean match.
+pub fn matches(query: &TwigQuery, doc: &XmlTree, index: &NodeIndex) -> bool {
+    Evaluator::new(doc, index).matches(query)
+}
+
+/// Canonical encoding of the sub-twig rooted at `q`, *excluding* its incoming axis (the match
+/// set of a subtree does not depend on how it hangs off its parent). Children are sorted so
+/// structurally equal filters built in different orders share one cache entry.
+///
+/// Labels are arbitrary strings, so the encoding must be injective rather than merely
+/// readable: a label test is length-prefixed (`L3:abc`) so a label spelled `*` — or one
+/// containing the structural characters `(`, `)`, `,`, `/` — can never collide with the
+/// wildcard marker `W` or with a differently shaped sub-twig.
+fn subtwig_key(query: &TwigQuery, q: QNodeId) -> String {
+    use crate::query::NodeTest;
+    let test = match query.test(q) {
+        NodeTest::Wildcard => "W".to_string(),
+        NodeTest::Label(l) => format!("L{}:{}", l.len(), l),
+    };
+    let mut child_keys: Vec<String> = query
+        .children(q)
+        .iter()
+        .map(|&c| {
+            let axis = match query.axis(c) {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            };
+            format!("{axis}{}", subtwig_key(query, c))
+        })
+        .collect();
+    child_keys.sort();
+    format!("{}({})", test, child_keys.join(","))
+}
+
+/// Sorted list of nodes where the sub-twig rooted at `q` can embed (with `q` mapped to them).
+/// Cache hits cost one `Arc` clone.
+fn match_set(
+    query: &TwigQuery,
+    q: QNodeId,
+    doc: &XmlTree,
+    index: &NodeIndex,
+    cache: &mut EvalCache,
+) -> Arc<Vec<NodeId>> {
+    let key = subtwig_key(query, q);
+    if let Some(hit) = cache.match_sets.get(&key) {
+        return hit.clone();
+    }
+    // Children first (postorder); each child's set is cached under its own key, so the
+    // recursion re-pays nothing for repeated filters.
+    let mut constraints: Vec<Vec<NodeId>> = Vec::with_capacity(query.children(q).len());
+    for &child in query.children(q) {
+        let child_matches = match_set(query, child, doc, index, cache);
+        let relatives = match query.axis(child) {
+            Axis::Child => parent_set(&child_matches, index),
+            Axis::Descendant => ancestor_closure(&child_matches, index),
+        };
+        constraints.push(relatives);
+    }
+    let mut result = candidate_nodes(query, q, doc, index, &constraints);
+    for constraint in &constraints {
+        intersect_sorted(&mut result, constraint);
+        if result.is_empty() {
+            break;
+        }
+    }
+    let result = Arc::new(result);
+    cache.match_sets.insert(key, result.clone());
+    result
+}
+
+/// Initial candidates for a query node: its postings list, or — for a wildcard — the smallest
+/// structural constraint when one exists (intersecting the others against it), falling back to
+/// every node only for an unconstrained `*` leaf.
+fn candidate_nodes(
+    query: &TwigQuery,
+    q: QNodeId,
+    doc: &XmlTree,
+    index: &NodeIndex,
+    constraints: &[Vec<NodeId>],
+) -> Vec<NodeId> {
+    use crate::query::NodeTest;
+    match query.test(q) {
+        NodeTest::Label(l) => index.postings(l).to_vec(),
+        NodeTest::Wildcard => match constraints.iter().min_by_key(|c| c.len()) {
+            Some(smallest) => smallest.clone(),
+            None => doc.node_ids().collect(),
+        },
+    }
+}
+
+/// Sorted, deduplicated parents of a sorted node list.
+fn parent_set(nodes: &[NodeId], index: &NodeIndex) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = nodes.iter().filter_map(|&n| index.parent(n)).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Sorted set of **proper** ancestors of any node in a sorted list. The visited bitmap makes
+/// the total work linear in the output plus the input: each upward walk stops at the first
+/// already-collected ancestor.
+fn ancestor_closure(nodes: &[NodeId], index: &NodeIndex) -> Vec<NodeId> {
+    let mut seen = vec![false; index.node_count()];
+    let mut out = Vec::new();
+    for &n in nodes {
+        let mut cur = index.parent(n);
+        while let Some(p) = cur {
+            if seen[p.index()] {
+                break;
+            }
+            seen[p.index()] = true;
+            out.push(p);
+            cur = index.parent(p);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// In-place intersection of two sorted lists (galloping on the shorter side is unnecessary at
+/// the sizes the learners see; a linear merge keeps the code obvious).
+fn intersect_sorted(target: &mut Vec<NodeId>, other: &[NodeId]) {
+    let mut write = 0;
+    let mut j = 0;
+    for read in 0..target.len() {
+        let v = target[read];
+        while j < other.len() && other[j] < v {
+            j += 1;
+        }
+        if j < other.len() && other[j] == v {
+            target[write] = v;
+            write += 1;
+        }
+    }
+    target.truncate(write);
+}
+
+/// The top-down spine pass: restrict the bottom-up match sets to nodes actually reachable from
+/// an admissible image of the query root, and return the images of the selected node.
+fn select_spine(
+    query: &TwigQuery,
+    doc: &XmlTree,
+    index: &NodeIndex,
+    cache: &mut EvalCache,
+) -> Vec<NodeId> {
+    let root_matches = match_set(query, QNodeId::ROOT, doc, index, cache);
+    let mut current: Vec<NodeId> = match query.axis(QNodeId::ROOT) {
+        // `/label…`: the query root must map to the document's root element.
+        Axis::Child => {
+            if root_matches.binary_search(&XmlTree::ROOT).is_ok() {
+                vec![XmlTree::ROOT]
+            } else {
+                Vec::new()
+            }
+        }
+        // `//label…`: any matching element. The one unavoidable copy out of the memo: the
+        // spine pass filters `current` in place while the cached set must stay intact.
+        Axis::Descendant => root_matches.as_ref().clone(),
+    };
+    let spine = query.spine();
+    for window in spine.windows(2) {
+        if current.is_empty() {
+            break;
+        }
+        let child_q = window[1];
+        let child_matches = match_set(query, child_q, doc, index, cache);
+        current = match query.axis(child_q) {
+            Axis::Child => {
+                let mut next: Vec<NodeId> = Vec::new();
+                for &t in &current {
+                    for &c in doc.children(t) {
+                        if child_matches.binary_search(&c).is_ok() {
+                            next.push(c);
+                        }
+                    }
+                }
+                next.sort_unstable();
+                next.dedup();
+                next
+            }
+            Axis::Descendant => below_any(&current, &child_matches, index),
+        };
+    }
+    current
+}
+
+/// Nodes of `candidates` having a **proper** ancestor in `current`, via merged preorder
+/// intervals: ancestors' intervals are either nested or disjoint, so after dropping intervals
+/// contained in a previously kept one, membership is a single binary search per candidate.
+fn below_any(current: &[NodeId], candidates: &[NodeId], index: &NodeIndex) -> Vec<NodeId> {
+    let mut intervals: Vec<(u32, u32)> =
+        current.iter().map(|&n| index.subtree_interval(n)).collect();
+    intervals.sort_unstable();
+    let mut merged: Vec<(u32, u32)> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        match merged.last() {
+            Some(&(_, prev_hi)) if hi <= prev_hi => {} // nested inside the previous interval
+            _ => merged.push((lo, hi)),
+        }
+    }
+    candidates
+        .iter()
+        .copied()
+        .filter(|&m| {
+            let rank = index.preorder_rank(m);
+            // Last kept interval starting strictly before `rank`: equality would mean the
+            // interval is `m`'s own subtree, which only witnesses improper descent.
+            let pos = merged.partition_point(|&(lo, _)| lo < rank);
+            pos > 0 && merged[pos - 1].1 > rank
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::query::NodeTest;
+    use crate::xpath::parse_xpath;
+    use qbe_xml::TreeBuilder;
+
+    fn doc() -> XmlTree {
+        TreeBuilder::new("site")
+            .open("people")
+            .open("person")
+            .leaf("name")
+            .leaf("emailaddress")
+            .open("profile")
+            .leaf("age")
+            .close()
+            .close()
+            .open("person")
+            .leaf("name")
+            .close()
+            .close()
+            .open("regions")
+            .open("europe")
+            .open("item")
+            .leaf("name")
+            .close()
+            .close()
+            .close()
+            .build()
+    }
+
+    fn check(xpath: &str, d: &XmlTree) {
+        let q = parse_xpath(xpath).unwrap();
+        let ix = NodeIndex::build(d);
+        assert_eq!(
+            select(&q, d, &ix),
+            eval::select(&q, d),
+            "indexed ≠ naive for {xpath}"
+        );
+        assert_eq!(count(&q, d, &ix), eval::count(&q, d), "count for {xpath}");
+        assert_eq!(
+            matches(&q, d, &ix),
+            eval::matches(&q, d),
+            "matches for {xpath}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_naive_on_representative_queries() {
+        let d = doc();
+        for xpath in [
+            "/site/people/person",
+            "//name",
+            "/site/person",
+            "/site//age",
+            "/site/people/person[emailaddress]",
+            "/site/people/person[.//age]",
+            "/site/people/person[age]",
+            "/site/*/person",
+            "/site/*",
+            "//person[profile]/name",
+            "/auction//person",
+            "//person[profile[age]]",
+            "//person[profile[income]]",
+            "//*",
+            "/*",
+        ] {
+            check(xpath, &d);
+        }
+    }
+
+    #[test]
+    fn proper_descendant_semantics() {
+        let nested = TreeBuilder::new("a").leaf("a").build();
+        check("//a//a", &nested);
+        let single = XmlTree::new("a");
+        check("//a//a", &single);
+    }
+
+    #[test]
+    fn selects_matches_membership() {
+        let d = doc();
+        let ix = NodeIndex::build(&d);
+        let q = parse_xpath("//person").unwrap();
+        for node in d.node_ids() {
+            assert_eq!(
+                selects(&q, &d, &ix, node),
+                eval::selects(&q, &d, node),
+                "{node}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluator_memoises_repeated_filters() {
+        let d = doc();
+        let ix = NodeIndex::build(&d);
+        let mut ev = Evaluator::new(&d, &ix);
+        // Two queries sharing the `[name]` filter sub-twig: the second must hit the memo.
+        ev.select(&parse_xpath("//person[name]").unwrap());
+        let after_first = ev.cache.len();
+        ev.select(&parse_xpath("//item[name]").unwrap());
+        assert!(!ev.cache.is_empty());
+        // `name(…)` is one shared entry; only the new roots are added.
+        assert!(ev.cache.len() < after_first * 2, "filter was recomputed");
+        // And results stay correct after cache hits.
+        assert_eq!(
+            ev.select(&parse_xpath("//person[name]").unwrap()),
+            eval::select(&parse_xpath("//person[name]").unwrap(), &d)
+        );
+    }
+
+    #[test]
+    fn wildcard_and_literal_star_label_do_not_share_cache_entries() {
+        // A document whose labels are exactly the strings the key encoding must not confuse
+        // with its own structural characters.
+        let d = TreeBuilder::new("*").leaf("(").leaf("a,b").build();
+        let ix = NodeIndex::build(&d);
+        let mut ev = Evaluator::new(&d, &ix);
+        let star_label = TwigQuery::new(Axis::Descendant, NodeTest::label("*"));
+        let wildcard = TwigQuery::new(Axis::Descendant, NodeTest::Wildcard);
+        // Warm the cache with the literal-label query, then the wildcard query must still see
+        // every node (and vice versa on a fresh evaluator).
+        assert_eq!(ev.select(&star_label), eval::select(&star_label, &d));
+        assert_eq!(ev.select(&wildcard), eval::select(&wildcard, &d));
+        assert_eq!(ev.count(&wildcard), d.size());
+        let mut fresh = Evaluator::new(&d, &ix);
+        assert_eq!(fresh.select(&wildcard), eval::select(&wildcard, &d));
+        assert_eq!(fresh.select(&star_label), eval::select(&star_label, &d));
+        // Filters over the weird labels keep working through the shared memo too.
+        let mut q = TwigQuery::new(Axis::Descendant, NodeTest::label("*"));
+        q.add_node(
+            crate::query::QNodeId::ROOT,
+            Axis::Child,
+            NodeTest::label("("),
+        );
+        assert_eq!(ev.select(&q), eval::select(&q, &d));
+    }
+
+    #[test]
+    fn wildcard_spine_with_filters() {
+        let d = doc();
+        check("//*[name]", &d);
+        check("/site/*[person[profile]]", &d);
+    }
+
+    #[test]
+    fn path_constructor_queries_agree() {
+        let d = doc();
+        let q = TwigQuery::path([
+            (Axis::Child, NodeTest::label("site")),
+            (Axis::Descendant, NodeTest::Wildcard),
+            (Axis::Child, NodeTest::label("name")),
+        ]);
+        let ix = NodeIndex::build(&d);
+        assert_eq!(select(&q, &d, &ix), eval::select(&q, &d));
+    }
+}

@@ -6,11 +6,13 @@
 //! so the [`ExampleSet`] stores documents once and annotations as `(document index, node)` pairs.
 
 use crate::eval;
+use crate::eval_indexed::{self, EvalCache};
 use crate::query::TwigQuery;
-use qbe_xml::{NodeId, XmlTree};
+use qbe_xml::{NodeId, NodeIndex, XmlTree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::cell::RefCell;
 
 /// One node annotation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +30,12 @@ pub struct Annotation {
 pub struct ExampleSet {
     docs: Vec<XmlTree>,
     annotations: Vec<Annotation>,
+    /// Lazily built evaluation state per document (its [`NodeIndex`] and sub-twig memo).
+    /// Documents are append-only and immutable once added, so the state never invalidates;
+    /// the consistency checkers call [`Self::consistent_with`] for thousands of candidate
+    /// queries against the same documents, which is exactly the reuse the indexed engine
+    /// is built for. Interior mutability keeps `consistent_with(&self)`.
+    eval_state: RefCell<Vec<Option<(NodeIndex, EvalCache)>>>,
 }
 
 impl ExampleSet {
@@ -39,6 +47,7 @@ impl ExampleSet {
     /// Add a document and return its index.
     pub fn add_document(&mut self, doc: XmlTree) -> usize {
         self.docs.push(doc);
+        self.eval_state.borrow_mut().push(None);
         self.docs.len() - 1
     }
 
@@ -104,12 +113,40 @@ impl ExampleSet {
         self.annotations.is_empty()
     }
 
+    /// Run `f` against one document's lazily built, persistent evaluation state. Used by the
+    /// consistency learners (same crate) so every checker over this example set shares the
+    /// indexes and sub-twig memos.
+    pub(crate) fn with_eval_state<R>(
+        &self,
+        doc: usize,
+        f: impl FnOnce(&XmlTree, &NodeIndex, &mut EvalCache) -> R,
+    ) -> R {
+        let mut state = self.eval_state.borrow_mut();
+        let doc_ref = &self.docs[doc];
+        let (index, cache) =
+            state[doc].get_or_insert_with(|| (NodeIndex::build(doc_ref), EvalCache::new()));
+        f(doc_ref, index, cache)
+    }
+
     /// Whether a query is consistent with the annotations: selects every positive node and no
     /// negative node.
+    ///
+    /// Each annotated document is evaluated **once** per call through the indexed engine, over
+    /// an index and sub-twig memo that persist across calls — the consistency checkers call
+    /// this for thousands of candidate queries against unchanging documents, so both the
+    /// per-annotation re-evaluation and the per-call index rebuild were dominant costs.
     pub fn consistent_with(&self, query: &TwigQuery) -> bool {
-        self.annotations.iter().all(|a| {
-            let selected = eval::selects(query, &self.docs[a.doc], a.node);
-            selected == a.positive
+        (0..self.docs.len()).all(|doc_ix| {
+            let labels: Vec<(NodeId, bool)> = self
+                .annotations
+                .iter()
+                .filter(|a| a.doc == doc_ix)
+                .map(|a| (a.node, a.positive))
+                .collect();
+            labels.is_empty()
+                || self.with_eval_state(doc_ix, |doc, index, cache| {
+                    eval_indexed::classifies_with(query, doc, index, cache, labels)
+                })
         })
     }
 

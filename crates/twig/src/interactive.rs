@@ -25,21 +25,29 @@
 //! Remaining nodes are informative: a positive label generalises the candidate, a negative label
 //! constrains the final query.
 //!
+//! All candidate evaluations run through the indexed engine ([`crate::eval_indexed`]): the
+//! session shares one immutable [`NodeIndex`] per document — documents and indexes can be
+//! handed in as `Arc`s by a concurrent workload driver (see [`TwigSession::with_shared`]) — and
+//! keeps one [`EvalCache`] per document so structurally repeated sub-twigs across the many
+//! candidate queries of a session are matched once.
+//!
 //! The session stops when every node is labelled or pruned, and reports the learned query, the
 //! number of interactions (the quantity the paper wants to minimise) and the number of labels the
 //! pruning saved.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-use qbe_xml::{NodeId, XmlTree};
+use qbe_xml::{NodeId, NodeIndex, XmlTree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::eval;
-use crate::example::ExampleSet;
-use crate::learn::learn_from_positives;
+use crate::eval_indexed::{self, EvalCache};
+use crate::example::Annotation;
 use crate::query::TwigQuery;
 
 /// The answer source for node-labelling questions.
@@ -49,10 +57,14 @@ pub trait NodeOracle {
 }
 
 /// Oracle answering according to a hidden goal query, counting the questions it receives.
+///
+/// The goal's answer set per document is computed once (lazily) so each question is a set
+/// lookup rather than a fresh evaluation.
 #[derive(Debug, Clone)]
 pub struct GoalNodeOracle<'a> {
     docs: &'a [XmlTree],
     goal: TwigQuery,
+    answers: Vec<Option<BTreeSet<NodeId>>>,
     questions: usize,
 }
 
@@ -62,6 +74,7 @@ impl<'a> GoalNodeOracle<'a> {
         GoalNodeOracle {
             docs,
             goal,
+            answers: vec![None; docs.len()],
             questions: 0,
         }
     }
@@ -80,7 +93,9 @@ impl<'a> GoalNodeOracle<'a> {
 impl NodeOracle for GoalNodeOracle<'_> {
     fn label(&mut self, doc: usize, node: NodeId) -> bool {
         self.questions += 1;
-        eval::selects(&self.goal, &self.docs[doc], node)
+        self.answers[doc]
+            .get_or_insert_with(|| eval::select(&self.goal, &self.docs[doc]))
+            .contains(&node)
     }
 }
 
@@ -146,26 +161,45 @@ impl fmt::Display for TwigSessionOutcome {
 /// An in-progress interactive twig-learning session.
 #[derive(Debug, Clone)]
 pub struct TwigSession {
-    docs: Vec<XmlTree>,
-    examples: ExampleSet,
+    docs: Arc<Vec<XmlTree>>,
+    indexes: Arc<Vec<NodeIndex>>,
+    /// One memo of sub-twig match sets per document, shared by every candidate evaluation of
+    /// this session. Interior mutability keeps the read-only query API (`status`,
+    /// `informative_nodes`, …) taking `&self`.
+    caches: RefCell<Vec<EvalCache>>,
+    annotations: Vec<Annotation>,
     strategy: NodeStrategy,
     seed: u64,
     asked: usize,
 }
 
 impl TwigSession {
-    /// Start a session over the given documents.
+    /// Start a session over the given documents, building one [`NodeIndex`] per document.
     pub fn new(docs: Vec<XmlTree>, strategy: NodeStrategy, seed: u64) -> TwigSession {
-        let mut examples = ExampleSet::new();
-        let mut stored = Vec::with_capacity(docs.len());
-        for doc in docs {
-            let ix = examples.add_document(doc.clone());
-            debug_assert_eq!(ix, stored.len());
-            stored.push(doc);
-        }
+        let indexes: Vec<NodeIndex> = docs.iter().map(NodeIndex::build).collect();
+        TwigSession::with_shared(Arc::new(docs), Arc::new(indexes), strategy, seed)
+    }
+
+    /// Start a session over documents and indexes shared with other sessions (the
+    /// multi-session workload driver hands every session the same two `Arc`s, so N concurrent
+    /// sessions hold one copy of the corpus and its index).
+    pub fn with_shared(
+        docs: Arc<Vec<XmlTree>>,
+        indexes: Arc<Vec<NodeIndex>>,
+        strategy: NodeStrategy,
+        seed: u64,
+    ) -> TwigSession {
+        assert_eq!(
+            docs.len(),
+            indexes.len(),
+            "one index per document is required"
+        );
+        let caches = RefCell::new(vec![EvalCache::new(); docs.len()]);
         TwigSession {
-            docs: stored,
-            examples,
+            docs,
+            indexes,
+            caches,
+            annotations: Vec::new(),
             strategy,
             seed,
             asked: 0,
@@ -177,23 +211,52 @@ impl TwigSession {
         &self.docs
     }
 
-    /// The labels collected so far.
-    pub fn examples(&self) -> &ExampleSet {
-        &self.examples
+    /// The labels collected so far, in the order they were recorded.
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// Indexed evaluation of `query` on document `doc`, through the session's per-document
+    /// memo.
+    fn eval_select(&self, query: &TwigQuery, doc: usize) -> Vec<NodeId> {
+        let mut caches = self.caches.borrow_mut();
+        eval_indexed::select_vec_with(query, &self.docs[doc], &self.indexes[doc], &mut caches[doc])
+    }
+
+    /// Indexed membership test through the session's memo.
+    fn eval_selects(&self, query: &TwigQuery, doc: usize, node: NodeId) -> bool {
+        self.eval_select(query, doc).binary_search(&node).is_ok()
+    }
+
+    fn positives(&self) -> Vec<(usize, NodeId)> {
+        self.annotations
+            .iter()
+            .filter(|a| a.positive)
+            .map(|a| (a.doc, a.node))
+            .collect()
+    }
+
+    /// Run the learner over the session's documents through its prebuilt indexes and
+    /// long-lived sub-twig memos — the learner is invoked once per proposed node, so per-call
+    /// index rebuilding would dominate the whole session.
+    fn learn_shared(&self, examples: &[(usize, NodeId)]) -> Option<TwigQuery> {
+        let mut caches = self.caches.borrow_mut();
+        crate::learn::learn_from_positives_shared(examples, &self.docs, &self.indexes, &mut caches)
+            .ok()
     }
 
     /// The current candidate: the most specific anchored twig consistent with the positives.
     pub fn candidate(&self) -> Option<TwigQuery> {
-        let positives = self.examples.positives();
+        let positives = self.positives();
         if positives.is_empty() {
             return None;
         }
-        learn_from_positives(&positives).ok()
+        self.learn_shared(&positives)
     }
 
     /// Status of one node under the current candidate and labels.
     pub fn status(&self, doc: usize, node: NodeId) -> NodeStatus {
-        for a in self.examples.annotations() {
+        for a in &self.annotations {
             if a.doc == doc && a.node == node {
                 return if a.positive {
                     NodeStatus::LabelledPositive
@@ -203,7 +266,7 @@ impl TwigSession {
             }
         }
         if let Some(candidate) = self.candidate() {
-            if eval::selects(&candidate, &self.docs[doc], node) {
+            if self.eval_selects(&candidate, doc, node) {
                 return NodeStatus::CertainPositive;
             }
         }
@@ -218,20 +281,16 @@ impl TwigSession {
     /// driving a session by hand can apply the same check to skip further questions.
     pub fn informative_nodes(&self) -> Vec<(usize, NodeId)> {
         let candidate = self.candidate();
-        let labelled: BTreeSet<(usize, NodeId)> = self
-            .examples
-            .annotations()
-            .iter()
-            .map(|a| (a.doc, a.node))
-            .collect();
+        let labelled: BTreeSet<(usize, NodeId)> =
+            self.annotations.iter().map(|a| (a.doc, a.node)).collect();
         let mut out = Vec::new();
         for (doc_ix, doc) in self.docs.iter().enumerate() {
-            let certain: BTreeSet<NodeId> = match &candidate {
-                Some(q) => eval::select(q, doc),
-                None => BTreeSet::new(),
+            let certain: Vec<NodeId> = match &candidate {
+                Some(q) => self.eval_select(q, doc_ix),
+                None => Vec::new(),
             };
             for node in doc.node_ids() {
-                if !labelled.contains(&(doc_ix, node)) && !certain.contains(&node) {
+                if !labelled.contains(&(doc_ix, node)) && certain.binary_search(&node).is_err() {
                     out.push((doc_ix, node));
                 }
             }
@@ -241,8 +300,37 @@ impl TwigSession {
 
     /// Record a user-provided label.
     pub fn record(&mut self, doc: usize, node: NodeId, positive: bool) {
-        self.examples.annotate(doc, node, positive);
+        assert!(doc < self.docs.len(), "document index out of range");
+        assert!(
+            node.index() < self.docs[doc].size(),
+            "node id out of range for document"
+        );
+        self.annotations.push(Annotation {
+            doc,
+            node,
+            positive,
+        });
         self.asked += 1;
+    }
+
+    /// Whether `query` classifies every collected label correctly.
+    fn classifies_all(&self, query: &TwigQuery) -> bool {
+        let mut caches = self.caches.borrow_mut();
+        (0..self.docs.len()).all(|doc_ix| {
+            if self.annotations.iter().all(|a| a.doc != doc_ix) {
+                return true;
+            }
+            eval_indexed::classifies_with(
+                query,
+                &self.docs[doc_ix],
+                &self.indexes[doc_ix],
+                &mut caches[doc_ix],
+                self.annotations
+                    .iter()
+                    .filter(|a| a.doc == doc_ix)
+                    .map(|a| (a.node, a.positive)),
+            )
+        })
     }
 
     /// Whether the labels collected so far admit a consistent anchored twig (the candidate from
@@ -250,7 +338,7 @@ impl TwigSession {
     pub fn is_consistent(&self) -> bool {
         match self.candidate() {
             None => true,
-            Some(q) => self.examples.consistent_with(&q),
+            Some(q) => self.classifies_all(&q),
         }
     }
 
@@ -276,13 +364,12 @@ impl TwigSession {
     /// label exist: with no positives there is nothing to generalise against, and with no
     /// negatives nothing can contradict.
     pub fn is_determined_negative(&self, doc: usize, node: NodeId) -> bool {
-        let positives = self.examples.positives();
+        let positives = self.positives();
         if positives.is_empty() {
             return false;
         }
         let negatives: Vec<(usize, NodeId)> = self
-            .examples
-            .annotations()
+            .annotations
             .iter()
             .filter(|a| !a.positive)
             .map(|a| (a.doc, a.node))
@@ -291,23 +378,26 @@ impl TwigSession {
             return false;
         }
         let mut extended = positives;
-        extended.push((&self.docs[doc], node));
+        extended.push((doc, node));
         // `extended` is never empty, and NoExamples is the learners' only error, so failures
         // here must surface rather than silently prune the node.
-        let spine_only = crate::learn::learn_path_from_positives(&extended)
+        let example_refs: Vec<(&XmlTree, NodeId)> =
+            extended.iter().map(|&(d, n)| (&self.docs[d], n)).collect();
+        let spine_only = crate::learn::learn_path_from_positives(&example_refs)
             .expect("learning from a non-empty example set cannot fail");
         if !negatives
             .iter()
-            .any(|&(d, m)| eval::selects(&spine_only, &self.docs[d], m))
+            .any(|&(d, m)| self.eval_selects(&spine_only, d, m))
         {
             // Even the loosest consistent generalisation misses every negative: informative.
             return false;
         }
-        let most_specific = learn_from_positives(&extended)
+        let most_specific = self
+            .learn_shared(&extended)
             .expect("learning from a non-empty example set cannot fail");
         negatives
             .iter()
-            .any(|&(d, m)| eval::selects(&most_specific, &self.docs[d], m))
+            .any(|&(d, m)| self.eval_selects(&most_specific, d, m))
     }
 
     fn pick_next(&self, informative: &[(usize, NodeId)]) -> Option<(usize, NodeId)> {
@@ -324,12 +414,11 @@ impl TwigSession {
             }
             NodeStrategy::ShallowFirst => informative
                 .iter()
-                .min_by_key(|(doc, node)| self.docs[*doc].depth(*node))
+                .min_by_key(|(doc, node)| self.indexes[*doc].depth(*node))
                 .copied(),
             NodeStrategy::LabelAffinity => {
                 let positive_labels: BTreeSet<&str> = self
-                    .examples
-                    .annotations()
+                    .annotations
                     .iter()
                     .filter(|a| a.positive)
                     .map(|a| self.docs[a.doc].label(a.node))
@@ -340,7 +429,7 @@ impl TwigSession {
                         let label = self.docs[*doc].label(*node);
                         (
                             positive_labels.contains(label),
-                            std::cmp::Reverse(self.docs[*doc].depth(*node)),
+                            std::cmp::Reverse(self.indexes[*doc].depth(*node)),
                         )
                     })
                     .copied()
@@ -362,18 +451,13 @@ impl TwigSession {
         let mut known_positives = 0usize;
         let mut consistent = true;
         loop {
-            let positives_now = self
-                .examples
-                .annotations()
-                .iter()
-                .filter(|a| a.positive)
-                .count();
+            let positives_now = self.annotations.iter().filter(|a| a.positive).count();
             if positives_now != known_positives {
                 known_positives = positives_now;
                 certain.clear();
                 if let Some(q) = self.candidate() {
-                    for (doc_ix, doc) in self.docs.iter().enumerate() {
-                        for node in eval::select(&q, doc) {
+                    for doc_ix in 0..self.docs.len() {
+                        for node in self.eval_select(&q, doc_ix) {
                             certain.insert((doc_ix, node));
                         }
                     }
@@ -381,8 +465,7 @@ impl TwigSession {
                 // A generalised candidate may have swallowed an earlier negative: the labels
                 // no longer admit a consistent anchored twig, matching `is_consistent`.
                 if self
-                    .examples
-                    .annotations()
+                    .annotations
                     .iter()
                     .any(|a| !a.positive && certain.contains(&(a.doc, a.node)))
                 {
@@ -391,12 +474,8 @@ impl TwigSession {
                 }
             }
 
-            let labelled: BTreeSet<(usize, NodeId)> = self
-                .examples
-                .annotations()
-                .iter()
-                .map(|a| (a.doc, a.node))
-                .collect();
+            let labelled: BTreeSet<(usize, NodeId)> =
+                self.annotations.iter().map(|a| (a.doc, a.node)).collect();
             let mut informative: Vec<(usize, NodeId)> = Vec::new();
             for (doc_ix, doc) in self.docs.iter().enumerate() {
                 for node in doc.node_ids() {
@@ -572,5 +651,30 @@ mod tests {
             outcome.interactions,
             exhaustive
         );
+    }
+
+    #[test]
+    fn shared_documents_and_indexes_are_not_recopied() {
+        let docs = Arc::new(vec![auction_doc()]);
+        let indexes = Arc::new(docs.iter().map(NodeIndex::build).collect::<Vec<_>>());
+        let s1 = TwigSession::with_shared(
+            docs.clone(),
+            indexes.clone(),
+            NodeStrategy::LabelAffinity,
+            1,
+        );
+        let s2 = TwigSession::with_shared(
+            docs.clone(),
+            indexes.clone(),
+            NodeStrategy::DocumentOrder,
+            2,
+        );
+        // Three owners: the two sessions and the local handle.
+        assert_eq!(Arc::strong_count(&docs), 3);
+        let mut oracle = GoalNodeOracle::new(&docs, goal());
+        let o1 = s1.run(&mut oracle);
+        let o2 = s2.run(&mut oracle);
+        assert!(o1.consistent && o2.consistent);
+        assert!(o1.query.is_some() && o2.query.is_some());
     }
 }

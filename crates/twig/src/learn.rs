@@ -14,9 +14,9 @@
 //! paper describes ("the queries contain many conditions that follow from the schema of the
 //! documents"); the schema-aware pruning of [`crate::schema_aware`] removes them again.
 
-use crate::eval;
+use crate::eval_indexed::{self, EvalCache};
 use crate::query::{Axis, NodeTest, QNodeId, TwigQuery};
-use qbe_xml::{NodeId, XmlTree};
+use qbe_xml::{NodeId, NodeIndex, XmlTree};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -57,7 +57,61 @@ pub fn learn_path_from_positives(
 }
 
 /// Learn the most specific **twig query** (spine + filters) selecting every positive example.
+///
+/// Filter harvesting evaluates dozens of near-identical candidate queries against the same
+/// documents, so each distinct document is indexed once for the duration of the call. Callers
+/// that invoke the learner repeatedly over the *same* documents (the interactive session does,
+/// once per proposed node) should use [`learn_from_positives_shared`] with prebuilt indexes
+/// and long-lived memos instead.
 pub fn learn_from_positives(examples: &[(&XmlTree, NodeId)]) -> Result<TwigQuery, TwigLearnError> {
+    let mut indexed = IndexedExamples::new(examples);
+    learn_with_evaluator(examples, &mut |q| indexed.selects_all(q))
+}
+
+/// [`learn_from_positives`] over caller-owned per-document state: `examples` name documents by
+/// slot into the parallel `docs`/`indexes`/`caches` slices, so nothing is indexed per call and
+/// the sub-twig memos accumulate across the caller's whole lifetime.
+pub fn learn_from_positives_shared(
+    examples: &[(usize, NodeId)],
+    docs: &[XmlTree],
+    indexes: &[NodeIndex],
+    caches: &mut [EvalCache],
+) -> Result<TwigQuery, TwigLearnError> {
+    assert_eq!(docs.len(), indexes.len());
+    assert_eq!(docs.len(), caches.len());
+    let refs: Vec<(&XmlTree, NodeId)> = examples
+        .iter()
+        .map(|&(slot, node)| (&docs[slot], node))
+        .collect();
+    let mut by_slot: Vec<Vec<NodeId>> = vec![Vec::new(); docs.len()];
+    for &(slot, node) in examples {
+        by_slot[slot].push(node);
+    }
+    for targets in &mut by_slot {
+        targets.sort_unstable();
+        targets.dedup();
+    }
+    learn_with_evaluator(&refs, &mut |q| {
+        by_slot.iter().enumerate().all(|(slot, targets)| {
+            targets.is_empty() || {
+                let selected = eval_indexed::select_vec_with(
+                    q,
+                    &docs[slot],
+                    &indexes[slot],
+                    &mut caches[slot],
+                );
+                targets.iter().all(|n| selected.binary_search(n).is_ok())
+            }
+        })
+    })
+}
+
+/// Shared body of the twig learners: generalise the spine, then harvest filters, testing each
+/// candidate with `selects_all_positives`.
+fn learn_with_evaluator(
+    examples: &[(&XmlTree, NodeId)],
+    selects_all_positives: &mut dyn FnMut(&TwigQuery) -> bool,
+) -> Result<TwigQuery, TwigLearnError> {
     let spine = generalise_spines(examples)?;
     let mut query = spine_to_query(&spine);
     let (first_doc, first_node) = examples[0];
@@ -98,7 +152,13 @@ pub fn learn_from_positives(examples: &[(&XmlTree, NodeId)]) -> Result<TwigQuery
             if Some(label) == path_child_label.as_ref() {
                 continue;
             }
-            try_add_filter(&mut query, spine_query_node, Axis::Child, label, examples);
+            try_add_filter(
+                &mut query,
+                spine_query_node,
+                Axis::Child,
+                label,
+                selects_all_positives,
+            );
         }
         for label in grandchild_labels {
             if child_labels.contains(&label) || Some(&label) == path_child_label.as_ref() {
@@ -109,11 +169,73 @@ pub fn learn_from_positives(examples: &[(&XmlTree, NodeId)]) -> Result<TwigQuery
                 spine_query_node,
                 Axis::Descendant,
                 &label,
-                examples,
+                selects_all_positives,
             );
         }
     }
     Ok(query)
+}
+
+/// The positive examples regrouped per distinct document, each with its [`NodeIndex`] and
+/// sub-twig memo, so every candidate query of the filter-harvesting loop is evaluated once per
+/// document (not once per example) through the indexed engine.
+struct IndexedExamples<'a> {
+    docs: Vec<&'a XmlTree>,
+    indexes: Vec<NodeIndex>,
+    caches: Vec<EvalCache>,
+    /// Annotated nodes per distinct document, sorted.
+    targets: Vec<Vec<NodeId>>,
+}
+
+impl<'a> IndexedExamples<'a> {
+    fn new(examples: &[(&'a XmlTree, NodeId)]) -> IndexedExamples<'a> {
+        let mut docs: Vec<&XmlTree> = Vec::new();
+        let mut targets: Vec<Vec<NodeId>> = Vec::new();
+        for &(doc, node) in examples {
+            // Examples overwhelmingly share a handful of documents; pointer identity dedupes
+            // them without hashing tree contents.
+            let slot = match docs.iter().position(|d| std::ptr::eq(*d, doc)) {
+                Some(slot) => slot,
+                None => {
+                    docs.push(doc);
+                    targets.push(Vec::new());
+                    docs.len() - 1
+                }
+            };
+            targets[slot].push(node);
+        }
+        for t in &mut targets {
+            t.sort_unstable();
+            t.dedup();
+        }
+        let indexes = docs.iter().map(|d| NodeIndex::build(d)).collect();
+        let caches = vec![EvalCache::new(); docs.len()];
+        IndexedExamples {
+            docs,
+            indexes,
+            caches,
+            targets,
+        }
+    }
+
+    /// Whether `query` selects every annotated node of every document.
+    fn selects_all(&mut self, query: &TwigQuery) -> bool {
+        for slot in 0..self.docs.len() {
+            let selected = eval_indexed::select_vec_with(
+                query,
+                self.docs[slot],
+                &self.indexes[slot],
+                &mut self.caches[slot],
+            );
+            if !self.targets[slot]
+                .iter()
+                .all(|n| selected.binary_search(n).is_ok())
+            {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// Tentatively add the filter `[axis label]` under `node`; keep it only if the query still
@@ -123,14 +245,11 @@ fn try_add_filter(
     node: QNodeId,
     axis: Axis,
     label: &str,
-    examples: &[(&XmlTree, NodeId)],
+    selects_all_positives: &mut dyn FnMut(&TwigQuery) -> bool,
 ) {
     let mut candidate = query.clone();
     candidate.add_node(node, axis, NodeTest::label(label));
-    let ok = examples
-        .iter()
-        .all(|(doc, target)| eval::selects(&candidate, doc, *target));
-    if ok {
+    if selects_all_positives(&candidate) {
         *query = candidate;
     }
 }
@@ -278,6 +397,7 @@ fn spine_to_query(spine: &[SpineStep]) -> TwigQuery {
 mod tests {
     use super::*;
     use crate::containment::equivalent_on;
+    use crate::eval;
     use crate::xpath::parse_xpath;
     use qbe_xml::TreeBuilder;
 
@@ -406,7 +526,7 @@ mod tests {
         let selected: Vec<NodeId> = eval::select(&goal, &doc).into_iter().collect();
         let examples: Vec<(&XmlTree, NodeId)> = selected.iter().map(|&n| (&doc, n)).collect();
         let learned = learn_from_positives(&examples[..2.min(examples.len())]).unwrap();
-        assert!(equivalent_on(&learned, &goal, &[doc.clone()]));
+        assert!(equivalent_on(&learned, &goal, std::slice::from_ref(&doc)));
     }
 
     #[test]

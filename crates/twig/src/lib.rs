@@ -7,6 +7,9 @@
 //!   anchoring) and XPath serialisation;
 //! * [`xpath`] — parser for the corresponding XPath fragment;
 //! * [`eval`] — embedding-based evaluation (polynomial);
+//! * [`eval_indexed`] — the production evaluator: postings intersection against a prebuilt
+//!   [`qbe_xml::NodeIndex`] with memoised sub-twig matches, differentially tested against
+//!   [`eval`];
 //! * [`containment`] — homomorphism-based containment/equivalence;
 //! * [`example`] — annotated-document examples;
 //! * [`learn`] — the positive-example learner (most specific anchored twig);
@@ -24,6 +27,7 @@
 pub mod consistency;
 pub mod containment;
 pub mod eval;
+pub mod eval_indexed;
 pub mod example;
 pub mod interactive;
 pub mod learn;
@@ -36,12 +40,15 @@ pub mod xpathmark;
 pub use consistency::{learn_union, most_specific_consistent, Consistency, UnionQuery};
 pub use containment::{contained_in, equivalent, equivalent_on};
 pub use eval::{count, matches, select, selects};
+pub use eval_indexed::{EvalCache, Evaluator};
 pub use example::{Annotation, ExampleSet};
 pub use interactive::{
     interactive_twig_learn, GoalNodeOracle, NodeOracle, NodeStatus, NodeStrategy, TwigSession,
     TwigSessionOutcome,
 };
-pub use learn::{learn_from_positives, learn_path_from_positives, TwigLearnError};
+pub use learn::{
+    learn_from_positives, learn_from_positives_shared, learn_path_from_positives, TwigLearnError,
+};
 pub use pac::{pac_learn, pac_sample_size, PacOutcome, QueryQuality};
 pub use query::{Axis, NodeTest, QNodeId, TwigQuery};
 pub use schema_aware::{learn_with_schema, prune_implied_filters, query_satisfiable, PruneReport};

@@ -101,6 +101,9 @@ impl QueryQuality {
 }
 
 /// Measure a query against a labelled sample of `(document index, node, label)` triples.
+///
+/// The query is evaluated once per referenced document through the indexed engine; each sample
+/// item is then a set-membership test.
 pub fn evaluate_quality(
     query: &TwigQuery,
     docs: &[XmlTree],
@@ -115,7 +118,10 @@ pub fn evaluate_quality(
     };
     for &(doc_ix, node, positive) in sample {
         let selected = selected_cache[doc_ix]
-            .get_or_insert_with(|| eval::select(query, &docs[doc_ix]))
+            .get_or_insert_with(|| {
+                let index = qbe_xml::NodeIndex::build(&docs[doc_ix]);
+                crate::eval_indexed::select(query, &docs[doc_ix], &index)
+            })
             .contains(&node);
         match (positive, selected) {
             (true, true) => q.true_positives += 1,
@@ -220,17 +226,23 @@ pub fn pac_learn(
         )));
     }
 
-    // Pick the candidate with the lowest empirical (training) error.
+    // Pick the candidate with the lowest empirical (training) error. Documents never change
+    // across candidates, so each is indexed once here and every hypothesis is measured
+    // through the same per-document state (hypotheses share filter structure, so even the
+    // sub-twig memos carry over between candidates).
+    let indexes: Vec<qbe_xml::NodeIndex> = docs.iter().map(qbe_xml::NodeIndex::build).collect();
+    let mut caches: Vec<crate::eval_indexed::EvalCache> =
+        vec![crate::eval_indexed::EvalCache::new(); docs.len()];
     let best = candidates
         .into_iter()
         .map(|c| {
-            let quality = quality_of(&c, docs, train);
+            let quality = quality_of(&c, docs, &indexes, &mut caches, train);
             (quality.error(), c, quality)
         })
         .min_by(|a, b| a.0.partial_cmp(&b.0).expect("error rates are finite"))
         .expect("at least one candidate");
 
-    let evaluation = quality_of(&best.1, docs, eval_sample);
+    let evaluation = quality_of(&best.1, docs, &indexes, &mut caches, eval_sample);
     PacOutcome {
         hypothesis: best.1,
         training: best.2,
@@ -239,32 +251,46 @@ pub fn pac_learn(
     }
 }
 
+/// One indexed evaluation per referenced document (through the caller's persistent state),
+/// then a set lookup per sample item.
 fn quality_of(
     h: &PacHypothesis,
     docs: &[XmlTree],
+    indexes: &[qbe_xml::NodeIndex],
+    caches: &mut [crate::eval_indexed::EvalCache],
     sample: &[(usize, NodeId, bool)],
 ) -> QueryQuality {
-    match h {
-        PacHypothesis::Twig(q) => evaluate_quality(q, docs, sample),
-        PacHypothesis::Union(u) => {
-            let mut quality = QueryQuality {
-                true_positives: 0,
-                false_positives: 0,
-                false_negatives: 0,
-                true_negatives: 0,
-            };
-            for &(doc_ix, node, positive) in sample {
-                let selected = u.selects(&docs[doc_ix], node);
-                match (positive, selected) {
-                    (true, true) => quality.true_positives += 1,
-                    (true, false) => quality.false_negatives += 1,
-                    (false, true) => quality.false_positives += 1,
-                    (false, false) => quality.true_negatives += 1,
+    let mut selected_cache: Vec<Option<BTreeSet<NodeId>>> = vec![None; docs.len()];
+    let mut quality = QueryQuality {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+        true_negatives: 0,
+    };
+    for &(doc_ix, node, positive) in sample {
+        let selected = selected_cache[doc_ix]
+            .get_or_insert_with(|| match h {
+                PacHypothesis::Twig(q) => crate::eval_indexed::select_vec_with(
+                    q,
+                    &docs[doc_ix],
+                    &indexes[doc_ix],
+                    &mut caches[doc_ix],
+                )
+                .into_iter()
+                .collect(),
+                PacHypothesis::Union(u) => {
+                    u.select_with(&docs[doc_ix], &indexes[doc_ix], &mut caches[doc_ix])
                 }
-            }
-            quality
+            })
+            .contains(&node);
+        match (positive, selected) {
+            (true, true) => quality.true_positives += 1,
+            (true, false) => quality.false_negatives += 1,
+            (false, true) => quality.false_positives += 1,
+            (false, false) => quality.true_negatives += 1,
         }
     }
+    quality
 }
 
 #[cfg(test)]

@@ -231,7 +231,7 @@ impl TwigQuery {
     pub fn filter_roots(&self) -> Vec<QNodeId> {
         let spine: BTreeSet<QNodeId> = self.spine().into_iter().collect();
         self.node_ids()
-            .filter(|n| !spine.contains(n) && self.parent(*n).map_or(false, |p| spine.contains(&p)))
+            .filter(|n| !spine.contains(n) && self.parent(*n).is_some_and(|p| spine.contains(&p)))
             .collect()
     }
 

@@ -1,0 +1,121 @@
+//! Differential property suite: the indexed twig evaluator must be extensionally equal to the
+//! naive embedding-table evaluator on random documents and random queries.
+//!
+//! This is the safety net under the indexed-engine rewrite: every learner, checker and session
+//! now evaluates through `eval_indexed`, so any divergence from `eval` (the executable
+//! specification) would silently change learner behaviour. Each property samples ≥256 random
+//! `(document, query)` cases.
+
+use proptest::prelude::*;
+use qbe_twig::query::{Axis, NodeTest, TwigQuery};
+use qbe_twig::{eval, eval_indexed};
+use qbe_xml::random::{RandomTreeConfig, RandomTreeGenerator};
+use qbe_xml::{NodeIndex, XmlTree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn random_tree(seed: u64) -> XmlTree {
+    let cfg = RandomTreeConfig {
+        alphabet: ('a'..='e').map(|c| c.to_string()).collect(),
+        max_depth: 5,
+        max_children: 4,
+        ..Default::default()
+    };
+    RandomTreeGenerator::new(cfg, seed).generate()
+}
+
+/// A random twig query over the tree's alphabet (plus a label the tree never carries and the
+/// wildcard): random shape, random axes, random selected node.
+fn random_query(seed: u64, doc: &XmlTree) -> TwigQuery {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    let mut labels = doc.alphabet();
+    labels.push("zz_absent".to_string());
+    let random_test = |rng: &mut StdRng| {
+        if rng.gen_bool(0.2) {
+            NodeTest::Wildcard
+        } else {
+            NodeTest::label(labels.choose(rng).expect("non-empty alphabet"))
+        }
+    };
+    let random_axis = |rng: &mut StdRng| {
+        if rng.gen_bool(0.5) {
+            Axis::Child
+        } else {
+            Axis::Descendant
+        }
+    };
+    let axis = random_axis(&mut rng);
+    let test = random_test(&mut rng);
+    let mut q = TwigQuery::new(axis, test);
+    let size = rng.gen_range(1usize..6);
+    let mut ids = vec![q.selected()];
+    for _ in 1..size {
+        let parent = *ids.choose(&mut rng).expect("non-empty");
+        let axis = random_axis(&mut rng);
+        let test = random_test(&mut rng);
+        ids.push(q.add_node(parent, axis, test));
+    }
+    let selected = *ids.choose(&mut rng).expect("non-empty");
+    q.set_selected(selected);
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `eval_indexed::select` ≡ `eval::select` on random documents and queries.
+    #[test]
+    fn indexed_select_equals_naive_select(seed in 0u64..1_000_000) {
+        let doc = random_tree(seed);
+        let query = random_query(seed, &doc);
+        let index = NodeIndex::build(&doc);
+        let naive = eval::select(&query, &doc);
+        let indexed = eval_indexed::select(&query, &doc, &index);
+        prop_assert_eq!(
+            &indexed, &naive,
+            "query {} on a {}-node document", query.to_xpath(), doc.size()
+        );
+    }
+
+    /// `count` agrees with `select().len()` for both evaluators.
+    #[test]
+    fn count_equals_select_len(seed in 0u64..1_000_000) {
+        let doc = random_tree(seed);
+        let query = random_query(seed.wrapping_mul(31), &doc);
+        let index = NodeIndex::build(&doc);
+        let selected = eval::select(&query, &doc);
+        prop_assert_eq!(eval::count(&query, &doc), selected.len());
+        prop_assert_eq!(eval_indexed::count(&query, &doc, &index), selected.len());
+    }
+
+    /// Per-node membership agrees between the evaluators (exercises `selects` independently of
+    /// whole-set equality).
+    #[test]
+    fn indexed_selects_equals_naive_selects(seed in 0u64..1_000_000) {
+        let doc = random_tree(seed);
+        let query = random_query(seed.wrapping_mul(17), &doc);
+        let index = NodeIndex::build(&doc);
+        let mut evaluator = eval_indexed::Evaluator::new(&doc, &index);
+        for node in doc.node_ids() {
+            prop_assert_eq!(
+                evaluator.selects(&query, node),
+                eval::selects(&query, &doc, node),
+                "query {} node {}", query.to_xpath(), node
+            );
+        }
+    }
+
+    /// A shared evaluator (warm memo) returns the same answers as a cold one: the cross-query
+    /// cache never leaks state between structurally different queries.
+    #[test]
+    fn warm_cache_is_transparent(seed in 0u64..1_000_000) {
+        let doc = random_tree(seed);
+        let index = NodeIndex::build(&doc);
+        let mut warm = eval_indexed::Evaluator::new(&doc, &index);
+        for k in 0..4u64 {
+            let query = random_query(seed.wrapping_add(k), &doc);
+            prop_assert_eq!(warm.select(&query), eval::select(&query, &doc), "{}", query.to_xpath());
+        }
+    }
+}

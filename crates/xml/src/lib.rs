@@ -9,6 +9,9 @@
 //!   [`serialize`]);
 //! * [`dtd`] — DTD-lite content models (regular expressions over child labels), the classical
 //!   schema formalism the paper's disjunctive multiplicity schemas are compared against;
+//! * [`NodeIndex`] — a read-only structural index (label postings, preorder intervals, depth
+//!   and parent arrays) built once per tree and shared by the indexed query evaluators
+//!   ([`index`]);
 //! * [`xmark`] — an XMark-like auction-site document generator and its DTD, the substrate of the
 //!   paper's twig-learning experiments;
 //! * [`random`] — seeded random tree generation for property tests and benchmarks;
@@ -22,12 +25,14 @@
 
 pub mod corpus;
 pub mod dtd;
+pub mod index;
 pub mod parse;
 pub mod random;
 pub mod serialize;
 pub mod tree;
 pub mod xmark;
 
+pub use index::NodeIndex;
 pub use parse::{parse_xml, ParseError};
 pub use serialize::{to_pretty_xml_string, to_xml_string};
 pub use tree::{NodeId, TreeBuilder, XmlTree};

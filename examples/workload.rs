@@ -1,0 +1,80 @@
+//! Serving many users at once: a pool of interactive learning sessions over one shared index.
+//!
+//! Each simulated user wants a different XPath query learned from their labels over the same
+//! auction document. The document and its `NodeIndex` are built once and shared (`Arc`) by all
+//! sessions; `SessionPool` runs the sessions on worker threads, cheapest expected session
+//! first, and reports aggregate throughput and question percentiles.
+//!
+//! Run with `cargo run -p qbe-core --example workload`.
+
+use qbe_core::twig::{interactive::GoalNodeOracle, parse_xpath, NodeStrategy, TwigSession};
+use qbe_core::workload::{SessionJob, SessionPool, SessionReport};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::NodeIndex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // One corpus, one index — every session shares both.
+    let docs = Arc::new(vec![generate(&XmarkConfig::new(0.01, 42))]);
+    let indexes = Arc::new(docs.iter().map(NodeIndex::build).collect::<Vec<_>>());
+    println!(
+        "corpus: 1 XMark document, {} nodes, indexed once\n",
+        docs[0].size()
+    );
+
+    // Four users with four different goals in mind.
+    let goals = [
+        "//person/name",
+        "//open_auction",
+        "//item/name",
+        "//closed_auction",
+    ];
+    let mut pool = SessionPool::new();
+    for (user, goal) in goals.into_iter().enumerate() {
+        let docs = docs.clone();
+        let indexes = indexes.clone();
+        let goal_query = parse_xpath(goal).expect("goal parses");
+        let label = format!("user{user}: {goal}");
+        let job_label = label.clone();
+        // The expected-questions estimate orders the queue; rough is fine.
+        pool.push(SessionJob::new(label, 10 + 10 * user, move || {
+            let mut oracle = GoalNodeOracle::new(&docs, goal_query.clone());
+            let session = TwigSession::with_shared(
+                docs.clone(),
+                indexes.clone(),
+                NodeStrategy::LabelAffinity,
+                user as u64,
+            );
+            let outcome = session.run(&mut oracle);
+            SessionReport {
+                label: job_label,
+                questions: outcome.interactions,
+                inferred: outcome.pruned,
+                success: outcome.consistent && outcome.query.is_some(),
+                wall: Duration::ZERO, // the pool fills in the measured wall time
+            }
+        }));
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let metrics = pool.run(workers);
+
+    for report in &metrics.reports {
+        println!(
+            "{:<28} {:>3} questions, {:>3} labels inferred, {}",
+            report.label,
+            report.questions,
+            report.inferred,
+            if report.success { "learned" } else { "FAILED" }
+        );
+    }
+    println!("\n{metrics}");
+    assert_eq!(
+        metrics.successes(),
+        goals.len(),
+        "every user must be served"
+    );
+}

@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "trip_planner",
     "cross_model_exchange",
     "query_reverse_engineering",
+    "workload",
 ];
 
 #[test]

@@ -130,7 +130,7 @@ fn graph_patterns_evaluate_and_classify_well_designedness() {
     let solutions = evaluate_pattern(&graph, &bgp);
     // Every solution's endpoints are connected by two road edges — cross-check on the graph.
     for m in &solutions {
-        let x = select_nodes(&[m.clone()], "x");
+        let x = select_nodes(std::slice::from_ref(m), "x");
         assert_eq!(x.len(), 1);
     }
     assert!(is_well_designed(&bgp));

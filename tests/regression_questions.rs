@@ -1,0 +1,125 @@
+//! Regression pins: exact oracle question counts for the interactive learners on fixed seeds.
+//!
+//! The indexed-evaluation rewrite must not change *what* the learners do, only how fast they do
+//! it — and future evaluator or session rewrites must uphold the same invariant. These tests pin
+//! the number of questions each learner asks on fixed scenarios (XMark documents for twig,
+//! generated join/chain instances for relational, the geographical graph for paths), so any
+//! rewrite that silently alters learner behaviour fails loudly here with the old and new counts.
+//!
+//! If a deliberate strategy change moves these numbers, update the pins in the same commit and
+//! say why in its message.
+
+use qbe_core::graph::interactive::{interactive_path_learn, PathConstraint, PathStrategy};
+use qbe_core::graph::{generate_geo_graph, GeoConfig};
+use qbe_core::relational::chain::{
+    generate_chain_instance, interactive_chain_learn, ChainInstanceConfig,
+};
+use qbe_core::relational::{
+    generate_join_instance, interactive_learn, JoinInstanceConfig, Strategy,
+};
+use qbe_core::twig::{interactive_twig_learn, parse_xpath, NodeStrategy};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::XmlTree;
+
+fn xmark() -> XmlTree {
+    generate(&XmarkConfig::new(0.01, 3))
+}
+
+#[test]
+fn xmark_document_shape_is_stable() {
+    // All twig pins below assume this exact document.
+    assert_eq!(xmark().size(), 266);
+}
+
+#[test]
+fn twig_session_question_counts_are_pinned() {
+    let doc = xmark();
+    let cases: [(&str, NodeStrategy, u64, usize); 4] = [
+        ("//person/name", NodeStrategy::LabelAffinity, 7, 51),
+        ("//person/name", NodeStrategy::DocumentOrder, 7, 187),
+        ("//item/name", NodeStrategy::LabelAffinity, 7, 115),
+        ("//open_auction", NodeStrategy::ShallowFirst, 7, 19),
+    ];
+    for (goal, strategy, seed, expected) in cases {
+        let outcome = interactive_twig_learn(
+            std::slice::from_ref(&doc),
+            &parse_xpath(goal).unwrap(),
+            strategy,
+            seed,
+        );
+        assert!(outcome.consistent, "{goal} {strategy:?}");
+        assert!(outcome.query.is_some(), "{goal} {strategy:?}");
+        assert_eq!(
+            outcome.interactions, expected,
+            "{goal} with {strategy:?} (seed {seed}) changed its question count"
+        );
+        assert_eq!(outcome.interactions + outcome.pruned, outcome.total_nodes);
+    }
+}
+
+#[test]
+fn join_session_question_counts_are_pinned() {
+    let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: 20,
+        right_rows: 20,
+        extra_attributes: 2,
+        domain_size: 6,
+        seed: 1,
+    });
+    let cases: [(Strategy, usize); 3] = [
+        (Strategy::Random, 6),
+        (Strategy::MostSpecificFirst, 4),
+        (Strategy::HalveLattice, 5),
+    ];
+    for (strategy, expected) in cases {
+        let outcome = interactive_learn(&left, &right, &goal, strategy, 1);
+        assert!(outcome.consistent, "{strategy:?}");
+        assert_eq!(
+            outcome.interactions, expected,
+            "join learning with {strategy:?} changed its question count"
+        );
+        assert_eq!(outcome.interactions + outcome.inferred, 400);
+    }
+}
+
+#[test]
+fn chain_session_question_counts_are_pinned() {
+    let (relations, goal) = generate_chain_instance(&ChainInstanceConfig::default());
+    let outcome = interactive_chain_learn(&relations, &goal, Strategy::HalveLattice, 5);
+    assert_eq!(
+        outcome.interactions, 7,
+        "chain learning changed its question count"
+    );
+    assert_eq!(outcome.inferred, 1793);
+}
+
+#[test]
+fn path_session_question_counts_are_pinned() {
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 12,
+        connectivity: 3,
+        ..Default::default()
+    });
+    let from = graph.find_node_by_property("name", "city0").unwrap();
+    let to = graph.find_node_by_property("name", "city6").unwrap();
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let cases: [(PathStrategy, usize); 2] = [
+        (PathStrategy::ShortestFirst, 13),
+        (PathStrategy::Halving, 16),
+    ];
+    for (strategy, expected) in cases {
+        let outcome = interactive_path_learn(&graph, from, to, &goal, strategy, vec![], 5);
+        assert_eq!(
+            outcome.interactions, expected,
+            "path learning with {strategy:?} changed its question count"
+        );
+        // The learned constraint still classifies every candidate like the goal.
+        for p in &outcome.candidates {
+            assert_eq!(outcome.learned.accepts(&graph, p), goal.accepts(&graph, p));
+        }
+    }
+}
