@@ -1,0 +1,65 @@
+//! Criterion benchmark for the serving layer: full learning sessions over loopback TCP.
+//!
+//! One `qbe-server` instance serves the whole benchmark; each iteration drives complete twig
+//! sessions through the wire protocol (connect, CORPUS, START, ASK/ANSWER to convergence,
+//! QUERY, EVAL, QUIT) with 1 client and with N concurrent clients. The 1-vs-N ratio shows how
+//! much of the thread-per-connection service's capacity concurrent users actually get — the
+//! serving-layer analogue of the `workload` bench's in-process scaling measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbe_server::client::{drive_goal_session, Goal};
+use qbe_server::server::{spawn, ServerConfig};
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let handle = spawn(ServerConfig::default()).expect("bind 127.0.0.1:0");
+    let addr = handle.addr();
+    // Warm the corpus cache so the first measured session does not pay the build.
+    drive_goal_session(addr, "tiny", &Goal::Twig("//person/name".to_string()), &[])
+        .expect("warm-up session");
+
+    // At least 2 so the concurrent arm is a real multiplexing measurement even on one core
+    // (the server is thread-per-connection; sessions interleave regardless of core count).
+    let parallel = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+        .max(2);
+    let mut group = c.benchmark_group("server/throughput");
+    group.sample_size(10);
+    for clients in [1usize, parallel] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("clients={clients}")),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    // Every client runs the same goal (distinct seeds/sessions), so the 1-vs-N
+                    // ratio isolates serving-layer multiplexing from per-goal learning cost.
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..clients)
+                            .map(|ix| {
+                                let seed = ix.to_string();
+                                scope.spawn(move || {
+                                    drive_goal_session(
+                                        addr,
+                                        "tiny",
+                                        &Goal::Twig("//person/name".to_string()),
+                                        &[("seed", &seed)],
+                                    )
+                                    .expect("session completes")
+                                })
+                            })
+                            .collect();
+                        let outcomes: Vec<_> =
+                            handles.into_iter().map(|h| h.join().unwrap()).collect();
+                        assert!(outcomes.iter().all(|o| o.consistent));
+                        outcomes
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -4,39 +4,26 @@
 //! buys on the machine at hand.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qbe_core::twig::{interactive::GoalNodeOracle, parse_xpath, NodeStrategy, TwigSession};
-use qbe_core::workload::{SessionJob, SessionPool, SessionReport};
+use qbe_core::twig::{parse_xpath, NodeStrategy};
+use qbe_core::workload::SessionPool;
 use qbe_core::xml::xmark::{generate, XmarkConfig};
 use qbe_core::xml::{NodeIndex, XmlTree};
+use qbe_core::TwigInteractive;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn build_pool(docs: &Arc<Vec<XmlTree>>, indexes: &Arc<Vec<NodeIndex>>) -> SessionPool {
     let mut pool = SessionPool::new();
     for seed in 0u64..4 {
         for goal in ["//person/name", "//open_auction"] {
-            let label = format!("{goal}#{seed}");
             let goal_query = parse_xpath(goal).expect("goal parses");
             let docs = docs.clone();
             let indexes = indexes.clone();
-            let job_label = label.clone();
-            pool.push(SessionJob::new(label, 16, move || {
-                let mut oracle = GoalNodeOracle::new(&docs, goal_query.clone());
-                let session = TwigSession::with_shared(
-                    docs.clone(),
-                    indexes.clone(),
-                    NodeStrategy::LabelAffinity,
-                    seed,
-                );
-                let outcome = session.run(&mut oracle);
-                SessionReport {
-                    label: job_label,
-                    questions: outcome.interactions,
-                    inferred: outcome.pruned,
-                    success: outcome.consistent,
-                    wall: Duration::ZERO,
-                }
-            }));
+            pool.push_learner(format!("{goal}#{seed}"), 16, move || {
+                Box::new(
+                    TwigInteractive::with_shared(docs, indexes, NodeStrategy::LabelAffinity, seed)
+                        .with_goal(goal_query),
+                )
+            });
         }
     }
     pool

@@ -3,8 +3,11 @@
 //! The paper's experiments measure one interactive session at a time; this experiment drives a
 //! mixed fleet of sessions — twig learning on a shared XMark document, path learning on a
 //! shared geographical graph, join learning on a shared relational instance — concurrently
-//! through `qbe_core::workload::SessionPool`. All twig sessions share a single `Arc`'d corpus
-//! and `NodeIndex`; scheduling is shortest-expected-questions first.
+//! through `qbe_core::workload::SessionPool`. Every session is an
+//! `qbe_core::session::InteractiveLearner` with an embedded goal oracle, driven by the pool's
+//! one generic loop (`qbe_core::session::drive`) — the same trait objects the `qbe-server`
+//! registry serves over TCP. All twig sessions share a single `Arc`'d corpus and `NodeIndex`;
+//! scheduling is shortest-expected-questions first.
 //!
 //! The table reports one row per session (questions asked, labels inferred, per-session wall
 //! time) plus the aggregate workload metrics (throughput, p50/p95 questions). The run aborts if
@@ -14,28 +17,26 @@
 //! Regenerate with `cargo run --release -p qbe-bench --bin exp_workload`.
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use qbe_core::graph::{
-    generate_geo_graph, interactive::interactive_path_learn, interactive::PathConstraint,
-    interactive::PathStrategy, GeoConfig, PropertyGraph,
+    generate_geo_graph, interactive::PathConstraint, interactive::PathStrategy, GeoConfig,
+    PropertyGraph,
 };
-use qbe_core::relational::{
-    generate_join_instance, interactive_learn, JoinInstanceConfig, Strategy,
-};
-use qbe_core::twig::{interactive::GoalNodeOracle, parse_xpath, NodeStrategy, TwigSession};
-use qbe_core::workload::{SessionJob, SessionPool, SessionReport};
+use qbe_core::relational::{generate_join_instance, JoinInstanceConfig, Strategy};
+use qbe_core::twig::{parse_xpath, NodeStrategy};
+use qbe_core::workload::SessionPool;
 use qbe_core::xml::xmark::{generate, XmarkConfig};
 use qbe_core::xml::{NodeIndex, XmlTree};
+use qbe_core::{JoinInteractive, PathInteractive, TwigInteractive};
 
-fn twig_job(
-    docs: Arc<Vec<XmlTree>>,
-    indexes: Arc<Vec<NodeIndex>>,
+fn push_twig(
+    pool: &mut SessionPool,
+    docs: &Arc<Vec<XmlTree>>,
+    indexes: &Arc<Vec<NodeIndex>>,
     goal: &str,
     strategy: NodeStrategy,
     seed: u64,
-) -> SessionJob {
-    let label = format!("twig {goal} {strategy:?}");
+) {
     let goal_query = parse_xpath(goal).expect("goal parses");
     // Estimate: the goal's selectivity drives how many positives the session must see.
     let expected = docs
@@ -45,52 +46,40 @@ fn twig_job(
         .sum::<usize>()
         * 2
         + 8;
-    let job_label = label.clone();
-    SessionJob::new(label, expected, move || {
-        let mut oracle = GoalNodeOracle::new(&docs, goal_query.clone());
-        let session = TwigSession::with_shared(docs.clone(), indexes.clone(), strategy, seed);
-        let outcome = session.run(&mut oracle);
-        SessionReport {
-            label: job_label,
-            questions: outcome.interactions,
-            inferred: outcome.pruned,
-            success: outcome.consistent && outcome.query.is_some(),
-            wall: Duration::ZERO, // filled by the pool
-        }
-    })
+    let (docs, indexes) = (docs.clone(), indexes.clone());
+    pool.push_learner(format!("twig {goal} {strategy:?}"), expected, move || {
+        Box::new(TwigInteractive::with_shared(docs, indexes, strategy, seed).with_goal(goal_query))
+    });
 }
 
-fn path_job(graph: Arc<PropertyGraph>, goal_type: &str, seed: u64) -> SessionJob {
-    let label = format!("path type={goal_type} seed={seed}");
+fn push_path(pool: &mut SessionPool, graph: &Arc<PropertyGraph>, goal_type: &str, seed: u64) {
     let goal = PathConstraint {
         road_type: Some(goal_type.to_string()),
         max_distance: None,
         via: None,
     };
-    let job_label = label.clone();
-    SessionJob::new(label, 24, move || {
-        let from = graph
-            .find_node_by_property("name", "city0")
-            .expect("generator names cities");
-        let to = graph
-            .find_node_by_property("name", "city5")
-            .expect("generator names cities");
-        let outcome =
-            interactive_path_learn(&graph, from, to, &goal, PathStrategy::Halving, vec![], seed);
-        SessionReport {
-            label: job_label,
-            questions: outcome.interactions,
-            inferred: outcome.inferred,
-            success: true,
-            wall: Duration::ZERO,
-        }
-    })
+    let graph = graph.clone();
+    pool.push_learner(
+        format!("path type={goal_type} seed={seed}"),
+        24,
+        move || {
+            let from = graph
+                .find_node_by_property("name", "city0")
+                .expect("generator names cities");
+            let to = graph
+                .find_node_by_property("name", "city5")
+                .expect("generator names cities");
+            Box::new(
+                PathInteractive::new(graph, from, to, 8, PathStrategy::Halving, seed)
+                    .with_goal(goal),
+            )
+        },
+    );
 }
 
-fn join_job(rows: usize, seed: u64) -> SessionJob {
-    let label = format!("join rows={rows} seed={seed}");
-    let job_label = label.clone();
-    SessionJob::new(label, 30, move || {
+fn push_join(pool: &mut SessionPool, rows: usize, seed: u64) {
+    pool.push_learner(format!("join rows={rows} seed={seed}"), 30, move || {
+        // Generated on the worker thread, like a tenant loading their own instance.
         let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
             left_rows: rows,
             right_rows: rows,
@@ -98,15 +87,16 @@ fn join_job(rows: usize, seed: u64) -> SessionJob {
             domain_size: 6,
             seed,
         });
-        let outcome = interactive_learn(&left, &right, &goal, Strategy::HalveLattice, seed);
-        SessionReport {
-            label: job_label,
-            questions: outcome.interactions,
-            inferred: outcome.inferred,
-            success: outcome.consistent,
-            wall: Duration::ZERO,
-        }
-    })
+        Box::new(
+            JoinInteractive::new(
+                Arc::new(left),
+                Arc::new(right),
+                Strategy::HalveLattice,
+                seed,
+            )
+            .with_goal(goal),
+        )
+    });
 }
 
 fn main() {
@@ -127,20 +117,14 @@ fn main() {
             ("//item/name", NodeStrategy::LabelAffinity),
             ("//open_auction", NodeStrategy::ShallowFirst),
         ] {
-            pool.push(twig_job(
-                docs.clone(),
-                indexes.clone(),
-                goal,
-                strategy,
-                seed,
-            ));
+            push_twig(&mut pool, &docs, &indexes, goal, strategy, seed);
         }
     }
     for seed in qbe_bench::param(vec![11u64, 12, 13, 14], vec![11, 12, 13]) {
-        pool.push(path_job(graph.clone(), "highway", seed));
+        push_path(&mut pool, &graph, "highway", seed);
     }
     for seed in qbe_bench::param(vec![21u64, 22, 23], vec![21, 22]) {
-        pool.push(join_job(qbe_bench::param(30, 12), seed));
+        push_join(&mut pool, qbe_bench::param(30, 12), seed);
     }
 
     let queued = pool.len();

@@ -1,0 +1,13 @@
+//! The `qbe-server` binary: the networked query-by-example learning service.
+//!
+//! Thin entry point — all logic lives in `qbe_server::cli` (and below it in the `qbe-server`
+//! crate). It sits in `qbe-bench`'s `src/bin/` next to the `exp_*` binaries so the shared
+//! smoke harness (`tests/exp_smoke.rs`) exercises `--smoke` on every CI push.
+//!
+//! * `qbe-server [--addr HOST:PORT]` — serve until killed (default `127.0.0.1:7878`);
+//! * `qbe-server --smoke` — bind an ephemeral port, run one simulated client session per
+//!   model over loopback, print learned queries and metrics, exit 0 on success.
+
+fn main() {
+    std::process::exit(qbe_server::cli::run(std::env::args().skip(1)));
+}

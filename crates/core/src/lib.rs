@@ -11,6 +11,10 @@
 //! * [`oracle`] — oracles (simulated users) and a generic interactive driver that minimises the
 //!   number of questions by skipping determined items;
 //! * [`metrics`] — confusion-matrix quality metrics shared by all experiments;
+//! * [`session`] — the *interactive* counterpart of [`framework`]: the object-safe
+//!   [`InteractiveLearner`] trait plus owned adapters for twig/path/join sessions, so a
+//!   registry (the `qbe-server` network service, the workload driver) can hold heterogeneous
+//!   sessions as homogeneous boxed trait objects;
 //! * [`workload`] — the concurrent multi-session driver: a [`SessionPool`] runs many
 //!   interactive sessions over `std::thread` against shared immutable indexes, scheduled
 //!   shortest-expected-work first, and aggregates throughput/percentile metrics;
@@ -38,6 +42,7 @@
 pub mod framework;
 pub mod metrics;
 pub mod oracle;
+pub mod session;
 pub mod workload;
 
 pub use framework::{
@@ -46,7 +51,13 @@ pub use framework::{
 };
 pub use metrics::ConfusionMatrix;
 pub use oracle::{run_interactive, GoalOracle, InteractiveOutcome, Oracle};
-pub use workload::{percentile, SessionJob, SessionPool, SessionReport, WorkloadMetrics};
+pub use session::{
+    drive, InteractiveLearner, JoinInteractive, PathInteractive, Question, SessionError,
+    TwigInteractive,
+};
+pub use workload::{
+    percentile, percentile_sorted, SessionJob, SessionPool, SessionReport, WorkloadMetrics,
+};
 
 /// Re-export of the XML substrate (`qbe-xml`).
 pub use qbe_xml as xml;

@@ -100,6 +100,26 @@ impl SessionPool {
         self.jobs.push(job);
     }
 
+    /// Queue an [`InteractiveLearner`](crate::session::InteractiveLearner) session, driven to
+    /// completion by the generic [`drive`](crate::session::drive) loop against its embedded
+    /// goal oracle.
+    ///
+    /// `make` builds the learner *on the worker thread* (sessions often want to generate or
+    /// index their instance there rather than serially up front); it typically captures `Arc`
+    /// handles onto a shared corpus.
+    pub fn push_learner(
+        &mut self,
+        label: impl Into<String>,
+        expected_questions: usize,
+        make: impl FnOnce() -> Box<dyn crate::session::InteractiveLearner> + Send + 'static,
+    ) {
+        let label = label.into();
+        let job_label = label.clone();
+        self.push(SessionJob::new(label, expected_questions, move || {
+            crate::session::drive(job_label, make().as_mut())
+        }));
+    }
+
     /// Number of queued sessions.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -241,10 +261,16 @@ impl std::fmt::Display for WorkloadMetrics {
 /// 0–100; rank 0 (p = 0) maps to the minimum.
 pub fn percentile(values: impl IntoIterator<Item = usize>, p: f64) -> Option<usize> {
     let mut sorted: Vec<usize> = values.into_iter().collect();
+    sorted.sort_unstable();
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already-sorted slice: an O(1) index lookup, for callers (the
+/// `qbe-server` session registry) that maintain sorted data incrementally.
+pub fn percentile_sorted(sorted: &[usize], p: f64) -> Option<usize> {
     if sorted.is_empty() {
         return None;
     }
-    sorted.sort_unstable();
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.saturating_sub(1)])

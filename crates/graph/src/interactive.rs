@@ -27,6 +27,7 @@ use crate::rpq::{simple_paths, Path};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
 /// A path-selection hypothesis: a conjunction of optional constraints.
@@ -225,8 +226,12 @@ impl HypothesisRow {
 }
 
 /// Interactive session between two endpoints of a graph.
-pub struct PathSession<'a> {
-    graph: &'a PropertyGraph,
+///
+/// Generic over how the graph is owned: existing callers pass `&PropertyGraph` (zero-copy
+/// borrows), long-lived registries (the `qbe-server` session registry) pass
+/// `Arc<PropertyGraph>` so the session is `'static` and can outlive the scope that created it.
+pub struct PathSession<G: Borrow<PropertyGraph>> {
+    graph: G,
     candidates: Vec<Path>,
     features: Vec<PathFeatures>,
     rows: Vec<HypothesisRow>,
@@ -238,30 +243,29 @@ pub struct PathSession<'a> {
     rng: StdRng,
 }
 
-impl<'a> PathSession<'a> {
+impl<G: Borrow<PropertyGraph>> PathSession<G> {
     /// Start a session for paths between `from` and `to` (at most `max_edges` edges per path).
     pub fn new(
-        graph: &'a PropertyGraph,
+        graph: G,
         from: GNodeId,
         to: GNodeId,
         max_edges: usize,
         strategy: PathStrategy,
         seed: u64,
-    ) -> PathSession<'a> {
+    ) -> PathSession<G> {
+        let g = graph.borrow();
         // Candidates are kept sorted by total distance: the distance dimension of the hypothesis
         // space then accepts a *prefix* of the candidate list, which makes building the
         // acceptance bitsets linear in the number of hypotheses rather than quadratic.
-        let mut candidates = simple_paths(graph, from, to, max_edges);
+        let mut candidates = simple_paths(g, from, to, max_edges);
         candidates.sort_by(|a, b| {
-            a.total_distance(graph)
-                .partial_cmp(&b.total_distance(graph))
+            a.total_distance(g)
+                .partial_cmp(&b.total_distance(g))
                 .expect("distances are finite")
         });
         candidates.truncate(MAX_CANDIDATE_PATHS);
-        let features: Vec<PathFeatures> = candidates
-            .iter()
-            .map(|p| PathFeatures::of(graph, p))
-            .collect();
+        let features: Vec<PathFeatures> =
+            candidates.iter().map(|p| PathFeatures::of(g, p)).collect();
         let n = candidates.len();
         let words = n.div_ceil(64).max(1);
 
@@ -364,9 +368,50 @@ impl<'a> PathSession<'a> {
     }
 
     /// Provide constraints learned for previous users (the "query workload").
-    pub fn with_workload(mut self, workload: Vec<PathConstraint>) -> PathSession<'a> {
+    pub fn with_workload(mut self, workload: Vec<PathConstraint>) -> PathSession<G> {
         self.workload = workload;
         self
+    }
+
+    /// The graph the session ranges over.
+    pub fn graph(&self) -> &PropertyGraph {
+        self.graph.borrow()
+    }
+
+    /// One candidate path by index.
+    pub fn path(&self, ix: usize) -> &Path {
+        &self.candidates[ix]
+    }
+
+    /// The precomputed features of one candidate path.
+    pub fn features(&self, ix: usize) -> &PathFeatures {
+        &self.features[ix]
+    }
+
+    /// Number of paths the user has labelled so far.
+    pub fn labelled_count(&self) -> usize {
+        self.labelled.len()
+    }
+
+    /// The most specific hypothesis still consistent with every label (the constraint
+    /// accepting the fewest candidate paths; the unconstrained hypothesis when the version
+    /// space is empty).
+    pub fn most_specific(&self) -> PathConstraint {
+        self.rows
+            .iter()
+            .min_by_key(|row| row.accepted_count)
+            .map(|row| row.constraint.clone())
+            .unwrap_or_else(PathConstraint::any)
+    }
+
+    /// Number of candidate paths the most specific surviving hypothesis accepts — the answer
+    /// set the learned query would return to the user right now.
+    pub fn accepted_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| row.accepted_count)
+            .min()
+            .unwrap_or(self.candidates.len())
     }
 
     /// Number of candidate paths.
@@ -457,24 +502,26 @@ impl<'a> PathSession<'a> {
         }
     }
 
+    /// Propose the next informative path to show the user, or `None` when every candidate's
+    /// label is determined by the version space. Callers alternate `propose` with
+    /// [`Self::record`]; [`Self::run`] loops to completion.
+    pub fn propose(&mut self) -> Option<usize> {
+        let informative = self.informative_paths();
+        if informative.is_empty() {
+            None
+        } else {
+            Some(self.choose(&informative))
+        }
+    }
+
     /// Run the loop until no informative path remains.
     pub fn run(mut self, oracle: &mut dyn PathOracle) -> PathSessionOutcome {
-        loop {
-            let informative = self.informative_paths();
-            if informative.is_empty() {
-                break;
-            }
-            let ix = self.choose(&informative);
-            let label = oracle.label(self.graph, &self.candidates[ix]);
+        while let Some(ix) = self.propose() {
+            let label = oracle.label(self.graph.borrow(), &self.candidates[ix]);
             self.record(ix, label);
         }
         // The most specific surviving hypothesis: the one accepting the fewest candidate paths.
-        let learned = self
-            .rows
-            .iter()
-            .min_by_key(|row| row.accepted_count)
-            .map(|row| row.constraint.clone())
-            .unwrap_or_else(PathConstraint::any);
+        let learned = self.most_specific();
         let accepted_paths: Vec<Path> = self
             .candidates
             .iter()

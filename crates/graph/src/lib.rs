@@ -46,7 +46,10 @@ pub use pattern::{
     evaluate_pattern, is_well_designed, select_nodes, Binding, Constraint, GraphPattern, Mapping,
     PredTerm, Term, TriplePattern,
 };
-pub use rpq::{evaluate, evaluate_from, evaluate_indexed, simple_paths, Path, PathRegex};
+pub use rpq::{
+    evaluate, evaluate_from, evaluate_indexed, simple_paths, thompson_state_count, Path, PathRegex,
+    BITMASK_NFA_MAX_STATES,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -220,13 +220,27 @@ pub fn evaluate(graph: &PropertyGraph, regex: &PathRegex) -> BTreeSet<(GNodeId, 
     out
 }
 
+/// Largest Thompson-NFA state count [`evaluate_indexed`] packs into its `u64` state bitmask.
+///
+/// Queries whose NFA has more states than this (none of the learners produce them — a concat
+/// of 64+ labels would be needed) fall back to the naive [`evaluate`], so `evaluate_indexed`
+/// stays total. Use [`thompson_state_count`] to check which path a given query takes.
+pub const BITMASK_NFA_MAX_STATES: usize = 64;
+
+/// Number of states the Thompson construction produces for a regex — the quantity compared
+/// against [`BITMASK_NFA_MAX_STATES`] when [`evaluate_indexed`] chooses between the bitmask
+/// product BFS and the naive fallback.
+pub fn thompson_state_count(regex: &PathRegex) -> usize {
+    Nfa::compile(regex).transitions.len()
+}
+
 /// Evaluate an RPQ against a prebuilt [`GraphIndex`]: same answer as [`evaluate`], computed by
 /// a product BFS over interned label ids with NFA state sets packed into a `u64` bitmask.
 ///
 /// The interned adjacency turns the per-step transition work from "scan every outgoing edge and
 /// string-compare against every NFA transition" into "merge two id-sorted lists"; the bitmask
-/// makes state-set closure/union constant-time. Queries whose Thompson NFA exceeds 64 states
-/// (none of the learners produce them) fall back to the naive evaluator, so the function is
+/// makes state-set closure/union constant-time. Queries whose Thompson NFA exceeds
+/// [`BITMASK_NFA_MAX_STATES`] states fall back to the naive evaluator, so the function is
 /// total and extensionally equal to [`evaluate`] — the differential property suite
 /// (`crates/graph/tests/prop_eval_indexed.rs`) pins exactly that.
 pub fn evaluate_indexed(
@@ -236,7 +250,7 @@ pub fn evaluate_indexed(
 ) -> BTreeSet<(GNodeId, GNodeId)> {
     let nfa = Nfa::compile(regex);
     let n_states = nfa.transitions.len();
-    if n_states > 64 {
+    if n_states > BITMASK_NFA_MAX_STATES {
         return evaluate(graph, regex);
     }
     // ε-closure of each single state, as a bitmask (includes the state itself).
@@ -547,6 +561,35 @@ mod tests {
         assert!(!path.all_edges_have(&g, "type", "highway"));
         assert_eq!(path.endpoints(&g), Some((a, c)));
         assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn bitmask_threshold_boundary_exercises_both_paths() {
+        // The Thompson construction gives a concatenation of k labels k+1 states (start,
+        // accept, k-1 intermediates), so k = 63 lands exactly on the bitmask limit and k = 64
+        // is the first query forced onto the naive fallback.
+        let at_limit = PathRegex::Concat(vec![PathRegex::label("road"); 63]);
+        let over_limit = PathRegex::Concat(vec![PathRegex::label("road"); 64]);
+        assert_eq!(thompson_state_count(&at_limit), BITMASK_NFA_MAX_STATES);
+        assert_eq!(
+            thompson_state_count(&over_limit),
+            BITMASK_NFA_MAX_STATES + 1
+        );
+
+        // A chain of 64 road edges: the 63-label query answers (n_i, n_{i+63}), the 64-label
+        // query answers exactly (n_0, n_64). Both sides of the threshold must agree with the
+        // naive evaluator and be non-trivial.
+        let mut g = PropertyGraph::new();
+        let nodes: Vec<GNodeId> = (0..65).map(|_| g.add_node("city")).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], "road");
+        }
+        let ix = crate::index::GraphIndex::build(&g);
+        for (regex, expected_pairs) in [(&at_limit, 2), (&over_limit, 1)] {
+            let naive = evaluate(&g, regex);
+            assert_eq!(naive.len(), expected_pairs);
+            assert_eq!(evaluate_indexed(&g, &ix, regex), naive);
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::operators::JoinPredicate;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
 /// Strategy used to choose which informative pair to ask about next.
@@ -93,10 +94,14 @@ pub enum PairStatus {
 }
 
 /// Interactive learning session over the cartesian product of two relations.
+///
+/// Generic over how the relations are owned: existing callers pass `&Relation` (zero-copy
+/// borrows), long-lived registries (the `qbe-server` session registry) pass `Arc<Relation>` so
+/// the session is `'static` and can outlive the scope that created it.
 #[derive(Debug)]
-pub struct InteractiveSession<'a> {
-    left: &'a Relation,
-    right: &'a Relation,
+pub struct InteractiveSession<D: Borrow<Relation>> {
+    left: D,
+    right: D,
     /// Most specific hypothesis consistent with the positive labels so far.
     theta_max: JoinPredicate,
     /// Agreement sets of the labelled negatives.
@@ -119,12 +124,13 @@ pub struct SessionOutcome {
     pub consistent: bool,
 }
 
-impl<'a> InteractiveSession<'a> {
+impl<D: Borrow<Relation>> InteractiveSession<D> {
     /// Start a session.
-    pub fn new(left: &'a Relation, right: &'a Relation, strategy: Strategy, seed: u64) -> Self {
+    pub fn new(left: D, right: D, strategy: Strategy, seed: u64) -> Self {
+        let left_arity = left.borrow().schema().arity();
+        let right_arity = right.borrow().schema().arity();
         let all_pairs = JoinPredicate::from_pairs(
-            (0..left.schema().arity())
-                .flat_map(|i| (0..right.schema().arity()).map(move |j| (i, j))),
+            (0..left_arity).flat_map(|i| (0..right_arity).map(move |j| (i, j))),
         );
         InteractiveSession {
             left,
@@ -151,7 +157,7 @@ impl<'a> InteractiveSession<'a> {
         {
             return PairStatus::Labelled(positive);
         }
-        let agreement = agreement_set(self.left, self.right, left_ix, right_ix);
+        let agreement = agreement_set(self.left.borrow(), self.right.borrow(), left_ix, right_ix);
         if self.theta_max.subset_of(&agreement) {
             return PairStatus::CertainlyPositive;
         }
@@ -170,8 +176,8 @@ impl<'a> InteractiveSession<'a> {
     /// All currently informative pairs.
     pub fn informative_pairs(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
-        for l in 0..self.left.len() {
-            for r in 0..self.right.len() {
+        for l in 0..self.left.borrow().len() {
+            for r in 0..self.right.borrow().len() {
                 if self.status(l, r) == PairStatus::Informative {
                     out.push((l, r));
                 }
@@ -182,7 +188,7 @@ impl<'a> InteractiveSession<'a> {
 
     /// Record a label (updates the version space).
     pub fn record(&mut self, left_ix: usize, right_ix: usize, positive: bool) {
-        let agreement = agreement_set(self.left, self.right, left_ix, right_ix);
+        let agreement = agreement_set(self.left.borrow(), self.right.borrow(), left_ix, right_ix);
         if positive {
             self.theta_max = self.theta_max.intersect(&agreement);
         } else {
@@ -204,7 +210,7 @@ impl<'a> InteractiveSession<'a> {
             Strategy::MostSpecificFirst => *informative
                 .iter()
                 .max_by_key(|&&(l, r)| {
-                    agreement_set(self.left, self.right, l, r)
+                    agreement_set(self.left.borrow(), self.right.borrow(), l, r)
                         .intersect(&self.theta_max)
                         .len()
                 })
@@ -214,7 +220,7 @@ impl<'a> InteractiveSession<'a> {
                 *informative
                     .iter()
                     .min_by_key(|&&(l, r)| {
-                        let overlap = agreement_set(self.left, self.right, l, r)
+                        let overlap = agreement_set(self.left.borrow(), self.right.borrow(), l, r)
                             .intersect(&self.theta_max)
                             .len();
                         overlap.abs_diff(target)
@@ -224,18 +230,40 @@ impl<'a> InteractiveSession<'a> {
         }
     }
 
+    /// Propose the next informative pair to ask the user about, or `None` when every pair's
+    /// label is determined. Callers alternate `propose` with [`Self::record`]; [`Self::run`]
+    /// loops to completion.
+    pub fn propose(&mut self) -> Option<(usize, usize)> {
+        let informative = self.informative_pairs();
+        if informative.is_empty() {
+            None
+        } else {
+            Some(self.choose(&informative))
+        }
+    }
+
+    /// The left relation.
+    pub fn left(&self) -> &Relation {
+        self.left.borrow()
+    }
+
+    /// The right relation.
+    pub fn right(&self) -> &Relation {
+        self.right.borrow()
+    }
+
+    /// Number of pairs the user has labelled so far.
+    pub fn labelled_count(&self) -> usize {
+        self.labelled.len()
+    }
+
     /// Run the interactive loop to completion against an oracle.
     pub fn run(mut self, oracle: &mut dyn LabelOracle) -> SessionOutcome {
-        loop {
-            let informative = self.informative_pairs();
-            if informative.is_empty() {
-                break;
-            }
-            let (l, r) = self.choose(&informative);
+        while let Some((l, r)) = self.propose() {
             let label = oracle.label(l, r);
             self.record(l, r, label);
         }
-        let total_pairs = self.left.len() * self.right.len();
+        let total_pairs = self.left.borrow().len() * self.right.borrow().len();
         let interactions = self.labelled.len();
         SessionOutcome {
             consistent: self.is_consistent(),

@@ -1,0 +1,121 @@
+//! Entry point of the `qbe-server` binary (the thin `main` lives in `qbe-bench` next to the
+//! other experiment binaries so the shared smoke harness can exercise it).
+//!
+//! Two modes:
+//!
+//! * `qbe-server [--addr HOST:PORT]` — serve until killed (default `127.0.0.1:7878`);
+//! * `qbe-server --smoke` — self-check: bind an ephemeral port, run one simulated client
+//!   session per model over loopback, print the learned queries and the `METRICS` line, shut
+//!   down, exit 0. This is what CI runs on every push.
+
+use crate::client::{drive_goal_session, Client, Goal};
+use crate::server::{spawn, ServerConfig};
+
+/// Run the CLI. Returns the process exit code.
+pub fn run(args: impl Iterator<Item = String>) -> i32 {
+    let args: Vec<String> = args.collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var_os("QBE_BENCH_SMOKE").is_some_and(|v| v != "0");
+    if smoke {
+        return run_smoke();
+    }
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|ix| args.get(ix + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let handle = match spawn(ServerConfig {
+        addr: addr.clone(),
+        ..Default::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("qbe-server: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "qbe-server listening on {} (models twig,path,join; corpora {})",
+        handle.addr(),
+        crate::corpus::CORPUS_NAMES.join(",")
+    );
+    handle.join();
+    0
+}
+
+fn run_smoke() -> i32 {
+    let handle = match spawn(ServerConfig::default()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("qbe-server --smoke: cannot bind: {e}");
+            return 1;
+        }
+    };
+    let addr = handle.addr();
+    println!("qbe-server --smoke on {addr}");
+    println!(
+        "{:<28} {:>10} {:>12} {:>6}  learned",
+        "session", "questions", "answer-set", "ok"
+    );
+    type SmokeSession = (&'static str, Goal, Vec<(&'static str, &'static str)>);
+    let sessions: [SmokeSession; 3] = [
+        (
+            "twig //person/name",
+            Goal::Twig("//person/name".to_string()),
+            vec![("seed", "7")],
+        ),
+        (
+            "path type=highway",
+            Goal::PathRoadType("highway".to_string()),
+            vec![("to", "city3")],
+        ),
+        ("join demo", Goal::Join, vec![]),
+    ];
+    let mut failures = 0;
+    for (label, goal, params) in sessions {
+        match drive_goal_session(addr, "tiny", &goal, &params) {
+            Ok(outcome) => {
+                println!(
+                    "{:<28} {:>10} {:>12} {:>6}  {}",
+                    label,
+                    outcome.questions,
+                    outcome.answer_set_size,
+                    if outcome.consistent { "yes" } else { "NO" },
+                    outcome.hypothesis
+                );
+                if !outcome.consistent {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("{label:<28} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    match Client::connect(addr).and_then(|mut c| c.metrics()) {
+        Ok(metrics) => {
+            let line: Vec<String> = metrics.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("metrics: {}", line.join(" "));
+            let sessions_served = crate::protocol::field_value(&metrics, "sessions")
+                .and_then(|v| v.parse::<usize>().ok());
+            if sessions_served != Some(3) {
+                eprintln!("expected 3 served sessions, metrics say {sessions_served:?}");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("METRICS failed: {e}");
+            failures += 1;
+        }
+    }
+    handle.shutdown();
+    if failures == 0 {
+        println!("smoke ok: 3 sessions learned over loopback");
+        0
+    } else {
+        eprintln!("smoke failed: {failures} problem(s)");
+        1
+    }
+}

@@ -1,0 +1,347 @@
+//! A small blocking client for the wire protocol, plus a goal-driven session driver.
+//!
+//! [`Client`] is the thin request/response half: one method per command, each writing one line
+//! and parsing one reply. [`drive_goal_session`] layers the *simulated user* on top: it answers
+//! the server's questions according to a hidden goal evaluated client-side (rebuilding the
+//! named corpus locally — corpora are deterministic recipes, see [`crate::corpus`]), which is
+//! exactly what the loopback integration tests, the `server_throughput` bench and the binary's
+//! `--smoke` mode need. A real deployment replaces this layer with a human.
+
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use qbe_core::twig::interactive::{GoalNodeOracle, NodeOracle};
+use qbe_core::twig::parse_xpath;
+use qbe_core::xml::NodeId;
+
+use crate::corpus::{build_corpus, Corpus};
+use crate::protocol::{field_value, parse_fields_line, Model, MAX_LINE_BYTES};
+use crate::server::{read_line_bounded, LineError};
+
+/// Reply to an `ASK`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AskReply {
+    /// A pending membership question, as `key=value` fields.
+    Question(Vec<(String, String)>),
+    /// The session is complete.
+    Done {
+        /// Questions the session asked in total.
+        questions: usize,
+        /// Whether the collected labels stayed consistent.
+        consistent: bool,
+    },
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Client-side protocol failure: an `-ERR` reply, a malformed reply, or transport trouble.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered `-ERR …`.
+    Server(String),
+    /// The reply did not match the expected shape.
+    UnexpectedReply(String),
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedReply(line) => write!(f, "unexpected reply: {line:?}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, ClientError>;
+
+impl Client {
+    /// Connect and consume the server's greeting (errors on a capacity rejection).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        client.read_ok()?; // greeting
+        Ok(client)
+    }
+
+    fn read_reply(&mut self) -> Result<String> {
+        match read_line_bounded(&mut self.reader, MAX_LINE_BYTES * 4) {
+            Ok(line) => Ok(line),
+            Err(LineError::Io(e)) => Err(ClientError::Io(e)),
+            Err(LineError::Closed) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(LineError::TimedOut) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no reply within the read timeout",
+            ))),
+            Err(LineError::TooLong) => Err(ClientError::UnexpectedReply(
+                "oversized reply line".to_string(),
+            )),
+        }
+    }
+
+    /// Send one line, read one reply, surface `-ERR` as [`ClientError::Server`].
+    fn roundtrip(&mut self, line: &str) -> Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let reply = self.read_reply()?;
+        if let Some(err) = reply.strip_prefix("-ERR ") {
+            return Err(ClientError::Server(err.to_string()));
+        }
+        if !reply.starts_with('+') {
+            return Err(ClientError::UnexpectedReply(reply));
+        }
+        Ok(reply)
+    }
+
+    fn read_ok(&mut self) -> Result<String> {
+        let reply = self.read_reply()?;
+        reply
+            .strip_prefix("+OK")
+            .map(|rest| rest.trim().to_string())
+            .ok_or(ClientError::Server(
+                reply.trim_start_matches("-ERR ").to_string(),
+            ))
+    }
+
+    /// `HELLO` — returns the server's capability line.
+    pub fn hello(&mut self) -> Result<String> {
+        self.roundtrip("HELLO")
+    }
+
+    /// `CORPUS <name>` — attach to a shared corpus; returns the summary fields.
+    pub fn corpus(&mut self, name: &str) -> Result<Vec<(String, String)>> {
+        let reply = self.roundtrip(&format!("CORPUS {name}"))?;
+        let Some(payload) = reply.strip_prefix("+OK corpus ") else {
+            return Err(ClientError::UnexpectedReply(reply));
+        };
+        parse_fields_line(payload).map_err(|_| ClientError::UnexpectedReply(reply.clone()))
+    }
+
+    /// `START <model> [params]` — open a session; returns its id.
+    pub fn start(&mut self, model: Model, params: &[(&str, &str)]) -> Result<u64> {
+        let mut line = format!("START {model}");
+        for (k, v) in params {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        let reply = self.roundtrip(&line)?;
+        reply
+            .strip_prefix("+OK session id=")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|id| id.parse().ok())
+            .ok_or(ClientError::UnexpectedReply(reply))
+    }
+
+    /// `ASK` — the next question, or the completion notice.
+    pub fn ask(&mut self) -> Result<AskReply> {
+        let reply = self.roundtrip("ASK")?;
+        if let Some(payload) = reply.strip_prefix("+ASK ") {
+            return parse_fields_line(payload)
+                .map(AskReply::Question)
+                .map_err(|_| ClientError::UnexpectedReply(reply));
+        }
+        if let Some(payload) = reply.strip_prefix("+DONE ") {
+            let fields = parse_fields_line(payload)
+                .map_err(|_| ClientError::UnexpectedReply(reply.clone()))?;
+            let questions = field_value(&fields, "questions")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| ClientError::UnexpectedReply(reply.clone()))?;
+            let consistent = field_value(&fields, "consistent")
+                .and_then(|v| v.parse().ok())
+                .ok_or(ClientError::UnexpectedReply(reply))?;
+            return Ok(AskReply::Done {
+                questions,
+                consistent,
+            });
+        }
+        Err(ClientError::UnexpectedReply(reply))
+    }
+
+    /// `ANSWER yes|no`.
+    pub fn answer(&mut self, positive: bool) -> Result<()> {
+        self.roundtrip(if positive { "ANSWER yes" } else { "ANSWER no" })?;
+        Ok(())
+    }
+
+    /// `QUERY` — the current hypothesis text.
+    pub fn query(&mut self) -> Result<String> {
+        let reply = self.roundtrip("QUERY")?;
+        reply
+            .strip_prefix("+QUERY ")
+            .map(str::to_string)
+            .ok_or(ClientError::UnexpectedReply(reply))
+    }
+
+    /// `EVAL` — answer-set size of the current hypothesis.
+    pub fn eval(&mut self) -> Result<usize> {
+        let reply = self.roundtrip("EVAL")?;
+        reply
+            .strip_prefix("+EVAL ")
+            .and_then(|n| n.parse().ok())
+            .ok_or(ClientError::UnexpectedReply(reply))
+    }
+
+    /// `METRICS` — aggregate service statistics as fields.
+    pub fn metrics(&mut self) -> Result<Vec<(String, String)>> {
+        let reply = self.roundtrip("METRICS")?;
+        let Some(payload) = reply.strip_prefix("+METRICS ") else {
+            return Err(ClientError::UnexpectedReply(reply));
+        };
+        parse_fields_line(payload).map_err(|_| ClientError::UnexpectedReply(reply.clone()))
+    }
+
+    /// `QUIT` — say goodbye (the server closes the connection).
+    pub fn quit(&mut self) -> Result<()> {
+        self.roundtrip("QUIT")?;
+        Ok(())
+    }
+}
+
+/// A hidden goal a simulated remote user answers according to.
+#[derive(Debug, Clone)]
+pub enum Goal {
+    /// Twig sessions: an XPath goal evaluated against the (locally rebuilt) corpus documents.
+    Twig(String),
+    /// Path sessions: "every edge has this road type".
+    PathRoadType(String),
+    /// Join sessions: the corpus generator's reference predicate.
+    Join,
+}
+
+/// What [`drive_goal_session`] observed.
+#[derive(Debug, Clone)]
+pub struct GoalSessionOutcome {
+    /// Session id the server assigned.
+    pub session_id: u64,
+    /// Questions the client answered.
+    pub questions: usize,
+    /// Whether the server reported the labels consistent at completion.
+    pub consistent: bool,
+    /// The final hypothesis text (`QUERY`).
+    pub hypothesis: String,
+    /// The final answer-set size (`EVAL`).
+    pub answer_set_size: usize,
+}
+
+/// Extract the `(doc, node)` a twig question identifies (shape checked client-side).
+fn twig_question_item(fields: &[(String, String)]) -> Result<(usize, NodeId)> {
+    let get = |key: &str| {
+        field_value(fields, key)
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| ClientError::UnexpectedReply(format!("missing/non-numeric {key}")))
+    };
+    Ok((get("doc")?, NodeId::from_index(get("node")?)))
+}
+
+/// Drive one session over the wire to completion, answering every question according to
+/// `goal`, then collect the learned query and its answer-set size.
+///
+/// The corpus named `corpus` is rebuilt locally so the client can evaluate its goal — the
+/// remote user's "intent" never crosses the wire, only yes/no labels do, exactly as in the
+/// paper's interactive protocol.
+pub fn drive_goal_session(
+    addr: impl ToSocketAddrs,
+    corpus: &str,
+    goal: &Goal,
+    start_params: &[(&str, &str)],
+) -> Result<GoalSessionOutcome> {
+    let local: Corpus = build_corpus(corpus).ok_or_else(|| {
+        ClientError::Server(format!("unknown corpus {corpus:?} (client-side build)"))
+    })?;
+    // The standard goal oracle from qbe-twig, borrowing the locally rebuilt corpus (no copy):
+    // per-document goal answer sets are computed lazily, once per session.
+    let mut twig_oracle = match goal {
+        Goal::Twig(xpath) => {
+            let goal_query = parse_xpath(xpath)
+                .map_err(|e| ClientError::Server(format!("bad goal xpath: {e:?}")))?;
+            Some(GoalNodeOracle::new(&local.docs, goal_query))
+        }
+        _ => None,
+    };
+    let join_goal = match goal {
+        Goal::Join => Some(local.demo_join_goal.clone()),
+        _ => None,
+    };
+
+    let model = match goal {
+        Goal::Twig(_) => Model::Twig,
+        Goal::PathRoadType(_) => Model::Path,
+        Goal::Join => Model::Join,
+    };
+    let mut client = Client::connect(addr)?;
+    client.corpus(corpus)?;
+    let session_id = client.start(model, start_params)?;
+    let mut asked = 0usize;
+    let (questions, consistent) = loop {
+        match client.ask()? {
+            AskReply::Done {
+                questions,
+                consistent,
+            } => break (questions, consistent),
+            AskReply::Question(fields) => {
+                let positive = match goal {
+                    Goal::Twig(_) => {
+                        let (doc, node) = twig_question_item(&fields)?;
+                        twig_oracle
+                            .as_mut()
+                            .expect("twig goal implies twig oracle")
+                            .label(doc, node)
+                    }
+                    Goal::PathRoadType(road_type) => field_value(&fields, "types")
+                        .map(|v| v.split(',').any(|t| t == road_type))
+                        .unwrap_or(false),
+                    Goal::Join => {
+                        let get = |key: &str| {
+                            field_value(&fields, key)
+                                .and_then(|v| v.parse::<usize>().ok())
+                                .ok_or_else(|| {
+                                    ClientError::UnexpectedReply(format!("missing field {key}"))
+                                })
+                        };
+                        let (l, r) = (get("left")?, get("right")?);
+                        join_goal
+                            .as_ref()
+                            .expect("join goal implies predicate")
+                            .satisfied_by(&local.left.tuples()[l], &local.right.tuples()[r])
+                    }
+                };
+                client.answer(positive)?;
+                asked += 1;
+            }
+        }
+    };
+    debug_assert_eq!(asked, questions, "server and client count questions alike");
+    let hypothesis = client.query()?;
+    let answer_set_size = client.eval()?;
+    client.quit()?;
+    Ok(GoalSessionOutcome {
+        session_id,
+        questions,
+        consistent,
+        hypothesis,
+        answer_set_size,
+    })
+}

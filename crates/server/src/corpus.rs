@@ -1,0 +1,169 @@
+//! Named shared corpora: one immutable, fully indexed instance per name, built once and shared
+//! by every connection.
+//!
+//! A learning service over "very large databases" (the paper's motivating setting) cannot
+//! rebuild documents and indexes per user: the whole point of `NodeIndex`/`GraphIndex` is that
+//! they are immutable and `Arc`-shareable. The [`CorpusStore`] realises that: the first
+//! `CORPUS <name>` builds the instance (XMark documents + per-document [`NodeIndex`],
+//! geographical graph + [`GraphIndex`], relation pair); every later request — on any
+//! connection, for any session — receives clones of the same `Arc`s.
+//!
+//! Names are deterministic recipes, not uploads: a client and a test referring to `"tiny"` see
+//! byte-identical data without shipping it over the wire (the XML half is
+//! [`qbe_core::xml::xmark::corpus_by_name`]).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use qbe_core::graph::{generate_geo_graph, GeoConfig, GraphIndex, PropertyGraph};
+use qbe_core::relational::{generate_join_instance, JoinInstanceConfig, JoinPredicate, Relation};
+use qbe_core::xml::xmark::corpus_by_name;
+use qbe_core::xml::{NodeIndex, XmlTree};
+
+/// The corpus names [`build_corpus`] understands, smallest first.
+pub const CORPUS_NAMES: &[&str] = &["tiny", "small"];
+
+/// One named instance: every substrate a session might learn over, pre-indexed and shareable.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The corpus name.
+    pub name: String,
+    /// XML documents (XMark) for twig sessions.
+    pub docs: Arc<Vec<XmlTree>>,
+    /// One [`NodeIndex`] per document, aligned with `docs`.
+    pub indexes: Arc<Vec<NodeIndex>>,
+    /// Geographical property graph for path sessions.
+    pub graph: Arc<PropertyGraph>,
+    /// Label-interned adjacency of `graph`.
+    pub graph_index: Arc<GraphIndex>,
+    /// Left relation for join sessions.
+    pub left: Arc<Relation>,
+    /// Right relation for join sessions.
+    pub right: Arc<Relation>,
+    /// The join generator's reference predicate. Simulated clients (tests, benches, `--smoke`)
+    /// use it as their hidden intent; real clients bring their own and never see this one.
+    pub demo_join_goal: JoinPredicate,
+}
+
+impl Corpus {
+    /// Total XML node count, the denominator twig sessions report against.
+    pub fn xml_nodes(&self) -> usize {
+        self.docs.iter().map(XmlTree::size).sum()
+    }
+}
+
+/// Build a named corpus from scratch. `None` for unknown names (see [`CORPUS_NAMES`]).
+///
+/// Deterministic: every invocation of the same name yields identical data, which is what lets
+/// remote clients act as their own oracle — they rebuild the corpus locally and evaluate their
+/// goal query against it instead of downloading documents.
+pub fn build_corpus(name: &str) -> Option<Corpus> {
+    let (xmark, cities, rows) = match name {
+        "tiny" => ("xmark-tiny", 10, 12),
+        "small" => ("xmark-small", 16, 30),
+        _ => return None,
+    };
+    let docs = Arc::new(corpus_by_name(xmark).expect("every corpus maps to a named XMark corpus"));
+    let indexes = Arc::new(docs.iter().map(NodeIndex::build).collect::<Vec<_>>());
+    let graph = Arc::new(generate_geo_graph(&GeoConfig {
+        cities,
+        connectivity: 3,
+        ..Default::default()
+    }));
+    let graph_index = Arc::new(GraphIndex::build(&graph));
+    let (left, right, demo_join_goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: rows,
+        right_rows: rows,
+        extra_attributes: 2,
+        domain_size: 6,
+        seed: 11,
+    });
+    Some(Corpus {
+        name: name.to_string(),
+        docs,
+        indexes,
+        graph,
+        graph_index,
+        left: Arc::new(left),
+        right: Arc::new(right),
+        demo_join_goal,
+    })
+}
+
+/// Cache of built corpora, shared by all connections of one server.
+#[derive(Debug, Default)]
+pub struct CorpusStore {
+    cache: Mutex<HashMap<String, Arc<Corpus>>>,
+}
+
+impl CorpusStore {
+    /// An empty store.
+    pub fn new() -> CorpusStore {
+        CorpusStore::default()
+    }
+
+    /// The shared corpus for `name`, building it on first request. `None` for unknown names.
+    ///
+    /// Building happens under the cache lock: concurrent first requests for the same corpus
+    /// would otherwise race to do the expensive generation twice, and "one builder, everyone
+    /// else waits and shares" is exactly the contract the service wants.
+    pub fn get_or_build(&self, name: &str) -> Option<Arc<Corpus>> {
+        let mut cache = self.cache.lock().expect("corpus cache lock never poisoned");
+        if let Some(corpus) = cache.get(name) {
+            return Some(corpus.clone());
+        }
+        let corpus = Arc::new(build_corpus(name)?);
+        cache.insert(name.to_string(), corpus.clone());
+        Some(corpus)
+    }
+
+    /// Number of distinct corpora built so far.
+    pub fn built(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("corpus cache lock never poisoned")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(build_corpus("gigantic").is_none());
+        assert!(CorpusStore::new().get_or_build("gigantic").is_none());
+    }
+
+    #[test]
+    fn store_builds_once_and_shares() {
+        let store = CorpusStore::new();
+        let a = store.get_or_build("tiny").unwrap();
+        let b = store.get_or_build("tiny").unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second request must share, not rebuild"
+        );
+        assert!(Arc::ptr_eq(&a.docs, &b.docs));
+        assert_eq!(store.built(), 1);
+    }
+
+    #[test]
+    fn tiny_corpus_has_all_substrates() {
+        let c = build_corpus("tiny").unwrap();
+        assert_eq!(c.docs.len(), c.indexes.len());
+        assert!(c.xml_nodes() > 50, "XMark tiny is small but not trivial");
+        assert!(c.graph.node_count() >= 10);
+        assert!(!c.left.is_empty() && !c.right.is_empty());
+        assert_eq!(c.graph_index.node_count(), c.graph.node_count());
+    }
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let a = build_corpus("tiny").unwrap();
+        let b = build_corpus("tiny").unwrap();
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.left.tuples(), b.left.tuples());
+    }
+}

@@ -1,0 +1,53 @@
+//! # qbe-server — a networked query-by-example learning service
+//!
+//! The paper's closing ambition is "a practical system able to learn … queries from interaction
+//! with the user". Everything below the wire already exists in this workspace — indexed
+//! corpora ([`qbe_core::xml::NodeIndex`], [`qbe_core::graph::GraphIndex`]), interactive
+//! learners for all three data models, a common session trait
+//! ([`qbe_core::session::InteractiveLearner`]). This crate is the missing serving layer: a
+//! thread-per-connection TCP service speaking a hand-rolled line protocol (no registry access,
+//! hence no serde), multiplexing many users' learning sessions over corpora that are built
+//! once and shared behind `Arc`s.
+//!
+//! A session, over the wire:
+//!
+//! ```text
+//! C: HELLO
+//! S: +OK qbe-server models=twig,path,join corpora=tiny,small
+//! C: CORPUS tiny
+//! S: +OK corpus name=tiny docs=1 xml_nodes=331 graph_nodes=10 tuples=12x12
+//! C: START twig strategy=label-affinity seed=7
+//! S: +OK session id=1 model=twig
+//! C: ASK
+//! S: +ASK doc=0 node=17 label=name path=/site/people/person/name
+//! C: ANSWER yes
+//! S: +OK recorded
+//! …
+//! C: ASK
+//! S: +DONE questions=9 consistent=true
+//! C: QUERY
+//! S: +QUERY //person/name
+//! C: EVAL
+//! S: +EVAL 12
+//! C: QUIT
+//! S: +OK bye
+//! ```
+//!
+//! See `PROTOCOL.md` for the full grammar, [`server::spawn`] to run a server in-process,
+//! [`client::Client`] for the blocking client, and [`client::drive_goal_session`] for the
+//! simulated-user driver the tests, benches and `--smoke` mode share.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod corpus;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::{drive_goal_session, AskReply, Client, ClientError, Goal};
+pub use corpus::{build_corpus, Corpus, CorpusStore, CORPUS_NAMES};
+pub use protocol::{parse_command, Command, Model, ParseError, MAX_LINE_BYTES};
+pub use registry::{ServiceMetrics, SessionRegistry};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,310 @@
+//! The wire protocol: one UTF-8 line per request, one line per response.
+//!
+//! The build environment has no serde (and no registry to fetch one), so the protocol is a
+//! hand-rolled text format in the redis/memcached tradition: space-separated tokens, `key=value`
+//! parameters, responses prefixed `+` (success) or `-ERR` (failure). `PROTOCOL.md` at the crate
+//! root specifies the full grammar with an example transcript; this module owns parsing and
+//! rendering so the server, the client and the tests agree by construction.
+
+use std::fmt;
+
+/// Hard cap on the length of one request line, in bytes (newline included).
+///
+/// Lines longer than this are rejected before being buffered further — a malicious or broken
+/// client cannot balloon server memory by never sending `\n`. Generous enough for any command
+/// this protocol defines (the longest is `START` with a handful of `key=value` parameters).
+pub const MAX_LINE_BYTES: usize = 1024;
+
+/// Which learner a `START` command opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Twig queries over the corpus's XML documents.
+    Twig,
+    /// Path constraints between two endpoints of the corpus's geographical graph.
+    Path,
+    /// Equi-join predicates over the corpus's relation pair.
+    Join,
+}
+
+impl Model {
+    /// Canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Twig => "twig",
+            Model::Path => "path",
+            Model::Join => "join",
+        }
+    }
+
+    /// Parse a model name.
+    pub fn parse(s: &str) -> Option<Model> {
+        match s {
+            "twig" => Some(Model::Twig),
+            "path" => Some(Model::Path),
+            "join" => Some(Model::Join),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `HELLO` — greet, learn the server's capabilities.
+    Hello,
+    /// `CORPUS <name>` — attach the connection to a named shared corpus.
+    Corpus(String),
+    /// `START <twig|path|join> [key=value ...]` — open a learning session.
+    Start {
+        /// The learner to open.
+        model: Model,
+        /// Session parameters (strategy, seed, endpoints, …), model-specific.
+        params: Vec<(String, String)>,
+    },
+    /// `ASK` — request the next membership question.
+    Ask,
+    /// `ANSWER yes|no` — answer the pending question.
+    Answer(bool),
+    /// `QUERY` — render the current hypothesis.
+    Query,
+    /// `EVAL` — answer-set size of the current hypothesis.
+    Eval,
+    /// `METRICS` — aggregate service statistics.
+    Metrics,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line contained no tokens.
+    Empty,
+    /// The first token is not a known command.
+    UnknownCommand(String),
+    /// The command exists but its arguments are malformed.
+    BadArguments(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty command"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
+            ParseError::BadArguments(why) => write!(f, "bad arguments: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one request line (already stripped of its trailing newline).
+///
+/// Command verbs are case-insensitive, as is protocol tradition; arguments are case-sensitive
+/// (corpus and strategy names are lower-case identifiers).
+pub fn parse_command(line: &str) -> Result<Command, ParseError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or(ParseError::Empty)?.to_ascii_uppercase();
+    let rest: Vec<&str> = tokens.collect();
+    let expect_no_args = |cmd: Command| {
+        if rest.is_empty() {
+            Ok(cmd)
+        } else {
+            Err(ParseError::BadArguments(format!(
+                "{verb} takes no arguments"
+            )))
+        }
+    };
+    match verb.as_str() {
+        "HELLO" => expect_no_args(Command::Hello),
+        "ASK" => expect_no_args(Command::Ask),
+        "QUERY" => expect_no_args(Command::Query),
+        "EVAL" => expect_no_args(Command::Eval),
+        "METRICS" => expect_no_args(Command::Metrics),
+        "QUIT" => expect_no_args(Command::Quit),
+        "CORPUS" => match rest.as_slice() {
+            [name] => Ok(Command::Corpus((*name).to_string())),
+            _ => Err(ParseError::BadArguments(
+                "CORPUS takes exactly one name".to_string(),
+            )),
+        },
+        "ANSWER" => match rest.as_slice() {
+            [answer] => match answer.to_ascii_lowercase().as_str() {
+                "yes" | "y" | "true" => Ok(Command::Answer(true)),
+                "no" | "n" | "false" => Ok(Command::Answer(false)),
+                other => Err(ParseError::BadArguments(format!(
+                    "ANSWER takes yes|no, got {other:?}"
+                ))),
+            },
+            _ => Err(ParseError::BadArguments(
+                "ANSWER takes exactly one of yes|no".to_string(),
+            )),
+        },
+        "START" => {
+            let [model, params @ ..] = rest.as_slice() else {
+                return Err(ParseError::BadArguments(
+                    "START takes a model (twig|path|join) and optional key=value parameters"
+                        .to_string(),
+                ));
+            };
+            let model = Model::parse(model).ok_or_else(|| {
+                ParseError::BadArguments(format!(
+                    "unknown model {model:?}, expected twig|path|join"
+                ))
+            })?;
+            let params = parse_fields(params)?;
+            Ok(Command::Start { model, params })
+        }
+        _ => Err(ParseError::UnknownCommand(verb)),
+    }
+}
+
+/// Parse `key=value` tokens (used for `START` parameters and by clients reading `+ASK` /
+/// `+METRICS` payloads).
+pub fn parse_fields(tokens: &[&str]) -> Result<Vec<(String, String)>, ParseError> {
+    tokens
+        .iter()
+        .map(|tok| {
+            tok.split_once('=')
+                .filter(|(k, _)| !k.is_empty())
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| ParseError::BadArguments(format!("expected key=value, got {tok:?}")))
+        })
+        .collect()
+}
+
+/// Parse a whole `key=value ...` payload line (the argument part of a response).
+pub fn parse_fields_line(line: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    parse_fields(&tokens)
+}
+
+/// Look up one key in a parsed `key=value` field list (first match wins) — the one lookup
+/// every consumer of `START` parameters, `+ASK` questions and `+METRICS` payloads needs.
+pub fn field_value<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Render `key=value` pairs as one space-separated payload.
+pub fn render_fields<K: AsRef<str>, V: AsRef<str>>(fields: &[(K, V)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{}={}", k.as_ref(), v.as_ref()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_command("HELLO"), Ok(Command::Hello));
+        assert_eq!(
+            parse_command("hello"),
+            Ok(Command::Hello),
+            "verbs are case-insensitive"
+        );
+        assert_eq!(
+            parse_command("CORPUS tiny"),
+            Ok(Command::Corpus("tiny".to_string()))
+        );
+        assert_eq!(parse_command("ASK"), Ok(Command::Ask));
+        assert_eq!(parse_command("ANSWER yes"), Ok(Command::Answer(true)));
+        assert_eq!(parse_command("ANSWER no"), Ok(Command::Answer(false)));
+        assert_eq!(parse_command("answer Y"), Ok(Command::Answer(true)));
+        assert_eq!(parse_command("QUERY"), Ok(Command::Query));
+        assert_eq!(parse_command("EVAL"), Ok(Command::Eval));
+        assert_eq!(parse_command("METRICS"), Ok(Command::Metrics));
+        assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
+        assert_eq!(
+            parse_command("START twig strategy=label-affinity seed=3"),
+            Ok(Command::Start {
+                model: Model::Twig,
+                params: vec![
+                    ("strategy".to_string(), "label-affinity".to_string()),
+                    ("seed".to_string(), "3".to_string()),
+                ],
+            })
+        );
+        assert_eq!(
+            parse_command("START join"),
+            Ok(Command::Start {
+                model: Model::Join,
+                params: vec![],
+            })
+        );
+    }
+
+    #[test]
+    fn whitespace_is_forgiven_but_garbage_is_not() {
+        assert_eq!(parse_command("  ASK  "), Ok(Command::Ask));
+        assert_eq!(parse_command(""), Err(ParseError::Empty));
+        assert_eq!(parse_command("   \t "), Err(ParseError::Empty));
+        assert!(matches!(
+            parse_command("FROBNICATE"),
+            Err(ParseError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_arguments_are_rejected() {
+        assert!(matches!(
+            parse_command("CORPUS"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("CORPUS a b"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("ANSWER maybe"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("ANSWER"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("START"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("START sparql"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("START twig strategy"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("START twig =3"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("ASK now"),
+            Err(ParseError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn field_rendering_round_trips() {
+        let fields = vec![
+            ("doc".to_string(), "0".to_string()),
+            ("node".to_string(), "17".to_string()),
+        ];
+        let line = render_fields(&fields);
+        assert_eq!(line, "doc=0 node=17");
+        assert_eq!(parse_fields_line(&line).unwrap(), fields);
+    }
+}

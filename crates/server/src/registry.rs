@@ -1,0 +1,300 @@
+//! The multi-tenant session registry: id → boxed learner, mutex-sharded.
+//!
+//! Every open learning session — whichever connection it belongs to and whichever model it
+//! learns — lives here as a `Box<dyn InteractiveLearner>` (the homogeneity the `qbe-core`
+//! session trait exists for). The map is sharded across [`SHARDS`] mutexes keyed by session id,
+//! so concurrent connections asking questions on different sessions never contend on one global
+//! lock; a shard is held only for the duration of one command.
+//!
+//! Completed sessions fold into running aggregates (session/success/question counters plus an
+//! incrementally sorted question-count list — 8 bytes per session served), so a `METRICS`
+//! request is O(1): no per-request clone or sort of the service's whole history. The numbers
+//! reported are the `WorkloadMetrics` vocabulary of the in-process workload driver — `METRICS`
+//! over the wire and `exp_workload` on a laptop read the same statistics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use qbe_core::session::InteractiveLearner;
+use qbe_core::workload::percentile_sorted;
+
+/// Number of mutex shards. A small power of two: enough to decorrelate a few hundred
+/// concurrent connections, cheap to scan for the active-session count.
+///
+/// Shard locks recover from poisoning (`PoisonError::into_inner`): sessions are independent
+/// map entries, so a learner that panicked under one lock must not take down every later
+/// session that happens to hash to the same shard.
+pub const SHARDS: usize = 8;
+
+struct Entry {
+    learner: Box<dyn InteractiveLearner>,
+    started: Instant,
+    /// Set once the session has been folded into the completed aggregates, so a session that
+    /// converges *and* is later closed is counted exactly once.
+    reported: bool,
+}
+
+/// Running aggregates over every completed session.
+#[derive(Debug, Default)]
+struct CompletedLog {
+    successes: usize,
+    total_questions: usize,
+    total_wall: Duration,
+    /// Question counts of all completed sessions, kept sorted by binary insertion so
+    /// percentile queries are index lookups (nearest-rank, as in
+    /// [`qbe_core::workload::percentile`]).
+    sorted_questions: Vec<usize>,
+}
+
+impl CompletedLog {
+    fn fold(&mut self, questions: usize, success: bool, wall: Duration) {
+        self.successes += usize::from(success);
+        self.total_questions += questions;
+        self.total_wall += wall;
+        let at = self.sorted_questions.partition_point(|&q| q <= questions);
+        self.sorted_questions.insert(at, questions);
+    }
+}
+
+/// A `METRICS` snapshot: [`WorkloadMetrics`](qbe_core::workload::WorkloadMetrics)-style
+/// aggregates over every session this registry has completed.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// Sessions served to completion (converged or abandoned).
+    pub sessions: usize,
+    /// Sessions that converged with a consistent hypothesis.
+    pub successes: usize,
+    /// Total questions across all completed sessions.
+    pub total_questions: usize,
+    /// Nearest-rank median question count (`None` before the first completion).
+    pub p50_questions: Option<usize>,
+    /// Nearest-rank 95th-percentile question count.
+    pub p95_questions: Option<usize>,
+    /// Summed per-session wall time.
+    pub total_wall: Duration,
+    /// Registry uptime (the throughput denominator).
+    pub uptime: Duration,
+}
+
+impl ServiceMetrics {
+    /// Mean question count (`None` before the first completion).
+    pub fn mean_questions(&self) -> Option<f64> {
+        if self.sessions == 0 {
+            None
+        } else {
+            Some(self.total_questions as f64 / self.sessions as f64)
+        }
+    }
+
+    /// Sessions served per second of uptime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sessions as f64 / secs
+        }
+    }
+}
+
+/// Registry of all live sessions plus the aggregates of completed ones.
+pub struct SessionRegistry {
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    next_id: AtomicU64,
+    completed: Mutex<CompletedLog>,
+    opened: Instant,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry; the metrics clock starts now.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+            completed: Mutex::new(CompletedLog::default()),
+            opened: Instant::now(),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[(id % SHARDS as u64) as usize]
+    }
+
+    /// Register a new session, returning its id.
+    pub fn open(&self, learner: Box<dyn InteractiveLearner>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Entry {
+            learner,
+            started: Instant::now(),
+            reported: false,
+        };
+        self.shard(id)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, entry);
+        id
+    }
+
+    /// Run `f` on the session's learner under its shard lock. `None` when the id is unknown.
+    ///
+    /// If the learner reports itself done afterwards, the session is folded into the completed
+    /// aggregates (once).
+    pub fn with_session<R>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut dyn InteractiveLearner) -> R,
+    ) -> Option<R> {
+        let mut shard = self
+            .shard(id)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = shard.get_mut(&id)?;
+        let out = f(entry.learner.as_mut());
+        if entry.learner.done() && !entry.reported {
+            entry.reported = true;
+            let (questions, success, wall) = Self::summary_of(entry);
+            drop(shard);
+            self.completed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .fold(questions, success, wall);
+        }
+        Some(out)
+    }
+
+    /// Remove a session (client quit, connection dropped, replaced by a new `START`). An
+    /// unfinished session still counts as a (failed) completion — abandonment is an outcome
+    /// the service operator wants visible, not hidden.
+    pub fn close(&self, id: u64) {
+        let removed = self
+            .shard(id)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+        if let Some(entry) = removed {
+            if !entry.reported {
+                let (questions, success, wall) = Self::summary_of(&entry);
+                self.completed
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .fold(questions, success, wall);
+            }
+        }
+    }
+
+    fn summary_of(entry: &Entry) -> (usize, bool, Duration) {
+        let learner = entry.learner.as_ref();
+        let success = learner.done() && learner.consistent() && learner.hypothesis().is_some();
+        (learner.questions(), success, entry.started.elapsed())
+    }
+
+    /// Number of live (not yet closed) sessions.
+    pub fn active(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Snapshot the completed-session aggregates. O(1) apart from taking the lock.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let log = self
+            .completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        ServiceMetrics {
+            sessions: log.sorted_questions.len(),
+            successes: log.successes,
+            total_questions: log.total_questions,
+            p50_questions: percentile_sorted(&log.sorted_questions, 50.0),
+            p95_questions: percentile_sorted(&log.sorted_questions, 95.0),
+            total_wall: log.total_wall,
+            uptime: self.opened.elapsed().max(Duration::from_micros(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbe_core::session::drive;
+    use qbe_core::twig::{parse_xpath, NodeStrategy};
+    use qbe_core::xml::{parse_xml, NodeIndex};
+    use qbe_core::TwigInteractive;
+    use std::sync::Arc;
+
+    fn learner() -> Box<dyn InteractiveLearner> {
+        let docs = Arc::new(vec![parse_xml("<a><b><c/></b><b/></a>").unwrap()]);
+        let indexes = Arc::new(docs.iter().map(NodeIndex::build).collect::<Vec<_>>());
+        Box::new(
+            TwigInteractive::with_shared(docs, indexes, NodeStrategy::DocumentOrder, 0)
+                .with_goal(parse_xpath("//c").unwrap()),
+        )
+    }
+
+    #[test]
+    fn sessions_are_found_and_closed() {
+        let reg = SessionRegistry::new();
+        let id = reg.open(learner());
+        assert_eq!(reg.active(), 1);
+        assert_eq!(reg.with_session(id, |l| l.kind()), Some("twig"));
+        assert_eq!(reg.with_session(id + 999, |l| l.kind()), None);
+        reg.close(id);
+        assert_eq!(reg.active(), 0);
+        // Abandoned mid-flight: counted as a (failed) session.
+        let metrics = reg.metrics();
+        assert_eq!(metrics.sessions, 1);
+        assert_eq!(metrics.successes, 0);
+    }
+
+    #[test]
+    fn completed_sessions_are_reported_exactly_once() {
+        let reg = SessionRegistry::new();
+        let id = reg.open(learner());
+        reg.with_session(id, |l| drive("s1", l)).unwrap();
+        assert_eq!(reg.metrics().sessions, 1, "reported on completion");
+        // Further queries and the eventual close must not double-count.
+        reg.with_session(id, |l| l.questions()).unwrap();
+        reg.close(id);
+        let metrics = reg.metrics();
+        assert_eq!(metrics.sessions, 1);
+        assert_eq!(metrics.successes, 1);
+        assert!(metrics.total_wall > Duration::ZERO);
+        assert!(metrics.throughput() > 0.0);
+    }
+
+    #[test]
+    fn percentiles_track_the_question_distribution() {
+        // Aggregates must match the nearest-rank definition used by the workload driver.
+        let reg = SessionRegistry::new();
+        let ids: Vec<u64> = (0..5).map(|_| reg.open(learner())).collect();
+        for id in &ids {
+            reg.with_session(*id, |l| drive("s", l)).unwrap();
+        }
+        let per_session = reg.metrics().total_questions / 5;
+        let metrics = reg.metrics();
+        // All five sessions are identical, so every percentile is that common count.
+        assert_eq!(metrics.p50_questions, Some(per_session));
+        assert_eq!(metrics.p95_questions, Some(per_session));
+        assert_eq!(metrics.mean_questions(), Some(per_session as f64));
+    }
+
+    #[test]
+    fn ids_are_unique_across_shards() {
+        let reg = SessionRegistry::new();
+        let ids: Vec<u64> = (0..32).map(|_| reg.open(learner())).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert_eq!(reg.active(), 32);
+    }
+}

@@ -1,0 +1,644 @@
+//! The TCP service: thread-per-connection over `std::net`, one [`SessionRegistry`] and one
+//! [`CorpusStore`] shared by all connections.
+//!
+//! Concurrency model (the oxigraph-style "thin wire layer over shared storage" shape):
+//!
+//! * the **accept loop** runs on its own thread and applies the backpressure gate — beyond
+//!   [`ServerConfig::max_connections`] live connections, a new client is greeted with
+//!   `-ERR server at capacity` and closed immediately, so overload degrades crisply instead of
+//!   queueing unboundedly;
+//! * each **connection thread** owns its socket and per-connection state (attached corpus,
+//!   open session id); everything cross-connection lives behind the registry's shard mutexes
+//!   or the corpus cache mutex;
+//! * **framing** is one bounded line per request ([`read_line_bounded`]): a line longer than
+//!   [`MAX_LINE_BYTES`](crate::protocol::MAX_LINE_BYTES) or an idle socket
+//!   (`read_timeout`) terminates the connection with an explanatory `-ERR`;
+//! * **graceful shutdown** ([`ServerHandle::shutdown`]) stops the accept loop, shuts down
+//!   every live socket (which wakes any blocked read), joins all threads, and reports
+//!   still-open sessions as abandoned in the metrics.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qbe_core::graph::PathStrategy;
+use qbe_core::relational::Strategy;
+use qbe_core::session::InteractiveLearner;
+use qbe_core::twig::NodeStrategy;
+use qbe_core::{JoinInteractive, PathInteractive, TwigInteractive};
+
+use crate::corpus::{Corpus, CorpusStore, CORPUS_NAMES};
+use crate::protocol::{parse_command, render_fields, Command, Model, MAX_LINE_BYTES};
+use crate::registry::SessionRegistry;
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port; see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Live-connection cap; connections beyond it are rejected at accept time.
+    pub max_connections: usize,
+    /// Idle cap on one read: a connection that stays silent this long is closed.
+    pub read_timeout: Duration,
+    /// Cap on one blocking write.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    registry: SessionRegistry,
+    store: CorpusStore,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    /// One socket clone per live connection, so shutdown can wake blocked reads.
+    live_streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Join handles of finished-or-running connection threads, reaped on shutdown.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+}
+
+/// A running server; dropping it without calling [`shutdown`](Self::shutdown) leaves the
+/// threads serving until the process exits (what the standalone binary wants).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Bind and start serving. Returns as soon as the listener is live.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener =
+        TcpListener::bind(
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
+            })?,
+        )?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        config,
+        registry: SessionRegistry::new(),
+        store: CorpusStore::new(),
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        live_streams: Mutex::new(HashMap::new()),
+        conn_threads: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(1),
+    });
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("qbe-server-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, wake and join every connection thread, and return once the server is
+    /// fully quiesced. Open sessions are reported as abandoned.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; it checks the flag first thing.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Wake every connection blocked in a read.
+        for (_, stream) in self
+            .shared
+            .live_streams
+            .lock()
+            .expect("stream map lock never poisoned")
+            .drain()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .conn_threads
+                .lock()
+                .expect("thread list lock never poisoned"),
+        );
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the accept loop exits (the standalone binary's serve-forever mode).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // The protocol is many tiny request/response lines: without TCP_NODELAY, Nagle's
+        // algorithm + delayed ACKs add ~40 ms to every round trip.
+        let _ = stream.set_nodelay(true);
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            let _ = writeln!(stream, "-ERR server at capacity, retry later");
+            continue; // dropped ⇒ closed
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .live_streams
+                .lock()
+                .expect("stream map lock never poisoned")
+                .insert(conn_id, clone);
+        }
+        let conn_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("qbe-server-conn-{conn_id}"))
+            .spawn(move || {
+                // Drop guard: the capacity slot and stream-map entry are released even if the
+                // handler panics — a panicking connection must not wedge the admission gate.
+                struct ConnGuard {
+                    shared: Arc<Shared>,
+                    conn_id: u64,
+                }
+                impl Drop for ConnGuard {
+                    fn drop(&mut self) {
+                        if let Ok(mut streams) = self.shared.live_streams.lock() {
+                            streams.remove(&self.conn_id);
+                        }
+                        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let _guard = ConnGuard {
+                    shared: conn_shared.clone(),
+                    conn_id,
+                };
+                handle_connection(&conn_shared, stream, conn_id);
+            });
+        match handle {
+            Ok(h) => {
+                let mut threads = shared
+                    .conn_threads
+                    .lock()
+                    .expect("thread list lock never poisoned");
+                // Reap finished connections as new ones arrive, so the serve-forever mode does
+                // not accumulate one JoinHandle per connection ever served.
+                threads.retain(|t| !t.is_finished());
+                threads.push(h);
+            }
+            Err(_) => {
+                // Thread spawn failed: undo the admission.
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared
+                    .live_streams
+                    .lock()
+                    .expect("stream map lock never poisoned")
+                    .remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// Why [`read_line_bounded`] stopped.
+#[derive(Debug)]
+pub enum LineError {
+    /// Peer closed the connection (possibly mid-line).
+    Closed,
+    /// No complete line arrived within the socket's read timeout.
+    TimedOut,
+    /// The line exceeded the byte cap before a newline appeared.
+    TooLong,
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes (newline excluded), without ever
+/// buffering more than `max` bytes of an unterminated line.
+pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> Result<String, LineError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(LineError::TimedOut)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        if available.is_empty() {
+            return Err(LineError::Closed);
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            // CRLF framing: the \r is part of the line ending, not the content, so strip it
+            // before enforcing the content cap.
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if line.len() > max {
+                return Err(LineError::TooLong);
+            }
+            return Ok(String::from_utf8_lossy(&line).into_owned());
+        }
+        let n = available.len();
+        line.extend_from_slice(available);
+        reader.consume(n);
+        // Mid-line the cap allows one extra byte: a \r that may turn out to be CRLF framing
+        // once the \n arrives.
+        if line.len() > max + 1 {
+            return Err(LineError::TooLong);
+        }
+    }
+}
+
+/// Per-connection protocol state.
+struct Connection<'a> {
+    shared: &'a Shared,
+    corpus: Option<Arc<Corpus>>,
+    session: Option<u64>,
+}
+
+impl Connection<'_> {
+    fn close_session(&mut self) {
+        if let Some(id) = self.session.take() {
+            self.shared.registry.close(id);
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut conn = Connection {
+        shared,
+        corpus: None,
+        session: None,
+    };
+    if writeln!(writer, "+OK qbe-server ready").is_err() {
+        return;
+    }
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES) {
+            Ok(line) => line,
+            Err(LineError::Closed) => break,
+            Err(LineError::TimedOut) => {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = writeln!(writer, "-ERR idle timeout, closing");
+                }
+                break;
+            }
+            Err(LineError::TooLong) => {
+                // The rest of the oversized line is unread: the stream is desynchronised, so
+                // closing is the only safe continuation.
+                let _ = writeln!(writer, "-ERR line exceeds {MAX_LINE_BYTES} bytes, closing");
+                break;
+            }
+            Err(LineError::Io(_)) => break,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = writeln!(writer, "-ERR server shutting down");
+            break;
+        }
+        let (reply, quit) = respond(&mut conn, &line);
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+        if quit {
+            break;
+        }
+    }
+    conn.close_session();
+}
+
+/// Produce the one-line reply to one request line, plus whether the connection should close.
+fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
+    let command = match parse_command(line) {
+        Ok(c) => c,
+        Err(e) => return (format!("-ERR {e}"), false),
+    };
+    let reply = match command {
+        Command::Hello => format!(
+            "+OK qbe-server models=twig,path,join corpora={}",
+            CORPUS_NAMES.join(",")
+        ),
+        Command::Corpus(name) => match conn.shared.store.get_or_build(&name) {
+            None => format!(
+                "-ERR unknown corpus {name:?} (known: {})",
+                CORPUS_NAMES.join(",")
+            ),
+            Some(corpus) => {
+                let summary = render_fields(&[
+                    ("name", corpus.name.clone()),
+                    ("docs", corpus.docs.len().to_string()),
+                    ("xml_nodes", corpus.xml_nodes().to_string()),
+                    ("graph_nodes", corpus.graph.node_count().to_string()),
+                    (
+                        "tuples",
+                        format!("{}x{}", corpus.left.len(), corpus.right.len()),
+                    ),
+                ]);
+                conn.corpus = Some(corpus);
+                format!("+OK corpus {summary}")
+            }
+        },
+        Command::Start { model, params } => match conn.corpus.clone() {
+            None => "-ERR no corpus attached (use CORPUS <name>)".to_string(),
+            Some(corpus) => match build_learner(&corpus, model, &params) {
+                Err(why) => format!("-ERR {why}"),
+                Ok(learner) => {
+                    conn.close_session();
+                    let id = conn.shared.registry.open(learner);
+                    conn.session = Some(id);
+                    format!("+OK session id={id} model={model}")
+                }
+            },
+        },
+        Command::Ask => match conn.session {
+            None => "-ERR no open session (use START)".to_string(),
+            Some(id) => {
+                let proposed = conn.shared.registry.with_session(id, |l| {
+                    l.propose()
+                        .map(|q| q.to_string())
+                        .ok_or_else(|| (l.questions(), l.consistent()))
+                });
+                match proposed {
+                    None => "-ERR session vanished".to_string(),
+                    Some(Ok(question)) => format!("+ASK {question}"),
+                    Some(Err((questions, consistent))) => {
+                        format!("+DONE questions={questions} consistent={consistent}")
+                    }
+                }
+            }
+        },
+        Command::Answer(positive) => match conn.session {
+            None => "-ERR no open session (use START)".to_string(),
+            Some(id) => match conn
+                .shared
+                .registry
+                .with_session(id, |l| l.answer(positive))
+            {
+                None => "-ERR session vanished".to_string(),
+                Some(Ok(())) => "+OK recorded".to_string(),
+                Some(Err(e)) => format!("-ERR {e}"),
+            },
+        },
+        Command::Query => match conn.session {
+            None => "-ERR no open session (use START)".to_string(),
+            Some(id) => match conn.shared.registry.with_session(id, |l| l.hypothesis()) {
+                None => "-ERR session vanished".to_string(),
+                Some(None) => "-ERR no hypothesis yet (no positive example)".to_string(),
+                Some(Some(text)) => format!("+QUERY {text}"),
+            },
+        },
+        Command::Eval => match conn.session {
+            None => "-ERR no open session (use START)".to_string(),
+            Some(id) => match conn
+                .shared
+                .registry
+                .with_session(id, |l| l.answer_set_size())
+            {
+                None => "-ERR session vanished".to_string(),
+                Some(n) => format!("+EVAL {n}"),
+            },
+        },
+        Command::Metrics => {
+            let metrics = conn.shared.registry.metrics();
+            let fields = [
+                ("sessions", metrics.sessions.to_string()),
+                ("ok", metrics.successes.to_string()),
+                ("active", conn.shared.registry.active().to_string()),
+                ("total_questions", metrics.total_questions.to_string()),
+                (
+                    "p50_questions",
+                    metrics.p50_questions.unwrap_or(0).to_string(),
+                ),
+                (
+                    "p95_questions",
+                    metrics.p95_questions.unwrap_or(0).to_string(),
+                ),
+                (
+                    "mean_questions",
+                    format!("{:.2}", metrics.mean_questions().unwrap_or(0.0)),
+                ),
+                ("throughput_per_s", format!("{:.3}", metrics.throughput())),
+            ];
+            format!("+METRICS {}", render_fields(&fields))
+        }
+        Command::Quit => {
+            // Close (and report) the session before replying, so a client that QUITs and then
+            // probes METRICS on a fresh connection observes its own session.
+            conn.close_session();
+            return ("+OK bye".to_string(), true);
+        }
+    };
+    (reply, false)
+}
+
+use crate::protocol::field_value as param;
+
+fn parse_seed(params: &[(String, String)]) -> Result<u64, String> {
+    match param(params, "seed") {
+        None => Ok(0),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("seed must be a u64, got {s:?}")),
+    }
+}
+
+/// Build the model-specific learner a `START` command asks for.
+fn build_learner(
+    corpus: &Corpus,
+    model: Model,
+    params: &[(String, String)],
+) -> Result<Box<dyn InteractiveLearner>, String> {
+    let seed = parse_seed(params)?;
+    let known = |allowed: &str, key: &str| {
+        // Reject typos loudly instead of silently applying defaults.
+        format!("unknown {key}, expected one of: {allowed}")
+    };
+    match model {
+        Model::Twig => {
+            let strategy = match param(params, "strategy").unwrap_or("label-affinity") {
+                "document-order" => NodeStrategy::DocumentOrder,
+                "random" => NodeStrategy::Random,
+                "shallow-first" => NodeStrategy::ShallowFirst,
+                "label-affinity" => NodeStrategy::LabelAffinity,
+                _ => {
+                    return Err(known(
+                        "document-order|random|shallow-first|label-affinity",
+                        "strategy",
+                    ))
+                }
+            };
+            Ok(Box::new(TwigInteractive::with_shared(
+                corpus.docs.clone(),
+                corpus.indexes.clone(),
+                strategy,
+                seed,
+            )))
+        }
+        Model::Path => {
+            let strategy = match param(params, "strategy").unwrap_or("halving") {
+                "random" => PathStrategy::Random,
+                "shortest-first" => PathStrategy::ShortestFirst,
+                "halving" => PathStrategy::Halving,
+                "workload-prior" => PathStrategy::WorkloadPrior,
+                _ => {
+                    return Err(known(
+                        "random|shortest-first|halving|workload-prior",
+                        "strategy",
+                    ))
+                }
+            };
+            let from_name = param(params, "from").unwrap_or("city0");
+            let to_name = param(params, "to").unwrap_or("city5");
+            let resolve = |name: &str| {
+                corpus
+                    .graph
+                    .find_node_by_property("name", name)
+                    .ok_or_else(|| format!("unknown city {name:?}"))
+            };
+            let from = resolve(from_name)?;
+            let to = resolve(to_name)?;
+            let max_edges = match param(params, "max_edges") {
+                None => 6,
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| format!("max_edges must be a usize, got {s:?}"))?,
+            };
+            Ok(Box::new(PathInteractive::new(
+                corpus.graph.clone(),
+                from,
+                to,
+                max_edges,
+                strategy,
+                seed,
+            )))
+        }
+        Model::Join => {
+            let strategy = match param(params, "strategy").unwrap_or("halve-lattice") {
+                "random" => Strategy::Random,
+                "most-specific-first" => Strategy::MostSpecificFirst,
+                "halve-lattice" => Strategy::HalveLattice,
+                _ => {
+                    return Err(known(
+                        "random|most-specific-first|halve-lattice",
+                        "strategy",
+                    ))
+                }
+            };
+            Ok(Box::new(JoinInteractive::new(
+                corpus.left.clone(),
+                corpus.right.clone(),
+                strategy,
+                seed,
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_reader_enforces_the_cap() {
+        let mut ok = io::Cursor::new(b"HELLO\r\nASK\n".to_vec());
+        assert_eq!(read_line_bounded(&mut ok, 16).unwrap(), "HELLO");
+        assert_eq!(read_line_bounded(&mut ok, 16).unwrap(), "ASK");
+        assert!(matches!(
+            read_line_bounded(&mut ok, 16),
+            Err(LineError::Closed)
+        ));
+
+        // Oversized despite a newline: rejected.
+        let mut long = io::Cursor::new(
+            vec![b'a'; 64]
+                .into_iter()
+                .chain(*b"\n")
+                .collect::<Vec<u8>>(),
+        );
+        assert!(matches!(
+            read_line_bounded(&mut long, 16),
+            Err(LineError::TooLong)
+        ));
+
+        // Oversized with no newline at all: rejected without buffering the flood.
+        let mut flood = io::Cursor::new(vec![b'b'; 1 << 20]);
+        assert!(matches!(
+            read_line_bounded(&mut flood, 16),
+            Err(LineError::TooLong)
+        ));
+    }
+
+    #[test]
+    fn carriage_return_does_not_count_against_the_cap() {
+        // Exactly max content bytes, CRLF-framed: the \r is line ending, not content.
+        let mut at_cap = io::Cursor::new([vec![b'x'; 16], b"\r\n".to_vec()].concat());
+        assert_eq!(read_line_bounded(&mut at_cap, 16).unwrap(), "x".repeat(16));
+        // One content byte over, LF-framed: still rejected.
+        let mut over = io::Cursor::new([vec![b'x'; 17], b"\n".to_vec()].concat());
+        assert!(matches!(
+            read_line_bounded(&mut over, 16),
+            Err(LineError::TooLong)
+        ));
+    }
+
+    #[test]
+    fn learner_factory_validates_parameters() {
+        let corpus = crate::corpus::build_corpus("tiny").unwrap();
+        assert!(build_learner(&corpus, Model::Twig, &[]).is_ok());
+        assert!(build_learner(
+            &corpus,
+            Model::Twig,
+            &[("strategy".into(), "alphabetical".into())]
+        )
+        .is_err());
+        assert!(build_learner(&corpus, Model::Join, &[("seed".into(), "x".into())]).is_err());
+        assert!(
+            build_learner(&corpus, Model::Path, &[("from".into(), "atlantis".into())]).is_err()
+        );
+        let ok = build_learner(&corpus, Model::Path, &[("to".into(), "city3".into())]).unwrap();
+        assert_eq!(ok.kind(), "path");
+    }
+}

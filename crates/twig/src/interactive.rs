@@ -171,6 +171,14 @@ pub struct TwigSession {
     strategy: NodeStrategy,
     seed: u64,
     asked: usize,
+    /// Nodes proven determined-negative so far (never re-analysed).
+    determined: BTreeSet<(usize, NodeId)>,
+    /// Answer set of the current candidate, cached per positive-count epoch.
+    certain: BTreeSet<(usize, NodeId)>,
+    /// Positive-label count the `certain` cache was computed for.
+    known_positives: usize,
+    /// Set once a generalised candidate swallows an earlier negative.
+    inconsistent: bool,
 }
 
 impl TwigSession {
@@ -203,6 +211,10 @@ impl TwigSession {
             strategy,
             seed,
             asked: 0,
+            determined: BTreeSet::new(),
+            certain: BTreeSet::new(),
+            known_positives: 0,
+            inconsistent: false,
         }
     }
 
@@ -437,82 +449,114 @@ impl TwigSession {
         }
     }
 
-    /// Run the session to completion against an oracle.
+    /// Propose the next node to ask the user about, or `None` when the session is over (every
+    /// node is labelled or pruned, or the labels became inconsistent).
     ///
-    /// Each round the session recomputes the still-informative nodes (pruning certain
-    /// positives and determined negatives), asks the strategy's preferred one, and records the
-    /// answer. The candidate — and with it the certain-positive set — only changes when a new
-    /// positive arrives, so it is cached per positive-count epoch; determined-negative checks
-    /// run lazily, only on nodes the strategy actually proposes.
-    pub fn run(mut self, oracle: &mut dyn NodeOracle) -> TwigSessionOutcome {
-        let total_nodes: usize = self.docs.iter().map(XmlTree::size).sum();
-        let mut determined: BTreeSet<(usize, NodeId)> = BTreeSet::new();
-        let mut certain: BTreeSet<(usize, NodeId)> = BTreeSet::new();
-        let mut known_positives = 0usize;
-        let mut consistent = true;
-        loop {
-            let positives_now = self.annotations.iter().filter(|a| a.positive).count();
-            if positives_now != known_positives {
-                known_positives = positives_now;
-                certain.clear();
-                if let Some(q) = self.candidate() {
-                    for doc_ix in 0..self.docs.len() {
-                        for node in self.eval_select(&q, doc_ix) {
-                            certain.insert((doc_ix, node));
-                        }
-                    }
-                }
-                // A generalised candidate may have swallowed an earlier negative: the labels
-                // no longer admit a consistent anchored twig, matching `is_consistent`.
-                if self
-                    .annotations
-                    .iter()
-                    .any(|a| !a.positive && certain.contains(&(a.doc, a.node)))
-                {
-                    consistent = false;
-                    break;
-                }
-            }
-
-            let labelled: BTreeSet<(usize, NodeId)> =
-                self.annotations.iter().map(|a| (a.doc, a.node)).collect();
-            let mut informative: Vec<(usize, NodeId)> = Vec::new();
-            for (doc_ix, doc) in self.docs.iter().enumerate() {
-                for node in doc.node_ids() {
-                    let key = (doc_ix, node);
-                    if !labelled.contains(&key)
-                        && !determined.contains(&key)
-                        && !certain.contains(&key)
-                    {
-                        informative.push(key);
-                    }
-                }
-            }
-
-            let mut chosen = None;
-            while let Some(pick) = self.pick_next(&informative) {
-                if self.is_determined_negative(pick.0, pick.1) {
-                    determined.insert(pick);
-                    informative.retain(|key| *key != pick);
-                    continue;
-                }
-                chosen = Some(pick);
-                break;
-            }
-            let Some((doc, node)) = chosen else { break };
-            let label = oracle.label(doc, node);
-            self.record(doc, node, label);
+    /// Each call recomputes the still-informative nodes (pruning certain positives and
+    /// determined negatives) and returns the strategy's preferred one. The candidate — and with
+    /// it the certain-positive set — only changes when a new positive arrives, so it is cached
+    /// per positive-count epoch; determined-negative checks run lazily, only on nodes the
+    /// strategy actually proposes. Callers alternate `propose` and [`Self::record`]: drivers
+    /// serving one question at a time (the `qbe-core` session adapters, the `qbe-server` wire
+    /// protocol) call them round by round, [`Self::run`] loops to completion.
+    pub fn propose(&mut self) -> Option<(usize, NodeId)> {
+        if self.inconsistent {
+            return None;
         }
-        let consistent = consistent && self.is_consistent();
+        let positives_now = self.annotations.iter().filter(|a| a.positive).count();
+        if positives_now != self.known_positives {
+            self.known_positives = positives_now;
+            self.certain.clear();
+            if let Some(q) = self.candidate() {
+                for doc_ix in 0..self.docs.len() {
+                    for node in self.eval_select(&q, doc_ix) {
+                        self.certain.insert((doc_ix, node));
+                    }
+                }
+            }
+            // A generalised candidate may have swallowed an earlier negative: the labels no
+            // longer admit a consistent anchored twig, matching `is_consistent`.
+            if self
+                .annotations
+                .iter()
+                .any(|a| !a.positive && self.certain.contains(&(a.doc, a.node)))
+            {
+                self.inconsistent = true;
+                return None;
+            }
+        }
+
+        let labelled: BTreeSet<(usize, NodeId)> =
+            self.annotations.iter().map(|a| (a.doc, a.node)).collect();
+        let mut informative: Vec<(usize, NodeId)> = Vec::new();
+        for (doc_ix, doc) in self.docs.iter().enumerate() {
+            for node in doc.node_ids() {
+                let key = (doc_ix, node);
+                if !labelled.contains(&key)
+                    && !self.determined.contains(&key)
+                    && !self.certain.contains(&key)
+                {
+                    informative.push(key);
+                }
+            }
+        }
+
+        while let Some(pick) = self.pick_next(&informative) {
+            if self.is_determined_negative(pick.0, pick.1) {
+                self.determined.insert(pick);
+                informative.retain(|key| *key != pick);
+                continue;
+            }
+            return Some(pick);
+        }
+        None
+    }
+
+    /// Total node count across the session's documents (the denominator of the pruning ratio).
+    pub fn total_nodes(&self) -> usize {
+        self.docs.iter().map(XmlTree::size).sum()
+    }
+
+    /// Answer-set size of the current candidate over the whole corpus, through the indexed
+    /// evaluator (0 when no positive has been labelled yet).
+    pub fn candidate_answer_count(&self) -> usize {
+        match self.candidate() {
+            None => 0,
+            Some(q) => (0..self.docs.len())
+                .map(|doc_ix| self.eval_select(&q, doc_ix).len())
+                .sum(),
+        }
+    }
+
+    /// Whether the collected labels still admit a consistent anchored twig — the `consistent`
+    /// field of [`Self::outcome`] without materialising the whole outcome (callers polling
+    /// consistency per round, like the serving layer, avoid the extra candidate relearn the
+    /// outcome's `query` field would cost).
+    pub fn consistent(&self) -> bool {
+        !self.inconsistent && self.is_consistent()
+    }
+
+    /// The session's result so far. Final once [`Self::propose`] has returned `None`.
+    pub fn outcome(&self) -> TwigSessionOutcome {
+        let total_nodes = self.total_nodes();
         let interactions = self.asked;
-        let pruned = total_nodes - interactions;
         TwigSessionOutcome {
             query: self.candidate(),
             interactions,
-            pruned,
+            pruned: total_nodes - interactions,
             total_nodes,
-            consistent,
+            consistent: self.consistent(),
         }
+    }
+
+    /// Run the session to completion against an oracle: alternate [`Self::propose`] and
+    /// [`Self::record`] until no informative node remains.
+    pub fn run(mut self, oracle: &mut dyn NodeOracle) -> TwigSessionOutcome {
+        while let Some((doc, node)) = self.propose() {
+            let label = oracle.label(doc, node);
+            self.record(doc, node, label);
+        }
+        self.outcome()
     }
 }
 

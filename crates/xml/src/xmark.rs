@@ -140,6 +140,30 @@ pub fn generate(config: &XmarkConfig) -> XmlTree {
     Generator::new(config).generate()
 }
 
+/// The XMark corpus names [`corpus_by_name`] understands, smallest first.
+pub const CORPUS_NAMES: &[&str] = &["xmark-tiny", "xmark-small", "xmark-default"];
+
+/// A named, deterministic XMark corpus — the handle a *service* hands out so that every client
+/// (and every test) referring to `"xmark-tiny"` sees byte-identical documents without shipping
+/// them over the wire. `None` for unknown names; see [`CORPUS_NAMES`].
+///
+/// ```
+/// use qbe_xml::xmark::corpus_by_name;
+/// let a = corpus_by_name("xmark-tiny").unwrap();
+/// let b = corpus_by_name("xmark-tiny").unwrap();
+/// assert_eq!(a, b);
+/// assert!(corpus_by_name("xmark-galactic").is_none());
+/// ```
+pub fn corpus_by_name(name: &str) -> Option<Vec<XmlTree>> {
+    let config = match name {
+        "xmark-tiny" => XmarkConfig::new(0.008, 7),
+        "xmark-small" => XmarkConfig::new(0.05, 7),
+        "xmark-default" => XmarkConfig::default(),
+        _ => return None,
+    };
+    Some(vec![generate(&config)])
+}
+
 struct Generator<'a> {
     config: &'a XmarkConfig,
     rng: StdRng,

@@ -7,12 +7,12 @@
 //!
 //! Run with `cargo run -p qbe-core --example workload`.
 
-use qbe_core::twig::{interactive::GoalNodeOracle, parse_xpath, NodeStrategy, TwigSession};
-use qbe_core::workload::{SessionJob, SessionPool, SessionReport};
+use qbe_core::twig::{parse_xpath, NodeStrategy};
+use qbe_core::workload::SessionPool;
 use qbe_core::xml::xmark::{generate, XmarkConfig};
 use qbe_core::xml::NodeIndex;
+use qbe_core::TwigInteractive;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn main() {
     // One corpus, one index — every session shares both.
@@ -23,7 +23,8 @@ fn main() {
         docs[0].size()
     );
 
-    // Four users with four different goals in mind.
+    // Four users with four different goals in mind. Each session is an `InteractiveLearner`
+    // driven by the pool's generic loop against its embedded goal oracle.
     let goals = [
         "//person/name",
         "//open_auction",
@@ -35,26 +36,18 @@ fn main() {
         let docs = docs.clone();
         let indexes = indexes.clone();
         let goal_query = parse_xpath(goal).expect("goal parses");
-        let label = format!("user{user}: {goal}");
-        let job_label = label.clone();
         // The expected-questions estimate orders the queue; rough is fine.
-        pool.push(SessionJob::new(label, 10 + 10 * user, move || {
-            let mut oracle = GoalNodeOracle::new(&docs, goal_query.clone());
-            let session = TwigSession::with_shared(
-                docs.clone(),
-                indexes.clone(),
-                NodeStrategy::LabelAffinity,
-                user as u64,
-            );
-            let outcome = session.run(&mut oracle);
-            SessionReport {
-                label: job_label,
-                questions: outcome.interactions,
-                inferred: outcome.pruned,
-                success: outcome.consistent && outcome.query.is_some(),
-                wall: Duration::ZERO, // the pool fills in the measured wall time
-            }
-        }));
+        pool.push_learner(format!("user{user}: {goal}"), 10 + 10 * user, move || {
+            Box::new(
+                TwigInteractive::with_shared(
+                    docs,
+                    indexes,
+                    NodeStrategy::LabelAffinity,
+                    user as u64,
+                )
+                .with_goal(goal_query),
+            )
+        });
     }
 
     let workers = std::thread::available_parallelism()
