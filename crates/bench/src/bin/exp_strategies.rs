@@ -1,0 +1,201 @@
+//! Experiment S1 — question-count/latency trade-offs of the pluggable selection strategies.
+//!
+//! The paper's interactive protocol minimises the number of questions a user must answer; this
+//! experiment measures how much that number depends on *which* informative item the learner
+//! asks about next. For each data model — twig learning over a shared XMark document, path
+//! learning over the geographical graph, join learning over generated relation pairs — a fleet
+//! of goal-driven sessions runs once per shipped model-agnostic strategy (`paper-order`,
+//! `random`, `max-coverage`, `cheapest-first`; see `qbe_core::strategy`), all strategies of a
+//! model inside one `SessionPool` so the per-strategy rows come from
+//! `WorkloadMetrics::by_strategy` — the same aggregation path the serving layer uses.
+//!
+//! The table reports, per model × strategy: sessions, questions p50/p95/mean, and the summed
+//! per-session wall clock (the strategy's compute cost, independent of pool parallelism).
+//! Cheap strategies (`paper-order`, `cheapest-first`) spend almost nothing picking but ask
+//! more questions; the informed ones buy fewer questions with more evaluation work — the
+//! trade-off the active-learning lines in PAPERS.md frame.
+//!
+//! Regenerate with `cargo run --release -p qbe-bench --bin exp_strategies`.
+
+use std::sync::Arc;
+
+use qbe_core::graph::{generate_geo_graph, interactive::PathConstraint, GeoConfig, PropertyGraph};
+use qbe_core::relational::{generate_join_instance, JoinInstanceConfig};
+use qbe_core::twig::parse_xpath;
+use qbe_core::workload::{SessionPool, StrategyAggregate};
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::{NodeIndex, XmlTree};
+use qbe_core::{JoinInteractive, PathInteractive, SessionConfig, TwigInteractive, STRATEGY_NAMES};
+
+fn config(strategy: &str, seed: u64) -> SessionConfig {
+    SessionConfig::new()
+        .seed(seed)
+        .strategy_named(strategy)
+        .expect("every name in STRATEGY_NAMES resolves")
+}
+
+fn twig_pool(
+    docs: &Arc<Vec<XmlTree>>,
+    indexes: &Arc<Vec<NodeIndex>>,
+    seeds: &[u64],
+) -> SessionPool {
+    let mut pool = SessionPool::new();
+    for &strategy in STRATEGY_NAMES {
+        for &seed in seeds {
+            for goal in ["//person/name", "//item/name"] {
+                let goal_query = parse_xpath(goal).expect("goal parses");
+                let (docs, indexes) = (docs.clone(), indexes.clone());
+                pool.push_learner(format!("twig {goal} {strategy}"), 32, move || {
+                    Box::new(
+                        TwigInteractive::with_config(docs, indexes, config(strategy, seed))
+                            .with_goal(goal_query),
+                    )
+                });
+            }
+        }
+    }
+    pool
+}
+
+fn path_pool(graph: &Arc<PropertyGraph>, seeds: &[u64]) -> SessionPool {
+    let mut pool = SessionPool::new();
+    for &strategy in STRATEGY_NAMES {
+        for &seed in seeds {
+            let graph = graph.clone();
+            let goal = PathConstraint {
+                road_type: Some("highway".to_string()),
+                max_distance: None,
+                via: None,
+            };
+            pool.push_learner(format!("path highway {strategy}"), 24, move || {
+                let from = graph
+                    .find_node_by_property("name", "city0")
+                    .expect("generator names cities");
+                let to = graph
+                    .find_node_by_property("name", "city5")
+                    .expect("generator names cities");
+                Box::new(
+                    PathInteractive::with_config(graph, from, to, 8, config(strategy, seed))
+                        .with_goal(goal),
+                )
+            });
+        }
+    }
+    pool
+}
+
+fn join_pool(rows: usize, seeds: &[u64]) -> SessionPool {
+    let mut pool = SessionPool::new();
+    for &strategy in STRATEGY_NAMES {
+        for &seed in seeds {
+            pool.push_learner(format!("join rows={rows} {strategy}"), 30, move || {
+                let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+                    left_rows: rows,
+                    right_rows: rows,
+                    extra_attributes: 2,
+                    domain_size: 6,
+                    seed,
+                });
+                Box::new(
+                    JoinInteractive::with_config(
+                        Arc::new(left),
+                        Arc::new(right),
+                        config(strategy, seed),
+                    )
+                    .with_goal(goal),
+                )
+            });
+        }
+    }
+    pool
+}
+
+fn print_rows(model: &str, rows: &[StrategyAggregate]) {
+    for r in rows {
+        println!(
+            "{:<6} {:<16} {:>8} {:>8} {:>8} {:>8.1} {:>11.1}ms",
+            model,
+            r.strategy,
+            r.sessions,
+            r.p50_questions.unwrap_or(0),
+            r.p95_questions.unwrap_or(0),
+            r.mean_questions().unwrap_or(0.0),
+            r.wall.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+/// Smoke-mode self-check: one row per shipped strategy, every session successful.
+fn check(model: &str, rows: &[StrategyAggregate], expected_sessions: usize) {
+    assert_eq!(
+        rows.len(),
+        STRATEGY_NAMES.len(),
+        "{model}: one aggregate row per shipped strategy"
+    );
+    for r in rows {
+        assert!(
+            STRATEGY_NAMES.contains(&r.strategy.as_str()),
+            "{model}: unexpected strategy {}",
+            r.strategy
+        );
+        assert_eq!(
+            r.sessions, expected_sessions,
+            "{model}: every strategy runs the same fleet"
+        );
+        assert_eq!(
+            r.successes, r.sessions,
+            "{model}/{}: every session learns its goal",
+            r.strategy
+        );
+        assert!(
+            r.p50_questions.unwrap_or(0) <= r.p95_questions.unwrap_or(0),
+            "{model}/{}: percentiles are monotone",
+            r.strategy
+        );
+    }
+}
+
+fn main() {
+    let scale = qbe_bench::param(0.03, 0.008);
+    let seeds: Vec<u64> = qbe_bench::param(vec![1, 2, 3, 4], vec![1]);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    println!(
+        "S1 — question-count/latency per selection strategy ({} seeds, {workers} workers)",
+        seeds.len()
+    );
+    println!(
+        "{:<6} {:<16} {:>8} {:>8} {:>8} {:>8} {:>13}",
+        "model", "strategy", "sessions", "q_p50", "q_p95", "q_mean", "wall"
+    );
+
+    let docs = Arc::new(vec![generate(&XmarkConfig::new(scale, 7))]);
+    let indexes: Arc<Vec<NodeIndex>> = Arc::new(docs.iter().map(NodeIndex::build).collect());
+    let twig = twig_pool(&docs, &indexes, &seeds)
+        .run(workers)
+        .by_strategy();
+    print_rows("twig", &twig);
+    check("twig", &twig, seeds.len() * 2);
+
+    let graph = Arc::new(generate_geo_graph(&GeoConfig {
+        cities: qbe_bench::param(16, 10),
+        connectivity: 3,
+        ..Default::default()
+    }));
+    let path = path_pool(&graph, &seeds).run(workers).by_strategy();
+    print_rows("path", &path);
+    check("path", &path, seeds.len());
+
+    let join = join_pool(qbe_bench::param(30, 12), &seeds)
+        .run(workers)
+        .by_strategy();
+    print_rows("join", &join);
+    check("join", &join, seeds.len());
+
+    println!(
+        "\nstrategies reconcile: {} rows across twig/path/join, all sessions successful",
+        twig.len() + path.len() + join.len()
+    );
+}

@@ -156,6 +156,34 @@ fn main() {
     }
     println!("\naggregate: {metrics}");
 
+    // Per-strategy aggregates: the same reports, grouped by the selection strategy each
+    // session consulted (the mixed fleet exercises label-affinity, cheapest-first — the
+    // ShallowFirst preset — and halving policies side by side).
+    println!(
+        "\n{:<20} {:>8} {:>8} {:>8} {:>8}",
+        "strategy", "sessions", "q_p50", "q_p95", "q_mean"
+    );
+    let by_strategy = metrics.by_strategy();
+    for s in &by_strategy {
+        println!(
+            "{:<20} {:>8} {:>8} {:>8} {:>8.1}",
+            s.strategy,
+            s.sessions,
+            s.p50_questions.unwrap_or(0),
+            s.p95_questions.unwrap_or(0),
+            s.mean_questions().unwrap_or(0.0),
+        );
+    }
+    assert!(
+        by_strategy.iter().all(|s| !s.strategy.is_empty()),
+        "every session reports its strategy"
+    );
+    assert_eq!(
+        by_strategy.iter().map(|s| s.sessions).sum::<usize>(),
+        metrics.sessions(),
+        "strategy groups partition the fleet"
+    );
+
     // The smoke run doubles as a metrics-correctness check: the aggregates must reconcile
     // exactly with the per-session rows.
     assert_eq!(metrics.sessions(), queued, "every session must complete");

@@ -33,6 +33,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         env!("CARGO_BIN_EXE_exp_schema_learning"),
     ),
     ("exp_sparql", env!("CARGO_BIN_EXE_exp_sparql")),
+    ("exp_strategies", env!("CARGO_BIN_EXE_exp_strategies")),
     (
         "exp_twig_consistency",
         env!("CARGO_BIN_EXE_exp_twig_consistency"),

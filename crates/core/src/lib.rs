@@ -17,7 +17,13 @@
 //!   sessions as homogeneous boxed trait objects;
 //! * [`workload`] — the concurrent multi-session driver: a [`SessionPool`] runs many
 //!   interactive sessions over `std::thread` against shared immutable indexes, scheduled
-//!   shortest-expected-work first, and aggregates throughput/percentile metrics;
+//!   shortest-expected-work first, and aggregates throughput/percentile metrics (overall and
+//!   per question-selection strategy);
+//! * [`strategy`] — re-export of `qbe-strategy`: the model-agnostic, object-safe
+//!   [`Strategy`] trait every interactive session consults to pick its next question, the
+//!   [`SessionConfig`] builder (strategy, question budget, seed) accepted everywhere a
+//!   session is created, and the shipped strategies ([`PaperOrder`], [`Random`],
+//!   [`MaxCoverage`], [`CheapestFirst`]);
 //! * re-exports: [`xml`], [`schema`], [`twig`], [`relational`], [`graph`], [`exchange`].
 //!
 //! ## Quickstart
@@ -56,7 +62,16 @@ pub use session::{
     TwigInteractive,
 };
 pub use workload::{
-    percentile, percentile_sorted, SessionJob, SessionPool, SessionReport, WorkloadMetrics,
+    percentile, percentile_sorted, SessionJob, SessionPool, SessionReport, StrategyAggregate,
+    WorkloadMetrics,
+};
+
+/// Re-export of the question-selection strategy API (`qbe-strategy`).
+pub use qbe_strategy as strategy;
+
+pub use qbe_strategy::{
+    strategy_by_name, Candidate, CheapestFirst, MaxCoverage, PaperOrder, PoolView, Random,
+    ResolvedConfig, SessionConfig, Strategy, UnknownStrategy, STRATEGY_NAMES,
 };
 
 /// Re-export of the XML substrate (`qbe-xml`).

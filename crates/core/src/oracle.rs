@@ -5,7 +5,7 @@
 //! loop stops when nothing informative remains. The model-specific crates implement specialised,
 //! more efficient versions of this loop (`qbe_relational::interactive`,
 //! `qbe_graph::interactive`); this module provides the generic counterpart used by the examples
-//! and by the cross-model experiments, built directly on the [`Learner`](crate::framework::Learner)
+//! and by the cross-model experiments, built directly on the [`crate::framework::Learner`]
 //! trait with an explicit (finite) pool of candidate items.
 
 use crate::framework::{Hypothesis, Learner};

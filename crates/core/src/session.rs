@@ -33,6 +33,7 @@ use std::time::Duration;
 use crate::workload::SessionReport;
 use qbe_graph::{GNodeId, PathConstraint, PathSession, PathStrategy, PropertyGraph};
 use qbe_relational::{interactive::selected_pairs, JoinPredicate, Relation, Strategy};
+use qbe_strategy::SessionConfig;
 use qbe_twig::{eval, NodeStrategy, TwigQuery, TwigSession};
 use qbe_xml::{NodeId, NodeIndex, XmlTree};
 
@@ -104,6 +105,12 @@ pub trait InteractiveLearner: Send {
     /// Which model the session learns over: `"twig"`, `"path"` or `"join"`.
     fn kind(&self) -> &'static str;
 
+    /// The name of the session's question-selection strategy
+    /// ([`qbe_strategy::Strategy::name`]) — what per-strategy workload aggregates group by.
+    fn strategy(&self) -> &str {
+        ""
+    }
+
     /// The pending question, proposing a fresh one if necessary. `None` when the session is
     /// complete.
     fn propose(&mut self) -> Option<Question>;
@@ -165,6 +172,7 @@ pub fn drive(label: impl Into<String>, learner: &mut dyn InteractiveLearner) -> 
     }
     SessionReport {
         label: label.into(),
+        strategy: learner.strategy().to_string(),
         questions: learner.questions(),
         inferred: learner.inferred(),
         success: learner.consistent() && learner.hypothesis().is_some(),
@@ -196,9 +204,26 @@ impl TwigInteractive {
         strategy: NodeStrategy,
         seed: u64,
     ) -> TwigInteractive {
+        TwigInteractive::with_config(
+            docs,
+            indexes,
+            SessionConfig::new()
+                .seed(seed)
+                .strategy(strategy.strategy(seed)),
+        )
+    }
+
+    /// Start a session from a [`SessionConfig`] (pluggable strategy, question budget, seed)
+    /// over shared documents and indexes — the primary constructor;
+    /// [`with_shared`](Self::with_shared) is a preset over it.
+    pub fn with_config(
+        docs: Arc<Vec<XmlTree>>,
+        indexes: Arc<Vec<NodeIndex>>,
+        config: SessionConfig,
+    ) -> TwigInteractive {
         let goal_answers = std::cell::RefCell::new(vec![None; docs.len()]);
         TwigInteractive {
-            session: TwigSession::with_shared(docs.clone(), indexes, strategy, seed),
+            session: TwigSession::with_config(docs.clone(), indexes, config),
             docs,
             goal: None,
             goal_answers,
@@ -242,6 +267,10 @@ impl TwigInteractive {
 impl InteractiveLearner for TwigInteractive {
     fn kind(&self) -> &'static str {
         "twig"
+    }
+
+    fn strategy(&self) -> &str {
+        self.session.strategy_name()
     }
 
     fn propose(&mut self) -> Option<Question> {
@@ -330,8 +359,28 @@ impl PathInteractive {
         strategy: PathStrategy,
         seed: u64,
     ) -> PathInteractive {
+        PathInteractive::with_config(
+            graph,
+            from,
+            to,
+            max_edges,
+            SessionConfig::new()
+                .seed(seed)
+                .strategy(strategy.strategy(seed)),
+        )
+    }
+
+    /// Start a session from a [`SessionConfig`] (pluggable strategy, question budget, seed) —
+    /// the primary constructor; [`new`](Self::new) is a preset over it.
+    pub fn with_config(
+        graph: Arc<PropertyGraph>,
+        from: GNodeId,
+        to: GNodeId,
+        max_edges: usize,
+        config: SessionConfig,
+    ) -> PathInteractive {
         PathInteractive {
-            session: PathSession::new(graph, from, to, max_edges, strategy, seed),
+            session: PathSession::with_config(graph, from, to, max_edges, config),
             goal: None,
             pending: None,
             finished: false,
@@ -379,6 +428,10 @@ impl PathInteractive {
 impl InteractiveLearner for PathInteractive {
     fn kind(&self) -> &'static str {
         "path"
+    }
+
+    fn strategy(&self) -> &str {
+        self.session.strategy_name()
     }
 
     fn propose(&mut self) -> Option<Question> {
@@ -472,8 +525,24 @@ impl JoinInteractive {
         strategy: Strategy,
         seed: u64,
     ) -> JoinInteractive {
+        JoinInteractive::with_config(
+            left,
+            right,
+            SessionConfig::new()
+                .seed(seed)
+                .strategy(strategy.strategy(seed)),
+        )
+    }
+
+    /// Start a session from a [`SessionConfig`] (pluggable strategy, question budget, seed) —
+    /// the primary constructor; [`new`](Self::new) is a preset over it.
+    pub fn with_config(
+        left: Arc<Relation>,
+        right: Arc<Relation>,
+        config: SessionConfig,
+    ) -> JoinInteractive {
         JoinInteractive {
-            session: qbe_relational::InteractiveSession::new(left, right, strategy, seed),
+            session: qbe_relational::InteractiveSession::with_config(left, right, config),
             goal: None,
             pending: None,
             finished: false,
@@ -515,6 +584,10 @@ impl JoinInteractive {
 impl InteractiveLearner for JoinInteractive {
     fn kind(&self) -> &'static str {
         "join"
+    }
+
+    fn strategy(&self) -> &str {
+        self.session.strategy_name()
     }
 
     fn propose(&mut self) -> Option<Question> {

@@ -26,6 +26,10 @@ use std::time::{Duration, Instant};
 pub struct SessionReport {
     /// Short human-readable description of the session (goal query, strategy, …).
     pub label: String,
+    /// Name of the question-selection strategy the session consulted
+    /// ([`qbe_strategy::Strategy::name`]; empty when unknown) — the key the per-strategy
+    /// aggregates ([`WorkloadMetrics::by_strategy`]) group by.
+    pub strategy: String,
     /// Number of oracle questions the session asked.
     pub questions: usize,
     /// Items whose label the session inferred without asking.
@@ -239,6 +243,65 @@ impl WorkloadMetrics {
             Some(self.total_questions() as f64 / self.sessions() as f64)
         }
     }
+
+    /// Per-strategy aggregates over the run's reports, sorted by strategy name — the
+    /// question-count/latency trade-off table the strategy experiments print. Sessions that
+    /// did not record a strategy group under the empty name.
+    pub fn by_strategy(&self) -> Vec<StrategyAggregate> {
+        let mut groups: std::collections::BTreeMap<&str, Vec<&SessionReport>> =
+            std::collections::BTreeMap::new();
+        for r in &self.reports {
+            groups.entry(r.strategy.as_str()).or_default().push(r);
+        }
+        groups
+            .into_iter()
+            .map(|(strategy, reports)| {
+                // `self.reports` is sorted by question count, so each group's slice is too.
+                let questions: Vec<usize> = reports.iter().map(|r| r.questions).collect();
+                StrategyAggregate {
+                    strategy: strategy.to_string(),
+                    sessions: reports.len(),
+                    successes: reports.iter().filter(|r| r.success).count(),
+                    total_questions: questions.iter().sum(),
+                    p50_questions: percentile_sorted(&questions, 50.0),
+                    p95_questions: percentile_sorted(&questions, 95.0),
+                    wall: reports.iter().map(|r| r.wall).sum(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Aggregate statistics for the sessions of one question-selection strategy within a pool run
+/// (see [`WorkloadMetrics::by_strategy`]).
+#[derive(Debug, Clone)]
+pub struct StrategyAggregate {
+    /// The strategy name the sessions reported.
+    pub strategy: String,
+    /// Number of sessions that used this strategy.
+    pub sessions: usize,
+    /// How many of them reported success.
+    pub successes: usize,
+    /// Total questions across the strategy's sessions.
+    pub total_questions: usize,
+    /// Nearest-rank median question count.
+    pub p50_questions: Option<usize>,
+    /// Nearest-rank 95th-percentile question count.
+    pub p95_questions: Option<usize>,
+    /// Summed per-session wall time (the strategy's compute cost, independent of pool
+    /// parallelism).
+    pub wall: Duration,
+}
+
+impl StrategyAggregate {
+    /// Mean question count (`None` when the strategy served no sessions).
+    pub fn mean_questions(&self) -> Option<f64> {
+        if self.sessions == 0 {
+            None
+        } else {
+            Some(self.total_questions as f64 / self.sessions as f64)
+        }
+    }
 }
 
 impl std::fmt::Display for WorkloadMetrics {
@@ -286,6 +349,7 @@ mod tests {
         let label_owned = label.to_string();
         SessionJob::new(label, questions, move || SessionReport {
             label: label_owned,
+            strategy: String::new(),
             questions,
             inferred: 0,
             success: true,
@@ -362,6 +426,7 @@ mod tests {
                     order.lock().unwrap().push(expected);
                     SessionReport {
                         label: format!("e{expected}"),
+                        strategy: String::new(),
                         questions: expected,
                         inferred: 0,
                         success: true,
@@ -384,6 +449,7 @@ mod tests {
                 counter.fetch_add(1, Ordering::SeqCst);
                 SessionReport {
                     label: format!("j{i}"),
+                    strategy: String::new(),
                     questions: i,
                     inferred: 0,
                     success: true,
@@ -397,11 +463,64 @@ mod tests {
     }
 
     #[test]
+    fn per_strategy_aggregates_partition_the_run() {
+        let mut pool = SessionPool::new();
+        for (ix, (strategy, questions)) in [
+            ("paper-order", 10usize),
+            ("paper-order", 30),
+            ("max-coverage", 4),
+            ("max-coverage", 6),
+            ("max-coverage", 8),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let strategy = strategy.to_string();
+            pool.push(SessionJob::new(format!("s{ix}"), questions, move || {
+                SessionReport {
+                    label: format!("s{ix}"),
+                    strategy,
+                    questions,
+                    inferred: 0,
+                    success: true,
+                    wall: Duration::from_millis(1),
+                }
+            }));
+        }
+        let metrics = pool.run(2);
+        let groups = metrics.by_strategy();
+        assert_eq!(groups.len(), 2, "one aggregate per strategy name");
+        let get = |name: &str| groups.iter().find(|g| g.strategy == name).unwrap();
+        let coverage = get("max-coverage");
+        assert_eq!(coverage.sessions, 3);
+        assert_eq!(coverage.successes, 3);
+        assert_eq!(coverage.total_questions, 18);
+        assert_eq!(coverage.p50_questions, Some(6));
+        assert_eq!(coverage.p95_questions, Some(8));
+        assert_eq!(coverage.mean_questions(), Some(6.0));
+        assert!(coverage.wall > Duration::ZERO);
+        let paper = get("paper-order");
+        assert_eq!(paper.sessions, 2);
+        assert_eq!(paper.p50_questions, Some(10));
+        assert_eq!(paper.p95_questions, Some(30));
+        // The groups partition the run exactly.
+        assert_eq!(
+            groups.iter().map(|g| g.sessions).sum::<usize>(),
+            metrics.sessions()
+        );
+        assert_eq!(
+            groups.iter().map(|g| g.total_questions).sum::<usize>(),
+            metrics.total_questions()
+        );
+    }
+
+    #[test]
     fn failed_sessions_are_counted_but_not_successes() {
         let mut pool = SessionPool::new();
         pool.push(job("ok", 5));
         pool.push(SessionJob::new("bad", 1, || SessionReport {
             label: "bad".into(),
+            strategy: String::new(),
             questions: 1,
             inferred: 0,
             success: false,

@@ -6,7 +6,7 @@
 //! node, a label-id-sorted successor list — the product BFS then matches transitions by integer
 //! id and can enumerate the successors of a node under one label as a contiguous slice.
 //!
-//! Like [`qbe_xml::NodeIndex`], the index is immutable and self-contained, so it can be built
+//! Like `qbe_xml::NodeIndex`, the index is immutable and self-contained, so it can be built
 //! once per graph and shared (behind an `Arc`) by every concurrent learning session over that
 //! graph.
 

@@ -24,9 +24,9 @@
 
 use crate::model::{GNodeId, PropertyGraph};
 use crate::rpq::{simple_paths, Path};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use qbe_strategy::{
+    pick_first_max_by, Candidate, CheapestFirst, PoolView, Random, SessionConfig, Strategy,
+};
 use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
@@ -137,17 +137,65 @@ impl PathFeatures {
     }
 }
 
-/// Strategy for choosing the next path to show the user.
+/// The paper-era path-selection policies, now thin presets over the model-agnostic
+/// [`qbe_strategy::Strategy`] API (see [`PathStrategy::strategy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathStrategy {
-    /// Random informative path.
+    /// Random informative path ([`qbe_strategy::Random`]).
     Random,
-    /// Shortest informative path first (cheap for the user to inspect).
+    /// Shortest informative path first — cheap for the user to inspect
+    /// ([`qbe_strategy::CheapestFirst`] over the distance cost channel).
     ShortestFirst,
     /// Version-space halving: the path accepted by about half of the surviving hypotheses.
     Halving,
     /// Workload prior: prefer paths satisfying constraints learned for previous users.
     WorkloadPrior,
+}
+
+impl PathStrategy {
+    /// The [`Strategy`] implementing this preset (`seed` feeds [`PathStrategy::Random`]).
+    pub fn strategy(self, seed: u64) -> Box<dyn Strategy> {
+        match self {
+            PathStrategy::Random => Box::new(Random::new(seed)),
+            PathStrategy::ShortestFirst => Box::new(CheapestFirst),
+            PathStrategy::Halving => Box::new(Halving),
+            PathStrategy::WorkloadPrior => Box::new(WorkloadPrior),
+        }
+    }
+}
+
+/// The session's flagship policy as a [`Strategy`]: the path whose acceptance count is closest
+/// to half the surviving hypotheses (the informativeness channel), earliest such path first —
+/// the exact comparator the paper-era inlined loop used, so the regression pins stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct Halving;
+
+impl Strategy for Halving {
+    fn name(&self) -> &str {
+        "halving"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_first_max_by(pool.candidates, |c| c.informativeness)
+    }
+}
+
+/// The workload prior as a [`Strategy`]: among the paths most similar to previously learned
+/// constraints (the prior channel), fall back to version-space halving — "ask with priority
+/// the next user to label a path having the same property", never costing more questions than
+/// plain halving when the workload does not discriminate.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkloadPrior;
+
+impl Strategy for WorkloadPrior {
+    fn name(&self) -> &str {
+        "workload-prior"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_first_max_by(pool.candidates, |c| (c.prior, c.informativeness))
+    }
 }
 
 /// Oracle interface: labels whole paths.
@@ -238,9 +286,11 @@ pub struct PathSession<G: Borrow<PropertyGraph>> {
     /// For each candidate path, how many surviving hypotheses accept it.
     accept_counts: Vec<usize>,
     labelled: Vec<(usize, bool)>,
-    strategy: PathStrategy,
+    /// The pluggable question-selection policy, consulted once per proposal round.
+    strategy: Box<dyn Strategy>,
+    /// Question cap, if any: once reached, the session completes.
+    budget: Option<usize>,
     workload: Vec<PathConstraint>,
-    rng: StdRng,
 }
 
 impl<G: Borrow<PropertyGraph>> PathSession<G> {
@@ -253,6 +303,28 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
         strategy: PathStrategy,
         seed: u64,
     ) -> PathSession<G> {
+        PathSession::with_config(
+            graph,
+            from,
+            to,
+            max_edges,
+            SessionConfig::new()
+                .seed(seed)
+                .strategy(strategy.strategy(seed)),
+        )
+    }
+
+    /// Start a session from a [`SessionConfig`] (strategy, question budget, seed) — the
+    /// primary constructor; the [`PathStrategy`]-taking one is a preset over it. The default
+    /// strategy is [`PathStrategy::Halving`], the paper's flagship policy.
+    pub fn with_config(
+        graph: G,
+        from: GNodeId,
+        to: GNodeId,
+        max_edges: usize,
+        config: SessionConfig,
+    ) -> PathSession<G> {
+        let resolved = config.resolve(|seed| PathStrategy::Halving.strategy(seed));
         let g = graph.borrow();
         // Candidates are kept sorted by total distance: the distance dimension of the hypothesis
         // space then accepts a *prefix* of the candidate list, which makes building the
@@ -361,10 +433,15 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
             rows,
             accept_counts,
             labelled: Vec::new(),
-            strategy,
+            strategy: resolved.strategy,
+            budget: resolved.budget,
             workload: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// The name of the session's question-selection strategy.
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
     }
 
     /// Provide constraints learned for previous users (the "query workload").
@@ -457,61 +534,53 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
         self.rows = kept;
     }
 
-    fn choose(&mut self, informative: &[usize]) -> usize {
-        match self.strategy {
-            PathStrategy::Random => *informative.choose(&mut self.rng).expect("non-empty"),
-            PathStrategy::ShortestFirst => *informative
-                .iter()
-                .min_by(|&&a, &&b| {
-                    self.features[a]
-                        .distance
-                        .partial_cmp(&self.features[b].distance)
-                        .expect("distances are finite")
-                })
-                .expect("non-empty"),
-            PathStrategy::Halving => {
-                let half = self.rows.len() / 2;
-                *informative
+    /// One [`Candidate`] feature row per informative path, aligned with `informative` (which
+    /// is in ascending-distance order — the model's paper order):
+    ///
+    /// * `informativeness` — the version-space-halving score (closer to half the surviving
+    ///   hypotheses is better), exactly the paper-era comparator;
+    /// * `cost` — total itinerary distance (short paths are cheap for the user to inspect);
+    /// * `coverage` — the smaller side of the version-space split: the number of hypotheses
+    ///   pruned whichever way the user answers;
+    /// * `prior` — how many workload constraints from previous users accept the path.
+    fn candidate_features(&self, informative: &[usize]) -> Vec<Candidate> {
+        let half = self.rows.len() / 2;
+        let total = self.rows.len();
+        informative
+            .iter()
+            .map(|&ix| {
+                let accepted = self.accept_counts[ix];
+                let prior = self
+                    .workload
                     .iter()
-                    .min_by_key(|&&ix| self.accept_counts[ix].abs_diff(half))
-                    .expect("non-empty")
-            }
-            PathStrategy::WorkloadPrior => {
-                // Prefer paths accepted by the workload constraints of previous users ("ask with
-                // priority the next user to label a path having the same property"); among those,
-                // break ties towards the version-space-halving choice so the prior never costs
-                // more questions than plain halving when the workload does not discriminate.
-                let prior_score = |ix: usize| {
-                    self.workload
-                        .iter()
-                        .filter(|h| h.accepts_features(&self.features[ix]))
-                        .count()
-                };
-                let best_prior = informative
-                    .iter()
-                    .map(|&ix| prior_score(ix))
-                    .max()
-                    .unwrap_or(0);
-                let half = self.rows.len() / 2;
-                *informative
-                    .iter()
-                    .filter(|&&ix| prior_score(ix) == best_prior)
-                    .min_by_key(|&&ix| self.accept_counts[ix].abs_diff(half))
-                    .expect("non-empty")
-            }
-        }
+                    .filter(|h| h.accepts_features(&self.features[ix]))
+                    .count();
+                Candidate {
+                    informativeness: -(accepted.abs_diff(half) as f64),
+                    cost: self.features[ix].distance,
+                    coverage: accepted.min(total - accepted) as f64,
+                    specificity: 0.0,
+                    prior: prior as f64,
+                }
+            })
+            .collect()
     }
 
     /// Propose the next informative path to show the user, or `None` when every candidate's
-    /// label is determined by the version space. Callers alternate `propose` with
-    /// [`Self::record`]; [`Self::run`] loops to completion.
+    /// label is determined by the version space (or the question budget is spent). Callers
+    /// alternate `propose` with [`Self::record`]; [`Self::run`] loops to completion.
     pub fn propose(&mut self) -> Option<usize> {
-        let informative = self.informative_paths();
-        if informative.is_empty() {
-            None
-        } else {
-            Some(self.choose(&informative))
+        if self.budget.is_some_and(|cap| self.labelled.len() >= cap) {
+            return None;
         }
+        let informative = self.informative_paths();
+        let candidates = self.candidate_features(&informative);
+        let view = PoolView {
+            asked: self.labelled.len(),
+            candidates: &candidates,
+        };
+        let pick = self.strategy.pick(&view)?;
+        informative.get(pick).copied()
     }
 
     /// Run the loop until no informative path remains.

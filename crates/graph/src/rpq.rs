@@ -234,7 +234,7 @@ pub fn thompson_state_count(regex: &PathRegex) -> usize {
     Nfa::compile(regex).transitions.len()
 }
 
-/// Evaluate an RPQ against a prebuilt [`GraphIndex`]: same answer as [`evaluate`], computed by
+/// Evaluate an RPQ against a prebuilt [`GraphIndex`](crate::index::GraphIndex): same answer as [`evaluate`], computed by
 /// a product BFS over interned label ids with NFA state sets packed into a `u64` bitmask.
 ///
 /// The interned adjacency turns the per-step transition work from "scan every outgoing edge and

@@ -150,7 +150,7 @@ fn canonicalise(signatures: &[Vec<usize>]) -> Vec<usize> {
 /// relation onto itself. The identity is always included.
 ///
 /// The search backtracks over an ordering of the active domain and only pairs values with equal
-/// refined colours (see [`value_colours`]), so instances whose values are structurally
+/// refined colours (see `value_colours`), so instances whose values are structurally
 /// distinguishable are handled in near-linear time; the worst case (highly symmetric instances)
 /// remains factorial, which matches the problem's nature.
 pub fn automorphisms(db: &Instance) -> Vec<BTreeMap<Value, Value>> {

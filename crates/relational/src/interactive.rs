@@ -20,16 +20,19 @@
 use crate::join_learn::agreement_set;
 use crate::model::Relation;
 use crate::operators::JoinPredicate;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use qbe_strategy::{
+    pick_first_max_by, pick_last_max_by, Candidate, PoolView, Random, SessionConfig,
+    Strategy as SelectStrategy,
+};
 use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
-/// Strategy used to choose which informative pair to ask about next.
+/// The paper-era pair-selection policies, now thin presets over the model-agnostic
+/// [`qbe_strategy::Strategy`] API (see [`Strategy::strategy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
-    /// Uniformly random informative pair — the baseline the paper wants to beat.
+    /// Uniformly random informative pair — the baseline the paper wants to beat
+    /// ([`qbe_strategy::Random`]).
     Random,
     /// Ask about the informative pair whose agreement set is largest (closest to the current
     /// most specific hypothesis) — resolves "is the join this specific?" questions first.
@@ -37,6 +40,51 @@ pub enum Strategy {
     /// Ask about the informative pair whose agreement set splits the candidate equalities most
     /// evenly (a version-space-halving heuristic).
     HalveLattice,
+}
+
+impl Strategy {
+    /// The [`qbe_strategy::Strategy`] implementing this preset (`seed` feeds
+    /// [`Strategy::Random`]).
+    pub fn strategy(self, seed: u64) -> Box<dyn SelectStrategy> {
+        match self {
+            Strategy::Random => Box::new(Random::new(seed)),
+            Strategy::MostSpecificFirst => Box::new(MostSpecificFirst),
+            Strategy::HalveLattice => Box::new(HalveLattice),
+        }
+    }
+}
+
+/// Most-specific-first as a [`SelectStrategy`]: the pair with the largest agreement-set
+/// overlap with the current most specific hypothesis (the specificity channel), latest
+/// maximum on ties — the exact comparator the paper-era inlined loop used, so the regression
+/// pins stay byte-identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct MostSpecificFirst;
+
+impl SelectStrategy for MostSpecificFirst {
+    fn name(&self) -> &str {
+        "most-specific-first"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_last_max_by(pool.candidates, |c| c.specificity)
+    }
+}
+
+/// The session's flagship policy as a [`SelectStrategy`]: the pair whose agreement set splits
+/// the surviving equality lattice most evenly (the informativeness channel), earliest such
+/// pair on ties — byte-identical to the paper-era inlined comparator.
+#[derive(Debug, Clone, Copy, Default)]
+struct HalveLattice;
+
+impl SelectStrategy for HalveLattice {
+    fn name(&self) -> &str {
+        "halve-lattice"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_first_max_by(pool.candidates, |c| c.informativeness)
+    }
 }
 
 /// The answer source. Implemented by simulated users (a hidden goal predicate) in the
@@ -107,8 +155,10 @@ pub struct InteractiveSession<D: Borrow<Relation>> {
     /// Agreement sets of the labelled negatives.
     negative_agreements: Vec<JoinPredicate>,
     labelled: Vec<((usize, usize), bool)>,
-    strategy: Strategy,
-    rng: StdRng,
+    /// The pluggable question-selection policy, consulted once per proposal round.
+    strategy: Box<dyn SelectStrategy>,
+    /// Question cap, if any: once reached, the session completes.
+    budget: Option<usize>,
 }
 
 /// Result of a completed interactive session.
@@ -127,6 +177,20 @@ pub struct SessionOutcome {
 impl<D: Borrow<Relation>> InteractiveSession<D> {
     /// Start a session.
     pub fn new(left: D, right: D, strategy: Strategy, seed: u64) -> Self {
+        InteractiveSession::with_config(
+            left,
+            right,
+            SessionConfig::new()
+                .seed(seed)
+                .strategy(strategy.strategy(seed)),
+        )
+    }
+
+    /// Start a session from a [`SessionConfig`] (strategy, question budget, seed) — the
+    /// primary constructor; the [`Strategy`]-taking one is a preset over it. The default
+    /// strategy is [`Strategy::HalveLattice`], the paper's flagship policy.
+    pub fn with_config(left: D, right: D, config: SessionConfig) -> Self {
+        let resolved = config.resolve(|seed| Strategy::HalveLattice.strategy(seed));
         let left_arity = left.borrow().schema().arity();
         let right_arity = right.borrow().schema().arity();
         let all_pairs = JoinPredicate::from_pairs(
@@ -138,9 +202,14 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
             theta_max: all_pairs,
             negative_agreements: Vec::new(),
             labelled: Vec::new(),
-            strategy,
-            rng: StdRng::seed_from_u64(seed),
+            strategy: resolved.strategy,
+            budget: resolved.budget,
         }
+    }
+
+    /// The name of the session's question-selection strategy.
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
     }
 
     /// The current most specific consistent hypothesis.
@@ -204,42 +273,68 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
             .all(|neg| !self.theta_max.subset_of(neg))
     }
 
-    fn choose(&mut self, informative: &[(usize, usize)]) -> (usize, usize) {
-        match self.strategy {
-            Strategy::Random => *informative.choose(&mut self.rng).expect("non-empty"),
-            Strategy::MostSpecificFirst => *informative
-                .iter()
-                .max_by_key(|&&(l, r)| {
-                    agreement_set(self.left.borrow(), self.right.borrow(), l, r)
-                        .intersect(&self.theta_max)
-                        .len()
-                })
-                .expect("non-empty"),
-            Strategy::HalveLattice => {
-                let target = self.theta_max.len() / 2;
-                *informative
+    /// The informative pairs (row-major — the model's paper order) with one [`Candidate`]
+    /// feature row each, from a *single* agreement-set sweep over the cartesian product (the
+    /// per-pair [`status`](Self::status) path would compute every agreement set twice):
+    ///
+    /// * `informativeness` — the lattice-halving score (an agreement overlap closer to half
+    ///   the surviving equalities is better), exactly the paper-era comparator;
+    /// * `specificity` — the agreement-set overlap with the current most specific hypothesis;
+    /// * `cost` — the agreement-set size (the attribute equalities a user checks to answer);
+    /// * `coverage` — the equalities a positive answer would remove from the lattice.
+    fn informative_candidates(&self) -> (Vec<(usize, usize)>, Vec<Candidate>) {
+        let target = self.theta_max.len() / 2;
+        let mut pairs = Vec::new();
+        let mut features = Vec::new();
+        for l in 0..self.left.borrow().len() {
+            for r in 0..self.right.borrow().len() {
+                if self
+                    .labelled
                     .iter()
-                    .min_by_key(|&&(l, r)| {
-                        let overlap = agreement_set(self.left.borrow(), self.right.borrow(), l, r)
-                            .intersect(&self.theta_max)
-                            .len();
-                        overlap.abs_diff(target)
-                    })
-                    .expect("non-empty")
+                    .any(|((pl, pr), _)| (*pl, *pr) == (l, r))
+                {
+                    continue;
+                }
+                let agreement = agreement_set(self.left.borrow(), self.right.borrow(), l, r);
+                if self.theta_max.subset_of(&agreement) {
+                    continue; // certainly positive
+                }
+                let restricted = agreement.intersect(&self.theta_max);
+                if self
+                    .negative_agreements
+                    .iter()
+                    .any(|neg| restricted.subset_of(neg))
+                {
+                    continue; // certainly negative
+                }
+                let overlap = restricted.len();
+                pairs.push((l, r));
+                features.push(Candidate {
+                    informativeness: -(overlap.abs_diff(target) as f64),
+                    cost: agreement.len() as f64,
+                    coverage: (self.theta_max.len() - overlap) as f64,
+                    specificity: overlap as f64,
+                    prior: 0.0,
+                });
             }
         }
+        (pairs, features)
     }
 
     /// Propose the next informative pair to ask the user about, or `None` when every pair's
-    /// label is determined. Callers alternate `propose` with [`Self::record`]; [`Self::run`]
-    /// loops to completion.
+    /// label is determined (or the question budget is spent). Callers alternate `propose` with
+    /// [`Self::record`]; [`Self::run`] loops to completion.
     pub fn propose(&mut self) -> Option<(usize, usize)> {
-        let informative = self.informative_pairs();
-        if informative.is_empty() {
-            None
-        } else {
-            Some(self.choose(&informative))
+        if self.budget.is_some_and(|cap| self.labelled.len() >= cap) {
+            return None;
         }
+        let (informative, candidates) = self.informative_candidates();
+        let view = PoolView {
+            asked: self.labelled.len(),
+            candidates: &candidates,
+        };
+        let pick = self.strategy.pick(&view)?;
+        informative.get(pick).copied()
     }
 
     /// The left relation.

@@ -6,7 +6,7 @@
 //! instance and an output. This module provides the hypothesis space those learners search: a
 //! small SPJ algebra with equality selections (attribute = constant, attribute = attribute),
 //! projections and equi-joins, together with a straightforward evaluator over
-//! [`Instance`](crate::model::Instance).
+//! [`crate::model::Instance`].
 //!
 //! The algebra is deliberately value-based (no bag semantics beyond what the operators of
 //! [`crate::operators`] produce) because the learning problems the paper considers are stated

@@ -7,8 +7,10 @@
 //! exactly what the loopback integration tests, the `server_throughput` bench and the binary's
 //! `--smoke` mode need. A real deployment replaces this layer with a human.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use qbe_core::twig::interactive::{GoalNodeOracle, NodeOracle};
@@ -18,6 +20,43 @@ use qbe_core::xml::NodeId;
 use crate::corpus::{build_corpus, Corpus};
 use crate::protocol::{field_value, parse_fields_line, Model, MAX_LINE_BYTES};
 use crate::server::{read_line_bounded, LineError};
+
+/// Process-wide cache of locally rebuilt corpora: goal-driven clients re-derive the *same*
+/// deterministic corpus for every session they run (often hundreds in a bench), and building
+/// documents plus indexes per session would dwarf the protocol work being measured.
+static LOCAL_CORPORA: OnceLock<Mutex<HashMap<String, Arc<Corpus>>>> = OnceLock::new();
+
+/// The client-side copy of the named corpus, built on first request and shared (behind an
+/// `Arc`) by every later [`drive_goal_session`] of this process — mirroring the server's
+/// [`CorpusStore`](crate::corpus::CorpusStore) contract of one builder, everyone else waits
+/// and shares. `None` for unknown names.
+pub fn local_corpus(name: &str) -> Option<Arc<Corpus>> {
+    let cache = LOCAL_CORPORA.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache
+        .lock()
+        .expect("local corpus cache lock never poisoned");
+    if let Some(corpus) = map.get(name) {
+        return Some(corpus.clone());
+    }
+    let corpus = Arc::new(build_corpus(name)?);
+    map.insert(name.to_string(), corpus.clone());
+    Some(corpus)
+}
+
+/// How many distinct corpora this process has built client-side so far. Because the cache
+/// never evicts, the count per name can only ever be 0 or 1 — the loopback tests assert the
+/// cache hit through it.
+pub fn local_corpus_builds() -> usize {
+    LOCAL_CORPORA
+        .get()
+        .map(|cache| {
+            cache
+                .lock()
+                .expect("local corpus cache lock never poisoned")
+                .len()
+        })
+        .unwrap_or(0)
+}
 
 /// Reply to an `ASK`.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,14 +300,15 @@ fn twig_question_item(fields: &[(String, String)]) -> Result<(usize, NodeId)> {
 ///
 /// The corpus named `corpus` is rebuilt locally so the client can evaluate its goal — the
 /// remote user's "intent" never crosses the wire, only yes/no labels do, exactly as in the
-/// paper's interactive protocol.
+/// paper's interactive protocol. The rebuild happens once per corpus name per process (see
+/// [`local_corpus`]), not once per session.
 pub fn drive_goal_session(
     addr: impl ToSocketAddrs,
     corpus: &str,
     goal: &Goal,
     start_params: &[(&str, &str)],
 ) -> Result<GoalSessionOutcome> {
-    let local: Corpus = build_corpus(corpus).ok_or_else(|| {
+    let local: Arc<Corpus> = local_corpus(corpus).ok_or_else(|| {
         ClientError::Server(format!("unknown corpus {corpus:?} (client-side build)"))
     })?;
     // The standard goal oracle from qbe-twig, borrowing the locally rebuilt corpus (no copy):

@@ -13,10 +13,10 @@
 //!
 //! ```text
 //! C: HELLO
-//! S: +OK qbe-server models=twig,path,join corpora=tiny,small
+//! S: +OK qbe-server proto=1.1 models=twig,path,join corpora=tiny,small strategies=paper-order,random,max-coverage,cheapest-first options=strategy,budget,seed
 //! C: CORPUS tiny
 //! S: +OK corpus name=tiny docs=1 xml_nodes=331 graph_nodes=10 tuples=12x12
-//! C: START twig strategy=label-affinity seed=7
+//! C: START twig strategy=label-affinity budget=40 seed=7
 //! S: +OK session id=1 model=twig
 //! C: ASK
 //! S: +ASK doc=0 node=17 label=name path=/site/people/person/name
@@ -46,7 +46,9 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{drive_goal_session, AskReply, Client, ClientError, Goal};
+pub use client::{
+    drive_goal_session, local_corpus, local_corpus_builds, AskReply, Client, ClientError, Goal,
+};
 pub use corpus::{build_corpus, Corpus, CorpusStore, CORPUS_NAMES};
 pub use protocol::{parse_command, Command, Model, ParseError, MAX_LINE_BYTES};
 pub use registry::{ServiceMetrics, SessionRegistry};

@@ -158,7 +158,13 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
                     "unknown model {model:?}, expected twig|path|join"
                 ))
             })?;
-            let params = parse_fields(params)?;
+            let mut params = parse_fields(params)?;
+            // Option names are case-insensitive (`STRATEGY=` and `strategy=` both work, as
+            // protocol tradition suggests for verbs); values stay case-sensitive (corpus,
+            // strategy and city names are lower-case identifiers).
+            for (key, _) in &mut params {
+                key.make_ascii_lowercase();
+            }
             Ok(Command::Start { model, params })
         }
         _ => Err(ParseError::UnknownCommand(verb)),

@@ -11,7 +11,7 @@
 //!   open session id); everything cross-connection lives behind the registry's shard mutexes
 //!   or the corpus cache mutex;
 //! * **framing** is one bounded line per request ([`read_line_bounded`]): a line longer than
-//!   [`MAX_LINE_BYTES`](crate::protocol::MAX_LINE_BYTES) or an idle socket
+//!   [`crate::protocol::MAX_LINE_BYTES`] or an idle socket
 //!   (`read_timeout`) terminates the connection with an explanatory `-ERR`;
 //! * **graceful shutdown** ([`ServerHandle::shutdown`]) stops the accept loop, shuts down
 //!   every live socket (which wakes any blocked read), joins all threads, and reports
@@ -29,7 +29,7 @@ use qbe_core::graph::PathStrategy;
 use qbe_core::relational::Strategy;
 use qbe_core::session::InteractiveLearner;
 use qbe_core::twig::NodeStrategy;
-use qbe_core::{JoinInteractive, PathInteractive, TwigInteractive};
+use qbe_core::{JoinInteractive, PathInteractive, SessionConfig, TwigInteractive, STRATEGY_NAMES};
 
 use crate::corpus::{Corpus, CorpusStore, CORPUS_NAMES};
 use crate::protocol::{parse_command, render_fields, Command, Model, MAX_LINE_BYTES};
@@ -358,8 +358,9 @@ fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
     };
     let reply = match command {
         Command::Hello => format!(
-            "+OK qbe-server models=twig,path,join corpora={}",
-            CORPUS_NAMES.join(",")
+            "+OK qbe-server proto=1.1 models=twig,path,join corpora={} strategies={} options=strategy,budget,seed",
+            CORPUS_NAMES.join(","),
+            STRATEGY_NAMES.join(","),
         ),
         Command::Corpus(name) => match conn.shared.store.get_or_build(&name) {
             None => format!(
@@ -485,51 +486,80 @@ fn parse_seed(params: &[(String, String)]) -> Result<u64, String> {
     }
 }
 
+/// The common `START` options — `seed=<u64>`, `budget=<n>`, and the model-agnostic half of
+/// `strategy=<name>` — folded into a [`SessionConfig`]. Model-specific legacy strategy names
+/// are resolved by the caller via `legacy`; anything in neither vocabulary is rejected loudly
+/// instead of silently applying defaults.
+fn session_config(
+    params: &[(String, String)],
+    legacy_names: &str,
+    legacy: impl Fn(&str, u64) -> Option<Box<dyn qbe_core::Strategy>>,
+) -> Result<SessionConfig, String> {
+    let seed = parse_seed(params)?;
+    let mut config = SessionConfig::new().seed(seed);
+    if let Some(b) = param(params, "budget") {
+        let budget: usize = b
+            .parse()
+            .map_err(|_| format!("budget must be a usize, got {b:?}"))?;
+        config = config.budget(budget);
+    }
+    match param(params, "strategy") {
+        None => Ok(config), // the model's flagship default
+        Some(name) => {
+            if let Some(strategy) = legacy(name, seed) {
+                return Ok(config.strategy(strategy));
+            }
+            config.strategy_named(name).map_err(|_| {
+                format!(
+                    "unknown strategy, expected one of: {legacy_names}|{}",
+                    STRATEGY_NAMES.join("|")
+                )
+            })
+        }
+    }
+}
+
 /// Build the model-specific learner a `START` command asks for.
 fn build_learner(
     corpus: &Corpus,
     model: Model,
     params: &[(String, String)],
 ) -> Result<Box<dyn InteractiveLearner>, String> {
-    let seed = parse_seed(params)?;
-    let known = |allowed: &str, key: &str| {
-        // Reject typos loudly instead of silently applying defaults.
-        format!("unknown {key}, expected one of: {allowed}")
-    };
     match model {
         Model::Twig => {
-            let strategy = match param(params, "strategy").unwrap_or("label-affinity") {
-                "document-order" => NodeStrategy::DocumentOrder,
-                "random" => NodeStrategy::Random,
-                "shallow-first" => NodeStrategy::ShallowFirst,
-                "label-affinity" => NodeStrategy::LabelAffinity,
-                _ => {
-                    return Err(known(
-                        "document-order|random|shallow-first|label-affinity",
-                        "strategy",
-                    ))
-                }
-            };
-            Ok(Box::new(TwigInteractive::with_shared(
+            let config = session_config(
+                params,
+                "document-order|shallow-first|label-affinity",
+                |name, seed| {
+                    let preset = match name {
+                        "document-order" => NodeStrategy::DocumentOrder,
+                        "shallow-first" => NodeStrategy::ShallowFirst,
+                        "label-affinity" => NodeStrategy::LabelAffinity,
+                        _ => return None,
+                    };
+                    Some(preset.strategy(seed))
+                },
+            )?;
+            Ok(Box::new(TwigInteractive::with_config(
                 corpus.docs.clone(),
                 corpus.indexes.clone(),
-                strategy,
-                seed,
+                config,
             )))
         }
         Model::Path => {
-            let strategy = match param(params, "strategy").unwrap_or("halving") {
-                "random" => PathStrategy::Random,
-                "shortest-first" => PathStrategy::ShortestFirst,
-                "halving" => PathStrategy::Halving,
-                "workload-prior" => PathStrategy::WorkloadPrior,
-                _ => {
-                    return Err(known(
-                        "random|shortest-first|halving|workload-prior",
-                        "strategy",
-                    ))
-                }
-            };
+            let config = session_config(
+                params,
+                "shortest-first|halving|workload-prior",
+                |name, seed| {
+                    let preset = match name {
+                        "shortest-first" => PathStrategy::ShortestFirst,
+                        "halving" => PathStrategy::Halving,
+                        "workload-prior" => PathStrategy::WorkloadPrior,
+                        _ => return None,
+                    };
+                    Some(preset.strategy(seed))
+                },
+            )?;
             let from_name = param(params, "from").unwrap_or("city0");
             let to_name = param(params, "to").unwrap_or("city5");
             let resolve = |name: &str| {
@@ -546,32 +576,28 @@ fn build_learner(
                     .parse()
                     .map_err(|_| format!("max_edges must be a usize, got {s:?}"))?,
             };
-            Ok(Box::new(PathInteractive::new(
+            Ok(Box::new(PathInteractive::with_config(
                 corpus.graph.clone(),
                 from,
                 to,
                 max_edges,
-                strategy,
-                seed,
+                config,
             )))
         }
         Model::Join => {
-            let strategy = match param(params, "strategy").unwrap_or("halve-lattice") {
-                "random" => Strategy::Random,
-                "most-specific-first" => Strategy::MostSpecificFirst,
-                "halve-lattice" => Strategy::HalveLattice,
-                _ => {
-                    return Err(known(
-                        "random|most-specific-first|halve-lattice",
-                        "strategy",
-                    ))
-                }
-            };
-            Ok(Box::new(JoinInteractive::new(
+            let config =
+                session_config(params, "most-specific-first|halve-lattice", |name, seed| {
+                    let preset = match name {
+                        "most-specific-first" => Strategy::MostSpecificFirst,
+                        "halve-lattice" => Strategy::HalveLattice,
+                        _ => return None,
+                    };
+                    Some(preset.strategy(seed))
+                })?;
+            Ok(Box::new(JoinInteractive::with_config(
                 corpus.left.clone(),
                 corpus.right.clone(),
-                strategy,
-                seed,
+                config,
             )))
         }
     }

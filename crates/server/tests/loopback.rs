@@ -159,6 +159,137 @@ fn all_three_models_learn_over_the_wire() {
 }
 
 #[test]
+fn hello_advertises_strategy_capabilities() {
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let hello = client.hello().unwrap();
+    assert!(hello.contains("proto=1.1"), "{hello}");
+    assert!(hello.contains("models=twig,path,join"), "{hello}");
+    for name in qbe_core::STRATEGY_NAMES {
+        assert!(hello.contains(name), "{hello} misses strategy {name}");
+    }
+    assert!(hello.contains("options=strategy,budget,seed"), "{hello}");
+    handle.shutdown();
+}
+
+#[test]
+fn generic_strategies_and_budgets_work_over_the_wire() {
+    let handle = test_server();
+    let addr = handle.addr();
+
+    // Every shipped model-agnostic strategy converges on every model, selected by wire name
+    // (uppercase option keys are accepted, as the v1.1 protocol documents).
+    for strategy in qbe_core::STRATEGY_NAMES {
+        let twig = drive_goal_session(
+            addr,
+            "tiny",
+            &Goal::Twig("//person/name".into()),
+            &[("STRATEGY", strategy), ("seed", "7")],
+        )
+        .unwrap();
+        assert!(twig.consistent, "{strategy}");
+        assert!(
+            twig.hypothesis.contains("person"),
+            "{strategy}: {}",
+            twig.hypothesis
+        );
+        let join = drive_goal_session(
+            addr,
+            "tiny",
+            &Goal::Join,
+            &[("strategy", strategy), ("seed", "3")],
+        )
+        .unwrap();
+        assert!(join.consistent, "{strategy}");
+        let path = drive_goal_session(
+            addr,
+            "tiny",
+            &Goal::PathRoadType("highway".into()),
+            &[("strategy", strategy), ("to", "city3")],
+        )
+        .unwrap();
+        assert!(path.consistent, "{strategy}");
+    }
+
+    // A tight budget caps the questions: the session completes early with its current
+    // hypothesis instead of labelling to convergence.
+    let unbudgeted =
+        drive_goal_session(addr, "tiny", &Goal::Twig("//person/name".into()), &[]).unwrap();
+    assert!(unbudgeted.questions > 3);
+    let mut client = Client::connect(addr).unwrap();
+    client.corpus("tiny").unwrap();
+    // Control: without a budget, one positive answer leaves further questions pending.
+    client.start(Model::Twig, &[]).unwrap();
+    match client.ask().unwrap() {
+        qbe_server::AskReply::Question(_) => client.answer(true).unwrap(),
+        done => panic!("expected a first question, got {done:?}"),
+    }
+    assert!(
+        matches!(client.ask().unwrap(), qbe_server::AskReply::Question(_)),
+        "an unbudgeted session keeps asking"
+    );
+    // Same session with budget=1 (uppercase option keys are accepted): after the one
+    // affordable answer the server reports completion, and the positive label collected
+    // within the budget still yields a hypothesis.
+    client.start(Model::Twig, &[("BUDGET", "1")]).unwrap();
+    match client.ask().unwrap() {
+        qbe_server::AskReply::Question(_) => client.answer(true).unwrap(),
+        done => panic!("expected a first question, got {done:?}"),
+    }
+    match client.ask().unwrap() {
+        qbe_server::AskReply::Done {
+            questions,
+            consistent,
+        } => {
+            assert_eq!(questions, 1, "the session stopped at its budget");
+            assert!(consistent);
+        }
+        question => panic!("budget spent, expected Done, got {question:?}"),
+    }
+    client.query().unwrap();
+    client.quit().unwrap();
+
+    // Unknown strategy names are rejected with the full vocabulary.
+    let mut client = Client::connect(addr).unwrap();
+    client.corpus("tiny").unwrap();
+    match client.start(Model::Twig, &[("strategy", "psychic")]) {
+        Err(qbe_server::ClientError::Server(msg)) => {
+            assert!(msg.contains("label-affinity"), "{msg}");
+            assert!(msg.contains("max-coverage"), "{msg}");
+        }
+        other => panic!("expected a strategy rejection, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn goal_driven_clients_rebuild_each_corpus_once_per_process() {
+    let handle = test_server();
+    let addr = handle.addr();
+
+    // Two goal-driven sessions over the same corpus: the second must hit the client-side
+    // cache, not rebuild.
+    drive_goal_session(addr, "tiny", &Goal::Twig("//person/name".into()), &[]).unwrap();
+    drive_goal_session(addr, "tiny", &Goal::Twig("//item/name".into()), &[]).unwrap();
+    let a = qbe_server::local_corpus("tiny").expect("tiny is a known corpus");
+    let b = qbe_server::local_corpus("tiny").expect("tiny is a known corpus");
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "later requests share the cached corpus"
+    );
+    // The cache never evicts, so each name is built at most once per process — even though
+    // other loopback tests in this binary drive sessions concurrently.
+    assert!(
+        qbe_server::local_corpus_builds() <= qbe_server::CORPUS_NAMES.len(),
+        "at most one client-side build per corpus name"
+    );
+    assert!(qbe_server::local_corpus("gigantic").is_none());
+
+    handle.shutdown();
+}
+
+#[test]
 fn protocol_errors_are_reported_not_fatal() {
     let handle = test_server();
     let mut client = Client::connect(handle.addr()).unwrap();

@@ -1,0 +1,498 @@
+//! # qbe-strategy — pluggable question-selection strategies
+//!
+//! The paper's central claim is that interactive query learning lives or dies by *which* item
+//! the learner asks about next. This crate opens that choice as an API: an interactive session
+//! (twig node labelling, path labelling, join pair labelling — any model) exposes its pool of
+//! still-informative candidates as model-agnostic [`Candidate`] feature rows, and an
+//! object-safe [`Strategy`] picks the next question from that pool. The session owns *what* is
+//! informative (pruning, version-space maintenance, consistency); the strategy owns *which*
+//! informative item to spend the user's attention on.
+//!
+//! Four strategies ship with the workspace (see [`STRATEGY_NAMES`]):
+//!
+//! * [`PaperOrder`] — the first informative candidate in the model's paper order (document
+//!   order for twigs, distance order for paths, row-major order for tuple pairs). This is the
+//!   executable specification of the paper's baseline behaviour.
+//! * [`Random`] — a uniformly random informative candidate from a seeded deterministic stream.
+//! * [`MaxCoverage`] — the candidate whose answer is expected to determine the most other
+//!   labels (the [`Candidate::coverage`] hint, computed by each model from its indexes).
+//! * [`CheapestFirst`] — the candidate with the smallest evaluation/inspection cost
+//!   ([`Candidate::cost`]: node depth for twigs, itinerary distance for paths, agreement-set
+//!   size for tuple pairs).
+//!
+//! Sessions are configured through [`SessionConfig`], a builder carrying the strategy, an
+//! optional question budget, and the session seed — the one vocabulary accepted everywhere a
+//! session is created (the model crates, the `qbe-core` adapters, the `qbe-server` wire
+//! protocol's `START … strategy=<name> budget=<n>`).
+//!
+//! ## Implementing a strategy
+//!
+//! A strategy sees one [`PoolView`] per round — the informative candidates in paper order plus
+//! the number of questions already asked — and returns the index of its pick:
+//!
+//! ```
+//! use qbe_strategy::{Candidate, PoolView, Strategy};
+//!
+//! /// Ask about the candidate promising the best coverage per unit of cost.
+//! #[derive(Debug)]
+//! struct BangForBuck;
+//!
+//! impl Strategy for BangForBuck {
+//!     fn name(&self) -> &str {
+//!         "bang-for-buck"
+//!     }
+//!
+//!     fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+//!         qbe_strategy::pick_first_max_by(pool.candidates, |c| c.coverage / (1.0 + c.cost))
+//!     }
+//! }
+//!
+//! let pool = [
+//!     Candidate { coverage: 2.0, cost: 3.0, ..Candidate::default() },
+//!     Candidate { coverage: 8.0, cost: 1.0, ..Candidate::default() },
+//! ];
+//! let mut strategy = BangForBuck;
+//! assert_eq!(strategy.pick(&PoolView { asked: 0, candidates: &pool }), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model-agnostic features of one still-informative candidate question.
+///
+/// Each interactive session computes one row per informative item, every round, from its own
+/// substrate (indexes, version space, workload). All channels are *hints*: they order the
+/// strategy's preferences and never affect correctness — a session converges to the same class
+/// of queries whichever informative item is asked first.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Candidate {
+    /// The model's own flagship heuristic score for this candidate (higher = the model's
+    /// preferred strategy would rather ask it): label affinity for twig nodes, version-space
+    /// halving for paths and join pairs.
+    pub informativeness: f64,
+    /// Evaluation/inspection cost hint (lower = cheaper to ask): node depth for twigs, total
+    /// itinerary distance for paths, agreement-set size for tuple pairs.
+    pub cost: f64,
+    /// Expected number of other labels/hypotheses determined by answering (higher = the answer
+    /// prunes more): same-label informative nodes for twigs, the smaller side of the
+    /// version-space split for paths, lattice equalities removed on a positive answer for join
+    /// pairs.
+    pub coverage: f64,
+    /// Closeness to the session's current hypothesis (higher = more specific): the
+    /// agreement-set overlap with the most specific consistent predicate for join pairs; 0
+    /// where the model has no such notion.
+    pub specificity: f64,
+    /// Affinity with queries learned for previous users (the paper's workload prior); 0 when
+    /// the session has no workload.
+    pub prior: f64,
+}
+
+/// One round's view of a session's candidate pool, handed to [`Strategy::pick`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolView<'a> {
+    /// Questions asked (answers recorded) so far in the session.
+    pub asked: usize,
+    /// The still-informative candidates, in the model's paper order (document order, distance
+    /// order, row-major order). May be empty — sessions also consult the strategy when the
+    /// pool has drained (or shrank mid-round under lazy pruning), and a strategy must answer
+    /// `None` rather than assume an element exists.
+    pub candidates: &'a [Candidate],
+}
+
+/// A question-selection policy: given the candidate pool, pick the next question.
+///
+/// Object-safe by design — sessions hold a `Box<dyn Strategy>`, the server instantiates one
+/// per `START strategy=<name>`, and later scheduling or ML-driven policies plug in behind the
+/// same seam. `Send` because sessions migrate across worker threads; `Debug` because sessions
+/// derive it.
+///
+/// `pick` returns an index into [`PoolView::candidates`] (`None`, or an out-of-range index,
+/// ends the session early — a strategy can refuse to spend more of the user's attention). The
+/// same candidate pool is re-presented after answers arrive, shrunk by the session's pruning.
+pub trait Strategy: Send + fmt::Debug {
+    /// The strategy's stable lower-case name (what `strategy=<name>` selects over the wire and
+    /// what per-strategy workload aggregates group by).
+    fn name(&self) -> &str;
+
+    /// Pick the index of the next question among `pool.candidates`.
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize>;
+}
+
+/// Index of the first candidate maximising `key` (ties resolve to the earliest candidate, i.e.
+/// the model's paper order). `None` on an empty pool.
+pub fn pick_first_max_by<K: PartialOrd>(
+    candidates: &[Candidate],
+    key: impl Fn(&Candidate) -> K,
+) -> Option<usize> {
+    let mut best: Option<(usize, K)> = None;
+    for (ix, c) in candidates.iter().enumerate() {
+        let k = key(c);
+        match &best {
+            Some((_, b)) if k <= *b => {}
+            _ => best = Some((ix, k)),
+        }
+    }
+    best.map(|(ix, _)| ix)
+}
+
+/// Index of the last candidate maximising `key` (ties resolve to the latest candidate —
+/// matching `Iterator::max_by_key`, which some of the paper-era model heuristics rely on).
+/// `None` on an empty pool.
+pub fn pick_last_max_by<K: PartialOrd>(
+    candidates: &[Candidate],
+    key: impl Fn(&Candidate) -> K,
+) -> Option<usize> {
+    let mut best: Option<(usize, K)> = None;
+    for (ix, c) in candidates.iter().enumerate() {
+        let k = key(c);
+        match &best {
+            Some((_, b)) if k < *b => {}
+            _ => best = Some((ix, k)),
+        }
+    }
+    best.map(|(ix, _)| ix)
+}
+
+/// The paper's baseline: ask about the first informative candidate in the model's paper order.
+///
+/// This is the executable specification of the behaviour the paper's interactive protocol
+/// describes (and, for twig sessions, of the pre-API `DocumentOrder` policy — the regression
+/// pins hold it byte-identical).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperOrder;
+
+impl Strategy for PaperOrder {
+    fn name(&self) -> &str {
+        "paper-order"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        if pool.candidates.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+}
+
+/// A uniformly random informative candidate from a seeded deterministic stream — the baseline
+/// the paper's informed strategies are measured against.
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: StdRng,
+}
+
+impl Random {
+    /// A random strategy whose pick stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Random {
+        Random {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Strategy for Random {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        if pool.candidates.is_empty() {
+            None
+        } else {
+            Some(self.rng.gen_range(0..pool.candidates.len()))
+        }
+    }
+}
+
+/// Ask about the candidate whose answer is expected to determine the most other labels
+/// ([`Candidate::coverage`]): the most pruning per unit of user attention. Ties resolve to
+/// paper order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxCoverage;
+
+impl Strategy for MaxCoverage {
+    fn name(&self) -> &str {
+        "max-coverage"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_first_max_by(pool.candidates, |c| c.coverage)
+    }
+}
+
+/// Ask about the candidate with the smallest evaluation/inspection cost
+/// ([`Candidate::cost`]): cheap questions first, for latency-sensitive sessions. Ties resolve
+/// to paper order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheapestFirst;
+
+impl Strategy for CheapestFirst {
+    fn name(&self) -> &str {
+        "cheapest-first"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_first_max_by(pool.candidates, |c| std::cmp::Reverse(OrdF64(c.cost)))
+    }
+}
+
+/// Total order over the finite floats the feature channels carry (NaN sorts last).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &OrdF64) -> Option<std::cmp::Ordering> {
+        Some(
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Greater),
+        )
+    }
+}
+
+/// The model-agnostic strategies this workspace ships, by [`Strategy::name`] — what a server
+/// advertises in its `HELLO` capability line. Model crates additionally accept their
+/// paper-era model-specific policy names (`label-affinity`, `halving`, …).
+pub const STRATEGY_NAMES: &[&str] = &["paper-order", "random", "max-coverage", "cheapest-first"];
+
+/// Instantiate a shipped strategy by name (see [`STRATEGY_NAMES`]). `seed` feeds the
+/// strategies that randomise ([`Random`]); the deterministic ones ignore it.
+pub fn strategy_by_name(name: &str, seed: u64) -> Option<Box<dyn Strategy>> {
+    match name {
+        "paper-order" => Some(Box::new(PaperOrder)),
+        "random" => Some(Box::new(Random::new(seed))),
+        "max-coverage" => Some(Box::new(MaxCoverage)),
+        "cheapest-first" => Some(Box::new(CheapestFirst)),
+        _ => None,
+    }
+}
+
+/// A strategy name [`SessionConfig::strategy_named`] did not recognise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStrategy(pub String);
+
+impl fmt::Display for UnknownStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy {:?}, expected one of: {}",
+            self.0,
+            STRATEGY_NAMES.join("|")
+        )
+    }
+}
+
+impl std::error::Error for UnknownStrategy {}
+
+/// How a [`SessionConfig`] names its strategy before the session resolves it.
+#[derive(Debug)]
+enum StrategyChoice {
+    /// Use the model's flagship policy (what the paper's experiments led with).
+    Default,
+    /// A shipped strategy by name, instantiated with the session seed at resolve time.
+    Named(String),
+    /// A ready-made strategy object (possibly user-defined).
+    Boxed(Box<dyn Strategy>),
+}
+
+/// Builder for everything an interactive session is configured with: the question-selection
+/// strategy, an optional question budget, and the session seed.
+///
+/// Accepted everywhere a session is created — `TwigSession::with_config`,
+/// `PathSession::with_config`, the relational `InteractiveSession::with_config`, the
+/// `qbe-core` adapters, and (via `strategy=<name> budget=<n>` parameters) the `qbe-server`
+/// `START` command.
+///
+/// ```
+/// use qbe_strategy::{MaxCoverage, SessionConfig};
+///
+/// // A session capped at 40 questions, picking by expected coverage.
+/// let config = SessionConfig::new()
+///     .seed(7)
+///     .budget(40)
+///     .strategy(Box::new(MaxCoverage));
+///
+/// // Shipped strategies can also be selected by wire name; unknown names are rejected.
+/// let by_name = SessionConfig::new().strategy_named("cheapest-first").unwrap();
+/// assert!(SessionConfig::new().strategy_named("psychic").is_err());
+///
+/// // Sessions resolve the config against their model's flagship default.
+/// let resolved = by_name.resolve(|seed| qbe_strategy::strategy_by_name("random", seed).unwrap());
+/// assert_eq!(resolved.strategy.name(), "cheapest-first");
+/// assert_eq!(config.resolve(|_| unreachable!()).budget, Some(40));
+/// ```
+#[derive(Debug)]
+pub struct SessionConfig {
+    strategy: StrategyChoice,
+    budget: Option<usize>,
+    seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::new()
+    }
+}
+
+impl SessionConfig {
+    /// The default configuration: the model's flagship strategy, no budget, seed 0.
+    pub fn new() -> SessionConfig {
+        SessionConfig {
+            strategy: StrategyChoice::Default,
+            budget: None,
+            seed: 0,
+        }
+    }
+
+    /// Seed for the session's (and a randomised strategy's) deterministic choices.
+    pub fn seed(mut self, seed: u64) -> SessionConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Cap the number of questions the session may ask; once reached, the session completes
+    /// with its current hypothesis. No cap by default.
+    pub fn budget(mut self, questions: usize) -> SessionConfig {
+        self.budget = Some(questions);
+        self
+    }
+
+    /// Use a concrete strategy object (one of the shipped ones, or user-defined).
+    pub fn strategy(mut self, strategy: Box<dyn Strategy>) -> SessionConfig {
+        self.strategy = StrategyChoice::Boxed(strategy);
+        self
+    }
+
+    /// Use a shipped strategy by wire name (see [`STRATEGY_NAMES`]). The name is validated
+    /// eagerly; the strategy is instantiated with the final seed when the session resolves the
+    /// config, so `strategy_named` and [`seed`](Self::seed) compose in either order.
+    pub fn strategy_named(mut self, name: &str) -> Result<SessionConfig, UnknownStrategy> {
+        if !STRATEGY_NAMES.contains(&name) {
+            return Err(UnknownStrategy(name.to_string()));
+        }
+        self.strategy = StrategyChoice::Named(name.to_string());
+        Ok(self)
+    }
+
+    /// Resolve the builder into the parts a session stores, instantiating named strategies
+    /// with the configured seed and falling back to the model's flagship `default` when no
+    /// strategy was chosen.
+    pub fn resolve(self, default: impl FnOnce(u64) -> Box<dyn Strategy>) -> ResolvedConfig {
+        let strategy = match self.strategy {
+            StrategyChoice::Default => default(self.seed),
+            StrategyChoice::Named(name) => strategy_by_name(&name, self.seed)
+                .expect("strategy_named validated the name eagerly"),
+            StrategyChoice::Boxed(s) => s,
+        };
+        ResolvedConfig {
+            strategy,
+            budget: self.budget,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A [`SessionConfig`] with its strategy instantiated — what sessions actually store.
+#[derive(Debug)]
+pub struct ResolvedConfig {
+    /// The question-selection policy the session consults every round.
+    pub strategy: Box<dyn Strategy>,
+    /// Question cap, if any.
+    pub budget: Option<usize>,
+    /// The session seed.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(rows: &[Candidate]) -> PoolView<'_> {
+        PoolView {
+            asked: 0,
+            candidates: rows,
+        }
+    }
+
+    fn c(informativeness: f64, cost: f64, coverage: f64) -> Candidate {
+        Candidate {
+            informativeness,
+            cost,
+            coverage,
+            ..Candidate::default()
+        }
+    }
+
+    #[test]
+    fn paper_order_picks_the_first_candidate() {
+        let rows = [c(0.0, 5.0, 1.0), c(9.0, 0.0, 9.0)];
+        assert_eq!(PaperOrder.pick(&pool(&rows)), Some(0));
+        assert_eq!(PaperOrder.pick(&pool(&[])), None);
+    }
+
+    #[test]
+    fn max_coverage_and_cheapest_first_break_ties_towards_paper_order() {
+        let rows = [c(0.0, 2.0, 7.0), c(0.0, 2.0, 7.0), c(0.0, 3.0, 1.0)];
+        assert_eq!(MaxCoverage.pick(&pool(&rows)), Some(0));
+        assert_eq!(CheapestFirst.pick(&pool(&rows)), Some(0));
+        let rows = [c(0.0, 4.0, 1.0), c(0.0, 1.0, 9.0)];
+        assert_eq!(MaxCoverage.pick(&pool(&rows)), Some(1));
+        assert_eq!(CheapestFirst.pick(&pool(&rows)), Some(1));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let rows = vec![Candidate::default(); 17];
+        let picks = |seed| {
+            let mut s = Random::new(seed);
+            (0..32)
+                .map(|_| s.pick(&pool(&rows)).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(3), picks(3));
+        assert_ne!(picks(3), picks(4), "different seeds diverge");
+        assert!(picks(3).iter().all(|&ix| ix < rows.len()));
+        assert_eq!(Random::new(0).pick(&pool(&[])), None);
+    }
+
+    #[test]
+    fn tie_helpers_resolve_first_and_last() {
+        let rows = [c(1.0, 0.0, 0.0), c(1.0, 0.0, 0.0), c(0.0, 0.0, 0.0)];
+        assert_eq!(pick_first_max_by(&rows, |r| r.informativeness), Some(0));
+        assert_eq!(pick_last_max_by(&rows, |r| r.informativeness), Some(1));
+        assert_eq!(pick_first_max_by(&[], |r| r.informativeness), None);
+    }
+
+    #[test]
+    fn names_round_trip_through_the_registry() {
+        for &name in STRATEGY_NAMES {
+            let strategy = strategy_by_name(name, 1).expect("every listed name resolves");
+            assert_eq!(strategy.name(), name);
+        }
+        assert!(strategy_by_name("psychic", 1).is_none());
+    }
+
+    #[test]
+    fn config_resolves_named_strategies_with_the_final_seed() {
+        let resolved = SessionConfig::new()
+            .strategy_named("random")
+            .unwrap()
+            .seed(9)
+            .budget(5)
+            .resolve(|_| unreachable!("a strategy was chosen"));
+        assert_eq!(resolved.strategy.name(), "random");
+        assert_eq!(resolved.budget, Some(5));
+        assert_eq!(resolved.seed, 9);
+        let defaulted = SessionConfig::new().seed(4).resolve(|seed| {
+            assert_eq!(seed, 4, "the default sees the session seed");
+            Box::new(PaperOrder)
+        });
+        assert_eq!(defaulted.strategy.name(), "paper-order");
+        assert_eq!(defaulted.budget, None);
+    }
+}

@@ -36,14 +36,15 @@
 //! pruning saved.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use qbe_strategy::{
+    pick_last_max_by, Candidate, CheapestFirst, PaperOrder, PoolView, Random, SessionConfig,
+    Strategy,
+};
 use qbe_xml::{NodeId, NodeIndex, XmlTree};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::eval;
 use crate::eval_indexed::{self, EvalCache};
@@ -99,19 +100,56 @@ impl NodeOracle for GoalNodeOracle<'_> {
     }
 }
 
-/// Strategy used to pick the next informative node to ask about.
+/// The paper-era node-selection policies, now thin presets over the model-agnostic
+/// [`qbe_strategy::Strategy`] API (see [`NodeStrategy::strategy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeStrategy {
-    /// Document order (depth-first, first document first) — the naive baseline.
+    /// Document order (depth-first, first document first) — the naive baseline
+    /// ([`qbe_strategy::PaperOrder`]).
     DocumentOrder,
-    /// Uniformly random among the informative nodes.
+    /// Uniformly random among the informative nodes ([`qbe_strategy::Random`]).
+    ///
+    /// Since the strategy API landed this draws from one persistent seeded stream (the
+    /// pre-API loop reseeded from `seed + questions asked` and shuffled the pool each round),
+    /// so a given seed yields a different — still deterministic — question sequence than
+    /// pre-API runs. No count was ever pinned for this preset; path/join `Random` streams are
+    /// unchanged.
     Random,
-    /// Shallow nodes first: cheap questions whose answers constrain the query's spine early.
+    /// Shallow nodes first: cheap questions whose answers constrain the query's spine early
+    /// ([`qbe_strategy::CheapestFirst`] over the depth cost channel).
     ShallowFirst,
     /// Prefer nodes whose label equals the label of an already-known positive node: such nodes
     /// are the most likely to be selected by the goal, and a positive answer generalises the
     /// candidate (the paper's "gather as much information as possible with few interactions").
     LabelAffinity,
+}
+
+impl NodeStrategy {
+    /// The [`Strategy`] implementing this preset (`seed` feeds [`NodeStrategy::Random`]).
+    pub fn strategy(self, seed: u64) -> Box<dyn Strategy> {
+        match self {
+            NodeStrategy::DocumentOrder => Box::new(PaperOrder),
+            NodeStrategy::Random => Box::new(Random::new(seed)),
+            NodeStrategy::ShallowFirst => Box::new(CheapestFirst),
+            NodeStrategy::LabelAffinity => Box::new(LabelAffinity),
+        }
+    }
+}
+
+/// The session's flagship policy as a [`Strategy`]: highest label affinity first, shallower
+/// nodes breaking ties (the exact comparator the paper-era inlined loop used, including its
+/// latest-maximum tie resolution, so the regression pins stay byte-identical).
+#[derive(Debug, Clone, Copy, Default)]
+struct LabelAffinity;
+
+impl Strategy for LabelAffinity {
+    fn name(&self) -> &str {
+        "label-affinity"
+    }
+
+    fn pick(&mut self, pool: &PoolView<'_>) -> Option<usize> {
+        pick_last_max_by(pool.candidates, |c| c.informativeness)
+    }
 }
 
 /// How one document node is currently classified by the session.
@@ -159,7 +197,7 @@ impl fmt::Display for TwigSessionOutcome {
 }
 
 /// An in-progress interactive twig-learning session.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TwigSession {
     docs: Arc<Vec<XmlTree>>,
     indexes: Arc<Vec<NodeIndex>>,
@@ -168,8 +206,10 @@ pub struct TwigSession {
     /// `informative_nodes`, …) taking `&self`.
     caches: RefCell<Vec<EvalCache>>,
     annotations: Vec<Annotation>,
-    strategy: NodeStrategy,
-    seed: u64,
+    /// The pluggable question-selection policy, consulted once per proposal round.
+    strategy: Box<dyn Strategy>,
+    /// Question cap, if any: once `asked` reaches it, the session completes.
+    budget: Option<usize>,
     asked: usize,
     /// Nodes proven determined-negative so far (never re-analysed).
     determined: BTreeSet<(usize, NodeId)>,
@@ -197,25 +237,49 @@ impl TwigSession {
         strategy: NodeStrategy,
         seed: u64,
     ) -> TwigSession {
+        TwigSession::with_config(
+            docs,
+            indexes,
+            SessionConfig::new()
+                .seed(seed)
+                .strategy(strategy.strategy(seed)),
+        )
+    }
+
+    /// Start a session from a [`SessionConfig`] (strategy, question budget, seed) — the
+    /// primary constructor; the [`NodeStrategy`]-taking ones are presets over it. The default
+    /// strategy is [`NodeStrategy::LabelAffinity`], the paper's flagship policy.
+    pub fn with_config(
+        docs: Arc<Vec<XmlTree>>,
+        indexes: Arc<Vec<NodeIndex>>,
+        config: SessionConfig,
+    ) -> TwigSession {
         assert_eq!(
             docs.len(),
             indexes.len(),
             "one index per document is required"
         );
+        let resolved = config.resolve(|seed| NodeStrategy::LabelAffinity.strategy(seed));
         let caches = RefCell::new(vec![EvalCache::new(); docs.len()]);
         TwigSession {
             docs,
             indexes,
             caches,
             annotations: Vec::new(),
-            strategy,
-            seed,
+            strategy: resolved.strategy,
+            budget: resolved.budget,
             asked: 0,
             determined: BTreeSet::new(),
             certain: BTreeSet::new(),
             known_positives: 0,
             inconsistent: false,
         }
+    }
+
+    /// The name of the session's question-selection strategy (what per-strategy workload
+    /// aggregates group by).
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
     }
 
     /// The documents the session ranges over.
@@ -366,7 +430,7 @@ impl TwigSession {
     /// on nodes that might actually be pruned.
     ///
     /// The version space this argues over is the *practical* class
-    /// [`learn_from_positives`] searches (spine plus single-label child/descendant filters),
+    /// [`learn_from_positives`](crate::learn::learn_from_positives) searches (spine plus single-label child/descendant filters),
     /// in which it returns the most specific element. Goal queries outside that class (e.g.
     /// with nested multi-step predicates) can in principle have answers pruned here — but the
     /// learner could never converge to such a goal anyway, so the session loses nothing it
@@ -412,41 +476,49 @@ impl TwigSession {
             .any(|&(d, m)| self.eval_selects(&most_specific, d, m))
     }
 
-    fn pick_next(&self, informative: &[(usize, NodeId)]) -> Option<(usize, NodeId)> {
-        if informative.is_empty() {
-            return None;
+    /// Affinity bonus separating "label matches a known positive" from every depth value in
+    /// the informativeness channel (document depths are far below it).
+    const AFFINITY_BONUS: f64 = 1e9;
+
+    /// One [`Candidate`] feature row per informative node, aligned with `informative` (which
+    /// is in document order — the model's paper order):
+    ///
+    /// * `informativeness` — the label-affinity score (matching a positive label dominates;
+    ///   shallower nodes rank higher within each class), exactly the paper-era comparator;
+    /// * `cost` — node depth (shallow nodes are cheap for the user to inspect);
+    /// * `coverage` — how many informative nodes share the candidate's label: a proxy for the
+    ///   matches one answer determines, since same-labelled nodes under the same spine become
+    ///   certain positives (or determined negatives) together once this one is labelled.
+    fn candidate_features(&self, informative: &[(usize, NodeId)]) -> Vec<Candidate> {
+        let positive_labels: BTreeSet<&str> = self
+            .annotations
+            .iter()
+            .filter(|a| a.positive)
+            .map(|a| self.docs[a.doc].label(a.node))
+            .collect();
+        let mut label_counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for &(doc, node) in informative {
+            *label_counts.entry(self.docs[doc].label(node)).or_insert(0) += 1;
         }
-        match self.strategy {
-            NodeStrategy::DocumentOrder => Some(informative[0]),
-            NodeStrategy::Random => {
-                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.asked as u64));
-                let mut pool: Vec<(usize, NodeId)> = informative.to_vec();
-                pool.shuffle(&mut rng);
-                pool.first().copied()
-            }
-            NodeStrategy::ShallowFirst => informative
-                .iter()
-                .min_by_key(|(doc, node)| self.indexes[*doc].depth(*node))
-                .copied(),
-            NodeStrategy::LabelAffinity => {
-                let positive_labels: BTreeSet<&str> = self
-                    .annotations
-                    .iter()
-                    .filter(|a| a.positive)
-                    .map(|a| self.docs[a.doc].label(a.node))
-                    .collect();
-                informative
-                    .iter()
-                    .max_by_key(|(doc, node)| {
-                        let label = self.docs[*doc].label(*node);
-                        (
-                            positive_labels.contains(label),
-                            std::cmp::Reverse(self.indexes[*doc].depth(*node)),
-                        )
-                    })
-                    .copied()
-            }
-        }
+        informative
+            .iter()
+            .map(|&(doc, node)| {
+                let label = self.docs[doc].label(node);
+                let depth = self.indexes[doc].depth(node) as f64;
+                let bonus = if positive_labels.contains(label) {
+                    Self::AFFINITY_BONUS
+                } else {
+                    0.0
+                };
+                Candidate {
+                    informativeness: bonus - depth,
+                    cost: depth,
+                    coverage: label_counts[label] as f64,
+                    specificity: 0.0,
+                    prior: 0.0,
+                }
+            })
+            .collect()
     }
 
     /// Propose the next node to ask the user about, or `None` when the session is over (every
@@ -461,6 +533,9 @@ impl TwigSession {
     /// protocol) call them round by round, [`Self::run`] loops to completion.
     pub fn propose(&mut self) -> Option<(usize, NodeId)> {
         if self.inconsistent {
+            return None;
+        }
+        if self.budget.is_some_and(|cap| self.asked >= cap) {
             return None;
         }
         let positives_now = self.annotations.iter().filter(|a| a.positive).count();
@@ -501,15 +576,26 @@ impl TwigSession {
             }
         }
 
-        while let Some(pick) = self.pick_next(&informative) {
+        // Consult the pluggable strategy; determined-negative analysis runs lazily, only on
+        // the nodes it actually proposes, and proven-negative nodes are pruned from the pool
+        // before asking again.
+        loop {
+            let candidates = self.candidate_features(&informative);
+            let view = PoolView {
+                asked: self.asked,
+                candidates: &candidates,
+            };
+            let pick_ix = self.strategy.pick(&view)?;
+            // An out-of-range pick (a strategy bug, or a deliberate early stop) ends the
+            // session rather than panicking the service.
+            let pick = *informative.get(pick_ix)?;
             if self.is_determined_negative(pick.0, pick.1) {
                 self.determined.insert(pick);
-                informative.retain(|key| *key != pick);
+                informative.remove(pick_ix);
                 continue;
             }
             return Some(pick);
         }
-        None
     }
 
     /// Total node count across the session's documents (the denominator of the pruning ratio).
@@ -569,6 +655,20 @@ pub fn interactive_twig_learn(
 ) -> TwigSessionOutcome {
     let mut oracle = GoalNodeOracle::new(docs, goal.clone());
     let session = TwigSession::new(docs.to_vec(), strategy, seed);
+    session.run(&mut oracle)
+}
+
+/// [`interactive_twig_learn`] with a full [`SessionConfig`] (pluggable strategy, question
+/// budget) instead of a [`NodeStrategy`] preset.
+pub fn interactive_twig_learn_config(
+    docs: &[XmlTree],
+    goal: &TwigQuery,
+    config: SessionConfig,
+) -> TwigSessionOutcome {
+    let mut oracle = GoalNodeOracle::new(docs, goal.clone());
+    let owned = docs.to_vec();
+    let indexes: Vec<NodeIndex> = owned.iter().map(NodeIndex::build).collect();
+    let session = TwigSession::with_config(Arc::new(owned), Arc::new(indexes), config);
     session.run(&mut oracle)
 }
 

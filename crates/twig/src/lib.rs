@@ -43,8 +43,8 @@ pub use eval::{count, matches, select, selects};
 pub use eval_indexed::{EvalCache, Evaluator};
 pub use example::{Annotation, ExampleSet};
 pub use interactive::{
-    interactive_twig_learn, GoalNodeOracle, NodeOracle, NodeStatus, NodeStrategy, TwigSession,
-    TwigSessionOutcome,
+    interactive_twig_learn, interactive_twig_learn_config, GoalNodeOracle, NodeOracle, NodeStatus,
+    NodeStrategy, TwigSession, TwigSessionOutcome,
 };
 pub use learn::{
     learn_from_positives, learn_from_positives_shared, learn_path_from_positives, TwigLearnError,

@@ -5,7 +5,7 @@
 //! content. Sibling order is retained for parsing/serialisation fidelity but the schema and
 //! query formalisms (disjunctive multiplicity schemas, twig queries) deliberately ignore it.
 //!
-//! Trees are stored in a flat arena ([`XmlTree::nodes`]) and addressed by [`NodeId`], which makes
+//! Trees are stored in a flat arena (`XmlTree::nodes`) and addressed by [`NodeId`], which makes
 //! node annotations (the "examples" of the learning framework) cheap to represent as plain ids.
 
 use std::collections::BTreeMap;

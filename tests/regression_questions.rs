@@ -9,17 +9,30 @@
 //! If a deliberate strategy change moves these numbers, update the pins in the same commit and
 //! say why in its message.
 
-use qbe_core::graph::interactive::{interactive_path_learn, PathConstraint, PathStrategy};
+use qbe_core::graph::interactive::{
+    interactive_path_learn, GoalPathOracle, PathConstraint, PathSession, PathStrategy,
+};
 use qbe_core::graph::{generate_geo_graph, GeoConfig};
 use qbe_core::relational::chain::{
     generate_chain_instance, interactive_chain_learn, ChainInstanceConfig,
 };
+use qbe_core::relational::interactive::{GoalOracle, InteractiveSession};
 use qbe_core::relational::{
     generate_join_instance, interactive_learn, JoinInstanceConfig, Strategy,
 };
-use qbe_core::twig::{interactive_twig_learn, parse_xpath, NodeStrategy};
+use qbe_core::twig::{
+    interactive_twig_learn, interactive_twig_learn_config, parse_xpath, NodeStrategy,
+};
 use qbe_core::xml::xmark::{generate, XmarkConfig};
 use qbe_core::xml::XmlTree;
+use qbe_core::SessionConfig;
+
+fn named(strategy: &str, seed: u64) -> SessionConfig {
+    SessionConfig::new()
+        .seed(seed)
+        .strategy_named(strategy)
+        .expect("shipped strategy names resolve")
+}
 
 fn xmark() -> XmlTree {
     generate(&XmarkConfig::new(0.01, 3))
@@ -54,6 +67,109 @@ fn twig_session_question_counts_are_pinned() {
             "{goal} with {strategy:?} (seed {seed}) changed its question count"
         );
         assert_eq!(outcome.interactions + outcome.pruned, outcome.total_nodes);
+    }
+}
+
+/// The model-agnostic strategies, pinned on the same instances as the model presets above.
+///
+/// `paper-order` is the executable spec of the pre-API behaviour: on twigs it must stay
+/// byte-identical to the `DocumentOrder` pin (187) and `cheapest-first` to the path
+/// `ShortestFirst` pin (13) — those equalities are asserted, not just the raw numbers. The
+/// remaining counts were pinned when the strategies shipped (PR 4).
+#[test]
+fn generic_strategy_question_counts_are_pinned() {
+    // Twig: //person/name on the pinned XMark document, seed 7 (as above).
+    let doc = xmark();
+    let goal = parse_xpath("//person/name").unwrap();
+    let twig_cases: [(&str, usize); 4] = [
+        ("paper-order", 187),
+        ("random", 53),
+        ("max-coverage", 164),
+        ("cheapest-first", 36),
+    ];
+    for (strategy, expected) in twig_cases {
+        let outcome =
+            interactive_twig_learn_config(std::slice::from_ref(&doc), &goal, named(strategy, 7));
+        assert!(outcome.consistent && outcome.query.is_some(), "{strategy}");
+        assert_eq!(
+            outcome.interactions, expected,
+            "twig learning with {strategy} changed its question count"
+        );
+    }
+    let paper_order =
+        interactive_twig_learn_config(std::slice::from_ref(&doc), &goal, named("paper-order", 7));
+    let document_order = interactive_twig_learn(
+        std::slice::from_ref(&doc),
+        &goal,
+        NodeStrategy::DocumentOrder,
+        7,
+    );
+    assert_eq!(
+        paper_order.interactions, document_order.interactions,
+        "paper-order is the executable spec of the pre-API document-order behaviour"
+    );
+
+    // Join: the pinned generated instance, seed 1 (as above). `random` must stay
+    // byte-identical to the legacy `Strategy::Random` pin (6): same stream, same questions.
+    let (left, right, join_goal) = generate_join_instance(&JoinInstanceConfig {
+        left_rows: 20,
+        right_rows: 20,
+        extra_attributes: 2,
+        domain_size: 6,
+        seed: 1,
+    });
+    let join_cases: [(&str, usize); 4] = [
+        ("paper-order", 16),
+        ("random", 6),
+        ("max-coverage", 9),
+        ("cheapest-first", 9),
+    ];
+    for (strategy, expected) in join_cases {
+        let session = InteractiveSession::with_config(&left, &right, named(strategy, 1));
+        let mut oracle = GoalOracle::new(&left, &right, join_goal.clone());
+        let outcome = session.run(&mut oracle);
+        assert!(outcome.consistent, "{strategy}");
+        assert_eq!(
+            outcome.interactions, expected,
+            "join learning with {strategy} changed its question count"
+        );
+    }
+
+    // Path: the pinned geographical instance, seed 5, max_edges 8 (as above).
+    // `cheapest-first` must stay byte-identical to the `ShortestFirst` pin (13).
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 12,
+        connectivity: 3,
+        ..Default::default()
+    });
+    let from = graph.find_node_by_property("name", "city0").unwrap();
+    let to = graph.find_node_by_property("name", "city6").unwrap();
+    let path_goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let path_cases: [(&str, usize); 4] = [
+        ("paper-order", 13),
+        ("random", 34),
+        ("max-coverage", 16),
+        ("cheapest-first", 13),
+    ];
+    for (strategy, expected) in path_cases {
+        let session = PathSession::with_config(&graph, from, to, 8, named(strategy, 5));
+        let mut oracle = GoalPathOracle::new(path_goal.clone());
+        let outcome = session.run(&mut oracle);
+        assert_eq!(
+            outcome.interactions, expected,
+            "path learning with {strategy} changed its question count"
+        );
+        for p in &outcome.candidates {
+            assert_eq!(
+                outcome.learned.accepts(&graph, p),
+                path_goal.accepts(&graph, p),
+                "{strategy} misclassifies a candidate path"
+            );
+        }
     }
 }
 
