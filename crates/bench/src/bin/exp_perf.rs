@@ -1,0 +1,238 @@
+//! exp_perf — the performance snapshot behind `BENCH_PR5.json`.
+//!
+//! Runs the interactive-session workloads of the `interactive`/`workload`/`strategies` benches
+//! in one binary and records, per model (twig / path / join):
+//!
+//! * **session wall p50/p95** — full goal-driven interactive sessions, flagship strategy;
+//! * **select throughput** — indexed evaluations per second over a warm cache.
+//!
+//! The numbers go to stdout as a table and to a JSON snapshot (default `BENCH_PR5.json`,
+//! override with `--out <path>`), so the bench trajectory has a machine-readable artifact per
+//! PR. `--smoke` (or `QBE_BENCH_SMOKE=1`) shrinks everything to CI size — same code paths,
+//! seconds of runtime — and is exercised on every push by `exp_smoke` and the CI workflow.
+
+use qbe_core::graph::interactive::{GoalPathOracle, PathConstraint, PathSession, PathStrategy};
+use qbe_core::graph::rpq::{evaluate_indexed, PathRegex};
+use qbe_core::graph::{generate_geo_graph, GeoConfig, GraphIndex};
+use qbe_core::relational::interactive::{GoalOracle, InteractiveSession, Strategy};
+use qbe_core::relational::{equi_join, generate_join_instance, JoinInstanceConfig};
+use qbe_core::twig::eval_indexed::{select_bits_with, EvalCache};
+use qbe_core::twig::{parse_xpath, GoalNodeOracle, NodeStrategy, TwigQuery, TwigSession};
+use qbe_core::workload::percentile_sorted;
+use qbe_core::xml::xmark::{generate, XmarkConfig};
+use qbe_core::xml::NodeIndex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One model's snapshot row.
+struct ModelRow {
+    model: &'static str,
+    p50_ms: f64,
+    p95_ms: f64,
+    select_per_sec: f64,
+}
+
+fn percentiles_ms(mut wall_us: Vec<usize>) -> (f64, f64) {
+    wall_us.sort_unstable();
+    let p50 = percentile_sorted(&wall_us, 50.0).unwrap_or(0) as f64 / 1000.0;
+    let p95 = percentile_sorted(&wall_us, 95.0).unwrap_or(0) as f64 / 1000.0;
+    (p50, p95)
+}
+
+fn twig_row(sessions: usize, select_iters: usize) -> ModelRow {
+    let docs = Arc::new(vec![generate(&XmarkConfig::new(0.01, 7))]);
+    let indexes: Arc<Vec<NodeIndex>> = Arc::new(docs.iter().map(NodeIndex::build).collect());
+    let goal = parse_xpath("//person/name").expect("goal parses");
+    let mut wall_us = Vec::with_capacity(sessions);
+    for seed in 0..sessions as u64 {
+        let session = TwigSession::with_shared(
+            docs.clone(),
+            indexes.clone(),
+            NodeStrategy::LabelAffinity,
+            seed,
+        );
+        let mut oracle = GoalNodeOracle::new(&docs, goal.clone());
+        let start = Instant::now();
+        let outcome = session.run(&mut oracle);
+        wall_us.push(start.elapsed().as_micros() as usize);
+        assert!(outcome.consistent, "twig session must stay consistent");
+    }
+    // Steady-state indexed evaluation over one warm memo, round-robin over distinct queries so
+    // the measurement covers the spine pass, not just pure cache hits.
+    let queries: Vec<TwigQuery> = [
+        "//person/name",
+        "//open_auction",
+        "/site/people/person[emailaddress]",
+        "//item[name]",
+        "/site//age",
+        "//person[profile]/name",
+    ]
+    .iter()
+    .map(|q| parse_xpath(q).expect("query parses"))
+    .collect();
+    let mut cache = EvalCache::new();
+    let start = Instant::now();
+    let mut selected = 0usize;
+    for i in 0..select_iters {
+        let q = &queries[i % queries.len()];
+        selected += select_bits_with(q, &docs[0], &indexes[0], &mut cache).len();
+    }
+    let per_sec = select_iters as f64 / start.elapsed().as_secs_f64();
+    assert!(selected > 0, "selects must match something");
+    let (p50_ms, p95_ms) = percentiles_ms(wall_us);
+    ModelRow {
+        model: "twig",
+        p50_ms,
+        p95_ms,
+        select_per_sec: per_sec,
+    }
+}
+
+fn path_row(sessions: usize, select_iters: usize) -> ModelRow {
+    let graph = generate_geo_graph(&GeoConfig {
+        cities: 16,
+        connectivity: 3,
+        ..Default::default()
+    });
+    let goal = PathConstraint {
+        road_type: Some("highway".to_string()),
+        max_distance: None,
+        via: None,
+    };
+    let from = graph
+        .find_node_by_property("name", "city0")
+        .expect("city0 exists");
+    let mut wall_us = Vec::with_capacity(sessions);
+    for seed in 0..sessions as u64 {
+        // Vary the destination so the candidate sets differ across sessions.
+        let to_name = format!("city{}", 1 + (seed as usize % 10));
+        let to = graph
+            .find_node_by_property("name", &to_name)
+            .expect("destination exists");
+        let session = PathSession::new(&graph, from, to, 8, PathStrategy::Halving, seed);
+        let mut oracle = GoalPathOracle::new(goal.clone());
+        let start = Instant::now();
+        let outcome = session.run(&mut oracle);
+        wall_us.push(start.elapsed().as_micros() as usize);
+        assert!(outcome.interactions > 0 || outcome.candidates.is_empty());
+    }
+    // Geo edges are all labelled "road" (the road *type* is a property); `(road)+` is the
+    // reachability query the RPQ engine answers over this graph.
+    let index = GraphIndex::build(&graph);
+    let regex = PathRegex::Plus(Box::new(PathRegex::label("road")));
+    let start = Instant::now();
+    let mut pairs = 0usize;
+    for _ in 0..select_iters {
+        pairs += evaluate_indexed(&graph, &index, &regex).len();
+    }
+    let per_sec = select_iters as f64 / start.elapsed().as_secs_f64();
+    assert!(pairs > 0, "the RPQ must match something");
+    let (p50_ms, p95_ms) = percentiles_ms(wall_us);
+    ModelRow {
+        model: "path",
+        p50_ms,
+        p95_ms,
+        select_per_sec: per_sec,
+    }
+}
+
+fn join_row(sessions: usize, select_iters: usize) -> ModelRow {
+    let mut wall_us = Vec::with_capacity(sessions);
+    let mut last = None;
+    for seed in 0..sessions as u64 {
+        let (left, right, goal) = generate_join_instance(&JoinInstanceConfig {
+            left_rows: 40,
+            right_rows: 40,
+            extra_attributes: 2,
+            domain_size: 6,
+            seed,
+        });
+        let session = InteractiveSession::new(&left, &right, Strategy::HalveLattice, seed);
+        let mut oracle = GoalOracle::new(&left, &right, goal.clone());
+        let start = Instant::now();
+        let outcome = session.run(&mut oracle);
+        wall_us.push(start.elapsed().as_micros() as usize);
+        assert!(outcome.consistent, "join session must stay consistent");
+        last = Some((left, right, goal));
+    }
+    let (left, right, goal) = last.expect("at least one session ran");
+    let start = Instant::now();
+    let mut tuples = 0usize;
+    for _ in 0..select_iters {
+        tuples += equi_join(&left, &right, &goal).len();
+    }
+    let per_sec = select_iters as f64 / start.elapsed().as_secs_f64();
+    let _ = tuples;
+    let (p50_ms, p95_ms) = percentiles_ms(wall_us);
+    ModelRow {
+        model: "join",
+        p50_ms,
+        p95_ms,
+        select_per_sec: per_sec,
+    }
+}
+
+fn json_escape_free(
+    rows: &[ModelRow],
+    smoke: bool,
+    sessions: usize,
+    select_iters: usize,
+) -> String {
+    // Hand-rolled JSON: keys are fixed identifiers, values numeric — nothing needs escaping.
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"sessions_per_model\": {sessions},\n"));
+    out.push_str(&format!("  \"select_iterations\": {select_iters},\n"));
+    out.push_str("  \"models\": {\n");
+    for (ix, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"session_wall_ms_p50\": {:.3}, \"session_wall_ms_p95\": {:.3}, \"select_per_sec\": {:.1}}}{}\n",
+            row.model,
+            row.p50_ms,
+            row.p95_ms,
+            row.select_per_sec,
+            if ix + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = qbe_bench::smoke();
+    let sessions = qbe_bench::param(30usize, 3);
+    let select_iters = qbe_bench::param(500usize, 10);
+
+    let rows = vec![
+        twig_row(sessions, select_iters),
+        path_row(sessions, select_iters),
+        join_row(sessions, select_iters),
+    ];
+
+    println!("# exp_perf — interactive session wall clock + select throughput");
+    println!(
+        "# {sessions} sessions/model, {select_iters} select iterations{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<8} {:>16} {:>16} {:>16}",
+        "model", "wall p50 (ms)", "wall p95 (ms)", "select/s"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:>16.3} {:>16.3} {:>16.1}",
+            row.model, row.p50_ms, row.p95_ms, row.select_per_sec
+        );
+    }
+
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|ix| args.get(ix + 1).cloned())
+            .unwrap_or_else(|| "BENCH_PR5.json".to_string())
+    };
+    let json = json_escape_free(&rows, smoke, sessions, select_iters);
+    std::fs::write(&out_path, json).expect("snapshot file is writable");
+    println!("snapshot written to {out_path}");
+}

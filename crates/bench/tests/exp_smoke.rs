@@ -20,6 +20,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "exp_overspecialisation",
         env!("CARGO_BIN_EXE_exp_overspecialisation"),
     ),
+    ("exp_perf", env!("CARGO_BIN_EXE_exp_perf")),
     (
         "exp_relational_consistency",
         env!("CARGO_BIN_EXE_exp_relational_consistency"),

@@ -66,6 +66,15 @@ pub use workload::{
     WorkloadMetrics,
 };
 
+/// Re-export of the dense-bitset match-set kernel (`qbe-bitset`): [`bitset::DenseSet`]
+/// (u64-word bitsets over interned ids, word-level and/or/and-not/popcount kernels) and
+/// [`bitset::SetArena`] (buffer recycling across rounds). Every hot set operation of the three
+/// learners — twig match sets, relational agreement/pair sets, graph visited and candidate
+/// pools — runs on it.
+pub use qbe_bitset as bitset;
+
+pub use qbe_bitset::{DenseSet, SetArena};
+
 /// Re-export of the question-selection strategy API (`qbe-strategy`).
 pub use qbe_strategy as strategy;
 

@@ -442,7 +442,7 @@ impl InteractiveLearner for PathInteractive {
         let cities: Vec<String> = features
             .visited
             .iter()
-            .map(|&n| graph.display_name(n).replace(' ', "_"))
+            .map(|n| graph.display_name(n).replace(' ', "_"))
             .collect();
         let types: Vec<&str> = features.uniform_types.iter().map(String::as_str).collect();
         Some(Question {

@@ -11,6 +11,7 @@
 //! graph.
 
 use crate::model::{GNodeId, PropertyGraph};
+use qbe_bitset::DenseSet;
 use std::collections::HashMap;
 
 /// Immutable label-interned adjacency index of one [`PropertyGraph`].
@@ -20,6 +21,15 @@ pub struct GraphIndex {
     label_ids: HashMap<String, u32>,
     /// `out[node]` = `(label id, target)` pairs, sorted by label id (then target).
     out: Vec<Vec<(u32, GNodeId)>>,
+    /// `out_bits[node]` = per distinct outgoing label, the *set* of successors as a dense
+    /// bitset over the node universe (sorted by label id). Parallel edges collapse to one bit,
+    /// so a product-BFS step enqueues each distinct `(label, target)` once.
+    ///
+    /// Memory trade-off: one `n/8`-byte bitset per `(node, distinct outgoing label)` pair —
+    /// negligible for the geographical graphs the paper's experiments use, O(n²/8) per label on
+    /// large dense graphs. If this index ever fronts such graphs, the sorted `out` slices can
+    /// serve the same dedup by skipping consecutive duplicate targets.
+    out_bits: Vec<Vec<(u32, DenseSet<GNodeId>)>>,
 }
 
 impl GraphIndex {
@@ -40,10 +50,27 @@ impl GraphIndex {
         for adj in &mut out {
             adj.sort_unstable();
         }
+        let n = graph.node_count();
+        let out_bits = out
+            .iter()
+            .map(|adj| {
+                let mut per_label: Vec<(u32, DenseSet<GNodeId>)> = Vec::new();
+                for &(lid, target) in adj {
+                    match per_label.last_mut() {
+                        Some((last, bits)) if *last == lid => {
+                            bits.insert(target);
+                        }
+                        _ => per_label.push((lid, DenseSet::from_ids(n, [target]))),
+                    }
+                }
+                per_label
+            })
+            .collect();
         GraphIndex {
             labels,
             label_ids,
             out,
+            out_bits,
         }
     }
 
@@ -78,6 +105,13 @@ impl GraphIndex {
         let lo = adj.partition_point(|&(l, _)| l < label_id);
         let hi = adj.partition_point(|&(l, _)| l <= label_id);
         &adj[lo..hi]
+    }
+
+    /// Per distinct outgoing label of `node`, the successor *set* as a dense bitset (sorted by
+    /// label id, parallel edges collapsed). The product BFS walks this instead of the raw edge
+    /// list, so it transitions once per distinct label and enqueues each target once.
+    pub fn successor_bits(&self, node: GNodeId) -> &[(u32, DenseSet<GNodeId>)] {
+        &self.out_bits[node.0 as usize]
     }
 }
 
@@ -118,6 +152,33 @@ mod tests {
             ix.successors(n[0], train).iter().map(|&(_, t)| t).collect();
         assert_eq!(train_targets, vec![n[2]]);
         assert!(ix.successors(n[2], road).is_empty());
+    }
+
+    #[test]
+    fn successor_bitsets_agree_with_edge_slices_and_collapse_parallel_edges() {
+        let (mut g, n) = graph();
+        // A parallel road edge: the slice gains an entry, the bitset does not.
+        g.add_edge(n[0], n[1], "road");
+        let ix = GraphIndex::build(&g);
+        let road = ix.label_id("road").unwrap();
+        assert_eq!(ix.successors(n[0], road).len(), 3);
+        let (lid, bits) = &ix.successor_bits(n[0])[0];
+        assert_eq!(*lid, road);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![n[1], n[3]]);
+        assert!(ix.successor_bits(n[2]).iter().all(|&(l, _)| l != road));
+        // The per-node listing covers every distinct (label, target) pair, sorted by label.
+        for v in g.node_ids() {
+            let listed = ix.successor_bits(v);
+            assert!(listed.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(lid, ref bits) in listed {
+                let slice: std::collections::BTreeSet<GNodeId> =
+                    ix.successors(v, lid).iter().map(|&(_, t)| t).collect();
+                assert_eq!(
+                    bits.iter().collect::<std::collections::BTreeSet<_>>(),
+                    slice
+                );
+            }
+        }
     }
 
     #[test]

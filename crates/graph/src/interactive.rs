@@ -24,6 +24,7 @@
 
 use crate::model::{GNodeId, PropertyGraph};
 use crate::rpq::{simple_paths, Path};
+use qbe_bitset::DenseSet;
 use qbe_strategy::{
     pick_first_max_by, Candidate, CheapestFirst, PoolView, Random, SessionConfig, Strategy,
 };
@@ -69,7 +70,7 @@ impl PathConstraint {
             }
         }
         if let Some(via) = self.via {
-            if !features.visited.contains(&via) {
+            if !features.visited.contains(via) {
                 return false;
             }
         }
@@ -97,13 +98,14 @@ impl PathConstraint {
 }
 
 /// Precomputed facts about one candidate path, sufficient to evaluate any [`PathConstraint`]
-/// in constant time (up to a set lookup).
+/// in constant time (up to a bit test).
 #[derive(Debug, Clone)]
 pub struct PathFeatures {
     /// Total `distance` over the path's edges.
     pub distance: f64,
-    /// Every node the path visits (including both endpoints).
-    pub visited: BTreeSet<GNodeId>,
+    /// Every node the path visits (including both endpoints), as a dense bitset over the
+    /// graph's node universe — the via test is one bit probe.
+    pub visited: DenseSet<GNodeId>,
     /// The road types `t` such that *every* edge of the path has `type = t`.
     pub uniform_types: BTreeSet<String>,
 }
@@ -112,7 +114,7 @@ impl PathFeatures {
     /// Compute the features of a path.
     pub fn of(graph: &PropertyGraph, path: &Path) -> PathFeatures {
         let distance = path.total_distance(graph);
-        let mut visited = BTreeSet::new();
+        let mut visited = DenseSet::new(graph.node_count());
         for &e in &path.edges {
             visited.insert(graph.source(e));
             visited.insert(graph.target(e));
@@ -257,19 +259,27 @@ pub struct PathSessionOutcome {
 /// via dimensions grow with the candidate set.
 pub const MAX_CANDIDATE_PATHS: usize = 400;
 
-/// One hypothesis together with its acceptance bitset over the candidate paths.
+/// One hypothesis together with its acceptance set over the candidate paths.
+///
+/// Rows of one `(road type, via)` *family* share their base acceptance bitset behind an `Arc`
+/// and differ only in the distance cutoff: candidates are distance-sorted, so a distance bound
+/// accepts a prefix. A session materialises one bitset per family instead of one per row
+/// (families × distance values of them), which is most of its construction cost.
 #[derive(Debug, Clone)]
 struct HypothesisRow {
     constraint: PathConstraint,
-    /// Bit `i` is set iff the constraint accepts candidate path `i`.
-    accepts: Vec<u64>,
+    /// Family-shared acceptance of (road type, via), ignoring the distance bound.
+    base: std::sync::Arc<DenseSet<usize>>,
+    /// The row accepts candidate `ix` iff `ix < cutoff` and `base` contains it (`cutoff` is the
+    /// candidate count for the unbounded row).
+    cutoff: usize,
     /// Number of candidate paths the constraint accepts.
     accepted_count: usize,
 }
 
 impl HypothesisRow {
     fn accepts_path(&self, ix: usize) -> bool {
-        self.accepts[ix / 64] & (1 << (ix % 64)) != 0
+        ix < self.cutoff && self.base.contains(ix)
     }
 }
 
@@ -286,6 +296,10 @@ pub struct PathSession<G: Borrow<PropertyGraph>> {
     /// For each candidate path, how many surviving hypotheses accept it.
     accept_counts: Vec<usize>,
     labelled: Vec<(usize, bool)>,
+    /// Candidate paths neither labelled nor yet observed determined — the incremental pool
+    /// [`Self::propose`] offers the strategy, maintained by set difference (determination under
+    /// a shrinking version space is monotone, so removal is permanent).
+    pool: DenseSet<usize>,
     /// The pluggable question-selection policy, consulted once per proposal round.
     strategy: Box<dyn Strategy>,
     /// Question cap, if any: once reached, the session completes.
@@ -339,7 +353,6 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
         let features: Vec<PathFeatures> =
             candidates.iter().map(|p| PathFeatures::of(g, p)).collect();
         let n = candidates.len();
-        let words = n.div_ceil(64).max(1);
 
         // Hypothesis dimensions.
         let mut road_types: Vec<Option<String>> = vec![None];
@@ -348,81 +361,71 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
         distance_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         let mut vias: BTreeSet<Option<GNodeId>> = BTreeSet::from([None]);
         for f in &features {
-            for &node in &f.visited {
+            for node in f.visited.iter() {
                 vias.insert(Some(node));
             }
         }
 
-        // Prefix masks: mask(k) has the first k bits set (candidates are distance-sorted).
-        let prefix_mask = |len: usize| -> Vec<u64> {
-            let mut mask = vec![0u64; words];
-            for (w, slot) in mask.iter_mut().enumerate() {
-                let lo = w * 64;
-                if len >= lo + 64 {
-                    *slot = u64::MAX;
-                } else if len > lo {
-                    *slot = (1u64 << (len - lo)) - 1;
-                }
-            }
-            mask
-        };
-        let full_mask = prefix_mask(n);
+        // How many distance rows of one (road type, via) family accept candidate `ix`: one per
+        // distance value covering the candidate's own distance. Computing this once per
+        // candidate turns the accept-count accumulation from a per-row-per-bit sweep into a
+        // per-family pass over the base bitset plus this lookup.
+        let covering_distances: Vec<usize> = features
+            .iter()
+            .map(|f| {
+                distance_values.len() - distance_values.partition_point(|&d| d + 1e-9 < f.distance)
+            })
+            .collect();
 
         let mut rows = Vec::new();
         let mut accept_counts = vec![0usize; n];
         for rt in &road_types {
             for via in vias.iter() {
-                // Base acceptance of (rt, via) ignoring the distance bound.
-                let mut base = vec![0u64; words];
+                // Base acceptance of (rt, via) ignoring the distance bound — shared by every
+                // row of the family behind one `Arc`.
+                let mut base: DenseSet<usize> = DenseSet::new(n);
                 for (ix, f) in features.iter().enumerate() {
                     let rt_ok = rt
                         .as_ref()
                         .map(|t| f.uniform_types.contains(t))
                         .unwrap_or(true);
-                    let via_ok = via.map(|v| f.visited.contains(&v)).unwrap_or(true);
+                    let via_ok = via.map(|v| f.visited.contains(v)).unwrap_or(true);
                     if rt_ok && via_ok {
-                        base[ix / 64] |= 1 << (ix % 64);
+                        base.insert(ix);
                     }
                 }
-                let mut push_row =
-                    |constraint: PathConstraint, mask: &[u64], rows: &mut Vec<HypothesisRow>| {
-                        let accepts: Vec<u64> = base.iter().zip(mask).map(|(b, m)| b & m).collect();
-                        let accepted_count = accepts.iter().map(|w| w.count_ones() as usize).sum();
-                        for (w, word) in accepts.iter().enumerate() {
-                            let mut bits = *word;
-                            while bits != 0 {
-                                let bit = bits.trailing_zeros() as usize;
-                                accept_counts[w * 64 + bit] += 1;
-                                bits &= bits - 1;
-                            }
-                        }
-                        rows.push(HypothesisRow {
-                            constraint,
-                            accepts,
-                            accepted_count,
-                        });
-                    };
-                push_row(
-                    PathConstraint {
+                // Every row of this family accepts a subset of `base`: the unbounded row all of
+                // it, each distance row a prefix of it. Tally the family's contribution to the
+                // per-candidate acceptance counters in one pass over `base`, and keep the
+                // accepted positions around to size each prefix row by binary search.
+                let positions: Vec<usize> = base.iter().collect();
+                for &ix in &positions {
+                    accept_counts[ix] += 1 + covering_distances[ix];
+                }
+                let base = std::sync::Arc::new(base);
+                rows.push(HypothesisRow {
+                    constraint: PathConstraint {
                         road_type: rt.clone(),
                         max_distance: None,
                         via: *via,
                     },
-                    &full_mask,
-                    &mut rows,
-                );
+                    base: base.clone(),
+                    cutoff: n,
+                    accepted_count: positions.len(),
+                });
                 for &d in &distance_values {
                     // Number of candidates whose distance is ≤ d (they form a prefix).
                     let len = features.partition_point(|f| f.distance <= d + 1e-9);
-                    push_row(
-                        PathConstraint {
+                    rows.push(HypothesisRow {
+                        constraint: PathConstraint {
                             road_type: rt.clone(),
                             max_distance: Some(d),
                             via: *via,
                         },
-                        &prefix_mask(len),
-                        &mut rows,
-                    );
+                        base: base.clone(),
+                        cutoff: len,
+                        accepted_count: positions.partition_point(|&p| p < len),
+                    });
                 }
             }
         }
@@ -433,6 +436,7 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
             rows,
             accept_counts,
             labelled: Vec::new(),
+            pool: DenseSet::full(n),
             strategy: resolved.strategy,
             budget: resolved.budget,
             workload: Vec::new(),
@@ -518,17 +522,36 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
     /// Record a user label and prune the version space.
     pub fn record(&mut self, path_ix: usize, positive: bool) {
         self.labelled.push((path_ix, positive));
+        self.pool.remove(path_ix);
         let mut kept = Vec::with_capacity(self.rows.len());
+        // Dropped rows are aggregated per family (rows sharing one base behind an `Arc` are
+        // contiguous): a candidate loses one vote per dropped cutoff above it, so the votes of
+        // a whole family's dropped rows are forgotten in one two-pointer pass over its base
+        // instead of one bit walk per row.
+        let mut dropped: Vec<(std::sync::Arc<DenseSet<usize>>, Vec<usize>)> = Vec::new();
         for row in self.rows.drain(..) {
             if row.accepts_path(path_ix) == positive {
                 kept.push(row);
             } else {
-                // The hypothesis leaves the version space: forget its votes.
-                for ix in 0..self.candidates.len() {
-                    if row.accepts_path(ix) {
-                        self.accept_counts[ix] -= 1;
+                match dropped.last_mut() {
+                    Some((base, cutoffs)) if std::sync::Arc::ptr_eq(base, &row.base) => {
+                        cutoffs.push(row.cutoff)
                     }
+                    _ => dropped.push((row.base.clone(), vec![row.cutoff])),
                 }
+            }
+        }
+        for (base, mut cutoffs) in dropped {
+            cutoffs.sort_unstable();
+            let mut below = 0usize;
+            for ix in base.iter() {
+                while below < cutoffs.len() && cutoffs[below] <= ix {
+                    below += 1;
+                }
+                if below == cutoffs.len() {
+                    break; // no dropped row reaches past this candidate
+                }
+                self.accept_counts[ix] -= cutoffs.len() - below;
             }
         }
         self.rows = kept;
@@ -573,7 +596,24 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
         if self.budget.is_some_and(|cap| self.labelled.len() >= cap) {
             return None;
         }
-        let informative = self.informative_paths();
+        // Walk the incremental pool (ascending index — the spec's scan order) and drop the
+        // paths whose label the shrunk version space now determines. Determination is monotone
+        // (hypotheses only leave the version space), so removal is permanent and the pool is
+        // maintained purely by set difference.
+        let total = self.rows.len();
+        let mut informative: Vec<usize> = Vec::new();
+        let mut determined: Vec<usize> = Vec::new();
+        for ix in self.pool.iter() {
+            let accepted = self.accept_counts[ix];
+            if accepted == 0 || accepted == total {
+                determined.push(ix);
+            } else {
+                informative.push(ix);
+            }
+        }
+        for ix in determined {
+            self.pool.remove(ix);
+        }
         let candidates = self.candidate_features(&informative);
         let view = PoolView {
             asked: self.labelled.len(),
@@ -581,6 +621,15 @@ impl<G: Borrow<PropertyGraph>> PathSession<G> {
         };
         let pick = self.strategy.pick(&view)?;
         informative.get(pick).copied()
+    }
+
+    /// The incremental candidate pool: what [`Self::propose`] currently offers the strategy,
+    /// i.e. [`Self::informative_paths`] plus any paths whose determination the lazy pool
+    /// maintenance has not observed yet (it prunes during `propose`). Exposed so the
+    /// differential suites can pin the incremental pool against the from-scratch specification
+    /// round by round.
+    pub fn informative_pool(&self) -> Vec<usize> {
+        self.pool.iter().collect()
     }
 
     /// Run the loop until no informative path remains.

@@ -13,6 +13,17 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GNodeId(pub u32);
 
+/// Node ids index dense bitsets ([`qbe_bitset::DenseSet<GNodeId>`]) directly — what the
+/// path-session visited sets and the indexed RPQ evaluator's frontier structures are keyed by.
+impl qbe_bitset::DenseId for GNodeId {
+    fn from_index(index: usize) -> GNodeId {
+        GNodeId(index as u32)
+    }
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Identifier of an edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GEdgeId(pub u32);

@@ -281,39 +281,41 @@ pub fn evaluate_indexed(
     let accept_bit = 1u64 << nfa.accept;
     let start_mask = closure[nfa.start];
     let mut out = BTreeSet::new();
-    let mut visited: std::collections::HashSet<(GNodeId, u64)> = std::collections::HashSet::new();
+    // Per-node union of every NFA state-set mask already explored from the current start.
+    // Mask propagation is monotone (`next(m₁ ∪ m₂) = next(m₁) ∪ next(m₂)`, and a mask that
+    // dies stays dead), so a frontier mask covered by the union cannot reach anything its
+    // covering explorations do not — subset states are pruned without loss. This replaces the
+    // exact `(node, mask)` visited set, whose distinct-mask blowup was the BFS's worst case.
+    let mut seen: Vec<u64> = vec![0; graph.node_count()];
     let mut queue: VecDeque<(GNodeId, u64)> = VecDeque::new();
     for start in graph.node_ids() {
-        visited.clear();
+        seen.fill(0);
         queue.clear();
         queue.push_back((start, start_mask));
         while let Some((node, mask)) = queue.pop_front() {
-            if !visited.insert((node, mask)) {
-                continue;
+            let prior = seen[node.0 as usize];
+            if mask & !prior == 0 {
+                continue; // covered by earlier explorations from this start
             }
+            seen[node.0 as usize] = prior | mask;
             if mask & accept_bit != 0 {
                 out.insert((start, node));
             }
-            let adj = index.out_edges(node);
-            let mut i = 0;
-            while i < adj.len() {
-                let lid = adj[i].0;
-                // Transition once per distinct label, then fan out to that label's successors.
+            // Transition once per distinct label; the successor bitset enqueues each distinct
+            // target once (parallel edges collapsed by the index).
+            for (lid, targets) in index.successor_bits(node) {
                 let mut next_mask = 0u64;
                 let mut bits = mask;
                 while bits != 0 {
                     let s = bits.trailing_zeros() as usize;
-                    next_mask |= trans[lid as usize][s];
+                    next_mask |= trans[*lid as usize][s];
                     bits &= bits - 1;
                 }
-                let mut j = i;
-                while j < adj.len() && adj[j].0 == lid {
-                    if next_mask != 0 {
-                        queue.push_back((adj[j].1, next_mask));
+                if next_mask != 0 {
+                    for target in targets.iter() {
+                        queue.push_back((target, next_mask));
                     }
-                    j += 1;
                 }
-                i = j;
             }
         }
     }
@@ -387,15 +389,19 @@ impl Path {
 }
 
 /// Enumerate simple paths (no repeated node) from `from` to `to` with at most `max_edges` edges.
+///
+/// The per-branch visited set is a dense bitset, so extending a path clones a few words rather
+/// than a tree — path enumeration is the constructor cost of every interactive path session.
 pub fn simple_paths(
     graph: &PropertyGraph,
     from: GNodeId,
     to: GNodeId,
     max_edges: usize,
 ) -> Vec<Path> {
+    let n = graph.node_count();
     let mut out = Vec::new();
-    let mut stack: Vec<(GNodeId, Vec<GEdgeId>, BTreeSet<GNodeId>)> =
-        vec![(from, Vec::new(), BTreeSet::from([from]))];
+    let mut stack: Vec<(GNodeId, Vec<GEdgeId>, qbe_bitset::DenseSet<GNodeId>)> =
+        vec![(from, Vec::new(), qbe_bitset::DenseSet::from_ids(n, [from]))];
     while let Some((node, edges, visited)) = stack.pop() {
         if node == to && !edges.is_empty() {
             out.push(Path {
@@ -410,7 +416,7 @@ pub fn simple_paths(
         }
         for &edge in graph.outgoing(node) {
             let next = graph.target(edge);
-            if visited.contains(&next) {
+            if visited.contains(next) {
                 continue;
             }
             let mut new_edges = edges.clone();

@@ -18,14 +18,15 @@
 //! * **informative** otherwise — asking the user about it shrinks the version space.
 
 use crate::join_learn::agreement_set;
-use crate::model::Relation;
+use crate::model::{Relation, Value};
 use crate::operators::JoinPredicate;
+use qbe_bitset::DenseSet;
 use qbe_strategy::{
     pick_first_max_by, pick_last_max_by, Candidate, PoolView, Random, SessionConfig,
     Strategy as SelectStrategy,
 };
 use std::borrow::Borrow;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The paper-era pair-selection policies, now thin presets over the model-agnostic
 /// [`qbe_strategy::Strategy`] API (see [`Strategy::strategy`]).
@@ -141,6 +142,81 @@ pub enum PairStatus {
     Informative,
 }
 
+/// The dense bitmask engine behind [`InteractiveSession`]: every agreement set is a `u64` mask
+/// over the attribute-pair lattice (bit `i·|right schema| + j` = equality of left attribute `i`
+/// with right attribute `j`), and the still-informative region of the cartesian product is a
+/// [`DenseSet`] over pair indices (row-major: `l·|right| + r`) maintained by set difference.
+///
+/// The masks are generated once, by **hash-partitioning** each column pair: right rows are
+/// bucketed by value per column, then each left value looks its matches up instead of comparing
+/// against every right row — `O(columns² · matches)` after hashing, not `O(|L|·|R|·columns²)`
+/// per *round* like the paper-era sweep. Per-candidate agreement checks afterwards are a single
+/// `AND` + popcount.
+///
+/// Only built when the attribute-pair lattice fits a `u64` (≤ 64 pairs — every instance in the
+/// paper's experiments); larger schemas fall back to the per-round sweep, which stays in-tree
+/// as the executable specification either way.
+#[derive(Debug)]
+struct PairEngine {
+    right_len: usize,
+    /// Agreement mask per pair of the cartesian product, row-major.
+    masks: Vec<u64>,
+    /// Mask of the current most specific hypothesis (`theta_max`).
+    theta: u64,
+    /// Agreement masks of the labelled negatives.
+    negatives: Vec<u64>,
+    /// Pairs neither labelled nor yet proven determined — the candidate pool.
+    pool: DenseSet<usize>,
+}
+
+impl PairEngine {
+    /// Build the engine, or `None` when the attribute-pair lattice does not fit a `u64`.
+    fn build(left: &Relation, right: &Relation) -> Option<PairEngine> {
+        let la = left.schema().arity();
+        let ra = right.schema().arity();
+        let bits = la.checked_mul(ra)?;
+        if bits > 64 {
+            return None;
+        }
+        let nl = left.len();
+        let nr = right.len();
+        let mut masks = vec![0u64; nl * nr];
+        // Hash-partition: bucket right rows by value, per right column.
+        let mut buckets: Vec<HashMap<&Value, Vec<usize>>> = vec![HashMap::new(); ra];
+        for (r, rt) in right.tuples().iter().enumerate() {
+            for (j, bucket) in buckets.iter_mut().enumerate() {
+                bucket.entry(rt.get(j)).or_default().push(r);
+            }
+        }
+        for (l, lt) in left.tuples().iter().enumerate() {
+            let base = l * nr;
+            for i in 0..la {
+                let v = lt.get(i);
+                for (j, bucket) in buckets.iter().enumerate() {
+                    if let Some(rows) = bucket.get(v) {
+                        let bit = 1u64 << (i * ra + j);
+                        for &r in rows {
+                            masks[base + r] |= bit;
+                        }
+                    }
+                }
+            }
+        }
+        let theta = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        Some(PairEngine {
+            right_len: nr,
+            masks,
+            theta,
+            negatives: Vec::new(),
+            pool: DenseSet::full(nl * nr),
+        })
+    }
+}
+
 /// Interactive learning session over the cartesian product of two relations.
 ///
 /// Generic over how the relations are owned: existing callers pass `&Relation` (zero-copy
@@ -159,6 +235,9 @@ pub struct InteractiveSession<D: Borrow<Relation>> {
     strategy: Box<dyn SelectStrategy>,
     /// Question cap, if any: once reached, the session completes.
     budget: Option<usize>,
+    /// The bitmask fast path (`None` only for schemas whose attribute-pair lattice exceeds 64
+    /// pairs, which fall back to the sweep spec).
+    engine: Option<PairEngine>,
 }
 
 /// Result of a completed interactive session.
@@ -196,6 +275,7 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
         let all_pairs = JoinPredicate::from_pairs(
             (0..left_arity).flat_map(|i| (0..right_arity).map(move |j| (i, j))),
         );
+        let engine = PairEngine::build(left.borrow(), right.borrow());
         InteractiveSession {
             left,
             right,
@@ -204,6 +284,7 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
             labelled: Vec::new(),
             strategy: resolved.strategy,
             budget: resolved.budget,
+            engine,
         }
     }
 
@@ -263,6 +344,16 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
         } else {
             self.negative_agreements.push(agreement);
         }
+        if let Some(engine) = &mut self.engine {
+            let pair = left_ix * engine.right_len + right_ix;
+            let mask = engine.masks[pair];
+            if positive {
+                engine.theta &= mask;
+            } else {
+                engine.negatives.push(mask);
+            }
+            engine.pool.remove(pair);
+        }
         self.labelled.push(((left_ix, right_ix), positive));
     }
 
@@ -321,6 +412,47 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
         (pairs, features)
     }
 
+    /// The bitmask fast path of [`Self::informative_candidates`]: iterate the incremental pool
+    /// (ascending pair index = the sweep's row-major order), decide each pair with one
+    /// `AND`+popcount against the `u64` hypothesis mask, and *remove* newly determined pairs
+    /// from the pool — determination under this version space is monotone (the hypothesis mask
+    /// only shrinks, the negative list only grows), so a determined pair can never become
+    /// informative again and set-difference maintenance is exact.
+    fn informative_candidates_bitmask(&mut self) -> (Vec<(usize, usize)>, Vec<Candidate>) {
+        let engine = self.engine.as_mut().expect("caller checked the engine");
+        let theta = engine.theta;
+        let theta_len = theta.count_ones() as usize;
+        let target = theta_len / 2;
+        let mut pairs = Vec::new();
+        let mut features = Vec::new();
+        let mut determined: Vec<usize> = Vec::new();
+        for p in engine.pool.iter() {
+            let mask = engine.masks[p];
+            if theta & !mask == 0 {
+                determined.push(p); // certainly positive: theta ⊆ agreement
+                continue;
+            }
+            let restricted = mask & theta;
+            if engine.negatives.iter().any(|neg| restricted & !neg == 0) {
+                determined.push(p); // certainly negative: restricted ⊆ some negative agreement
+                continue;
+            }
+            let overlap = restricted.count_ones() as usize;
+            pairs.push((p / engine.right_len, p % engine.right_len));
+            features.push(Candidate {
+                informativeness: -(overlap.abs_diff(target) as f64),
+                cost: mask.count_ones() as f64,
+                coverage: (theta_len - overlap) as f64,
+                specificity: overlap as f64,
+                prior: 0.0,
+            });
+        }
+        for p in determined {
+            engine.pool.remove(p);
+        }
+        (pairs, features)
+    }
+
     /// Propose the next informative pair to ask the user about, or `None` when every pair's
     /// label is determined (or the question budget is spent). Callers alternate `propose` with
     /// [`Self::record`]; [`Self::run`] loops to completion.
@@ -328,13 +460,34 @@ impl<D: Borrow<Relation>> InteractiveSession<D> {
         if self.budget.is_some_and(|cap| self.labelled.len() >= cap) {
             return None;
         }
-        let (informative, candidates) = self.informative_candidates();
+        let (informative, candidates) = if self.engine.is_some() {
+            self.informative_candidates_bitmask()
+        } else {
+            self.informative_candidates()
+        };
         let view = PoolView {
             asked: self.labelled.len(),
             candidates: &candidates,
         };
         let pick = self.strategy.pick(&view)?;
         informative.get(pick).copied()
+    }
+
+    /// The incremental candidate pool as `(left, right)` pairs: what the bitmask engine would
+    /// offer the strategy next round, i.e. [`Self::informative_pairs`] plus any pairs whose
+    /// determination the lazy pool maintenance has not observed yet (it prunes during
+    /// [`Self::propose`]). Exposed so the differential suites can pin the incremental pool
+    /// against the from-scratch specification round by round. Falls back to the specification
+    /// on schemas without a bitmask engine.
+    pub fn informative_pool(&self) -> Vec<(usize, usize)> {
+        match &self.engine {
+            Some(engine) => engine
+                .pool
+                .iter()
+                .map(|p| (p / engine.right_len, p % engine.right_len))
+                .collect(),
+            None => self.informative_pairs(),
+        }
     }
 
     /// The left relation.

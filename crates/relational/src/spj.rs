@@ -255,14 +255,22 @@ impl fmt::Display for SpjQuery {
     }
 }
 
-/// Whether two relations hold the same *set* of tuples (schema names are ignored).
+/// Whether two relations hold the same *set* of tuples (schema names are ignored; duplicate
+/// tuples count once, as in the `BTreeSet` comparison this replaces).
+///
+/// Sorts each side's tuple references once and compares the deduplicated runs — no per-call
+/// tree allocation, which matters to the consistency checkers that call this for every
+/// candidate query.
 pub fn same_tuple_set(a: &Relation, b: &Relation) -> bool {
-    use std::collections::BTreeSet;
     if a.schema().arity() != b.schema().arity() {
         return false;
     }
-    let sa: BTreeSet<&Tuple> = a.tuples().iter().collect();
-    let sb: BTreeSet<&Tuple> = b.tuples().iter().collect();
+    let mut sa: Vec<&Tuple> = a.tuples().iter().collect();
+    let mut sb: Vec<&Tuple> = b.tuples().iter().collect();
+    sa.sort_unstable();
+    sa.dedup();
+    sb.sort_unstable();
+    sb.dedup();
     sa == sb
 }
 
@@ -289,6 +297,43 @@ mod tests {
             ],
         ));
         db
+    }
+
+    #[test]
+    fn same_tuple_set_ignores_duplicates_and_order() {
+        let schema = RelationSchema::new("r", &["a", "b"]);
+        let with_dupes = Relation::with_tuples(
+            schema.clone(),
+            vec![
+                Tuple::new(vec![1.into(), "x".into()]),
+                Tuple::new(vec![1.into(), "x".into()]),
+                Tuple::new(vec![2.into(), "y".into()]),
+            ],
+        );
+        let deduped_reordered = Relation::with_tuples(
+            RelationSchema::new("s", &["c", "d"]),
+            vec![
+                Tuple::new(vec![2.into(), "y".into()]),
+                Tuple::new(vec![1.into(), "x".into()]),
+            ],
+        );
+        // Set semantics: duplicates count once, tuple order and schema names are irrelevant.
+        assert!(same_tuple_set(&with_dupes, &deduped_reordered));
+        assert!(same_tuple_set(&deduped_reordered, &with_dupes));
+        let different = Relation::with_tuples(
+            schema.clone(),
+            vec![
+                Tuple::new(vec![1.into(), "x".into()]),
+                Tuple::new(vec![3.into(), "z".into()]),
+            ],
+        );
+        assert!(!same_tuple_set(&with_dupes, &different));
+        // Arity mismatches never compare equal.
+        let narrower = Relation::with_tuples(
+            RelationSchema::new("t", &["a"]),
+            vec![Tuple::new(vec![1.into()])],
+        );
+        assert!(!same_tuple_set(&with_dupes, &narrower));
     }
 
     #[test]

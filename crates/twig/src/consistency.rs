@@ -200,9 +200,21 @@ impl UnionQuery {
         index: &qbe_xml::NodeIndex,
         cache: &mut crate::eval_indexed::EvalCache,
     ) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
+        self.select_bits_with(doc, index, cache).iter().collect()
+    }
+
+    /// [`Self::select_with`] as a dense bitset: the member answers are combined by word-level
+    /// union (`OR`) instead of per-element set insertion.
+    pub fn select_bits_with(
+        &self,
+        doc: &XmlTree,
+        index: &qbe_xml::NodeIndex,
+        cache: &mut crate::eval_indexed::EvalCache,
+    ) -> qbe_bitset::DenseSet<NodeId> {
+        let mut out = qbe_bitset::DenseSet::new(doc.size());
         for m in &self.members {
-            out.extend(crate::eval_indexed::select_vec_with(m, doc, index, cache));
+            let member = crate::eval_indexed::select_bits_with(m, doc, index, cache);
+            out.or_with(&member);
         }
         out
     }

@@ -40,6 +40,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use qbe_bitset::DenseSet;
 use qbe_strategy::{
     pick_last_max_by, Candidate, CheapestFirst, PaperOrder, PoolView, Random, SessionConfig,
     Strategy,
@@ -197,6 +198,11 @@ impl fmt::Display for TwigSessionOutcome {
 }
 
 /// An in-progress interactive twig-learning session.
+///
+/// All per-round bookkeeping runs on dense bitsets: one [`DenseSet`] per document for the
+/// labelled, determined-negative, certain-positive and still-informative node sets, so each
+/// proposal round updates the candidate pool by word-level set difference instead of rescanning
+/// every node against `BTreeSet`s.
 #[derive(Debug)]
 pub struct TwigSession {
     docs: Arc<Vec<XmlTree>>,
@@ -211,11 +217,20 @@ pub struct TwigSession {
     /// Question cap, if any: once `asked` reaches it, the session completes.
     budget: Option<usize>,
     asked: usize,
-    /// Nodes proven determined-negative so far (never re-analysed).
-    determined: BTreeSet<(usize, NodeId)>,
-    /// Answer set of the current candidate, cached per positive-count epoch.
-    certain: BTreeSet<(usize, NodeId)>,
-    /// Positive-label count the `certain` cache was computed for.
+    /// Per-document bitset of labelled nodes.
+    labelled_bits: Vec<DenseSet<NodeId>>,
+    /// Per-document bitset of nodes proven determined-negative so far (never re-analysed).
+    determined_bits: Vec<DenseSet<NodeId>>,
+    /// Per-document answer bitset of the current candidate, refreshed per positive-count epoch.
+    certain_bits: Vec<DenseSet<NodeId>>,
+    /// Per-document pool of still-informative nodes: `all ∖ labelled ∖ determined ∖ certain`,
+    /// maintained incrementally (full rebuild only when the candidate — and with it the certain
+    /// region — changes, i.e. once per positive answer).
+    pool: Vec<DenseSet<NodeId>>,
+    /// The generalised spine of the current positive set, cached so each determined-negative
+    /// check folds in exactly one more example instead of refolding every positive.
+    epoch_spine: Option<crate::learn::CachedSpine>,
+    /// Positive-label count the `certain_bits`/`epoch_spine` caches were computed for.
     known_positives: usize,
     /// Set once a generalised candidate swallows an earlier negative.
     inconsistent: bool,
@@ -261,6 +276,8 @@ impl TwigSession {
         );
         let resolved = config.resolve(|seed| NodeStrategy::LabelAffinity.strategy(seed));
         let caches = RefCell::new(vec![EvalCache::new(); docs.len()]);
+        let empty: Vec<DenseSet<NodeId>> = docs.iter().map(|d| DenseSet::new(d.size())).collect();
+        let pool: Vec<DenseSet<NodeId>> = docs.iter().map(|d| DenseSet::full(d.size())).collect();
         TwigSession {
             docs,
             indexes,
@@ -269,8 +286,11 @@ impl TwigSession {
             strategy: resolved.strategy,
             budget: resolved.budget,
             asked: 0,
-            determined: BTreeSet::new(),
-            certain: BTreeSet::new(),
+            labelled_bits: empty.clone(),
+            determined_bits: empty.clone(),
+            certain_bits: empty,
+            pool,
+            epoch_spine: None,
             known_positives: 0,
             inconsistent: false,
         }
@@ -299,9 +319,23 @@ impl TwigSession {
         eval_indexed::select_vec_with(query, &self.docs[doc], &self.indexes[doc], &mut caches[doc])
     }
 
-    /// Indexed membership test through the session's memo.
+    /// Indexed evaluation into a dense answer bitset, through the session's memo.
+    fn eval_bits(&self, query: &TwigQuery, doc: usize) -> DenseSet<NodeId> {
+        let mut caches = self.caches.borrow_mut();
+        eval_indexed::select_bits_with(query, &self.docs[doc], &self.indexes[doc], &mut caches[doc])
+    }
+
+    /// Indexed membership test through the session's memo (the result bitset is recycled into
+    /// the document's arena).
     fn eval_selects(&self, query: &TwigQuery, doc: usize, node: NodeId) -> bool {
-        self.eval_select(query, doc).binary_search(&node).is_ok()
+        let mut caches = self.caches.borrow_mut();
+        eval_indexed::selects_with(
+            query,
+            &self.docs[doc],
+            &self.indexes[doc],
+            &mut caches[doc],
+            node,
+        )
     }
 
     fn positives(&self) -> Vec<(usize, NodeId)> {
@@ -386,6 +420,8 @@ impl TwigSession {
             node,
             positive,
         });
+        self.labelled_bits[doc].insert(node);
+        self.pool[doc].remove(node);
         self.asked += 1;
     }
 
@@ -453,27 +489,58 @@ impl TwigSession {
         if negatives.is_empty() {
             return false;
         }
-        let mut extended = positives;
-        extended.push((doc, node));
-        // `extended` is never empty, and NoExamples is the learners' only error, so failures
-        // here must surface rather than silently prune the node.
-        let example_refs: Vec<(&XmlTree, NodeId)> =
-            extended.iter().map(|&(d, n)| (&self.docs[d], n)).collect();
-        let spine_only = crate::learn::learn_path_from_positives(&example_refs)
-            .expect("learning from a non-empty example set cannot fail");
-        if !negatives
-            .iter()
-            .any(|&(d, m)| self.eval_selects(&spine_only, d, m))
-        {
+        // The fold of the positives' label paths: taken from the per-epoch cache when it is
+        // current (the hot path — `propose` refreshes it on every positive), refolded from
+        // scratch otherwise (callers driving the session by hand between answers).
+        let base_spine = match &self.epoch_spine {
+            Some(spine) if positives.len() == self.known_positives => spine.clone(),
+            _ => {
+                let example_refs: Vec<(&XmlTree, NodeId)> =
+                    positives.iter().map(|&(d, n)| (&self.docs[d], n)).collect();
+                crate::learn::generalised_spine(&example_refs)
+                    .expect("learning from a non-empty example set cannot fail")
+            }
+        };
+        // One more fold step gives the spine over `positives ∪ {node}`.
+        let extended_spine = base_spine.extended(&self.docs[doc], node);
+        let spine_only = extended_spine.path_query();
+        if !self.selects_any(&spine_only, &negatives) {
             // Even the loosest consistent generalisation misses every negative: informative.
             return false;
         }
-        let most_specific = self
-            .learn_shared(&extended)
-            .expect("learning from a non-empty example set cannot fail");
-        negatives
-            .iter()
-            .any(|&(d, m)| self.eval_selects(&most_specific, d, m))
+        let mut extended = positives;
+        extended.push((doc, node));
+        let most_specific = {
+            let mut caches = self.caches.borrow_mut();
+            crate::learn::learn_from_positives_shared_with_spine(
+                &extended_spine,
+                &extended,
+                &self.docs,
+                &self.indexes,
+                &mut caches,
+            )
+            .expect("learning from a non-empty example set cannot fail")
+        };
+        self.selects_any(&most_specific, &negatives)
+    }
+
+    /// Whether `query` selects any of the given `(doc, node)` pairs — one indexed evaluation
+    /// per *distinct document* (not per pair), then a bit test per pair. The result bitsets go
+    /// back to their documents' arenas afterwards.
+    fn selects_any(&self, query: &TwigQuery, pairs: &[(usize, NodeId)]) -> bool {
+        let mut evaluated: Vec<Option<DenseSet<NodeId>>> = vec![None; self.docs.len()];
+        let hit = pairs.iter().any(|&(d, m)| {
+            evaluated[d]
+                .get_or_insert_with(|| self.eval_bits(query, d))
+                .contains(m)
+        });
+        let mut caches = self.caches.borrow_mut();
+        for (doc_ix, bits) in evaluated.into_iter().enumerate() {
+            if let Some(bits) = bits {
+                caches[doc_ix].recycle(bits);
+            }
+        }
+        hit
     }
 
     /// Affinity bonus separating "label matches a known positive" from every depth value in
@@ -541,39 +608,49 @@ impl TwigSession {
         let positives_now = self.annotations.iter().filter(|a| a.positive).count();
         if positives_now != self.known_positives {
             self.known_positives = positives_now;
-            self.certain.clear();
-            if let Some(q) = self.candidate() {
-                for doc_ix in 0..self.docs.len() {
-                    for node in self.eval_select(&q, doc_ix) {
-                        self.certain.insert((doc_ix, node));
+            // Refresh the per-epoch caches: the candidate's answer region and the generalised
+            // spine its determined-negative checks extend.
+            let candidate = self.candidate();
+            for doc_ix in 0..self.docs.len() {
+                match &candidate {
+                    Some(q) => {
+                        let bits = self.eval_bits(q, doc_ix);
+                        self.certain_bits[doc_ix] = bits;
                     }
+                    None => self.certain_bits[doc_ix].clear(),
                 }
             }
+            let example_refs: Vec<(&XmlTree, NodeId)> = self
+                .annotations
+                .iter()
+                .filter(|a| a.positive)
+                .map(|a| (&self.docs[a.doc], a.node))
+                .collect();
+            self.epoch_spine = crate::learn::generalised_spine(&example_refs).ok();
             // A generalised candidate may have swallowed an earlier negative: the labels no
             // longer admit a consistent anchored twig, matching `is_consistent`.
             if self
                 .annotations
                 .iter()
-                .any(|a| !a.positive && self.certain.contains(&(a.doc, a.node)))
+                .any(|a| !a.positive && self.certain_bits[a.doc].contains(a.node))
             {
                 self.inconsistent = true;
                 return None;
             }
+            // The certain region moved, so the pool is rebuilt by set difference:
+            // `all ∖ labelled ∖ determined ∖ certain`, a few words per document.
+            for (doc_ix, doc) in self.docs.iter().enumerate() {
+                let pool = &mut self.pool[doc_ix];
+                *pool = DenseSet::full(doc.size());
+                pool.and_not_with(&self.labelled_bits[doc_ix]);
+                pool.and_not_with(&self.determined_bits[doc_ix]);
+                pool.and_not_with(&self.certain_bits[doc_ix]);
+            }
         }
 
-        let labelled: BTreeSet<(usize, NodeId)> =
-            self.annotations.iter().map(|a| (a.doc, a.node)).collect();
         let mut informative: Vec<(usize, NodeId)> = Vec::new();
-        for (doc_ix, doc) in self.docs.iter().enumerate() {
-            for node in doc.node_ids() {
-                let key = (doc_ix, node);
-                if !labelled.contains(&key)
-                    && !self.determined.contains(&key)
-                    && !self.certain.contains(&key)
-                {
-                    informative.push(key);
-                }
-            }
+        for (doc_ix, pool) in self.pool.iter().enumerate() {
+            informative.extend(pool.iter().map(|node| (doc_ix, node)));
         }
 
         // Consult the pluggable strategy; determined-negative analysis runs lazily, only on
@@ -590,12 +667,37 @@ impl TwigSession {
             // session rather than panicking the service.
             let pick = *informative.get(pick_ix)?;
             if self.is_determined_negative(pick.0, pick.1) {
-                self.determined.insert(pick);
+                self.determined_bits[pick.0].insert(pick.1);
+                self.pool[pick.0].remove(pick.1);
                 informative.remove(pick_ix);
                 continue;
             }
             return Some(pick);
         }
+    }
+
+    /// The session's *incremental* candidate pool: the nodes [`Self::propose`] currently offers
+    /// its strategy, i.e. [`Self::informative_nodes`] minus the determined negatives proven so
+    /// far (the incremental path discovers those lazily, only on proposed nodes). Exposed so
+    /// the differential suites can pin the incremental pool against the from-scratch
+    /// specification round by round.
+    pub fn informative_pool(&self) -> Vec<(usize, NodeId)> {
+        let mut out = Vec::new();
+        for (doc_ix, pool) in self.pool.iter().enumerate() {
+            out.extend(pool.iter().map(|node| (doc_ix, node)));
+        }
+        out
+    }
+
+    /// The nodes proven determined-negative so far (lazily, on proposal), as
+    /// `(document, node)` pairs — the exact difference between [`Self::informative_nodes`] and
+    /// [`Self::informative_pool`].
+    pub fn determined_negative_nodes(&self) -> Vec<(usize, NodeId)> {
+        let mut out = Vec::new();
+        for (doc_ix, bits) in self.determined_bits.iter().enumerate() {
+            out.extend(bits.iter().map(|node| (doc_ix, node)));
+        }
+        out
     }
 
     /// Total node count across the session's documents (the denominator of the pruning ratio).

@@ -56,6 +56,75 @@ pub fn learn_path_from_positives(
     Ok(spine_to_query(&spine))
 }
 
+/// The generalised spine of a positive-example set, cached across proposals by the interactive
+/// session: spine generalisation folds the examples left to right, so the fold over the known
+/// positives can be reused and extended by one more example per candidate node — byte-identical
+/// to refolding from scratch, without the O(|positives|) rework per proposal.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedSpine {
+    steps: Vec<SpineStep>,
+}
+
+/// Fold the examples' label paths into a [`CachedSpine`].
+pub(crate) fn generalised_spine(
+    examples: &[(&XmlTree, NodeId)],
+) -> Result<CachedSpine, TwigLearnError> {
+    Ok(CachedSpine {
+        steps: generalise_spines(examples)?,
+    })
+}
+
+impl CachedSpine {
+    /// The spine generalised with one more example — exactly one more fold step.
+    pub(crate) fn extended(&self, doc: &XmlTree, node: NodeId) -> CachedSpine {
+        CachedSpine {
+            steps: generalise_with_path(&self.steps, &label_path(doc, node)),
+        }
+    }
+
+    /// The pure path query of this spine (what [`learn_path_from_positives`] would return for
+    /// the folded example sequence).
+    pub(crate) fn path_query(&self) -> TwigQuery {
+        spine_to_query(&self.steps)
+    }
+}
+
+/// [`learn_from_positives_shared`] over a precomputed spine (see [`CachedSpine`]): runs only
+/// the filter-harvesting phase. The spine must be the fold of `examples`' label paths in order.
+pub(crate) fn learn_from_positives_shared_with_spine(
+    spine: &CachedSpine,
+    examples: &[(usize, NodeId)],
+    docs: &[XmlTree],
+    indexes: &[NodeIndex],
+    caches: &mut [EvalCache],
+) -> Result<TwigQuery, TwigLearnError> {
+    let refs: Vec<(&XmlTree, NodeId)> = examples
+        .iter()
+        .map(|&(slot, node)| (&docs[slot], node))
+        .collect();
+    let mut by_slot: Vec<Vec<NodeId>> = vec![Vec::new(); docs.len()];
+    for &(slot, node) in examples {
+        by_slot[slot].push(node);
+    }
+    for targets in &mut by_slot {
+        targets.sort_unstable();
+        targets.dedup();
+    }
+    harvest_filters(&refs, spine.steps.clone(), &mut |q| {
+        by_slot.iter().enumerate().all(|(slot, targets)| {
+            targets.is_empty() || {
+                let selected = eval_indexed::select_bits_with(
+                    q,
+                    &docs[slot],
+                    &indexes[slot],
+                    &mut caches[slot],
+                );
+                targets.iter().all(|n| selected.contains(*n))
+            }
+        })
+    })
+}
+
 /// Learn the most specific **twig query** (spine + filters) selecting every positive example.
 ///
 /// Filter harvesting evaluates dozens of near-identical candidate queries against the same
@@ -94,13 +163,13 @@ pub fn learn_from_positives_shared(
     learn_with_evaluator(&refs, &mut |q| {
         by_slot.iter().enumerate().all(|(slot, targets)| {
             targets.is_empty() || {
-                let selected = eval_indexed::select_vec_with(
+                let selected = eval_indexed::select_bits_with(
                     q,
                     &docs[slot],
                     &indexes[slot],
                     &mut caches[slot],
                 );
-                targets.iter().all(|n| selected.binary_search(n).is_ok())
+                targets.iter().all(|n| selected.contains(*n))
             }
         })
     })
@@ -113,6 +182,15 @@ fn learn_with_evaluator(
     selects_all_positives: &mut dyn FnMut(&TwigQuery) -> bool,
 ) -> Result<TwigQuery, TwigLearnError> {
     let spine = generalise_spines(examples)?;
+    harvest_filters(examples, spine, selects_all_positives)
+}
+
+/// The filter-harvesting phase over an already generalised spine.
+fn harvest_filters(
+    examples: &[(&XmlTree, NodeId)],
+    spine: Vec<SpineStep>,
+    selects_all_positives: &mut dyn FnMut(&TwigQuery) -> bool,
+) -> Result<TwigQuery, TwigLearnError> {
     let mut query = spine_to_query(&spine);
     let (first_doc, first_node) = examples[0];
     let first_path = ancestor_path(first_doc, first_node);
@@ -221,16 +299,13 @@ impl<'a> IndexedExamples<'a> {
     /// Whether `query` selects every annotated node of every document.
     fn selects_all(&mut self, query: &TwigQuery) -> bool {
         for slot in 0..self.docs.len() {
-            let selected = eval_indexed::select_vec_with(
+            let selected = eval_indexed::select_bits_with(
                 query,
                 self.docs[slot],
                 &self.indexes[slot],
                 &mut self.caches[slot],
             );
-            if !self.targets[slot]
-                .iter()
-                .all(|n| selected.binary_search(n).is_ok())
-            {
+            if !self.targets[slot].iter().all(|n| selected.contains(*n)) {
                 return false;
             }
         }

@@ -260,7 +260,7 @@ fn quality_of(
     caches: &mut [crate::eval_indexed::EvalCache],
     sample: &[(usize, NodeId, bool)],
 ) -> QueryQuality {
-    let mut selected_cache: Vec<Option<BTreeSet<NodeId>>> = vec![None; docs.len()];
+    let mut selected_cache: Vec<Option<qbe_bitset::DenseSet<NodeId>>> = vec![None; docs.len()];
     let mut quality = QueryQuality {
         true_positives: 0,
         false_positives: 0,
@@ -270,19 +270,17 @@ fn quality_of(
     for &(doc_ix, node, positive) in sample {
         let selected = selected_cache[doc_ix]
             .get_or_insert_with(|| match h {
-                PacHypothesis::Twig(q) => crate::eval_indexed::select_vec_with(
+                PacHypothesis::Twig(q) => crate::eval_indexed::select_bits_with(
                     q,
                     &docs[doc_ix],
                     &indexes[doc_ix],
                     &mut caches[doc_ix],
-                )
-                .into_iter()
-                .collect(),
+                ),
                 PacHypothesis::Union(u) => {
-                    u.select_with(&docs[doc_ix], &indexes[doc_ix], &mut caches[doc_ix])
+                    u.select_bits_with(&docs[doc_ix], &indexes[doc_ix], &mut caches[doc_ix])
                 }
             })
-            .contains(&node);
+            .contains(node);
         match (positive, selected) {
             (true, true) => quality.true_positives += 1,
             (true, false) => quality.false_negatives += 1,

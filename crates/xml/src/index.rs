@@ -17,6 +17,7 @@
 //! indexes and trees up (the node count is checked in debug builds by the consumers).
 
 use crate::tree::{NodeId, XmlTree};
+use qbe_bitset::DenseSet;
 use std::collections::HashMap;
 
 /// Immutable structural index of one [`XmlTree`].
@@ -24,6 +25,11 @@ use std::collections::HashMap;
 pub struct NodeIndex {
     /// `postings[label]` = nodes with that label, sorted by [`NodeId`].
     postings: HashMap<String, Vec<NodeId>>,
+    /// The same postings as dense bitsets over the node universe — what the bitwise match-set
+    /// kernels of the indexed evaluators start from.
+    postings_bits: HashMap<String, DenseSet<NodeId>>,
+    /// The full node universe as a bitset (the unconstrained-wildcard start set).
+    all_bits: DenseSet<NodeId>,
     /// Preorder rank of each node (root has rank 0).
     pre: Vec<u32>,
     /// Half-open end of each node's preorder interval: the subtree of `n` is exactly the nodes
@@ -71,8 +77,14 @@ impl NodeIndex {
                 stack.push((child, false));
             }
         }
+        let postings_bits = postings
+            .iter()
+            .map(|(label, nodes)| (label.clone(), DenseSet::from_ids(n, nodes.iter().copied())))
+            .collect();
         NodeIndex {
             postings,
+            postings_bits,
+            all_bits: DenseSet::full(n),
             pre,
             subtree_end,
             depth,
@@ -88,6 +100,18 @@ impl NodeIndex {
     /// Nodes carrying `label`, sorted by id (empty for unknown labels).
     pub fn postings(&self, label: &str) -> &[NodeId] {
         self.postings.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes carrying `label` as a dense bitset over the node universe (`None` for unknown
+    /// labels — callers treat it as the empty set). One word-level AND against another match
+    /// set replaces a sorted-list intersection.
+    pub fn postings_bits(&self, label: &str) -> Option<&DenseSet<NodeId>> {
+        self.postings_bits.get(label)
+    }
+
+    /// Every node of the document as a dense bitset (the start set of an unconstrained `*`).
+    pub fn all_bits(&self) -> &DenseSet<NodeId> {
+        &self.all_bits
     }
 
     /// Number of distinct labels in the document.
@@ -150,6 +174,19 @@ mod tests {
         }
         assert!(ix.postings("nonexistent").is_empty());
         assert_eq!(ix.label_count(), t.alphabet().len());
+    }
+
+    #[test]
+    fn posting_bitsets_agree_with_posting_lists() {
+        let t = sample();
+        let ix = NodeIndex::build(&t);
+        for label in t.alphabet() {
+            let bits = ix.postings_bits(&label).expect("label is present");
+            assert_eq!(bits.universe(), t.size());
+            assert_eq!(bits.iter().collect::<Vec<_>>(), ix.postings(&label));
+        }
+        assert!(ix.postings_bits("nonexistent").is_none());
+        assert_eq!(ix.all_bits().len(), t.size());
     }
 
     #[test]

@@ -42,6 +42,17 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Node ids index dense bitsets ([`qbe_bitset::DenseSet<NodeId>`]) directly: the arena index is
+/// the dense interning. This is what the indexed evaluators' match sets are keyed by.
+impl qbe_bitset::DenseId for NodeId {
+    fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Payload of a single node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct NodeData {
