@@ -1,0 +1,313 @@
+//! Conjunctions of path atoms with variable endpoints, projection, and the selectivity-ordered
+//! left-deep join planner.
+//!
+//! A [`ConjQuery`] is the CRPQ building block: atoms `s —e→ o` whose endpoints are variables or
+//! constant nodes, joined on shared variables, with an answer projected onto a variable list.
+//! [`plan_join_order`] picks a left-deep atom order greedily by estimated cardinality, always
+//! preferring atoms connected to the already-bound variables — the acyclic-plan intuition of
+//! Kenig et al. applied at the scale these learners need.
+
+use crate::ir::{Expr, ExprId, QueryStore, Sym};
+
+/// An endpoint of a path atom: a named variable or a constant node (dense node index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A join variable.
+    Var(Sym),
+    /// A fixed node, by dense index.
+    Const(usize),
+}
+
+/// One conjunct: `subject —expr→ object`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathAtom {
+    /// Subject endpoint.
+    pub subject: Term,
+    /// The path expression relating subject to object.
+    pub expr: ExprId,
+    /// Object endpoint.
+    pub object: Term,
+}
+
+/// A conjunction of path atoms with a projection list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConjQuery {
+    /// The conjuncts, in authoring order (the planner may evaluate them in another).
+    pub atoms: Vec<PathAtom>,
+    /// Output variables, in answer-tuple order.
+    pub project: Vec<Sym>,
+}
+
+impl ConjQuery {
+    /// A conjunction projecting onto the given variables.
+    pub fn new(atoms: Vec<PathAtom>, project: Vec<Sym>) -> ConjQuery {
+        ConjQuery { atoms, project }
+    }
+
+    /// Distinct variables, in first-appearance order.
+    pub fn variables(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for term in [atom.subject, atom.object] {
+                if let Term::Var(v) = term {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render in a SPARQL-ish syntax for logs and wire messages.
+    pub fn render(&self, store: &QueryStore) -> String {
+        let term = |t: Term| match t {
+            Term::Var(v) => format!("?{}", store.symbols().name(v)),
+            Term::Const(n) => format!("#{n}"),
+        };
+        let atoms: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                format!(
+                    "{} -[{}]-> {}",
+                    term(a.subject),
+                    store.render(a.expr),
+                    term(a.object)
+                )
+            })
+            .collect();
+        let proj: Vec<String> = self
+            .project
+            .iter()
+            .map(|v| format!("?{}", store.symbols().name(*v)))
+            .collect();
+        format!("SELECT {} WHERE {}", proj.join(","), atoms.join(" AND "))
+    }
+}
+
+/// Cardinality estimates driving the join planner. Implemented for anything that knows
+/// per-label edge counts; [`crate::eval::Adjacency`] provides a blanket source.
+pub trait CardinalityEstimator {
+    /// Total number of nodes.
+    fn node_count(&self) -> usize;
+    /// Number of edges carrying the label, 0 when absent.
+    fn edge_count_of(&self, store: &QueryStore, label: Sym) -> usize;
+    /// Total number of edges.
+    fn total_edge_count(&self) -> usize;
+
+    /// Estimated answer cardinality of an expression (pairs). A heuristic, not a bound: labels
+    /// count their edges, alternation sums, concatenation scales by fanout, closures saturate
+    /// towards `n²`.
+    fn estimate(&self, store: &QueryStore, e: ExprId) -> f64 {
+        let n = self.node_count().max(1) as f64;
+        match store.expr(e) {
+            Expr::Epsilon | Expr::NodeTest(_) | Expr::Nest(_) => n,
+            Expr::Label(s) | Expr::InvLabel(s) => self.edge_count_of(store, *s) as f64,
+            Expr::AnyLabel | Expr::AnyInv => self.total_edge_count() as f64,
+            Expr::Concat(parts) => {
+                // Compose scales the left cardinality by the per-node fanout of the right.
+                let mut est = n;
+                for &p in parts {
+                    est = (est * (self.estimate(store, p) / n)).min(n * n);
+                }
+                est
+            }
+            Expr::Alt(parts) => parts
+                .iter()
+                .map(|&p| self.estimate(store, p))
+                .sum::<f64>()
+                .min(n * n),
+            Expr::Star(_) => n * n,
+            Expr::Plus(inner) => (n * n).min(self.estimate(store, *inner) * n).max(n),
+            Expr::Opt(inner) => self.estimate(store, *inner) + n,
+        }
+    }
+}
+
+/// A left-deep join order over the atoms of a [`ConjQuery`]: indices into `query.atoms`.
+///
+/// Greedy selectivity ordering: start from the atom with the smallest estimated cardinality
+/// (constant endpoints discount it further), then repeatedly append the cheapest atom that
+/// shares a variable with the bound set — an unconnected atom (cartesian product) is chosen
+/// only when nothing connected remains.
+pub fn plan_join_order(
+    store: &QueryStore,
+    query: &ConjQuery,
+    est: &impl CardinalityEstimator,
+) -> Vec<usize> {
+    let n = query.atoms.len();
+    let cost: Vec<f64> = query
+        .atoms
+        .iter()
+        .map(|a| {
+            let mut c = est.estimate(store, a.expr);
+            // A constant endpoint restricts the relation to one row/column.
+            if matches!(a.subject, Term::Const(_)) {
+                c /= est.node_count().max(1) as f64;
+            }
+            if matches!(a.object, Term::Const(_)) {
+                c /= est.node_count().max(1) as f64;
+            }
+            c
+        })
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: Vec<Sym> = Vec::new();
+    for _ in 0..n {
+        let connected = |ix: usize| {
+            let a = &query.atoms[ix];
+            [a.subject, a.object].iter().any(|t| match t {
+                Term::Var(v) => bound.contains(v),
+                Term::Const(_) => true,
+            })
+        };
+        let pick = (0..n)
+            .filter(|&ix| !used[ix])
+            .min_by(|&a, &b| {
+                // Connected-first, then cheapest, then stable by index.
+                let key = |ix: usize| (!(order.is_empty() || connected(ix)), cost[ix]);
+                key(a)
+                    .partial_cmp(&key(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .expect("an unused atom remains");
+        used[pick] = true;
+        let a = &query.atoms[pick];
+        for t in [a.subject, a.object] {
+            if let Term::Var(v) = t {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+        }
+        order.push(pick);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedStats {
+        nodes: usize,
+        counts: Vec<(&'static str, usize)>,
+    }
+
+    impl CardinalityEstimator for FixedStats {
+        fn node_count(&self) -> usize {
+            self.nodes
+        }
+        fn edge_count_of(&self, store: &QueryStore, label: Sym) -> usize {
+            let name = store.symbols().name(label);
+            self.counts
+                .iter()
+                .find(|(l, _)| *l == name)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        }
+        fn total_edge_count(&self) -> usize {
+            self.counts.iter().map(|&(_, c)| c).sum()
+        }
+    }
+
+    #[test]
+    fn planner_starts_with_the_most_selective_atom() {
+        let mut st = QueryStore::new();
+        let rare = st.label("rare");
+        let common = st.label("common");
+        let x = st.sym("x");
+        let y = st.sym("y");
+        let z = st.sym("z");
+        let q = ConjQuery::new(
+            vec![
+                PathAtom {
+                    subject: Term::Var(x),
+                    expr: common,
+                    object: Term::Var(y),
+                },
+                PathAtom {
+                    subject: Term::Var(y),
+                    expr: rare,
+                    object: Term::Var(z),
+                },
+            ],
+            vec![x, z],
+        );
+        let est = FixedStats {
+            nodes: 100,
+            counts: vec![("rare", 2), ("common", 500)],
+        };
+        assert_eq!(plan_join_order(&st, &q, &est), vec![1, 0]);
+        assert_eq!(q.variables(), vec![x, y, z]);
+    }
+
+    #[test]
+    fn planner_prefers_connected_atoms_over_cheaper_cartesian_ones() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let c = st.label("c");
+        let (x, y, u, v) = (st.sym("x"), st.sym("y"), st.sym("u"), st.sym("v"));
+        // Atom 0 (a: cheapest) binds x,y; atom 1 (c: disconnected, cheap) binds u,v;
+        // atom 2 (b: connected to y, expensive) must still beat the cartesian product.
+        let q = ConjQuery::new(
+            vec![
+                PathAtom {
+                    subject: Term::Var(x),
+                    expr: a,
+                    object: Term::Var(y),
+                },
+                PathAtom {
+                    subject: Term::Var(u),
+                    expr: c,
+                    object: Term::Var(v),
+                },
+                PathAtom {
+                    subject: Term::Var(y),
+                    expr: b,
+                    object: Term::Var(u),
+                },
+            ],
+            vec![x, v],
+        );
+        let est = FixedStats {
+            nodes: 50,
+            counts: vec![("a", 1), ("b", 400), ("c", 3)],
+        };
+        assert_eq!(plan_join_order(&st, &q, &est), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn constant_endpoints_discount_cost() {
+        let mut st = QueryStore::new();
+        let heavy = st.label("heavy");
+        let light = st.label("light");
+        let (x, y) = (st.sym("x"), st.sym("y"));
+        let q = ConjQuery::new(
+            vec![
+                PathAtom {
+                    subject: Term::Var(x),
+                    expr: light,
+                    object: Term::Var(y),
+                },
+                PathAtom {
+                    subject: Term::Const(0),
+                    expr: heavy,
+                    object: Term::Var(x),
+                },
+            ],
+            vec![x, y],
+        );
+        let est = FixedStats {
+            nodes: 100,
+            counts: vec![("heavy", 300), ("light", 10)],
+        };
+        // heavy/n = 3 < light = 10, so the constant-anchored atom goes first.
+        assert_eq!(plan_join_order(&st, &q, &est), vec![1, 0]);
+        assert!(q.render(&st).starts_with("SELECT ?x,?y WHERE"));
+    }
+}

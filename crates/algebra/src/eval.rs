@@ -1,0 +1,682 @@
+//! Lowering IR nodes onto the dense-bitset kernels: relations as per-source bitset rows, a
+//! memoising evaluation cache keyed by [`ExprId`], and the backtracking conjunction join.
+//!
+//! The planner's contract with its data source is the [`Adjacency`] trait — per-label forward
+//! *and reverse* successor bitsets — so inverse labels (`ℓ⁻`) evaluate natively instead of via
+//! transposition. [`EvalCache`] is the cross-query common-subexpression machinery: because
+//! expressions are hash-consed, "the same subquery" literally is the same [`ExprId`], and a
+//! whole candidate pool sharing one cache evaluates each distinct subexpression once per round.
+
+use crate::conj::{plan_join_order, CardinalityEstimator, ConjQuery, Term};
+use crate::ir::{Expr, ExprId, QueryStore, Sym};
+use qbe_bitset::{DenseId, DenseSet};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Label-indexed adjacency with forward and reverse successor bitsets — what the evaluator
+/// needs from a graph. Node identity is a dense id type; label identity is the implementor's
+/// interned label id (resolved from names via [`resolve_label`](Adjacency::resolve_label)).
+pub trait Adjacency {
+    /// Dense node id type.
+    type Id: DenseId;
+
+    /// Number of nodes (the universe of every relation row).
+    fn node_count(&self) -> usize;
+    /// Number of distinct edge labels.
+    fn label_count(&self) -> usize;
+    /// Interned id of an edge label (`None` when no edge carries it).
+    fn resolve_label(&self, name: &str) -> Option<usize>;
+    /// Successors of `node` under the label, as a bitset (`None` when the node has none).
+    fn successors_of(&self, node: usize, label: usize) -> Option<&DenseSet<Self::Id>>;
+    /// Predecessors of `node` under the label — the reverse bitsets behind native `ℓ⁻`.
+    fn predecessors_of(&self, node: usize, label: usize) -> Option<&DenseSet<Self::Id>>;
+    /// Number of edges carrying the label (the planner's selectivity signal).
+    fn label_edge_count(&self, label: usize) -> usize;
+    /// Nodes carrying a node label (for `?l` tests); empty when the label is unknown.
+    fn nodes_with_node_label(&self, name: &str) -> DenseSet<Self::Id>;
+}
+
+/// Every [`Adjacency`] is a [`CardinalityEstimator`] via its per-label edge counts.
+impl<A: Adjacency> CardinalityEstimator for A {
+    fn node_count(&self) -> usize {
+        Adjacency::node_count(self)
+    }
+    fn edge_count_of(&self, store: &QueryStore, label: Sym) -> usize {
+        self.resolve_label(store.symbols().name(label))
+            .map(|l| self.label_edge_count(l))
+            .unwrap_or(0)
+    }
+    fn total_edge_count(&self) -> usize {
+        (0..self.label_count())
+            .map(|l| self.label_edge_count(l))
+            .sum()
+    }
+}
+
+/// A binary relation over nodes, stored as one target bitset per source — the shape every
+/// bulk operation (compose, union, closure) wants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rel<I: DenseId> {
+    rows: Vec<DenseSet<I>>,
+}
+
+impl<I: DenseId> Rel<I> {
+    /// The empty relation over `n` nodes.
+    pub fn empty(n: usize) -> Rel<I> {
+        Rel {
+            rows: vec![DenseSet::new(n); n],
+        }
+    }
+
+    /// The identity (diagonal) relation.
+    pub fn identity(n: usize) -> Rel<I> {
+        let mut rel = Rel::empty(n);
+        for s in 0..n {
+            rel.rows[s].insert(I::from_index(s));
+        }
+        rel
+    }
+
+    /// The diagonal restricted to the given nodes.
+    pub fn diag(n: usize, nodes: &DenseSet<I>) -> Rel<I> {
+        let mut rel = Rel::empty(n);
+        for id in nodes.iter() {
+            rel.rows[id.index()].insert(id);
+        }
+        rel
+    }
+
+    /// Number of nodes the relation ranges over.
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The targets of one source.
+    pub fn row(&self, source: usize) -> &DenseSet<I> {
+        &self.rows[source]
+    }
+
+    /// Mutable access to one source's targets (relation builders).
+    pub fn row_mut(&mut self, source: usize) -> &mut DenseSet<I> {
+        &mut self.rows[source]
+    }
+
+    /// Whether the pair is in the relation.
+    pub fn contains(&self, source: usize, target: I) -> bool {
+        self.rows[source].contains(target)
+    }
+
+    /// Total number of pairs.
+    pub fn len(&self) -> usize {
+        self.rows.iter().map(DenseSet::len).sum()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(DenseSet::is_empty)
+    }
+
+    /// All pairs as dense indices, in row-major order (for differential tests).
+    pub fn pairs(&self) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for (s, row) in self.rows.iter().enumerate() {
+            for t in row.iter() {
+                out.insert((s, t.index()));
+            }
+        }
+        out
+    }
+
+    /// Relational composition `self ; other`: one row-union per member of each row.
+    pub fn compose(&self, other: &Rel<I>) -> Rel<I> {
+        let n = self.rows.len();
+        let mut out = Rel::empty(n);
+        for s in 0..n {
+            for mid in self.rows[s].iter() {
+                out.rows[s].or_with(&other.rows[mid.index()]);
+            }
+        }
+        out
+    }
+
+    /// Union, in place.
+    pub fn union_with(&mut self, other: &Rel<I>) {
+        for (row, o) in self.rows.iter_mut().zip(&other.rows) {
+            row.or_with(o);
+        }
+    }
+
+    /// The transposed relation.
+    pub fn transpose(&self) -> Rel<I> {
+        let n = self.rows.len();
+        let mut out = Rel::empty(n);
+        for (s, row) in self.rows.iter().enumerate() {
+            let s_id = I::from_index(s);
+            for t in row.iter() {
+                out.rows[t.index()].insert(s_id);
+            }
+        }
+        out
+    }
+
+    /// The diagonal over sources with at least one target — the nesting `[e]` relation.
+    pub fn nest(&self) -> Rel<I> {
+        let n = self.rows.len();
+        let mut out = Rel::empty(n);
+        for (s, row) in self.rows.iter().enumerate() {
+            if !row.is_empty() {
+                out.rows[s].insert(I::from_index(s));
+            }
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure: per-source BFS over the rows.
+    pub fn star(&self) -> Rel<I> {
+        let n = self.rows.len();
+        let mut out = Rel::empty(n);
+        for s in 0..n {
+            let reach = out.row_mut(s);
+            reach.insert(I::from_index(s));
+            let mut stack = vec![s];
+            while let Some(u) = stack.pop() {
+                for t in self.rows[u].iter() {
+                    if reach.insert(t) {
+                        stack.push(t.index());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The memoising evaluation cache shared across a candidate pool: one entry per distinct
+/// [`ExprId`]. Hit/miss counters make the cross-candidate CSE effect measurable.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache<I: DenseId> {
+    memo: HashMap<ExprId, Arc<Rel<I>>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<I: DenseId> EvalCache<I> {
+    /// An empty cache.
+    pub fn new() -> EvalCache<I> {
+        EvalCache {
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache lookups that found an entry.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache lookups that had to evaluate.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct expressions evaluated so far.
+    pub fn entries(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Drop all entries (a new round over a changed graph).
+    pub fn clear(&mut self) {
+        self.memo.clear();
+    }
+}
+
+/// Evaluate an expression to its relation, memoised in `cache`. Unknown edge labels evaluate
+/// to the empty relation (they can never fire), matching the legacy evaluators.
+pub fn eval_expr<A: Adjacency>(
+    store: &QueryStore,
+    adj: &A,
+    cache: &mut EvalCache<A::Id>,
+    e: ExprId,
+) -> Arc<Rel<A::Id>> {
+    if let Some(hit) = cache.memo.get(&e) {
+        cache.hits += 1;
+        return Arc::clone(hit);
+    }
+    cache.misses += 1;
+    let n = adj.node_count();
+    let rel = match store.expr(e).clone() {
+        Expr::Epsilon => Rel::identity(n),
+        Expr::Label(s) => label_rel(adj, adj.resolve_label(store.symbols().name(s)), false),
+        Expr::InvLabel(s) => label_rel(adj, adj.resolve_label(store.symbols().name(s)), true),
+        Expr::AnyLabel => {
+            let mut out = Rel::empty(n);
+            for l in 0..adj.label_count() {
+                out.union_with(&label_rel(adj, Some(l), false));
+            }
+            out
+        }
+        Expr::AnyInv => {
+            let mut out = Rel::empty(n);
+            for l in 0..adj.label_count() {
+                out.union_with(&label_rel(adj, Some(l), true));
+            }
+            out
+        }
+        Expr::NodeTest(s) => {
+            let nodes = adj.nodes_with_node_label(store.symbols().name(s));
+            Rel::diag(n, &nodes)
+        }
+        Expr::Nest(inner) => eval_expr(store, adj, cache, inner).nest(),
+        Expr::Concat(parts) => {
+            let mut acc = Rel::identity(n);
+            for p in parts {
+                let rel = eval_expr(store, adj, cache, p);
+                acc = acc.compose(&rel);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        Expr::Alt(parts) => {
+            let mut acc = Rel::empty(n);
+            for p in parts {
+                let rel = eval_expr(store, adj, cache, p);
+                acc.union_with(&rel);
+            }
+            acc
+        }
+        Expr::Star(inner) => eval_expr(store, adj, cache, inner).star(),
+        Expr::Plus(inner) => {
+            let base = eval_expr(store, adj, cache, inner);
+            base.compose(&base.star())
+        }
+        Expr::Opt(inner) => {
+            let mut out = eval_expr(store, adj, cache, inner).as_ref().clone();
+            out.union_with(&Rel::identity(n));
+            out
+        }
+    };
+    let rel = Arc::new(rel);
+    cache.memo.insert(e, Arc::clone(&rel));
+    rel
+}
+
+fn label_rel<A: Adjacency>(adj: &A, label: Option<usize>, reverse: bool) -> Rel<A::Id> {
+    let n = adj.node_count();
+    let mut out = Rel::empty(n);
+    let Some(l) = label else { return out };
+    for s in 0..n {
+        let row = if reverse {
+            adj.predecessors_of(s, l)
+        } else {
+            adj.successors_of(s, l)
+        };
+        if let Some(row) = row {
+            out.row_mut(s).or_with(row);
+        }
+    }
+    out
+}
+
+/// Evaluate a conjunction: the set of projected answer tuples (dense node indices, in
+/// `query.project` order).
+///
+/// `order` overrides the planner's atom order (for differential tests); `limit` stops the join
+/// once that many distinct tuples exist — `limit = 1` is the satisfiability early-exit. Atom
+/// relations are evaluated lazily in plan order, so an atom after an empty prefix is never
+/// touched.
+pub fn eval_conj<A: Adjacency>(
+    store: &QueryStore,
+    adj: &A,
+    cache: &mut EvalCache<A::Id>,
+    query: &ConjQuery,
+    order: Option<&[usize]>,
+    limit: Option<usize>,
+) -> BTreeSet<Vec<usize>> {
+    let planned: Vec<usize> = match order {
+        Some(o) => o.to_vec(),
+        None => plan_join_order(store, query, adj),
+    };
+    assert_eq!(
+        planned.len(),
+        query.atoms.len(),
+        "order must cover all atoms"
+    );
+    let mut out = BTreeSet::new();
+    if query.atoms.is_empty() {
+        out.insert(Vec::new());
+        return out;
+    }
+    let mut binding: HashMap<Sym, usize> = HashMap::new();
+    let mut rels: Vec<Option<Arc<Rel<A::Id>>>> = vec![None; query.atoms.len()];
+    join_step(
+        store,
+        adj,
+        cache,
+        query,
+        &planned,
+        0,
+        &mut binding,
+        &mut rels,
+        &mut out,
+        limit,
+    );
+    out
+}
+
+/// Recursive backtracking join over the planned atoms. Returns `true` when the tuple limit has
+/// been reached and the search should unwind.
+#[allow(clippy::too_many_arguments)]
+fn join_step<A: Adjacency>(
+    store: &QueryStore,
+    adj: &A,
+    cache: &mut EvalCache<A::Id>,
+    query: &ConjQuery,
+    planned: &[usize],
+    depth: usize,
+    binding: &mut HashMap<Sym, usize>,
+    rels: &mut Vec<Option<Arc<Rel<A::Id>>>>,
+    out: &mut BTreeSet<Vec<usize>>,
+    limit: Option<usize>,
+) -> bool {
+    if depth == planned.len() {
+        let tuple: Vec<usize> = query
+            .project
+            .iter()
+            .map(|v| {
+                *binding.get(v).unwrap_or_else(|| {
+                    panic!(
+                        "projected variable ?{} not bound by any atom",
+                        store.symbols().name(*v)
+                    )
+                })
+            })
+            .collect();
+        out.insert(tuple);
+        return limit.is_some_and(|l| out.len() >= l);
+    }
+    let atom_ix = planned[depth];
+    let atom = query.atoms[atom_ix];
+    // Lazy atom evaluation: the relation is computed the first time the join reaches it, so an
+    // empty prefix short-circuits without touching later atoms.
+    if rels[atom_ix].is_none() {
+        rels[atom_ix] = Some(eval_expr(store, adj, cache, atom.expr));
+    }
+    let rel = Arc::clone(rels[atom_ix].as_ref().expect("just filled"));
+    let resolve = |t: Term, binding: &HashMap<Sym, usize>| match t {
+        Term::Const(n) => Some(n),
+        Term::Var(v) => binding.get(&v).copied(),
+    };
+    let subj = resolve(atom.subject, binding);
+    let obj = resolve(atom.object, binding);
+    let n = adj.node_count();
+    // Enumerate the pairs of this atom consistent with the current binding.
+    let candidate_pairs: Vec<(usize, usize)> = match (subj, obj) {
+        (Some(s), Some(o)) => {
+            if s < n && rel.contains(s, A::Id::from_index(o)) {
+                vec![(s, o)]
+            } else {
+                Vec::new()
+            }
+        }
+        (Some(s), None) => {
+            if s < n {
+                rel.row(s).iter().map(|t| (s, t.index())).collect()
+            } else {
+                Vec::new()
+            }
+        }
+        (None, Some(o)) => {
+            let o_id = A::Id::from_index(o);
+            (0..n)
+                .filter(|&s| rel.contains(s, o_id))
+                .map(|s| (s, o))
+                .collect()
+        }
+        (None, None) => {
+            let mut pairs = Vec::new();
+            for s in 0..n {
+                for t in rel.row(s).iter() {
+                    pairs.push((s, t.index()));
+                }
+            }
+            pairs
+        }
+    };
+    for (s, o) in candidate_pairs {
+        let mut added: Vec<Sym> = Vec::new();
+        let mut bind = |t: Term, value: usize, binding: &mut HashMap<Sym, usize>| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => match binding.get(&v) {
+                Some(&bound) => bound == value,
+                None => {
+                    binding.insert(v, value);
+                    added.push(v);
+                    true
+                }
+            },
+        };
+        let ok = bind(atom.subject, s, binding) && bind(atom.object, o, binding);
+        if ok
+            && join_step(
+                store,
+                adj,
+                cache,
+                query,
+                planned,
+                depth + 1,
+                binding,
+                rels,
+                out,
+                limit,
+            )
+        {
+            return true;
+        }
+        for v in added {
+            binding.remove(&v);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny in-crate adjacency for unit tests: nodes 0..n, labelled edges.
+    struct TestGraph {
+        n: usize,
+        labels: Vec<String>,
+        fwd: Vec<Vec<DenseSet<usize>>>,
+        rev: Vec<Vec<DenseSet<usize>>>,
+        node_labels: Vec<String>,
+    }
+
+    impl TestGraph {
+        fn new(n: usize, labels: &[&str]) -> TestGraph {
+            TestGraph {
+                n,
+                labels: labels.iter().map(|s| s.to_string()).collect(),
+                fwd: vec![vec![DenseSet::new(n); n]; labels.len()],
+                rev: vec![vec![DenseSet::new(n); n]; labels.len()],
+                node_labels: vec!["node".to_string(); n],
+            }
+        }
+
+        fn edge(&mut self, from: usize, label: &str, to: usize) {
+            let l = self.labels.iter().position(|x| x == label).unwrap();
+            self.fwd[l][from].insert(to);
+            self.rev[l][to].insert(from);
+        }
+    }
+
+    impl Adjacency for TestGraph {
+        type Id = usize;
+        fn node_count(&self) -> usize {
+            self.n
+        }
+        fn label_count(&self) -> usize {
+            self.labels.len()
+        }
+        fn resolve_label(&self, name: &str) -> Option<usize> {
+            self.labels.iter().position(|x| x == name)
+        }
+        fn successors_of(&self, node: usize, label: usize) -> Option<&DenseSet<usize>> {
+            Some(&self.fwd[label][node])
+        }
+        fn predecessors_of(&self, node: usize, label: usize) -> Option<&DenseSet<usize>> {
+            Some(&self.rev[label][node])
+        }
+        fn label_edge_count(&self, label: usize) -> usize {
+            self.fwd[label].iter().map(DenseSet::len).sum()
+        }
+        fn nodes_with_node_label(&self, name: &str) -> DenseSet<usize> {
+            DenseSet::from_ids(self.n, (0..self.n).filter(|&i| self.node_labels[i] == name))
+        }
+    }
+
+    /// 0 --a--> 1 --a--> 2 --b--> 3, 0 --b--> 2
+    fn chain() -> TestGraph {
+        let mut g = TestGraph::new(4, &["a", "b"]);
+        g.edge(0, "a", 1);
+        g.edge(1, "a", 2);
+        g.edge(2, "b", 3);
+        g.edge(0, "b", 2);
+        g
+    }
+
+    #[test]
+    fn labels_and_inverses_evaluate_natively() {
+        let g = chain();
+        let mut st = QueryStore::new();
+        let mut cache = EvalCache::new();
+        let a = st.label("a");
+        assert_eq!(
+            eval_expr(&st, &g, &mut cache, a).pairs(),
+            BTreeSet::from([(0, 1), (1, 2)])
+        );
+        let a_inv = st.inv_label("a");
+        assert_eq!(
+            eval_expr(&st, &g, &mut cache, a_inv).pairs(),
+            BTreeSet::from([(1, 0), (2, 1)])
+        );
+        let missing = st.label("zzz");
+        assert!(eval_expr(&st, &g, &mut cache, missing).is_empty());
+    }
+
+    #[test]
+    fn concat_star_and_opt_match_reachability() {
+        let g = chain();
+        let mut st = QueryStore::new();
+        let mut cache = EvalCache::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let ab = st.concat([a, b]);
+        assert_eq!(
+            eval_expr(&st, &g, &mut cache, ab).pairs(),
+            BTreeSet::from([(1, 3)])
+        );
+        let a_star = st.star(a);
+        let pairs = eval_expr(&st, &g, &mut cache, a_star).pairs();
+        assert!(pairs.contains(&(0, 0)) && pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(0, 3)));
+        let a_plus = st.plus(a);
+        let plus_pairs = eval_expr(&st, &g, &mut cache, a_plus).pairs();
+        assert!(!plus_pairs.contains(&(0, 0)) && plus_pairs.contains(&(0, 2)));
+        let b_opt = st.opt(b);
+        let opt_pairs = eval_expr(&st, &g, &mut cache, b_opt).pairs();
+        assert!(opt_pairs.contains(&(1, 1)) && opt_pairs.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn round_trips_through_inverse_return_home() {
+        let g = chain();
+        let mut st = QueryStore::new();
+        let mut cache = EvalCache::new();
+        let a = st.label("a");
+        let a_inv = st.inverse(a);
+        let round = st.concat([a, a_inv]);
+        let pairs = eval_expr(&st, &g, &mut cache, round).pairs();
+        // a then a⁻: back where you started (whenever an a-edge leaves the node).
+        assert_eq!(pairs, BTreeSet::from([(0, 0), (1, 1)]));
+    }
+
+    #[test]
+    fn cache_shares_subexpressions_across_queries() {
+        let g = chain();
+        let mut st = QueryStore::new();
+        let mut cache = EvalCache::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let a_plus = st.plus(a);
+        let q1 = st.concat([a_plus, b]);
+        let q2 = st.alt([a_plus, b]);
+        eval_expr(&st, &g, &mut cache, q1);
+        let misses_after_q1 = cache.misses();
+        eval_expr(&st, &g, &mut cache, q2);
+        // q2 re-uses a+ and b: only the alt node itself is a fresh evaluation.
+        assert_eq!(cache.misses(), misses_after_q1 + 1);
+        assert!(cache.hits() >= 2);
+    }
+
+    #[test]
+    fn conjunction_joins_and_projects() {
+        let g = chain();
+        let mut st = QueryStore::new();
+        let mut cache = EvalCache::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let (x, y, z) = (st.sym("x"), st.sym("y"), st.sym("z"));
+        let q = ConjQuery::new(
+            vec![
+                PathAtomHelper::atom(Term::Var(x), a, Term::Var(y)),
+                PathAtomHelper::atom(Term::Var(y), b, Term::Var(z)),
+            ],
+            vec![x, z],
+        );
+        let answers = eval_conj(&st, &g, &mut cache, &q, None, None);
+        // x-a->y-b->z: 1-a->2-b->3 only (0-a->1 has no b out of 1).
+        assert_eq!(answers, BTreeSet::from([vec![1, 3]]));
+        // Satisfiability early-exit returns at most one tuple.
+        let one = eval_conj(&st, &g, &mut cache, &q, None, Some(1));
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn conjunction_with_constants_and_empty_prefix() {
+        let g = chain();
+        let mut st = QueryStore::new();
+        let mut cache = EvalCache::new();
+        let missing = st.label("zzz");
+        let b = st.label("b");
+        let (x, y) = (st.sym("x"), st.sym("y"));
+        let q = ConjQuery::new(
+            vec![
+                PathAtomHelper::atom(Term::Const(0), missing, Term::Var(x)),
+                PathAtomHelper::atom(Term::Var(x), b, Term::Var(y)),
+            ],
+            vec![x, y],
+        );
+        // Force authoring order so the empty atom is the prefix: the b atom must never be
+        // evaluated (lazy short-circuit).
+        let before = cache.entries();
+        let answers = eval_conj(&st, &g, &mut cache, &q, Some(&[0, 1]), None);
+        assert!(answers.is_empty());
+        assert_eq!(cache.entries(), before + 1, "only the empty atom evaluated");
+    }
+
+    /// Small helper so atom construction stays readable in tests.
+    struct PathAtomHelper;
+    impl PathAtomHelper {
+        fn atom(subject: Term, expr: ExprId, object: Term) -> crate::conj::PathAtom {
+            crate::conj::PathAtom {
+                subject,
+                expr,
+                object,
+            }
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The hash-consed query IR and its rewrite-normalising smart constructors.
+//!
+//! Every expression lives in a [`QueryStore`] exactly once: structurally equal expressions get
+//! the same [`ExprId`], extending the twig shape-id interning trick to the whole graph query
+//! language. Equal ids therefore mean equal queries, which is what makes cross-candidate
+//! common-subexpression factoring a hash-map lookup downstream (see
+//! [`EvalCache`](crate::eval::EvalCache)).
+//!
+//! The optimizer is *constructor-shaped*: the smart constructors ([`QueryStore::concat`],
+//! [`QueryStore::alt`], [`QueryStore::star`], …) apply language-preserving rewrites at intern
+//! time — ε and nested-concat flattening, alternation sort + dedup, star/plus/opt collapsing —
+//! and [`QueryStore::inverse`] pushes inversion down to the leaves (`(e₁/e₂)⁻ = e₂⁻/e₁⁻`,
+//! `ℓ⁻⁻ = ℓ`), so no `Inverse` node is ever stored. [`QueryStore::intern_raw`] bypasses all
+//! rewrites; [`QueryStore::optimize`] normalises a raw expression bottom-up through the smart
+//! constructors. The two entry points are what the optimizer-on/off benches compare.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// An interned label / node-label / variable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// Interner for the names appearing in queries (edge labels, node labels, variables).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Intern a name, returning its symbol (stable across repeated calls).
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&id) = self.ids.get(name) {
+            return Sym(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        Sym(id)
+    }
+
+    /// The symbol of an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.ids.get(name).copied().map(Sym)
+    }
+
+    /// The name behind a symbol.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Id of an interned expression inside one [`QueryStore`]. Equal ids ⇔ structurally equal
+/// expressions (within that store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// One node of the query IR. Children are [`ExprId`]s into the owning [`QueryStore`], so the
+/// whole term graph is a DAG with structural sharing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// The empty word (the identity relation).
+    Epsilon,
+    /// A forward edge with this label.
+    Label(Sym),
+    /// A backward edge with this label: the 2RPQ inverse `ℓ⁻`.
+    InvLabel(Sym),
+    /// Any forward edge, regardless of label.
+    AnyLabel,
+    /// Any backward edge.
+    AnyInv,
+    /// Node-label test: stay put, require the node's label.
+    NodeTest(Sym),
+    /// Nesting `[e]`: stay put, require an outgoing path matching `e`.
+    Nest(ExprId),
+    /// Concatenation (`≥ 2` parts after normalisation).
+    Concat(Vec<ExprId>),
+    /// Alternation (`≥ 2` parts, id-sorted and deduplicated after normalisation).
+    Alt(Vec<ExprId>),
+    /// Zero or more repetitions.
+    Star(ExprId),
+    /// One or more repetitions.
+    Plus(ExprId),
+    /// Zero or one occurrence.
+    Opt(ExprId),
+}
+
+/// The hash-consing store: owns the symbol table and every interned expression.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStore {
+    symbols: SymbolTable,
+    exprs: Vec<Expr>,
+    memo: HashMap<Expr, ExprId>,
+}
+
+impl QueryStore {
+    /// An empty store.
+    pub fn new() -> QueryStore {
+        QueryStore::default()
+    }
+
+    /// The symbol table (labels, node labels, variables).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Intern a name into the store's symbol table.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        self.symbols.intern(name)
+    }
+
+    /// The expression behind an id.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Number of distinct interned expressions (the hash-consing win is this staying far below
+    /// the number of constructor calls).
+    pub fn expr_count(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Intern an expression node *verbatim* — hash-consed but with no rewrites applied. This is
+    /// the optimizer-off path; [`optimize`](Self::optimize) normalises what it produces.
+    pub fn intern_raw(&mut self, e: Expr) -> ExprId {
+        if let Some(&id) = self.memo.get(&e) {
+            return id;
+        }
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(e.clone());
+        self.memo.insert(e, id);
+        id
+    }
+
+    /// The empty-word expression.
+    pub fn epsilon(&mut self) -> ExprId {
+        self.intern_raw(Expr::Epsilon)
+    }
+
+    /// A forward label atom.
+    pub fn label(&mut self, name: &str) -> ExprId {
+        let s = self.sym(name);
+        self.intern_raw(Expr::Label(s))
+    }
+
+    /// An inverse label atom `ℓ⁻`.
+    pub fn inv_label(&mut self, name: &str) -> ExprId {
+        let s = self.sym(name);
+        self.intern_raw(Expr::InvLabel(s))
+    }
+
+    /// The any-forward-edge wildcard.
+    pub fn any_label(&mut self) -> ExprId {
+        self.intern_raw(Expr::AnyLabel)
+    }
+
+    /// The any-backward-edge wildcard.
+    pub fn any_inv(&mut self) -> ExprId {
+        self.intern_raw(Expr::AnyInv)
+    }
+
+    /// A node-label test.
+    pub fn node_test(&mut self, name: &str) -> ExprId {
+        let s = self.sym(name);
+        self.intern_raw(Expr::NodeTest(s))
+    }
+
+    /// Nesting `[e]`. Rewrites: `[ε] = ε`, and nesting an already-diagonal expression
+    /// (`[[e]] = [e]`, `[?l] = ?l`) is collapsed.
+    pub fn nest(&mut self, e: ExprId) -> ExprId {
+        match self.expr(e) {
+            Expr::Epsilon => e,
+            Expr::Nest(_) | Expr::NodeTest(_) => e,
+            _ => self.intern_raw(Expr::Nest(e)),
+        }
+    }
+
+    /// Concatenation. Rewrites: nested concats flatten, ε parts drop; the empty concat is ε and
+    /// the singleton concat is its part.
+    pub fn concat(&mut self, parts: impl IntoIterator<Item = ExprId>) -> ExprId {
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.expr(p) {
+                Expr::Epsilon => {}
+                Expr::Concat(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        match flat.len() {
+            0 => self.epsilon(),
+            1 => flat[0],
+            _ => self.intern_raw(Expr::Concat(flat)),
+        }
+    }
+
+    /// Alternation. Rewrites: nested alts flatten, branches sort by id and deduplicate (union
+    /// is commutative, associative, idempotent); the singleton alt is its branch.
+    ///
+    /// Panics on an empty alternation — the empty language has no IR node on purpose (no
+    /// front-end produces it).
+    pub fn alt(&mut self, parts: impl IntoIterator<Item = ExprId>) -> ExprId {
+        let mut flat = Vec::new();
+        for p in parts {
+            match self.expr(p) {
+                Expr::Alt(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(p),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => panic!("empty alternation has no IR node"),
+            1 => flat[0],
+            _ => self.intern_raw(Expr::Alt(flat)),
+        }
+    }
+
+    /// Zero-or-more. Rewrites: `ε* = ε`, `(e*)* = (e+)* = (e?)* = e*`.
+    pub fn star(&mut self, e: ExprId) -> ExprId {
+        match *self.expr(e) {
+            Expr::Epsilon => e,
+            Expr::Star(_) => e,
+            Expr::Plus(inner) | Expr::Opt(inner) => self.star(inner),
+            _ => self.intern_raw(Expr::Star(e)),
+        }
+    }
+
+    /// One-or-more. Rewrites: `ε+ = ε`, `(e*)+ = e*`, `(e+)+ = e+`, `(e?)+ = e*`.
+    pub fn plus(&mut self, e: ExprId) -> ExprId {
+        match *self.expr(e) {
+            Expr::Epsilon => e,
+            Expr::Star(_) | Expr::Plus(_) => e,
+            Expr::Opt(inner) => self.star(inner),
+            _ => self.intern_raw(Expr::Plus(e)),
+        }
+    }
+
+    /// Zero-or-one. Rewrites: `ε? = ε`, `(e*)? = e*`, `(e?)? = e?`, `(e+)? = e*`.
+    pub fn opt(&mut self, e: ExprId) -> ExprId {
+        match *self.expr(e) {
+            Expr::Epsilon => e,
+            Expr::Star(_) | Expr::Opt(_) => e,
+            Expr::Plus(inner) => self.star(inner),
+            _ => self.intern_raw(Expr::Opt(e)),
+        }
+    }
+
+    /// The 2RPQ inverse of an expression, pushed down to the leaves: `(e₁/e₂)⁻ = e₂⁻/e₁⁻`,
+    /// inversion distributes over alternation and repetition, flips `ℓ ↔ ℓ⁻` and `_ ↔ _⁻`, and
+    /// leaves diagonal expressions (ε, node tests, nests) alone. No `Inverse` node is stored,
+    /// so `inverse(inverse(e)) == e` by construction.
+    pub fn inverse(&mut self, e: ExprId) -> ExprId {
+        match self.expr(e).clone() {
+            Expr::Epsilon | Expr::NodeTest(_) | Expr::Nest(_) => e,
+            Expr::Label(s) => self.intern_raw(Expr::InvLabel(s)),
+            Expr::InvLabel(s) => self.intern_raw(Expr::Label(s)),
+            Expr::AnyLabel => self.intern_raw(Expr::AnyInv),
+            Expr::AnyInv => self.intern_raw(Expr::AnyLabel),
+            Expr::Concat(parts) => {
+                let rev: Vec<ExprId> = parts.iter().rev().map(|&p| self.inverse(p)).collect();
+                self.concat(rev)
+            }
+            Expr::Alt(parts) => {
+                let inv: Vec<ExprId> = parts.iter().map(|&p| self.inverse(p)).collect();
+                self.alt(inv)
+            }
+            Expr::Star(inner) => {
+                let inv = self.inverse(inner);
+                self.star(inv)
+            }
+            Expr::Plus(inner) => {
+                let inv = self.inverse(inner);
+                self.plus(inv)
+            }
+            Expr::Opt(inner) => {
+                let inv = self.inverse(inner);
+                self.opt(inv)
+            }
+        }
+    }
+
+    /// Normalise an expression bottom-up through the smart constructors — the optimizer entry
+    /// point for expressions built with [`intern_raw`](Self::intern_raw). Idempotent; on
+    /// smart-constructed expressions it is the identity.
+    pub fn optimize(&mut self, e: ExprId) -> ExprId {
+        match self.expr(e).clone() {
+            Expr::Epsilon
+            | Expr::Label(_)
+            | Expr::InvLabel(_)
+            | Expr::AnyLabel
+            | Expr::AnyInv
+            | Expr::NodeTest(_) => e,
+            Expr::Nest(inner) => {
+                let o = self.optimize(inner);
+                self.nest(o)
+            }
+            Expr::Concat(parts) => {
+                let o: Vec<ExprId> = parts.iter().map(|&p| self.optimize(p)).collect();
+                self.concat(o)
+            }
+            Expr::Alt(parts) => {
+                let o: Vec<ExprId> = parts.iter().map(|&p| self.optimize(p)).collect();
+                self.alt(o)
+            }
+            Expr::Star(inner) => {
+                let o = self.optimize(inner);
+                self.star(o)
+            }
+            Expr::Plus(inner) => {
+                let o = self.optimize(inner);
+                self.plus(o)
+            }
+            Expr::Opt(inner) => {
+                let o = self.optimize(inner);
+                self.opt(o)
+            }
+        }
+    }
+
+    /// Number of syntax nodes of an expression (shared subexpressions counted once per
+    /// occurrence — the "query size" reported to users).
+    pub fn size(&self, e: ExprId) -> usize {
+        match self.expr(e) {
+            Expr::Epsilon
+            | Expr::Label(_)
+            | Expr::InvLabel(_)
+            | Expr::AnyLabel
+            | Expr::AnyInv
+            | Expr::NodeTest(_) => 1,
+            Expr::Nest(inner) | Expr::Star(inner) | Expr::Plus(inner) | Expr::Opt(inner) => {
+                1 + self.size(*inner)
+            }
+            Expr::Concat(parts) | Expr::Alt(parts) => {
+                1 + parts.iter().map(|&p| self.size(p)).sum::<usize>()
+            }
+        }
+    }
+
+    /// Render an expression in the workspace's regex syntax (`/` concat, `|` alt, `^-` marks an
+    /// inverse label, `_` the wildcard, `?l` a node test, `[e]` a nest).
+    pub fn render(&self, e: ExprId) -> String {
+        let mut out = String::new();
+        self.render_into(e, &mut out);
+        out
+    }
+
+    fn render_into(&self, e: ExprId, out: &mut String) {
+        match self.expr(e) {
+            Expr::Epsilon => out.push('ε'),
+            Expr::Label(s) => out.push_str(self.symbols.name(*s)),
+            Expr::InvLabel(s) => {
+                let _ = write!(out, "{}^-", self.symbols.name(*s));
+            }
+            Expr::AnyLabel => out.push('_'),
+            Expr::AnyInv => out.push_str("_^-"),
+            Expr::NodeTest(s) => {
+                let _ = write!(out, "?{}", self.symbols.name(*s));
+            }
+            Expr::Nest(inner) => {
+                out.push('[');
+                self.render_into(*inner, out);
+                out.push(']');
+            }
+            Expr::Concat(parts) => {
+                for (ix, &p) in parts.iter().enumerate() {
+                    if ix > 0 {
+                        out.push('/');
+                    }
+                    self.render_into(p, out);
+                }
+            }
+            Expr::Alt(parts) => {
+                out.push('(');
+                for (ix, &p) in parts.iter().enumerate() {
+                    if ix > 0 {
+                        out.push('|');
+                    }
+                    self.render_into(p, out);
+                }
+                out.push(')');
+            }
+            Expr::Star(inner) => {
+                out.push('(');
+                self.render_into(*inner, out);
+                out.push_str(")*");
+            }
+            Expr::Plus(inner) => {
+                out.push('(');
+                self.render_into(*inner, out);
+                out.push_str(")+");
+            }
+            Expr::Opt(inner) => {
+                out.push('(');
+                self.render_into(*inner, out);
+                out.push_str(")?");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_structural() {
+        let mut st = QueryStore::new();
+        let a1 = st.label("road");
+        let a2 = st.label("road");
+        assert_eq!(a1, a2);
+        let t = st.label("train");
+        let c1 = st.concat([a1, t]);
+        let c2 = st.concat([a2, t]);
+        assert_eq!(c1, c2);
+        assert_ne!(a1, c1);
+    }
+
+    #[test]
+    fn concat_flattens_and_drops_epsilon() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let eps = st.epsilon();
+        let ab = st.concat([a, b]);
+        let nested = st.concat([eps, ab, eps]);
+        assert_eq!(nested, ab);
+        let triple = st.concat([ab, a]);
+        let flat = st.concat([a, b, a]);
+        assert_eq!(triple, flat);
+        assert_eq!(st.concat([]), eps);
+        assert_eq!(st.concat([a]), a);
+    }
+
+    #[test]
+    fn alt_sorts_and_dedups() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let ab = st.alt([a, b]);
+        let ba = st.alt([b, a]);
+        assert_eq!(ab, ba, "alternation is order-insensitive");
+        assert_eq!(st.alt([a, a]), a, "idempotent union collapses");
+        let nested = st.alt([ab, a]);
+        assert_eq!(nested, ab, "flattening + dedup");
+    }
+
+    #[test]
+    fn repetition_rewrites_collapse() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let star = st.star(a);
+        assert_eq!(st.star(star), star, "(a*)* = a*");
+        let plus = st.plus(a);
+        assert_eq!(st.star(plus), star, "(a+)* = a*");
+        let opt = st.opt(a);
+        assert_eq!(st.star(opt), star, "(a?)* = a*");
+        assert_eq!(st.plus(star), star, "(a*)+ = a*");
+        assert_eq!(st.plus(opt), star, "(a?)+ = a*");
+        assert_eq!(st.opt(plus), star, "(a+)? = a*");
+        assert_eq!(st.opt(opt), opt, "(a?)? = a?");
+        let eps = st.epsilon();
+        assert_eq!(st.star(eps), eps);
+        assert_eq!(st.plus(eps), eps);
+        assert_eq!(st.opt(eps), eps);
+    }
+
+    #[test]
+    fn inverse_pushes_to_leaves_and_is_involutive() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let ab = st.concat([a, b]);
+        let inv = st.inverse(ab);
+        // (a/b)⁻ = b⁻/a⁻
+        let b_inv = st.inv_label("b");
+        let a_inv = st.inv_label("a");
+        assert_eq!(inv, st.concat([b_inv, a_inv]));
+        assert_eq!(st.inverse(inv), ab, "involution");
+        let star = st.star(ab);
+        let inv_star = st.inverse(star);
+        assert_eq!(st.inverse(inv_star), star);
+        assert_eq!(st.render(inv), "b^-/a^-");
+    }
+
+    #[test]
+    fn optimize_normalises_raw_expressions() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let eps = st.epsilon();
+        // Raw (ε·(a·a))? — not what the smart constructors would build.
+        let raw_inner = st.intern_raw(Expr::Concat(vec![a, a]));
+        let raw_concat = st.intern_raw(Expr::Concat(vec![eps, raw_inner]));
+        let raw_star = st.intern_raw(Expr::Star(raw_concat));
+        let raw = st.intern_raw(Expr::Opt(raw_star));
+        let opt = st.optimize(raw);
+        let aa = st.concat([a, a]);
+        assert_eq!(opt, st.star(aa));
+        assert_eq!(st.optimize(opt), opt, "idempotent");
+    }
+
+    #[test]
+    fn nest_rewrites_diagonals() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let n = st.nest(a);
+        assert_eq!(st.nest(n), n, "[[a]] = [a]");
+        let t = st.node_test("city");
+        assert_eq!(st.nest(t), t, "[?city] = ?city");
+        let eps = st.epsilon();
+        assert_eq!(st.nest(eps), eps);
+        assert_eq!(st.render(n), "[a]");
+    }
+
+    #[test]
+    fn size_and_render_are_stable() {
+        let mut st = QueryStore::new();
+        let road = st.label("road");
+        let train_inv = st.inv_label("train");
+        let alt = st.alt([road, train_inv]);
+        let q = st.plus(alt);
+        assert_eq!(st.render(q), "((road|train^-))+");
+        assert_eq!(st.size(q), 4);
+    }
+}

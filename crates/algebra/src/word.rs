@@ -1,0 +1,185 @@
+//! Word-level membership for the forward fragment of the IR.
+//!
+//! Sessions that classify *concrete paths* (rather than node pairs) need "does this edge-label
+//! word belong to the expression's language?". [`WordMatcher`] compiles the word-expressible
+//! fragment — labels, the forward wildcard, ε, concat/alt/star/plus/opt — to a small Thompson
+//! NFA over interned symbols; expressions that are not word automata (inverse steps, node
+//! tests, nests) report `None` and stay with their relational evaluators.
+
+use crate::ir::{Expr, ExprId, QueryStore, Sym};
+use qbe_bitset::DenseSet;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Eps,
+    Sym(Sym),
+    Any,
+}
+
+/// A Thompson NFA over interned edge-label symbols, compiled from a word-expressible IR node.
+#[derive(Debug, Clone)]
+pub struct WordMatcher {
+    transitions: Vec<Vec<(Tok, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl WordMatcher {
+    /// Compile an expression, or `None` when it leaves the word fragment (inverse labels,
+    /// node tests, nesting).
+    pub fn compile(store: &QueryStore, e: ExprId) -> Option<WordMatcher> {
+        let mut m = WordMatcher {
+            transitions: vec![Vec::new(), Vec::new()],
+            start: 0,
+            accept: 1,
+        };
+        m.build(store, e, 0, 1)?;
+        Some(m)
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn build(&mut self, store: &QueryStore, e: ExprId, from: usize, to: usize) -> Option<()> {
+        match store.expr(e).clone() {
+            Expr::Epsilon => self.transitions[from].push((Tok::Eps, to)),
+            Expr::Label(s) => self.transitions[from].push((Tok::Sym(s), to)),
+            Expr::AnyLabel => self.transitions[from].push((Tok::Any, to)),
+            Expr::InvLabel(_) | Expr::AnyInv | Expr::NodeTest(_) | Expr::Nest(_) => return None,
+            Expr::Concat(parts) => {
+                if parts.is_empty() {
+                    self.transitions[from].push((Tok::Eps, to));
+                    return Some(());
+                }
+                let mut current = from;
+                for (ix, part) in parts.iter().enumerate() {
+                    let next = if ix == parts.len() - 1 {
+                        to
+                    } else {
+                        self.new_state()
+                    };
+                    self.build(store, *part, current, next)?;
+                    current = next;
+                }
+            }
+            Expr::Alt(parts) => {
+                for part in parts {
+                    self.build(store, part, from, to)?;
+                }
+            }
+            Expr::Star(inner) => {
+                let hub = self.new_state();
+                self.transitions[from].push((Tok::Eps, hub));
+                self.transitions[hub].push((Tok::Eps, to));
+                self.build(store, inner, hub, hub)?;
+            }
+            Expr::Plus(inner) => {
+                let hub = self.new_state();
+                self.build(store, inner, from, hub)?;
+                self.transitions[hub].push((Tok::Eps, to));
+                self.build(store, inner, hub, hub)?;
+            }
+            Expr::Opt(inner) => {
+                self.transitions[from].push((Tok::Eps, to));
+                self.build(store, inner, from, to)?;
+            }
+        }
+        Some(())
+    }
+
+    fn epsilon_close(&self, states: &mut DenseSet<usize>) {
+        let mut stack: Vec<usize> = states.iter().collect();
+        while let Some(s) = stack.pop() {
+            for &(tok, target) in &self.transitions[s] {
+                if tok == Tok::Eps && states.insert(target) {
+                    stack.push(target);
+                }
+            }
+        }
+    }
+
+    /// Whether a word of interned symbols belongs to the language.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let n = self.transitions.len();
+        let mut current: DenseSet<usize> = DenseSet::from_ids(n, [self.start]);
+        self.epsilon_close(&mut current);
+        for &symbol in word {
+            let mut next: DenseSet<usize> = DenseSet::new(n);
+            for s in current.iter() {
+                for &(tok, target) in &self.transitions[s] {
+                    if tok == Tok::Sym(symbol) || tok == Tok::Any {
+                        next.insert(target);
+                    }
+                }
+            }
+            self.epsilon_close(&mut next);
+            if next.is_empty() {
+                return false;
+            }
+            current = next;
+        }
+        current.contains(self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_of_label_accepts_uniform_words() {
+        let mut st = QueryStore::new();
+        let road = st.label("road");
+        let q = st.plus(road);
+        let m = WordMatcher::compile(&st, q).unwrap();
+        let r = st.sym("road");
+        let t = st.sym("train");
+        assert!(m.accepts(&[r]));
+        assert!(m.accepts(&[r, r, r]));
+        assert!(!m.accepts(&[]));
+        assert!(!m.accepts(&[r, t]));
+    }
+
+    #[test]
+    fn star_of_wildcard_accepts_everything() {
+        let mut st = QueryStore::new();
+        let any = st.any_label();
+        let q = st.star(any);
+        let m = WordMatcher::compile(&st, q).unwrap();
+        let r = st.sym("road");
+        let t = st.sym("train");
+        assert!(m.accepts(&[]));
+        assert!(m.accepts(&[r, t, r]));
+    }
+
+    #[test]
+    fn non_word_fragments_refuse_to_compile() {
+        let mut st = QueryStore::new();
+        let inv = st.inv_label("road");
+        assert!(WordMatcher::compile(&st, inv).is_none());
+        let road = st.label("road");
+        let nested = st.nest(road);
+        assert!(WordMatcher::compile(&st, nested).is_none());
+        let mixed = st.concat([road, inv]);
+        assert!(WordMatcher::compile(&st, mixed).is_none());
+    }
+
+    #[test]
+    fn alt_and_opt_compose() {
+        let mut st = QueryStore::new();
+        let a = st.label("a");
+        let b = st.label("b");
+        let alt = st.alt([a, b]);
+        let b_opt = st.opt(b);
+        let q = st.concat([alt, b_opt]);
+        let m = WordMatcher::compile(&st, q).unwrap();
+        let (sa, sb) = (st.sym("a"), st.sym("b"));
+        assert!(m.accepts(&[sa]));
+        assert!(m.accepts(&[sa, sb]));
+        assert!(m.accepts(&[sb, sb]));
+        assert!(!m.accepts(&[sb, sa]));
+        assert!(!m.accepts(&[]));
+    }
+}

@@ -1,0 +1,380 @@
+//! exp_algebra — the algebra-engine snapshot behind `BENCH_PR6.json`.
+//!
+//! Measures the three claims the PR 6 query algebra makes, over the typed road view of a
+//! geographical graph:
+//!
+//! * **per-class session wall p50/p95** — full goal-driven interactive [`QuerySession`]s for
+//!   each query class (RPQ / 2RPQ / CRPQ), halving strategy;
+//! * **cross-candidate CSE** — evaluating the whole candidate pool through one shared
+//!   [`EvalCache`] versus a fresh cache per candidate (what hash-consing buys: shared
+//!   subexpressions are computed once per pool, not once per candidate);
+//! * **optimizer effect** — smart-constructor/rewrite normalisation versus raw interning on
+//!   deliberately redundant expressions (size and evaluation wall).
+//!
+//! The numbers go to stdout as tables and to a JSON snapshot (default `BENCH_PR6.json`,
+//! override with `--out <path>`). `--smoke` (or `QBE_BENCH_SMOKE=1`) shrinks everything to CI
+//! size — same code paths, seconds of runtime — and is exercised by `exp_smoke` and CI.
+
+use qbe_core::algebra::{eval_expr, EvalCache, Expr, ExprId, QueryStore};
+use qbe_core::graph::{
+    enumerate_candidates, eval_conj_tuples, eval_expr_pairs, generate_geo_graph, typed_road_view,
+    GNodeId, GeoConfig, GoalPairsOracle, GraphIndex, PropertyGraph, QueryClass, QuerySession,
+};
+use qbe_core::workload::percentile_sorted;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// One query class's session-workload row.
+struct ClassRow {
+    class: QueryClass,
+    candidates: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    questions_p50: usize,
+}
+
+fn percentiles_ms(mut wall_us: Vec<usize>) -> (f64, f64) {
+    wall_us.sort_unstable();
+    let p50 = percentile_sorted(&wall_us, 50.0).unwrap_or(0) as f64 / 1000.0;
+    let p95 = percentile_sorted(&wall_us, 95.0).unwrap_or(0) as f64 / 1000.0;
+    (p50, p95)
+}
+
+/// The demo goal for a class: a query inside the class's candidate pool, so every session can
+/// converge exactly (mirrors `qbe-server`'s simulated clients).
+fn goal_pairs(
+    typed: &PropertyGraph,
+    index: &GraphIndex,
+    class: QueryClass,
+) -> BTreeSet<(GNodeId, GNodeId)> {
+    let alphabet = typed.edge_alphabet();
+    let mut store = QueryStore::new();
+    let mut cache = EvalCache::new();
+    match class {
+        QueryClass::Rpq => {
+            let l = store.label(&alphabet[0]);
+            let q = store.plus(l);
+            eval_expr_pairs(index, &store, &mut cache, q)
+        }
+        QueryClass::TwoRpq => {
+            let l = store.label(&alphabet[0]);
+            let inv = store.inv_label(&alphabet[0]);
+            let q = store.concat([l, inv]);
+            eval_expr_pairs(index, &store, &mut cache, q)
+        }
+        QueryClass::Crpq => {
+            let a = store.label(&alphabet[0]);
+            let b = store.label(&alphabet[1 % alphabet.len()]);
+            let x = store.sym("x");
+            let y = store.sym("y");
+            let q = qbe_core::algebra::ConjQuery::new(
+                vec![
+                    qbe_core::algebra::PathAtom {
+                        subject: qbe_core::algebra::Term::Var(x),
+                        expr: a,
+                        object: qbe_core::algebra::Term::Var(y),
+                    },
+                    qbe_core::algebra::PathAtom {
+                        subject: qbe_core::algebra::Term::Var(x),
+                        expr: b,
+                        object: qbe_core::algebra::Term::Var(y),
+                    },
+                ],
+                vec![x, y],
+            );
+            eval_conj_tuples(index, &store, &mut cache, &q)
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect()
+        }
+    }
+}
+
+fn class_row(
+    typed: &PropertyGraph,
+    index: &GraphIndex,
+    class: QueryClass,
+    sessions: usize,
+) -> ClassRow {
+    let goal = goal_pairs(typed, index, class);
+    assert!(
+        !goal.is_empty(),
+        "{}: demo goal is non-trivial",
+        class.wire_name()
+    );
+    let mut wall_us = Vec::with_capacity(sessions);
+    let mut questions = Vec::with_capacity(sessions);
+    let mut candidates = 0;
+    for seed in 0..sessions as u64 {
+        let session = QuerySession::new(typed, class, seed);
+        candidates = session.candidate_count();
+        let mut oracle = GoalPairsOracle::new(goal.clone());
+        let start = Instant::now();
+        let outcome = session.run(&mut oracle);
+        wall_us.push(start.elapsed().as_micros() as usize);
+        questions.push(outcome.interactions);
+        assert_eq!(
+            outcome.learned_pairs,
+            goal,
+            "{}: the session converges to the goal",
+            class.wire_name()
+        );
+    }
+    questions.sort_unstable();
+    let questions_p50 = percentile_sorted(&questions, 50.0).unwrap_or(0);
+    let (p50_ms, p95_ms) = percentiles_ms(wall_us);
+    ClassRow {
+        class,
+        candidates,
+        p50_ms,
+        p95_ms,
+        questions_p50,
+    }
+}
+
+/// Cross-candidate CSE: the 2RPQ pool — plus its depth-2 frontier `(a)+/(b)+`, where the
+/// expensive transitive closures recur across many candidates — evaluated through the bitset
+/// kernels with one shared cache versus a fresh cache per candidate.
+/// Returns (pooled_ms, fresh_ms, pooled_misses, fresh_misses, pool_size).
+fn cse_comparison(
+    typed: &PropertyGraph,
+    index: &GraphIndex,
+    iters: usize,
+) -> (f64, f64, usize, usize, usize) {
+    let alphabet = typed.edge_alphabet();
+    let mut store = QueryStore::new();
+    let base = enumerate_candidates(&mut store, QueryClass::TwoRpq, &alphabet);
+    let mut pool: Vec<ExprId> = base
+        .iter()
+        .filter_map(|c| match c {
+            qbe_core::graph::CandidateQuery::Path(e) => Some(*e),
+            qbe_core::graph::CandidateQuery::Conj(_) => None,
+        })
+        .collect();
+    let mut atoms: Vec<_> = alphabet.iter().map(|l| store.label(l)).collect();
+    for l in &alphabet {
+        let inv = store.inv_label(l);
+        atoms.push(inv);
+    }
+    for &a in &atoms {
+        for &b in &atoms {
+            let plus_a = store.plus(a);
+            let plus_b = store.plus(b);
+            pool.push(store.concat([plus_a, plus_b]));
+        }
+    }
+
+    let mut pooled_misses = 0;
+    let mut pooled_pairs = 0;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut shared: EvalCache<GNodeId> = EvalCache::new();
+        pooled_pairs = pool
+            .iter()
+            .map(|&e| eval_expr(&store, index, &mut shared, e).len())
+            .sum();
+        pooled_misses = shared.misses();
+    }
+    let pooled_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+
+    let mut fresh_misses = 0;
+    let mut fresh_pairs = 0;
+    let start = Instant::now();
+    for _ in 0..iters {
+        fresh_misses = 0;
+        fresh_pairs = 0;
+        for &e in &pool {
+            let mut fresh: EvalCache<GNodeId> = EvalCache::new();
+            fresh_pairs += eval_expr(&store, index, &mut fresh, e).len();
+            fresh_misses += fresh.misses();
+        }
+    }
+    let fresh_ms = start.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+    assert_eq!(pooled_pairs, fresh_pairs, "sharing must not change answers");
+
+    (pooled_ms, fresh_ms, pooled_misses, fresh_misses, pool.len())
+}
+
+/// Optimizer effect: deliberately redundant expressions, interned raw (no rewrites) versus
+/// through the smart constructors + `optimize`. Returns
+/// (raw_size, optimized_size, raw_ms, optimized_ms).
+fn optimizer_comparison(
+    typed: &PropertyGraph,
+    index: &GraphIndex,
+    iters: usize,
+) -> (usize, usize, f64, f64) {
+    let alphabet = typed.edge_alphabet();
+    let mut store = QueryStore::new();
+    // `((a*)*)/((b|b))/((c)?)?` per label rotation: nested stars collapse, duplicate
+    // alternatives fold, nested optionals flatten.
+    let mut raw_exprs = Vec::new();
+    for (ix, label) in alphabet.iter().enumerate() {
+        let a = store.label(label);
+        let b = store.label(&alphabet[(ix + 1) % alphabet.len()]);
+        let c = store.label(&alphabet[(ix + 2) % alphabet.len()]);
+        let star_a = store.intern_raw(Expr::Star(a));
+        let star_star_a = store.intern_raw(Expr::Star(star_a));
+        let dup_alt = store.intern_raw(Expr::Alt(vec![b, b]));
+        let opt_c = store.intern_raw(Expr::Opt(c));
+        let opt_opt_c = store.intern_raw(Expr::Opt(opt_c));
+        raw_exprs.push(store.intern_raw(Expr::Concat(vec![star_star_a, dup_alt, opt_opt_c])));
+    }
+    let optimized: Vec<_> = raw_exprs.iter().map(|&e| store.optimize(e)).collect();
+    let raw_size: usize = raw_exprs.iter().map(|&e| store.size(e)).sum();
+    let optimized_size: usize = optimized.iter().map(|&e| store.size(e)).sum();
+
+    let wall = |exprs: &[qbe_core::algebra::ExprId]| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let mut cache: EvalCache<GNodeId> = EvalCache::new();
+            for &e in exprs {
+                let pairs = eval_expr_pairs(index, &store, &mut cache, e);
+                assert!(!pairs.is_empty(), "redundant queries still reach pairs");
+            }
+        }
+        start.elapsed().as_secs_f64() * 1000.0 / iters as f64
+    };
+    let raw_ms = wall(&raw_exprs);
+    let optimized_ms = wall(&optimized);
+    for (&r, &o) in raw_exprs.iter().zip(&optimized) {
+        let mut c1: EvalCache<GNodeId> = EvalCache::new();
+        let mut c2: EvalCache<GNodeId> = EvalCache::new();
+        assert_eq!(
+            eval_expr_pairs(index, &store, &mut c1, r),
+            eval_expr_pairs(index, &store, &mut c2, o),
+            "the optimizer preserves semantics"
+        );
+    }
+    (raw_size, optimized_size, raw_ms, optimized_ms)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    cities: usize,
+    sessions: usize,
+    rows: &[ClassRow],
+    cse: (f64, f64, usize, usize, usize),
+    opt: (usize, usize, f64, f64),
+) -> String {
+    // Hand-rolled JSON: keys are fixed identifiers, values numeric — nothing needs escaping.
+    let (pooled_ms, fresh_ms, pooled_misses, fresh_misses, pool_size) = cse;
+    let (raw_size, optimized_size, raw_ms, optimized_ms) = opt;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"cities\": {cities},\n"));
+    out.push_str(&format!("  \"sessions_per_class\": {sessions},\n"));
+    out.push_str("  \"classes\": {\n");
+    for (ix, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"candidates\": {}, \"session_wall_ms_p50\": {:.3}, \"session_wall_ms_p95\": {:.3}, \"questions_p50\": {}}}{}\n",
+            row.class.wire_name(),
+            row.candidates,
+            row.p50_ms,
+            row.p95_ms,
+            row.questions_p50,
+            if ix + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"cse\": {{\"pool\": {}, \"pooled_wall_ms\": {:.3}, \"fresh_wall_ms\": {:.3}, \"speedup\": {:.2}, \"pooled_misses\": {}, \"fresh_misses\": {}}},\n",
+        pool_size,
+        pooled_ms,
+        fresh_ms,
+        fresh_ms / pooled_ms,
+        pooled_misses,
+        fresh_misses
+    ));
+    out.push_str(&format!(
+        "  \"optimizer\": {{\"raw_size\": {}, \"optimized_size\": {}, \"raw_wall_ms\": {:.3}, \"optimized_wall_ms\": {:.3}}}\n",
+        raw_size, optimized_size, raw_ms, optimized_ms
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = qbe_bench::smoke();
+    let cities = qbe_bench::param(128usize, 12);
+    let sessions = qbe_bench::param(20usize, 3);
+    let iters = qbe_bench::param(50usize, 3);
+
+    let graph = generate_geo_graph(&GeoConfig {
+        cities,
+        connectivity: 3,
+        ..Default::default()
+    });
+    let typed = typed_road_view(&graph);
+    let index = GraphIndex::build(&typed);
+
+    let rows: Vec<ClassRow> = QueryClass::ALL
+        .into_iter()
+        .map(|class| class_row(&typed, &index, class, sessions))
+        .collect();
+
+    println!("# exp_algebra — query-class sessions, cross-candidate CSE, optimizer effect");
+    println!(
+        "# {cities} cities, {sessions} sessions/class, {iters} pool iterations{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<6} {:>10} {:>16} {:>16} {:>14}",
+        "class", "pool", "wall p50 (ms)", "wall p95 (ms)", "questions p50"
+    );
+    for row in &rows {
+        println!(
+            "{:<6} {:>10} {:>16.3} {:>16.3} {:>14}",
+            row.class.wire_name(),
+            row.candidates,
+            row.p50_ms,
+            row.p95_ms,
+            row.questions_p50
+        );
+    }
+
+    let cse = cse_comparison(&typed, &index, iters);
+    let (pooled_ms, fresh_ms, pooled_misses, fresh_misses, pool_size) = cse;
+    println!();
+    println!("# cross-candidate CSE over the 2RPQ pool ({pool_size} candidates)");
+    println!("{:<24} {:>14} {:>10}", "evaluation", "wall (ms)", "misses");
+    println!(
+        "{:<24} {:>14.3} {:>10}",
+        "shared cache (pooled)", pooled_ms, pooled_misses
+    );
+    println!(
+        "{:<24} {:>14.3} {:>10}",
+        "fresh cache/candidate", fresh_ms, fresh_misses
+    );
+    println!("speedup: {:.2}x", fresh_ms / pooled_ms);
+    assert!(
+        fresh_ms > pooled_ms,
+        "sharing the cache must not be slower than recomputing"
+    );
+
+    let opt = optimizer_comparison(&typed, &index, iters);
+    let (raw_size, optimized_size, raw_ms, optimized_ms) = opt;
+    println!();
+    println!("# optimizer effect on deliberately redundant expressions");
+    println!("{:<12} {:>10} {:>14}", "pipeline", "size", "wall (ms)");
+    println!("{:<12} {:>10} {:>14.3}", "raw", raw_size, raw_ms);
+    println!(
+        "{:<12} {:>10} {:>14.3}",
+        "optimized", optimized_size, optimized_ms
+    );
+    assert!(
+        optimized_size < raw_size,
+        "rewrites must shrink the redundant expressions"
+    );
+
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|ix| args.get(ix + 1).cloned())
+            .unwrap_or_else(|| "BENCH_PR6.json".to_string())
+    };
+    let json = render_json(smoke, cities, sessions, &rows, cse, opt);
+    std::fs::write(&out_path, json).expect("snapshot file is writable");
+    println!("snapshot written to {out_path}");
+}

@@ -11,6 +11,7 @@ use std::process::Command;
 /// Kept in sync with the directory by `all_experiment_binaries_are_listed`
 /// below (a missing entry here is also a compile error in `env!`).
 const EXPERIMENTS: &[(&str, &str)] = &[
+    ("exp_algebra", env!("CARGO_BIN_EXE_exp_algebra")),
     ("exp_baselines", env!("CARGO_BIN_EXE_exp_baselines")),
     ("exp_crowd_cost", env!("CARGO_BIN_EXE_exp_crowd_cost")),
     ("exp_exchange", env!("CARGO_BIN_EXE_exp_exchange")),

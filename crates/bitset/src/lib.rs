@@ -234,6 +234,16 @@ impl<T: DenseId> DenseSet<T> {
         }
     }
 
+    /// Whether every member of `self` is also in `other` — one AND-NOT per word, no
+    /// materialisation. The empty set is a subset of everything.
+    pub fn is_subset(&self, other: &DenseSet<T>) -> bool {
+        self.check_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(w, o)| w & !o == 0)
+    }
+
     /// `|self ∩ other|` without materialising the intersection — one AND+popcount per word.
     pub fn intersection_len(&self, other: &DenseSet<T>) -> usize {
         self.check_universe(other);
@@ -396,6 +406,10 @@ mod tests {
             assert_eq!(diff.contains(id), id % 2 == 0 && id % 3 != 0, "{id}");
         }
         assert_eq!(a.intersection_len(&b), and.len());
+        assert!(and.is_subset(&a) && and.is_subset(&b));
+        assert!(a.is_subset(&or) && b.is_subset(&or));
+        assert!(!a.is_subset(&b));
+        assert!(DenseSet::<usize>::new(200).is_subset(&a), "∅ ⊆ anything");
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub use framework::{
 pub use metrics::ConfusionMatrix;
 pub use oracle::{run_interactive, GoalOracle, InteractiveOutcome, Oracle};
 pub use session::{
-    drive, InteractiveLearner, JoinInteractive, PathInteractive, Question, SessionError,
-    TwigInteractive,
+    drive, GraphQueryInteractive, InteractiveLearner, JoinInteractive, PathInteractive, Question,
+    SessionError, TwigInteractive,
 };
 pub use workload::{
     percentile, percentile_sorted, SessionJob, SessionPool, SessionReport, StrategyAggregate,
@@ -74,6 +74,13 @@ pub use workload::{
 pub use qbe_bitset as bitset;
 
 pub use qbe_bitset::{DenseSet, SetArena};
+
+/// Re-export of the query algebra (`qbe-algebra`): the hash-consed IR every query dialect
+/// lowers to ([`algebra::QueryStore`], [`algebra::ExprId`]), the rewrite-based optimizer (the
+/// smart constructors), conjunctive plans ([`algebra::ConjQuery`], [`algebra::plan_join_order`])
+/// and the bitset evaluator with its cross-query CSE cache ([`algebra::eval_expr`],
+/// [`algebra::EvalCache`]).
+pub use qbe_algebra as algebra;
 
 /// Re-export of the question-selection strategy API (`qbe-strategy`).
 pub use qbe_strategy as strategy;

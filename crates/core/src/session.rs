@@ -16,7 +16,9 @@
 //! * [`PathInteractive`] — path labelling between two graph endpoints
 //!   ([`qbe_graph::PathSession`]);
 //! * [`JoinInteractive`] — tuple-pair labelling over two relations
-//!   ([`qbe_relational::InteractiveSession`]).
+//!   ([`qbe_relational::InteractiveSession`]);
+//! * [`GraphQueryInteractive`] — pair-membership labelling of RPQ/2RPQ/CRPQ queries over a
+//!   typed graph ([`qbe_graph::QuerySession`], the algebra-backed query classes).
 //!
 //! Every adapter owns its substrate behind an `Arc`, so N concurrent sessions share one corpus
 //! and one index. An adapter may also carry a *simulated user* (`with_goal`): the goal query's
@@ -31,7 +33,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::workload::SessionReport;
-use qbe_graph::{GNodeId, PathConstraint, PathSession, PathStrategy, PropertyGraph};
+use qbe_graph::{
+    GNodeId, PathConstraint, PathSession, PathStrategy, PropertyGraph, QueryClass, QuerySession,
+};
 use qbe_relational::{interactive::selected_pairs, JoinPredicate, Relation, Strategy};
 use qbe_strategy::SessionConfig;
 use qbe_twig::{eval, NodeStrategy, TwigQuery, TwigSession};
@@ -102,7 +106,7 @@ impl std::error::Error for SessionError {}
 /// returns `None` exactly when the session is over — every item is labelled or pruned, or the
 /// labels became inconsistent; [`consistent`](Self::consistent) tells which.
 pub trait InteractiveLearner: Send {
-    /// Which model the session learns over: `"twig"`, `"path"` or `"join"`.
+    /// Which model the session learns over: `"twig"`, `"path"`, `"join"` or `"graph"`.
     fn kind(&self) -> &'static str;
 
     /// The name of the session's question-selection strategy
@@ -505,6 +509,143 @@ impl InteractiveLearner for PathInteractive {
 }
 
 // ---------------------------------------------------------------------------------------------
+// Graph-query adapter
+// ---------------------------------------------------------------------------------------------
+
+/// [`InteractiveLearner`] over pair-membership query-learning sessions
+/// ([`qbe_graph::QuerySession`]): the algebra-backed RPQ / 2RPQ / CRPQ classes over a typed
+/// graph (see [`qbe_graph::typed_road_view`]).
+pub struct GraphQueryInteractive {
+    session: QuerySession<Arc<PropertyGraph>>,
+    /// The hidden goal query's answer set, when a simulated user is embedded.
+    goal: Option<BTreeSet<(GNodeId, GNodeId)>>,
+    pending: Option<usize>,
+    finished: bool,
+}
+
+impl GraphQueryInteractive {
+    /// Start a session of a query class over a shared typed graph with the default halving
+    /// strategy.
+    pub fn new(graph: Arc<PropertyGraph>, class: QueryClass, seed: u64) -> GraphQueryInteractive {
+        GraphQueryInteractive::with_config(graph, class, SessionConfig::new().seed(seed))
+    }
+
+    /// Start a session from a [`SessionConfig`] (pluggable strategy, question budget, seed) —
+    /// the primary constructor; [`new`](Self::new) is a preset over it.
+    pub fn with_config(
+        graph: Arc<PropertyGraph>,
+        class: QueryClass,
+        config: SessionConfig,
+    ) -> GraphQueryInteractive {
+        GraphQueryInteractive {
+            session: QuerySession::with_config(graph, class, config),
+            goal: None,
+            pending: None,
+            finished: false,
+        }
+    }
+
+    /// Embed a simulated user answering membership in a hidden goal answer set.
+    pub fn with_goal(mut self, goal: BTreeSet<(GNodeId, GNodeId)>) -> GraphQueryInteractive {
+        self.goal = Some(goal);
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &QuerySession<Arc<PropertyGraph>> {
+        &self.session
+    }
+
+    /// Advance the pending-question state machine without rendering anything.
+    fn ensure_pending(&mut self) -> Option<usize> {
+        if self.finished {
+            return None;
+        }
+        match self.pending {
+            Some(q) => Some(q),
+            None => match self.session.propose() {
+                Some(q) => {
+                    self.pending = Some(q);
+                    Some(q)
+                }
+                None => {
+                    self.finished = true;
+                    None
+                }
+            },
+        }
+    }
+}
+
+impl InteractiveLearner for GraphQueryInteractive {
+    fn kind(&self) -> &'static str {
+        "graph"
+    }
+
+    fn strategy(&self) -> &str {
+        self.session.strategy_name()
+    }
+
+    fn propose(&mut self) -> Option<Question> {
+        let q = self.ensure_pending()?;
+        let (s, t) = self.session.question_pair(q);
+        let graph = self.session.graph();
+        let source = graph.display_name(s).replace(' ', "_");
+        let target = graph.display_name(t).replace(' ', "_");
+        Some(Question {
+            fields: vec![
+                ("pair", q.to_string()),
+                ("source", source.clone()),
+                ("target", target.clone()),
+                ("source_id", s.0.to_string()),
+                ("target_id", t.0.to_string()),
+            ],
+            prompt: format!("Should your query select the pair ({source}, {target})?"),
+        })
+    }
+
+    fn propose_pending(&mut self) -> bool {
+        self.ensure_pending().is_some()
+    }
+
+    fn answer(&mut self, positive: bool) -> Result<(), SessionError> {
+        let q = self.pending.take().ok_or(SessionError::NoPendingQuestion)?;
+        self.session.record(q, positive);
+        Ok(())
+    }
+
+    fn oracle_answer(&self) -> Result<bool, SessionError> {
+        let q = self.pending.ok_or(SessionError::NoPendingQuestion)?;
+        let goal = self.goal.as_ref().ok_or(SessionError::NoGoal)?;
+        Ok(goal.contains(&self.session.question_pair(q)))
+    }
+
+    fn hypothesis(&self) -> Option<String> {
+        Some(self.session.learned().0)
+    }
+
+    fn answer_set_size(&self) -> usize {
+        self.session.learned().1.len()
+    }
+
+    fn questions(&self) -> usize {
+        self.session.labelled_count()
+    }
+
+    fn inferred(&self) -> usize {
+        self.session.question_count() - self.questions()
+    }
+
+    fn consistent(&self) -> bool {
+        self.session.version_space_size() >= 1
+    }
+
+    fn done(&self) -> bool {
+        self.finished
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
 // Join adapter
 // ---------------------------------------------------------------------------------------------
 
@@ -746,6 +887,37 @@ mod tests {
             .filter(|&ix| goal.accepts_features(learner.session().features(ix)))
             .count();
         assert_eq!(accepted, expected);
+    }
+
+    #[test]
+    fn graph_query_adapter_drives_to_the_goal() {
+        use qbe_algebra::{EvalCache, QueryStore};
+        use qbe_graph::{eval_expr_pairs, typed_road_view, GraphIndex};
+        let geo = generate_geo_graph(&GeoConfig {
+            cities: 12,
+            connectivity: 3,
+            ..Default::default()
+        });
+        let typed = Arc::new(typed_road_view(&geo));
+        // Hidden goal: one-or-more highway hops — a member of the RPQ candidate pool.
+        let index = GraphIndex::build(&typed);
+        let mut store = QueryStore::new();
+        let h = store.label("highway");
+        let goal_expr = store.plus(h);
+        let goal = eval_expr_pairs(&index, &store, &mut EvalCache::new(), goal_expr);
+        let mut learner =
+            GraphQueryInteractive::new(typed, QueryClass::Rpq, 7).with_goal(goal.clone());
+        let q = learner.propose().expect("an informative pair");
+        assert!(q.field("source").is_some() && q.field("target_id").is_some());
+        let report = drive("g", &mut learner);
+        assert!(report.success);
+        assert_eq!(learner.kind(), "graph");
+        assert_eq!(learner.session().learned().1, goal);
+        assert_eq!(learner.answer_set_size(), goal.len());
+        let hypothesis = learner
+            .hypothesis()
+            .expect("graph sessions always have one");
+        assert!(hypothesis.contains("highway"), "{hypothesis}");
     }
 
     #[test]

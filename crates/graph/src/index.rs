@@ -9,6 +9,10 @@
 //! Like `qbe_xml::NodeIndex`, the index is immutable and self-contained, so it can be built
 //! once per graph and shared (behind an `Arc`) by every concurrent learning session over that
 //! graph.
+//!
+//! The index also implements [`qbe_algebra::Adjacency`], so algebra-lowered queries evaluate
+//! directly against it — the per-label *reverse* bitsets (`in_bits`) make inverse labels
+//! (`ℓ⁻`, the 2RPQ extension) native rather than requiring a transposition pass.
 
 use crate::model::{GNodeId, PropertyGraph};
 use qbe_bitset::DenseSet;
@@ -30,6 +34,14 @@ pub struct GraphIndex {
     /// large dense graphs. If this index ever fronts such graphs, the sorted `out` slices can
     /// serve the same dedup by skipping consecutive duplicate targets.
     out_bits: Vec<Vec<(u32, DenseSet<GNodeId>)>>,
+    /// `in_bits[node]` = per distinct *incoming* label, the set of predecessors (sorted by
+    /// label id) — the mirror of `out_bits` that makes inverse labels (`ℓ⁻`) evaluate natively.
+    in_bits: Vec<Vec<(u32, DenseSet<GNodeId>)>>,
+    /// `label_edge_counts[label id]` = number of edges carrying the label (the join planner's
+    /// selectivity signal).
+    label_edge_counts: Vec<usize>,
+    /// Distinct node labels → the set of nodes carrying each (for `?l` node tests).
+    node_label_sets: HashMap<String, DenseSet<GNodeId>>,
 }
 
 impl GraphIndex {
@@ -43,34 +55,47 @@ impl GraphIndex {
             .map(|(ix, l)| (l.clone(), ix as u32))
             .collect();
         let mut out: Vec<Vec<(u32, GNodeId)>> = vec![Vec::new(); graph.node_count()];
+        let mut rev: Vec<Vec<(u32, GNodeId)>> = vec![Vec::new(); graph.node_count()];
+        let mut label_edge_counts = vec![0usize; labels.len()];
         for edge in graph.edge_ids() {
             let lid = label_ids[graph.edge_label(edge)];
             out[graph.source(edge).0 as usize].push((lid, graph.target(edge)));
+            rev[graph.target(edge).0 as usize].push((lid, graph.source(edge)));
+            label_edge_counts[lid as usize] += 1;
         }
-        for adj in &mut out {
+        for adj in out.iter_mut().chain(rev.iter_mut()) {
             adj.sort_unstable();
         }
         let n = graph.node_count();
-        let out_bits = out
-            .iter()
-            .map(|adj| {
-                let mut per_label: Vec<(u32, DenseSet<GNodeId>)> = Vec::new();
-                for &(lid, target) in adj {
-                    match per_label.last_mut() {
-                        Some((last, bits)) if *last == lid => {
-                            bits.insert(target);
-                        }
-                        _ => per_label.push((lid, DenseSet::from_ids(n, [target]))),
+        let collapse = |adj: &[(u32, GNodeId)]| {
+            let mut per_label: Vec<(u32, DenseSet<GNodeId>)> = Vec::new();
+            for &(lid, target) in adj {
+                match per_label.last_mut() {
+                    Some((last, bits)) if *last == lid => {
+                        bits.insert(target);
                     }
+                    _ => per_label.push((lid, DenseSet::from_ids(n, [target]))),
                 }
-                per_label
-            })
-            .collect();
+            }
+            per_label
+        };
+        let out_bits = out.iter().map(|adj| collapse(adj)).collect();
+        let in_bits = rev.iter().map(|adj| collapse(adj)).collect();
+        let mut node_label_sets: HashMap<String, DenseSet<GNodeId>> = HashMap::new();
+        for node in graph.node_ids() {
+            node_label_sets
+                .entry(graph.node_label(node).to_string())
+                .or_insert_with(|| DenseSet::new(n))
+                .insert(node);
+        }
         GraphIndex {
             labels,
             label_ids,
             out,
             out_bits,
+            in_bits,
+            label_edge_counts,
+            node_label_sets,
         }
     }
 
@@ -112,6 +137,79 @@ impl GraphIndex {
     /// list, so it transitions once per distinct label and enqueues each target once.
     pub fn successor_bits(&self, node: GNodeId) -> &[(u32, DenseSet<GNodeId>)] {
         &self.out_bits[node.0 as usize]
+    }
+
+    /// Per distinct *incoming* label of `node`, the predecessor set as a dense bitset (sorted
+    /// by label id). The reverse mirror of [`successor_bits`](Self::successor_bits), backing
+    /// native inverse-label (`ℓ⁻`) evaluation.
+    pub fn predecessor_bits(&self, node: GNodeId) -> &[(u32, DenseSet<GNodeId>)] {
+        &self.in_bits[node.0 as usize]
+    }
+
+    /// Successor set of `node` under one label, when any exists.
+    pub fn successor_set(&self, node: GNodeId, label_id: u32) -> Option<&DenseSet<GNodeId>> {
+        lookup_label(&self.out_bits[node.0 as usize], label_id)
+    }
+
+    /// Predecessor set of `node` under one label, when any exists.
+    pub fn predecessor_set(&self, node: GNodeId, label_id: u32) -> Option<&DenseSet<GNodeId>> {
+        lookup_label(&self.in_bits[node.0 as usize], label_id)
+    }
+
+    /// Number of edges carrying the label.
+    pub fn label_edge_count(&self, label_id: u32) -> usize {
+        self.label_edge_counts[label_id as usize]
+    }
+
+    /// The set of nodes carrying a node label (`None` when no node does).
+    pub fn nodes_labelled(&self, label: &str) -> Option<&DenseSet<GNodeId>> {
+        self.node_label_sets.get(label)
+    }
+}
+
+fn lookup_label(
+    per_label: &[(u32, DenseSet<GNodeId>)],
+    label_id: u32,
+) -> Option<&DenseSet<GNodeId>> {
+    per_label
+        .binary_search_by_key(&label_id, |&(l, _)| l)
+        .ok()
+        .map(|ix| &per_label[ix].1)
+}
+
+/// Algebra-lowered queries evaluate straight against the index: forward rows from `out_bits`,
+/// reverse rows from `in_bits` (native `ℓ⁻`), selectivity from the per-label edge counts.
+impl qbe_algebra::Adjacency for GraphIndex {
+    type Id = GNodeId;
+
+    fn node_count(&self) -> usize {
+        GraphIndex::node_count(self)
+    }
+
+    fn label_count(&self) -> usize {
+        GraphIndex::label_count(self)
+    }
+
+    fn resolve_label(&self, name: &str) -> Option<usize> {
+        self.label_id(name).map(|l| l as usize)
+    }
+
+    fn successors_of(&self, node: usize, label: usize) -> Option<&DenseSet<GNodeId>> {
+        self.successor_set(GNodeId(node as u32), label as u32)
+    }
+
+    fn predecessors_of(&self, node: usize, label: usize) -> Option<&DenseSet<GNodeId>> {
+        self.predecessor_set(GNodeId(node as u32), label as u32)
+    }
+
+    fn label_edge_count(&self, label: usize) -> usize {
+        GraphIndex::label_edge_count(self, label as u32)
+    }
+
+    fn nodes_with_node_label(&self, name: &str) -> DenseSet<GNodeId> {
+        self.nodes_labelled(name)
+            .cloned()
+            .unwrap_or_else(|| DenseSet::new(self.node_count()))
     }
 }
 
@@ -179,6 +277,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn predecessor_bits_mirror_successor_bits() {
+        let (g, n) = graph();
+        let ix = GraphIndex::build(&g);
+        let road = ix.label_id("road").unwrap();
+        let train = ix.label_id("train").unwrap();
+        // Every forward (s, l, t) appears as a reverse (t, l, s) and vice versa.
+        for s in g.node_ids() {
+            for &(lid, ref bits) in ix.successor_bits(s) {
+                for t in bits.iter() {
+                    assert!(
+                        ix.predecessor_set(t, lid).is_some_and(|p| p.contains(s)),
+                        "missing reverse edge {s:?} -{lid}-> {t:?}"
+                    );
+                }
+            }
+            for &(lid, ref bits) in ix.predecessor_bits(s) {
+                for p in bits.iter() {
+                    assert!(ix.successor_set(p, lid).is_some_and(|o| o.contains(s)));
+                }
+            }
+        }
+        assert_eq!(
+            ix.predecessor_set(n[2], road)
+                .map(|b| b.iter().collect::<Vec<_>>()),
+            Some(vec![n[1]])
+        );
+        assert_eq!(ix.label_edge_count(road), 3);
+        assert_eq!(ix.label_edge_count(train), 1);
+        assert_eq!(ix.nodes_labelled("city").map(DenseSet::len), Some(4));
+        assert!(ix.nodes_labelled("station").is_none());
     }
 
     #[test]

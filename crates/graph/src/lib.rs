@@ -17,7 +17,12 @@
 //! * [`nre`] — nested regular expressions and their conjunctions (the Barceló et al. mapping
 //!   building blocks);
 //! * [`pattern`] — SPARQL-style graph patterns (BGP/AND/OPTIONAL/UNION/FILTER) with the
-//!   well-designedness check, the expressive upper bound the paper deems too complex to learn.
+//!   well-designedness check, the expressive upper bound the paper deems too complex to learn;
+//! * [`lower`] — lowering every query dialect above onto the shared hash-consed algebra IR
+//!   (`qbe_algebra`); the legacy evaluators survive as executable specifications;
+//! * [`qsession`] — interactive learning of RPQ/2RPQ/CRPQ queries by pair-membership
+//!   questions, with cross-candidate common-subexpression elimination through one shared
+//!   evaluation cache.
 
 #![warn(missing_docs)]
 
@@ -25,9 +30,11 @@ pub mod geo;
 pub mod index;
 pub mod interactive;
 pub mod learn;
+pub mod lower;
 pub mod model;
 pub mod nre;
 pub mod pattern;
+pub mod qsession;
 pub mod rpq;
 
 pub use geo::{generate_geo_graph, GeoConfig, ROAD_TYPES};
@@ -40,15 +47,22 @@ pub use learn::{
     learn_path_query, learn_path_query_with_negatives, Block, BlockMultiplicity, BlockPathQuery,
     PathLearnError,
 };
+pub use lower::{
+    eval_conj_tuples, eval_expr_pairs, lower_bgp, lower_conjunctive, lower_nre, lower_path_regex,
+    typed_road_view,
+};
 pub use model::{GEdgeId, GNodeId, PropValue, PropertyGraph, Triple};
 pub use nre::{eval_nre, eval_nre_from, ConjunctiveNre, Nre, NreAtom};
 pub use pattern::{
     evaluate_pattern, is_well_designed, select_nodes, Binding, Constraint, GraphPattern, Mapping,
     PredTerm, Term, TriplePattern,
 };
+pub use qsession::{
+    enumerate_candidates, evaluate_candidates, CandidateQuery, CseStats, GoalPairsOracle,
+    PairOracle, QueryClass, QuerySession, QuerySessionOutcome,
+};
 pub use rpq::{
     evaluate, evaluate_from, evaluate_indexed, simple_paths, thompson_state_count, Path, PathRegex,
-    BITMASK_NFA_MAX_STATES,
 };
 
 #[cfg(test)]

@@ -266,18 +266,19 @@ impl ConjunctiveNre {
     }
 
     /// Evaluate the conjunction: every assignment of graph nodes to variables under which all
-    /// atoms hold. Atoms are joined in order with early pruning (a simple left-deep plan).
+    /// atoms hold. Atoms are joined in order with early pruning (a simple left-deep plan), and
+    /// each atom's relation is computed *lazily*, only when the join actually reaches it — an
+    /// empty prefix short-circuits without evaluating the remaining atoms.
     pub fn evaluate(&self, graph: &PropertyGraph) -> Vec<BTreeMap<String, GNodeId>> {
         if self.atoms.is_empty() {
             return vec![BTreeMap::new()];
         }
-        let relations: Vec<BTreeSet<(GNodeId, GNodeId)>> =
-            self.atoms.iter().map(|a| eval_nre(graph, &a.nre)).collect();
         let mut assignments: Vec<BTreeMap<String, GNodeId>> = vec![BTreeMap::new()];
-        for (atom, rel) in self.atoms.iter().zip(&relations) {
+        for atom in &self.atoms {
+            let rel = eval_nre(graph, &atom.nre);
             let mut next = Vec::new();
             for assignment in &assignments {
-                for &(s, t) in rel {
+                for &(s, t) in &rel {
                     let subject_ok = assignment
                         .get(&atom.subject)
                         .map(|&v| v == s)
@@ -296,7 +297,7 @@ impl ConjunctiveNre {
             }
             assignments = next;
             if assignments.is_empty() {
-                break;
+                return assignments;
             }
         }
         // Deduplicate (different join orders can produce identical assignments).
@@ -306,8 +307,60 @@ impl ConjunctiveNre {
     }
 
     /// Whether the conjunction has at least one satisfying assignment.
+    ///
+    /// A true early-exit: a backtracking search that returns at the *first* complete
+    /// assignment, with atom relations filled in lazily — nothing is materialised beyond the
+    /// relations of the atoms actually reached.
     pub fn is_satisfied(&self, graph: &PropertyGraph) -> bool {
-        !self.evaluate(graph).is_empty()
+        let mut rels: Vec<Option<BTreeSet<(GNodeId, GNodeId)>>> = vec![None; self.atoms.len()];
+        let mut binding: BTreeMap<String, GNodeId> = BTreeMap::new();
+        self.satisfy_from(graph, 0, &mut binding, &mut rels)
+    }
+
+    /// Depth-first search over the atoms: true as soon as every atom from `depth` on can be
+    /// satisfied under `binding`. Binding extension mirrors [`evaluate`](Self::evaluate)
+    /// exactly — subject then object, the object insert winning on a self-loop atom — so the
+    /// two stay extensionally equal.
+    fn satisfy_from(
+        &self,
+        graph: &PropertyGraph,
+        depth: usize,
+        binding: &mut BTreeMap<String, GNodeId>,
+        rels: &mut [Option<BTreeSet<(GNodeId, GNodeId)>>],
+    ) -> bool {
+        let Some(atom) = self.atoms.get(depth) else {
+            return true;
+        };
+        if rels[depth].is_none() {
+            rels[depth] = Some(eval_nre(graph, &atom.nre));
+        }
+        let bound_s = binding.get(&atom.subject).copied();
+        let bound_o = binding.get(&atom.object).copied();
+        // Collect this level's consistent pairs first (the recursive call needs `rels` back).
+        let matches: Vec<(GNodeId, GNodeId)> = rels[depth]
+            .as_ref()
+            .expect("just filled")
+            .iter()
+            .filter(|&&(s, t)| bound_s.is_none_or(|v| v == s) && bound_o.is_none_or(|v| v == t))
+            .copied()
+            .collect();
+        for (s, t) in matches {
+            let prev_s = binding.insert(atom.subject.clone(), s);
+            let prev_o = binding.insert(atom.object.clone(), t);
+            if self.satisfy_from(graph, depth + 1, binding, rels) {
+                return true;
+            }
+            // Undo in reverse insertion order so a self-loop atom restores cleanly.
+            match prev_o {
+                Some(v) => binding.insert(atom.object.clone(), v),
+                None => binding.remove(&atom.object),
+            };
+            match prev_s {
+                Some(v) => binding.insert(atom.subject.clone(), v),
+                None => binding.remove(&atom.subject),
+            };
+        }
+        false
     }
 }
 
@@ -419,6 +472,36 @@ mod tests {
             .atom("x", Nre::label("train"), "y")
             .atom("y", Nre::label("train"), "z");
         assert!(!q.is_satisfied(&g));
+    }
+
+    #[test]
+    fn satisfiability_early_exit_agrees_with_full_evaluation() {
+        let (g, _) = small_graph();
+        let cases = [
+            ConjunctiveNre::new()
+                .atom("x", Nre::label("road"), "y")
+                .atom("y", Nre::label("train"), "z"),
+            ConjunctiveNre::new()
+                .atom("x", Nre::label("train"), "y")
+                .atom("y", Nre::label("train"), "z"),
+            // A self-loop atom: x —road*→ x holds for every node (reflexive closure).
+            ConjunctiveNre::new().atom("x", Nre::Star(Box::new(Nre::label("road"))), "x"),
+            // A self-loop atom nobody satisfies: x —road→ x (no road self-edges).
+            ConjunctiveNre::new().atom("x", Nre::label("road"), "x"),
+            // Shared variable binding across three atoms.
+            ConjunctiveNre::new()
+                .atom("x", Nre::label("road"), "y")
+                .atom("y", Nre::label("road"), "z")
+                .atom("y", Nre::label("train"), "w"),
+            ConjunctiveNre::new(),
+        ];
+        for q in cases {
+            assert_eq!(
+                q.is_satisfied(&g),
+                !q.evaluate(&g).is_empty(),
+                "early-exit satisfiability disagrees with full evaluation"
+            );
+        }
     }
 
     #[test]

@@ -220,100 +220,92 @@ pub fn evaluate(graph: &PropertyGraph, regex: &PathRegex) -> BTreeSet<(GNodeId, 
     out
 }
 
-/// Largest Thompson-NFA state count [`evaluate_indexed`] packs into its `u64` state bitmask.
-///
-/// Queries whose NFA has more states than this (none of the learners produce them — a concat
-/// of 64+ labels would be needed) fall back to the naive [`evaluate`], so `evaluate_indexed`
-/// stays total. Use [`thompson_state_count`] to check which path a given query takes.
-pub const BITMASK_NFA_MAX_STATES: usize = 64;
-
-/// Number of states the Thompson construction produces for a regex — the quantity compared
-/// against [`BITMASK_NFA_MAX_STATES`] when [`evaluate_indexed`] chooses between the bitmask
-/// product BFS and the naive fallback.
+/// Number of states the Thompson construction produces for a regex — reported by experiments
+/// and useful for sizing intuition (the indexed evaluator's per-mask work scales with
+/// `⌈states/64⌉` words).
 pub fn thompson_state_count(regex: &PathRegex) -> usize {
     Nfa::compile(regex).transitions.len()
 }
 
-/// Evaluate an RPQ against a prebuilt [`GraphIndex`](crate::index::GraphIndex): same answer as [`evaluate`], computed by
-/// a product BFS over interned label ids with NFA state sets packed into a `u64` bitmask.
+/// Evaluate an RPQ against a prebuilt [`GraphIndex`](crate::index::GraphIndex): same answer as
+/// [`evaluate`], computed by a product BFS over interned label ids with NFA state sets packed
+/// into multi-word [`DenseSet`](qbe_bitset::DenseSet) masks.
 ///
 /// The interned adjacency turns the per-step transition work from "scan every outgoing edge and
-/// string-compare against every NFA transition" into "merge two id-sorted lists"; the bitmask
-/// makes state-set closure/union constant-time. Queries whose Thompson NFA exceeds
-/// [`BITMASK_NFA_MAX_STATES`] states fall back to the naive evaluator, so the function is
-/// total and extensionally equal to [`evaluate`] — the differential property suite
-/// (`crates/graph/tests/prop_eval_indexed.rs`) pins exactly that.
+/// string-compare against every NFA transition" into "merge two id-sorted lists"; the dense
+/// masks make state-set closure/union a handful of word operations *regardless of state count*
+/// — the old single-`u64` representation's 64-state cliff (and its naive-evaluator fallback
+/// branch) is gone. The naive [`evaluate`] survives purely as the differential spec
+/// (`crates/graph/tests/prop_eval_indexed.rs` pins extensional equality).
 pub fn evaluate_indexed(
     graph: &PropertyGraph,
     index: &crate::index::GraphIndex,
     regex: &PathRegex,
 ) -> BTreeSet<(GNodeId, GNodeId)> {
+    use qbe_bitset::DenseSet;
     let nfa = Nfa::compile(regex);
     let n_states = nfa.transitions.len();
-    if n_states > BITMASK_NFA_MAX_STATES {
-        return evaluate(graph, regex);
-    }
-    // ε-closure of each single state, as a bitmask (includes the state itself).
-    let mut closure = vec![0u64; n_states];
-    for (s, mask) in closure.iter_mut().enumerate() {
+    // ε-closure of each single state, as a state mask (includes the state itself).
+    let mut closure: Vec<DenseSet<usize>> = Vec::with_capacity(n_states);
+    for s in 0..n_states {
+        let mut mask: DenseSet<usize> = DenseSet::from_ids(n_states, [s]);
         let mut stack = vec![s];
-        *mask = 1 << s;
         while let Some(cur) = stack.pop() {
             for (label, target) in &nfa.transitions[cur] {
-                if label.is_none() && *mask & (1 << target) == 0 {
-                    *mask |= 1 << target;
+                if label.is_none() && mask.insert(*target) {
                     stack.push(*target);
                 }
             }
         }
+        closure.push(mask);
     }
     // trans[label id][state] = ε-closed mask of states reachable by consuming that label.
-    let mut trans = vec![vec![0u64; n_states]; index.label_count()];
+    let empty_mask: DenseSet<usize> = DenseSet::new(n_states);
+    let mut trans = vec![vec![empty_mask.clone(); n_states]; index.label_count()];
     for (s, edges) in nfa.transitions.iter().enumerate() {
         for (label, target) in edges {
             let Some(label) = label else { continue };
             // NFA labels absent from the graph can never fire.
             if let Some(lid) = index.label_id(label) {
-                trans[lid as usize][s] |= closure[*target];
+                trans[lid as usize][s].or_with(&closure[*target]);
             }
         }
     }
-    let accept_bit = 1u64 << nfa.accept;
-    let start_mask = closure[nfa.start];
+    let start_mask = closure[nfa.start].clone();
     let mut out = BTreeSet::new();
     // Per-node union of every NFA state-set mask already explored from the current start.
     // Mask propagation is monotone (`next(m₁ ∪ m₂) = next(m₁) ∪ next(m₂)`, and a mask that
     // dies stays dead), so a frontier mask covered by the union cannot reach anything its
     // covering explorations do not — subset states are pruned without loss. This replaces the
     // exact `(node, mask)` visited set, whose distinct-mask blowup was the BFS's worst case.
-    let mut seen: Vec<u64> = vec![0; graph.node_count()];
-    let mut queue: VecDeque<(GNodeId, u64)> = VecDeque::new();
+    let mut seen: Vec<DenseSet<usize>> = vec![empty_mask.clone(); graph.node_count()];
+    let mut queue: VecDeque<(GNodeId, DenseSet<usize>)> = VecDeque::new();
+    let mut next_mask = empty_mask.clone();
     for start in graph.node_ids() {
-        seen.fill(0);
+        for mask in &mut seen {
+            mask.clear();
+        }
         queue.clear();
-        queue.push_back((start, start_mask));
+        queue.push_back((start, start_mask.clone()));
         while let Some((node, mask)) = queue.pop_front() {
-            let prior = seen[node.0 as usize];
-            if mask & !prior == 0 {
+            let prior = &mut seen[node.0 as usize];
+            if mask.is_subset(prior) {
                 continue; // covered by earlier explorations from this start
             }
-            seen[node.0 as usize] = prior | mask;
-            if mask & accept_bit != 0 {
+            prior.or_with(&mask);
+            if mask.contains(nfa.accept) {
                 out.insert((start, node));
             }
             // Transition once per distinct label; the successor bitset enqueues each distinct
             // target once (parallel edges collapsed by the index).
             for (lid, targets) in index.successor_bits(node) {
-                let mut next_mask = 0u64;
-                let mut bits = mask;
-                while bits != 0 {
-                    let s = bits.trailing_zeros() as usize;
-                    next_mask |= trans[*lid as usize][s];
-                    bits &= bits - 1;
+                next_mask.clear();
+                for s in mask.iter() {
+                    next_mask.or_with(&trans[*lid as usize][s]);
                 }
-                if next_mask != 0 {
+                if !next_mask.is_empty() {
                     for target in targets.iter() {
-                        queue.push_back((target, next_mask));
+                        queue.push_back((target, next_mask.clone()));
                     }
                 }
             }
@@ -570,28 +562,30 @@ mod tests {
     }
 
     #[test]
-    fn bitmask_threshold_boundary_exercises_both_paths() {
-        // The Thompson construction gives a concatenation of k labels k+1 states (start,
-        // accept, k-1 intermediates), so k = 63 lands exactly on the bitmask limit and k = 64
-        // is the first query forced onto the naive fallback.
-        let at_limit = PathRegex::Concat(vec![PathRegex::label("road"); 63]);
-        let over_limit = PathRegex::Concat(vec![PathRegex::label("road"); 64]);
-        assert_eq!(thompson_state_count(&at_limit), BITMASK_NFA_MAX_STATES);
-        assert_eq!(
-            thompson_state_count(&over_limit),
-            BITMASK_NFA_MAX_STATES + 1
-        );
+    fn large_automata_stay_on_the_indexed_path() {
+        // The Thompson construction gives a concatenation of k labels k+1 states, so these
+        // queries straddle what used to be the single-u64 bitmask cliff at 64 states. With
+        // multi-word masks there is no cliff: the indexed evaluator handles all of them and
+        // must agree with the naive spec.
+        let at_old_limit = PathRegex::Concat(vec![PathRegex::label("road"); 63]);
+        let over_old_limit = PathRegex::Concat(vec![PathRegex::label("road"); 64]);
+        let far_over = PathRegex::Concat(vec![PathRegex::label("road"); 150]);
+        assert_eq!(thompson_state_count(&at_old_limit), 64);
+        assert_eq!(thompson_state_count(&over_old_limit), 65);
+        assert_eq!(thompson_state_count(&far_over), 151);
 
-        // A chain of 64 road edges: the 63-label query answers (n_i, n_{i+63}), the 64-label
-        // query answers exactly (n_0, n_64). Both sides of the threshold must agree with the
-        // naive evaluator and be non-trivial.
+        // A chain of 160 road edges: a k-label query answers the (n_i, n_{i+k}) pairs.
         let mut g = PropertyGraph::new();
-        let nodes: Vec<GNodeId> = (0..65).map(|_| g.add_node("city")).collect();
+        let nodes: Vec<GNodeId> = (0..161).map(|_| g.add_node("city")).collect();
         for w in nodes.windows(2) {
             g.add_edge(w[0], w[1], "road");
         }
         let ix = crate::index::GraphIndex::build(&g);
-        for (regex, expected_pairs) in [(&at_limit, 2), (&over_limit, 1)] {
+        for (regex, expected_pairs) in [
+            (&at_old_limit, 161 - 63),
+            (&over_old_limit, 161 - 64),
+            (&far_over, 161 - 150),
+        ] {
             let naive = evaluate(&g, regex);
             assert_eq!(naive.len(), expected_pairs);
             assert_eq!(evaluate_indexed(&g, &ix, regex), naive);

@@ -7,12 +7,14 @@
 //! exactly what the loopback integration tests, the `server_throughput` bench and the binary's
 //! `--smoke` mode need. A real deployment replaces this layer with a human.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+use qbe_core::algebra::{ConjQuery, EvalCache, PathAtom, QueryStore, Term as AlgTerm};
+use qbe_core::graph::{eval_conj_tuples, eval_expr_pairs, GNodeId, QueryClass};
 use qbe_core::twig::interactive::{GoalNodeOracle, NodeOracle};
 use qbe_core::twig::parse_xpath;
 use qbe_core::xml::NodeId;
@@ -268,6 +270,61 @@ pub enum Goal {
     PathRoadType(String),
     /// Join sessions: the corpus generator's reference predicate.
     Join,
+    /// Graph-query sessions (protocol ≥ 1.2): membership of `(source, target)` pairs in the
+    /// answer set of the class's demo goal query, evaluated client-side over the locally
+    /// rebuilt typed road graph (see [`demo_graph_goal_pairs`]).
+    GraphPairs(QueryClass),
+}
+
+/// The demo goal query of one class, evaluated to its answer set over the corpus's typed road
+/// graph — the hidden intent simulated graph-model clients (tests, benches, `--smoke`) answer
+/// according to. Deterministic per corpus, like [`Corpus::demo_join_goal`].
+///
+/// * `rpq` — one or more hops along the first road type (`t₀⁺`);
+/// * `2rpq` — a forward `t₀` hop then an inverse one (`t₀/t₀⁻`: pairs sharing a `t₀`-successor);
+/// * `crpq` — two cities connected by *both* a `t₀` and a `t₁` road
+///   (`π_{x,y}(x —t₀→ y ∧ x —t₁→ y)`).
+pub fn demo_graph_goal_pairs(corpus: &Corpus, class: QueryClass) -> BTreeSet<(GNodeId, GNodeId)> {
+    let alphabet = corpus.typed_graph.edge_alphabet();
+    let mut store = QueryStore::new();
+    let mut cache = EvalCache::new();
+    match class {
+        QueryClass::Rpq => {
+            let l = store.label(&alphabet[0]);
+            let goal = store.plus(l);
+            eval_expr_pairs(&corpus.typed_index, &store, &mut cache, goal)
+        }
+        QueryClass::TwoRpq => {
+            let fwd = store.label(&alphabet[0]);
+            let inv = store.inv_label(&alphabet[0]);
+            let goal = store.concat([fwd, inv]);
+            eval_expr_pairs(&corpus.typed_index, &store, &mut cache, goal)
+        }
+        QueryClass::Crpq => {
+            let (x, y) = (store.sym("x"), store.sym("y"));
+            let first = store.label(&alphabet[0]);
+            let second = store.label(&alphabet[1 % alphabet.len()]);
+            let goal = ConjQuery::new(
+                vec![
+                    PathAtom {
+                        subject: AlgTerm::Var(x),
+                        expr: first,
+                        object: AlgTerm::Var(y),
+                    },
+                    PathAtom {
+                        subject: AlgTerm::Var(x),
+                        expr: second,
+                        object: AlgTerm::Var(y),
+                    },
+                ],
+                vec![x, y],
+            );
+            eval_conj_tuples(&corpus.typed_index, &store, &mut cache, &goal)
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect()
+        }
+    }
 }
 
 /// What [`drive_goal_session`] observed.
@@ -325,15 +382,25 @@ pub fn drive_goal_session(
         Goal::Join => Some(local.demo_join_goal.clone()),
         _ => None,
     };
+    let graph_goal = match goal {
+        Goal::GraphPairs(class) => Some(demo_graph_goal_pairs(&local, *class)),
+        _ => None,
+    };
 
     let model = match goal {
         Goal::Twig(_) => Model::Twig,
         Goal::PathRoadType(_) => Model::Path,
         Goal::Join => Model::Join,
+        Goal::GraphPairs(_) => Model::Graph,
     };
     let mut client = Client::connect(addr)?;
     client.corpus(corpus)?;
-    let session_id = client.start(model, start_params)?;
+    // The goal already names the query class, so the `class=` option rides along implicitly.
+    let mut params: Vec<(&str, &str)> = start_params.to_vec();
+    if let Goal::GraphPairs(class) = goal {
+        params.push(("class", class.wire_name()));
+    }
+    let session_id = client.start(model, &params)?;
     let mut asked = 0usize;
     let (questions, consistent) = loop {
         match client.ask()? {
@@ -366,6 +433,20 @@ pub fn drive_goal_session(
                             .as_ref()
                             .expect("join goal implies predicate")
                             .satisfied_by(&local.left.tuples()[l], &local.right.tuples()[r])
+                    }
+                    Goal::GraphPairs(_) => {
+                        let get = |key: &str| {
+                            field_value(&fields, key)
+                                .and_then(|v| v.parse::<u32>().ok())
+                                .ok_or_else(|| {
+                                    ClientError::UnexpectedReply(format!("missing field {key}"))
+                                })
+                        };
+                        let (s, t) = (get("source_id")?, get("target_id")?);
+                        graph_goal
+                            .as_ref()
+                            .expect("graph goal implies an answer set")
+                            .contains(&(GNodeId(s), GNodeId(t)))
                     }
                 };
                 client.answer(positive)?;

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use qbe_core::graph::{generate_geo_graph, GeoConfig, GraphIndex, PropertyGraph};
+use qbe_core::graph::{generate_geo_graph, typed_road_view, GeoConfig, GraphIndex, PropertyGraph};
 use qbe_core::relational::{generate_join_instance, JoinInstanceConfig, JoinPredicate, Relation};
 use qbe_core::xml::xmark::corpus_by_name;
 use qbe_core::xml::{NodeIndex, XmlTree};
@@ -36,6 +36,11 @@ pub struct Corpus {
     pub graph: Arc<PropertyGraph>,
     /// Label-interned adjacency of `graph`.
     pub graph_index: Arc<GraphIndex>,
+    /// The typed road view of `graph` (edge label = road type, one direction per road) —
+    /// what `graph` model sessions (RPQ/2RPQ/CRPQ) learn over.
+    pub typed_graph: Arc<PropertyGraph>,
+    /// Label-interned adjacency of `typed_graph` (with reverse-successor bitsets for `ℓ⁻`).
+    pub typed_index: Arc<GraphIndex>,
     /// Left relation for join sessions.
     pub left: Arc<Relation>,
     /// Right relation for join sessions.
@@ -71,6 +76,8 @@ pub fn build_corpus(name: &str) -> Option<Corpus> {
         ..Default::default()
     }));
     let graph_index = Arc::new(GraphIndex::build(&graph));
+    let typed_graph = Arc::new(typed_road_view(&graph));
+    let typed_index = Arc::new(GraphIndex::build(&typed_graph));
     let (left, right, demo_join_goal) = generate_join_instance(&JoinInstanceConfig {
         left_rows: rows,
         right_rows: rows,
@@ -84,6 +91,8 @@ pub fn build_corpus(name: &str) -> Option<Corpus> {
         indexes,
         graph,
         graph_index,
+        typed_graph,
+        typed_index,
         left: Arc::new(left),
         right: Arc::new(right),
         demo_join_goal,
@@ -157,6 +166,9 @@ mod tests {
         assert!(c.graph.node_count() >= 10);
         assert!(!c.left.is_empty() && !c.right.is_empty());
         assert_eq!(c.graph_index.node_count(), c.graph.node_count());
+        assert_eq!(c.typed_graph.node_count(), c.graph.node_count());
+        assert_eq!(c.typed_graph.edge_count() * 2, c.graph.edge_count());
+        assert!(c.typed_graph.edge_alphabet().len() > 1);
     }
 
     #[test]

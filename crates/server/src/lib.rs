@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! C: HELLO
-//! S: +OK qbe-server proto=1.1 models=twig,path,join corpora=tiny,small strategies=paper-order,random,max-coverage,cheapest-first options=strategy,budget,seed
+//! S: +OK qbe-server proto=1.2 models=twig,path,join,graph classes=rpq,2rpq,crpq corpora=tiny,small strategies=paper-order,random,max-coverage,cheapest-first options=strategy,budget,seed,class
 //! C: CORPUS tiny
 //! S: +OK corpus name=tiny docs=1 xml_nodes=331 graph_nodes=10 tuples=12x12
 //! C: START twig strategy=label-affinity budget=40 seed=7
@@ -47,7 +47,8 @@ pub mod registry;
 pub mod server;
 
 pub use client::{
-    drive_goal_session, local_corpus, local_corpus_builds, AskReply, Client, ClientError, Goal,
+    demo_graph_goal_pairs, drive_goal_session, local_corpus, local_corpus_builds, AskReply, Client,
+    ClientError, Goal,
 };
 pub use corpus::{build_corpus, Corpus, CorpusStore, CORPUS_NAMES};
 pub use protocol::{parse_command, Command, Model, ParseError, MAX_LINE_BYTES};

@@ -24,6 +24,9 @@ pub enum Model {
     Path,
     /// Equi-join predicates over the corpus's relation pair.
     Join,
+    /// RPQ / 2RPQ / CRPQ queries over the corpus's typed road graph (the `class=` parameter
+    /// picks the query class; protocol ≥ 1.2).
+    Graph,
 }
 
 impl Model {
@@ -33,6 +36,7 @@ impl Model {
             Model::Twig => "twig",
             Model::Path => "path",
             Model::Join => "join",
+            Model::Graph => "graph",
         }
     }
 
@@ -42,6 +46,7 @@ impl Model {
             "twig" => Some(Model::Twig),
             "path" => Some(Model::Path),
             "join" => Some(Model::Join),
+            "graph" => Some(Model::Graph),
             _ => None,
         }
     }
@@ -60,7 +65,7 @@ pub enum Command {
     Hello,
     /// `CORPUS <name>` — attach the connection to a named shared corpus.
     Corpus(String),
-    /// `START <twig|path|join> [key=value ...]` — open a learning session.
+    /// `START <twig|path|join|graph> [key=value ...]` — open a learning session.
     Start {
         /// The learner to open.
         model: Model,
@@ -149,13 +154,13 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
         "START" => {
             let [model, params @ ..] = rest.as_slice() else {
                 return Err(ParseError::BadArguments(
-                    "START takes a model (twig|path|join) and optional key=value parameters"
+                    "START takes a model (twig|path|join|graph) and optional key=value parameters"
                         .to_string(),
                 ));
             };
             let model = Model::parse(model).ok_or_else(|| {
                 ParseError::BadArguments(format!(
-                    "unknown model {model:?}, expected twig|path|join"
+                    "unknown model {model:?}, expected twig|path|join|graph"
                 ))
             })?;
             let mut params = parse_fields(params)?;
@@ -248,6 +253,13 @@ mod tests {
             Ok(Command::Start {
                 model: Model::Join,
                 params: vec![],
+            })
+        );
+        assert_eq!(
+            parse_command("START graph CLASS=2rpq"),
+            Ok(Command::Start {
+                model: Model::Graph,
+                params: vec![("class".to_string(), "2rpq".to_string())],
             })
         );
     }

@@ -25,11 +25,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use qbe_core::graph::PathStrategy;
+use qbe_core::graph::{PathStrategy, QueryClass};
 use qbe_core::relational::Strategy;
 use qbe_core::session::InteractiveLearner;
 use qbe_core::twig::NodeStrategy;
-use qbe_core::{JoinInteractive, PathInteractive, SessionConfig, TwigInteractive, STRATEGY_NAMES};
+use qbe_core::{
+    GraphQueryInteractive, JoinInteractive, PathInteractive, SessionConfig, TwigInteractive,
+    STRATEGY_NAMES,
+};
 
 use crate::corpus::{Corpus, CorpusStore, CORPUS_NAMES};
 use crate::protocol::{parse_command, render_fields, Command, Model, MAX_LINE_BYTES};
@@ -358,7 +361,7 @@ fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
     };
     let reply = match command {
         Command::Hello => format!(
-            "+OK qbe-server proto=1.1 models=twig,path,join corpora={} strategies={} options=strategy,budget,seed",
+            "+OK qbe-server proto=1.2 models=twig,path,join,graph classes=rpq,2rpq,crpq corpora={} strategies={} options=strategy,budget,seed,class",
             CORPUS_NAMES.join(","),
             STRATEGY_NAMES.join(","),
         ),
@@ -600,6 +603,19 @@ fn build_learner(
                 config,
             )))
         }
+        Model::Graph => {
+            let config = session_config(params, "halving", |_, _| None)?;
+            let class = match param(params, "class") {
+                None => QueryClass::Rpq,
+                Some(name) => QueryClass::parse(name)
+                    .ok_or_else(|| format!("unknown class {name:?}, expected rpq|2rpq|crpq"))?,
+            };
+            Ok(Box::new(GraphQueryInteractive::with_config(
+                corpus.typed_graph.clone(),
+                class,
+                config,
+            )))
+        }
     }
 }
 
@@ -666,5 +682,15 @@ mod tests {
         );
         let ok = build_learner(&corpus, Model::Path, &[("to".into(), "city3".into())]).unwrap();
         assert_eq!(ok.kind(), "path");
+        let graph =
+            build_learner(&corpus, Model::Graph, &[("class".into(), "2rpq".into())]).unwrap();
+        assert_eq!(graph.kind(), "graph");
+        assert!(
+            build_learner(&corpus, Model::Graph, &[]).is_ok(),
+            "class defaults to rpq"
+        );
+        assert!(
+            build_learner(&corpus, Model::Graph, &[("class".into(), "sparql".into())]).is_err()
+        );
     }
 }

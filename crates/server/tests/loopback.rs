@@ -159,16 +159,77 @@ fn all_three_models_learn_over_the_wire() {
 }
 
 #[test]
+fn graph_sessions_converge_for_every_query_class_over_the_wire() {
+    use qbe_core::graph::QueryClass;
+    use qbe_server::client::demo_graph_goal_pairs;
+
+    let handle = test_server();
+    let addr = handle.addr();
+
+    // The ISSUE's acceptance criterion for the serving layer of the algebra work: 2RPQ and
+    // conjunctive (CRPQ) sessions — plus plain RPQ — converge end-to-end through protocol
+    // v1.2, with the client acting as its own oracle over the locally rebuilt typed view.
+    let corpus = qbe_server::local_corpus("tiny").expect("tiny is a known corpus");
+    for class in QueryClass::ALL {
+        let goal = demo_graph_goal_pairs(&corpus, class);
+        assert!(
+            !goal.is_empty(),
+            "{}: demo goal selects pairs",
+            class.wire_name()
+        );
+        let outcome = drive_goal_session(addr, "tiny", &Goal::GraphPairs(class), &[("seed", "7")])
+            .unwrap_or_else(|e| panic!("{}: session runs to completion: {e}", class.wire_name()));
+        assert!(
+            outcome.consistent,
+            "{}: labels stayed consistent",
+            class.wire_name()
+        );
+        assert!(outcome.questions > 0, "{}", class.wire_name());
+        assert_eq!(
+            outcome.answer_set_size,
+            goal.len(),
+            "{}: EVAL matches the goal's answer set ({})",
+            class.wire_name(),
+            outcome.hypothesis
+        );
+        assert!(
+            !outcome.hypothesis.is_empty(),
+            "{}: a hypothesis is rendered",
+            class.wire_name()
+        );
+    }
+
+    // The 2RPQ demo goal is genuinely two-way: it uses an inverse label, which only the
+    // typed view + reverse-successor bitsets can answer.
+    let two_way = demo_graph_goal_pairs(&corpus, QueryClass::TwoRpq);
+    assert!(
+        two_way.iter().any(|(s, t)| s == t),
+        "ℓ·ℓ⁻ admits round trips back to the source"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metric(&metrics, "sessions"), "3");
+    assert_eq!(metric(&metrics, "ok"), "3");
+
+    handle.shutdown();
+}
+
+#[test]
 fn hello_advertises_strategy_capabilities() {
     let handle = test_server();
     let mut client = Client::connect(handle.addr()).unwrap();
     let hello = client.hello().unwrap();
-    assert!(hello.contains("proto=1.1"), "{hello}");
-    assert!(hello.contains("models=twig,path,join"), "{hello}");
+    assert!(hello.contains("proto=1.2"), "{hello}");
+    assert!(hello.contains("models=twig,path,join,graph"), "{hello}");
+    assert!(hello.contains("classes=rpq,2rpq,crpq"), "{hello}");
     for name in qbe_core::STRATEGY_NAMES {
         assert!(hello.contains(name), "{hello} misses strategy {name}");
     }
-    assert!(hello.contains("options=strategy,budget,seed"), "{hello}");
+    assert!(
+        hello.contains("options=strategy,budget,seed,class"),
+        "{hello}"
+    );
     handle.shutdown();
 }
 
