@@ -339,6 +339,23 @@ pub fn percentile_sorted(sorted: &[usize], p: f64) -> Option<usize> {
     Some(sorted[rank.saturating_sub(1)])
 }
 
+/// Nearest-rank percentile of a sequence of durations (`None` when empty) — the latency
+/// twin of [`percentile`], for serving-layer round-trip measurements where the samples are
+/// wall-clock times rather than question counts.
+pub fn duration_percentile(
+    values: impl IntoIterator<Item = std::time::Duration>,
+    p: f64,
+) -> Option<std::time::Duration> {
+    let mut sorted: Vec<std::time::Duration> = values.into_iter().collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +386,16 @@ mod tests {
         assert_eq!(percentile(v, 0.0), Some(15));
         assert_eq!(percentile(Vec::new(), 50.0), None);
         assert_eq!(percentile(vec![7], 99.0), Some(7));
+    }
+
+    #[test]
+    fn duration_percentile_matches_the_count_percentile() {
+        let ms = Duration::from_millis;
+        let v = vec![ms(15), ms(50), ms(35), ms(20), ms(40)]; // unsorted on purpose
+        assert_eq!(duration_percentile(v.clone(), 50.0), Some(ms(35)));
+        assert_eq!(duration_percentile(v.clone(), 95.0), Some(ms(50)));
+        assert_eq!(duration_percentile(v, 0.0), Some(ms(15)));
+        assert_eq!(duration_percentile(Vec::new(), 50.0), None);
     }
 
     #[test]

@@ -3,13 +3,61 @@
 //!
 //! Two modes:
 //!
-//! * `qbe-server [--addr HOST:PORT]` — serve until killed (default `127.0.0.1:7878`);
+//! * `qbe-server [--addr HOST:PORT] [--engine event|blocking] [--workers N]
+//!   [--max-connections N] [--rate-limit BURST/PER_SEC]` — serve until killed (default
+//!   `127.0.0.1:7878`, event engine);
 //! * `qbe-server --smoke` — self-check: bind an ephemeral port, run one simulated client
-//!   session per model over loopback, print the learned queries and the `METRICS` line, shut
-//!   down, exit 0. This is what CI runs on every push.
+//!   session per model over loopback on the default (event) engine, cross-check one session
+//!   on the blocking engine, print the learned queries and the `METRICS` line, shut down,
+//!   exit 0. This is what CI runs on every push.
 
 use crate::client::{drive_goal_session, Client, Goal};
-use crate::server::{spawn, ServerConfig};
+use crate::server::{spawn, Engine, RateLimit, ServerConfig};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|ix| args.get(ix + 1))
+}
+
+/// Parse the serving flags shared by the serve-forever mode (and, for the config shape, the
+/// bench harness): returns the config or an error message naming the bad flag.
+fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: flag_value(args, "--addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        ..Default::default()
+    };
+    if let Some(name) = flag_value(args, "--engine") {
+        config.engine = Engine::parse(name)
+            .ok_or_else(|| format!("--engine must be event|blocking, got {name:?}"))?;
+    }
+    if let Some(n) = flag_value(args, "--workers") {
+        config.workers = n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--workers must be a positive integer, got {n:?}"))?;
+    }
+    if let Some(n) = flag_value(args, "--max-connections") {
+        config.max_connections =
+            n.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("--max-connections must be a positive integer, got {n:?}")
+            })?;
+    }
+    if let Some(spec) = flag_value(args, "--rate-limit") {
+        let (burst, per_sec) = spec
+            .split_once('/')
+            .and_then(|(b, r)| Some((b.parse::<u32>().ok()?, r.parse::<f64>().ok()?)))
+            .filter(|&(b, r)| b > 0 && r > 0.0)
+            .ok_or_else(|| {
+                format!("--rate-limit must be BURST/PER_SEC (e.g. 20/5), got {spec:?}")
+            })?;
+        config.rate_limit = Some(RateLimit { burst, per_sec });
+    }
+    Ok(config)
+}
 
 /// Run the CLI. Returns the process exit code.
 pub fn run(args: impl Iterator<Item = String>) -> i32 {
@@ -19,16 +67,16 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
     if smoke {
         return run_smoke();
     }
-    let addr = args
-        .iter()
-        .position(|a| a == "--addr")
-        .and_then(|ix| args.get(ix + 1))
-        .cloned()
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let handle = match spawn(ServerConfig {
-        addr: addr.clone(),
-        ..Default::default()
-    }) {
+    let config = match parse_config(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("qbe-server: {msg}");
+            return 1;
+        }
+    };
+    let addr = config.addr.clone();
+    let engine = config.engine;
+    let handle = match spawn(config) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("qbe-server: cannot bind {addr}: {e}");
@@ -36,8 +84,9 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
         }
     };
     println!(
-        "qbe-server listening on {} (models twig,path,join; corpora {})",
+        "qbe-server listening on {} (engine {}; models twig,path,join; corpora {})",
         handle.addr(),
+        engine.name(),
         crate::corpus::CORPUS_NAMES.join(",")
     );
     handle.join();
@@ -53,7 +102,7 @@ fn run_smoke() -> i32 {
         }
     };
     let addr = handle.addr();
-    println!("qbe-server --smoke on {addr}");
+    println!("qbe-server --smoke on {addr} (event engine)");
     println!(
         "{:<28} {:>10} {:>12} {:>6}  learned",
         "session", "questions", "answer-set", "ok"
@@ -111,11 +160,90 @@ fn run_smoke() -> i32 {
         }
     }
     handle.shutdown();
+
+    // The blocking engine is the executable spec: one session must still converge on it.
+    match spawn(ServerConfig {
+        engine: Engine::Blocking,
+        ..Default::default()
+    }) {
+        Ok(blocking) => {
+            match drive_goal_session(
+                blocking.addr(),
+                "tiny",
+                &Goal::Twig("//person/name".to_string()),
+                &[("seed", "7")],
+            ) {
+                Ok(outcome) if outcome.consistent => {
+                    println!("blocking-engine cross-check ok ({})", outcome.hypothesis);
+                }
+                Ok(outcome) => {
+                    eprintln!(
+                        "blocking-engine session inconsistent: {}",
+                        outcome.hypothesis
+                    );
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("blocking-engine session failed: {e}");
+                    failures += 1;
+                }
+            }
+            blocking.shutdown();
+        }
+        Err(e) => {
+            eprintln!("qbe-server --smoke: cannot bind blocking engine: {e}");
+            failures += 1;
+        }
+    }
+
     if failures == 0 {
-        println!("smoke ok: 3 sessions learned over loopback");
+        println!("smoke ok: sessions learned over loopback on both engines");
         0
     } else {
         eprintln!("smoke failed: {failures} problem(s)");
         1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serving_flags_parse_and_reject_loudly() {
+        let config = parse_config(&strs(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--engine",
+            "blocking",
+            "--workers",
+            "3",
+            "--max-connections",
+            "500",
+            "--rate-limit",
+            "20/5",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:9000");
+        assert_eq!(config.engine, Engine::Blocking);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.max_connections, 500);
+        let limit = config.rate_limit.unwrap();
+        assert_eq!(limit.burst, 20);
+        assert_eq!(limit.per_sec, 5.0);
+
+        // Defaults: event engine, no rate limit.
+        let defaults = parse_config(&strs(&[])).unwrap();
+        assert_eq!(defaults.engine, Engine::Event);
+        assert!(defaults.rate_limit.is_none());
+
+        assert!(parse_config(&strs(&["--engine", "fibers"])).is_err());
+        assert!(parse_config(&strs(&["--workers", "0"])).is_err());
+        assert!(parse_config(&strs(&["--rate-limit", "20"])).is_err());
+        assert!(parse_config(&strs(&["--rate-limit", "0/5"])).is_err());
     }
 }

@@ -5,9 +5,12 @@
 //! corpora ([`qbe_core::xml::NodeIndex`], [`qbe_core::graph::GraphIndex`]), interactive
 //! learners for all three data models, a common session trait
 //! ([`qbe_core::session::InteractiveLearner`]). This crate is the missing serving layer: a
-//! thread-per-connection TCP service speaking a hand-rolled line protocol (no registry access,
-//! hence no serde), multiplexing many users' learning sessions over corpora that are built
-//! once and shared behind `Arc`s.
+//! TCP service speaking a hand-rolled line protocol (no registry access, hence no serde),
+//! multiplexing many users' learning sessions over corpora that are built once and shared
+//! behind `Arc`s. Two engines serve the identical protocol: the default event-driven one (an
+//! epoll/poll readiness loop in a single reactor thread plus a fixed worker pool — 10k+
+//! concurrent connections on commodity fd limits) and the original thread-per-connection
+//! engine, kept behind [`server::Engine::Blocking`] as the executable specification.
 //!
 //! A session, over the wire:
 //!
@@ -42,9 +45,12 @@
 pub mod cli;
 pub mod client;
 pub mod corpus;
+pub mod poll;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 pub mod server;
+mod workers;
 
 pub use client::{
     demo_graph_goal_pairs, drive_goal_session, local_corpus, local_corpus_builds, AskReply, Client,
@@ -53,4 +59,4 @@ pub use client::{
 pub use corpus::{build_corpus, Corpus, CorpusStore, CORPUS_NAMES};
 pub use protocol::{parse_command, Command, Model, ParseError, MAX_LINE_BYTES};
 pub use registry::{ServiceMetrics, SessionRegistry};
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use server::{spawn, Engine, RateLimit, ServerConfig, ServerHandle};

@@ -76,6 +76,12 @@ pub struct ServiceMetrics {
     pub total_wall: Duration,
     /// Registry uptime (the throughput denominator).
     pub uptime: Duration,
+    /// Connections rejected at accept time (server at capacity).
+    pub rejected: u64,
+    /// Connections closed for missing the per-line deadline (idle or trickling).
+    pub timeouts: u64,
+    /// Requests shed by rate limiting or queue-depth load shedding.
+    pub shed: u64,
 }
 
 impl ServiceMetrics {
@@ -105,6 +111,11 @@ pub struct SessionRegistry {
     next_id: AtomicU64,
     completed: Mutex<CompletedLog>,
     opened: Instant,
+    // Service-health counters, bumped lock-free from the accept path / reactor so counting a
+    // rejection can never contend with the sessions it protects.
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl Default for SessionRegistry {
@@ -121,7 +132,25 @@ impl SessionRegistry {
             next_id: AtomicU64::new(1),
             completed: Mutex::new(CompletedLog::default()),
             opened: Instant::now(),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
+    }
+
+    /// Count a connection rejected at accept time (server at capacity).
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection closed for missing its per-line deadline.
+    pub fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request shed by rate limiting or load shedding.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Entry>> {
@@ -218,6 +247,9 @@ impl SessionRegistry {
             p95_questions: percentile_sorted(&log.sorted_questions, 95.0),
             total_wall: log.total_wall,
             uptime: self.opened.elapsed().max(Duration::from_micros(1)),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -285,6 +317,22 @@ mod tests {
         assert_eq!(metrics.p50_questions, Some(per_session));
         assert_eq!(metrics.p95_questions, Some(per_session));
         assert_eq!(metrics.mean_questions(), Some(per_session as f64));
+    }
+
+    #[test]
+    fn health_counters_accumulate_independently_of_sessions() {
+        let reg = SessionRegistry::new();
+        reg.note_rejected();
+        reg.note_rejected();
+        reg.note_timeout();
+        reg.note_shed();
+        reg.note_shed();
+        reg.note_shed();
+        let metrics = reg.metrics();
+        assert_eq!(metrics.rejected, 2);
+        assert_eq!(metrics.timeouts, 1);
+        assert_eq!(metrics.shed, 3);
+        assert_eq!(metrics.sessions, 0, "counters are not sessions");
     }
 
     #[test]

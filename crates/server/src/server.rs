@@ -1,20 +1,29 @@
-//! The TCP service: thread-per-connection over `std::net`, one [`SessionRegistry`] and one
-//! [`CorpusStore`] shared by all connections.
+//! The TCP service: two engines over one [`SessionRegistry`] and one [`CorpusStore`].
 //!
-//! Concurrency model (the oxigraph-style "thin wire layer over shared storage" shape):
+//! * [`Engine::Event`] (the default) — a nonblocking readiness loop (the private
+//!   `reactor` module) owns every socket and its buffers, and a small fixed worker pool
+//!   (the `workers` module) executes session steps, so ten thousand idle connections cost
+//!   ten thousand fds and *zero* threads, and one slow session step never pins an OS thread
+//!   per connection.
+//! * [`Engine::Blocking`] — the original thread-per-connection service, retained as the
+//!   executable specification of the protocol behaviour (the differential loopback test runs
+//!   the same transcript against both engines and compares replies byte for byte).
 //!
-//! * the **accept loop** runs on its own thread and applies the backpressure gate — beyond
-//!   [`ServerConfig::max_connections`] live connections, a new client is greeted with
-//!   `-ERR server at capacity` and closed immediately, so overload degrades crisply instead of
-//!   queueing unboundedly;
-//! * each **connection thread** owns its socket and per-connection state (attached corpus,
-//!   open session id); everything cross-connection lives behind the registry's shard mutexes
-//!   or the corpus cache mutex;
-//! * **framing** is one bounded line per request ([`read_line_bounded`]): a line longer than
-//!   [`crate::protocol::MAX_LINE_BYTES`] or an idle socket
-//!   (`read_timeout`) terminates the connection with an explanatory `-ERR`;
-//! * **graceful shutdown** ([`ServerHandle::shutdown`]) stops the accept loop, shuts down
-//!   every live socket (which wakes any blocked read), joins all threads, and reports
+//! Both engines share this module's protocol core: `ProtoState` (per-connection corpus +
+//! session), `respond` (one request line → one reply line), [`read_line_bounded`] framing,
+//! and the accept-error classification ([`classify_accept_error`], [`AcceptBackoff`]) that
+//! keeps a failing `accept(2)` — EMFILE fd exhaustion, aborted handshakes — from busy-spinning
+//! the accept path at 100% CPU.
+//!
+//! Connection-handling guarantees (each one a regression test in `tests/`):
+//!
+//! * **total per-line deadline** — a client trickling one byte per `read_timeout − ε` cannot
+//!   hold a connection forever: the deadline covers the *whole line*, not one `read` call;
+//! * **nonblocking capacity rejection** — the at-capacity `-ERR` is written best-effort on a
+//!   nonblocking socket, so a rejected client that never reads cannot stall later accepts;
+//! * **bounded framing** — a line longer than [`crate::protocol::MAX_LINE_BYTES`] terminates
+//!   the connection with an explanatory `-ERR`;
+//! * **graceful shutdown** ([`ServerHandle::shutdown`]) quiesces either engine and reports
 //!   still-open sessions as abandoned in the metrics.
 
 use std::collections::HashMap;
@@ -23,7 +32,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qbe_core::graph::{PathStrategy, QueryClass};
 use qbe_core::relational::Strategy;
@@ -38,6 +47,46 @@ use crate::corpus::{Corpus, CorpusStore, CORPUS_NAMES};
 use crate::protocol::{parse_command, render_fields, Command, Model, MAX_LINE_BYTES};
 use crate::registry::SessionRegistry;
 
+/// Which serving engine [`spawn`] starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Nonblocking readiness loop + worker pool (the default).
+    Event,
+    /// Thread-per-connection over blocking `std::net` — the executable spec.
+    Blocking,
+}
+
+impl Engine {
+    /// Canonical lower-case name (the `--engine` CLI vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Event => "event",
+            Engine::Blocking => "blocking",
+        }
+    }
+
+    /// Parse an engine name.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "event" => Some(Engine::Event),
+            "blocking" => Some(Engine::Blocking),
+            _ => None,
+        }
+    }
+}
+
+/// Per-session token-bucket rate limit (event engine): a session may burst `burst` sheddable
+/// requests, then is refilled at `per_sec` tokens per second. `ASK`/`EVAL` consume a token
+/// each; `ANSWER`/`QUIT` (and the other control commands) always pass, so a throttled client
+/// can still finish what it started — shedding happens on the expensive, retryable requests.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimit {
+    /// Bucket capacity: sheddable requests a session may issue back-to-back.
+    pub burst: u32,
+    /// Refill rate, tokens per second.
+    pub per_sec: f64,
+}
+
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -45,10 +94,22 @@ pub struct ServerConfig {
     pub addr: String,
     /// Live-connection cap; connections beyond it are rejected at accept time.
     pub max_connections: usize,
-    /// Idle cap on one read: a connection that stays silent this long is closed.
+    /// Total deadline for one request line: a connection that has not completed a line this
+    /// long after its previous one is closed — trickling bytes does *not* extend it.
     pub read_timeout: Duration,
-    /// Cap on one blocking write.
+    /// Cap on one blocking write (blocking engine) / on flushing a pending reply (event
+    /// engine, via the per-line deadline).
     pub write_timeout: Duration,
+    /// Which engine serves connections.
+    pub engine: Engine,
+    /// Worker threads executing session steps (event engine only).
+    pub workers: usize,
+    /// Per-session rate limit (event engine only); `None` disables throttling.
+    pub rate_limit: Option<RateLimit>,
+    /// Load-shedding threshold (event engine only): when this many requests are already
+    /// queued for the worker pool, `ASK`/`EVAL` are shed with a retryable `-ERR` instead of
+    /// queueing behind them. `ANSWER`/`QUIT` always pass.
+    pub shed_queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,14 +119,35 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            engine: Engine::Event,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().clamp(2, 8))
+                .unwrap_or(2),
+            rate_limit: None,
+            shed_queue_depth: 1024,
+        }
+    }
+}
+
+/// Everything the protocol core needs to answer a request line, shared by both engines and
+/// every worker thread.
+pub(crate) struct Service {
+    pub(crate) registry: SessionRegistry,
+    pub(crate) store: CorpusStore,
+}
+
+impl Service {
+    pub(crate) fn new() -> Service {
+        Service {
+            registry: SessionRegistry::new(),
+            store: CorpusStore::new(),
         }
     }
 }
 
 struct Shared {
     config: ServerConfig,
-    registry: SessionRegistry,
-    store: CorpusStore,
+    service: Arc<Service>,
     shutdown: AtomicBool,
     active: AtomicUsize,
     /// One socket clone per live connection, so shutdown can wake blocked reads.
@@ -75,15 +157,22 @@ struct Shared {
     next_conn: AtomicU64,
 }
 
-/// A running server; dropping it without calling [`shutdown`](Self::shutdown) leaves the
-/// threads serving until the process exits (what the standalone binary wants).
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+enum EngineHandle {
+    Blocking {
+        shared: Arc<Shared>,
+        accept_thread: Option<JoinHandle<()>>,
+    },
+    Event(crate::reactor::ReactorHandle),
 }
 
-/// Bind and start serving. Returns as soon as the listener is live.
+/// A running server; dropping it without calling [`shutdown`](Self::shutdown) leaves the
+/// engine serving until the process exits (what the standalone binary wants).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: EngineHandle,
+}
+
+/// Bind and start serving with the configured engine. Returns as soon as the listener is live.
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener =
         TcpListener::bind(
@@ -92,25 +181,29 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
             })?,
         )?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(Shared {
-        config,
-        registry: SessionRegistry::new(),
-        store: CorpusStore::new(),
-        shutdown: AtomicBool::new(false),
-        active: AtomicUsize::new(0),
-        live_streams: Mutex::new(HashMap::new()),
-        conn_threads: Mutex::new(Vec::new()),
-        next_conn: AtomicU64::new(1),
-    });
-    let accept_shared = shared.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name("qbe-server-accept".to_string())
-        .spawn(move || accept_loop(listener, accept_shared))?;
-    Ok(ServerHandle {
-        addr,
-        shared,
-        accept_thread: Some(accept_thread),
-    })
+    let engine = match config.engine {
+        Engine::Event => EngineHandle::Event(crate::reactor::spawn_reactor(listener, config)?),
+        Engine::Blocking => {
+            let shared = Arc::new(Shared {
+                config,
+                service: Arc::new(Service::new()),
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                live_streams: Mutex::new(HashMap::new()),
+                conn_threads: Mutex::new(Vec::new()),
+                next_conn: AtomicU64::new(1),
+            });
+            let accept_shared = shared.clone();
+            let accept_thread = std::thread::Builder::new()
+                .name("qbe-server-accept".to_string())
+                .spawn(move || accept_loop(listener, accept_shared))?;
+            EngineHandle::Blocking {
+                shared,
+                accept_thread: Some(accept_thread),
+            }
+        }
+    };
+    Ok(ServerHandle { addr, engine })
 }
 
 impl ServerHandle {
@@ -119,62 +212,168 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Number of live connections.
+    /// Number of live (admitted) connections.
     pub fn active_connections(&self) -> usize {
-        self.shared.active.load(Ordering::SeqCst)
-    }
-
-    /// Stop accepting, wake and join every connection thread, and return once the server is
-    /// fully quiesced. Open sessions are reported as abandoned.
-    pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection; it checks the flag first thing.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Wake every connection blocked in a read.
-        for (_, stream) in self
-            .shared
-            .live_streams
-            .lock()
-            .expect("stream map lock never poisoned")
-            .drain()
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        let threads: Vec<JoinHandle<()>> = std::mem::take(
-            &mut *self
-                .shared
-                .conn_threads
-                .lock()
-                .expect("thread list lock never poisoned"),
-        );
-        for t in threads {
-            let _ = t.join();
+        match &self.engine {
+            EngineHandle::Blocking { shared, .. } => shared.active.load(Ordering::SeqCst),
+            EngineHandle::Event(h) => h.active_connections(),
         }
     }
 
-    /// Block until the accept loop exits (the standalone binary's serve-forever mode).
-    pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+    /// Stop accepting, wake and join everything, and return once the server is fully
+    /// quiesced. Open sessions are reported as abandoned.
+    pub fn shutdown(self) {
+        match self.engine {
+            EngineHandle::Blocking {
+                shared,
+                mut accept_thread,
+            } => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop with a throwaway connection; it checks the flag
+                // first thing.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                // Wake every connection blocked in a read.
+                for (_, stream) in shared
+                    .live_streams
+                    .lock()
+                    .expect("stream map lock never poisoned")
+                    .drain()
+                {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+                let threads: Vec<JoinHandle<()>> = std::mem::take(
+                    &mut *shared
+                        .conn_threads
+                        .lock()
+                        .expect("thread list lock never poisoned"),
+                );
+                for t in threads {
+                    let _ = t.join();
+                }
+            }
+            EngineHandle::Event(mut h) => h.shutdown(),
+        }
+    }
+
+    /// Block until the engine exits (the standalone binary's serve-forever mode).
+    pub fn join(self) {
+        match self.engine {
+            EngineHandle::Blocking {
+                mut accept_thread, ..
+            } => {
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            EngineHandle::Event(mut h) => h.join(),
         }
     }
 }
 
+/// How an `accept(2)` failure should be handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptError {
+    /// Back off briefly and retry: resource pressure (EMFILE/ENFILE/ENOBUFS/ENOMEM), an
+    /// aborted handshake, or an interrupting signal. Retrying immediately would spin.
+    Transient,
+    /// The listener itself is broken (EBADF/EINVAL/ENOTSOCK); accepting again can never
+    /// succeed, so the accept path should stop.
+    Fatal,
+}
+
+/// Classify an `accept` error. Unknown errors are treated as transient — with backoff that
+/// is always safe, whereas misclassifying EMFILE as fatal would kill the listener exactly
+/// when load is highest.
+pub fn classify_accept_error(e: &io::Error) -> AcceptError {
+    // EBADF(9), EINVAL(22), ENOTSOCK(88/95 dep. platform), EOPNOTSUPP: the listener fd is
+    // gone or was never a listener; no amount of retrying helps.
+    const FATAL: &[i32] = &[9, 22, 88, 95];
+    match e.raw_os_error() {
+        Some(code) if FATAL.contains(&code) => AcceptError::Fatal,
+        _ => AcceptError::Transient,
+    }
+}
+
+/// Bounded exponential backoff for transient accept errors: 1 ms doubling to a 500 ms cap,
+/// reset by the next successful accept. Keeps a persistently failing `accept` (fd
+/// exhaustion) at ~2 wakeups per second instead of a 100%-CPU spin.
+#[derive(Debug)]
+pub struct AcceptBackoff {
+    next: Duration,
+}
+
+impl Default for AcceptBackoff {
+    fn default() -> Self {
+        AcceptBackoff::new()
+    }
+}
+
+impl AcceptBackoff {
+    const FLOOR: Duration = Duration::from_millis(1);
+    const CAP: Duration = Duration::from_millis(500);
+
+    /// A fresh backoff at the floor delay.
+    pub fn new() -> AcceptBackoff {
+        AcceptBackoff { next: Self::FLOOR }
+    }
+
+    /// The delay to sleep before the next accept attempt; doubles up to the cap.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.next;
+        self.next = (self.next * 2).min(Self::CAP);
+        delay
+    }
+
+    /// An accept succeeded: the next failure starts from the floor again.
+    pub fn reset(&mut self) {
+        self.next = Self::FLOOR;
+    }
+}
+
+/// Write the at-capacity rejection without ever blocking the accept path: the socket is
+/// flipped to nonblocking and the reply is a single best-effort `write`. A fresh socket's
+/// send buffer always has room for one short line, so in practice the client still sees the
+/// error — but a client that never reads can no longer stall accepts for `write_timeout`.
+pub(crate) fn reject_at_capacity(stream: &mut TcpStream) {
+    let _ = stream.set_nonblocking(true);
+    let _ = stream.write(b"-ERR server at capacity, retry later\n");
+    // dropped by the caller ⇒ closed
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for stream in listener.incoming() {
+    let mut backoff = AcceptBackoff::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff.reset();
+                stream
+            }
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match classify_accept_error(&e) {
+                    AcceptError::Transient => {
+                        std::thread::sleep(backoff.next_delay());
+                        continue;
+                    }
+                    AcceptError::Fatal => break,
+                }
+            }
+        };
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(mut stream) = stream else { continue };
+        let mut stream = stream;
         // The protocol is many tiny request/response lines: without TCP_NODELAY, Nagle's
         // algorithm + delayed ACKs add ~40 ms to every round trip.
         let _ = stream.set_nodelay(true);
         if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
-            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-            let _ = writeln!(stream, "-ERR server at capacity, retry later");
+            shared.service.registry.note_rejected();
+            reject_at_capacity(&mut stream);
             continue; // dropped ⇒ closed
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
@@ -239,7 +438,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 pub enum LineError {
     /// Peer closed the connection (possibly mid-line).
     Closed,
-    /// No complete line arrived within the socket's read timeout.
+    /// No complete line arrived within the socket's read timeout / the line deadline.
     TimedOut,
     /// The line exceeded the byte cap before a newline appeared.
     TooLong,
@@ -247,85 +446,133 @@ pub enum LineError {
     Io(io::Error),
 }
 
+/// One `fill_buf` step of bounded line reading, shared by the per-read-timeout and
+/// per-line-deadline variants. `Ok(Some(line))` on a complete line, `Ok(None)` to keep
+/// reading.
+fn line_step(
+    reader: &mut impl BufRead,
+    line: &mut Vec<u8>,
+    max: usize,
+) -> Result<Option<String>, LineError> {
+    let available = match reader.fill_buf() {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            return Err(LineError::TimedOut)
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(None),
+        Err(e) => return Err(LineError::Io(e)),
+    };
+    if available.is_empty() {
+        return Err(LineError::Closed);
+    }
+    if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+        line.extend_from_slice(&available[..pos]);
+        reader.consume(pos + 1);
+        // CRLF framing: the \r is part of the line ending, not the content, so strip it
+        // before enforcing the content cap.
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.len() > max {
+            return Err(LineError::TooLong);
+        }
+        return Ok(Some(String::from_utf8_lossy(line).into_owned()));
+    }
+    let n = available.len();
+    line.extend_from_slice(available);
+    reader.consume(n);
+    // Mid-line the cap allows one extra byte: a \r that may turn out to be CRLF framing
+    // once the \n arrives.
+    if line.len() > max + 1 {
+        return Err(LineError::TooLong);
+    }
+    Ok(None)
+}
+
 /// Read one `\n`-terminated line of at most `max` bytes (newline excluded), without ever
-/// buffering more than `max` bytes of an unterminated line.
+/// buffering more than `max` bytes of an unterminated line. Timeout behaviour is whatever
+/// the underlying reader's is — **per read call**, so server paths that must bound the whole
+/// line use [`read_line_bounded_deadline`] instead.
 pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> Result<String, LineError> {
     let mut line: Vec<u8> = Vec::new();
     loop {
-        let available = match reader.fill_buf() {
-            Ok(b) => b,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return Err(LineError::TimedOut)
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(LineError::Io(e)),
-        };
-        if available.is_empty() {
-            return Err(LineError::Closed);
-        }
-        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
-            line.extend_from_slice(&available[..pos]);
-            reader.consume(pos + 1);
-            // CRLF framing: the \r is part of the line ending, not the content, so strip it
-            // before enforcing the content cap.
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            if line.len() > max {
-                return Err(LineError::TooLong);
-            }
-            return Ok(String::from_utf8_lossy(&line).into_owned());
-        }
-        let n = available.len();
-        line.extend_from_slice(available);
-        reader.consume(n);
-        // Mid-line the cap allows one extra byte: a \r that may turn out to be CRLF framing
-        // once the \n arrives.
-        if line.len() > max + 1 {
-            return Err(LineError::TooLong);
+        if let Some(done) = line_step(reader, &mut line, max)? {
+            return Ok(done);
         }
     }
 }
 
-/// Per-connection protocol state.
-struct Connection<'a> {
-    shared: &'a Shared,
+/// [`read_line_bounded`] under a **total** deadline: the whole line must complete before
+/// `deadline`, however slowly its bytes trickle in. This is the slow-loris fix — with a
+/// per-read timeout alone, a client sending one byte every `read_timeout − ε` holds its
+/// connection (and a capacity slot) forever.
+///
+/// The stream's read timeout is re-armed to the remaining budget before every read.
+pub fn read_line_bounded_deadline(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    deadline: Instant,
+) -> Result<String, LineError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(LineError::TimedOut);
+        }
+        // `fill_buf` only touches the socket when its buffer is empty, so re-arming the
+        // timeout here is cheap and always reflects the remaining budget.
+        let _ = reader.get_ref().set_read_timeout(Some(deadline - now));
+        if let Some(done) = line_step(reader, &mut line, max)? {
+            return Ok(done);
+        }
+    }
+}
+
+/// Per-connection protocol state: the attached corpus and the open session. Owned by the
+/// connection thread (blocking engine) or checked out into the worker executing the
+/// connection's current request (event engine) — never shared, so never locked.
+pub(crate) struct ProtoState {
     corpus: Option<Arc<Corpus>>,
     session: Option<u64>,
 }
 
-impl Connection<'_> {
-    fn close_session(&mut self) {
+impl ProtoState {
+    pub(crate) fn new() -> ProtoState {
+        ProtoState {
+            corpus: None,
+            session: None,
+        }
+    }
+
+    /// Close (and thereby report) the open session, if any.
+    pub(crate) fn close_session(&mut self, registry: &SessionRegistry) {
         if let Some(id) = self.session.take() {
-            self.shared.registry.close(id);
+            registry.close(id);
         }
     }
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut conn = Connection {
-        shared,
-        corpus: None,
-        session: None,
-    };
+    let mut state = ProtoState::new();
+    let registry = &shared.service.registry;
     if writeln!(writer, "+OK qbe-server ready").is_err() {
         return;
     }
     loop {
-        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES) {
+        // The deadline covers the whole next line: trickling bytes does not extend it.
+        let deadline = Instant::now() + shared.config.read_timeout;
+        let line = match read_line_bounded_deadline(&mut reader, MAX_LINE_BYTES, deadline) {
             Ok(line) => line,
             Err(LineError::Closed) => break,
             Err(LineError::TimedOut) => {
                 if !shared.shutdown.load(Ordering::SeqCst) {
+                    registry.note_timeout();
                     let _ = writeln!(writer, "-ERR idle timeout, closing");
                 }
                 break;
@@ -342,7 +589,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
             let _ = writeln!(writer, "-ERR server shutting down");
             break;
         }
-        let (reply, quit) = respond(&mut conn, &line);
+        let (reply, quit) = respond(&shared.service, &mut state, &line);
         if writeln!(writer, "{reply}").is_err() {
             break;
         }
@@ -350,11 +597,13 @@ fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
             break;
         }
     }
-    conn.close_session();
+    state.close_session(registry);
 }
 
 /// Produce the one-line reply to one request line, plus whether the connection should close.
-fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
+/// The protocol core both engines execute — byte-identical replies by construction.
+pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> (String, bool) {
+    let registry = &service.registry;
     let command = match parse_command(line) {
         Ok(c) => c,
         Err(e) => return (format!("-ERR {e}"), false),
@@ -365,7 +614,7 @@ fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
             CORPUS_NAMES.join(","),
             STRATEGY_NAMES.join(","),
         ),
-        Command::Corpus(name) => match conn.shared.store.get_or_build(&name) {
+        Command::Corpus(name) => match service.store.get_or_build(&name) {
             None => format!(
                 "-ERR unknown corpus {name:?} (known: {})",
                 CORPUS_NAMES.join(",")
@@ -381,26 +630,26 @@ fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
                         format!("{}x{}", corpus.left.len(), corpus.right.len()),
                     ),
                 ]);
-                conn.corpus = Some(corpus);
+                state.corpus = Some(corpus);
                 format!("+OK corpus {summary}")
             }
         },
-        Command::Start { model, params } => match conn.corpus.clone() {
+        Command::Start { model, params } => match state.corpus.clone() {
             None => "-ERR no corpus attached (use CORPUS <name>)".to_string(),
             Some(corpus) => match build_learner(&corpus, model, &params) {
                 Err(why) => format!("-ERR {why}"),
                 Ok(learner) => {
-                    conn.close_session();
-                    let id = conn.shared.registry.open(learner);
-                    conn.session = Some(id);
+                    state.close_session(registry);
+                    let id = registry.open(learner);
+                    state.session = Some(id);
                     format!("+OK session id={id} model={model}")
                 }
             },
         },
-        Command::Ask => match conn.session {
+        Command::Ask => match state.session {
             None => "-ERR no open session (use START)".to_string(),
             Some(id) => {
-                let proposed = conn.shared.registry.with_session(id, |l| {
+                let proposed = registry.with_session(id, |l| {
                     l.propose()
                         .map(|q| q.to_string())
                         .ok_or_else(|| (l.questions(), l.consistent()))
@@ -414,43 +663,35 @@ fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
                 }
             }
         },
-        Command::Answer(positive) => match conn.session {
+        Command::Answer(positive) => match state.session {
             None => "-ERR no open session (use START)".to_string(),
-            Some(id) => match conn
-                .shared
-                .registry
-                .with_session(id, |l| l.answer(positive))
-            {
+            Some(id) => match registry.with_session(id, |l| l.answer(positive)) {
                 None => "-ERR session vanished".to_string(),
                 Some(Ok(())) => "+OK recorded".to_string(),
                 Some(Err(e)) => format!("-ERR {e}"),
             },
         },
-        Command::Query => match conn.session {
+        Command::Query => match state.session {
             None => "-ERR no open session (use START)".to_string(),
-            Some(id) => match conn.shared.registry.with_session(id, |l| l.hypothesis()) {
+            Some(id) => match registry.with_session(id, |l| l.hypothesis()) {
                 None => "-ERR session vanished".to_string(),
                 Some(None) => "-ERR no hypothesis yet (no positive example)".to_string(),
                 Some(Some(text)) => format!("+QUERY {text}"),
             },
         },
-        Command::Eval => match conn.session {
+        Command::Eval => match state.session {
             None => "-ERR no open session (use START)".to_string(),
-            Some(id) => match conn
-                .shared
-                .registry
-                .with_session(id, |l| l.answer_set_size())
-            {
+            Some(id) => match registry.with_session(id, |l| l.answer_set_size()) {
                 None => "-ERR session vanished".to_string(),
                 Some(n) => format!("+EVAL {n}"),
             },
         },
         Command::Metrics => {
-            let metrics = conn.shared.registry.metrics();
+            let metrics = registry.metrics();
             let fields = [
                 ("sessions", metrics.sessions.to_string()),
                 ("ok", metrics.successes.to_string()),
-                ("active", conn.shared.registry.active().to_string()),
+                ("active", registry.active().to_string()),
                 ("total_questions", metrics.total_questions.to_string()),
                 (
                     "p50_questions",
@@ -465,13 +706,16 @@ fn respond(conn: &mut Connection<'_>, line: &str) -> (String, bool) {
                     format!("{:.2}", metrics.mean_questions().unwrap_or(0.0)),
                 ),
                 ("throughput_per_s", format!("{:.3}", metrics.throughput())),
+                ("rejected", metrics.rejected.to_string()),
+                ("timeouts", metrics.timeouts.to_string()),
+                ("shed", metrics.shed.to_string()),
             ];
             format!("+METRICS {}", render_fields(&fields))
         }
         Command::Quit => {
             // Close (and report) the session before replying, so a client that QUITs and then
             // probes METRICS on a fresh connection observes its own session.
-            conn.close_session();
+            state.close_session(registry);
             return ("+OK bye".to_string(), true);
         }
     };
@@ -664,6 +908,92 @@ mod tests {
             read_line_bounded(&mut over, 16),
             Err(LineError::TooLong)
         ));
+    }
+
+    #[test]
+    fn accept_errors_classify_by_retryability() {
+        // Resource pressure and aborted handshakes: transient, retry with backoff.
+        for code in [
+            24,  /* EMFILE */
+            23,  /* ENFILE */
+            103, /* ECONNABORTED */
+            4,   /* EINTR */
+            12,  /* ENOMEM */
+            105, /* ENOBUFS */
+        ] {
+            assert_eq!(
+                classify_accept_error(&io::Error::from_raw_os_error(code)),
+                AcceptError::Transient,
+                "errno {code}"
+            );
+        }
+        // A broken listener: fatal, stop accepting.
+        for code in [
+            9,  /* EBADF */
+            22, /* EINVAL */
+            88, /* ENOTSOCK */
+        ] {
+            assert_eq!(
+                classify_accept_error(&io::Error::from_raw_os_error(code)),
+                AcceptError::Fatal,
+                "errno {code}"
+            );
+        }
+        // Errors with no OS code (synthetic) err on the side of retrying.
+        assert_eq!(
+            classify_accept_error(&io::Error::other("mystery")),
+            AcceptError::Transient
+        );
+    }
+
+    #[test]
+    fn accept_backoff_doubles_to_a_cap_and_resets() {
+        let mut b = AcceptBackoff::new();
+        let mut last = Duration::ZERO;
+        for _ in 0..16 {
+            let d = b.next_delay();
+            assert!(d >= last, "delays never shrink while failing");
+            assert!(d <= Duration::from_millis(500), "capped at 500 ms");
+            last = d;
+        }
+        assert_eq!(last, Duration::from_millis(500));
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn deadline_reader_bounds_the_whole_line_not_one_read() {
+        // A trickling peer: one byte every 30 ms against a 150 ms *total* deadline. The
+        // per-read timeout never fires (bytes keep arriving), so only the total deadline can
+        // end this — which is exactly the slow-loris fix.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let trickler = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for _ in 0..40 {
+                if s.write_all(b"x").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(150);
+        let out = read_line_bounded_deadline(&mut reader, MAX_LINE_BYTES, deadline);
+        let elapsed = start.elapsed();
+        assert!(matches!(out, Err(LineError::TimedOut)), "{out:?}");
+        assert!(
+            elapsed >= Duration::from_millis(140),
+            "not before the deadline: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "the trickle must not extend the deadline: {elapsed:?}"
+        );
+        drop(reader);
+        trickler.join().unwrap();
     }
 
     #[test]

@@ -95,6 +95,10 @@ fn two_concurrent_sessions_converge_and_metrics_reconcile() {
     assert_eq!(p50, questions[0], "nearest-rank p50 of two sessions");
     assert_eq!(p95, questions[1], "nearest-rank p95 of two sessions");
     assert!(metric(&metrics, "throughput_per_s").parse::<f64>().unwrap() > 0.0);
+    // Nothing went wrong in this run, and the health counters say so explicitly.
+    assert_eq!(metric(&metrics, "rejected"), "0");
+    assert_eq!(metric(&metrics, "timeouts"), "0");
+    assert_eq!(metric(&metrics, "shed"), "0");
 
     handle.shutdown();
 }
