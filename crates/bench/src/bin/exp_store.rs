@@ -1,0 +1,222 @@
+//! exp_store — the persistence-layer snapshot behind `BENCH_PR9.json`.
+//!
+//! Measures, per named corpus (tiny / small):
+//!
+//! * **cold build** — wall time of `build_corpus` (XMark generation + every index);
+//! * **snapshot write** — encode + atomic write of the corpus snapshot;
+//! * **snapshot open** — file-backed read + decode + re-wrap into a served `Corpus`, i.e. the
+//!   exact path `--data-dir` takes on boot, and the speedup it buys over the cold build;
+//!
+//! plus WAL throughput: records appended per second (write-through, batched fsync) and
+//! records per second through `wal::recover` (the checksum-validating boot replay read).
+//!
+//! Results go to stdout as a table and to a JSON snapshot (default `BENCH_PR9.json`,
+//! override with `--out <path>`). `--smoke` shrinks the iteration counts to CI size and is
+//! exercised on every push by `exp_smoke` and the CI workflow.
+
+use std::time::Instant;
+
+use qbe_core::store::{wal, CorpusSnapshot, FileBackend, SnapshotReader, WalRecord};
+use qbe_server::corpus::{build_corpus, corpus_to_snapshot, snapshot_path, snapshot_to_corpus};
+
+/// One corpus's snapshot row.
+struct CorpusRow {
+    corpus: &'static str,
+    xml_nodes: usize,
+    cold_build_ms: f64,
+    snapshot_write_ms: f64,
+    snapshot_open_ms: f64,
+    speedup: f64,
+}
+
+/// WAL throughput row.
+struct WalRow {
+    records: usize,
+    append_per_sec: f64,
+    replay_per_sec: f64,
+}
+
+fn median_ms(mut wall: Vec<f64>) -> f64 {
+    wall.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    wall[wall.len() / 2]
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn corpus_row(name: &'static str, dir: &std::path::Path, iters: usize) -> CorpusRow {
+    let mut build_ms = Vec::with_capacity(iters);
+    let mut corpus = None;
+    for _ in 0..iters {
+        let (built, ms) = timed(|| build_corpus(name).expect("known corpus"));
+        build_ms.push(ms);
+        corpus = Some(built);
+    }
+    let corpus = corpus.expect("at least one build");
+    let xml_nodes = corpus.xml_nodes();
+
+    let path = snapshot_path(dir, name);
+    let (_, snapshot_write_ms) = timed(|| {
+        let bytes = corpus_to_snapshot(&corpus).encode();
+        qbe_core::store::snapshot::write_atomic(&path, &bytes).expect("snapshot writes");
+    });
+
+    let mut open_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (reopened, ms) = timed(|| {
+            let backend = FileBackend::open(&path).expect("snapshot opens");
+            let reader = SnapshotReader::open(backend).expect("header verifies");
+            snapshot_to_corpus(CorpusSnapshot::decode(&reader).expect("snapshot decodes"))
+        });
+        assert_eq!(
+            reopened.xml_nodes(),
+            xml_nodes,
+            "reopened corpus must match the built one"
+        );
+        open_ms.push(ms);
+    }
+
+    let cold_build_ms = median_ms(build_ms);
+    let snapshot_open_ms = median_ms(open_ms);
+    CorpusRow {
+        corpus: name,
+        xml_nodes,
+        cold_build_ms,
+        snapshot_write_ms,
+        snapshot_open_ms,
+        speedup: cold_build_ms / snapshot_open_ms,
+    }
+}
+
+fn wal_row(dir: &std::path::Path, records: usize) -> WalRow {
+    let path = dir.join("bench.qbew");
+    std::fs::remove_file(&path).ok();
+    let (_, mut writer) = wal::recover(&path).expect("fresh WAL opens");
+    let start = Instant::now();
+    for session in 0..records as u64 / 8 {
+        writer
+            .append(&WalRecord::Start {
+                session,
+                corpus: "tiny".to_string(),
+                model: "twig".to_string(),
+                params: vec![("seed".to_string(), session.to_string())],
+            })
+            .expect("append succeeds");
+        for n in 0..7u64 {
+            writer
+                .append(&WalRecord::Answer {
+                    session,
+                    positive: (session + n) % 3 != 0,
+                })
+                .expect("append succeeds");
+        }
+    }
+    writer.sync().expect("final fsync");
+    let appended = (records / 8) * 8;
+    let append_per_sec = appended as f64 / start.elapsed().as_secs_f64();
+    drop(writer);
+
+    let start = Instant::now();
+    let (recovered, _) = wal::recover(&path).expect("WAL recovers");
+    let replay_per_sec = recovered.len() as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(
+        recovered.len(),
+        appended,
+        "every appended record comes back"
+    );
+    WalRow {
+        records: appended,
+        append_per_sec,
+        replay_per_sec,
+    }
+}
+
+fn json_escape_free(rows: &[CorpusRow], wal: &WalRow, smoke: bool, iters: usize) -> String {
+    // Hand-rolled JSON: keys are fixed identifiers, values numeric — nothing needs escaping.
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"iterations\": {iters},\n"));
+    out.push_str("  \"corpora\": {\n");
+    for (ix, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"xml_nodes\": {}, \"cold_build_ms\": {:.3}, \"snapshot_write_ms\": {:.3}, \"snapshot_open_ms\": {:.3}, \"open_speedup\": {:.2}}}{}\n",
+            row.corpus,
+            row.xml_nodes,
+            row.cold_build_ms,
+            row.snapshot_write_ms,
+            row.snapshot_open_ms,
+            row.speedup,
+            if ix + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"wal\": {{\"records\": {}, \"append_per_sec\": {:.1}, \"replay_per_sec\": {:.1}}}\n",
+        wal.records, wal.append_per_sec, wal.replay_per_sec
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = qbe_bench::smoke();
+    let iters = qbe_bench::param(9usize, 3);
+    let wal_records = qbe_bench::param(80_000usize, 2_000);
+
+    let dir = std::env::temp_dir().join(format!("qbe-exp-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir exists");
+
+    // The full run covers every served corpus; smoke keeps CI to the small ones (same code
+    // paths) and the table says so rather than truncating silently.
+    let corpora = qbe_bench::param(vec!["tiny", "small", "medium"], vec!["tiny", "small"]);
+    let rows: Vec<CorpusRow> = corpora
+        .into_iter()
+        .map(|name| corpus_row(name, &dir, iters))
+        .collect();
+    let wal = wal_row(&dir, wal_records);
+
+    println!("# exp_store — corpus snapshot open vs cold build, WAL throughput");
+    println!(
+        "# {iters} iterations/corpus, {} WAL records{}",
+        wal.records,
+        if smoke {
+            " (smoke; corpus `medium` covered by full runs only)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>14} {:>9}",
+        "corpus", "xml nodes", "cold (ms)", "write (ms)", "open (ms)", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:>10} {:>14.3} {:>14.3} {:>14.3} {:>8.2}x",
+            row.corpus,
+            row.xml_nodes,
+            row.cold_build_ms,
+            row.snapshot_write_ms,
+            row.snapshot_open_ms,
+            row.speedup
+        );
+    }
+    println!(
+        "wal      {:>10} appends/s {:>14.0} replays/s {:>13.0}",
+        wal.records, wal.append_per_sec, wal.replay_per_sec
+    );
+
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|ix| args.get(ix + 1).cloned())
+            .unwrap_or_else(|| "BENCH_PR9.json".to_string())
+    };
+    let json = json_escape_free(&rows, &wal, smoke, iters);
+    std::fs::write(&out_path, json).expect("snapshot file is writable");
+    println!("snapshot written to {out_path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

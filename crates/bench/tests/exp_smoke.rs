@@ -35,6 +35,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         env!("CARGO_BIN_EXE_exp_schema_learning"),
     ),
     ("exp_sparql", env!("CARGO_BIN_EXE_exp_sparql")),
+    ("exp_store", env!("CARGO_BIN_EXE_exp_store")),
     ("exp_strategies", env!("CARGO_BIN_EXE_exp_strategies")),
     (
         "exp_twig_consistency",

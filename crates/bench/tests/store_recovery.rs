@@ -1,0 +1,187 @@
+//! Crash-recovery differential against the real `qbe-server` binary.
+//!
+//! A persistent server is killed with SIGKILL mid-session — no graceful shutdown, no `Close`
+//! record, no final fsync — then restarted on the same `--data-dir`. The restarted server
+//! must report the session as recovered, let a client `RESUME` it, and produce a continued
+//! transcript byte-identical to an uninterrupted session driven with the same answer stream.
+//!
+//! The comparison uses a raw line-protocol wire (not [`qbe_server::Client`]) so replies are
+//! compared verbatim, byte for byte, exactly as the acceptance criterion demands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Fresh per-test scratch directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qbe-store-recovery-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Spawn the server binary with persistence on, and parse the bound address out of the
+/// "listening on" banner (the server binds an ephemeral port).
+fn spawn_server(dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qbe-server"))
+        .args(["--addr", "127.0.0.1:0", "--persist", "--data-dir"])
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("qbe-server spawns");
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("server prints its banner");
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// One raw protocol connection: send a line, read the verbatim reply line.
+struct Wire {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Wire {
+    fn connect(addr: &str) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).unwrap();
+        let writer = stream.try_clone().unwrap();
+        let mut wire = Wire {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        let greeting = wire.read();
+        assert!(greeting.starts_with("+OK"), "greeting: {greeting:?}");
+        wire
+    }
+
+    fn read(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("reply arrives");
+        line.trim_end_matches(['\r', '\n']).to_string()
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("request sends");
+        self.read()
+    }
+}
+
+/// Drive up to `rounds` ASK/ANSWER rounds, answering from `answers` via the shared counter
+/// `next`, stopping at the first non-question reply. Returns every reply verbatim.
+fn run_rounds(wire: &mut Wire, rounds: usize, answers: &[bool], next: &mut usize) -> Vec<String> {
+    let mut replies = Vec::new();
+    for _ in 0..rounds {
+        let ask = wire.send("ASK");
+        let is_question = ask.starts_with("+ASK");
+        replies.push(ask);
+        if !is_question {
+            break;
+        }
+        let positive = answers[*next % answers.len()];
+        *next += 1;
+        replies.push(wire.send(if positive { "ANSWER yes" } else { "ANSWER no" }));
+    }
+    replies
+}
+
+#[test]
+fn sigkilled_server_resumes_sessions_byte_identically() {
+    let dir = temp_dir("sigkill");
+    let answers = [true, false, false, true, true, false];
+    const PRE: usize = 3; // rounds before the kill
+    const POST: usize = 64; // generous: both runs stop at +DONE on their own
+
+    // Original server: start a session, answer a few questions, then die hard.
+    let (mut server_a, addr_a) = spawn_server(&dir);
+    let mut wire = Wire::connect(&addr_a);
+    assert!(wire.send("CORPUS tiny").starts_with("+OK"));
+    assert_eq!(
+        wire.send("START twig seed=7"),
+        "+OK session id=1 model=twig"
+    );
+    let mut next = 0usize;
+    let pre_replies = run_rounds(&mut wire, PRE, &answers, &mut next);
+    server_a.kill().expect("SIGKILL delivered");
+    server_a.wait().expect("killed server reaped");
+    drop(wire);
+
+    // Restarted server on the same data dir: the session must come back.
+    let (mut server_b, addr_b) = spawn_server(&dir);
+    let mut resumed = Wire::connect(&addr_b);
+    assert_eq!(resumed.send("RESUME 1"), "+OK session id=1 model=twig");
+    let metrics = resumed.send("METRICS");
+    assert!(metrics.contains(" recovered=1"), "metrics: {metrics:?}");
+    let mut next_resumed = next;
+    let resumed_replies = run_rounds(&mut resumed, POST, &answers, &mut next_resumed);
+    let resumed_query = resumed.send("QUERY");
+    let resumed_eval = resumed.send("EVAL");
+
+    // Reference: an uninterrupted session on the restarted server, same seed, same answer
+    // stream from the top. Its id must be past the recovered one (the allocator moved on).
+    let mut reference = Wire::connect(&addr_b);
+    assert!(reference.send("CORPUS tiny").starts_with("+OK"));
+    let started = reference.send("START twig seed=7");
+    let fresh_id: u64 = started
+        .strip_prefix("+OK session id=")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|id| id.parse().ok())
+        .unwrap_or_else(|| panic!("unexpected START reply: {started:?}"));
+    assert!(
+        fresh_id > 1,
+        "fresh ids must not collide with recovered ones"
+    );
+    let mut next_ref = 0usize;
+    let ref_pre = run_rounds(&mut reference, PRE, &answers, &mut next_ref);
+    let ref_post = run_rounds(&mut reference, POST, &answers, &mut next_ref);
+    let ref_query = reference.send("QUERY");
+    let ref_eval = reference.send("EVAL");
+
+    assert_eq!(pre_replies, ref_pre, "pre-kill transcripts diverge");
+    assert_eq!(
+        resumed_replies, ref_post,
+        "post-recovery transcripts diverge"
+    );
+    assert_eq!(next_resumed, next_ref, "answer consumption diverges");
+    assert_eq!(resumed_query, ref_query);
+    assert_eq!(resumed_eval, ref_eval);
+
+    assert_eq!(resumed.send("QUIT"), "+OK bye");
+    assert_eq!(reference.send("QUIT"), "+OK bye");
+    server_b.kill().ok();
+    server_b.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quit_sessions_stay_closed_across_a_kill() {
+    let dir = temp_dir("closed");
+    let (mut server_a, addr_a) = spawn_server(&dir);
+    let mut wire = Wire::connect(&addr_a);
+    assert!(wire.send("CORPUS tiny").starts_with("+OK"));
+    assert_eq!(
+        wire.send("START join seed=1"),
+        "+OK session id=1 model=join"
+    );
+    assert_eq!(wire.send("QUIT"), "+OK bye");
+    drop(wire);
+    server_a.kill().expect("SIGKILL delivered");
+    server_a.wait().expect("killed server reaped");
+
+    let (mut server_b, addr_b) = spawn_server(&dir);
+    let mut wire = Wire::connect(&addr_b);
+    assert_eq!(wire.send("RESUME 1"), "-ERR unknown session 1");
+    let metrics = wire.send("METRICS");
+    assert!(metrics.contains(" recovered=0"), "metrics: {metrics:?}");
+    server_b.kill().ok();
+    server_b.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

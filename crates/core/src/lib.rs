@@ -107,3 +107,6 @@ pub use qbe_graph as graph;
 
 /// Re-export of the cross-model exchange scenarios (`qbe-exchange`).
 pub use qbe_exchange as exchange;
+
+/// Re-export of the durability layer — corpus snapshots and the session WAL (`qbe-store`).
+pub use qbe_store as store;

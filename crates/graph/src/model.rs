@@ -185,6 +185,23 @@ impl PropertyGraph {
         self.nodes[node.0 as usize].properties.get(key)
     }
 
+    /// All properties of a node, in key order (the map is a `BTreeMap`, so the order is
+    /// deterministic — what the snapshot serialiser relies on).
+    pub fn node_properties(&self, node: GNodeId) -> impl Iterator<Item = (&str, &PropValue)> {
+        self.nodes[node.0 as usize]
+            .properties
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All properties of an edge, in key order.
+    pub fn edge_properties(&self, edge: GEdgeId) -> impl Iterator<Item = (&str, &PropValue)> {
+        self.edges[edge.0 as usize]
+            .properties
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Edge label.
     pub fn edge_label(&self, edge: GEdgeId) -> &str {
         &self.edges[edge.0 as usize].label

@@ -4,8 +4,10 @@
 //! Two modes:
 //!
 //! * `qbe-server [--addr HOST:PORT] [--engine event|blocking] [--workers N]
-//!   [--max-connections N] [--rate-limit BURST/PER_SEC]` — serve until killed (default
-//!   `127.0.0.1:7878`, event engine);
+//!   [--max-connections N] [--rate-limit BURST/PER_SEC] [--data-dir DIR] [--persist]` —
+//!   serve until killed (default `127.0.0.1:7878`, event engine). `--data-dir` caches corpus
+//!   snapshots on disk; `--persist` additionally write-ahead-logs sessions there and recovers
+//!   them on the next boot;
 //! * `qbe-server --smoke` — self-check: bind an ephemeral port, run one simulated client
 //!   session per model over loopback on the default (event) engine, cross-check one session
 //!   on the blocking engine, print the learned queries and the `METRICS` line, shut down,
@@ -56,6 +58,15 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
             })?;
         config.rate_limit = Some(RateLimit { burst, per_sec });
     }
+    if let Some(dir) = flag_value(args, "--data-dir") {
+        config.data_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if args.iter().any(|a| a == "--persist") {
+        if config.data_dir.is_none() {
+            return Err("--persist requires --data-dir".to_string());
+        }
+        config.persist = true;
+    }
     Ok(config)
 }
 
@@ -76,18 +87,20 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
     };
     let addr = config.addr.clone();
     let engine = config.engine;
+    let persist = config.persist;
     let handle = match spawn(config) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("qbe-server: cannot bind {addr}: {e}");
+            eprintln!("qbe-server: cannot start on {addr}: {e}");
             return 1;
         }
     };
     println!(
-        "qbe-server listening on {} (engine {}; models twig,path,join; corpora {})",
+        "qbe-server listening on {} (engine {}; models twig,path,join,graph; corpora {}{})",
         handle.addr(),
         engine.name(),
-        crate::corpus::CORPUS_NAMES.join(",")
+        crate::corpus::CORPUS_NAMES.join(","),
+        if persist { "; persistence on" } else { "" }
     );
     handle.join();
     0
@@ -245,5 +258,23 @@ mod tests {
         assert!(parse_config(&strs(&["--workers", "0"])).is_err());
         assert!(parse_config(&strs(&["--rate-limit", "20"])).is_err());
         assert!(parse_config(&strs(&["--rate-limit", "0/5"])).is_err());
+    }
+
+    #[test]
+    fn persistence_flags_parse_and_imply_each_other() {
+        let config = parse_config(&strs(&["--data-dir", "/tmp/qbe", "--persist"])).unwrap();
+        assert_eq!(
+            config.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/qbe"))
+        );
+        assert!(config.persist);
+
+        // Snapshot caching without the WAL is allowed…
+        let cache_only = parse_config(&strs(&["--data-dir", "/tmp/qbe"])).unwrap();
+        assert!(cache_only.data_dir.is_some());
+        assert!(!cache_only.persist);
+
+        // …but a WAL with nowhere to live is not.
+        assert!(parse_config(&strs(&["--persist"])).is_err());
     }
 }

@@ -196,6 +196,23 @@ impl Client {
             .ok_or(ClientError::UnexpectedReply(reply))
     }
 
+    /// `RESUME <id>` — attach to an existing session (after a reconnect or a server restart
+    /// with persistence on; protocol ≥ 1.3). Returns the session's model name.
+    pub fn resume(&mut self, id: u64) -> Result<String> {
+        let reply = self.roundtrip(&format!("RESUME {id}"))?;
+        reply
+            .strip_prefix("+OK session id=")
+            .and_then(|rest| {
+                let mut tokens = rest.split_whitespace();
+                let replied_id: u64 = tokens.next()?.parse().ok()?;
+                if replied_id != id {
+                    return None;
+                }
+                tokens.next()?.strip_prefix("model=").map(str::to_string)
+            })
+            .ok_or(ClientError::UnexpectedReply(reply))
+    }
+
     /// `ASK` — the next question, or the completion notice.
     pub fn ask(&mut self) -> Result<AskReply> {
         let reply = self.roundtrip("ASK")?;

@@ -11,17 +11,23 @@
 //! Names are deterministic recipes, not uploads: a client and a test referring to `"tiny"` see
 //! byte-identical data without shipping it over the wire (the XML half is
 //! [`qbe_core::xml::xmark::corpus_by_name`]).
+//!
+//! When the store is given a data directory, each corpus is additionally persisted as a
+//! `corpus-<name>.qbes` snapshot ([`qbe_core::store`]): the first build writes the snapshot,
+//! and every later process opens it instead of regenerating and re-indexing from scratch.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use qbe_core::graph::{generate_geo_graph, typed_road_view, GeoConfig, GraphIndex, PropertyGraph};
 use qbe_core::relational::{generate_join_instance, JoinInstanceConfig, JoinPredicate, Relation};
+use qbe_core::store::{snapshot, CorpusSnapshot, FileBackend, SnapshotReader};
 use qbe_core::xml::xmark::corpus_by_name;
 use qbe_core::xml::{NodeIndex, XmlTree};
 
 /// The corpus names [`build_corpus`] understands, smallest first.
-pub const CORPUS_NAMES: &[&str] = &["tiny", "small"];
+pub const CORPUS_NAMES: &[&str] = &["tiny", "small", "medium"];
 
 /// One named instance: every substrate a session might learn over, pre-indexed and shareable.
 #[derive(Debug, Clone)]
@@ -66,6 +72,7 @@ pub fn build_corpus(name: &str) -> Option<Corpus> {
     let (xmark, cities, rows) = match name {
         "tiny" => ("xmark-tiny", 10, 12),
         "small" => ("xmark-small", 16, 30),
+        "medium" => ("xmark-default", 256, 120),
         _ => return None,
     };
     let docs = Arc::new(corpus_by_name(xmark).expect("every corpus maps to a named XMark corpus"));
@@ -99,39 +106,161 @@ pub fn build_corpus(name: &str) -> Option<Corpus> {
     })
 }
 
-/// Cache of built corpora, shared by all connections of one server.
+/// Why a corpus request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// The name is not one of [`CORPUS_NAMES`].
+    Unknown,
+    /// A snapshot file existed but could not be opened or decoded. The message names the
+    /// file and the corruption mode, suitable for an `-ERR` reply or a startup error.
+    Load(String),
+}
+
+/// Convert a [`Corpus`] (Arc-shared) into its owned, serialisable snapshot form.
+pub fn corpus_to_snapshot(c: &Corpus) -> CorpusSnapshot {
+    CorpusSnapshot {
+        name: c.name.clone(),
+        docs: (*c.docs).clone(),
+        indexes: (*c.indexes).clone(),
+        graph: (*c.graph).clone(),
+        graph_index: (*c.graph_index).clone(),
+        typed_graph: (*c.typed_graph).clone(),
+        typed_index: (*c.typed_index).clone(),
+        left: (*c.left).clone(),
+        right: (*c.right).clone(),
+        demo_join_goal: c.demo_join_goal.clone(),
+    }
+}
+
+/// Wrap a decoded snapshot's substrates back into the Arc-shared serving form.
+pub fn snapshot_to_corpus(s: CorpusSnapshot) -> Corpus {
+    Corpus {
+        name: s.name,
+        docs: Arc::new(s.docs),
+        indexes: Arc::new(s.indexes),
+        graph: Arc::new(s.graph),
+        graph_index: Arc::new(s.graph_index),
+        typed_graph: Arc::new(s.typed_graph),
+        typed_index: Arc::new(s.typed_index),
+        left: Arc::new(s.left),
+        right: Arc::new(s.right),
+        demo_join_goal: s.demo_join_goal,
+    }
+}
+
+/// The snapshot file a corpus persists to inside a data directory.
+pub fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("corpus-{name}.qbes"))
+}
+
+fn load_snapshot(path: &Path, name: &str) -> Result<Corpus, String> {
+    let backend = FileBackend::open(path)
+        .map_err(|e| format!("cannot open snapshot {}: {e}", path.display()))?;
+    let reader =
+        SnapshotReader::open(backend).map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+    let snap =
+        CorpusSnapshot::decode(&reader).map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+    if snap.name != name {
+        return Err(format!(
+            "snapshot {} holds corpus {:?}, expected {:?}",
+            path.display(),
+            snap.name,
+            name
+        ));
+    }
+    Ok(snapshot_to_corpus(snap))
+}
+
+fn save_snapshot(dir: &Path, path: &Path, corpus: &Corpus) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    snapshot::write_atomic(path, &corpus_to_snapshot(corpus).encode())
+}
+
+/// Per-name slot: one initialiser runs, everyone else blocks on the cell and shares the result.
+type Cell = Arc<OnceLock<Result<Arc<Corpus>, String>>>;
+
+/// Cache of built corpora, shared by all connections of one server; optionally backed by
+/// snapshot files in a data directory.
 #[derive(Debug, Default)]
 pub struct CorpusStore {
-    cache: Mutex<HashMap<String, Arc<Corpus>>>,
+    dir: Option<PathBuf>,
+    cells: Mutex<HashMap<String, Cell>>,
 }
 
 impl CorpusStore {
-    /// An empty store.
+    /// An in-memory store (no persistence).
     pub fn new() -> CorpusStore {
         CorpusStore::default()
     }
 
-    /// The shared corpus for `name`, building it on first request. `None` for unknown names.
-    ///
-    /// Building happens under the cache lock: concurrent first requests for the same corpus
-    /// would otherwise race to do the expensive generation twice, and "one builder, everyone
-    /// else waits and shares" is exactly the contract the service wants.
-    pub fn get_or_build(&self, name: &str) -> Option<Arc<Corpus>> {
-        let mut cache = self.cache.lock().expect("corpus cache lock never poisoned");
-        if let Some(corpus) = cache.get(name) {
-            return Some(corpus.clone());
+    /// A store that opens `corpus-<name>.qbes` snapshots from `dir` when present and writes
+    /// them after first builds. `None` behaves like [`CorpusStore::new`].
+    pub fn with_dir(dir: Option<PathBuf>) -> CorpusStore {
+        CorpusStore {
+            dir,
+            cells: Mutex::new(HashMap::new()),
         }
-        let corpus = Arc::new(build_corpus(name)?);
-        cache.insert(name.to_string(), corpus.clone());
-        Some(corpus)
     }
 
-    /// Number of distinct corpora built so far.
+    /// The shared corpus for `name`, loading its snapshot or building it on first request.
+    ///
+    /// Exactly one caller runs the expensive load/build per name — the map lock is held only
+    /// long enough to hand out the per-name cell, and `OnceLock::get_or_init` makes every
+    /// concurrent first request for the same corpus block on that one initialiser and share
+    /// its `Arc` instead of racing to build twice (or serialising *different* corpora behind
+    /// one global lock).
+    pub fn get_or_load(&self, name: &str) -> Result<Arc<Corpus>, CorpusError> {
+        // Validate before inserting a cell so garbage names cannot grow the map.
+        if !CORPUS_NAMES.contains(&name) {
+            return Err(CorpusError::Unknown);
+        }
+        let cell: Cell = {
+            let mut cells = self
+                .cells
+                .lock()
+                .expect("corpus cell map lock never poisoned");
+            cells.entry(name.to_string()).or_default().clone()
+        };
+        cell.get_or_init(|| self.acquire(name))
+            .clone()
+            .map_err(CorpusError::Load)
+    }
+
+    /// The shared corpus for `name`, or `None` for unknown names and failed loads.
+    pub fn get_or_build(&self, name: &str) -> Option<Arc<Corpus>> {
+        self.get_or_load(name).ok()
+    }
+
+    fn acquire(&self, name: &str) -> Result<Arc<Corpus>, String> {
+        let built =
+            || Arc::new(build_corpus(name).expect("name already validated against CORPUS_NAMES"));
+        let Some(dir) = &self.dir else {
+            return Ok(built());
+        };
+        let path = snapshot_path(dir, name);
+        if path.exists() {
+            return load_snapshot(&path, name).map(Arc::new);
+        }
+        let corpus = built();
+        if let Err(e) = save_snapshot(dir, &path, &corpus) {
+            // Persistence is best-effort for corpora (they are deterministic recipes);
+            // serving proceeds from the in-memory build.
+            eprintln!(
+                "qbe-server: warning: could not write snapshot {}: {e}",
+                path.display()
+            );
+        }
+        Ok(corpus)
+    }
+
+    /// Number of distinct corpora successfully loaded or built so far.
     pub fn built(&self) -> usize {
-        self.cache
+        self.cells
             .lock()
-            .expect("corpus cache lock never poisoned")
-            .len()
+            .expect("corpus cell map lock never poisoned")
+            .values()
+            .filter(|cell| matches!(cell.get(), Some(Ok(_))))
+            .count()
     }
 }
 
@@ -139,10 +268,23 @@ impl CorpusStore {
 mod tests {
     use super::*;
 
+    fn temp_data_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "qbe-server-corpus-{tag}-{}-{n}",
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn unknown_names_are_rejected() {
         assert!(build_corpus("gigantic").is_none());
         assert!(CorpusStore::new().get_or_build("gigantic").is_none());
+        assert!(matches!(
+            CorpusStore::new().get_or_load("gigantic"),
+            Err(CorpusError::Unknown)
+        ));
     }
 
     #[test]
@@ -156,6 +298,92 @@ mod tests {
         );
         assert!(Arc::ptr_eq(&a.docs, &b.docs));
         assert_eq!(store.built(), 1);
+    }
+
+    #[test]
+    fn concurrent_first_requests_share_one_build() {
+        let store = CorpusStore::new();
+        let corpora: Vec<Arc<Corpus>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| store.get_or_load("tiny").unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for c in &corpora[1..] {
+            assert!(
+                Arc::ptr_eq(&corpora[0], c),
+                "all concurrent callers must share the single build"
+            );
+        }
+        assert_eq!(store.built(), 1, "exactly one build ran");
+    }
+
+    #[test]
+    fn data_dir_round_trips_a_corpus_through_its_snapshot() {
+        let dir = temp_data_dir("roundtrip");
+        let built = CorpusStore::with_dir(Some(dir.clone()))
+            .get_or_load("tiny")
+            .unwrap();
+        let path = snapshot_path(&dir, "tiny");
+        assert!(path.exists(), "first build persists the snapshot");
+
+        let loaded = CorpusStore::with_dir(Some(dir.clone()))
+            .get_or_load("tiny")
+            .unwrap();
+        assert_eq!(loaded.name, built.name);
+        assert_eq!(*loaded.docs, *built.docs);
+        assert_eq!(loaded.left.tuples(), built.left.tuples());
+        assert_eq!(loaded.right.tuples(), built.right.tuples());
+        assert_eq!(loaded.demo_join_goal, built.demo_join_goal);
+        assert_eq!(loaded.graph.node_count(), built.graph.node_count());
+        assert_eq!(
+            loaded.typed_index.label_count(),
+            built.typed_index.label_count()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_reported_not_silently_rebuilt() {
+        let dir = temp_data_dir("corrupt");
+        CorpusStore::with_dir(Some(dir.clone()))
+            .get_or_load("tiny")
+            .unwrap();
+        let path = snapshot_path(&dir, "tiny");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X'; // break the magic
+        std::fs::write(&path, &bytes).unwrap();
+        match CorpusStore::with_dir(Some(dir.clone())).get_or_load("tiny") {
+            Err(CorpusError::Load(msg)) => {
+                assert!(msg.contains("magic"), "message names the corruption: {msg}");
+                assert!(
+                    msg.contains("corpus-tiny.qbes"),
+                    "message names the file: {msg}"
+                );
+            }
+            other => panic!("expected a load error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_holding_the_wrong_corpus_is_rejected() {
+        let dir = temp_data_dir("wrongname");
+        CorpusStore::with_dir(Some(dir.clone()))
+            .get_or_load("tiny")
+            .unwrap();
+        // Masquerade the tiny snapshot as "small".
+        std::fs::rename(snapshot_path(&dir, "tiny"), snapshot_path(&dir, "small")).unwrap();
+        match CorpusStore::with_dir(Some(dir.clone())).get_or_load("small") {
+            Err(CorpusError::Load(msg)) => {
+                assert!(
+                    msg.contains("expected"),
+                    "message explains the mismatch: {msg}"
+                );
+            }
+            other => panic!("expected a load error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

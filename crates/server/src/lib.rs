@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! C: HELLO
-//! S: +OK qbe-server proto=1.2 models=twig,path,join,graph classes=rpq,2rpq,crpq corpora=tiny,small strategies=paper-order,random,max-coverage,cheapest-first options=strategy,budget,seed,class
+//! S: +OK qbe-server proto=1.3 models=twig,path,join,graph classes=rpq,2rpq,crpq corpora=tiny,small,medium strategies=paper-order,random,max-coverage,cheapest-first options=strategy,budget,seed,class
 //! C: CORPUS tiny
 //! S: +OK corpus name=tiny docs=1 xml_nodes=331 graph_nodes=10 tuples=12x12
 //! C: START twig strategy=label-affinity budget=40 seed=7
@@ -45,6 +45,7 @@
 pub mod cli;
 pub mod client;
 pub mod corpus;
+mod persist;
 pub mod poll;
 pub mod protocol;
 mod reactor;
@@ -56,7 +57,7 @@ pub use client::{
     demo_graph_goal_pairs, drive_goal_session, local_corpus, local_corpus_builds, AskReply, Client,
     ClientError, Goal,
 };
-pub use corpus::{build_corpus, Corpus, CorpusStore, CORPUS_NAMES};
+pub use corpus::{build_corpus, Corpus, CorpusError, CorpusStore, CORPUS_NAMES};
 pub use protocol::{parse_command, Command, Model, ParseError, MAX_LINE_BYTES};
 pub use registry::{ServiceMetrics, SessionRegistry};
 pub use server::{spawn, Engine, RateLimit, ServerConfig, ServerHandle};

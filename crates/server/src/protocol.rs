@@ -72,6 +72,9 @@ pub enum Command {
         /// Session parameters (strategy, seed, endpoints, …), model-specific.
         params: Vec<(String, String)>,
     },
+    /// `RESUME <id>` — attach the connection to an existing session (after a reconnect or a
+    /// server restart with persistence on; protocol ≥ 1.3).
+    Resume(u64),
     /// `ASK` — request the next membership question.
     Ask,
     /// `ANSWER yes|no` — answer the pending question.
@@ -137,6 +140,14 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
             [name] => Ok(Command::Corpus((*name).to_string())),
             _ => Err(ParseError::BadArguments(
                 "CORPUS takes exactly one name".to_string(),
+            )),
+        },
+        "RESUME" => match rest.as_slice() {
+            [id] => id.parse::<u64>().map(Command::Resume).map_err(|_| {
+                ParseError::BadArguments(format!("RESUME takes a numeric session id, got {id:?}"))
+            }),
+            _ => Err(ParseError::BadArguments(
+                "RESUME takes exactly one session id".to_string(),
             )),
         },
         "ANSWER" => match rest.as_slice() {
@@ -231,6 +242,8 @@ mod tests {
             Ok(Command::Corpus("tiny".to_string()))
         );
         assert_eq!(parse_command("ASK"), Ok(Command::Ask));
+        assert_eq!(parse_command("RESUME 12"), Ok(Command::Resume(12)));
+        assert_eq!(parse_command("resume 1"), Ok(Command::Resume(1)));
         assert_eq!(parse_command("ANSWER yes"), Ok(Command::Answer(true)));
         assert_eq!(parse_command("ANSWER no"), Ok(Command::Answer(false)));
         assert_eq!(parse_command("answer Y"), Ok(Command::Answer(true)));
@@ -311,6 +324,18 @@ mod tests {
         ));
         assert!(matches!(
             parse_command("ASK now"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("RESUME"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("RESUME twelve"),
+            Err(ParseError::BadArguments(_))
+        ));
+        assert!(matches!(
+            parse_command("RESUME 1 2"),
             Err(ParseError::BadArguments(_))
         ));
     }

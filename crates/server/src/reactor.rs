@@ -80,10 +80,12 @@ impl ReactorHandle {
     }
 }
 
-/// Start the reactor thread serving `listener` under `config`.
+/// Start the reactor thread serving `listener` under `config`, against an already-opened
+/// (and, with persistence, already-recovered) `service`.
 pub(crate) fn spawn_reactor(
     listener: TcpListener,
     config: ServerConfig,
+    service: Arc<Service>,
 ) -> io::Result<ReactorHandle> {
     listener.set_nonblocking(true)?;
     let (wake_reader, waker) = waker_pair()?;
@@ -91,7 +93,6 @@ pub(crate) fn spawn_reactor(
     poller.register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
     poller.register(wake_reader.raw_fd(), WAKER_TOKEN, true, false)?;
 
-    let service = Arc::new(Service::new());
     let pool = WorkerPool::spawn(config.workers, service.clone(), waker.clone());
     let completions = pool.completions();
 
@@ -262,6 +263,9 @@ impl Reactor {
     /// Graceful shutdown: let in-flight work finish, report still-open sessions as abandoned,
     /// close every socket.
     fn quiesce(&mut self) {
+        // Sessions still open here are being preserved across the restart (with persistence
+        // on), not abandoned by their clients: suppress WAL Close records from teardown.
+        self.service.preserve_sessions();
         if self.listener_registered {
             let _ = self.poller.deregister(self.listener.as_raw_fd());
             self.listener_registered = false;
@@ -276,7 +280,7 @@ impl Reactor {
             .collect();
         for completion in drained {
             let mut state = completion.state;
-            state.close_session(&self.service.registry);
+            state.close_session(&self.service);
         }
         let conns: Vec<u64> = self.conns.keys().copied().collect();
         for token in conns {
@@ -491,7 +495,7 @@ impl Reactor {
             }) {
                 // Pool already shut down (we are quiescing): hand the state back and close.
                 let mut state = job.state;
-                state.close_session(&self.service.registry);
+                state.close_session(&self.service);
                 self.close_conn(token);
             }
             return;
@@ -518,7 +522,7 @@ impl Reactor {
                 // Connection died while its line was in flight; the session still must be
                 // closed (and thereby reported).
                 let mut state = state;
-                state.close_session(&self.service.registry);
+                state.close_session(&self.service);
                 continue;
             };
             conn.queue_line(&reply);
@@ -588,7 +592,7 @@ impl Reactor {
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         match &mut conn.phase {
             Phase::Ready(state) | Phase::Closing(Some(state)) => {
-                state.close_session(&self.service.registry);
+                state.close_session(&self.service);
             }
             // Busy / Closing(None): the state is out with a worker; the completion for a
             // vanished connection closes the session in `drain_completions`/`quiesce`.

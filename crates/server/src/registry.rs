@@ -82,6 +82,10 @@ pub struct ServiceMetrics {
     pub timeouts: u64,
     /// Requests shed by rate limiting or queue-depth load shedding.
     pub shed: u64,
+    /// WAL records durably appended (0 when persistence is off).
+    pub persisted: u64,
+    /// Live sessions reconstructed from the WAL at the last boot.
+    pub recovered: u64,
 }
 
 impl ServiceMetrics {
@@ -116,6 +120,8 @@ pub struct SessionRegistry {
     rejected: AtomicU64,
     timeouts: AtomicU64,
     shed: AtomicU64,
+    persisted: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl Default for SessionRegistry {
@@ -135,6 +141,8 @@ impl SessionRegistry {
             rejected: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +161,16 @@ impl SessionRegistry {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a WAL record durably appended.
+    pub fn note_persisted(&self) {
+        self.persisted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record how many live sessions boot-time recovery reconstructed.
+    pub fn set_recovered(&self, n: u64) {
+        self.recovered.store(n, Ordering::Relaxed);
+    }
+
     fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Entry>> {
         &self.shards[(id % SHARDS as u64) as usize]
     }
@@ -160,6 +178,19 @@ impl SessionRegistry {
     /// Register a new session, returning its id.
     pub fn open(&self, learner: Box<dyn InteractiveLearner>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.insert(id, learner);
+        id
+    }
+
+    /// Register a recovered session under its original id (WAL replay). Later
+    /// [`SessionRegistry::open`] calls allocate strictly beyond every recovered id, so a
+    /// restarted server never reissues an id a client may still hold.
+    pub fn open_with_id(&self, id: u64, learner: Box<dyn InteractiveLearner>) {
+        self.insert(id, learner);
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+    }
+
+    fn insert(&self, id: u64, learner: Box<dyn InteractiveLearner>) {
         let entry = Entry {
             learner,
             started: Instant::now(),
@@ -169,7 +200,6 @@ impl SessionRegistry {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(id, entry);
-        id
     }
 
     /// Run `f` on the session's learner under its shard lock. `None` when the id is unknown.
@@ -250,6 +280,8 @@ impl SessionRegistry {
             rejected: self.rejected.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
         }
     }
 }
@@ -333,6 +365,25 @@ mod tests {
         assert_eq!(metrics.timeouts, 1);
         assert_eq!(metrics.shed, 3);
         assert_eq!(metrics.sessions, 0, "counters are not sessions");
+    }
+
+    #[test]
+    fn recovered_ids_push_the_allocator_forward() {
+        let reg = SessionRegistry::new();
+        reg.open_with_id(7, learner());
+        reg.open_with_id(3, learner());
+        assert_eq!(reg.active(), 2);
+        assert_eq!(reg.with_session(7, |l| l.kind()), Some("twig"));
+        let fresh = reg.open(learner());
+        assert!(fresh > 7, "fresh ids never collide with recovered ones");
+        let metrics = reg.metrics();
+        assert_eq!(metrics.persisted, 0);
+        assert_eq!(metrics.recovered, 0);
+        reg.note_persisted();
+        reg.set_recovered(2);
+        let metrics = reg.metrics();
+        assert_eq!(metrics.persisted, 1);
+        assert_eq!(metrics.recovered, 2);
     }
 
     #[test]

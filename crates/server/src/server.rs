@@ -29,21 +29,23 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qbe_core::graph::{PathStrategy, QueryClass};
 use qbe_core::relational::Strategy;
 use qbe_core::session::InteractiveLearner;
+use qbe_core::store::{WalRecord, WalWriter};
 use qbe_core::twig::NodeStrategy;
 use qbe_core::{
     GraphQueryInteractive, JoinInteractive, PathInteractive, SessionConfig, TwigInteractive,
     STRATEGY_NAMES,
 };
 
-use crate::corpus::{Corpus, CorpusStore, CORPUS_NAMES};
+use crate::corpus::{Corpus, CorpusError, CorpusStore, CORPUS_NAMES};
 use crate::protocol::{parse_command, render_fields, Command, Model, MAX_LINE_BYTES};
 use crate::registry::SessionRegistry;
 
@@ -110,6 +112,12 @@ pub struct ServerConfig {
     /// queued for the worker pool, `ASK`/`EVAL` are shed with a retryable `-ERR` instead of
     /// queueing behind them. `ANSWER`/`QUIT` always pass.
     pub shed_queue_depth: usize,
+    /// Directory for corpus snapshots (and the session WAL when [`persist`](Self::persist)
+    /// is on). `None` keeps everything in memory.
+    pub data_dir: Option<PathBuf>,
+    /// Log session lifecycle events to a WAL under [`data_dir`](Self::data_dir) and recover
+    /// live sessions from it on boot. Requires `data_dir`.
+    pub persist: bool,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +133,8 @@ impl Default for ServerConfig {
                 .unwrap_or(2),
             rate_limit: None,
             shed_queue_depth: 1024,
+            data_dir: None,
+            persist: false,
         }
     }
 }
@@ -134,6 +144,12 @@ impl Default for ServerConfig {
 pub(crate) struct Service {
     pub(crate) registry: SessionRegistry,
     pub(crate) store: CorpusStore,
+    /// The session WAL, present only with `--persist`. Appends happen on worker / connection
+    /// threads (never the reactor thread) and are fsync-batched inside the writer.
+    wal: Option<Mutex<WalWriter>>,
+    /// Set on graceful shutdown: stop writing `Close` records, so sessions open at shutdown
+    /// stay resumable after the next boot (only client `QUIT`s and disconnects close durably).
+    preserve: AtomicBool,
 }
 
 impl Service {
@@ -141,7 +157,97 @@ impl Service {
         Service {
             registry: SessionRegistry::new(),
             store: CorpusStore::new(),
+            wal: None,
+            preserve: AtomicBool::new(false),
         }
+    }
+
+    /// Build the service a [`ServerConfig`] asks for: snapshot-backed corpora when
+    /// `data_dir` is set, and — with `persist` — WAL recovery of every live session
+    /// *before* the listener opens, so the first accepted client can already `RESUME`.
+    pub(crate) fn open(config: &ServerConfig) -> io::Result<Service> {
+        let store = CorpusStore::with_dir(config.data_dir.clone());
+        if !config.persist {
+            return Ok(Service {
+                store,
+                ..Service::new()
+            });
+        }
+        let dir = config.data_dir.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "--persist requires --data-dir")
+        })?;
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join("sessions.qbew");
+        let (records, writer) = qbe_core::store::wal::recover(&wal_path).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot recover WAL {}: {e}", wal_path.display()),
+            )
+        })?;
+        let registry = SessionRegistry::new();
+        let recovered = crate::persist::replay(&records, &store, &registry).map_err(|why| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot replay WAL {}: {why}", wal_path.display()),
+            )
+        })?;
+        registry.set_recovered(recovered);
+        Ok(Service {
+            registry,
+            store,
+            wal: Some(Mutex::new(writer)),
+            preserve: AtomicBool::new(false),
+        })
+    }
+
+    /// Stop recording `Close` records: sessions still open are being preserved across a
+    /// graceful shutdown, not abandoned by their clients.
+    pub(crate) fn preserve_sessions(&self) {
+        self.preserve.store(true, Ordering::SeqCst);
+    }
+
+    fn append(&self, record: &WalRecord) {
+        let Some(wal) = &self.wal else { return };
+        let result = wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(record);
+        match result {
+            Ok(()) => self.registry.note_persisted(),
+            // Serving continues: durability degrades, correctness of the live session
+            // doesn't. The operator sees it on stderr and in a persisted= counter that
+            // stops advancing.
+            Err(e) => eprintln!("qbe-server: warning: WAL append failed: {e}"),
+        }
+    }
+
+    pub(crate) fn log_start(
+        &self,
+        id: u64,
+        corpus: &str,
+        model: &str,
+        params: &[(String, String)],
+    ) {
+        self.append(&WalRecord::Start {
+            session: id,
+            corpus: corpus.to_string(),
+            model: model.to_string(),
+            params: params.to_vec(),
+        });
+    }
+
+    pub(crate) fn log_answer(&self, id: u64, positive: bool) {
+        self.append(&WalRecord::Answer {
+            session: id,
+            positive,
+        });
+    }
+
+    pub(crate) fn log_close(&self, id: u64) {
+        if self.preserve.load(Ordering::SeqCst) {
+            return;
+        }
+        self.append(&WalRecord::Close { session: id });
     }
 }
 
@@ -174,6 +280,9 @@ pub struct ServerHandle {
 
 /// Bind and start serving with the configured engine. Returns as soon as the listener is live.
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    // With persistence on, WAL recovery runs here — before the listener binds — so no client
+    // can connect to a server whose sessions are still being reconstructed.
+    let service = Arc::new(Service::open(&config)?);
     let listener =
         TcpListener::bind(
             config.addr.to_socket_addrs()?.next().ok_or_else(|| {
@@ -182,11 +291,13 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         )?;
     let addr = listener.local_addr()?;
     let engine = match config.engine {
-        Engine::Event => EngineHandle::Event(crate::reactor::spawn_reactor(listener, config)?),
+        Engine::Event => {
+            EngineHandle::Event(crate::reactor::spawn_reactor(listener, config, service)?)
+        }
         Engine::Blocking => {
             let shared = Arc::new(Shared {
                 config,
-                service: Arc::new(Service::new()),
+                service,
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 live_streams: Mutex::new(HashMap::new()),
@@ -228,6 +339,9 @@ impl ServerHandle {
                 shared,
                 mut accept_thread,
             } => {
+                // From here on, connection teardown must not write WAL Close records: these
+                // sessions are being preserved for the next boot, not abandoned.
+                shared.service.preserve_sessions();
                 shared.shutdown.store(true, Ordering::SeqCst);
                 // Unblock the accept loop with a throwaway connection; it checks the flag
                 // first thing.
@@ -544,10 +658,12 @@ impl ProtoState {
         }
     }
 
-    /// Close (and thereby report) the open session, if any.
-    pub(crate) fn close_session(&mut self, registry: &SessionRegistry) {
+    /// Close (and thereby report) the open session, if any, recording the close durably
+    /// unless the service is preserving sessions for a restart.
+    pub(crate) fn close_session(&mut self, service: &Service) {
         if let Some(id) = self.session.take() {
-            registry.close(id);
+            service.registry.close(id);
+            service.log_close(id);
         }
     }
 }
@@ -560,7 +676,8 @@ fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
     };
     let mut reader = BufReader::new(stream);
     let mut state = ProtoState::new();
-    let registry = &shared.service.registry;
+    let service = &shared.service;
+    let registry = &service.registry;
     if writeln!(writer, "+OK qbe-server ready").is_err() {
         return;
     }
@@ -597,7 +714,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
             break;
         }
     }
-    state.close_session(registry);
+    state.close_session(service);
 }
 
 /// Produce the one-line reply to one request line, plus whether the connection should close.
@@ -610,16 +727,17 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
     };
     let reply = match command {
         Command::Hello => format!(
-            "+OK qbe-server proto=1.2 models=twig,path,join,graph classes=rpq,2rpq,crpq corpora={} strategies={} options=strategy,budget,seed,class",
+            "+OK qbe-server proto=1.3 models=twig,path,join,graph classes=rpq,2rpq,crpq corpora={} strategies={} options=strategy,budget,seed,class",
             CORPUS_NAMES.join(","),
             STRATEGY_NAMES.join(","),
         ),
-        Command::Corpus(name) => match service.store.get_or_build(&name) {
-            None => format!(
+        Command::Corpus(name) => match service.store.get_or_load(&name) {
+            Err(CorpusError::Unknown) => format!(
                 "-ERR unknown corpus {name:?} (known: {})",
                 CORPUS_NAMES.join(",")
             ),
-            Some(corpus) => {
+            Err(CorpusError::Load(why)) => format!("-ERR {why}"),
+            Ok(corpus) => {
                 let summary = render_fields(&[
                     ("name", corpus.name.clone()),
                     ("docs", corpus.docs.len().to_string()),
@@ -639,12 +757,25 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
             Some(corpus) => match build_learner(&corpus, model, &params) {
                 Err(why) => format!("-ERR {why}"),
                 Ok(learner) => {
-                    state.close_session(registry);
+                    state.close_session(service);
                     let id = registry.open(learner);
+                    service.log_start(id, &corpus.name, model.name(), &params);
                     state.session = Some(id);
                     format!("+OK session id={id} model={model}")
                 }
             },
+        },
+        Command::Resume(id) => match registry.with_session(id, |l| l.kind().to_string()) {
+            None => format!("-ERR unknown session {id}"),
+            Some(kind) => {
+                // Re-RESUME-ing the attached session must not close_session it first —
+                // that would remove the very session being resumed.
+                if state.session != Some(id) {
+                    state.close_session(service);
+                    state.session = Some(id);
+                }
+                format!("+OK session id={id} model={kind}")
+            }
         },
         Command::Ask => match state.session {
             None => "-ERR no open session (use START)".to_string(),
@@ -667,7 +798,12 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
             None => "-ERR no open session (use START)".to_string(),
             Some(id) => match registry.with_session(id, |l| l.answer(positive)) {
                 None => "-ERR session vanished".to_string(),
-                Some(Ok(())) => "+OK recorded".to_string(),
+                Some(Ok(())) => {
+                    // Only accepted answers are logged, so replay can never hit a
+                    // no-pending-question error the original run didn't.
+                    service.log_answer(id, positive);
+                    "+OK recorded".to_string()
+                }
                 Some(Err(e)) => format!("-ERR {e}"),
             },
         },
@@ -709,13 +845,16 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
                 ("rejected", metrics.rejected.to_string()),
                 ("timeouts", metrics.timeouts.to_string()),
                 ("shed", metrics.shed.to_string()),
+                ("persisted", metrics.persisted.to_string()),
+                ("recovered", metrics.recovered.to_string()),
+                ("corpora_built", service.store.built().to_string()),
             ];
             format!("+METRICS {}", render_fields(&fields))
         }
         Command::Quit => {
             // Close (and report) the session before replying, so a client that QUITs and then
             // probes METRICS on a fresh connection observes its own session.
-            state.close_session(registry);
+            state.close_session(service);
             return ("+OK bye".to_string(), true);
         }
     };
@@ -766,8 +905,10 @@ fn session_config(
     }
 }
 
-/// Build the model-specific learner a `START` command asks for.
-fn build_learner(
+/// Build the model-specific learner a `START` command asks for (also the reconstruction
+/// path of WAL replay, which is what makes recovery byte-identical: the same factory, the
+/// same parameters, the same seed).
+pub(crate) fn build_learner(
     corpus: &Corpus,
     model: Model,
     params: &[(String, String)],

@@ -189,7 +189,7 @@ mod tests {
             .unwrap_or_else(PoisonError::into_inner)
             .pop_front()
             .unwrap();
-        assert!(first.reply.starts_with("+OK qbe-server proto=1.2"));
+        assert!(first.reply.starts_with("+OK qbe-server proto=1.3"));
         assert!(!first.quit);
         pool.shutdown();
         // After shutdown, submission hands the job back instead of hanging.

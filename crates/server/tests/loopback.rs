@@ -224,7 +224,7 @@ fn hello_advertises_strategy_capabilities() {
     let handle = test_server();
     let mut client = Client::connect(handle.addr()).unwrap();
     let hello = client.hello().unwrap();
-    assert!(hello.contains("proto=1.2"), "{hello}");
+    assert!(hello.contains("proto=1.3"), "{hello}");
     assert!(hello.contains("models=twig,path,join,graph"), "{hello}");
     assert!(hello.contains("classes=rpq,2rpq,crpq"), "{hello}");
     for name in qbe_core::STRATEGY_NAMES {
@@ -513,4 +513,74 @@ fn shutdown_quiesces_with_live_connections() {
     // The client's next request fails (connection reset/EOF/shutdown notice) instead of
     // hanging forever.
     assert!(client.hello().is_err());
+}
+
+#[test]
+fn concurrent_corpus_requests_build_once() {
+    let handle = test_server();
+    let addr = handle.addr();
+    // Eight connections race the first CORPUS request for the same (not yet built) corpus.
+    // Exactly one build may run; everyone gets a +OK with identical summaries.
+    let summaries: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.corpus("small").expect("CORPUS small succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for summary in &summaries[1..] {
+        assert_eq!(summary, &summaries[0], "all callers see the same corpus");
+    }
+    let mut probe = Client::connect(addr).unwrap();
+    let metrics = probe.metrics().unwrap();
+    assert_eq!(
+        metric(&metrics, "corpora_built"),
+        "1",
+        "the race built the corpus exactly once"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn resume_reattaches_a_session_across_connections() {
+    let handle = test_server();
+    let addr = handle.addr();
+
+    let mut first = Client::connect(addr).unwrap();
+    first.corpus("tiny").unwrap();
+    let id = first.start(Model::Twig, &[("seed", "7")]).unwrap();
+    let q1 = first.ask().unwrap();
+    drop(first); // connection drops without QUIT — the session is closed by teardown
+
+    // A dropped connection closes its session: RESUME must refuse it. The server processes
+    // the hangup asynchronously, so poll until the close lands.
+    let mut second = Client::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while second.resume(id).is_ok() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session {id} never closed after its connection dropped"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A *live* session on another connection is; the pending question is unchanged.
+    let mut owner = Client::connect(addr).unwrap();
+    owner.corpus("tiny").unwrap();
+    let id2 = owner.start(Model::Twig, &[("seed", "7")]).unwrap();
+    let q2 = owner.ask().unwrap();
+    assert_eq!(q1, q2, "same seed, same first question");
+    let mut taker = Client::connect(addr).unwrap();
+    let model = taker.resume(id2).expect("live session resumes");
+    assert_eq!(model, "twig");
+    assert_eq!(
+        taker.ask().unwrap(),
+        q2,
+        "pending question survives the handoff"
+    );
+    handle.shutdown();
 }

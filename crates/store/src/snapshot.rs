@@ -1,0 +1,314 @@
+//! Flat snapshot container: a versioned, checksummed header plus independently
+//! checksummed sections, read lazily through a [`Backend`].
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----
+//!      0     4  magic "QBES"
+//!      4     4  format version (currently 1)
+//!      8     4  section count
+//!     12     4  reserved (zero)
+//!     16  32*n  section table: per section
+//!                 kind u32 | pad u32 | offset u64 | len u64 | fnv1a64_words(payload) u64
+//! 16+32n     8  fnv1a64 of all preceding header bytes
+//!  after   ...  section payloads, in table order
+//! ```
+//!
+//! The header (including the table) is read and verified once on open; each section's
+//! payload is read and verified only when asked for, so opening a snapshot costs one small
+//! read regardless of corpus size, and a reader that only needs one substrate never touches
+//! the others.
+
+use crate::backend::Backend;
+use crate::codec::{fnv1a64, fnv1a64_words};
+use crate::StoreError;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"QBES";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const FIXED_HEADER: usize = 16;
+const SECTION_ENTRY: usize = 32;
+
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    kind: u32,
+    offset: u64,
+    len: u64,
+    checksum: u64,
+}
+
+/// Accumulates sections, then emits the complete snapshot byte stream.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Empty writer.
+    pub fn new() -> SnapshotWriter {
+        SnapshotWriter::default()
+    }
+
+    /// Append a section. Kinds must be unique within one snapshot.
+    pub fn section(&mut self, kind: u32, payload: Vec<u8>) {
+        assert!(
+            self.sections.iter().all(|(k, _)| *k != kind),
+            "duplicate section kind {kind}"
+        );
+        self.sections.push((kind, payload));
+    }
+
+    /// Serialise header + table + payloads into one buffer.
+    pub fn finish(self) -> Vec<u8> {
+        let header_len = FIXED_HEADER + SECTION_ENTRY * self.sections.len() + 8;
+        let mut out = Vec::with_capacity(
+            header_len + self.sections.iter().map(|(_, p)| p.len()).sum::<usize>(),
+        );
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        let mut offset = header_len as u64;
+        for (kind, payload) in &self.sections {
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a64_words(payload).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        let header_checksum = fnv1a64(&out);
+        out.extend_from_slice(&header_checksum.to_le_bytes());
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// Write `bytes` to `path` atomically: write a sibling temp file, fsync it, rename over the
+/// target. A crash mid-write leaves either the old file or nothing — never a torn snapshot.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Lazy, validating reader over a snapshot [`Backend`].
+#[derive(Debug)]
+pub struct SnapshotReader<B: Backend> {
+    backend: B,
+    entries: Vec<SectionEntry>,
+}
+
+impl<B: Backend> SnapshotReader<B> {
+    /// Open and validate the header: magic, version, length, header checksum, table sanity.
+    /// Section payloads are not touched yet.
+    pub fn open(backend: B) -> Result<SnapshotReader<B>, StoreError> {
+        let total = backend.len();
+        if total < FIXED_HEADER as u64 {
+            return Err(StoreError::ShortHeader {
+                needed: FIXED_HEADER,
+                got: total as usize,
+            });
+        }
+        let mut fixed = [0u8; FIXED_HEADER];
+        backend.read_at(0, &mut fixed)?;
+        if &fixed[0..4] != SNAPSHOT_MAGIC {
+            return Err(StoreError::BadMagic {
+                expected: SNAPSHOT_MAGIC,
+                found: [fixed[0], fixed[1], fixed[2], fixed[3]],
+            });
+        }
+        let version = u32::from_le_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+        if version > SNAPSHOT_VERSION {
+            return Err(StoreError::FutureVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes([fixed[8], fixed[9], fixed[10], fixed[11]]) as usize;
+        // 64Ki sections is far beyond any real snapshot; treat more as corruption rather
+        // than attempting a multi-megabyte "header" read.
+        if count > 65_536 {
+            return Err(StoreError::Corrupt(format!(
+                "implausible section count {count}"
+            )));
+        }
+        let header_len = FIXED_HEADER + SECTION_ENTRY * count + 8;
+        if total < header_len as u64 {
+            return Err(StoreError::ShortHeader {
+                needed: header_len,
+                got: total as usize,
+            });
+        }
+        let mut header = vec![0u8; header_len];
+        backend.read_at(0, &mut header)?;
+        let body = &header[..header_len - 8];
+        let stored = u64::from_le_bytes(header[header_len - 8..].try_into().expect("8 bytes"));
+        if fnv1a64(body) != stored {
+            return Err(StoreError::ChecksumMismatch {
+                what: "snapshot header".to_string(),
+            });
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = FIXED_HEADER + SECTION_ENTRY * i;
+            let e = &header[at..at + SECTION_ENTRY];
+            let entry = SectionEntry {
+                kind: u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")),
+                offset: u64::from_le_bytes(e[8..16].try_into().expect("8 bytes")),
+                len: u64::from_le_bytes(e[16..24].try_into().expect("8 bytes")),
+                checksum: u64::from_le_bytes(e[24..32].try_into().expect("8 bytes")),
+            };
+            let end = entry.offset.checked_add(entry.len);
+            if entry.offset < header_len as u64 || end.is_none() || end.unwrap() > total {
+                return Err(StoreError::Corrupt(format!(
+                    "section kind {} spans {}..{:?}, outside file of {total} bytes",
+                    entry.kind, entry.offset, end
+                )));
+            }
+            entries.push(entry);
+        }
+        Ok(SnapshotReader { backend, entries })
+    }
+
+    /// Section kinds present, in file order.
+    pub fn kinds(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|e| e.kind)
+    }
+
+    /// Read and checksum-verify one section's payload.
+    pub fn read_section(&self, kind: u32) -> Result<Vec<u8>, StoreError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.kind == kind)
+            .ok_or_else(|| StoreError::Corrupt(format!("missing section kind {kind}")))?;
+        let mut payload = vec![0u8; entry.len as usize];
+        self.backend.read_at(entry.offset, &mut payload)?;
+        if fnv1a64_words(&payload) != entry.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                what: format!("section kind {}", entry.kind),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(1, b"alpha payload".to_vec());
+        w.section(7, vec![0u8; 100]);
+        w.finish()
+    }
+
+    #[test]
+    fn sections_round_trip_through_the_container() {
+        let r = SnapshotReader::open(MemBackend::new(sample_bytes())).unwrap();
+        assert_eq!(r.kinds().collect::<Vec<_>>(), vec![1, 7]);
+        assert_eq!(r.read_section(1).unwrap(), b"alpha payload");
+        assert_eq!(r.read_section(7).unwrap(), vec![0u8; 100]);
+        assert!(matches!(r.read_section(99), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            SnapshotReader::open(MemBackend::new(bytes)),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn short_header_is_rejected() {
+        let bytes = sample_bytes();
+        assert!(matches!(
+            SnapshotReader::open(MemBackend::new(bytes[..10].to_vec())),
+            Err(StoreError::ShortHeader { .. })
+        ));
+        // Long enough for the fixed header but not the section table.
+        assert!(matches!(
+            SnapshotReader::open(MemBackend::new(bytes[..20].to_vec())),
+            Err(StoreError::ShortHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_both_versions() {
+        let mut bytes = sample_bytes();
+        bytes[4..8].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        match SnapshotReader::open(MemBackend::new(bytes)) {
+            Err(StoreError::FutureVersion { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_VERSION + 1);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected FutureVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_byte_flip_fails_the_header_checksum() {
+        let mut bytes = sample_bytes();
+        // Flip a bit inside the section table (a section length byte).
+        bytes[FIXED_HEADER + 16] ^= 0x01;
+        assert!(matches!(
+            SnapshotReader::open(MemBackend::new(bytes)),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_byte_flip_fails_that_section_only() {
+        let mut bytes = sample_bytes();
+        let last = bytes.len() - 1; // inside section 7's payload
+        bytes[last] ^= 0x80;
+        let r = SnapshotReader::open(MemBackend::new(bytes)).unwrap();
+        assert_eq!(r.read_section(1).unwrap(), b"alpha payload");
+        assert!(matches!(
+            r.read_section(7),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_region_is_rejected_at_open() {
+        let bytes = sample_bytes();
+        let cut = bytes.len() - 40; // lops off part of section 7
+        assert!(matches!(
+            SnapshotReader::open(MemBackend::new(bytes[..cut].to_vec())),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn write_atomic_replaces_the_target() {
+        let path = std::env::temp_dir().join(format!(
+            "qbe-store-snapshot-test-{}.qbes",
+            std::process::id()
+        ));
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        std::fs::remove_file(&path).ok();
+    }
+}
