@@ -17,6 +17,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("exp_exchange", env!("CARGO_BIN_EXE_exp_exchange")),
     ("exp_graph_paths", env!("CARGO_BIN_EXE_exp_graph_paths")),
     ("exp_interactions", env!("CARGO_BIN_EXE_exp_interactions")),
+    ("exp_noise", env!("CARGO_BIN_EXE_exp_noise")),
     (
         "exp_overspecialisation",
         env!("CARGO_BIN_EXE_exp_overspecialisation"),

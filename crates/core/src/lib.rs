@@ -47,6 +47,7 @@
 
 pub mod framework;
 pub mod metrics;
+pub mod noise;
 pub mod oracle;
 pub mod session;
 pub mod workload;
@@ -56,6 +57,10 @@ pub use framework::{
     Learner, PairItem, PathItem, PathLearner, TwigLearner, XmlItem,
 };
 pub use metrics::ConfusionMatrix;
+pub use noise::{
+    majority_error_bound, majority_votes_needed, votes_for_session, MajorityOracle, NoisyOracle,
+    NoisyPacPlan,
+};
 pub use oracle::{run_interactive, GoalOracle, InteractiveOutcome, Oracle};
 pub use session::{
     drive, GraphQueryInteractive, InteractiveLearner, JoinInteractive, PathInteractive, Question,
@@ -110,3 +115,6 @@ pub use qbe_exchange as exchange;
 
 /// Re-export of the durability layer — corpus snapshots and the session WAL (`qbe-store`).
 pub use qbe_store as store;
+
+/// Re-export of the deterministic fault-injection layer (`qbe-faults`).
+pub use qbe_faults as faults;

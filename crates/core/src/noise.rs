@@ -1,0 +1,384 @@
+//! Noisy-oracle learning: seeded answer flips, majority re-asking, and
+//! PAC-style convergence bounds.
+//!
+//! The paper's user answers every membership question correctly. This module
+//! opens the unreliable-world variant: a [`NoisyOracle`] flips each answer
+//! with probability `p` (deterministically, from a seed), and a
+//! [`MajorityOracle`] recovers the true label by re-asking the same question
+//! `k` times and taking the majority — the classic noise-tolerance reduction
+//! for random classification noise (Angluin–Laird). Both wrap any
+//! [`Oracle`], so they compose with [`run_interactive`](crate::run_interactive)
+//! and every goal-driven session unchanged.
+//!
+//! The bound side is exact rather than Chernoff-loose: [`majority_error_bound`]
+//! evaluates the binomial tail `P[Bin(k, p) > k/2]` directly, and
+//! [`majority_votes_needed`] / [`votes_for_session`] invert it (the latter with
+//! a union bound over a whole session's questions). [`NoisyPacPlan`] combines
+//! that with the qbe-twig PAC sample-size machinery
+//! ([`qbe_twig::pac::pac_sample_size`]) into a single certificate: *ask this
+//! many questions, re-ask each this many times, and the session converges to
+//! an ε-good hypothesis with probability ≥ 1 − δ despite the noise*.
+//!
+//! For protocol-level sessions (`qbe-server`), the same vote arithmetic runs
+//! client-side: the resilient client re-ASKs the pending question (the server
+//! repeats it verbatim until answered) and commits the majority answer, so a
+//! `k`-vote consumes `k` protocol round-trips but only **one** unit of the
+//! session's question budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::oracle::Oracle;
+
+/// An oracle whose answers are flipped with probability `p`, from a seeded
+/// stream. Wraps any inner oracle; `questions()` is delegated, so budget
+/// accounting is unchanged by the noise.
+#[derive(Debug, Clone)]
+pub struct NoisyOracle<O> {
+    inner: O,
+    p: f64,
+    rng: StdRng,
+    flips: u64,
+}
+
+impl<O> NoisyOracle<O> {
+    /// Wraps `inner`; each answer is flipped with probability `p ∈ [0, 1]`
+    /// drawn from a stream seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]` or not finite.
+    pub fn new(inner: O, p: f64, seed: u64) -> NoisyOracle<O> {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1], got {p}"
+        );
+        NoisyOracle {
+            inner,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            flips: 0,
+        }
+    }
+
+    /// Answers flipped so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<Item, O: Oracle<Item>> Oracle<Item> for NoisyOracle<O> {
+    fn label(&mut self, item: &Item) -> bool {
+        let truth = self.inner.label(item);
+        if self.p > 0.0 && self.rng.gen_bool(self.p) {
+            self.flips += 1;
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn questions(&self) -> usize {
+        self.inner.questions()
+    }
+}
+
+/// A meta-oracle that answers each question by asking the wrapped (noisy)
+/// oracle `k` times and returning the majority vote.
+///
+/// `k` is forced odd (rounded up) so votes never tie. Budget accounting is
+/// honest: `questions()` delegates to the inner oracle, which counts every
+/// individual vote — so a majority session over a question budget spends it
+/// `k` times faster, and [`reasks`](Self::reasks) reports the overhead
+/// (`(k−1)` extra asks per question).
+#[derive(Debug, Clone)]
+pub struct MajorityOracle<O> {
+    inner: O,
+    k: usize,
+    reasks: u64,
+}
+
+impl<O> MajorityOracle<O> {
+    /// Wraps `inner` with `k`-vote majority (k rounded up to an odd ≥ 1).
+    pub fn new(inner: O, k: usize) -> MajorityOracle<O> {
+        let k = k.max(1);
+        MajorityOracle {
+            inner,
+            k: if k.is_multiple_of(2) { k + 1 } else { k },
+            reasks: 0,
+        }
+    }
+
+    /// The (odd) number of votes per question.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Extra asks beyond one per question, so far.
+    pub fn reasks(&self) -> u64 {
+        self.reasks
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<Item, O: Oracle<Item>> Oracle<Item> for MajorityOracle<O> {
+    fn label(&mut self, item: &Item) -> bool {
+        let mut positives = 0usize;
+        for _ in 0..self.k {
+            if self.inner.label(item) {
+                positives += 1;
+            }
+        }
+        self.reasks += (self.k - 1) as u64;
+        2 * positives > self.k
+    }
+
+    fn questions(&self) -> usize {
+        self.inner.questions()
+    }
+}
+
+/// Exact probability that a `k`-vote majority is wrong when each vote is
+/// independently flipped with probability `p`: the binomial tail
+/// `P[Bin(k, p) ≥ ⌊k/2⌋ + 1]`.
+///
+/// Exact (iterated pmf, no Chernoff slack), so the vote counts it induces are
+/// 2–3× smaller than the usual `ln(1/δ)/(2(1/2−p)²)` bound at the same
+/// confidence.
+pub fn majority_error_bound(p: f64, k: usize) -> f64 {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "flip probability must be in [0, 1], got {p}"
+    );
+    let k = k.max(1);
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let need = k / 2 + 1; // majority wrong ⇔ at least this many flips
+    let ratio = p / (1.0 - p);
+    let mut pmf = (1.0 - p).powi(k as i32); // P[Bin = 0]
+    let mut tail = 0.0;
+    for i in 0..=k {
+        if i >= need {
+            tail += pmf;
+        }
+        // P[Bin = i+1] from P[Bin = i].
+        pmf *= ratio * (k - i) as f64 / (i + 1) as f64;
+    }
+    tail.min(1.0)
+}
+
+/// Smallest odd `k` with [`majority_error_bound`]`(p, k) ≤ delta`, i.e. the
+/// votes per question needed to answer one question correctly with
+/// probability ≥ 1 − δ under flip rate `p`.
+///
+/// Requires `p < 1/2` (at or beyond 1/2 the majority carries no signal and no
+/// finite `k` suffices).
+///
+/// # Panics
+///
+/// Panics when `p ≥ 1/2`, `delta ≤ 0`, or either argument is not finite.
+pub fn majority_votes_needed(p: f64, delta: f64) -> usize {
+    assert!(
+        p.is_finite() && (0.0..0.5).contains(&p),
+        "majority voting needs flip probability in [0, 1/2), got {p}"
+    );
+    assert!(
+        delta.is_finite() && delta > 0.0,
+        "confidence delta must be positive, got {delta}"
+    );
+    let mut k = 1usize;
+    while majority_error_bound(p, k) > delta {
+        k += 2;
+    }
+    k
+}
+
+/// Votes per question for a whole session: a union bound over `questions`
+/// questions, so that *every* majority in the session is correct with
+/// probability ≥ 1 − δ. With all answers correct the session behaves exactly
+/// like its noise-free twin — same questions, same transcript, same final
+/// query.
+pub fn votes_for_session(p: f64, delta: f64, questions: usize) -> usize {
+    if p == 0.0 {
+        return 1;
+    }
+    majority_votes_needed(p, delta / questions.max(1) as f64)
+}
+
+/// A PAC-style convergence certificate for a noisy session, combining the
+/// qbe-twig sample-size machinery with the exact majority bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoisyPacPlan {
+    /// Labelled examples that suffice for an ε-good hypothesis with
+    /// probability ≥ 1 − δ/2 over the sample
+    /// ([`qbe_twig::pac::pac_sample_size`]).
+    pub questions: usize,
+    /// Votes per question so that all majorities are simultaneously correct
+    /// with probability ≥ 1 − δ/2 under flip rate `p`.
+    pub votes_per_question: usize,
+}
+
+impl NoisyPacPlan {
+    /// Builds the plan: split δ between the PAC sample and the vote union
+    /// bound, so following the plan converges with probability ≥ 1 − δ
+    /// overall.
+    pub fn new(epsilon: f64, delta: f64, hypothesis_count: f64, p: f64) -> NoisyPacPlan {
+        let questions = qbe_twig::pac::pac_sample_size(epsilon, delta / 2.0, hypothesis_count);
+        NoisyPacPlan {
+            questions,
+            votes_per_question: votes_for_session(p, delta / 2.0, questions),
+        }
+    }
+
+    /// Total oracle asks the plan costs (`questions × votes_per_question`).
+    pub fn total_votes(&self) -> usize {
+        self.questions * self.votes_per_question
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{BoundPathQuery, Hypothesis, PathItem, PathLearner};
+    use crate::oracle::{run_interactive, GoalOracle};
+
+    fn item(word: &[&str]) -> PathItem {
+        PathItem {
+            word: word.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn goal() -> BoundPathQuery {
+        let q = qbe_graph::learn_path_query(&[
+            vec!["highway".to_string()],
+            vec!["highway".to_string(), "highway".to_string()],
+        ])
+        .unwrap();
+        BoundPathQuery { query: q }
+    }
+
+    struct Truth;
+    impl Oracle<bool> for Truth {
+        fn label(&mut self, item: &bool) -> bool {
+            *item
+        }
+        fn questions(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_the_configured_rate_deterministically() {
+        let mut a = NoisyOracle::new(Truth, 0.2, 99);
+        let mut b = NoisyOracle::new(Truth, 0.2, 99);
+        let seq_a: Vec<bool> = (0..1000).map(|_| a.label(&true)).collect();
+        let seq_b: Vec<bool> = (0..1000).map(|_| b.label(&true)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same flips");
+        let rate = a.flips() as f64 / 1000.0;
+        assert!((rate - 0.2).abs() < 0.05, "observed flip rate {rate}");
+
+        let mut clean = NoisyOracle::new(Truth, 0.0, 99);
+        assert!((0..100).all(|_| clean.label(&true)));
+        assert_eq!(clean.flips(), 0);
+    }
+
+    #[test]
+    fn majority_vote_recovers_the_truth_that_raw_noise_destroys() {
+        // k chosen from the exact bound: 1000 questions all correct w.p. ≥ 0.999.
+        let k = votes_for_session(0.2, 0.001, 1000);
+        let mut majority = MajorityOracle::new(NoisyOracle::new(Truth, 0.2, 5), k);
+        assert!((0..500).all(|_| majority.label(&true)));
+        assert!((0..500).all(|_| !majority.label(&false)));
+        assert_eq!(majority.reasks(), 1000 * (k as u64 - 1));
+
+        // The raw noisy oracle at the same seed gets some of these wrong.
+        let mut raw = NoisyOracle::new(Truth, 0.2, 5);
+        assert!((0..500).any(|_| !raw.label(&true)));
+    }
+
+    #[test]
+    fn even_k_is_rounded_up_to_odd() {
+        let majority = MajorityOracle::new(Truth, 4);
+        assert_eq!(majority.k(), 5);
+        assert_eq!(MajorityOracle::new(Truth, 0).k(), 1);
+    }
+
+    #[test]
+    fn exact_majority_bound_matches_hand_computed_binomials() {
+        // k=3, p=0.1: wrong ⇔ ≥2 flips: 3·0.01·0.9 + 0.001 = 0.028.
+        assert!((majority_error_bound(0.1, 3) - 0.028).abs() < 1e-12);
+        // k=1 degenerates to p itself.
+        assert!((majority_error_bound(0.3, 1) - 0.3).abs() < 1e-12);
+        assert_eq!(majority_error_bound(0.0, 7), 0.0);
+        assert_eq!(majority_error_bound(1.0, 7), 1.0);
+    }
+
+    #[test]
+    fn vote_counts_grow_with_noise_and_confidence() {
+        assert_eq!(majority_votes_needed(0.0, 0.01), 1);
+        let easy = majority_votes_needed(0.1, 0.01);
+        let noisy = majority_votes_needed(0.2, 0.01);
+        let strict = majority_votes_needed(0.2, 0.0001);
+        assert!(easy < noisy && noisy < strict, "{easy} {noisy} {strict}");
+        assert!(noisy % 2 == 1);
+        // And the bound the counts came from actually holds at the returned k.
+        assert!(majority_error_bound(0.2, noisy) <= 0.01);
+        assert!(majority_error_bound(0.2, noisy.saturating_sub(2)) > 0.01);
+    }
+
+    #[test]
+    fn pac_plan_composes_sample_size_with_vote_counts() {
+        let clean = NoisyPacPlan::new(0.1, 0.05, 1000.0, 0.0);
+        assert_eq!(clean.votes_per_question, 1);
+        let noisy = NoisyPacPlan::new(0.1, 0.05, 1000.0, 0.2);
+        assert_eq!(
+            noisy.questions, clean.questions,
+            "noise never changes the sample size"
+        );
+        assert!(noisy.votes_per_question > 1);
+        assert_eq!(
+            noisy.total_votes(),
+            noisy.questions * noisy.votes_per_question
+        );
+    }
+
+    #[test]
+    fn interactive_session_under_majority_voting_matches_the_clean_run() {
+        let pool = vec![
+            item(&["highway"]),
+            item(&["highway", "highway"]),
+            item(&["highway", "highway", "highway"]),
+            item(&["local"]),
+            item(&["highway", "local"]),
+            item(&["local", "highway"]),
+        ];
+        let learner = PathLearner;
+        let clean = run_interactive(&learner, &pool, &mut GoalOracle::new(goal()));
+        let clean_hyp = clean.hypothesis.expect("clean labels are consistent");
+
+        let k = votes_for_session(0.2, 0.01, pool.len());
+        let mut voted = MajorityOracle::new(NoisyOracle::new(GoalOracle::new(goal()), 0.2, 13), k);
+        let noisy = run_interactive(&learner, &pool, &mut voted);
+        let noisy_hyp = noisy.hypothesis.expect("majority answers stay consistent");
+        for p in &pool {
+            assert_eq!(noisy_hyp.selects(p), clean_hyp.selects(p));
+        }
+        assert_eq!(
+            noisy.interactions, clean.interactions,
+            "same questions asked"
+        );
+    }
+}

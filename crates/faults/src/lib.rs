@@ -1,0 +1,474 @@
+//! Deterministic, seeded fault injection for the qbe stack.
+//!
+//! Every unreliable-world behaviour in the workspace — failed or torn store
+//! writes, fsync errors, dropped connections, injected latency, flipped oracle
+//! answers — is decided by a [`FaultRegistry`]: a set of named *sites*
+//! (`"wal.fsync"`, `"server.drop"`, …) with per-site probability/schedule
+//! configuration. All randomness is derived from a single profile seed, with
+//! one independent stream per site, so a fault schedule is a pure function of
+//! `(profile, sequence of checks at each site)`: two runs that check the same
+//! sites in the same per-site order inject *exactly* the same faults. That is
+//! what lets differential pins (byte-identical transcripts, replay equality)
+//! keep holding under injected failure.
+//!
+//! Profiles are built in code ([`FaultProfile::site`]) or parsed from a spec
+//! string ([`FaultProfile::parse`], also read from an environment variable by
+//! [`FaultProfile::from_env`] so CI can select a profile without recompiling):
+//!
+//! ```text
+//! seed=42;server.drop=0.2:max=4;server.latency=1:ms=2;wal.fsync=0.5
+//! ```
+//!
+//! Code under test asks the registry at each site: [`FaultRegistry::fire`]
+//! for a yes/no decision, [`FaultRegistry::delay`] for injected latency,
+//! [`FaultRegistry::io_error`] for an `io::Error` seam. Sites not named by the
+//! profile never fire and cost one map lookup, so the seams stay in production
+//! code paths permanently.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marker substring present in every injected [`io::Error`] message, so tests
+/// (and log readers) can tell injected failures from real ones.
+pub const INJECTED_MARKER: &str = "injected fault";
+
+/// Builds the `io::Error` returned by fired I/O fault sites.
+pub fn injected_io_error(site: &str) -> io::Error {
+    io::Error::other(format!("{INJECTED_MARKER} at {site}"))
+}
+
+/// 64-bit FNV-1a — used to derive an independent RNG stream per site name.
+/// (Duplicated from `qbe-store` because this crate sits below it.)
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-site fault configuration: when and how often the site fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteConfig {
+    /// Probability that each check fires, in `[0, 1]` (drawn from the site's
+    /// seeded stream).
+    pub probability: f64,
+    /// Deterministic schedule: additionally fire on every `n`-th check of the
+    /// site (1-based, so `every=3` fires checks 3, 6, 9, …).
+    pub every: Option<u64>,
+    /// Stop firing after this many fires (the site keeps counting checks).
+    pub max_fires: Option<u64>,
+    /// For latency sites: the delay to inject when the site fires.
+    pub delay_ms: Option<u64>,
+}
+
+impl SiteConfig {
+    /// A site that fires each check with probability `p` (clamped to `[0, 1]`).
+    pub fn with_probability(p: f64) -> Self {
+        SiteConfig {
+            probability: p.clamp(0.0, 1.0),
+            every: None,
+            max_fires: None,
+            delay_ms: None,
+        }
+    }
+
+    /// A site that fires deterministically on every `n`-th check.
+    pub fn with_every(n: u64) -> Self {
+        SiteConfig {
+            probability: 0.0,
+            every: Some(n),
+            max_fires: None,
+            delay_ms: None,
+        }
+    }
+
+    /// Caps the site at `n` total fires.
+    pub fn max_fires(mut self, n: u64) -> Self {
+        self.max_fires = Some(n);
+        self
+    }
+
+    /// Sets the injected delay for latency sites.
+    pub fn delay_ms(mut self, ms: u64) -> Self {
+        self.delay_ms = Some(ms);
+        self
+    }
+
+    /// Parses `"<prob>[:every=N][:max=N][:ms=N]"`, e.g. `"0.2:max=3"`.
+    pub fn parse(spec: &str) -> Result<SiteConfig, String> {
+        let mut parts = spec.split(':');
+        let prob_part = parts.next().unwrap_or_default();
+        let probability: f64 = prob_part
+            .parse()
+            .ok()
+            .filter(|p: &f64| (0.0..=1.0).contains(p))
+            .ok_or_else(|| {
+                format!("site probability must be a number in [0, 1], got {prob_part:?}")
+            })?;
+        let mut config = SiteConfig::with_probability(probability);
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("site option must be key=value, got {part:?}"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("site option {key} needs an integer, got {value:?}"))?;
+            match key {
+                "every" if n > 0 => config.every = Some(n),
+                "every" => return Err("every=N needs N > 0".to_string()),
+                "max" => config.max_fires = Some(n),
+                "ms" => config.delay_ms = Some(n),
+                other => return Err(format!("unknown site option {other:?}")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// A named collection of fault sites plus the seed their streams derive from.
+///
+/// The default profile has seed 0 and no sites: a registry over it never
+/// fires, so "faults compiled in but disabled" is just the empty profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultProfile {
+    /// Master seed; each site's stream is seeded by `seed ^ fnv1a64(name)`.
+    pub seed: u64,
+    /// Site name → configuration.
+    pub sites: BTreeMap<String, SiteConfig>,
+}
+
+impl FaultProfile {
+    /// An empty profile with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a site. Builder-style: `FaultProfile::new(7).site(..)`.
+    pub fn site(mut self, name: &str, config: SiteConfig) -> Self {
+        self.sites.insert(name.to_string(), config);
+        self
+    }
+
+    /// Parses a `;`-separated spec: `seed=N` clauses set the master seed, any
+    /// other clause is `<site>=<SiteConfig>` (see [`SiteConfig::parse`]).
+    ///
+    /// ```
+    /// use qbe_faults::FaultProfile;
+    /// let p = FaultProfile::parse("seed=42;server.drop=0.2:max=4;wal.fsync=1:every=2").unwrap();
+    /// assert_eq!(p.seed, 42);
+    /// assert_eq!(p.sites.len(), 2);
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultProfile, String> {
+        let mut profile = FaultProfile::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause must be name=value, got {clause:?}"))?;
+            let (name, value) = (name.trim(), value.trim());
+            if name == "seed" {
+                profile.seed = value
+                    .parse()
+                    .map_err(|_| format!("seed needs an integer, got {value:?}"))?;
+            } else if name.is_empty() {
+                return Err(format!("empty site name in clause {clause:?}"));
+            } else {
+                let config = SiteConfig::parse(value).map_err(|e| format!("site {name}: {e}"))?;
+                profile.sites.insert(name.to_string(), config);
+            }
+        }
+        Ok(profile)
+    }
+
+    /// Reads a profile spec from environment variable `var`. `Ok(None)` when
+    /// unset or empty; `Err` when set but unparseable (callers should fail
+    /// loudly rather than silently run fault-free).
+    pub fn from_env(var: &str) -> Result<Option<FaultProfile>, String> {
+        match std::env::var(var) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SiteState {
+    rng: StdRng,
+    checks: u64,
+    fires: u64,
+}
+
+/// Thread-safe runtime over a [`FaultProfile`]: per-site seeded RNG streams
+/// plus fire/check counters. Cheap to share (`Arc<FaultRegistry>`); one
+/// registry per tier (server, client, store writer) keeps their streams
+/// independent.
+#[derive(Debug)]
+pub struct FaultRegistry {
+    profile: FaultProfile,
+    states: Mutex<BTreeMap<String, SiteState>>,
+    injected: AtomicU64,
+}
+
+impl FaultRegistry {
+    /// Builds a registry over `profile`.
+    pub fn new(profile: FaultProfile) -> Self {
+        FaultRegistry {
+            profile,
+            states: Mutex::new(BTreeMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: `Arc::new(FaultRegistry::new(profile))`.
+    pub fn shared(profile: FaultProfile) -> Arc<Self> {
+        Arc::new(Self::new(profile))
+    }
+
+    /// The profile this registry runs.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Checks the site once and reports whether it fires. Sites absent from
+    /// the profile never fire; configured sites consult their deterministic
+    /// schedule (`every`) and their seeded probability stream, capped by
+    /// `max_fires`.
+    pub fn fire(&self, site: &str) -> bool {
+        let Some(config) = self.profile.sites.get(site) else {
+            return false;
+        };
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        let state = states.entry(site.to_string()).or_insert_with(|| SiteState {
+            rng: StdRng::seed_from_u64(self.profile.seed ^ fnv1a64(site.as_bytes())),
+            checks: 0,
+            fires: 0,
+        });
+        state.checks += 1;
+        // Draw even when capped so the stream position stays a function of the
+        // check count alone (max_fires then only masks fires, not randomness).
+        let scheduled = config.every.is_some_and(|n| state.checks.is_multiple_of(n));
+        let drawn = config.probability > 0.0 && state.rng.gen_bool(config.probability);
+        let capped = config.max_fires.is_some_and(|max| state.fires >= max);
+        let fired = (scheduled || drawn) && !capped;
+        if fired {
+            state.fires += 1;
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Latency seam: `Some(delay)` when the site fires and configures
+    /// `delay_ms`, `None` otherwise.
+    pub fn delay(&self, site: &str) -> Option<Duration> {
+        let ms = self.profile.sites.get(site)?.delay_ms?;
+        if self.fire(site) {
+            Some(Duration::from_millis(ms))
+        } else {
+            None
+        }
+    }
+
+    /// I/O seam: `Err(injected error)` when the site fires, `Ok(())` otherwise.
+    pub fn io_error(&self, site: &str) -> io::Result<()> {
+        if self.fire(site) {
+            Err(injected_io_error(site))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total faults injected across all sites (the `faults_injected=` METRICS
+    /// counter).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Fires at one site so far.
+    pub fn fires(&self, site: &str) -> u64 {
+        let states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        states.get(site).map_or(0, |s| s.fires)
+    }
+
+    /// Checks at one site so far.
+    pub fn checks(&self, site: &str) -> u64 {
+        let states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        states.get(site).map_or(0, |s| s.checks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_profile(seed: u64) -> FaultProfile {
+        FaultProfile::new(seed).site("server.drop", SiteConfig::with_probability(0.3))
+    }
+
+    #[test]
+    fn unconfigured_sites_never_fire_and_cost_no_state() {
+        let reg = FaultRegistry::new(drop_profile(7));
+        for _ in 0..100 {
+            assert!(!reg.fire("wal.fsync"));
+        }
+        assert_eq!(reg.checks("wal.fsync"), 0);
+        assert_eq!(reg.injected(), 0);
+    }
+
+    #[test]
+    fn fire_sequences_are_deterministic_under_the_seed() {
+        let a = FaultRegistry::new(drop_profile(42));
+        let b = FaultRegistry::new(drop_profile(42));
+        let seq_a: Vec<bool> = (0..200).map(|_| a.fire("server.drop")).collect();
+        let seq_b: Vec<bool> = (0..200).map(|_| b.fire("server.drop")).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&f| f), "p=0.3 over 200 checks must fire");
+        assert!(!seq_a.iter().all(|&f| f), "p=0.3 must not always fire");
+
+        let c = FaultRegistry::new(drop_profile(43));
+        let seq_c: Vec<bool> = (0..200).map(|_| c.fire("server.drop")).collect();
+        assert_ne!(seq_a, seq_c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn per_site_streams_are_independent_of_interleaving() {
+        let profile = FaultProfile::new(9)
+            .site("a", SiteConfig::with_probability(0.5))
+            .site("b", SiteConfig::with_probability(0.5));
+        let solo = FaultRegistry::new(profile.clone());
+        let solo_a: Vec<bool> = (0..50).map(|_| solo.fire("a")).collect();
+
+        let mixed = FaultRegistry::new(profile);
+        let mut mixed_a = Vec::new();
+        for _ in 0..50 {
+            mixed.fire("b"); // extra traffic at another site
+            mixed_a.push(mixed.fire("a"));
+            mixed.fire("b");
+        }
+        assert_eq!(solo_a, mixed_a);
+    }
+
+    #[test]
+    fn every_schedule_is_exact_and_max_fires_caps() {
+        let reg = FaultRegistry::new(
+            FaultProfile::new(0).site("s", SiteConfig::with_every(3).max_fires(2)),
+        );
+        let seq: Vec<bool> = (0..12).map(|_| reg.fire("s")).collect();
+        let fired: Vec<usize> = seq
+            .iter()
+            .enumerate()
+            .filter_map(|(ix, &f)| f.then_some(ix + 1))
+            .collect();
+        assert_eq!(
+            fired,
+            vec![3, 6],
+            "fires checks 3 and 6, then the cap holds"
+        );
+        assert_eq!(reg.fires("s"), 2);
+        assert_eq!(reg.checks("s"), 12);
+        assert_eq!(reg.injected(), 2);
+    }
+
+    #[test]
+    fn probability_extremes_behave() {
+        let never =
+            FaultRegistry::new(FaultProfile::new(1).site("s", SiteConfig::with_probability(0.0)));
+        assert!((0..100).all(|_| !never.fire("s")));
+        let always =
+            FaultRegistry::new(FaultProfile::new(1).site("s", SiteConfig::with_probability(1.0)));
+        assert!((0..100).all(|_| always.fire("s")));
+    }
+
+    #[test]
+    fn delay_fires_with_the_configured_duration() {
+        let reg = FaultRegistry::new(
+            FaultProfile::new(3).site("lat", SiteConfig::with_probability(1.0).delay_ms(2)),
+        );
+        assert_eq!(reg.delay("lat"), Some(Duration::from_millis(2)));
+        // No delay configured → None even when the site would fire.
+        let bare =
+            FaultRegistry::new(FaultProfile::new(3).site("lat", SiteConfig::with_probability(1.0)));
+        assert_eq!(bare.delay("lat"), None);
+        assert_eq!(
+            bare.checks("lat"),
+            0,
+            "delay() without delay_ms never draws"
+        );
+    }
+
+    #[test]
+    fn io_error_carries_the_marker_and_site() {
+        let reg = FaultRegistry::new(
+            FaultProfile::new(5).site("wal.fsync", SiteConfig::with_probability(1.0)),
+        );
+        let err = reg.io_error("wal.fsync").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(INJECTED_MARKER) && msg.contains("wal.fsync"),
+            "{msg}"
+        );
+        assert!(reg.io_error("unknown.site").is_ok());
+    }
+
+    #[test]
+    fn profile_spec_grammar_parses_and_rejects_loudly() {
+        let p = FaultProfile::parse(
+            "seed=42; server.drop=0.2:max=4 ;server.latency=1:ms=2;wal.fsync=1:every=2",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(
+            p.sites["server.drop"],
+            SiteConfig::with_probability(0.2).max_fires(4)
+        );
+        assert_eq!(
+            p.sites["server.latency"],
+            SiteConfig::with_probability(1.0).delay_ms(2)
+        );
+        assert_eq!(p.sites["wal.fsync"], {
+            let mut c = SiteConfig::with_probability(1.0);
+            c.every = Some(2);
+            c
+        });
+
+        assert_eq!(FaultProfile::parse("").unwrap(), FaultProfile::default());
+        assert!(FaultProfile::parse("seed=x").is_err());
+        assert!(FaultProfile::parse("s=1.5").is_err(), "probability > 1");
+        assert!(FaultProfile::parse("s=0.2:bogus=1").is_err());
+        assert!(FaultProfile::parse("s=0.2:every=0").is_err());
+        assert!(FaultProfile::parse("no-equals").is_err());
+        assert!(FaultProfile::parse("=0.2").is_err());
+    }
+
+    #[test]
+    fn from_env_reads_set_unset_and_invalid() {
+        // Distinct var names per case: set_var is process-global and tests run
+        // in parallel, so never reuse a name with different values.
+        std::env::set_var("QBE_FAULTS_TEST_SET", "seed=7;x=0.1");
+        let p = FaultProfile::from_env("QBE_FAULTS_TEST_SET")
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.seed, 7);
+        assert!(FaultProfile::from_env("QBE_FAULTS_TEST_UNSET")
+            .unwrap()
+            .is_none());
+        std::env::set_var("QBE_FAULTS_TEST_BAD", "!!");
+        assert!(FaultProfile::from_env("QBE_FAULTS_TEST_BAD").is_err());
+    }
+}

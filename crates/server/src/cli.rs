@@ -4,10 +4,12 @@
 //! Two modes:
 //!
 //! * `qbe-server [--addr HOST:PORT] [--engine event|blocking] [--workers N]
-//!   [--max-connections N] [--rate-limit BURST/PER_SEC] [--data-dir DIR] [--persist]` —
+//!   [--max-connections N] [--rate-limit BURST/PER_SEC] [--data-dir DIR] [--persist]
+//!   [--faults SPEC]` —
 //!   serve until killed (default `127.0.0.1:7878`, event engine). `--data-dir` caches corpus
 //!   snapshots on disk; `--persist` additionally write-ahead-logs sessions there and recovers
-//!   them on the next boot;
+//!   them on the next boot; `--faults` attaches a deterministic fault-injection profile
+//!   (e.g. `seed=7;server.drop=0.05;wal.fsync=0.1:max=2` — see `qbe_core::faults`);
 //! * `qbe-server --smoke` — self-check: bind an ephemeral port, run one simulated client
 //!   session per model over loopback on the default (event) engine, cross-check one session
 //!   on the blocking engine, print the learned queries and the `METRICS` line, shut down,
@@ -66,6 +68,11 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
             return Err("--persist requires --data-dir".to_string());
         }
         config.persist = true;
+    }
+    if let Some(spec) = flag_value(args, "--faults") {
+        let profile = qbe_core::faults::FaultProfile::parse(spec)
+            .map_err(|why| format!("--faults: {why} (spec {spec:?})"))?;
+        config.faults = Some(qbe_core::faults::FaultRegistry::shared(profile));
     }
     Ok(config)
 }
@@ -276,5 +283,24 @@ mod tests {
 
         // …but a WAL with nowhere to live is not.
         assert!(parse_config(&strs(&["--persist"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_parse_and_reject_loudly() {
+        let config = parse_config(&strs(&[
+            "--faults",
+            "seed=7;server.drop=0.05;wal.fsync=0.1:max=2",
+        ]))
+        .unwrap();
+        let faults = config.faults.expect("profile attached");
+        assert_eq!(faults.profile().seed, 7);
+        assert!(faults.profile().sites.contains_key("server.drop"));
+        assert!(faults.profile().sites.contains_key("wal.fsync"));
+
+        // Production default: no registry at all (disconnects close sessions).
+        assert!(parse_config(&strs(&[])).unwrap().faults.is_none());
+
+        assert!(parse_config(&strs(&["--faults", "server.drop=1.5"])).is_err());
+        assert!(parse_config(&strs(&["--faults", "nonsense"])).is_err());
     }
 }

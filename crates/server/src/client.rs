@@ -114,10 +114,20 @@ type Result<T> = std::result::Result<T, ClientError>;
 impl Client {
     /// Connect and consume the server's greeting (errors on a capacity rejection).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with_timeouts(addr, Duration::from_secs(30), Duration::from_secs(10))
+    }
+
+    /// [`connect`](Client::connect) with explicit read/write timeouts — the resilient client
+    /// wants a per-request deadline much shorter than the interactive default.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
         let writer = stream.try_clone()?;
         let mut client = Client {
             reader: BufReader::new(stream),
@@ -125,6 +135,32 @@ impl Client {
         };
         client.read_ok()?; // greeting
         Ok(client)
+    }
+
+    /// Write one request line without waiting for the reply. Paired with
+    /// [`receive_checked`](Client::receive_checked) this is the seam the fault-injecting
+    /// resilient client needs to lose a reply *after* the request went out.
+    pub(crate) fn send_line(&mut self, line: &str) -> Result<()> {
+        writeln!(self.writer, "{line}")?;
+        Ok(())
+    }
+
+    /// Tear the connection down immediately (both directions). Subsequent reads fail fast
+    /// instead of waiting out the read timeout — used when a client-side fault drops the link.
+    pub(crate) fn shutdown(&self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Read one reply line and surface `-ERR` as [`ClientError::Server`].
+    pub(crate) fn receive_checked(&mut self) -> Result<String> {
+        let reply = self.read_reply()?;
+        if let Some(err) = reply.strip_prefix("-ERR ") {
+            return Err(ClientError::Server(err.to_string()));
+        }
+        if !reply.starts_with('+') {
+            return Err(ClientError::UnexpectedReply(reply));
+        }
+        Ok(reply)
     }
 
     fn read_reply(&mut self) -> Result<String> {
@@ -147,15 +183,8 @@ impl Client {
 
     /// Send one line, read one reply, surface `-ERR` as [`ClientError::Server`].
     fn roundtrip(&mut self, line: &str) -> Result<String> {
-        writeln!(self.writer, "{line}")?;
-        let reply = self.read_reply()?;
-        if let Some(err) = reply.strip_prefix("-ERR ") {
-            return Err(ClientError::Server(err.to_string()));
-        }
-        if !reply.starts_with('+') {
-            return Err(ClientError::UnexpectedReply(reply));
-        }
-        Ok(reply)
+        self.send_line(line)?;
+        self.receive_checked()
     }
 
     fn read_ok(&mut self) -> Result<String> {
@@ -216,26 +245,7 @@ impl Client {
     /// `ASK` — the next question, or the completion notice.
     pub fn ask(&mut self) -> Result<AskReply> {
         let reply = self.roundtrip("ASK")?;
-        if let Some(payload) = reply.strip_prefix("+ASK ") {
-            return parse_fields_line(payload)
-                .map(AskReply::Question)
-                .map_err(|_| ClientError::UnexpectedReply(reply));
-        }
-        if let Some(payload) = reply.strip_prefix("+DONE ") {
-            let fields = parse_fields_line(payload)
-                .map_err(|_| ClientError::UnexpectedReply(reply.clone()))?;
-            let questions = field_value(&fields, "questions")
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| ClientError::UnexpectedReply(reply.clone()))?;
-            let consistent = field_value(&fields, "consistent")
-                .and_then(|v| v.parse().ok())
-                .ok_or(ClientError::UnexpectedReply(reply))?;
-            return Ok(AskReply::Done {
-                questions,
-                consistent,
-            });
-        }
-        Err(ClientError::UnexpectedReply(reply))
+        parse_ask_reply(&reply)
     }
 
     /// `ANSWER yes|no`.
@@ -276,6 +286,30 @@ impl Client {
         self.roundtrip("QUIT")?;
         Ok(())
     }
+}
+
+/// Parse a raw `+ASK …` / `+DONE …` reply line into an [`AskReply`].
+pub(crate) fn parse_ask_reply(reply: &str) -> Result<AskReply> {
+    if let Some(payload) = reply.strip_prefix("+ASK ") {
+        return parse_fields_line(payload)
+            .map(AskReply::Question)
+            .map_err(|_| ClientError::UnexpectedReply(reply.to_string()));
+    }
+    if let Some(payload) = reply.strip_prefix("+DONE ") {
+        let fields = parse_fields_line(payload)
+            .map_err(|_| ClientError::UnexpectedReply(reply.to_string()))?;
+        let questions = field_value(&fields, "questions")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::UnexpectedReply(reply.to_string()))?;
+        let consistent = field_value(&fields, "consistent")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::UnexpectedReply(reply.to_string()))?;
+        return Ok(AskReply::Done {
+            questions,
+            consistent,
+        });
+    }
+    Err(ClientError::UnexpectedReply(reply.to_string()))
 }
 
 /// A hidden goal a simulated remote user answers according to.
@@ -369,6 +403,97 @@ fn twig_question_item(fields: &[(String, String)]) -> Result<(usize, NodeId)> {
     Ok((get("doc")?, NodeId::from_index(get("node")?)))
 }
 
+/// Client-side evaluation of a [`Goal`] against the locally rebuilt corpus: turns a
+/// question's wire fields into the *true* yes/no label. Shared by [`drive_goal_session`]
+/// and the resilient driver (which may then flip the label through its noise model).
+pub(crate) struct GoalEvaluator<'a> {
+    goal: Goal,
+    local: &'a Corpus,
+    twig_oracle: Option<GoalNodeOracle<'a>>,
+    join_goal: Option<qbe_core::relational::JoinPredicate>,
+    graph_goal: Option<BTreeSet<(GNodeId, GNodeId)>>,
+}
+
+impl<'a> GoalEvaluator<'a> {
+    /// Build the evaluator (parses the twig goal's XPath, materialises the graph goal's
+    /// answer set; both deterministic per corpus).
+    pub(crate) fn new(local: &'a Corpus, goal: &Goal) -> Result<GoalEvaluator<'a>> {
+        let twig_oracle = match goal {
+            Goal::Twig(xpath) => {
+                let goal_query = parse_xpath(xpath)
+                    .map_err(|e| ClientError::Server(format!("bad goal xpath: {e:?}")))?;
+                Some(GoalNodeOracle::new(&local.docs, goal_query))
+            }
+            _ => None,
+        };
+        let join_goal = match goal {
+            Goal::Join => Some(local.demo_join_goal.clone()),
+            _ => None,
+        };
+        let graph_goal = match goal {
+            Goal::GraphPairs(class) => Some(demo_graph_goal_pairs(local, *class)),
+            _ => None,
+        };
+        Ok(GoalEvaluator {
+            goal: goal.clone(),
+            local,
+            twig_oracle,
+            join_goal,
+            graph_goal,
+        })
+    }
+
+    /// The wire model the goal implies.
+    pub(crate) fn model(&self) -> Model {
+        match self.goal {
+            Goal::Twig(_) => Model::Twig,
+            Goal::PathRoadType(_) => Model::Path,
+            Goal::Join => Model::Join,
+            Goal::GraphPairs(_) => Model::Graph,
+        }
+    }
+
+    /// The true label of one question (its `key=value` fields as served by `ASK`).
+    pub(crate) fn label(&mut self, fields: &[(String, String)]) -> Result<bool> {
+        Ok(match &self.goal {
+            Goal::Twig(_) => {
+                let (doc, node) = twig_question_item(fields)?;
+                self.twig_oracle
+                    .as_mut()
+                    .expect("twig goal implies twig oracle")
+                    .label(doc, node)
+            }
+            Goal::PathRoadType(road_type) => field_value(fields, "types")
+                .map(|v| v.split(',').any(|t| t == road_type))
+                .unwrap_or(false),
+            Goal::Join => {
+                let get = |key: &str| {
+                    field_value(fields, key)
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .ok_or_else(|| ClientError::UnexpectedReply(format!("missing field {key}")))
+                };
+                let (l, r) = (get("left")?, get("right")?);
+                self.join_goal
+                    .as_ref()
+                    .expect("join goal implies predicate")
+                    .satisfied_by(&self.local.left.tuples()[l], &self.local.right.tuples()[r])
+            }
+            Goal::GraphPairs(_) => {
+                let get = |key: &str| {
+                    field_value(fields, key)
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or_else(|| ClientError::UnexpectedReply(format!("missing field {key}")))
+                };
+                let (s, t) = (get("source_id")?, get("target_id")?);
+                self.graph_goal
+                    .as_ref()
+                    .expect("graph goal implies an answer set")
+                    .contains(&(GNodeId(s), GNodeId(t)))
+            }
+        })
+    }
+}
+
 /// Drive one session over the wire to completion, answering every question according to
 /// `goal`, then collect the learned query and its answer-set size.
 ///
@@ -387,29 +512,8 @@ pub fn drive_goal_session(
     })?;
     // The standard goal oracle from qbe-twig, borrowing the locally rebuilt corpus (no copy):
     // per-document goal answer sets are computed lazily, once per session.
-    let mut twig_oracle = match goal {
-        Goal::Twig(xpath) => {
-            let goal_query = parse_xpath(xpath)
-                .map_err(|e| ClientError::Server(format!("bad goal xpath: {e:?}")))?;
-            Some(GoalNodeOracle::new(&local.docs, goal_query))
-        }
-        _ => None,
-    };
-    let join_goal = match goal {
-        Goal::Join => Some(local.demo_join_goal.clone()),
-        _ => None,
-    };
-    let graph_goal = match goal {
-        Goal::GraphPairs(class) => Some(demo_graph_goal_pairs(&local, *class)),
-        _ => None,
-    };
+    let mut evaluator = GoalEvaluator::new(&local, goal)?;
 
-    let model = match goal {
-        Goal::Twig(_) => Model::Twig,
-        Goal::PathRoadType(_) => Model::Path,
-        Goal::Join => Model::Join,
-        Goal::GraphPairs(_) => Model::Graph,
-    };
     let mut client = Client::connect(addr)?;
     client.corpus(corpus)?;
     // The goal already names the query class, so the `class=` option rides along implicitly.
@@ -417,7 +521,7 @@ pub fn drive_goal_session(
     if let Goal::GraphPairs(class) = goal {
         params.push(("class", class.wire_name()));
     }
-    let session_id = client.start(model, &params)?;
+    let session_id = client.start(evaluator.model(), &params)?;
     let mut asked = 0usize;
     let (questions, consistent) = loop {
         match client.ask()? {
@@ -426,46 +530,7 @@ pub fn drive_goal_session(
                 consistent,
             } => break (questions, consistent),
             AskReply::Question(fields) => {
-                let positive = match goal {
-                    Goal::Twig(_) => {
-                        let (doc, node) = twig_question_item(&fields)?;
-                        twig_oracle
-                            .as_mut()
-                            .expect("twig goal implies twig oracle")
-                            .label(doc, node)
-                    }
-                    Goal::PathRoadType(road_type) => field_value(&fields, "types")
-                        .map(|v| v.split(',').any(|t| t == road_type))
-                        .unwrap_or(false),
-                    Goal::Join => {
-                        let get = |key: &str| {
-                            field_value(&fields, key)
-                                .and_then(|v| v.parse::<usize>().ok())
-                                .ok_or_else(|| {
-                                    ClientError::UnexpectedReply(format!("missing field {key}"))
-                                })
-                        };
-                        let (l, r) = (get("left")?, get("right")?);
-                        join_goal
-                            .as_ref()
-                            .expect("join goal implies predicate")
-                            .satisfied_by(&local.left.tuples()[l], &local.right.tuples()[r])
-                    }
-                    Goal::GraphPairs(_) => {
-                        let get = |key: &str| {
-                            field_value(&fields, key)
-                                .and_then(|v| v.parse::<u32>().ok())
-                                .ok_or_else(|| {
-                                    ClientError::UnexpectedReply(format!("missing field {key}"))
-                                })
-                        };
-                        let (s, t) = (get("source_id")?, get("target_id")?);
-                        graph_goal
-                            .as_ref()
-                            .expect("graph goal implies an answer set")
-                            .contains(&(GNodeId(s), GNodeId(t)))
-                    }
-                };
+                let positive = evaluator.label(&fields)?;
                 client.answer(positive)?;
                 asked += 1;
             }

@@ -45,11 +45,14 @@
 pub mod cli;
 pub mod client;
 pub mod corpus;
+#[cfg(test)]
+mod fault_schedules;
 mod persist;
 pub mod poll;
 pub mod protocol;
 mod reactor;
 pub mod registry;
+pub mod retry;
 pub mod server;
 mod workers;
 
@@ -60,4 +63,10 @@ pub use client::{
 pub use corpus::{build_corpus, Corpus, CorpusError, CorpusStore, CORPUS_NAMES};
 pub use protocol::{parse_command, Command, Model, ParseError, MAX_LINE_BYTES};
 pub use registry::{ServiceMetrics, SessionRegistry};
-pub use server::{spawn, Engine, RateLimit, ServerConfig, ServerHandle};
+pub use retry::{
+    drive_goal_session_resilient, is_retryable, NoiseModel, ResilientClient, ResilientOutcome,
+    RetryPolicy, FAULT_SITE_CLIENT_DROP, FAULT_SITE_CLIENT_DROP_REPLY,
+};
+pub use server::{
+    spawn, Engine, RateLimit, ServerConfig, ServerHandle, FAULT_SITE_DROP, FAULT_SITE_LATENCY,
+};

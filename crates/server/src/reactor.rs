@@ -280,12 +280,15 @@ impl Reactor {
             .collect();
         for completion in drained {
             let mut state = completion.state;
-            state.close_session(&self.service);
+            state.teardown(&self.service);
         }
         let conns: Vec<u64> = self.conns.keys().copied().collect();
         for token in conns {
             self.close_conn(token);
         }
+        // Every appender (workers, teardown) is done: make the WAL tail durable so no
+        // record rides the OS cache across the shutdown.
+        self.service.flush_wal();
     }
 
     // ---- accept path -------------------------------------------------------------------
@@ -495,7 +498,7 @@ impl Reactor {
             }) {
                 // Pool already shut down (we are quiescing): hand the state back and close.
                 let mut state = job.state;
-                state.close_session(&self.service);
+                state.teardown(&self.service);
                 self.close_conn(token);
             }
             return;
@@ -514,15 +517,26 @@ impl Reactor {
                 reply,
                 quit,
                 state,
+                dropped,
             }) = completion
             else {
                 return;
             };
+            if dropped {
+                // Injected fault: the operation executed, but the reply is discarded and
+                // the socket closed. Detach (don't close) the session — the client's next
+                // connection RESUMEs it. The connection is Busy here, so close_conn won't
+                // touch the session either.
+                let mut state = state;
+                state.detach();
+                self.close_conn(token);
+                continue;
+            }
             let Some(conn) = self.conns.get_mut(&token) else {
                 // Connection died while its line was in flight; the session still must be
-                // closed (and thereby reported).
+                // torn down (closed — or detached under a fault profile).
                 let mut state = state;
-                state.close_session(&self.service);
+                state.teardown(&self.service);
                 continue;
             };
             conn.queue_line(&reply);
@@ -592,7 +606,7 @@ impl Reactor {
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         match &mut conn.phase {
             Phase::Ready(state) | Phase::Closing(Some(state)) => {
-                state.close_session(&self.service);
+                state.teardown(&self.service);
             }
             // Busy / Closing(None): the state is out with a worker; the completion for a
             // vanished connection closes the session in `drain_completions`/`quiesce`.

@@ -34,6 +34,10 @@ struct Entry {
     /// Set once the session has been folded into the completed aggregates, so a session that
     /// converges *and* is later closed is counted exactly once.
     reported: bool,
+    /// Set once the pending question has been served by an `ASK`; cleared by a recorded
+    /// `ANSWER`. A second `ASK` while set is a *re-ask* (k-vote clients, or a resumed client
+    /// re-fetching the question it lost) — counted in the `reasks=` METRICS counter.
+    asked: bool,
 }
 
 /// Running aggregates over every completed session.
@@ -86,6 +90,14 @@ pub struct ServiceMetrics {
     pub persisted: u64,
     /// Live sessions reconstructed from the WAL at the last boot.
     pub recovered: u64,
+    /// Sessions re-attached across connections via `RESUME` (each one is a client retrying
+    /// after a lost connection — or a recovery re-attach after a restart).
+    pub retries: u64,
+    /// `ASK`s that repeated an already-served pending question (k-vote re-asking, or a
+    /// resumed client re-fetching the question whose reply it lost).
+    pub reasks: u64,
+    /// Faults fired by the server's injection registry (0 without a fault profile).
+    pub faults_injected: u64,
 }
 
 impl ServiceMetrics {
@@ -122,6 +134,8 @@ pub struct SessionRegistry {
     shed: AtomicU64,
     persisted: AtomicU64,
     recovered: AtomicU64,
+    retries: AtomicU64,
+    reasks: AtomicU64,
 }
 
 impl Default for SessionRegistry {
@@ -143,6 +157,8 @@ impl SessionRegistry {
             shed: AtomicU64::new(0),
             persisted: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            reasks: AtomicU64::new(0),
         }
     }
 
@@ -171,6 +187,40 @@ impl SessionRegistry {
         self.recovered.store(n, Ordering::Relaxed);
     }
 
+    /// Count a session re-attached across connections via `RESUME`.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serve the session's pending question: returns `true` when it had already been served
+    /// (this `ASK` is a re-ask) and counts it. No-op `false` for unknown ids.
+    pub fn mark_asked(&self, id: u64) -> bool {
+        let mut shard = self
+            .shard(id)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(entry) = shard.get_mut(&id) else {
+            return false;
+        };
+        let repeat = entry.asked;
+        entry.asked = true;
+        if repeat {
+            self.reasks.fetch_add(1, Ordering::Relaxed);
+        }
+        repeat
+    }
+
+    /// An answer was recorded: the next `ASK` serves a fresh question, not a re-ask.
+    pub fn clear_asked(&self, id: u64) {
+        let mut shard = self
+            .shard(id)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(entry) = shard.get_mut(&id) {
+            entry.asked = false;
+        }
+    }
+
     fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Entry>> {
         &self.shards[(id % SHARDS as u64) as usize]
     }
@@ -195,6 +245,7 @@ impl SessionRegistry {
             learner,
             started: Instant::now(),
             reported: false,
+            asked: false,
         };
         self.shard(id)
             .lock()
@@ -282,6 +333,11 @@ impl SessionRegistry {
             shed: self.shed.load(Ordering::Relaxed),
             persisted: self.persisted.load(Ordering::Relaxed),
             recovered: self.recovered.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            reasks: self.reasks.load(Ordering::Relaxed),
+            // Filled by the service from its fault registry; the session registry itself
+            // never injects anything.
+            faults_injected: 0,
         }
     }
 }
@@ -384,6 +440,23 @@ mod tests {
         let metrics = reg.metrics();
         assert_eq!(metrics.persisted, 1);
         assert_eq!(metrics.recovered, 2);
+    }
+
+    #[test]
+    fn reask_tracking_counts_repeats_until_an_answer_clears_them() {
+        let reg = SessionRegistry::new();
+        let id = reg.open(learner());
+        assert!(!reg.mark_asked(id), "first ask serves a fresh question");
+        assert!(reg.mark_asked(id), "second ask is a re-ask");
+        assert!(reg.mark_asked(id), "and so is the third");
+        reg.clear_asked(id);
+        assert!(!reg.mark_asked(id), "an answer resets the cycle");
+        assert!(!reg.mark_asked(id + 999), "unknown ids are a no-op");
+        reg.note_retry();
+        let metrics = reg.metrics();
+        assert_eq!(metrics.reasks, 2);
+        assert_eq!(metrics.retries, 1);
+        assert_eq!(metrics.faults_injected, 0);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use qbe_core::faults::FaultRegistry;
 use qbe_core::graph::{PathStrategy, QueryClass};
 use qbe_core::relational::Strategy;
 use qbe_core::session::InteractiveLearner;
@@ -118,6 +119,13 @@ pub struct ServerConfig {
     /// Log session lifecycle events to a WAL under [`data_dir`](Self::data_dir) and recover
     /// live sessions from it on boot. Requires `data_dir`.
     pub persist: bool,
+    /// Deterministic fault injection (`None` in production). The registry's sites drive
+    /// injected latency ([`FAULT_SITE_LATENCY`]), mid-session connection drops
+    /// ([`FAULT_SITE_DROP`]) and WAL write/fsync failures; its fire count is the
+    /// `faults_injected=` METRICS counter. With a profile attached — even an empty one —
+    /// disconnects *detach* sessions instead of closing them, so injected drops are
+    /// survivable via `RESUME`.
+    pub faults: Option<Arc<FaultRegistry>>,
 }
 
 impl Default for ServerConfig {
@@ -135,9 +143,20 @@ impl Default for ServerConfig {
             shed_queue_depth: 1024,
             data_dir: None,
             persist: false,
+            faults: None,
         }
     }
 }
+
+/// Fault site: sleep injected before a request line executes (per-op latency).
+/// Configure a `delay_ms` on the site, e.g. `server.latency=0.5:ms=2`.
+pub const FAULT_SITE_LATENCY: &str = "server.latency";
+
+/// Fault site: the connection is dropped after an `ASK`/`ANSWER` executes but before its
+/// reply is written — the hardest loss for a client to disambiguate, since the answer may
+/// or may not have been recorded. The session itself is detached, not closed, so the
+/// client can `RESUME` it.
+pub const FAULT_SITE_DROP: &str = "server.drop";
 
 /// Everything the protocol core needs to answer a request line, shared by both engines and
 /// every worker thread.
@@ -150,6 +169,8 @@ pub(crate) struct Service {
     /// Set on graceful shutdown: stop writing `Close` records, so sessions open at shutdown
     /// stay resumable after the next boot (only client `QUIT`s and disconnects close durably).
     preserve: AtomicBool,
+    /// Deterministic fault injection (from [`ServerConfig::faults`]); `None` in production.
+    faults: Option<Arc<FaultRegistry>>,
 }
 
 impl Service {
@@ -159,6 +180,7 @@ impl Service {
             store: CorpusStore::new(),
             wal: None,
             preserve: AtomicBool::new(false),
+            faults: None,
         }
     }
 
@@ -170,6 +192,7 @@ impl Service {
         if !config.persist {
             return Ok(Service {
                 store,
+                faults: config.faults.clone(),
                 ..Service::new()
             });
         }
@@ -178,7 +201,7 @@ impl Service {
         })?;
         std::fs::create_dir_all(dir)?;
         let wal_path = dir.join("sessions.qbew");
-        let (records, writer) = qbe_core::store::wal::recover(&wal_path).map_err(|e| {
+        let (records, mut writer) = qbe_core::store::wal::recover(&wal_path).map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("cannot recover WAL {}: {e}", wal_path.display()),
@@ -192,12 +215,51 @@ impl Service {
             )
         })?;
         registry.set_recovered(recovered);
+        if let Some(faults) = &config.faults {
+            writer.set_faults(faults.clone());
+        }
         Ok(Service {
             registry,
             store,
             wal: Some(Mutex::new(writer)),
             preserve: AtomicBool::new(false),
+            faults: config.faults.clone(),
         })
+    }
+
+    /// Server-side faults fired so far (the `faults_injected=` METRICS counter).
+    pub(crate) fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected())
+    }
+
+    /// With a fault profile attached, disconnects *detach* sessions (leave them resumable)
+    /// instead of closing them — an injected drop must be survivable via `RESUME`.
+    pub(crate) fn detach_on_disconnect(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Sleep out any injected per-op latency. Called on worker / connection threads only,
+    /// never the reactor thread.
+    pub(crate) fn inject_latency(&self) {
+        if let Some(delay) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.delay(FAULT_SITE_LATENCY))
+        {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Decide whether to drop the connection serving `line` after executing it. Only
+    /// `ASK`/`ANSWER` are droppable: they are the mid-session operations a resilient client
+    /// must survive losing (and `ANSWER` is the ambiguous one — did it land?).
+    pub(crate) fn injected_drop(&self, line: &str) -> bool {
+        let Some(faults) = &self.faults else {
+            return false;
+        };
+        let verb = line.split_ascii_whitespace().next().unwrap_or("");
+        (verb.eq_ignore_ascii_case("ASK") || verb.eq_ignore_ascii_case("ANSWER"))
+            && faults.fire(FAULT_SITE_DROP)
     }
 
     /// Stop recording `Close` records: sessions still open are being preserved across a
@@ -248,6 +310,27 @@ impl Service {
             return;
         }
         self.append(&WalRecord::Close { session: id });
+        // A Close must not ride the fsync batch: whether the session comes back after a
+        // restart depends on exactly this record being durable.
+        self.flush_wal();
+    }
+
+    /// Flush the WAL's pending fsync batch (up to `sync_every − 1` records otherwise riding
+    /// on the OS cache). Returns `true` when pending records were made durable. Called on
+    /// session close and graceful shutdown of either engine.
+    pub(crate) fn flush_wal(&self) -> bool {
+        let Some(wal) = &self.wal else { return false };
+        let mut writer = wal.lock().unwrap_or_else(PoisonError::into_inner);
+        if writer.pending() == 0 {
+            return false;
+        }
+        match writer.sync() {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("qbe-server: warning: WAL flush failed: {e}");
+                false
+            }
+        }
     }
 }
 
@@ -367,6 +450,8 @@ impl ServerHandle {
                 for t in threads {
                     let _ = t.join();
                 }
+                // Every connection thread is done appending: make the WAL tail durable.
+                shared.service.flush_wal();
             }
             EngineHandle::Event(mut h) => h.shutdown(),
         }
@@ -666,6 +751,23 @@ impl ProtoState {
             service.log_close(id);
         }
     }
+
+    /// Detach from the open session *without* closing it: the session stays live in the
+    /// registry for a later `RESUME` from a new connection.
+    pub(crate) fn detach(&mut self) -> Option<u64> {
+        self.session.take()
+    }
+
+    /// Connection teardown. With a fault profile attached the session is detached (injected
+    /// drops — server- or client-side — must be survivable via `RESUME`); in production it
+    /// is closed, preserving the invariant that a real disconnect abandons the session.
+    pub(crate) fn teardown(&mut self, service: &Service) {
+        if service.detach_on_disconnect() {
+            self.detach();
+        } else {
+            self.close_session(service);
+        }
+    }
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
@@ -706,7 +808,15 @@ fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
             let _ = writeln!(writer, "-ERR server shutting down");
             break;
         }
+        service.inject_latency();
+        // Decide the injected drop before executing, apply it after: the operation lands
+        // but its reply is lost — the case a resilient client must disambiguate.
+        let dropped = service.injected_drop(&line);
         let (reply, quit) = respond(&shared.service, &mut state, &line);
+        if dropped {
+            state.detach();
+            break;
+        }
         if writeln!(writer, "{reply}").is_err() {
             break;
         }
@@ -714,7 +824,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, _conn_id: u64) {
             break;
         }
     }
-    state.close_session(service);
+    state.teardown(service);
 }
 
 /// Produce the one-line reply to one request line, plus whether the connection should close.
@@ -773,6 +883,9 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
                 if state.session != Some(id) {
                     state.close_session(service);
                     state.session = Some(id);
+                    // A cross-connection re-attach is a client retrying after a lost
+                    // connection (or a post-restart recovery): the retries= counter.
+                    registry.note_retry();
                 }
                 format!("+OK session id={id} model={kind}")
             }
@@ -787,7 +900,12 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
                 });
                 match proposed {
                     None => "-ERR session vanished".to_string(),
-                    Some(Ok(question)) => format!("+ASK {question}"),
+                    Some(Ok(question)) => {
+                        // Counts the re-ask (same pending question served twice) if this
+                        // isn't the first ASK since the last recorded answer.
+                        registry.mark_asked(id);
+                        format!("+ASK {question}")
+                    }
                     Some(Err((questions, consistent))) => {
                         format!("+DONE questions={questions} consistent={consistent}")
                     }
@@ -799,6 +917,7 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
             Some(id) => match registry.with_session(id, |l| l.answer(positive)) {
                 None => "-ERR session vanished".to_string(),
                 Some(Ok(())) => {
+                    registry.clear_asked(id);
                     // Only accepted answers are logged, so replay can never hit a
                     // no-pending-question error the original run didn't.
                     service.log_answer(id, positive);
@@ -848,6 +967,9 @@ pub(crate) fn respond(service: &Service, state: &mut ProtoState, line: &str) -> 
                 ("persisted", metrics.persisted.to_string()),
                 ("recovered", metrics.recovered.to_string()),
                 ("corpora_built", service.store.built().to_string()),
+                ("retries", metrics.retries.to_string()),
+                ("reasks", metrics.reasks.to_string()),
+                ("faults_injected", service.faults_injected().to_string()),
             ];
             format!("+METRICS {}", render_fields(&fields))
         }

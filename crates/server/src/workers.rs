@@ -35,6 +35,9 @@ pub(crate) struct Completion {
     pub(crate) reply: String,
     pub(crate) quit: bool,
     pub(crate) state: ProtoState,
+    /// An injected fault dropped this connection: the operation executed but the reply must
+    /// be discarded and the socket closed, with the session detached (left resumable).
+    pub(crate) dropped: bool,
 }
 
 /// Queue of finished jobs, drained by the reactor after a waker kick.
@@ -137,6 +140,10 @@ fn worker_loop(
             line,
             mut state,
         } = job;
+        service.inject_latency();
+        // Decide the injected drop before executing, apply it after: the operation lands
+        // but its reply is lost — the case a resilient client must disambiguate.
+        let dropped = service.injected_drop(&line);
         let (reply, quit) = respond(service, &mut state, &line);
         depth.fetch_sub(1, Ordering::Relaxed);
         completions
@@ -147,6 +154,7 @@ fn worker_loop(
                 reply,
                 quit,
                 state,
+                dropped,
             });
         waker.wake();
     }

@@ -99,6 +99,11 @@ fn two_concurrent_sessions_converge_and_metrics_reconcile() {
     assert_eq!(metric(&metrics, "rejected"), "0");
     assert_eq!(metric(&metrics, "timeouts"), "0");
     assert_eq!(metric(&metrics, "shed"), "0");
+    // No faults configured, no drops survived, no questions re-served: the resilience
+    // counters (protocol 1.3 additive fields) are all explicitly zero on a clean run.
+    assert_eq!(metric(&metrics, "retries"), "0");
+    assert_eq!(metric(&metrics, "reasks"), "0");
+    assert_eq!(metric(&metrics, "faults_injected"), "0");
 
     handle.shutdown();
 }

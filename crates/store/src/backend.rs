@@ -5,12 +5,16 @@
 //! storage — tests exercise the full reader against [`MemBackend`] without touching disk,
 //! and the server opens real files through [`FileBackend`], which reads sections lazily
 //! with positioned I/O (`pread`) so a shared handle needs no seek mutex and unopened
-//! sections are never paged in.
+//! sections are never paged in. [`FaultyBackend`] wraps any backend with seeded fault
+//! injection (failed and short reads) for unreliable-world tests.
 
 use std::fs::File;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::Arc;
+
+use qbe_faults::FaultRegistry;
 
 /// Random-access read source for a snapshot.
 pub trait Backend {
@@ -94,9 +98,65 @@ impl Backend for FileBackend {
     }
 }
 
+/// A backend decorator that injects read faults from a seeded
+/// [`FaultRegistry`]. Two sites:
+///
+/// * [`SITE_READ`](FaultyBackend::SITE_READ) — the positioned read fails
+///   outright with an injected I/O error;
+/// * [`SITE_SHORT_READ`](FaultyBackend::SITE_SHORT_READ) — the read returns
+///   only a prefix of the requested bytes (the tail of `buf` is left
+///   untouched) and reports `UnexpectedEof`, the observable result of a
+///   short `pread` whose retry loop hit end-of-file.
+///
+/// Length queries are never faulted: they model metadata already held in
+/// memory, and failing them would only re-test the same error path as
+/// [`SITE_READ`](FaultyBackend::SITE_READ).
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    faults: Arc<FaultRegistry>,
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    /// Fault site for failed reads.
+    pub const SITE_READ: &'static str = "store.read";
+    /// Fault site for short reads.
+    pub const SITE_SHORT_READ: &'static str = "store.short_read";
+
+    /// Wraps `inner`, consulting `faults` on every read.
+    pub fn new(inner: B, faults: Arc<FaultRegistry>) -> FaultyBackend<B> {
+        FaultyBackend { inner, faults }
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.faults.io_error(Self::SITE_READ)?;
+        if !buf.is_empty() && self.faults.fire(Self::SITE_SHORT_READ) {
+            let short = buf.len() / 2;
+            self.inner.read_at(offset, &mut buf[..short])?;
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "{} at {}: read {short} of {} bytes at offset {offset}",
+                    qbe_faults::INJECTED_MARKER,
+                    Self::SITE_SHORT_READ,
+                    buf.len()
+                ),
+            ));
+        }
+        self.inner.read_at(offset, buf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qbe_faults::{FaultProfile, SiteConfig};
 
     #[test]
     fn mem_backend_reads_in_bounds_and_rejects_overruns() {
@@ -121,5 +181,37 @@ mod tests {
         assert_eq!(buf, [7, 6]);
         assert!(b.read_at(3, &mut buf).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faulty_backend_injects_failed_reads_on_schedule() {
+        let faults = FaultRegistry::shared(FaultProfile::new(0).site(
+            FaultyBackend::<MemBackend>::SITE_READ,
+            SiteConfig::with_every(2),
+        ));
+        let b = FaultyBackend::new(MemBackend::new(vec![1, 2, 3, 4]), faults.clone());
+        assert_eq!(b.len(), 4, "len is never faulted");
+        let mut buf = [0u8; 2];
+        b.read_at(0, &mut buf).unwrap(); // check 1: passes
+        assert_eq!(buf, [1, 2]);
+        let err = b.read_at(0, &mut buf).unwrap_err(); // check 2: fires
+        assert!(err.to_string().contains(qbe_faults::INJECTED_MARKER));
+        b.read_at(2, &mut buf).unwrap(); // check 3: passes
+        assert_eq!(buf, [3, 4]);
+        assert_eq!(faults.injected(), 1);
+    }
+
+    #[test]
+    fn faulty_backend_short_reads_fill_a_prefix_and_report_eof() {
+        let faults = FaultRegistry::shared(FaultProfile::new(0).site(
+            FaultyBackend::<MemBackend>::SITE_SHORT_READ,
+            SiteConfig::with_probability(1.0),
+        ));
+        let b = FaultyBackend::new(MemBackend::new(vec![7, 8, 9, 10]), faults);
+        let mut buf = [0u8; 4];
+        let err = b.read_at(0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(&buf[..2], &[7, 8], "the delivered prefix is real data");
+        assert_eq!(&buf[2..], &[0, 0], "the tail was never written");
     }
 }

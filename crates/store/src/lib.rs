@@ -29,7 +29,7 @@ pub mod corpus;
 pub mod snapshot;
 pub mod wal;
 
-pub use backend::{Backend, FileBackend, MemBackend};
+pub use backend::{Backend, FaultyBackend, FileBackend, MemBackend};
 pub use codec::{fnv1a64, fnv1a64_words, Dec, Enc};
 pub use corpus::CorpusSnapshot;
 pub use snapshot::{SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -162,19 +162,54 @@ pub struct WalWriter {
     file: File,
     since_sync: u32,
     sync_every: u32,
+    syncs: u64,
+    faults: Option<std::sync::Arc<qbe_faults::FaultRegistry>>,
+    poisoned: bool,
 }
 
 impl WalWriter {
     /// Records between fsyncs (`write` still happens per append).
     pub const DEFAULT_SYNC_EVERY: u32 = 32;
 
+    /// Fault site: the whole append fails before anything is written.
+    pub const SITE_WRITE: &'static str = "wal.write";
+    /// Fault site: only a prefix of the frame reaches the file (a torn
+    /// write), after which the writer refuses further appends — the
+    /// in-process analogue of dying mid-`write`, recoverable by
+    /// [`recover`]'s torn-tail truncation.
+    pub const SITE_TORN_WRITE: &'static str = "wal.torn_write";
+    /// Fault site: `fsync` fails; the batch stays pending and is retried by
+    /// the next [`sync`](Self::sync) (explicit or batch-triggered).
+    pub const SITE_FSYNC: &'static str = "wal.fsync";
+
+    /// Attach a fault registry; subsequent appends/syncs consult its
+    /// `wal.write` / `wal.torn_write` / `wal.fsync` sites.
+    pub fn set_faults(&mut self, faults: std::sync::Arc<qbe_faults::FaultRegistry>) {
+        self.faults = Some(faults);
+    }
+
     /// Append one record; fsyncs when the batch counter fills.
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "WAL poisoned by an injected torn write; reopen via recover()",
+            ));
+        }
         let body = record.encode_body();
         let mut frame = Vec::with_capacity(4 + body.len() + 8);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&body);
         frame.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        if let Some(faults) = self.faults.clone() {
+            faults.io_error(Self::SITE_WRITE)?;
+            if faults.fire(Self::SITE_TORN_WRITE) {
+                // Land a strict prefix — long enough to tear inside the body,
+                // short enough that the checksum can never validate.
+                self.file.write_all(&frame[..frame.len() / 2])?;
+                self.poisoned = true;
+                return Err(qbe_faults::injected_io_error(Self::SITE_TORN_WRITE));
+            }
+        }
         self.file.write_all(&frame)?;
         self.since_sync += 1;
         if self.since_sync >= self.sync_every {
@@ -183,10 +218,28 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Force an fsync of everything appended so far.
+    /// Force an fsync of everything appended so far. On failure (real or
+    /// injected) the pending count is preserved so the batch is retried —
+    /// records are never silently counted as durable.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        if let Some(faults) = &self.faults {
+            faults.io_error(Self::SITE_FSYNC)?;
+        }
+        self.file.sync_data()?;
         self.since_sync = 0;
-        self.file.sync_data()
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Records appended since the last *successful* fsync (what a crash right
+    /// now could lose). Graceful shutdown must drive this to 0.
+    pub fn pending(&self) -> u32 {
+        self.since_sync
+    }
+
+    /// Successful fsyncs performed by this handle.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 }
 
@@ -317,6 +370,9 @@ pub fn recover_with_sync_every(
             file,
             since_sync: 0,
             sync_every: sync_every.max(1),
+            syncs: 0,
+            faults: None,
+            poisoned: false,
         },
     ))
 }
@@ -513,5 +569,105 @@ mod tests {
         // Append one more valid-looking frame so the bad one is not "the torn tail".
         bytes.extend_from_slice(&[0u8; 16]);
         assert!(matches!(parse_records(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn batched_fsync_counters_expose_pending_and_flush() {
+        let path = temp_wal("counters");
+        let (_, mut writer) = recover_with_sync_every(&path, 8).unwrap();
+        for record in &sample_records()[..3] {
+            writer.append(record).unwrap();
+        }
+        assert_eq!(writer.pending(), 3, "3 records ride on the OS cache");
+        assert_eq!(writer.syncs(), 0);
+        writer.sync().unwrap();
+        assert_eq!(writer.pending(), 0);
+        assert_eq!(writer.syncs(), 1);
+        // The 8-record batch boundary still syncs on its own.
+        for _ in 0..8 {
+            writer
+                .append(&WalRecord::Answer {
+                    session: 1,
+                    positive: true,
+                })
+                .unwrap();
+        }
+        assert_eq!(writer.pending(), 0);
+        assert_eq!(writer.syncs(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_fsync_errors_keep_the_batch_pending_until_retried() {
+        use qbe_faults::{FaultProfile, FaultRegistry, SiteConfig};
+        let path = temp_wal("fsyncfault");
+        let (_, mut writer) = recover_with_sync_every(&path, 8).unwrap();
+        let faults = FaultRegistry::shared(FaultProfile::new(11).site(
+            WalWriter::SITE_FSYNC,
+            SiteConfig::with_probability(1.0).max_fires(1),
+        ));
+        writer.set_faults(faults.clone());
+        for record in &sample_records()[..2] {
+            writer.append(record).unwrap();
+        }
+        let err = writer.sync().unwrap_err();
+        assert!(err.to_string().contains(qbe_faults::INJECTED_MARKER));
+        assert_eq!(
+            writer.pending(),
+            2,
+            "a failed fsync must not clear the batch"
+        );
+        assert_eq!(writer.syncs(), 0);
+        writer.sync().unwrap(); // the fault was single-shot; the retry lands
+        assert_eq!(writer.pending(), 0);
+        assert_eq!(writer.syncs(), 1);
+        assert_eq!(faults.fires(WalWriter::SITE_FSYNC), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_torn_write_poisons_the_writer_and_recovery_truncates() {
+        use qbe_faults::{FaultProfile, FaultRegistry, SiteConfig};
+        let path = temp_wal("tornfault");
+        let records = sample_records();
+        let (_, mut writer) = recover_with_sync_every(&path, 1).unwrap();
+        writer.append(&records[0]).unwrap();
+        writer.append(&records[1]).unwrap();
+        let faults = FaultRegistry::shared(FaultProfile::new(0).site(
+            WalWriter::SITE_TORN_WRITE,
+            SiteConfig::with_probability(1.0),
+        ));
+        writer.set_faults(faults);
+        let err = writer.append(&records[2]).unwrap_err();
+        assert!(err.to_string().contains(WalWriter::SITE_TORN_WRITE));
+        // The writer is poisoned: nothing more lands, so the torn frame stays final.
+        assert!(writer.append(&records[3]).is_err());
+        drop(writer);
+        let (recovered, _) = recover(&path).unwrap();
+        assert_eq!(recovered, records[..2].to_vec(), "torn tail truncated");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_write_errors_leave_no_trace_in_the_log() {
+        use qbe_faults::{FaultProfile, FaultRegistry, SiteConfig};
+        let path = temp_wal("writefault");
+        let records = sample_records();
+        let (_, mut writer) = recover_with_sync_every(&path, 1).unwrap();
+        let faults = FaultRegistry::shared(
+            FaultProfile::new(0).site(WalWriter::SITE_WRITE, SiteConfig::with_every(2)),
+        );
+        writer.set_faults(faults);
+        writer.append(&records[0]).unwrap();
+        assert!(writer.append(&records[1]).is_err(), "check 2 fires");
+        writer.append(&records[2]).unwrap();
+        drop(writer);
+        let (recovered, _) = recover(&path).unwrap();
+        assert_eq!(
+            recovered,
+            vec![records[0].clone(), records[2].clone()],
+            "the failed append wrote nothing; the log stays parseable"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }
